@@ -1,0 +1,360 @@
+//! Dense symbol coding for automata alphabets.
+//!
+//! Automata in this workspace always operate on *dense symbol ids*
+//! `0..k` rather than raw bytes, so transition tables are rectangular
+//! `|Q| × k` arrays — the layout the paper's parameterized-transposition
+//! kernels require. An [`Alphabet`] owns the bidirectional mapping between
+//! external bytes and dense ids.
+
+use crate::error::AutomataError;
+use std::fmt;
+
+/// Upper bound on alphabet size (dense ids are stored in a `u8`).
+pub const MAX_ALPHABET: usize = 256;
+
+/// A dense symbol id (index into an [`Alphabet`]).
+pub type SymbolId = u8;
+
+/// A set of symbols from one alphabet, stored as a 256-bit set over dense
+/// ids. Used for character classes in regular expressions and NFA edges.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SymbolSet {
+    bits: [u64; 4],
+}
+
+impl SymbolSet {
+    /// The empty set.
+    pub const EMPTY: SymbolSet = SymbolSet { bits: [0; 4] };
+
+    /// Set containing a single symbol.
+    #[inline]
+    pub fn singleton(sym: SymbolId) -> Self {
+        let mut s = Self::EMPTY;
+        s.insert(sym);
+        s
+    }
+
+    /// Set containing every dense id below `k`.
+    pub fn all(k: usize) -> Self {
+        debug_assert!(k <= MAX_ALPHABET);
+        let mut s = Self::EMPTY;
+        for sym in 0..k {
+            s.insert(sym as SymbolId);
+        }
+        s
+    }
+
+    /// Insert a symbol.
+    #[inline]
+    pub fn insert(&mut self, sym: SymbolId) {
+        self.bits[(sym >> 6) as usize] |= 1u64 << (sym & 63);
+    }
+
+    /// Remove a symbol.
+    #[inline]
+    pub fn remove(&mut self, sym: SymbolId) {
+        self.bits[(sym >> 6) as usize] &= !(1u64 << (sym & 63));
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, sym: SymbolId) -> bool {
+        self.bits[(sym >> 6) as usize] & (1u64 << (sym & 63)) != 0
+    }
+
+    /// Number of symbols in the set.
+    pub fn len(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if no symbol is present.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    /// Union.
+    pub fn union(&self, other: &SymbolSet) -> SymbolSet {
+        let mut out = *self;
+        for (a, b) in out.bits.iter_mut().zip(other.bits.iter()) {
+            *a |= *b;
+        }
+        out
+    }
+
+    /// Intersection.
+    pub fn intersection(&self, other: &SymbolSet) -> SymbolSet {
+        let mut out = *self;
+        for (a, b) in out.bits.iter_mut().zip(other.bits.iter()) {
+            *a &= *b;
+        }
+        out
+    }
+
+    /// Complement *within an alphabet of size `k`*.
+    pub fn complement(&self, k: usize) -> SymbolSet {
+        let mut out = SymbolSet::all(k);
+        for (a, b) in out.bits.iter_mut().zip(self.bits.iter()) {
+            *a &= !*b;
+        }
+        out
+    }
+
+    /// Iterate over member symbols in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = SymbolId> + '_ {
+        (0..MAX_ALPHABET as u32)
+            .map(|i| i as SymbolId)
+            .filter(move |&s| self.contains(s))
+    }
+}
+
+impl fmt::Debug for SymbolSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SymbolSet{{")?;
+        for (i, s) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A finite alphabet with a dense coding of its symbols.
+///
+/// `Alphabet` maps external bytes to dense ids `0..len()` and back. All
+/// automata built from one alphabet share its coding, so transition tables
+/// stay rectangular and comparisons stay cheap.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Alphabet {
+    /// byte -> dense id (+1); 0 means "not in alphabet".
+    encode: [u16; 256],
+    /// dense id -> byte.
+    decode: Vec<u8>,
+}
+
+impl Alphabet {
+    /// Build an alphabet from a set of bytes. Duplicates are ignored; dense
+    /// ids are assigned in the order of first occurrence.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        let mut encode = [0u16; 256];
+        let mut decode = Vec::new();
+        for &b in bytes {
+            if encode[b as usize] == 0 {
+                decode.push(b);
+                encode[b as usize] = decode.len() as u16; // id + 1
+            }
+        }
+        Alphabet { encode, decode }
+    }
+
+    /// The 20-letter amino-acid alphabet used by PROSITE patterns
+    /// (Σ = {A,C,D,E,F,G,H,I,K,L,M,N,P,Q,R,S,T,V,W,Y}).
+    pub fn amino_acids() -> Self {
+        Self::from_bytes(b"ACDEFGHIKLMNPQRSTVWY")
+    }
+
+    /// Lower-case ASCII letters `a..=z`.
+    pub fn lowercase() -> Self {
+        Self::from_bytes(b"abcdefghijklmnopqrstuvwxyz")
+    }
+
+    /// Binary alphabet `{0,1}` (as ASCII bytes `'0'`/`'1'`).
+    pub fn binary() -> Self {
+        Self::from_bytes(b"01")
+    }
+
+    /// All 256 byte values (network-payload matching).
+    pub fn full_bytes() -> Self {
+        let all: Vec<u8> = (0u16..256).map(|b| b as u8).collect();
+        Self::from_bytes(&all)
+    }
+
+    /// Printable ASCII (0x20..=0x7e).
+    pub fn printable_ascii() -> Self {
+        let all: Vec<u8> = (0x20u8..=0x7e).collect();
+        Self::from_bytes(&all)
+    }
+
+    /// Number of symbols.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.decode.len()
+    }
+
+    /// True if the alphabet has no symbols.
+    pub fn is_empty(&self) -> bool {
+        self.decode.is_empty()
+    }
+
+    /// Dense id for a byte, if the byte belongs to the alphabet.
+    #[inline]
+    pub fn encode(&self, byte: u8) -> Option<SymbolId> {
+        match self.encode[byte as usize] {
+            0 => None,
+            id => Some((id - 1) as SymbolId),
+        }
+    }
+
+    /// Dense id for a byte, as an error-producing operation.
+    #[inline]
+    pub fn encode_checked(&self, byte: u8) -> Result<SymbolId, AutomataError> {
+        self.encode(byte)
+            .ok_or(AutomataError::ByteNotInAlphabet(byte))
+    }
+
+    /// The byte a dense id decodes to.
+    ///
+    /// # Panics
+    /// Panics when `sym >= self.len()`.
+    #[inline]
+    pub fn decode(&self, sym: SymbolId) -> u8 {
+        self.decode[sym as usize]
+    }
+
+    /// Encode a whole byte string into dense ids.
+    pub fn encode_bytes(&self, text: &[u8]) -> Result<Vec<SymbolId>, AutomataError> {
+        text.iter().map(|&b| self.encode_checked(b)).collect()
+    }
+
+    /// Decode a dense-id string back into bytes.
+    pub fn decode_symbols(&self, syms: &[SymbolId]) -> Vec<u8> {
+        syms.iter().map(|&s| self.decode(s)).collect()
+    }
+
+    /// Iterate over `(dense id, byte)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SymbolId, u8)> + '_ {
+        self.decode
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (i as SymbolId, b))
+    }
+
+    /// A [`SymbolSet`] containing every symbol of this alphabet.
+    pub fn universe(&self) -> SymbolSet {
+        SymbolSet::all(self.len())
+    }
+}
+
+impl fmt::Debug for Alphabet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Alphabet(")?;
+        for &b in &self.decode {
+            if b.is_ascii_graphic() {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amino_alphabet_has_20_symbols() {
+        let a = Alphabet::amino_acids();
+        assert_eq!(a.len(), 20);
+        assert_eq!(a.encode(b'A'), Some(0));
+        assert_eq!(a.encode(b'Y'), Some(19));
+        assert_eq!(a.encode(b'B'), None); // B is not an amino-acid code
+        assert_eq!(a.decode(0), b'A');
+    }
+
+    #[test]
+    fn duplicates_are_ignored() {
+        let a = Alphabet::from_bytes(b"aabbc");
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.encode(b'a'), Some(0));
+        assert_eq!(a.encode(b'b'), Some(1));
+        assert_eq!(a.encode(b'c'), Some(2));
+    }
+
+    #[test]
+    fn round_trip_encode_decode() {
+        let a = Alphabet::amino_acids();
+        let text = b"MKVLAARG";
+        let syms = a.encode_bytes(text).unwrap();
+        assert_eq!(a.decode_symbols(&syms), text);
+    }
+
+    #[test]
+    fn encode_rejects_foreign_bytes() {
+        let a = Alphabet::binary();
+        assert_eq!(
+            a.encode_checked(b'2'),
+            Err(AutomataError::ByteNotInAlphabet(b'2'))
+        );
+        assert!(a.encode_bytes(b"0102").is_err());
+    }
+
+    #[test]
+    fn full_byte_alphabet() {
+        let a = Alphabet::full_bytes();
+        assert_eq!(a.len(), 256);
+        for b in 0..=255u8 {
+            assert_eq!(a.encode(b), Some(b));
+            assert_eq!(a.decode(b), b);
+        }
+    }
+
+    #[test]
+    fn symbol_set_basic_ops() {
+        let mut s = SymbolSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(3);
+        s.insert(64);
+        s.insert(255);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(3) && s.contains(64) && s.contains(255));
+        assert!(!s.contains(4));
+        s.remove(64);
+        assert_eq!(s.len(), 2);
+        assert!(!s.contains(64));
+    }
+
+    #[test]
+    fn symbol_set_algebra() {
+        let a = {
+            let mut s = SymbolSet::EMPTY;
+            s.insert(0);
+            s.insert(1);
+            s
+        };
+        let b = {
+            let mut s = SymbolSet::EMPTY;
+            s.insert(1);
+            s.insert(2);
+            s
+        };
+        assert_eq!(a.union(&b).len(), 3);
+        assert_eq!(a.intersection(&b).len(), 1);
+        assert!(a.intersection(&b).contains(1));
+
+        let compl = a.complement(4);
+        assert_eq!(compl.len(), 2);
+        assert!(compl.contains(2) && compl.contains(3));
+    }
+
+    #[test]
+    fn symbol_set_all_matches_universe() {
+        let a = Alphabet::amino_acids();
+        assert_eq!(a.universe().len(), 20);
+        for (sym, _) in a.iter() {
+            assert!(a.universe().contains(sym));
+        }
+    }
+
+    #[test]
+    fn symbol_set_iter_is_sorted() {
+        let mut s = SymbolSet::EMPTY;
+        for sym in [200u8, 5, 77, 63, 64] {
+            s.insert(sym);
+        }
+        let v: Vec<_> = s.iter().collect();
+        assert_eq!(v, vec![5, 63, 64, 77, 200]);
+    }
+}

@@ -1,0 +1,536 @@
+//! Dense deterministic finite automata.
+//!
+//! A [`Dfa`] stores its transition function δ as one contiguous row-major
+//! `|Q| × |Σ|` table of `u32` state ids — the exact layout the paper's
+//! parameterized-transposition kernels operate on (§III-A, Fig. 3). The
+//! transition function is *complete*: every `(state, symbol)` pair has a
+//! successor (patterns that can fail use an explicit sink state).
+
+use crate::alphabet::{Alphabet, SymbolId};
+use crate::error::AutomataError;
+use std::fmt;
+
+/// Identifier of a DFA state (dense, `0..num_states`).
+pub type StateId = u32;
+
+/// A complete deterministic finite automaton over a dense alphabet.
+#[derive(Clone)]
+pub struct Dfa {
+    alphabet: Alphabet,
+    num_states: u32,
+    start: StateId,
+    accepting: Vec<bool>,
+    /// Row-major `num_states × alphabet.len()` successor table.
+    table: Vec<StateId>,
+}
+
+impl Dfa {
+    /// Construct from raw parts, validating completeness and bounds.
+    pub fn from_parts(
+        alphabet: Alphabet,
+        num_states: u32,
+        start: StateId,
+        accepting: Vec<bool>,
+        table: Vec<StateId>,
+    ) -> Result<Self, AutomataError> {
+        if num_states == 0 {
+            return Err(AutomataError::EmptyAutomaton);
+        }
+        if start >= num_states {
+            return Err(AutomataError::UnknownState(start));
+        }
+        if accepting.len() != num_states as usize
+            || table.len() != num_states as usize * alphabet.len()
+        {
+            return Err(AutomataError::EmptyAutomaton);
+        }
+        if let Some(&bad) = table.iter().find(|&&q| q >= num_states) {
+            return Err(AutomataError::UnknownState(bad));
+        }
+        Ok(Dfa {
+            alphabet,
+            num_states,
+            start,
+            accepting,
+            table,
+        })
+    }
+
+    /// The alphabet this DFA runs over.
+    #[inline]
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// Number of states `|Q|`.
+    #[inline]
+    pub fn num_states(&self) -> u32 {
+        self.num_states
+    }
+
+    /// Number of symbols `|Σ|`.
+    #[inline]
+    pub fn num_symbols(&self) -> usize {
+        self.alphabet.len()
+    }
+
+    /// The start state `q0`.
+    #[inline]
+    pub fn start(&self) -> StateId {
+        self.start
+    }
+
+    /// Whether `q` is accepting.
+    #[inline]
+    pub fn is_accepting(&self, q: StateId) -> bool {
+        self.accepting[q as usize]
+    }
+
+    /// All accepting states.
+    pub fn accepting_states(&self) -> Vec<StateId> {
+        (0..self.num_states)
+            .filter(|&q| self.accepting[q as usize])
+            .collect()
+    }
+
+    /// δ(q, σ).
+    #[inline]
+    pub fn next(&self, q: StateId, sym: SymbolId) -> StateId {
+        self.table[q as usize * self.alphabet.len() + sym as usize]
+    }
+
+    /// The transition-table row for state `q` (successors for all symbols).
+    #[inline]
+    pub fn row(&self, q: StateId) -> &[StateId] {
+        let k = self.alphabet.len();
+        &self.table[q as usize * k..(q as usize + 1) * k]
+    }
+
+    /// The whole row-major transition table.
+    #[inline]
+    pub fn table(&self) -> &[StateId] {
+        &self.table
+    }
+
+    /// δ*(q, input) over dense symbols.
+    pub fn run_from(&self, mut q: StateId, input: &[SymbolId]) -> StateId {
+        for &sym in input {
+            q = self.next(q, sym);
+        }
+        q
+    }
+
+    /// δ*(q0, input) over dense symbols.
+    pub fn run(&self, input: &[SymbolId]) -> StateId {
+        self.run_from(self.start, input)
+    }
+
+    /// Membership test over dense symbols.
+    pub fn accepts(&self, input: &[SymbolId]) -> bool {
+        self.is_accepting(self.run(input))
+    }
+
+    /// Membership test over raw bytes (encodes through the alphabet).
+    pub fn accepts_bytes(&self, text: &[u8]) -> Result<bool, AutomataError> {
+        let mut q = self.start;
+        for &b in text {
+            let sym = self.alphabet.encode_checked(b)?;
+            q = self.next(q, sym);
+        }
+        Ok(self.is_accepting(q))
+    }
+
+    /// Detect *sink* states: non-accepting states whose every transition
+    /// loops back to themselves. The paper's r500-class SFAs are dominated
+    /// by such a state, which is what makes their states so compressible.
+    pub fn sink_states(&self) -> Vec<StateId> {
+        (0..self.num_states)
+            .filter(|&q| !self.accepting[q as usize] && self.row(q).iter().all(|&succ| succ == q))
+            .collect()
+    }
+
+    /// States reachable from the start state.
+    pub fn reachable_states(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.num_states as usize];
+        let mut stack = vec![self.start];
+        seen[self.start as usize] = true;
+        while let Some(q) = stack.pop() {
+            for &succ in self.row(q) {
+                if !seen[succ as usize] {
+                    seen[succ as usize] = true;
+                    stack.push(succ);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Remove unreachable states, re-densifying ids. Returns the trimmed
+    /// DFA (identity transformation when everything is reachable).
+    pub fn trim(&self) -> Dfa {
+        let reach = self.reachable_states();
+        let mut remap = vec![u32::MAX; self.num_states as usize];
+        let mut next_id = 0u32;
+        for (q, &r) in reach.iter().enumerate() {
+            if r {
+                remap[q] = next_id;
+                next_id += 1;
+            }
+        }
+        let k = self.alphabet.len();
+        let mut table = Vec::with_capacity(next_id as usize * k);
+        let mut accepting = Vec::with_capacity(next_id as usize);
+        for (q, _) in reach.iter().enumerate().filter(|(_, &r)| r) {
+            {
+                accepting.push(self.accepting[q]);
+                for &succ in self.row(q as StateId) {
+                    table.push(remap[succ as usize]);
+                }
+            }
+        }
+        Dfa {
+            alphabet: self.alphabet.clone(),
+            num_states: next_id,
+            start: remap[self.start as usize],
+            accepting,
+            table,
+        }
+    }
+
+    /// Structural equality up to state renaming, decided by parallel BFS.
+    /// Two minimal complete DFAs for the same language are isomorphic, so
+    /// this doubles as a language-equality test for minimized automata.
+    pub fn isomorphic(&self, other: &Dfa) -> bool {
+        if self.num_states != other.num_states || self.alphabet.len() != other.alphabet.len() {
+            return false;
+        }
+        let n = self.num_states as usize;
+        let mut map = vec![u32::MAX; n]; // self -> other
+        let mut rmap = vec![u32::MAX; n]; // other -> self
+        let mut queue = std::collections::VecDeque::new();
+        map[self.start as usize] = other.start;
+        rmap[other.start as usize] = self.start;
+        queue.push_back((self.start, other.start));
+        while let Some((a, b)) = queue.pop_front() {
+            if self.accepting[a as usize] != other.accepting[b as usize] {
+                return false;
+            }
+            for sym in 0..self.alphabet.len() {
+                let sa = self.next(a, sym as SymbolId);
+                let sb = other.next(b, sym as SymbolId);
+                match (map[sa as usize], rmap[sb as usize]) {
+                    (u32::MAX, u32::MAX) => {
+                        map[sa as usize] = sb;
+                        rmap[sb as usize] = sa;
+                        queue.push_back((sa, sb));
+                    }
+                    (m, r) => {
+                        if m != sb || r != sa {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Count positions in `text` (encoded) at which a match *ends*, running
+    /// the automaton once over the whole text. Only meaningful for
+    /// "search" DFAs built with the Σ*RΣ* catenation, where acceptance is
+    /// monotone; for those this reports the first accepting position, then
+    /// every subsequent position (the language is suffix-closed after a
+    /// match). Exposed mostly for tests and examples.
+    pub fn first_match_end(&self, input: &[SymbolId]) -> Option<usize> {
+        let mut q = self.start;
+        if self.is_accepting(q) {
+            return Some(0);
+        }
+        for (i, &sym) in input.iter().enumerate() {
+            q = self.next(q, sym);
+            if self.is_accepting(q) {
+                return Some(i + 1);
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Debug for Dfa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Dfa(states={}, symbols={}, start={}, accepting={})",
+            self.num_states,
+            self.alphabet.len(),
+            self.start,
+            self.accepting.iter().filter(|&&a| a).count()
+        )
+    }
+}
+
+/// Incremental builder for [`Dfa`].
+///
+/// States are added explicitly; missing transitions can either be reported
+/// as an error or routed to an automatically created sink state.
+pub struct DfaBuilder {
+    alphabet: Alphabet,
+    start: Option<StateId>,
+    accepting: Vec<bool>,
+    /// `u32::MAX` marks a transition that has not been set.
+    table: Vec<StateId>,
+}
+
+impl DfaBuilder {
+    /// Create an empty builder over `alphabet`.
+    pub fn new(alphabet: Alphabet) -> Self {
+        DfaBuilder {
+            alphabet,
+            start: None,
+            accepting: Vec::new(),
+            table: Vec::new(),
+        }
+    }
+
+    /// Number of states added so far.
+    pub fn num_states(&self) -> u32 {
+        self.accepting.len() as u32
+    }
+
+    /// Add a state, returning its id.
+    pub fn add_state(&mut self, accepting: bool) -> StateId {
+        let id = self.accepting.len() as StateId;
+        self.accepting.push(accepting);
+        self.table
+            .extend(std::iter::repeat_n(u32::MAX, self.alphabet.len()));
+        id
+    }
+
+    /// Mark the start state.
+    pub fn set_start(&mut self, q: StateId) -> &mut Self {
+        self.start = Some(q);
+        self
+    }
+
+    /// Mark a state accepting (or not) after creation.
+    pub fn set_accepting(&mut self, q: StateId, accepting: bool) -> &mut Self {
+        self.accepting[q as usize] = accepting;
+        self
+    }
+
+    /// Set δ(from, sym) = to.
+    pub fn add_transition(&mut self, from: StateId, sym: SymbolId, to: StateId) -> &mut Self {
+        let k = self.alphabet.len();
+        self.table[from as usize * k + sym as usize] = to;
+        self
+    }
+
+    /// Set δ(from, ·) = to for every symbol not yet set.
+    pub fn default_transition(&mut self, from: StateId, to: StateId) -> &mut Self {
+        let k = self.alphabet.len();
+        for slot in &mut self.table[from as usize * k..(from as usize + 1) * k] {
+            if *slot == u32::MAX {
+                *slot = to;
+            }
+        }
+        self
+    }
+
+    /// Finish, routing all unset transitions to a fresh sink state (created
+    /// only if needed).
+    pub fn build_with_sink(mut self) -> Result<Dfa, AutomataError> {
+        if self.accepting.is_empty() {
+            return Err(AutomataError::EmptyAutomaton);
+        }
+        if self.table.contains(&u32::MAX) {
+            let sink = self.add_state(false);
+            for slot in &mut self.table {
+                if *slot == u32::MAX {
+                    *slot = sink;
+                }
+            }
+        }
+        self.build_strict()
+    }
+
+    /// Finish, requiring every transition to have been set.
+    pub fn build_strict(self) -> Result<Dfa, AutomataError> {
+        let start = self.start.ok_or(AutomataError::EmptyAutomaton)?;
+        let num_states = self.accepting.len() as u32;
+        if let Some(&bad) = self.table.iter().find(|&&t| t >= num_states) {
+            return Err(AutomataError::UnknownState(bad));
+        }
+        Dfa::from_parts(self.alphabet, num_states, start, self.accepting, self.table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Fig. 1 automaton: accepts strings containing "RG" over the
+    /// amino-acid alphabet.
+    pub(crate) fn contains_rg() -> Dfa {
+        let alpha = Alphabet::amino_acids();
+        let r = alpha.encode(b'R').unwrap();
+        let g = alpha.encode(b'G').unwrap();
+        let mut b = DfaBuilder::new(alpha);
+        let q0 = b.add_state(false);
+        let q1 = b.add_state(false);
+        let q2 = b.add_state(true);
+        b.set_start(q0);
+        // q0: on R -> q1, else stay.
+        b.default_transition(q0, q0);
+        b.add_transition(q0, r, q1);
+        // q1: on G -> q2 (accept), on R stay, else back to q0.
+        b.default_transition(q1, q0);
+        b.add_transition(q1, r, q1);
+        b.add_transition(q1, g, q2);
+        // q2: absorbing accept.
+        b.default_transition(q2, q2);
+        b.build_strict().unwrap()
+    }
+
+    #[test]
+    fn fig1_automaton_matches_paper_examples() {
+        let dfa = contains_rg();
+        assert_eq!(dfa.num_states(), 3);
+        assert!(dfa.accepts_bytes(b"RG").unwrap());
+        assert!(dfa.accepts_bytes(b"AARGA").unwrap());
+        assert!(dfa.accepts_bytes(b"RRRG").unwrap());
+        assert!(!dfa.accepts_bytes(b"").unwrap());
+        assert!(!dfa.accepts_bytes(b"GR").unwrap());
+        assert!(!dfa.accepts_bytes(b"RARA").unwrap());
+    }
+
+    #[test]
+    fn row_matches_next() {
+        let dfa = contains_rg();
+        for q in 0..dfa.num_states() {
+            let row = dfa.row(q).to_vec();
+            for (sym, &succ) in row.iter().enumerate() {
+                assert_eq!(dfa.next(q, sym as SymbolId), succ);
+            }
+        }
+    }
+
+    #[test]
+    fn builder_detects_missing_start() {
+        let mut b = DfaBuilder::new(Alphabet::binary());
+        b.add_state(true);
+        assert!(b.build_with_sink().is_err());
+    }
+
+    #[test]
+    fn build_with_sink_completes_table() {
+        let alpha = Alphabet::binary();
+        let mut b = DfaBuilder::new(alpha);
+        let q0 = b.add_state(false);
+        let q1 = b.add_state(true);
+        b.set_start(q0);
+        b.add_transition(q0, 0, q1);
+        // q0 on '1' and q1 on everything are unset -> sink.
+        let dfa = b.build_with_sink().unwrap();
+        assert_eq!(dfa.num_states(), 3);
+        let sinks = dfa.sink_states();
+        assert_eq!(sinks.len(), 1);
+        assert!(dfa.accepts(&[0]));
+        assert!(!dfa.accepts(&[1]));
+        assert!(!dfa.accepts(&[0, 0]));
+    }
+
+    #[test]
+    fn strict_build_rejects_incomplete_table() {
+        let alpha = Alphabet::binary();
+        let mut b = DfaBuilder::new(alpha);
+        let q0 = b.add_state(true);
+        b.set_start(q0);
+        assert!(b.build_strict().is_err());
+    }
+
+    #[test]
+    fn sink_detection() {
+        let dfa = contains_rg();
+        // The accept state is absorbing but accepting, so it is NOT a sink.
+        assert!(dfa.sink_states().is_empty());
+    }
+
+    #[test]
+    fn trim_removes_unreachable() {
+        let alpha = Alphabet::binary();
+        let mut b = DfaBuilder::new(alpha);
+        let q0 = b.add_state(false);
+        let q1 = b.add_state(true);
+        let orphan = b.add_state(true);
+        b.set_start(q0);
+        b.default_transition(q0, q1);
+        b.default_transition(q1, q1);
+        b.default_transition(orphan, orphan);
+        let dfa = b.build_strict().unwrap();
+        assert_eq!(dfa.num_states(), 3);
+        let t = dfa.trim();
+        assert_eq!(t.num_states(), 2);
+        assert!(t.accepts(&[0]));
+        assert!(!t.accepts(&[]));
+    }
+
+    #[test]
+    fn isomorphism_detects_renaming() {
+        let a = contains_rg();
+        // Rebuild with states in a different order: q2, q0, q1.
+        let alpha = Alphabet::amino_acids();
+        let r = alpha.encode(b'R').unwrap();
+        let g = alpha.encode(b'G').unwrap();
+        let mut b = DfaBuilder::new(alpha);
+        let p2 = b.add_state(true);
+        let p0 = b.add_state(false);
+        let p1 = b.add_state(false);
+        b.set_start(p0);
+        b.default_transition(p0, p0);
+        b.add_transition(p0, r, p1);
+        b.default_transition(p1, p0);
+        b.add_transition(p1, r, p1);
+        b.add_transition(p1, g, p2);
+        b.default_transition(p2, p2);
+        let c = b.build_strict().unwrap();
+        assert!(a.isomorphic(&c));
+        assert!(c.isomorphic(&a));
+    }
+
+    #[test]
+    fn isomorphism_rejects_different_language() {
+        let a = contains_rg();
+        let alpha = Alphabet::amino_acids();
+        let mut b = DfaBuilder::new(alpha);
+        let q0 = b.add_state(false);
+        let q1 = b.add_state(false);
+        let q2 = b.add_state(false); // no accepting state at all
+        b.set_start(q0);
+        b.default_transition(q0, q1);
+        b.default_transition(q1, q2);
+        b.default_transition(q2, q2);
+        let c = b.build_strict().unwrap();
+        assert!(!a.isomorphic(&c));
+    }
+
+    #[test]
+    fn first_match_end_reports_earliest() {
+        let dfa = contains_rg();
+        let alpha = dfa.alphabet().clone();
+        let input = alpha.encode_bytes(b"AARGRG").unwrap();
+        assert_eq!(dfa.first_match_end(&input), Some(4));
+        let input = alpha.encode_bytes(b"AAAA").unwrap();
+        assert_eq!(dfa.first_match_end(&input), None);
+    }
+
+    #[test]
+    fn run_from_composes() {
+        let dfa = contains_rg();
+        let alpha = dfa.alphabet().clone();
+        let a = alpha.encode_bytes(b"AAR").unwrap();
+        let b2 = alpha.encode_bytes(b"GAA").unwrap();
+        let whole = alpha.encode_bytes(b"AARGAA").unwrap();
+        let mid = dfa.run(&a);
+        assert_eq!(dfa.run_from(mid, &b2), dfa.run(&whole));
+    }
+}

@@ -1,0 +1,217 @@
+//! Graphviz DOT export for automata.
+//!
+//! Debugging aid: render a DFA (or a small SFA via its δₛ table) as a DOT
+//! digraph. Parallel edges to the same successor are merged into one edge
+//! labelled with a compact symbol-set description, so even the 20-symbol
+//! amino automata stay readable.
+
+use crate::dfa::Dfa;
+use std::fmt::Write as _;
+
+/// Options for DOT rendering.
+#[derive(Debug, Clone)]
+pub struct DotOptions {
+    /// Graph name.
+    pub name: String,
+    /// Left-to-right layout (`rankdir=LR`).
+    pub horizontal: bool,
+    /// Omit edges into sink states (decluttering for search automata).
+    pub hide_sink_edges: bool,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            name: "dfa".into(),
+            horizontal: true,
+            hide_sink_edges: true,
+        }
+    }
+}
+
+/// Render `dfa` as a DOT digraph.
+pub fn dfa_to_dot(dfa: &Dfa, opts: &DotOptions) -> String {
+    let mut out = String::new();
+    writeln!(out, "digraph {} {{", sanitize(&opts.name)).unwrap();
+    if opts.horizontal {
+        writeln!(out, "  rankdir=LR;").unwrap();
+    }
+    writeln!(out, "  node [shape=circle];").unwrap();
+    // Invisible entry arrow.
+    writeln!(out, "  __start [shape=point, style=invis];").unwrap();
+    writeln!(out, "  __start -> q{};", dfa.start()).unwrap();
+    let sinks: Vec<u32> = if opts.hide_sink_edges {
+        dfa.sink_states()
+    } else {
+        Vec::new()
+    };
+    for q in 0..dfa.num_states() {
+        if dfa.is_accepting(q) {
+            writeln!(out, "  q{q} [shape=doublecircle];").unwrap();
+        }
+    }
+    for q in 0..dfa.num_states() {
+        // Group symbols by successor.
+        let mut by_succ: std::collections::BTreeMap<u32, Vec<u8>> = Default::default();
+        for (sym, &succ) in dfa.row(q).iter().enumerate() {
+            by_succ
+                .entry(succ)
+                .or_default()
+                .push(dfa.alphabet().decode(sym as u8));
+        }
+        for (succ, bytes) in by_succ {
+            if sinks.contains(&succ) {
+                continue;
+            }
+            writeln!(
+                out,
+                "  q{q} -> q{succ} [label=\"{}\"];",
+                edge_label(&bytes, dfa.num_symbols())
+            )
+            .unwrap();
+        }
+    }
+    writeln!(out, "}}").unwrap();
+    out
+}
+
+/// Compact label for a set of edge bytes: `Σ` for the full alphabet,
+/// an explicit list when short, `¬{…}` (complement) when that is shorter.
+fn edge_label(bytes: &[u8], alphabet_size: usize) -> String {
+    if bytes.len() == alphabet_size {
+        return "Σ".to_string();
+    }
+    let render = |bs: &[u8]| -> String {
+        bs.iter()
+            .map(|&b| {
+                if b.is_ascii_graphic() {
+                    escape_char(b as char)
+                } else {
+                    format!("\\\\x{b:02x}")
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    if bytes.len() * 2 <= alphabet_size {
+        render(bytes)
+    } else {
+        // Complement is shorter — but we only know the present bytes, so
+        // the caller's alphabet decides; render as ¬ of the absent set is
+        // not possible here without the alphabet, so keep the list capped.
+        let s = render(bytes);
+        if s.len() > 30 {
+            format!("{}…({})", &s[..27.min(s.len())], bytes.len())
+        } else {
+            s
+        }
+    }
+}
+
+fn escape_char(c: char) -> String {
+    match c {
+        '"' => "\\\"".into(),
+        '\\' => "\\\\".into(),
+        other => other.to_string(),
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if cleaned.is_empty() {
+        "dfa".into()
+    } else {
+        cleaned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::pipeline::Pipeline;
+
+    fn rg() -> Dfa {
+        Pipeline::search(Alphabet::amino_acids())
+            .compile_str("RG")
+            .unwrap()
+    }
+
+    #[test]
+    fn dot_contains_structure() {
+        let dot = dfa_to_dot(&rg(), &DotOptions::default());
+        assert!(dot.starts_with("digraph dfa {"));
+        assert!(dot.contains("rankdir=LR"));
+        assert!(dot.contains("doublecircle"), "accept state rendered");
+        assert!(dot.contains("__start -> q"));
+        assert!(dot.trim_end().ends_with('}'));
+        // Every line inside the braces is a well-formed statement.
+        for line in dot.lines().skip(1) {
+            let t = line.trim();
+            assert!(
+                t.is_empty() || t == "}" || t.ends_with(';'),
+                "bad line {t:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_alphabet_edges_collapse_to_sigma() {
+        let dot = dfa_to_dot(&rg(), &DotOptions::default());
+        assert!(dot.contains("label=\"Σ\""), "absorbing accept uses Σ");
+    }
+
+    #[test]
+    fn sink_edges_can_be_shown() {
+        let dfa = Pipeline::exact(Alphabet::amino_acids())
+            .compile_str("RG")
+            .unwrap();
+        let hidden = dfa_to_dot(&dfa, &DotOptions::default());
+        let shown = dfa_to_dot(
+            &dfa,
+            &DotOptions {
+                hide_sink_edges: false,
+                ..Default::default()
+            },
+        );
+        assert!(shown.len() > hidden.len());
+    }
+
+    #[test]
+    fn names_are_sanitized() {
+        let dot = dfa_to_dot(
+            &rg(),
+            &DotOptions {
+                name: "my graph; attack".into(),
+                ..Default::default()
+            },
+        );
+        assert!(dot.starts_with("digraph my_graph__attack {"));
+        let dot = dfa_to_dot(
+            &rg(),
+            &DotOptions {
+                name: "".into(),
+                ..Default::default()
+            },
+        );
+        assert!(dot.starts_with("digraph dfa {"));
+    }
+
+    #[test]
+    fn quotes_in_byte_alphabets_are_escaped() {
+        let dfa = Pipeline::exact(Alphabet::printable_ascii())
+            .compile_str("a\\\"b")
+            .unwrap();
+        let dot = dfa_to_dot(&dfa, &DotOptions::default());
+        assert!(dot.contains("\\\""), "quote escaped in label");
+    }
+}

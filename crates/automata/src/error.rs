@@ -1,0 +1,91 @@
+//! Error type shared by the parsing and construction stages.
+
+use std::fmt;
+
+/// Errors produced while parsing patterns or assembling automata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AutomataError {
+    /// A character in the input is not part of the target alphabet.
+    SymbolNotInAlphabet(char),
+    /// A byte in the input is not part of the target alphabet.
+    ByteNotInAlphabet(u8),
+    /// Syntax error while parsing a regular expression.
+    RegexSyntax { pos: usize, msg: String },
+    /// Syntax error while parsing a PROSITE pattern.
+    PrositeSyntax { pos: usize, msg: String },
+    /// Syntax error while reading a Grail+ file.
+    GrailSyntax { line: usize, msg: String },
+    /// A transition references a state that was never declared.
+    UnknownState(u32),
+    /// The builder was asked to finish an automaton with no states.
+    EmptyAutomaton,
+    /// A repetition bound was inverted (e.g. `x(5,2)`).
+    BadRepetition { min: u32, max: u32 },
+    /// The construction exceeded a configured state budget.
+    StateBudgetExceeded { budget: usize },
+    /// Two automata with different alphabet codings were combined.
+    AlphabetMismatch,
+}
+
+impl fmt::Display for AutomataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AutomataError::SymbolNotInAlphabet(c) => {
+                write!(f, "symbol {c:?} is not in the alphabet")
+            }
+            AutomataError::ByteNotInAlphabet(b) => {
+                write!(f, "byte 0x{b:02x} is not in the alphabet")
+            }
+            AutomataError::RegexSyntax { pos, msg } => {
+                write!(f, "regex syntax error at offset {pos}: {msg}")
+            }
+            AutomataError::PrositeSyntax { pos, msg } => {
+                write!(f, "PROSITE syntax error at offset {pos}: {msg}")
+            }
+            AutomataError::GrailSyntax { line, msg } => {
+                write!(f, "Grail+ syntax error at line {line}: {msg}")
+            }
+            AutomataError::UnknownState(q) => write!(f, "transition references unknown state {q}"),
+            AutomataError::EmptyAutomaton => write!(f, "automaton has no states"),
+            AutomataError::BadRepetition { min, max } => {
+                write!(f, "repetition bounds inverted: ({min},{max})")
+            }
+            AutomataError::StateBudgetExceeded { budget } => {
+                write!(f, "construction exceeded the state budget of {budget}")
+            }
+            AutomataError::AlphabetMismatch => {
+                write!(f, "automata have different alphabet codings")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AutomataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = AutomataError::RegexSyntax {
+            pos: 3,
+            msg: "unbalanced parenthesis".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("offset 3"));
+        assert!(s.contains("unbalanced"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            AutomataError::SymbolNotInAlphabet('z'),
+            AutomataError::SymbolNotInAlphabet('z')
+        );
+        assert_ne!(
+            AutomataError::ByteNotInAlphabet(1),
+            AutomataError::ByteNotInAlphabet(2)
+        );
+    }
+}

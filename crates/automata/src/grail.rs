@@ -1,0 +1,184 @@
+//! Grail+ textual automaton format.
+//!
+//! The paper generates minimal DFAs with Grail+ and reads them into its own
+//! representation ("Our framework reads DFAs and input strings in Grail+
+//! format", §IV). This module implements the same interchange format so
+//! externally produced automata can be used directly:
+//!
+//! ```text
+//! (START) |- 0
+//! 0 R 1
+//! 1 G 2
+//! 2 -| (FINAL)
+//! ```
+//!
+//! Each transition line is `state symbol state`; `(START) |- q` marks the
+//! start state; `q -| (FINAL)` marks an accepting state. Symbols must be
+//! single bytes.
+
+use crate::alphabet::Alphabet;
+use crate::dfa::{Dfa, DfaBuilder, StateId};
+use crate::error::AutomataError;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Serialize a DFA to Grail+ text.
+pub fn write_dfa(dfa: &Dfa) -> String {
+    let mut out = String::new();
+    writeln!(out, "(START) |- {}", dfa.start()).unwrap();
+    for q in 0..dfa.num_states() {
+        for (sym, &succ) in dfa.row(q).iter().enumerate() {
+            let byte = dfa.alphabet().decode(sym as u8);
+            writeln!(out, "{} {} {}", q, byte as char, succ).unwrap();
+        }
+    }
+    for q in dfa.accepting_states() {
+        writeln!(out, "{q} -| (FINAL)").unwrap();
+    }
+    out
+}
+
+/// Parse Grail+ text into a DFA.
+///
+/// When `alphabet` is `None` the alphabet is inferred from the symbols that
+/// occur in the file (in byte order, so the coding is deterministic).
+/// Missing transitions are routed to an implicit sink state, which keeps
+/// partially specified Grail+ automata usable; fully specified ones
+/// round-trip exactly.
+pub fn read_dfa(text: &str, alphabet: Option<Alphabet>) -> Result<Dfa, AutomataError> {
+    let mut start: Option<u32> = None;
+    let mut finals: Vec<u32> = Vec::new();
+    let mut transitions: Vec<(u32, u8, u32)> = Vec::new();
+    let mut symbols_seen: BTreeMap<u8, ()> = BTreeMap::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        let syntax = |msg: &str| AutomataError::GrailSyntax {
+            line: lineno + 1,
+            msg: msg.to_string(),
+        };
+        match toks.as_slice() {
+            ["(START)", "|-", q] => {
+                let q: u32 = q.parse().map_err(|_| syntax("bad start state id"))?;
+                if start.replace(q).is_some() {
+                    return Err(syntax("duplicate start state"));
+                }
+            }
+            [q, "-|", "(FINAL)"] => {
+                let q: u32 = q.parse().map_err(|_| syntax("bad final state id"))?;
+                finals.push(q);
+            }
+            [from, sym, to] => {
+                let from: u32 = from.parse().map_err(|_| syntax("bad source state id"))?;
+                let to: u32 = to.parse().map_err(|_| syntax("bad target state id"))?;
+                if sym.len() != 1 {
+                    return Err(syntax("symbols must be single bytes"));
+                }
+                let byte = sym.as_bytes()[0];
+                symbols_seen.insert(byte, ());
+                transitions.push((from, byte, to));
+            }
+            _ => return Err(syntax("unrecognized line")),
+        }
+    }
+
+    let start = start.ok_or(AutomataError::GrailSyntax {
+        line: 0,
+        msg: "missing (START) |- line".into(),
+    })?;
+
+    let alphabet = alphabet.unwrap_or_else(|| {
+        let bytes: Vec<u8> = symbols_seen.keys().copied().collect();
+        Alphabet::from_bytes(&bytes)
+    });
+
+    let max_state = transitions
+        .iter()
+        .flat_map(|&(f, _, t)| [f, t])
+        .chain(finals.iter().copied())
+        .chain(std::iter::once(start))
+        .max()
+        .unwrap_or(start);
+
+    let mut b = DfaBuilder::new(alphabet.clone());
+    for _ in 0..=max_state {
+        b.add_state(false);
+    }
+    b.set_start(start as StateId);
+    for q in &finals {
+        b.set_accepting(*q, true);
+    }
+    for (from, byte, to) in transitions {
+        let sym = alphabet.encode_checked(byte)?;
+        b.add_transition(from, sym, to);
+    }
+    b.build_with_sink()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minimize::minimize;
+    use crate::nfa::Nfa;
+    use crate::regex::parse;
+    use crate::subset::determinize;
+
+    fn rg_dfa() -> Dfa {
+        let alpha = Alphabet::amino_acids();
+        let r = parse("RG", &alpha).unwrap().search_anywhere(alpha.len());
+        let nfa = Nfa::from_regex(&r, &alpha, None).unwrap();
+        minimize(&determinize(&nfa, None).unwrap())
+    }
+
+    #[test]
+    fn round_trip_preserves_language() {
+        let dfa = rg_dfa();
+        let text = write_dfa(&dfa);
+        let back = read_dfa(&text, Some(dfa.alphabet().clone())).unwrap();
+        assert!(dfa.isomorphic(&back));
+    }
+
+    #[test]
+    fn round_trip_with_inferred_alphabet() {
+        let dfa = rg_dfa();
+        let text = write_dfa(&dfa);
+        let back = read_dfa(&text, None).unwrap();
+        assert_eq!(back.num_symbols(), 20);
+        assert!(back.accepts_bytes(b"AARGA").unwrap());
+        assert!(!back.accepts_bytes(b"GR").unwrap());
+    }
+
+    #[test]
+    fn reads_handwritten_file() {
+        let text = "\n# exact string 'ab'\n(START) |- 0\n0 a 1\n1 b 2\n2 -| (FINAL)\n";
+        let dfa = read_dfa(text, None).unwrap();
+        assert!(dfa.accepts_bytes(b"ab").unwrap());
+        assert!(!dfa.accepts_bytes(b"a").unwrap());
+        assert!(!dfa.accepts_bytes(b"abb").unwrap());
+        // Incomplete transitions routed to sink.
+        assert_eq!(dfa.sink_states().len(), 1);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_dfa("hello world foo bar", None).is_err());
+        assert!(read_dfa("0 ab 1", None).is_err()); // multi-byte symbol
+        assert!(read_dfa("0 a 1", None).is_err()); // no start line
+        assert!(
+            read_dfa("(START) |- 0\n(START) |- 1", None).is_err(),
+            "duplicate start must be rejected"
+        );
+    }
+
+    #[test]
+    fn final_states_parse() {
+        let text = "(START) |- 0\n0 a 0\n0 -| (FINAL)";
+        let dfa = read_dfa(text, None).unwrap();
+        assert!(dfa.accepts_bytes(b"").unwrap());
+        assert!(dfa.accepts_bytes(b"aaa").unwrap());
+    }
+}

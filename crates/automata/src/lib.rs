@@ -1,0 +1,68 @@
+//! Finite-automata substrate for the SFA construction library.
+//!
+//! This crate provides everything needed to turn a textual pattern into the
+//! dense, minimal deterministic finite automaton (DFA) that the SFA
+//! construction algorithm of Jung et al. (ICPP 2017) consumes:
+//!
+//! * [`alphabet::Alphabet`] — dense symbol coding for arbitrary byte
+//!   alphabets (the 20-letter amino-acid alphabet ships as a constant),
+//! * [`regex`] — a regular-expression AST, parser and Thompson-construction
+//!   compiler,
+//! * [`prosite`] — a parser for the PROSITE protein-pattern syntax used by
+//!   the paper's evaluation workload,
+//! * [`nfa`]/[`subset`] — non-deterministic automata and the subset
+//!   construction,
+//! * [`minimize`] — Hopcroft's DFA minimization ([`brzozowski`] provides
+//!   the double-reversal construction as a cross-validation oracle),
+//! * [`dfa::Dfa`] — the dense transition-table DFA representation,
+//! * [`ops`] — boolean operations (complement, product, union) for
+//!   multi-pattern automata,
+//! * [`grail`] — reader/writer for the Grail+ textual automaton format the
+//!   paper uses to exchange DFAs,
+//! * [`random`] — seeded synthetic workload automata (exact-string `rN`
+//!   patterns, random DFAs),
+//! * [`dot`] — Graphviz export for debugging.
+//!
+//! The typical pipeline is:
+//!
+//! ```
+//! use sfa_automata::prelude::*;
+//!
+//! // "contains RG" over the amino-acid alphabet, as in Fig. 1 of the paper.
+//! let dfa = Pipeline::search(Alphabet::amino_acids())
+//!     .compile_str("RG")
+//!     .unwrap();
+//! assert!(dfa.accepts_bytes(b"AARGA").unwrap());
+//! assert!(!dfa.accepts_bytes(b"ARAG").unwrap());
+//! ```
+
+pub mod alphabet;
+pub mod brzozowski;
+pub mod dfa;
+pub mod dot;
+pub mod error;
+pub mod grail;
+pub mod minimize;
+pub mod nfa;
+pub mod ops;
+pub mod pipeline;
+pub mod prosite;
+pub mod random;
+pub mod regex;
+pub mod subset;
+
+pub use alphabet::Alphabet;
+pub use dfa::{Dfa, DfaBuilder, StateId};
+pub use error::AutomataError;
+pub use nfa::Nfa;
+pub use pipeline::Pipeline;
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::alphabet::Alphabet;
+    pub use crate::dfa::{Dfa, DfaBuilder, StateId};
+    pub use crate::error::AutomataError;
+    pub use crate::nfa::Nfa;
+    pub use crate::pipeline::Pipeline;
+    pub use crate::regex::Regex;
+}

@@ -1,0 +1,329 @@
+//! Hopcroft's DFA minimization.
+//!
+//! The paper's workload DFAs are *minimal* DFAs produced by Grail+; this
+//! module provides the equivalent step so the whole pipeline is
+//! self-contained. `O(k·n·log n)` partition refinement with in-place
+//! block splitting (swap-to-front, no per-split hashing).
+
+use crate::alphabet::SymbolId;
+use crate::dfa::{Dfa, StateId};
+
+/// Minimize `dfa`: trim unreachable states, then merge
+/// indistinguishable ones with Hopcroft's partition refinement.
+/// The result accepts exactly the same language.
+pub fn minimize(dfa: &Dfa) -> Dfa {
+    let dfa = dfa.trim();
+    let n = dfa.num_states() as usize;
+    let k = dfa.num_symbols();
+    if n <= 1 {
+        return dfa;
+    }
+
+    // Inverse transition lists in CSR form: predecessors of q on sym are
+    // preds[pred_off[sym * n + q] .. pred_off[sym * n + q + 1]].
+    let mut pred_off = vec![0u32; k * n + 1];
+    for p in 0..n {
+        for (sym, &succ) in dfa.row(p as StateId).iter().enumerate() {
+            pred_off[sym * n + succ as usize + 1] += 1;
+        }
+    }
+    for i in 1..pred_off.len() {
+        pred_off[i] += pred_off[i - 1];
+    }
+    let mut preds = vec![0u32; k * n];
+    {
+        let mut cursor = pred_off.clone();
+        for p in 0..n {
+            for (sym, &succ) in dfa.row(p as StateId).iter().enumerate() {
+                let slot = cursor[sym * n + succ as usize];
+                preds[slot as usize] = p as u32;
+                cursor[sym * n + succ as usize] += 1;
+            }
+        }
+    }
+
+    // Partition with in-place membership: block_of[q], member list per
+    // block, and each state's position inside its block's member list.
+    let mut block_of: Vec<u32> = vec![0; n];
+    let mut pos_in_block: Vec<u32> = vec![0; n];
+    let mut blocks: Vec<Vec<u32>> = vec![Vec::new(), Vec::new()];
+    for q in 0..n {
+        let b = usize::from(dfa.is_accepting(q as StateId));
+        block_of[q] = b as u32;
+        pos_in_block[q] = blocks[b].len() as u32;
+        blocks[b].push(q as u32);
+    }
+    if blocks[1].is_empty() {
+        blocks.pop();
+    } else if blocks[0].is_empty() {
+        blocks.swap_remove(0);
+        block_of.iter_mut().for_each(|b| *b = 0);
+    }
+
+    let mut in_worklist: Vec<bool> = vec![true; blocks.len()];
+    let mut worklist: Vec<u32> = (0..blocks.len() as u32).collect();
+    // Number of splitter-hit members swapped to the front of each block.
+    let mut hit_count: Vec<u32> = vec![0; blocks.len()];
+    let mut touched: Vec<u32> = Vec::new();
+    let mut splitter: Vec<u32> = Vec::new();
+
+    while let Some(a) = worklist.pop() {
+        in_worklist[a as usize] = false;
+        // Snapshot: block `a` itself may split while in use as splitter.
+        splitter.clear();
+        splitter.extend_from_slice(&blocks[a as usize]);
+        for sym in 0..k {
+            // X = δ⁻¹(splitter, sym); swap hit members to block fronts.
+            touched.clear();
+            for &q in &splitter {
+                let lo = pred_off[sym * n + q as usize] as usize;
+                let hi = pred_off[sym * n + q as usize + 1] as usize;
+                for &p in &preds[lo..hi] {
+                    let b = block_of[p as usize] as usize;
+                    let h = hit_count[b];
+                    if h == 0 {
+                        touched.push(b as u32);
+                    }
+                    // p is un-hit (each p occurs at most once per sym), so
+                    // it sits in the un-hit region [h, len).
+                    let pos = pos_in_block[p as usize];
+                    debug_assert!(pos >= h);
+                    let other = blocks[b][h as usize];
+                    blocks[b][pos as usize] = other;
+                    pos_in_block[other as usize] = pos;
+                    blocks[b][h as usize] = p;
+                    pos_in_block[p as usize] = h;
+                    hit_count[b] = h + 1;
+                }
+            }
+            for &tb in &touched {
+                let b = tb as usize;
+                let hits = hit_count[b] as usize;
+                hit_count[b] = 0;
+                let total = blocks[b].len();
+                if hits == total {
+                    continue; // every member hit: no split
+                }
+                // Split: hit members are blocks[b][0..hits].
+                let new_id = blocks.len() as u32;
+                let back = blocks[b].split_off(hits); // un-hit part
+                let (keep, carve) = if blocks[b].len() >= back.len() {
+                    // Keep the hit part in the old id; carve the back.
+                    (None, back)
+                } else {
+                    // Keep the back in the old id; carve the hit part.
+                    let front = std::mem::replace(&mut blocks[b], back);
+                    (Some(()), front)
+                };
+                if keep.is_some() {
+                    // The back part moved down by `hits`: rebase positions.
+                    for (i, &q) in blocks[b].iter().enumerate() {
+                        pos_in_block[q as usize] = i as u32;
+                    }
+                }
+                for (i, &q) in carve.iter().enumerate() {
+                    block_of[q as usize] = new_id;
+                    pos_in_block[q as usize] = i as u32;
+                }
+                blocks.push(carve);
+                in_worklist.push(false);
+                hit_count.push(0);
+                if in_worklist[b] {
+                    worklist.push(new_id);
+                    in_worklist[new_id as usize] = true;
+                } else {
+                    let smaller = if blocks[b].len() <= blocks[new_id as usize].len() {
+                        b as u32
+                    } else {
+                        new_id
+                    };
+                    worklist.push(smaller);
+                    in_worklist[smaller as usize] = true;
+                }
+            }
+        }
+    }
+
+    // Build the quotient automaton.
+    let m = blocks.len();
+    let mut table = vec![0u32; m * k];
+    let mut accepting = vec![false; m];
+    for (b, members) in blocks.iter().enumerate() {
+        let rep = members[0];
+        accepting[b] = dfa.is_accepting(rep);
+        for sym in 0..k {
+            table[b * k + sym] = block_of[dfa.next(rep, sym as SymbolId) as usize];
+        }
+    }
+    let start = block_of[dfa.start() as usize];
+    Dfa::from_parts(dfa.alphabet().clone(), m as u32, start, accepting, table)
+        .expect("quotient automaton is well-formed by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::dfa::DfaBuilder;
+    use crate::nfa::Nfa;
+    use crate::regex::parse;
+    use crate::subset::determinize;
+
+    fn minimal_dfa(pattern: &str, anywhere: bool) -> Dfa {
+        let alpha = Alphabet::amino_acids();
+        let mut r = parse(pattern, &alpha).unwrap();
+        if anywhere {
+            r = r.search_anywhere(alpha.len());
+        }
+        let nfa = Nfa::from_regex(&r, &alpha, None).unwrap();
+        minimize(&determinize(&nfa, None).unwrap())
+    }
+
+    #[test]
+    fn fig1_pattern_minimizes_to_three_states() {
+        // Σ*RGΣ* needs exactly 3 states (Fig. 1 of the paper).
+        let dfa = minimal_dfa("RG", true);
+        assert_eq!(dfa.num_states(), 3);
+        assert!(dfa.accepts_bytes(b"AARGA").unwrap());
+        assert!(!dfa.accepts_bytes(b"GR").unwrap());
+    }
+
+    #[test]
+    fn minimization_preserves_language() {
+        let alpha = Alphabet::amino_acids();
+        for pattern in ["RG", "R{2,4}G", "(R|G)*A", "[^A]{3}", "R+G+|GA"] {
+            let r = parse(pattern, &alpha).unwrap();
+            let nfa = Nfa::from_regex(&r, &alpha, None).unwrap();
+            let big = determinize(&nfa, None).unwrap();
+            let small = minimize(&big);
+            assert!(small.num_states() <= big.num_states());
+            for text in [
+                &b""[..],
+                b"R",
+                b"G",
+                b"A",
+                b"RG",
+                b"RRG",
+                b"RRRG",
+                b"RRRRG",
+                b"RRRRRG",
+                b"GA",
+                b"RGA",
+                b"CCC",
+                b"CCCC",
+                b"RGRGRG",
+            ] {
+                assert_eq!(
+                    big.accepts_bytes(text).unwrap(),
+                    small.accepts_bytes(text).unwrap(),
+                    "pattern {pattern:?} text {:?}",
+                    std::str::from_utf8(text).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn minimal_dfas_for_same_language_are_isomorphic() {
+        let a = minimal_dfa("RR*", false);
+        let b = minimal_dfa("R+", false);
+        assert!(a.isomorphic(&b));
+    }
+
+    #[test]
+    fn already_minimal_is_fixed_point() {
+        let dfa = minimal_dfa("RG", true);
+        let again = minimize(&dfa);
+        assert_eq!(dfa.num_states(), again.num_states());
+        assert!(dfa.isomorphic(&again));
+    }
+
+    #[test]
+    fn merges_redundant_states() {
+        let alpha = Alphabet::binary();
+        let mut b = DfaBuilder::new(alpha);
+        let q0 = b.add_state(false);
+        let a1 = b.add_state(true);
+        let a2 = b.add_state(true);
+        b.set_start(q0);
+        b.add_transition(q0, 0, a1);
+        b.add_transition(q0, 1, a2);
+        b.default_transition(a1, a1);
+        b.default_transition(a2, a2);
+        let dfa = b.build_strict().unwrap();
+        let min = minimize(&dfa);
+        assert_eq!(min.num_states(), 2);
+        assert!(min.accepts(&[0]));
+        assert!(min.accepts(&[1]));
+        assert!(!min.accepts(&[]));
+    }
+
+    #[test]
+    fn all_accepting_automaton() {
+        let alpha = Alphabet::binary();
+        let mut b = DfaBuilder::new(alpha);
+        let q0 = b.add_state(true);
+        let q1 = b.add_state(true);
+        b.set_start(q0);
+        b.default_transition(q0, q1);
+        b.default_transition(q1, q0);
+        let dfa = b.build_strict().unwrap();
+        let min = minimize(&dfa);
+        assert_eq!(min.num_states(), 1);
+        assert!(min.accepts(&[0, 1, 0]));
+    }
+
+    #[test]
+    fn single_state_automaton() {
+        let alpha = Alphabet::binary();
+        let mut b = DfaBuilder::new(alpha);
+        let q0 = b.add_state(false);
+        b.set_start(q0);
+        b.default_transition(q0, q0);
+        let dfa = b.build_strict().unwrap();
+        let min = minimize(&dfa);
+        assert_eq!(min.num_states(), 1);
+    }
+
+    #[test]
+    fn minimization_trims_unreachable() {
+        let alpha = Alphabet::binary();
+        let mut b = DfaBuilder::new(alpha);
+        let q0 = b.add_state(false);
+        let q1 = b.add_state(true);
+        let orphan = b.add_state(true);
+        b.set_start(q0);
+        b.default_transition(q0, q1);
+        b.default_transition(q1, q1);
+        b.default_transition(orphan, q0);
+        let dfa = b.build_strict().unwrap();
+        assert_eq!(minimize(&dfa).num_states(), 2);
+    }
+
+    #[test]
+    fn large_counter_automaton_minimizes_fast() {
+        // "contains a run of 12 R's": the subset DFA is larger, the
+        // minimal DFA has exactly 13 states.
+        let dfa = minimal_dfa("R{12}", true);
+        assert_eq!(dfa.num_states(), 13);
+    }
+
+    #[test]
+    fn random_dfas_minimize_to_language_equivalent() {
+        use crate::random::random_dfa;
+        let alpha = Alphabet::lowercase();
+        for seed in 0..5 {
+            let dfa = random_dfa(&alpha, 60, 0.3, seed);
+            let min = minimize(&dfa);
+            assert!(min.num_states() <= dfa.num_states());
+            // Spot-check language equality on random inputs.
+            use rand::prelude::*;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 999);
+            for _ in 0..100 {
+                let len = rng.random_range(0..40);
+                let input: Vec<u8> = (0..len).map(|_| rng.random_range(0..26) as u8).collect();
+                assert_eq!(dfa.accepts(&input), min.accepts(&input));
+            }
+        }
+    }
+}

@@ -1,0 +1,402 @@
+//! Non-deterministic finite automata and the Thompson construction.
+//!
+//! The NFA is the intermediate form between the regex AST and the dense
+//! [`Dfa`](crate::dfa::Dfa): [`Nfa::from_regex`] performs the classic
+//! Thompson construction (with bounded repetitions expanded by copying),
+//! and [`crate::subset`] determinizes the result.
+
+use crate::alphabet::{Alphabet, SymbolId, SymbolSet};
+use crate::error::AutomataError;
+use crate::regex::Regex;
+
+/// Identifier of an NFA state.
+pub type NfaStateId = u32;
+
+/// One NFA state: ε-successors plus symbol-set-labelled successors.
+#[derive(Debug, Clone, Default)]
+pub struct NfaState {
+    /// ε-transitions.
+    pub epsilon: Vec<NfaStateId>,
+    /// Labelled transitions; the label is a set of symbols (character
+    /// class), so one edge covers a whole class without fan-out.
+    pub edges: Vec<(SymbolSet, NfaStateId)>,
+}
+
+/// A non-deterministic finite automaton with ε-transitions and one start /
+/// one accept state (Thompson normal form).
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    alphabet: Alphabet,
+    states: Vec<NfaState>,
+    start: NfaStateId,
+    accept: NfaStateId,
+}
+
+impl Nfa {
+    /// Thompson construction from a regex AST.
+    ///
+    /// Bounded repetitions `r{min,max}` are expanded by copying `r`, so the
+    /// NFA size is linear in `min + max`. Pass a `state_budget` to guard
+    /// against adversarial bounds (`None` = unlimited).
+    pub fn from_regex(
+        regex: &Regex,
+        alphabet: &Alphabet,
+        state_budget: Option<usize>,
+    ) -> Result<Nfa, AutomataError> {
+        let mut b = ThompsonBuilder {
+            states: Vec::new(),
+            budget: state_budget,
+        };
+        let frag = b.compile(regex)?;
+        Ok(Nfa {
+            alphabet: alphabet.clone(),
+            states: b.states,
+            start: frag.start,
+            accept: frag.accept,
+        })
+    }
+
+    /// The alphabet.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Start state.
+    pub fn start(&self) -> NfaStateId {
+        self.start
+    }
+
+    /// Accept state (Thompson normal form has exactly one).
+    pub fn accept(&self) -> NfaStateId {
+        self.accept
+    }
+
+    /// Borrow a state.
+    pub fn state(&self, id: NfaStateId) -> &NfaState {
+        &self.states[id as usize]
+    }
+
+    /// ε-closure of a set of states, returned as a sorted, deduplicated id
+    /// vector (canonical set representation for the subset construction).
+    pub fn epsilon_closure(&self, seed: &[NfaStateId]) -> Vec<NfaStateId> {
+        let mut seen = vec![false; self.states.len()];
+        let mut stack: Vec<NfaStateId> = Vec::with_capacity(seed.len());
+        for &s in seed {
+            if !seen[s as usize] {
+                seen[s as usize] = true;
+                stack.push(s);
+            }
+        }
+        let mut out = stack.clone();
+        while let Some(s) = stack.pop() {
+            for &t in &self.states[s as usize].epsilon {
+                if !seen[t as usize] {
+                    seen[t as usize] = true;
+                    stack.push(t);
+                    out.push(t);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// All states reachable from `set` on `sym` (before ε-closure).
+    pub fn move_on(&self, set: &[NfaStateId], sym: SymbolId) -> Vec<NfaStateId> {
+        let mut out = Vec::new();
+        for &s in set {
+            for (label, t) in &self.states[s as usize].edges {
+                if label.contains(sym) {
+                    out.push(*t);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Direct NFA simulation (used as a reference oracle in tests).
+    pub fn accepts(&self, input: &[SymbolId]) -> bool {
+        let mut current = self.epsilon_closure(&[self.start]);
+        for &sym in input {
+            let moved = self.move_on(&current, sym);
+            current = self.epsilon_closure(&moved);
+            if current.is_empty() {
+                return false;
+            }
+        }
+        current.binary_search(&self.accept).is_ok()
+    }
+
+    /// Membership test over raw bytes.
+    pub fn accepts_bytes(&self, text: &[u8]) -> Result<bool, AutomataError> {
+        let syms = self.alphabet.encode_bytes(text)?;
+        Ok(self.accepts(&syms))
+    }
+}
+
+struct Fragment {
+    start: NfaStateId,
+    accept: NfaStateId,
+}
+
+struct ThompsonBuilder {
+    states: Vec<NfaState>,
+    budget: Option<usize>,
+}
+
+impl ThompsonBuilder {
+    fn add_state(&mut self) -> Result<NfaStateId, AutomataError> {
+        if let Some(budget) = self.budget {
+            if self.states.len() >= budget {
+                return Err(AutomataError::StateBudgetExceeded { budget });
+            }
+        }
+        self.states.push(NfaState::default());
+        Ok(self.states.len() as NfaStateId - 1)
+    }
+
+    fn eps(&mut self, from: NfaStateId, to: NfaStateId) {
+        self.states[from as usize].epsilon.push(to);
+    }
+
+    fn edge(&mut self, from: NfaStateId, label: SymbolSet, to: NfaStateId) {
+        self.states[from as usize].edges.push((label, to));
+    }
+
+    fn compile(&mut self, regex: &Regex) -> Result<Fragment, AutomataError> {
+        match regex {
+            Regex::Empty => {
+                // Two disconnected states: nothing is accepted.
+                let start = self.add_state()?;
+                let accept = self.add_state()?;
+                Ok(Fragment { start, accept })
+            }
+            Regex::Epsilon => {
+                let start = self.add_state()?;
+                let accept = self.add_state()?;
+                self.eps(start, accept);
+                Ok(Fragment { start, accept })
+            }
+            Regex::Class(set) => {
+                let start = self.add_state()?;
+                let accept = self.add_state()?;
+                self.edge(start, *set, accept);
+                Ok(Fragment { start, accept })
+            }
+            Regex::Concat(parts) => {
+                debug_assert!(!parts.is_empty());
+                let mut iter = parts.iter();
+                let first = self.compile(iter.next().unwrap())?;
+                let mut tail = first.accept;
+                for p in iter {
+                    let frag = self.compile(p)?;
+                    self.eps(tail, frag.start);
+                    tail = frag.accept;
+                }
+                Ok(Fragment {
+                    start: first.start,
+                    accept: tail,
+                })
+            }
+            Regex::Alt(parts) => {
+                let start = self.add_state()?;
+                let accept = self.add_state()?;
+                for p in parts {
+                    let frag = self.compile(p)?;
+                    self.eps(start, frag.start);
+                    self.eps(frag.accept, accept);
+                }
+                Ok(Fragment { start, accept })
+            }
+            Regex::Star(inner) => {
+                let start = self.add_state()?;
+                let accept = self.add_state()?;
+                let frag = self.compile(inner)?;
+                self.eps(start, frag.start);
+                self.eps(start, accept);
+                self.eps(frag.accept, frag.start);
+                self.eps(frag.accept, accept);
+                Ok(Fragment { start, accept })
+            }
+            Regex::Repeat { inner, min, max } => self.compile_repeat(inner, *min, *max),
+        }
+    }
+
+    /// Expand `r{min,max}` by copying: `min` mandatory copies followed by
+    /// either `max - min` optional copies or a trailing star.
+    fn compile_repeat(
+        &mut self,
+        inner: &Regex,
+        min: u32,
+        max: Option<u32>,
+    ) -> Result<Fragment, AutomataError> {
+        let start = self.add_state()?;
+        let mut tail = start;
+        for _ in 0..min {
+            let frag = self.compile(inner)?;
+            self.eps(tail, frag.start);
+            tail = frag.accept;
+        }
+        match max {
+            None => {
+                // Trailing star.
+                let star = self.compile(&Regex::Star(Box::new(inner.clone())))?;
+                self.eps(tail, star.start);
+                Ok(Fragment {
+                    start,
+                    accept: star.accept,
+                })
+            }
+            Some(max) => {
+                let accept = self.add_state()?;
+                self.eps(tail, accept);
+                for _ in min..max {
+                    let frag = self.compile(inner)?;
+                    self.eps(tail, frag.start);
+                    tail = frag.accept;
+                    self.eps(tail, accept);
+                }
+                Ok(Fragment { start, accept })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::parse;
+
+    fn nfa_for(pattern: &str) -> Nfa {
+        let alpha = Alphabet::amino_acids();
+        let r = parse(pattern, &alpha).unwrap();
+        Nfa::from_regex(&r, &alpha, None).unwrap()
+    }
+
+    fn accepts(nfa: &Nfa, text: &[u8]) -> bool {
+        nfa.accepts_bytes(text).unwrap()
+    }
+
+    #[test]
+    fn literal_concat() {
+        let nfa = nfa_for("RG");
+        assert!(accepts(&nfa, b"RG"));
+        assert!(!accepts(&nfa, b"R"));
+        assert!(!accepts(&nfa, b"RGA"));
+        assert!(!accepts(&nfa, b""));
+    }
+
+    #[test]
+    fn alternation() {
+        let nfa = nfa_for("R|G");
+        assert!(accepts(&nfa, b"R"));
+        assert!(accepts(&nfa, b"G"));
+        assert!(!accepts(&nfa, b"A"));
+        assert!(!accepts(&nfa, b"RG"));
+    }
+
+    #[test]
+    fn star() {
+        let nfa = nfa_for("R*");
+        assert!(accepts(&nfa, b""));
+        assert!(accepts(&nfa, b"R"));
+        assert!(accepts(&nfa, b"RRRR"));
+        assert!(!accepts(&nfa, b"RA"));
+    }
+
+    #[test]
+    fn plus_and_opt() {
+        let nfa = nfa_for("R+G?");
+        assert!(accepts(&nfa, b"R"));
+        assert!(accepts(&nfa, b"RRG"));
+        assert!(!accepts(&nfa, b""));
+        assert!(!accepts(&nfa, b"G"));
+    }
+
+    #[test]
+    fn bounded_repeat() {
+        let nfa = nfa_for("R{2,4}");
+        assert!(!accepts(&nfa, b"R"));
+        assert!(accepts(&nfa, b"RR"));
+        assert!(accepts(&nfa, b"RRR"));
+        assert!(accepts(&nfa, b"RRRR"));
+        assert!(!accepts(&nfa, b"RRRRR"));
+    }
+
+    #[test]
+    fn exact_repeat() {
+        let nfa = nfa_for("[RG]{3}");
+        assert!(accepts(&nfa, b"RGR"));
+        assert!(accepts(&nfa, b"GGG"));
+        assert!(!accepts(&nfa, b"RG"));
+        assert!(!accepts(&nfa, b"RGRG"));
+        assert!(!accepts(&nfa, b"RAG"));
+    }
+
+    #[test]
+    fn unbounded_repeat() {
+        let nfa = nfa_for("R{2,}");
+        assert!(!accepts(&nfa, b"R"));
+        assert!(accepts(&nfa, b"RR"));
+        assert!(accepts(&nfa, b"RRRRRRRR"));
+    }
+
+    #[test]
+    fn zero_min_repeat_is_nullable() {
+        let nfa = nfa_for("R{0,2}");
+        assert!(accepts(&nfa, b""));
+        assert!(accepts(&nfa, b"RR"));
+        assert!(!accepts(&nfa, b"RRR"));
+    }
+
+    #[test]
+    fn search_anywhere_nfa() {
+        let alpha = Alphabet::amino_acids();
+        let r = parse("RG", &alpha).unwrap().search_anywhere(alpha.len());
+        let nfa = Nfa::from_regex(&r, &alpha, None).unwrap();
+        assert!(nfa.accepts_bytes(b"AARGA").unwrap());
+        assert!(nfa.accepts_bytes(b"RG").unwrap());
+        assert!(!nfa.accepts_bytes(b"GR").unwrap());
+    }
+
+    #[test]
+    fn empty_language() {
+        let alpha = Alphabet::amino_acids();
+        let nfa = Nfa::from_regex(&Regex::Empty, &alpha, None).unwrap();
+        assert!(!nfa.accepts_bytes(b"").unwrap());
+        assert!(!nfa.accepts_bytes(b"R").unwrap());
+    }
+
+    #[test]
+    fn epsilon_language() {
+        let alpha = Alphabet::amino_acids();
+        let nfa = Nfa::from_regex(&Regex::Epsilon, &alpha, None).unwrap();
+        assert!(nfa.accepts_bytes(b"").unwrap());
+        assert!(!nfa.accepts_bytes(b"R").unwrap());
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let alpha = Alphabet::amino_acids();
+        let r = parse("R{1000}", &alpha).unwrap();
+        let err = Nfa::from_regex(&r, &alpha, Some(100)).unwrap_err();
+        assert!(matches!(err, AutomataError::StateBudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn epsilon_closure_is_sorted_and_deduped() {
+        let nfa = nfa_for("(R|G)*");
+        let closure = nfa.epsilon_closure(&[nfa.start()]);
+        let mut sorted = closure.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(closure, sorted);
+    }
+}

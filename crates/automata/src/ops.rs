@@ -1,0 +1,217 @@
+//! Boolean operations on DFAs.
+//!
+//! Standard product/complement constructions. These make multi-pattern
+//! workloads expressible as a *single* DFA (union of signatures), which
+//! then gets one SFA — the deployment mode intrusion-prevention systems
+//! use for signature sets (§V's related-work setting).
+
+use crate::alphabet::SymbolId;
+use crate::dfa::{Dfa, StateId};
+use crate::error::AutomataError;
+use std::collections::HashMap;
+
+/// Complement: accepts exactly the strings `dfa` rejects. (Requires the
+/// complete transition function every [`Dfa`] maintains.)
+pub fn complement(dfa: &Dfa) -> Dfa {
+    let accepting: Vec<bool> = (0..dfa.num_states())
+        .map(|q| !dfa.is_accepting(q))
+        .collect();
+    Dfa::from_parts(
+        dfa.alphabet().clone(),
+        dfa.num_states(),
+        dfa.start(),
+        accepting,
+        dfa.table().to_vec(),
+    )
+    .expect("complement preserves well-formedness")
+}
+
+/// How the product construction combines acceptance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProductMode {
+    /// Accept when *both* accept (intersection).
+    Intersection,
+    /// Accept when *either* accepts (union).
+    Union,
+    /// Accept when the first accepts and the second does not (difference).
+    Difference,
+}
+
+/// Product construction over the reachable state pairs.
+///
+/// Both automata must share the same alphabet coding. The result is
+/// trimmed but not minimized (run [`crate::minimize::minimize`] if the
+/// canonical automaton is wanted).
+pub fn product(a: &Dfa, b: &Dfa, mode: ProductMode) -> Result<Dfa, AutomataError> {
+    if a.alphabet() != b.alphabet() {
+        return Err(AutomataError::AlphabetMismatch);
+    }
+    let k = a.num_symbols();
+    let mut index: HashMap<(StateId, StateId), StateId> = HashMap::new();
+    let mut pairs: Vec<(StateId, StateId)> = Vec::new();
+    let mut table: Vec<StateId> = Vec::new();
+    let mut accepting: Vec<bool> = Vec::new();
+    let mut worklist: Vec<StateId> = Vec::new();
+
+    let accepts = |qa: StateId, qb: StateId| match mode {
+        ProductMode::Intersection => a.is_accepting(qa) && b.is_accepting(qb),
+        ProductMode::Union => a.is_accepting(qa) || b.is_accepting(qb),
+        ProductMode::Difference => a.is_accepting(qa) && !b.is_accepting(qb),
+    };
+
+    let mut intern = |pair: (StateId, StateId),
+                      pairs: &mut Vec<(StateId, StateId)>,
+                      accepting: &mut Vec<bool>,
+                      table: &mut Vec<StateId>,
+                      worklist: &mut Vec<StateId>|
+     -> StateId {
+        if let Some(&id) = index.get(&pair) {
+            return id;
+        }
+        let id = pairs.len() as StateId;
+        index.insert(pair, id);
+        pairs.push(pair);
+        accepting.push(accepts(pair.0, pair.1));
+        table.extend(std::iter::repeat_n(u32::MAX, k));
+        worklist.push(id);
+        id
+    };
+
+    let start = intern(
+        (a.start(), b.start()),
+        &mut pairs,
+        &mut accepting,
+        &mut table,
+        &mut worklist,
+    );
+    while let Some(id) = worklist.pop() {
+        let (qa, qb) = pairs[id as usize];
+        for sym in 0..k {
+            let succ = intern(
+                (a.next(qa, sym as SymbolId), b.next(qb, sym as SymbolId)),
+                &mut pairs,
+                &mut accepting,
+                &mut table,
+                &mut worklist,
+            );
+            table[id as usize * k + sym] = succ;
+        }
+    }
+
+    Dfa::from_parts(
+        a.alphabet().clone(),
+        pairs.len() as u32,
+        start,
+        accepting,
+        table,
+    )
+}
+
+/// Union of many DFAs (left fold of [`product`] with
+/// [`ProductMode::Union`]): one automaton matching *any* of the patterns.
+pub fn union_all(dfas: &[Dfa]) -> Result<Dfa, AutomataError> {
+    let mut iter = dfas.iter();
+    let first = iter.next().ok_or(AutomataError::EmptyAutomaton)?;
+    let mut acc = first.clone();
+    for next in iter {
+        acc = product(&acc, next, ProductMode::Union)?;
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::minimize::minimize;
+    use crate::pipeline::Pipeline;
+
+    fn dfa(pattern: &str) -> Dfa {
+        Pipeline::search(Alphabet::amino_acids())
+            .compile_str(pattern)
+            .unwrap()
+    }
+
+    #[test]
+    fn complement_flips_acceptance() {
+        let d = dfa("RG");
+        let c = complement(&d);
+        for text in [&b"AARGA"[..], b"GR", b"", b"RG"] {
+            assert_eq!(
+                d.accepts_bytes(text).unwrap(),
+                !c.accepts_bytes(text).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn double_complement_is_identity_language() {
+        let d = dfa("R[GA]N");
+        let cc = complement(&complement(&d));
+        assert!(minimize(&d).isomorphic(&minimize(&cc)));
+    }
+
+    #[test]
+    fn intersection_semantics() {
+        let a = dfa("RG");
+        let b = dfa("GD");
+        let both = product(&a, &b, ProductMode::Intersection).unwrap();
+        assert!(both.accepts_bytes(b"RGDA").unwrap()); // has RG and GD
+        assert!(!both.accepts_bytes(b"RGAA").unwrap()); // only RG
+        assert!(!both.accepts_bytes(b"AGDA").unwrap()); // only GD
+        assert!(!both.accepts_bytes(b"AAAA").unwrap());
+    }
+
+    #[test]
+    fn union_semantics() {
+        let a = dfa("RG");
+        let b = dfa("GD");
+        let either = product(&a, &b, ProductMode::Union).unwrap();
+        assert!(either.accepts_bytes(b"RGAA").unwrap());
+        assert!(either.accepts_bytes(b"AGDA").unwrap());
+        assert!(either.accepts_bytes(b"RGDA").unwrap());
+        assert!(!either.accepts_bytes(b"AAAA").unwrap());
+    }
+
+    #[test]
+    fn difference_semantics() {
+        let a = dfa("RG");
+        let b = dfa("RGD");
+        let diff = product(&a, &b, ProductMode::Difference).unwrap();
+        assert!(diff.accepts_bytes(b"RGAA").unwrap()); // RG but not RGD
+        assert!(!diff.accepts_bytes(b"RGDA").unwrap()); // both
+        assert!(!diff.accepts_bytes(b"AAAA").unwrap()); // neither
+    }
+
+    #[test]
+    fn union_all_matches_any_signature() {
+        let dfas: Vec<Dfa> = ["RG", "GD", "WWW"].iter().map(|p| dfa(p)).collect();
+        let all = union_all(&dfas).unwrap();
+        assert!(all.accepts_bytes(b"AARG").unwrap());
+        assert!(all.accepts_bytes(b"AGDA").unwrap());
+        assert!(all.accepts_bytes(b"AWWWA").unwrap());
+        assert!(!all.accepts_bytes(b"AAAA").unwrap());
+        // Equivalent to the single alternation regex.
+        let alt = dfa("RG|GD|WWW");
+        assert!(minimize(&all).isomorphic(&minimize(&alt)));
+    }
+
+    #[test]
+    fn mismatched_alphabets_rejected() {
+        let a = dfa("RG");
+        let b = Pipeline::search(Alphabet::binary())
+            .compile_str("01")
+            .unwrap();
+        assert!(product(&a, &b, ProductMode::Union).is_err());
+    }
+
+    #[test]
+    fn product_result_is_complete_and_trim_safe() {
+        let a = dfa("RG");
+        let b = dfa("GD");
+        let p = product(&a, &b, ProductMode::Union).unwrap();
+        // Completeness: every transition valid (checked by from_parts),
+        // reachability: all states reachable by construction.
+        assert!(p.reachable_states().iter().all(|&r| r));
+    }
+}

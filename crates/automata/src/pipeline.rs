@@ -1,0 +1,179 @@
+//! High-level pattern → minimal DFA pipeline.
+//!
+//! [`Pipeline`] bundles the full compilation chain (parse → Thompson NFA →
+//! subset construction → Hopcroft minimization) behind one call, replacing
+//! the Grail+ toolchain the paper shells out to.
+
+use crate::alphabet::Alphabet;
+use crate::dfa::Dfa;
+use crate::error::AutomataError;
+use crate::minimize::minimize;
+use crate::nfa::Nfa;
+use crate::prosite::PrositePattern;
+use crate::regex::{self, Regex};
+use crate::subset::determinize;
+
+/// Pattern-compilation pipeline configuration.
+#[derive(Clone, Debug)]
+pub struct Pipeline {
+    alphabet: Alphabet,
+    /// Wrap patterns in `Σ* r Σ*` so they match anywhere (the paper's
+    /// catenation, applied to all evaluation FAs).
+    search_anywhere: bool,
+    /// Wrap patterns in `Σ* r` (match-end acceptance for counting).
+    scanner: bool,
+    /// Run Hopcroft minimization on the result.
+    minimize: bool,
+    /// Optional NFA/DFA state budgets to bound pathological inputs.
+    nfa_budget: Option<usize>,
+    dfa_budget: Option<usize>,
+}
+
+impl Pipeline {
+    /// Pipeline producing *search* automata (`Σ* r Σ*`, minimized) — the
+    /// configuration used throughout the paper's evaluation.
+    pub fn search(alphabet: Alphabet) -> Self {
+        Pipeline {
+            alphabet,
+            search_anywhere: true,
+            scanner: false,
+            minimize: true,
+            nfa_budget: None,
+            dfa_budget: None,
+        }
+    }
+
+    /// Pipeline producing exact-match automata (no catenation), minimized.
+    pub fn exact(alphabet: Alphabet) -> Self {
+        Pipeline {
+            search_anywhere: false,
+            ..Self::search(alphabet)
+        }
+    }
+
+    /// Pipeline producing *scanner* automata (`Σ* r`, minimized): the DFA
+    /// accepts exactly at positions where a match ends, which is what the
+    /// occurrence-counting matcher needs.
+    pub fn scanner(alphabet: Alphabet) -> Self {
+        Pipeline {
+            search_anywhere: false,
+            scanner: true,
+            ..Self::search(alphabet)
+        }
+    }
+
+    /// Disable minimization (keeps the raw subset-construction DFA).
+    pub fn without_minimization(mut self) -> Self {
+        self.minimize = false;
+        self
+    }
+
+    /// Bound the Thompson NFA size.
+    pub fn nfa_budget(mut self, budget: usize) -> Self {
+        self.nfa_budget = Some(budget);
+        self
+    }
+
+    /// Bound the determinized DFA size.
+    pub fn dfa_budget(mut self, budget: usize) -> Self {
+        self.dfa_budget = Some(budget);
+        self
+    }
+
+    /// The alphabet this pipeline compiles over.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// Compile a regex string.
+    pub fn compile_str(&self, pattern: &str) -> Result<Dfa, AutomataError> {
+        let r = regex::parse(pattern, &self.alphabet)?;
+        self.compile_regex(r)
+    }
+
+    /// Compile a PROSITE pattern string. PROSITE semantics already include
+    /// the unanchored-side catenation, so `search_anywhere` is not applied
+    /// again.
+    pub fn compile_prosite(&self, pattern: &str) -> Result<Dfa, AutomataError> {
+        let p = PrositePattern::parse_with(pattern, &self.alphabet)?;
+        let r = p.compile(&self.alphabet);
+        self.lower(r)
+    }
+
+    /// Compile an already-parsed regex.
+    pub fn compile_regex(&self, mut r: Regex) -> Result<Dfa, AutomataError> {
+        if self.search_anywhere {
+            r = r.search_anywhere(self.alphabet.len());
+        } else if self.scanner {
+            r = r.search_prefix(self.alphabet.len());
+        }
+        self.lower(r)
+    }
+
+    fn lower(&self, r: Regex) -> Result<Dfa, AutomataError> {
+        let nfa = Nfa::from_regex(&r, &self.alphabet, self.nfa_budget)?;
+        let dfa = determinize(&nfa, self.dfa_budget)?;
+        Ok(if self.minimize { minimize(&dfa) } else { dfa })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn search_pipeline_builds_fig1_automaton() {
+        let dfa = Pipeline::search(Alphabet::amino_acids())
+            .compile_str("RG")
+            .unwrap();
+        assert_eq!(dfa.num_states(), 3);
+        assert!(dfa.accepts_bytes(b"AARGA").unwrap());
+        assert!(!dfa.accepts_bytes(b"GR").unwrap());
+    }
+
+    #[test]
+    fn exact_pipeline_requires_full_match() {
+        let dfa = Pipeline::exact(Alphabet::amino_acids())
+            .compile_str("RG")
+            .unwrap();
+        assert!(dfa.accepts_bytes(b"RG").unwrap());
+        assert!(!dfa.accepts_bytes(b"ARG").unwrap());
+    }
+
+    #[test]
+    fn prosite_pipeline() {
+        let dfa = Pipeline::search(Alphabet::amino_acids())
+            .compile_prosite("N-{P}-[ST]-{P}.")
+            .unwrap();
+        assert!(dfa.accepts_bytes(b"AANGSAAA").unwrap());
+        assert!(!dfa.accepts_bytes(b"NPSA").unwrap());
+    }
+
+    #[test]
+    fn unminimized_is_no_smaller() {
+        let pl = Pipeline::search(Alphabet::amino_acids());
+        let min = pl.compile_str("R{2,4}G").unwrap();
+        let raw = pl
+            .clone()
+            .without_minimization()
+            .compile_str("R{2,4}G")
+            .unwrap();
+        assert!(raw.num_states() >= min.num_states());
+        assert!(min.isomorphic(&minimize_ref(&raw)));
+    }
+
+    fn minimize_ref(dfa: &Dfa) -> Dfa {
+        crate::minimize::minimize(dfa)
+    }
+
+    #[test]
+    fn budgets_propagate() {
+        let pl = Pipeline::search(Alphabet::amino_acids()).dfa_budget(2);
+        assert!(matches!(
+            pl.compile_str("RGRG"),
+            Err(AutomataError::StateBudgetExceeded { .. })
+        ));
+        let pl = Pipeline::search(Alphabet::amino_acids()).nfa_budget(3);
+        assert!(pl.compile_str("RGRG").is_err());
+    }
+}

@@ -1,0 +1,146 @@
+//! Seeded synthetic automata for benchmarks.
+//!
+//! Two families, mirroring the paper's synthetic workload:
+//!
+//! * [`exact_string_dfa`] — the `rN` benchmark family. `r500` in the paper
+//!   is a synthetic pattern from the original SFA paper that does **not**
+//!   use the `Σ*RΣ*` catenation; its DFA recognizes one exact string, so
+//!   almost every run of the automaton falls into the error (sink) state.
+//!   That sink dominance is what makes `r500` SFA states compress at ~95×
+//!   (§III-C) and keeps its SFA small.
+//! * [`random_dfa`] — uniformly random complete DFAs, useful for fuzzing
+//!   the construction algorithms.
+
+use crate::alphabet::{Alphabet, SymbolId};
+use crate::dfa::{Dfa, DfaBuilder, StateId};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Build the DFA recognizing exactly one random string of length `len`
+/// over `alphabet`, seeded for reproducibility. The DFA has `len + 2`
+/// states: the `len + 1` spine states plus one sink.
+pub fn exact_string_dfa(alphabet: &Alphabet, len: usize, seed: u64) -> Dfa {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let string: Vec<SymbolId> = (0..len)
+        .map(|_| rng.random_range(0..alphabet.len()) as SymbolId)
+        .collect();
+    exact_string_dfa_for(alphabet, &string)
+}
+
+/// Build the DFA recognizing exactly `string` (dense symbols).
+pub fn exact_string_dfa_for(alphabet: &Alphabet, string: &[SymbolId]) -> Dfa {
+    let mut b = DfaBuilder::new(alphabet.clone());
+    let len = string.len();
+    // Spine states 0..=len; state len accepts.
+    for i in 0..=len {
+        b.add_state(i == len);
+    }
+    let sink = b.add_state(false);
+    b.set_start(0);
+    for (i, &sym) in string.iter().enumerate() {
+        b.default_transition(i as StateId, sink);
+        b.add_transition(i as StateId, sym, (i + 1) as StateId);
+    }
+    b.default_transition(len as StateId, sink);
+    b.default_transition(sink, sink);
+    b.build_strict().expect("spine DFA is complete")
+}
+
+/// The paper's `r500` benchmark: an exact random 500-symbol string over the
+/// amino-acid alphabet (502 DFA states), fixed seed.
+pub fn r500() -> Dfa {
+    rn(500)
+}
+
+/// The `rN` family with the canonical seed.
+pub fn rn(n: usize) -> Dfa {
+    exact_string_dfa(&Alphabet::amino_acids(), n, 0x5FA5_EED0 + n as u64)
+}
+
+/// A uniformly random complete DFA: every transition goes to a uniform
+/// random state; each state is accepting with probability `accept_prob`.
+/// State 0 is the start state. At least one state is made accepting so the
+/// automaton is never trivially empty.
+pub fn random_dfa(alphabet: &Alphabet, num_states: u32, accept_prob: f64, seed: u64) -> Dfa {
+    assert!(num_states > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let k = alphabet.len();
+    let table: Vec<StateId> = (0..num_states as usize * k)
+        .map(|_| rng.random_range(0..num_states))
+        .collect();
+    let mut accepting: Vec<bool> = (0..num_states)
+        .map(|_| rng.random_bool(accept_prob))
+        .collect();
+    if !accepting.iter().any(|&a| a) {
+        let idx = rng.random_range(0..num_states) as usize;
+        accepting[idx] = true;
+    }
+    Dfa::from_parts(alphabet.clone(), num_states, 0, accepting, table)
+        .expect("random DFA is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_string_dfa_accepts_only_its_string() {
+        let alpha = Alphabet::amino_acids();
+        let string = alpha.encode_bytes(b"MKVL").unwrap();
+        let dfa = exact_string_dfa_for(&alpha, &string);
+        assert_eq!(dfa.num_states(), 6); // 5 spine + sink
+        assert!(dfa.accepts(&string));
+        assert!(!dfa.accepts(&string[..3]));
+        let mut longer = string.clone();
+        longer.push(0);
+        assert!(!dfa.accepts(&longer));
+        let mut wrong = string.clone();
+        wrong[2] = (wrong[2] + 1) % 20;
+        assert!(!dfa.accepts(&wrong));
+    }
+
+    #[test]
+    fn exact_string_dfa_has_one_sink() {
+        let dfa = rn(50);
+        assert_eq!(dfa.num_states(), 52);
+        assert_eq!(dfa.sink_states().len(), 1);
+    }
+
+    #[test]
+    fn rn_is_deterministic() {
+        let a = rn(100);
+        let b = rn(100);
+        assert!(a.isomorphic(&b));
+    }
+
+    #[test]
+    fn r500_shape_matches_paper() {
+        let dfa = r500();
+        assert_eq!(dfa.num_states(), 502);
+        assert_eq!(dfa.num_symbols(), 20);
+        assert_eq!(dfa.sink_states().len(), 1);
+        assert_eq!(dfa.accepting_states().len(), 1);
+    }
+
+    #[test]
+    fn random_dfa_is_complete_and_seeded() {
+        let alpha = Alphabet::lowercase();
+        let a = random_dfa(&alpha, 40, 0.2, 7);
+        let b = random_dfa(&alpha, 40, 0.2, 7);
+        let c = random_dfa(&alpha, 40, 0.2, 8);
+        assert!(a.isomorphic(&b));
+        // Different seeds virtually never produce isomorphic automata of
+        // this size; treat a collision as a test failure worth investigating.
+        assert!(!a.isomorphic(&c));
+        assert!(!a.accepting_states().is_empty());
+    }
+
+    #[test]
+    fn random_dfa_never_trivially_empty() {
+        let alpha = Alphabet::binary();
+        for seed in 0..20 {
+            let dfa = random_dfa(&alpha, 5, 0.0, seed);
+            assert_eq!(dfa.accepting_states().len(), 1);
+        }
+    }
+}

@@ -1,0 +1,536 @@
+//! Regular-expression AST and parser.
+//!
+//! Patterns are parsed against a concrete [`Alphabet`]: every literal must
+//! be a member symbol and character classes are represented as dense
+//! [`SymbolSet`]s, so downstream automata never deal with raw bytes.
+//!
+//! Supported syntax: literals, `.` (any symbol), `[abc]`, `[a-z]`, `[^...]`,
+//! alternation `|`, grouping `(...)`, and the quantifiers `*`, `+`, `?`,
+//! `{n}`, `{n,}`, `{n,m}`. `\` escapes the following character.
+
+use crate::alphabet::{Alphabet, SymbolSet};
+use crate::error::AutomataError;
+
+/// A regular expression over dense symbols.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Regex {
+    /// The empty language ∅.
+    Empty,
+    /// The empty string ε.
+    Epsilon,
+    /// One symbol drawn from a set (a literal is a singleton set).
+    Class(SymbolSet),
+    /// Concatenation r₁r₂…rₙ.
+    Concat(Vec<Regex>),
+    /// Alternation r₁|r₂|…|rₙ.
+    Alt(Vec<Regex>),
+    /// Kleene star r*.
+    Star(Box<Regex>),
+    /// Bounded/unbounded repetition r{min,max} (max `None` = unbounded).
+    Repeat {
+        inner: Box<Regex>,
+        min: u32,
+        max: Option<u32>,
+    },
+}
+
+impl Regex {
+    /// `r+` desugars to `r{1,}`.
+    pub fn plus(inner: Regex) -> Regex {
+        Regex::Repeat {
+            inner: Box::new(inner),
+            min: 1,
+            max: None,
+        }
+    }
+
+    /// `r?` desugars to `r{0,1}`.
+    pub fn opt(inner: Regex) -> Regex {
+        Regex::Repeat {
+            inner: Box::new(inner),
+            min: 0,
+            max: Some(1),
+        }
+    }
+
+    /// A single literal symbol.
+    pub fn literal(sym: u8) -> Regex {
+        Regex::Class(SymbolSet::singleton(sym))
+    }
+
+    /// The `Σ` wildcard for an alphabet of `k` symbols.
+    pub fn any(k: usize) -> Regex {
+        Regex::Class(SymbolSet::all(k))
+    }
+
+    /// Concatenate, flattening nested concatenations and dropping ε.
+    pub fn concat(parts: Vec<Regex>) -> Regex {
+        let mut out = Vec::with_capacity(parts.len());
+        for p in parts {
+            match p {
+                Regex::Epsilon => {}
+                Regex::Empty => return Regex::Empty,
+                Regex::Concat(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Regex::Epsilon,
+            1 => out.pop().unwrap(),
+            _ => Regex::Concat(out),
+        }
+    }
+
+    /// Alternate, flattening nested alternations and dropping ∅.
+    pub fn alt(parts: Vec<Regex>) -> Regex {
+        let mut out = Vec::with_capacity(parts.len());
+        for p in parts {
+            match p {
+                Regex::Empty => {}
+                Regex::Alt(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Regex::Empty,
+            1 => out.pop().unwrap(),
+            _ => Regex::Alt(out),
+        }
+    }
+
+    /// Wrap this expression so it matches *anywhere* in the input:
+    /// `Σ* r Σ*` — the catenation the paper applies to all pattern FAs
+    /// (§I, "pattern-matching at any position in the input").
+    pub fn search_anywhere(self, alphabet_len: usize) -> Regex {
+        Regex::concat(vec![
+            Regex::Star(Box::new(Regex::any(alphabet_len))),
+            self,
+            Regex::Star(Box::new(Regex::any(alphabet_len))),
+        ])
+    }
+
+    /// Wrap this expression as `Σ* r` (prefix catenation only): the DFA
+    /// then accepts exactly at the positions where a match **ends**, so
+    /// counting accepting positions counts match occurrences — the form
+    /// [`crate::pipeline::Pipeline::scanner`] and the match-counting
+    /// matcher use.
+    pub fn search_prefix(self, alphabet_len: usize) -> Regex {
+        Regex::concat(vec![Regex::Star(Box::new(Regex::any(alphabet_len))), self])
+    }
+
+    /// Can this expression match the empty string?
+    pub fn nullable(&self) -> bool {
+        match self {
+            Regex::Empty | Regex::Class(_) => false,
+            Regex::Epsilon => true,
+            Regex::Concat(parts) => parts.iter().all(Regex::nullable),
+            Regex::Alt(parts) => parts.iter().any(Regex::nullable),
+            Regex::Star(_) => true,
+            Regex::Repeat { inner, min, .. } => *min == 0 || inner.nullable(),
+        }
+    }
+
+    /// Number of AST nodes (used by tests and workload statistics).
+    pub fn size(&self) -> usize {
+        match self {
+            Regex::Empty | Regex::Epsilon | Regex::Class(_) => 1,
+            Regex::Concat(parts) | Regex::Alt(parts) => {
+                1 + parts.iter().map(Regex::size).sum::<usize>()
+            }
+            Regex::Star(inner) => 1 + inner.size(),
+            Regex::Repeat { inner, .. } => 1 + inner.size(),
+        }
+    }
+}
+
+/// Parse `pattern` as a regular expression over `alphabet`.
+pub fn parse(pattern: &str, alphabet: &Alphabet) -> Result<Regex, AutomataError> {
+    let mut p = Parser {
+        bytes: pattern.as_bytes(),
+        pos: 0,
+        alphabet,
+    };
+    let r = p.parse_alt()?;
+    if p.pos != p.bytes.len() {
+        return Err(AutomataError::RegexSyntax {
+            pos: p.pos,
+            msg: format!("unexpected character {:?}", p.bytes[p.pos] as char),
+        });
+    }
+    Ok(r)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    alphabet: &'a Alphabet,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn err(&self, msg: impl Into<String>) -> AutomataError {
+        AutomataError::RegexSyntax {
+            pos: self.pos,
+            msg: msg.into(),
+        }
+    }
+
+    fn parse_alt(&mut self) -> Result<Regex, AutomataError> {
+        let mut parts = vec![self.parse_concat()?];
+        while self.peek() == Some(b'|') {
+            self.bump();
+            parts.push(self.parse_concat()?);
+        }
+        Ok(Regex::alt(parts))
+    }
+
+    fn parse_concat(&mut self) -> Result<Regex, AutomataError> {
+        let mut parts = Vec::new();
+        while let Some(b) = self.peek() {
+            if b == b'|' || b == b')' {
+                break;
+            }
+            parts.push(self.parse_repeat()?);
+        }
+        Ok(Regex::concat(parts))
+    }
+
+    fn parse_repeat(&mut self) -> Result<Regex, AutomataError> {
+        let mut atom = self.parse_atom()?;
+        loop {
+            match self.peek() {
+                Some(b'*') => {
+                    self.bump();
+                    atom = Regex::Star(Box::new(atom));
+                }
+                Some(b'+') => {
+                    self.bump();
+                    atom = Regex::plus(atom);
+                }
+                Some(b'?') => {
+                    self.bump();
+                    atom = Regex::opt(atom);
+                }
+                Some(b'{') => {
+                    self.bump();
+                    let (min, max) = self.parse_bounds()?;
+                    if let Some(m) = max {
+                        if m < min {
+                            return Err(AutomataError::BadRepetition { min, max: m });
+                        }
+                    }
+                    atom = Regex::Repeat {
+                        inner: Box::new(atom),
+                        min,
+                        max,
+                    };
+                }
+                _ => break,
+            }
+        }
+        Ok(atom)
+    }
+
+    fn parse_bounds(&mut self) -> Result<(u32, Option<u32>), AutomataError> {
+        let min = self.parse_number()?;
+        match self.bump() {
+            Some(b'}') => Ok((min, Some(min))),
+            Some(b',') => {
+                if self.peek() == Some(b'}') {
+                    self.bump();
+                    Ok((min, None))
+                } else {
+                    let max = self.parse_number()?;
+                    match self.bump() {
+                        Some(b'}') => Ok((min, Some(max))),
+                        _ => Err(self.err("expected '}' after repetition bounds")),
+                    }
+                }
+            }
+            _ => Err(self.err("expected '}' or ',' in repetition")),
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<u32, AutomataError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.bump();
+        }
+        if self.pos == start {
+            return Err(self.err("expected a number"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .unwrap()
+            .parse::<u32>()
+            .map_err(|_| self.err("repetition bound too large"))
+    }
+
+    fn parse_atom(&mut self) -> Result<Regex, AutomataError> {
+        match self.peek() {
+            None => Err(self.err("unexpected end of pattern")),
+            Some(b'(') => {
+                self.bump();
+                let inner = self.parse_alt()?;
+                if self.bump() != Some(b')') {
+                    return Err(self.err("unbalanced parenthesis"));
+                }
+                Ok(inner)
+            }
+            Some(b'[') => {
+                self.bump();
+                self.parse_class()
+            }
+            Some(b'.') => {
+                self.bump();
+                Ok(Regex::any(self.alphabet.len()))
+            }
+            Some(b'\\') => {
+                self.bump();
+                let lit = self
+                    .bump()
+                    .ok_or_else(|| self.err("dangling escape at end of pattern"))?;
+                let sym = self
+                    .alphabet
+                    .encode(lit)
+                    .ok_or(AutomataError::SymbolNotInAlphabet(lit as char))?;
+                Ok(Regex::literal(sym))
+            }
+            Some(b) if b"*+?{}()[]|".contains(&b) => {
+                Err(self.err(format!("unexpected metacharacter {:?}", b as char)))
+            }
+            Some(b) => {
+                self.bump();
+                let sym = self
+                    .alphabet
+                    .encode(b)
+                    .ok_or(AutomataError::SymbolNotInAlphabet(b as char))?;
+                Ok(Regex::literal(sym))
+            }
+        }
+    }
+
+    fn parse_class(&mut self) -> Result<Regex, AutomataError> {
+        let negated = if self.peek() == Some(b'^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut set = SymbolSet::EMPTY;
+        let mut first = true;
+        loop {
+            let b = self
+                .bump()
+                .ok_or_else(|| self.err("unterminated character class"))?;
+            if b == b']' && !first {
+                break;
+            }
+            first = false;
+            let lit = if b == b'\\' {
+                self.bump()
+                    .ok_or_else(|| self.err("dangling escape in class"))?
+            } else {
+                b
+            };
+            // Range `a-z`? Only when '-' is followed by a non-']' char.
+            if self.peek() == Some(b'-') && self.bytes.get(self.pos + 1) != Some(&b']') {
+                self.bump(); // '-'
+                let mut hi = self
+                    .bump()
+                    .ok_or_else(|| self.err("unterminated range in class"))?;
+                if hi == b'\\' {
+                    // The upper bound honours escapes too: `[a-\]]`.
+                    hi = self
+                        .bump()
+                        .ok_or_else(|| self.err("dangling escape in range"))?;
+                }
+                if hi < lit {
+                    return Err(
+                        self.err(format!("inverted range {:?}-{:?}", lit as char, hi as char))
+                    );
+                }
+                for c in lit..=hi {
+                    // Range members outside the alphabet are skipped: the
+                    // amino alphabet has gaps (no B, J, O, U, X, Z) and
+                    // PROSITE-style ranges must tolerate them.
+                    if let Some(sym) = self.alphabet.encode(c) {
+                        set.insert(sym);
+                    }
+                }
+            } else {
+                let sym = self
+                    .alphabet
+                    .encode(lit)
+                    .ok_or(AutomataError::SymbolNotInAlphabet(lit as char))?;
+                set.insert(sym);
+            }
+        }
+        let set = if negated {
+            set.complement(self.alphabet.len())
+        } else {
+            set
+        };
+        if set.is_empty() {
+            return Err(self.err("empty character class"));
+        }
+        Ok(Regex::Class(set))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn amino() -> Alphabet {
+        Alphabet::amino_acids()
+    }
+
+    #[test]
+    fn parses_literals_and_concat() {
+        let r = parse("RG", &amino()).unwrap();
+        assert_eq!(r.size(), 3); // concat node + 2 literals
+        assert!(!r.nullable());
+    }
+
+    #[test]
+    fn parses_alternation() {
+        let r = parse("R|G|A", &amino()).unwrap();
+        match r {
+            Regex::Alt(parts) => assert_eq!(parts.len(), 3),
+            other => panic!("expected Alt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_quantifiers() {
+        assert!(parse("R*", &amino()).unwrap().nullable());
+        assert!(!parse("R+", &amino()).unwrap().nullable());
+        assert!(parse("R?", &amino()).unwrap().nullable());
+        let r = parse("R{3}", &amino()).unwrap();
+        match r {
+            Regex::Repeat { min, max, .. } => {
+                assert_eq!((min, max), (3, Some(3)));
+            }
+            other => panic!("expected Repeat, got {other:?}"),
+        }
+        let r = parse("R{2,}", &amino()).unwrap();
+        match r {
+            Regex::Repeat { min, max, .. } => assert_eq!((min, max), (2, None)),
+            other => panic!("expected Repeat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_classes() {
+        let r = parse("[RG]", &amino()).unwrap();
+        match r {
+            Regex::Class(set) => assert_eq!(set.len(), 2),
+            other => panic!("expected Class, got {other:?}"),
+        }
+        let r = parse("[^RG]", &amino()).unwrap();
+        match r {
+            Regex::Class(set) => assert_eq!(set.len(), 18),
+            other => panic!("expected Class, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn class_ranges_skip_alphabet_gaps() {
+        // A-F over amino acids covers A, C, D, E, F (B is not an amino acid).
+        let r = parse("[A-F]", &amino()).unwrap();
+        match r {
+            Regex::Class(set) => assert_eq!(set.len(), 5),
+            other => panic!("expected Class, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dot_matches_alphabet() {
+        let r = parse(".", &amino()).unwrap();
+        match r {
+            Regex::Class(set) => assert_eq!(set.len(), 20),
+            other => panic!("expected Class, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_foreign_literal() {
+        assert!(matches!(
+            parse("RZ", &amino()),
+            Err(AutomataError::SymbolNotInAlphabet('Z'))
+        ));
+    }
+
+    #[test]
+    fn rejects_syntax_errors() {
+        assert!(parse("(RG", &amino()).is_err());
+        assert!(parse("RG)", &amino()).is_err());
+        assert!(parse("*R", &amino()).is_err());
+        assert!(parse("[", &amino()).is_err());
+        assert!(parse("R{3,1}", &amino()).is_err());
+        assert!(parse("R{", &amino()).is_err());
+    }
+
+    #[test]
+    fn escape_allows_metacharacters_in_byte_alphabets() {
+        let alpha = Alphabet::printable_ascii();
+        let r = parse(r"a\*b", &alpha).unwrap();
+        // concat of 3 literals
+        assert_eq!(r.size(), 4);
+    }
+
+    #[test]
+    fn smart_constructors_simplify() {
+        assert_eq!(
+            Regex::concat(vec![Regex::Epsilon, Regex::Epsilon]),
+            Regex::Epsilon
+        );
+        assert_eq!(Regex::alt(vec![]), Regex::Empty);
+        assert_eq!(
+            Regex::concat(vec![Regex::literal(0), Regex::Empty]),
+            Regex::Empty
+        );
+        // Nested concats flatten.
+        let r = Regex::concat(vec![
+            Regex::concat(vec![Regex::literal(0), Regex::literal(1)]),
+            Regex::literal(2),
+        ]);
+        match r {
+            Regex::Concat(parts) => assert_eq!(parts.len(), 3),
+            other => panic!("expected flattened Concat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn search_anywhere_is_nullable_only_if_inner_is() {
+        let r = parse("RG", &amino()).unwrap().search_anywhere(20);
+        assert!(!r.nullable());
+        let r = parse("R*", &amino()).unwrap().search_anywhere(20);
+        assert!(r.nullable());
+    }
+
+    #[test]
+    fn class_with_leading_bracket_member() {
+        // "[]" as first member: `]` right after `[` is a literal member.
+        let alpha = Alphabet::printable_ascii();
+        let r = parse("[]a]", &alpha).unwrap();
+        match r {
+            Regex::Class(set) => {
+                assert!(set.contains(alpha.encode(b']').unwrap()));
+                assert!(set.contains(alpha.encode(b'a').unwrap()));
+            }
+            other => panic!("expected Class, got {other:?}"),
+        }
+    }
+}

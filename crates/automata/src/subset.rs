@@ -1,0 +1,285 @@
+//! Subset construction: NFA → complete DFA.
+//!
+//! The SFA construction algorithm (crate `sfa-core`) is itself a close
+//! cousin of this algorithm — the paper notes the similarity explicitly
+//! (§I). This sequential version produces the *input* DFAs. The inner
+//! loop reuses stamped scratch buffers (no per-move allocation), which
+//! matters for the multi-thousand-state PROSITE automata.
+
+use crate::alphabet::SymbolId;
+use crate::dfa::{Dfa, StateId};
+use crate::error::AutomataError;
+use crate::nfa::{Nfa, NfaStateId};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Fx-style word-at-a-time hasher for subset keys: the default SipHash is
+/// a measurable cost when interning tens of thousands of multi-kilobyte
+/// subsets (HashDoS is not a concern for internally generated ids).
+#[derive(Default)]
+struct FxHasher {
+    hash: u64,
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            let w = u64::from_le_bytes(c.try_into().unwrap());
+            self.hash = (self.hash.rotate_left(5) ^ w).wrapping_mul(SEED);
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            let w = u64::from_le_bytes(buf);
+            self.hash = (self.hash.rotate_left(5) ^ w).wrapping_mul(SEED);
+        }
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+type FxBuild = BuildHasherDefault<FxHasher>;
+
+/// Determinize `nfa` into a complete [`Dfa`].
+///
+/// The resulting DFA always has a total transition function: NFA dead ends
+/// map to an explicit sink state. `state_budget` bounds the number of DFA
+/// states to guard against pathological blow-up (`None` = unlimited).
+pub fn determinize(nfa: &Nfa, state_budget: Option<usize>) -> Result<Dfa, AutomataError> {
+    let k = nfa.alphabet().len();
+    let nfa_n = nfa.num_states();
+    let mut index: HashMap<Vec<NfaStateId>, StateId, FxBuild> = HashMap::default();
+    let mut subsets: Vec<Vec<NfaStateId>> = Vec::new();
+    let mut table: Vec<StateId> = Vec::new();
+    let mut accepting: Vec<bool> = Vec::new();
+    let mut worklist: Vec<StateId> = Vec::new();
+
+    // Generation-stamped visited marks shared by move/closure, reused
+    // across all iterations. u64: a u32 generation would wrap after 2³²
+    // closure computations and silently corrupt the marks.
+    let mut stamp: Vec<u64> = vec![0; nfa_n];
+    let mut generation: u64 = 0;
+    let mut stack: Vec<NfaStateId> = Vec::new();
+    let mut scratch: Vec<NfaStateId> = Vec::new();
+
+    // ε-closure of `seed` into `scratch` (sorted canonical form).
+    let closure = |seed: &[NfaStateId],
+                   stamp: &mut Vec<u64>,
+                   generation: &mut u64,
+                   stack: &mut Vec<NfaStateId>,
+                   scratch: &mut Vec<NfaStateId>| {
+        *generation += 1;
+        let gen = *generation;
+        stack.clear();
+        scratch.clear();
+        for &s in seed {
+            if stamp[s as usize] != gen {
+                stamp[s as usize] = gen;
+                stack.push(s);
+                scratch.push(s);
+            }
+        }
+        while let Some(s) = stack.pop() {
+            for &t in &nfa.state(s).epsilon {
+                if stamp[t as usize] != gen {
+                    stamp[t as usize] = gen;
+                    stack.push(t);
+                    scratch.push(t);
+                }
+            }
+        }
+        scratch.sort_unstable();
+    };
+
+    let intern = |set: &[NfaStateId],
+                  index: &mut HashMap<Vec<NfaStateId>, StateId, FxBuild>,
+                  subsets: &mut Vec<Vec<NfaStateId>>,
+                  accepting: &mut Vec<bool>,
+                  table: &mut Vec<StateId>,
+                  worklist: &mut Vec<StateId>|
+     -> Result<StateId, AutomataError> {
+        if let Some(&id) = index.get(set) {
+            return Ok(id);
+        }
+        if let Some(budget) = state_budget {
+            if subsets.len() >= budget {
+                return Err(AutomataError::StateBudgetExceeded { budget });
+            }
+        }
+        let id = subsets.len() as StateId;
+        accepting.push(set.binary_search(&nfa.accept()).is_ok());
+        index.insert(set.to_vec(), id);
+        subsets.push(set.to_vec());
+        table.extend(std::iter::repeat_n(u32::MAX, k));
+        worklist.push(id);
+        Ok(id)
+    };
+
+    closure(
+        &[nfa.start()],
+        &mut stamp,
+        &mut generation,
+        &mut stack,
+        &mut scratch,
+    );
+    let start_set = scratch.clone();
+    let start = intern(
+        &start_set,
+        &mut index,
+        &mut subsets,
+        &mut accepting,
+        &mut table,
+        &mut worklist,
+    )?;
+
+    let mut moved: Vec<NfaStateId> = Vec::new();
+    while let Some(id) = worklist.pop() {
+        let set = subsets[id as usize].clone();
+        for sym in 0..k {
+            // move(set, sym) without allocation.
+            generation += 1;
+            let gen = generation;
+            moved.clear();
+            for &s in &set {
+                for (label, t) in &nfa.state(s).edges {
+                    if label.contains(sym as SymbolId) && stamp[*t as usize] != gen {
+                        stamp[*t as usize] = gen;
+                        moved.push(*t);
+                    }
+                }
+            }
+            closure(
+                &moved,
+                &mut stamp,
+                &mut generation,
+                &mut stack,
+                &mut scratch,
+            );
+            let closed = scratch.clone();
+            let succ = intern(
+                &closed,
+                &mut index,
+                &mut subsets,
+                &mut accepting,
+                &mut table,
+                &mut worklist,
+            )?;
+            table[id as usize * k + sym] = succ;
+        }
+    }
+
+    Dfa::from_parts(
+        nfa.alphabet().clone(),
+        subsets.len() as u32,
+        start,
+        accepting,
+        table,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::regex::parse;
+
+    fn dfa_for(pattern: &str) -> Dfa {
+        let alpha = Alphabet::amino_acids();
+        let r = parse(pattern, &alpha).unwrap();
+        let nfa = Nfa::from_regex(&r, &alpha, None).unwrap();
+        determinize(&nfa, None).unwrap()
+    }
+
+    #[test]
+    fn dfa_agrees_with_nfa_on_examples() {
+        let alpha = Alphabet::amino_acids();
+        for pattern in ["RG", "R|G", "R*G+", "(RG){2,3}", "[RG]{2}[^A]"] {
+            let r = parse(pattern, &alpha).unwrap();
+            let nfa = Nfa::from_regex(&r, &alpha, None).unwrap();
+            let dfa = determinize(&nfa, None).unwrap();
+            for text in [
+                &b""[..],
+                b"R",
+                b"G",
+                b"RG",
+                b"GR",
+                b"RGRG",
+                b"RGRGRG",
+                b"RRG",
+                b"RGG",
+                b"RGC",
+                b"CCC",
+            ] {
+                assert_eq!(
+                    dfa.accepts_bytes(text).unwrap(),
+                    nfa.accepts_bytes(text).unwrap(),
+                    "pattern {pattern:?} disagrees on {:?}",
+                    std::str::from_utf8(text).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dfa_is_complete() {
+        let dfa = dfa_for("RG");
+        for q in 0..dfa.num_states() {
+            assert_eq!(dfa.row(q).len(), 20);
+            for &succ in dfa.row(q) {
+                assert!(succ < dfa.num_states());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_language_has_no_accepting_reachable() {
+        let alpha = Alphabet::amino_acids();
+        let nfa = Nfa::from_regex(&crate::regex::Regex::Empty, &alpha, None).unwrap();
+        let dfa = determinize(&nfa, None).unwrap();
+        assert!(!dfa.accepts_bytes(b"").unwrap());
+        assert!(!dfa.accepts_bytes(b"RG").unwrap());
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let alpha = Alphabet::amino_acids();
+        let r = parse(".{8}R", &alpha).unwrap();
+        let nfa = Nfa::from_regex(&r, &alpha, None).unwrap();
+        let err = determinize(&nfa, Some(4)).unwrap_err();
+        assert!(matches!(err, AutomataError::StateBudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn search_anywhere_dfa_matches_substrings() {
+        let alpha = Alphabet::amino_acids();
+        let r = parse("RG", &alpha).unwrap().search_anywhere(alpha.len());
+        let nfa = Nfa::from_regex(&r, &alpha, None).unwrap();
+        let dfa = determinize(&nfa, None).unwrap();
+        assert!(dfa.accepts_bytes(b"AAARGAAA").unwrap());
+        assert!(dfa.accepts_bytes(b"RG").unwrap());
+        assert!(!dfa.accepts_bytes(b"GGRRR").unwrap());
+    }
+
+    #[test]
+    fn agrees_with_public_closure_api() {
+        // The scratch-buffer closure must equal Nfa::epsilon_closure.
+        let alpha = Alphabet::amino_acids();
+        let r = parse("(R|G)*[RG]{2,3}", &alpha).unwrap();
+        let nfa = Nfa::from_regex(&r, &alpha, None).unwrap();
+        let dfa = determinize(&nfa, None).unwrap();
+        // Language check doubles as closure-equivalence evidence.
+        for text in [&b"RG"[..], b"RRR", b"G", b"", b"RGRGR"] {
+            assert_eq!(
+                dfa.accepts_bytes(text).unwrap(),
+                nfa.accepts_bytes(text).unwrap()
+            );
+        }
+    }
+}

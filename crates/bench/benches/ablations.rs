@@ -1,0 +1,47 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! fingerprint short-circuit, scheduler, compression policy, codec.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sfa_core::prelude::*;
+use sfa_core::sfa::CodecChoice;
+use std::hint::black_box;
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    let dfa = sfa_workloads::rn(120);
+
+    let mut no_fp = ParallelOptions::with_threads(4);
+    no_fp.fingerprint_short_circuit = false;
+    let configs: Vec<(&str, ParallelOptions)> = vec![
+        ("default", ParallelOptions::with_threads(4)),
+        ("no_fingerprint", no_fp),
+        (
+            "global_only",
+            ParallelOptions::with_threads(4).scheduler(Scheduler::GlobalOnly),
+        ),
+        (
+            "mpmc",
+            ParallelOptions::with_threads(4).scheduler(Scheduler::SharedMpmc),
+        ),
+        (
+            "compress_from_start",
+            ParallelOptions::with_threads(4).compression(CompressionPolicy::FromStart),
+        ),
+        (
+            "compress_rle",
+            ParallelOptions::with_threads(4)
+                .compression(CompressionPolicy::FromStart)
+                .codec(CodecChoice::Rle),
+        ),
+    ];
+    for (name, opts) in configs {
+        group.bench_with_input(BenchmarkId::new("r120", name), &dfa, |b, dfa| {
+            b.iter(|| black_box(construct_parallel(black_box(dfa), &opts).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

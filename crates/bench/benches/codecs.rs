@@ -1,0 +1,43 @@
+//! E6 / §III-C — codec survey micro-benchmarks on SFA-state-shaped data.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sfa_compress::all_codecs;
+use std::hint::black_box;
+
+/// Sink-dominated u16 state vector like an rN SFA state.
+fn state_sample(entries: usize, period: usize) -> Vec<u8> {
+    let mut v = Vec::with_capacity(entries * 2);
+    for i in 0..entries {
+        let id: u16 = if i % period == 0 {
+            (i % 499) as u16
+        } else {
+            501
+        };
+        v.extend_from_slice(&id.to_le_bytes());
+    }
+    v
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codecs");
+    group.sample_size(20);
+    let sample = state_sample(10_000, 97);
+    group.throughput(Throughput::Bytes(sample.len() as u64));
+    for codec in all_codecs() {
+        group.bench_with_input(
+            BenchmarkId::new("compress", codec.name()),
+            &sample,
+            |b, data| b.iter(|| black_box(codec.compress_to_vec(black_box(data)))),
+        );
+        let compressed = codec.compress_to_vec(&sample);
+        group.bench_with_input(
+            BenchmarkId::new("decompress", codec.name()),
+            &compressed,
+            |b, data| b.iter(|| black_box(codec.decompress_to_vec(black_box(data)).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codecs);
+criterion_main!(benches);

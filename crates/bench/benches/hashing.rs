@@ -1,0 +1,34 @@
+//! E8 / §III-A — fingerprint throughput: CityHash64 vs Rabin (PCLMULQDQ
+//! and portable) vs FxHash, on SFA-state-sized buffers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sfa_hash::{city, fx, rabin, rabin::RabinTable};
+use std::hint::black_box;
+
+fn bench_hashing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hashing");
+    group.sample_size(20);
+    let table = RabinTable::new(rabin::DEFAULT_POLY);
+    for size in [64usize, 1024, 16 * 1024, 1 << 20] {
+        let data: Vec<u8> = (0..size)
+            .map(|i| ((i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 56) as u8)
+            .collect();
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("cityhash64", size), &data, |b, d| {
+            b.iter(|| black_box(city::city_hash64(black_box(d))))
+        });
+        group.bench_with_input(BenchmarkId::new("rabin_dispatch", size), &data, |b, d| {
+            b.iter(|| black_box(table.fingerprint(black_box(d))))
+        });
+        group.bench_with_input(BenchmarkId::new("rabin_portable", size), &data, |b, d| {
+            b.iter(|| black_box(table.fingerprint_portable(black_box(d))))
+        });
+        group.bench_with_input(BenchmarkId::new("fxhash64", size), &data, |b, d| {
+            b.iter(|| black_box(fx::fx_hash64(black_box(d))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hashing);
+criterion_main!(benches);

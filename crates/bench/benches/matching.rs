@@ -1,0 +1,33 @@
+//! E7 / §IV-D — sequential DFA matching vs parallel SFA matching.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sfa_core::prelude::*;
+use sfa_workloads::protein_text;
+use std::hint::black_box;
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching");
+    group.sample_size(10);
+    let dfa = sfa_workloads::rn(150);
+    let sfa = construct_parallel(&dfa, &ParallelOptions::with_threads(4))
+        .unwrap()
+        .sfa;
+    for len in [100_000usize, 1_000_000] {
+        let text = protein_text(len, 0xBEEF);
+        group.throughput(Throughput::Bytes(len as u64));
+        group.bench_with_input(BenchmarkId::new("sequential", len), &text, |b, t| {
+            b.iter(|| black_box(match_sequential(&dfa, black_box(t))))
+        });
+        for threads in [1usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("sfa_{threads}thr"), len),
+                &text,
+                |b, t| b.iter(|| black_box(match_with_sfa(&sfa, &dfa, black_box(t), threads))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E3 / Fig. 5 — parallel construction speedup versus thread count over
+//! the best sequential variant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sfa_core::prelude::*;
+use std::hint::black_box;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_scaling");
+    group.sample_size(10);
+    let dfa = sfa_workloads::rn(150);
+    group.bench_function("sequential_transposed", |b| {
+        b.iter(|| {
+            black_box(construct_sequential(black_box(&dfa), SequentialVariant::Transposed).unwrap())
+        })
+    });
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &dfa, |b, dfa| {
+            let opts = ParallelOptions::with_threads(threads);
+            b.iter(|| black_box(construct_parallel(black_box(dfa), &opts).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! E4 / §IV-B — work distribution: thread-local work-stealing deques vs a
+//! single shared MPMC queue (TBB stand-in) vs the global CAS queue, at the
+//! engine level and at the raw data-structure level.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sfa_core::prelude::*;
+use sfa_sync::deque::{work_stealing_deque, Steal};
+use sfa_sync::{GlobalQueue, MsQueue};
+use std::hint::black_box;
+
+fn bench_engine_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queues/engine");
+    group.sample_size(10);
+    let dfa = sfa_workloads::rn(120);
+    for (label, sched) in [
+        ("stealing", Scheduler::WorkStealing),
+        ("mpmc", Scheduler::SharedMpmc),
+        ("global", Scheduler::GlobalOnly),
+    ] {
+        for threads in [2usize, 4] {
+            group.bench_with_input(BenchmarkId::new(label, threads), &dfa, |b, dfa| {
+                let opts = ParallelOptions::with_threads(threads).scheduler(sched);
+                b.iter(|| black_box(construct_parallel(black_box(dfa), &opts).unwrap()))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_raw_queues(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queues/raw");
+    group.sample_size(20);
+    const OPS: u32 = 100_000;
+    group.throughput(criterion::Throughput::Elements(OPS as u64));
+    group.bench_function("deque_owner_push_pop", |b| {
+        b.iter(|| {
+            let (w, _s) = work_stealing_deque(1024);
+            for i in 0..OPS {
+                w.push(i);
+            }
+            while let Some(v) = w.pop() {
+                black_box(v);
+            }
+        })
+    });
+    group.bench_function("deque_steal_drain", |b| {
+        b.iter(|| {
+            let (w, s) = work_stealing_deque(1024);
+            for i in 0..OPS {
+                w.push(i);
+            }
+            loop {
+                match s.steal() {
+                    Steal::Success(v) => {
+                        black_box(v);
+                    }
+                    Steal::Empty => break,
+                    Steal::Retry => {}
+                }
+            }
+        })
+    });
+    group.bench_function("mpmc_enqueue_dequeue", |b| {
+        b.iter(|| {
+            let q = MsQueue::new();
+            for i in 0..OPS {
+                q.enqueue(i);
+            }
+            while let Some(v) = q.dequeue() {
+                black_box(v);
+            }
+        })
+    });
+    group.bench_function("global_enqueue_dequeue", |b| {
+        b.iter(|| {
+            let q = GlobalQueue::new(OPS as usize);
+            for i in 0..OPS {
+                q.enqueue(i);
+            }
+            while let Some(v) = q.dequeue() {
+                black_box(v);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_schedulers, bench_raw_queues);
+criterion_main!(benches);

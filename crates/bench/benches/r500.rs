@@ -1,0 +1,32 @@
+//! E2 / §IV-A — the r500 synthetic benchmark: sequential variants and the
+//! parallel engine on the exact-string DFA family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sfa_core::prelude::*;
+use std::hint::black_box;
+
+fn bench_rn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("r500");
+    group.sample_size(10);
+    // r200 keeps Criterion's repeated runs affordable; `reproduce r500-seq`
+    // runs the full r500 once.
+    let dfa = sfa_workloads::rn(200);
+    for (label, variant) in [
+        ("hashing", SequentialVariant::Hashing),
+        ("transposed", SequentialVariant::Transposed),
+    ] {
+        group.bench_with_input(BenchmarkId::new("seq", label), &dfa, |b, dfa| {
+            b.iter(|| black_box(construct_sequential(black_box(dfa), variant).unwrap()))
+        });
+    }
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("parallel", threads), &dfa, |b, dfa| {
+            let opts = ParallelOptions::with_threads(threads);
+            b.iter(|| black_box(construct_parallel(black_box(dfa), &opts).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rn);
+criterion_main!(benches);

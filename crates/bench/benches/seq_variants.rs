@@ -1,0 +1,40 @@
+//! E1 / Fig. 4 — sequential construction variants (baseline tree map vs
+//! fingerprint hashing vs hashing + parameterized transposition) over
+//! PROSITE-class workloads of several sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sfa_core::prelude::*;
+use std::hint::black_box;
+
+fn bench_seq_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("seq_variants");
+    group.sample_size(10);
+    let workloads: Vec<(String, sfa_automata::Dfa)> = {
+        let mut v: Vec<(String, sfa_automata::Dfa)> = sfa_bench::workloads::cap_dfa_size(
+            sfa_bench::workloads::evaluation_suite(6, 3_000),
+            400,
+        )
+        .into_iter()
+        .map(|w| (w.name, w.dfa))
+        .collect();
+        // Keep a representative small/medium/large trio plus r100.
+        v.truncate(3);
+        v.push(("r100".into(), sfa_workloads::rn(100)));
+        v
+    };
+    for (name, dfa) in &workloads {
+        for (label, variant) in [
+            ("baseline", SequentialVariant::Baseline),
+            ("hashing", SequentialVariant::Hashing),
+            ("transposed", SequentialVariant::Transposed),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, name), dfa, |b, dfa| {
+                b.iter(|| black_box(construct_sequential(black_box(dfa), variant).unwrap()))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_seq_variants);
+criterion_main!(benches);

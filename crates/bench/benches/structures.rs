@@ -1,0 +1,137 @@
+//! Micro-benchmarks of the lock-free substrate: arena allocation, hash
+//! table find-or-insert, and the SIMD byte comparison that backs the
+//! exhaustive state compare (§III-A).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sfa_sync::{Arena, ChainedTable, Links, NIL};
+use std::hint::black_box;
+use std::sync::atomic::AtomicU32;
+
+struct Entry {
+    value: u64,
+    next: AtomicU32,
+}
+
+struct Store(Arena<Entry>);
+
+impl Links for Store {
+    fn link(&self, id: u32) -> &AtomicU32 {
+        &self.0.index(id).next
+    }
+}
+
+fn bench_arena(c: &mut Criterion) {
+    let mut group = c.benchmark_group("structures/arena");
+    group.sample_size(20);
+    const N: usize = 100_000;
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function("push", |b| {
+        b.iter(|| {
+            let a: Arena<u64> = Arena::new(N, 4096);
+            for i in 0..N as u64 {
+                let _ = a.push(i);
+            }
+            black_box(a.len())
+        })
+    });
+    group.bench_function("get", |b| {
+        let a: Arena<u64> = Arena::new(N, 4096);
+        for i in 0..N as u64 {
+            let _ = a.push(i);
+        }
+        b.iter(|| {
+            let mut sum = 0u64;
+            for i in 0..N as u32 {
+                sum = sum.wrapping_add(*a.index(i));
+            }
+            black_box(sum)
+        })
+    });
+    group.finish();
+}
+
+fn bench_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("structures/table");
+    group.sample_size(20);
+    const N: usize = 50_000;
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function("find_or_insert_distinct", |b| {
+        b.iter(|| {
+            let store = Store(Arena::new(N, 4096));
+            let table = ChainedTable::new(N / 2);
+            for v in 0..N as u64 {
+                let id = store
+                    .0
+                    .push(Entry {
+                        value: v,
+                        next: AtomicU32::new(NIL),
+                    })
+                    .ok()
+                    .unwrap();
+                table.find_or_insert(v.wrapping_mul(0x9E3779B97F4A7C15), id, &store, |o| {
+                    store.0.index(o).value == v
+                });
+            }
+            black_box(table.num_buckets())
+        })
+    });
+    group.bench_function("find_hit", |b| {
+        let store = Store(Arena::new(N, 4096));
+        let table = ChainedTable::new(N / 2);
+        for v in 0..N as u64 {
+            let id = store
+                .0
+                .push(Entry {
+                    value: v,
+                    next: AtomicU32::new(NIL),
+                })
+                .ok()
+                .unwrap();
+            table.find_or_insert(v.wrapping_mul(0x9E3779B97F4A7C15), id, &store, |o| {
+                store.0.index(o).value == v
+            });
+        }
+        b.iter(|| {
+            let mut found = 0usize;
+            for v in 0..N as u64 {
+                if table
+                    .find(v.wrapping_mul(0x9E3779B97F4A7C15), &store, |o| {
+                        store.0.index(o).value == v
+                    })
+                    .is_some()
+                {
+                    found += 1;
+                }
+            }
+            black_box(found)
+        })
+    });
+    group.finish();
+}
+
+fn bench_memeq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("structures/memeq");
+    group.sample_size(20);
+    for size in [64usize, 1024, 16 * 1024] {
+        let a: Vec<u8> = (0..size).map(|i| (i * 31) as u8).collect();
+        let b2 = a.clone();
+        let mut diff = a.clone();
+        diff[size - 1] ^= 1;
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("simd_equal", size), &size, |bch, _| {
+            bch.iter(|| black_box(sfa_simd::bytes_equal(black_box(&a), black_box(&b2))))
+        });
+        group.bench_with_input(BenchmarkId::new("std_equal", size), &size, |bch, _| {
+            bch.iter(|| black_box(black_box(&a[..]) == black_box(&b2[..])))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("simd_last_byte_diff", size),
+            &size,
+            |bch, _| bch.iter(|| black_box(sfa_simd::bytes_equal(black_box(&a), black_box(&diff)))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_arena, bench_table, bench_memeq);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! E9 / §III-A — parameterized-transposition kernels: scalar vs SSE 8x8 /
+//! 8x4 vs AVX2 16x16 (u16) and scalar vs AVX2 8x8 (u32). The paper found
+//! four 8x8 u16 kernels slightly faster than one 16x16.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sfa_simd::transpose::{transpose_gather_u16_with, transpose_gather_u32_with, Kernel};
+use sfa_simd::CpuFeatures;
+use std::hint::black_box;
+
+fn bench_transpose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transpose");
+    group.sample_size(20);
+    let f = CpuFeatures::get();
+    let k = 20usize; // amino-acid alphabet
+    for n in [128usize, 1024, 8192] {
+        // n = DFA states = gathered rows; table n x k.
+        let table16: Vec<u16> = (0..n * k).map(|i| (i % n) as u16).collect();
+        let table32: Vec<u32> = (0..n * k).map(|i| (i % n) as u32).collect();
+        let rows: Vec<u32> = (0..n).map(|i| ((i * 7 + 1) % n) as u32).collect();
+        group.throughput(Throughput::Elements((k * n) as u64));
+        let mut out16 = vec![0u16; k * n];
+        let mut out32 = vec![0u32; k * n];
+        let mut kernels16 = vec![Kernel::Scalar];
+        if f.sse2 {
+            kernels16.push(Kernel::Sse8x4);
+            kernels16.push(Kernel::Sse8x8);
+        }
+        if f.avx2 {
+            kernels16.push(Kernel::Avx16x16);
+        }
+        for kern in kernels16 {
+            group.bench_with_input(
+                BenchmarkId::new(format!("u16/{kern:?}"), n),
+                &rows,
+                |b, rows| {
+                    b.iter(|| {
+                        transpose_gather_u16_with(kern, &table16, k, black_box(rows), &mut out16)
+                    })
+                },
+            );
+        }
+        let mut kernels32 = vec![Kernel::Scalar];
+        if f.avx2 {
+            kernels32.push(Kernel::Avx8x8);
+        }
+        for kern in kernels32 {
+            group.bench_with_input(
+                BenchmarkId::new(format!("u32/{kern:?}"), n),
+                &rows,
+                |b, rows| {
+                    b.iter(|| {
+                        transpose_gather_u32_with(kern, &table32, k, black_box(rows), &mut out32)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transpose);
+criterion_main!(benches);

@@ -1,0 +1,752 @@
+//! `reproduce` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! reproduce platform          Table I   platform characterization
+//! reproduce fig4              Fig. 4    sequential-optimization speedups
+//! reproduce r500-seq          §IV-A     r500 baseline/hashing/transposed times
+//! reproduce fig5              Fig. 5    parallel speedup vs thread count
+//! reproduce queues            §IV-B     thread-local deques vs shared MPMC queue
+//! reproduce table2            Table II  three-phase compression experiment
+//! reproduce codecs            §III-C    Squash-style codec survey on SFA states
+//! reproduce matching          §IV-D     matching break-even analysis
+//! reproduce hashes            §III-A    fingerprint throughput comparison
+//! reproduce ablations         DESIGN    fingerprint / scheduler / compression ablations
+//! reproduce all               everything above with default sizes
+//! ```
+//!
+//! Options: `--quick` (smaller sweeps), `--threads 1,2,4,8`, `--n 500`
+//! (rN size), `--patterns N` (synthetic pattern count), `--runs 3`.
+//! Every experiment prints a table and writes `results/<name>.json`.
+//!
+//! Run in release mode: `cargo run --release -p sfa-bench --bin reproduce -- all`.
+
+use sfa_automata::dfa::Dfa;
+use sfa_bench::records::{self, CompressionRow, HashRow, MatchRow, QueueRow, ScaleRow, SeqRow};
+use sfa_bench::workloads::{cap_dfa_size, evaluation_suite};
+use sfa_bench::{median, time_once, PlatformInfo};
+use sfa_core::prelude::*;
+use sfa_core::sequential::construct_sequential_budgeted;
+use sfa_hash::{CityFingerprinter, Fingerprinter, FxFingerprinter, RabinFingerprinter};
+use sfa_workloads::{protein_text, rn};
+use std::process::ExitCode;
+
+struct Config {
+    quick: bool,
+    threads: Vec<usize>,
+    rn_size: usize,
+    patterns: usize,
+    runs: usize,
+}
+
+impl Config {
+    fn parse(argv: &[String]) -> Result<Config, String> {
+        let mut cfg = Config {
+            quick: false,
+            threads: vec![1, 2, 4, 8],
+            rn_size: 500,
+            patterns: 30,
+            runs: 3,
+        };
+        let mut i = 0;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--quick" => {
+                    cfg.quick = true;
+                    i += 1;
+                }
+                "--threads" => {
+                    let v = argv.get(i + 1).ok_or("--threads expects a list")?;
+                    cfg.threads = v
+                        .split(',')
+                        .map(|s| s.parse().map_err(|_| format!("bad thread count {s:?}")))
+                        .collect::<Result<_, _>>()?;
+                    i += 2;
+                }
+                "--n" => {
+                    cfg.rn_size = argv
+                        .get(i + 1)
+                        .ok_or("--n expects a number")?
+                        .parse()
+                        .map_err(|_| "--n expects a number")?;
+                    i += 2;
+                }
+                "--patterns" => {
+                    cfg.patterns = argv
+                        .get(i + 1)
+                        .ok_or("--patterns expects a number")?
+                        .parse()
+                        .map_err(|_| "--patterns expects a number")?;
+                    i += 2;
+                }
+                "--runs" => {
+                    cfg.runs = argv
+                        .get(i + 1)
+                        .ok_or("--runs expects a number")?
+                        .parse()
+                        .map_err(|_| "--runs expects a number")?;
+                    i += 2;
+                }
+                other => return Err(format!("unknown option {other:?}")),
+            }
+        }
+        if cfg.quick {
+            cfg.rn_size = cfg.rn_size.min(200);
+            cfg.patterns = cfg.patterns.min(10);
+            cfg.runs = 1;
+        }
+        Ok(cfg)
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(which) = argv.first().cloned() else {
+        eprintln!("usage: reproduce <experiment> [options]; see the module docs");
+        return ExitCode::FAILURE;
+    };
+    let cfg = match Config::parse(&argv[1..]) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match which.as_str() {
+        "platform" => platform(&cfg),
+        "fig4" => fig4(&cfg),
+        "r500-seq" => r500_seq(&cfg),
+        "fig5" => fig5(&cfg),
+        "queues" => queues(&cfg),
+        "table2" => table2(&cfg),
+        "codecs" => codecs(&cfg),
+        "matching" => matching(&cfg),
+        "hashes" => hashes(&cfg),
+        "ablations" => ablations(&cfg),
+        "all" => all(&cfg),
+        other => Err(format!("unknown experiment {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn all(cfg: &Config) -> Result<(), String> {
+    for (name, f) in [
+        ("platform", platform as fn(&Config) -> Result<(), String>),
+        ("fig4", fig4),
+        ("r500-seq", r500_seq),
+        ("fig5", fig5),
+        ("queues", queues),
+        ("table2", table2),
+        ("codecs", codecs),
+        ("matching", matching),
+        ("hashes", hashes),
+        ("ablations", ablations),
+    ] {
+        println!("\n================ {name} ================");
+        f(cfg)?;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------- Table I
+
+fn platform(_cfg: &Config) -> Result<(), String> {
+    let info = PlatformInfo::detect();
+    println!("{}", info.table());
+    records::write_record("platform", &info).map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+// ----------------------------------------------------------------- Fig. 4
+
+/// Sequential optimization speedups over the tree-map baseline, per
+/// workload, like Fig. 4's scatter (hashing and hashing+transposition).
+fn fig4(cfg: &Config) -> Result<(), String> {
+    let budget = if cfg.quick { 2_000 } else { 20_000 };
+    let max_dfa = if cfg.quick { 300 } else { 2_000 };
+    let suite = cap_dfa_size(evaluation_suite(cfg.patterns, budget), max_dfa);
+    println!(
+        "{:<12} {:>6} {:>8} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8}",
+        "workload", "DFA", "SFA", "btree s", "ptree s", "hash s", "transp s", "hash x", "transp x"
+    );
+    let mut rows = Vec::new();
+    for w in &suite {
+        let state_budget = 1 << 20;
+        // The paper's std::map baseline is pointer-chasing; report both
+        // Rust's BTreeMap and the pointer-per-node treap (speedups below
+        // use the pointer tree, matching the paper's baseline class).
+        let (bt, rb) = time_once(|| {
+            construct_sequential_budgeted(&w.dfa, SequentialVariant::Baseline, state_budget)
+        });
+        let (b, _) = time_once(|| {
+            construct_sequential_budgeted(
+                &w.dfa,
+                SequentialVariant::BaselinePointerTree,
+                state_budget,
+            )
+        });
+        let (h, _) = time_once(|| {
+            construct_sequential_budgeted(&w.dfa, SequentialVariant::Hashing, state_budget)
+        });
+        let (t, _) = time_once(|| {
+            construct_sequential_budgeted(&w.dfa, SequentialVariant::Transposed, state_budget)
+        });
+        let Ok(rb) = rb else { continue };
+        let row = SeqRow {
+            name: w.name.clone(),
+            dfa_states: w.dfa.num_states(),
+            sfa_states: rb.sfa.num_states(),
+            baseline_secs: b,
+            hashing_secs: h,
+            transposed_secs: t,
+        };
+        println!(
+            "{:<12} {:>6} {:>8} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>7.2}x {:>7.2}x",
+            row.name,
+            row.dfa_states,
+            row.sfa_states,
+            bt,
+            row.baseline_secs,
+            row.hashing_secs,
+            row.transposed_secs,
+            row.hashing_speedup(),
+            row.transposed_speedup()
+        );
+        rows.push(row);
+    }
+    if !rows.is_empty() {
+        let mut hs: Vec<f64> = rows.iter().map(|r| r.hashing_speedup()).collect();
+        let mut ts: Vec<f64> = rows.iter().map(|r| r.transposed_speedup()).collect();
+        println!(
+            "median speedups: hashing {:.2}x, hashing+transposition {:.2}x   \
+             (paper: 1.7-2.0x and 2.8-2.9x median)",
+            median(&mut hs),
+            median(&mut ts)
+        );
+        let max_h = hs.iter().cloned().fold(0.0, f64::max);
+        let max_t = ts.iter().cloned().fold(0.0, f64::max);
+        println!(
+            "max speedups:    hashing {max_h:.2}x, hashing+transposition {max_t:.2}x   \
+             (paper: 3.1-4.1x and 5.2-6.8x max)"
+        );
+    }
+    records::write_record("fig4", &rows).map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+// ----------------------------------------------------------- §IV-A (r500)
+
+fn r500_seq(cfg: &Config) -> Result<(), String> {
+    let dfa = rn(cfg.rn_size);
+    let budget = 1 << 22;
+    println!("r{} ({} DFA states):", cfg.rn_size, dfa.num_states());
+    let (b, rb) = time_once(|| {
+        construct_sequential_budgeted(&dfa, SequentialVariant::BaselinePointerTree, budget)
+    });
+    let (h, _) =
+        time_once(|| construct_sequential_budgeted(&dfa, SequentialVariant::Hashing, budget));
+    let (t, _) =
+        time_once(|| construct_sequential_budgeted(&dfa, SequentialVariant::Transposed, budget));
+    let states = rb.map(|r| r.sfa.num_states()).unwrap_or(0);
+    let row = SeqRow {
+        name: format!("r{}", cfg.rn_size),
+        dfa_states: dfa.num_states(),
+        sfa_states: states,
+        baseline_secs: b,
+        hashing_secs: h,
+        transposed_secs: t,
+    };
+    println!("  SFA states                {states}");
+    println!("  baseline (pointer tree)   {b:.3} s      (paper r500 on Intel: 36.6 s)");
+    println!(
+        "  hashing                   {h:.3} s  {:.2}x (paper: 10.6 s, 3.5x)",
+        row.hashing_speedup()
+    );
+    println!(
+        "  hashing + transposition   {t:.3} s  {:.2}x (paper:  6.4 s, 5.7x)",
+        row.transposed_speedup()
+    );
+    records::write_record("r500-seq", &row).map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+// ----------------------------------------------------------------- Fig. 5
+
+fn fig5(cfg: &Config) -> Result<(), String> {
+    let budget = if cfg.quick { 2_000 } else { 10_000 };
+    let max_dfa = if cfg.quick { 200 } else { 800 };
+    let mut suite = cap_dfa_size(evaluation_suite(cfg.patterns, budget), max_dfa);
+    // Always include an rN workload (the paper's scaling showcase).
+    suite.push(sfa_workloads::Workload {
+        name: format!("r{}", cfg.rn_size.min(300)),
+        pattern: String::new(),
+        dfa: rn(cfg.rn_size.min(300)),
+    });
+    println!(
+        "{:<12} {:>8} {:>6} {:>12} {:>12} {:>9}",
+        "workload", "SFA", "thr", "seq s", "par s", "speedup"
+    );
+    let mut rows = Vec::new();
+    for w in &suite {
+        let seq = sfa_bench::time_secs(cfg.runs, || {
+            let _ = construct_sequential(&w.dfa, SequentialVariant::Transposed);
+        });
+        let states = construct_sequential(&w.dfa, SequentialVariant::Transposed)
+            .map(|r| r.sfa.num_states())
+            .unwrap_or(0);
+        for &t in &cfg.threads {
+            let par = sfa_bench::time_secs(cfg.runs, || {
+                let _ = construct_parallel(&w.dfa, &ParallelOptions::with_threads(t));
+            });
+            let row = ScaleRow {
+                name: w.name.clone(),
+                sfa_states: states,
+                threads: t,
+                sequential_secs: seq,
+                parallel_secs: par,
+            };
+            println!(
+                "{:<12} {:>8} {:>6} {:>12.4} {:>12.4} {:>8.2}x",
+                row.name,
+                row.sfa_states,
+                row.threads,
+                seq,
+                par,
+                row.speedup()
+            );
+            rows.push(row);
+        }
+    }
+    // Median/max per thread count (the paper's Fig. 5 summary statistics).
+    for &t in &cfg.threads {
+        let mut sp: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.threads == t)
+            .map(|r| r.speedup())
+            .collect();
+        if !sp.is_empty() {
+            let max = sp.iter().cloned().fold(0.0, f64::max);
+            println!(
+                "threads {t}: median speedup {:.2}x, max {:.2}x",
+                median(&mut sp),
+                max
+            );
+        }
+    }
+    println!(
+        "(paper: max 108.9x @64 threads AMD / 46.1x @88 threads Intel, medians ~4.6-4.9x;\n\
+         this container has {} logical CPU(s) — speedups saturate accordingly)",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
+    records::write_record("fig5", &rows).map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+// ------------------------------------------------------------ §IV-B queues
+
+fn queues(cfg: &Config) -> Result<(), String> {
+    let dfa = rn(cfg.rn_size.min(if cfg.quick { 150 } else { 400 }));
+    println!(
+        "r{} queue comparison (paper: WS deques 0.16-1.43 s vs TBB 1.00-1.44 s,\n\
+         HITM loads 2630 vs 5637 at 88 threads):",
+        dfa.num_states() - 2
+    );
+    println!(
+        "{:<10} {:>6} {:>12} {:>14} {:>16}",
+        "scheduler", "thr", "secs", "CAS failures", "conflict events"
+    );
+    let mut rows = Vec::new();
+    for &t in &cfg.threads {
+        for (name, sched) in [
+            ("stealing", Scheduler::WorkStealing),
+            ("mpmc", Scheduler::SharedMpmc),
+            ("global", Scheduler::GlobalOnly),
+        ] {
+            let opts = ParallelOptions::with_threads(t).scheduler(sched);
+            let mut contention = Default::default();
+            let secs = sfa_bench::time_secs(cfg.runs, || {
+                let r = construct_parallel(&dfa, &opts).expect("construction failed");
+                contention = r.stats.contention;
+            });
+            let row = QueueRow {
+                scheduler: name.into(),
+                threads: t,
+                secs,
+                cas_failures: contention.cas_failures,
+                conflict_events: contention.conflict_events(),
+            };
+            println!(
+                "{:<10} {:>6} {:>12.4} {:>14} {:>16}",
+                row.scheduler, row.threads, row.secs, row.cas_failures, row.conflict_events
+            );
+            rows.push(row);
+        }
+    }
+    records::write_record("queues", &rows).map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------- Table II
+
+fn table2(cfg: &Config) -> Result<(), String> {
+    // Workloads spanning tractable -> intractable at the container's
+    // memory budget for raw SFA states.
+    let mem_budget: u64 = if cfg.quick { 8 << 20 } else { 256 << 20 };
+    let sizes: &[usize] = if cfg.quick {
+        &[100, 150, 200]
+    } else {
+        &[200, 300, 400, 500, 600, 700]
+    };
+    // The paper forces compression on the tractable rows by setting the
+    // threshold below their footprint ("we set our memory manager's
+    // threshold to 200 GB to force compression"); we force it with a low
+    // fixed watermark the same way.
+    let watermark: usize = if cfg.quick { 1 << 20 } else { 8 << 20 };
+    println!(
+        "Table II reproduction (raw-state memory budget {} MB; forced watermark {} MB):",
+        mem_budget >> 20,
+        watermark >> 20
+    );
+    println!(
+        "{:<8} {:>6} {:>10} {:>12} {:>10} {:>12} {:>10} {:>7}",
+        "bench", "DFA", "SFA", "w/o B", "w/o s", "with B", "with s", "ratio"
+    );
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let dfa = rn(n);
+        // Run WITH compression first (always tractable).
+        let opts = ParallelOptions::with_threads(*cfg.threads.last().unwrap())
+            .compression(CompressionPolicy::WhenMemoryExceeds(watermark))
+            .state_budget(1 << 22);
+        let (with_secs, with_result) = time_once(|| construct_parallel(&dfa, &opts));
+        let with_result = with_result.map_err(|e| e.to_string())?;
+        let states = with_result.stats.states;
+        let uncompressed = with_result.stats.uncompressed_bytes;
+        let compressed = with_result.sfa.mapping_bytes() as u64;
+
+        // WITHOUT compression: only when the raw size fits the budget
+        // (the paper's "n/a" rows — theoretical size computed from the
+        // state count, exactly as the paper does).
+        let without = if uncompressed <= mem_budget {
+            let opts =
+                ParallelOptions::with_threads(*cfg.threads.last().unwrap()).state_budget(1 << 22);
+            let (secs, r) = time_once(|| construct_parallel(&dfa, &opts));
+            r.map_err(|e| e.to_string())?;
+            Some(secs)
+        } else {
+            None
+        };
+        let row = CompressionRow {
+            name: format!("r{n}"),
+            dfa_states: dfa.num_states(),
+            sfa_states: states,
+            uncompressed_bytes: uncompressed,
+            time_without_secs: without,
+            compressed_bytes: compressed,
+            time_with_secs: with_secs,
+            ratio: uncompressed as f64 / compressed.max(1) as f64,
+        };
+        println!(
+            "{:<8} {:>6} {:>10} {:>12} {:>10} {:>12} {:>10.3} {:>6.1}x",
+            row.name,
+            row.dfa_states,
+            row.sfa_states,
+            row.uncompressed_bytes,
+            row.time_without_secs
+                .map(|s| format!("{s:.3}"))
+                .unwrap_or_else(|| "n/a".into()),
+            row.compressed_bytes,
+            row.time_with_secs,
+            row.ratio
+        );
+        rows.push(row);
+    }
+    println!(
+        "(paper: ratios 17-30x on PROSITE DFAs, ~95x on uncatenated r500-class states;\n\
+              compression overhead only pays off for otherwise-intractable sizes)"
+    );
+    records::write_record("table2", &rows).map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+// ----------------------------------------------------------- §III-C codecs
+
+fn codecs(cfg: &Config) -> Result<(), String> {
+    // Sample SFA states from equidistant construction positions (§III-C
+    // methodology) for an rN automaton and a PROSITE automaton, surveyed
+    // separately: the paper's 95x claim is for the sink-dominated rN
+    // family; the 17-30x range is for PROSITE SFAs.
+    #[derive(serde::Serialize)]
+    struct CodecRow {
+        source: String,
+        codec: String,
+        input_bytes: usize,
+        compressed_bytes: usize,
+        ratio: f64,
+    }
+    let mut out = Vec::new();
+    let mut sources: Vec<(String, Vec<Vec<u8>>)> = Vec::new();
+    let rn_dfa = rn(cfg.rn_size.min(300));
+    sources.push((
+        format!("r{}", rn_dfa.num_states() - 2),
+        sample_states(&rn_dfa, 32)?,
+    ));
+    let suite = cap_dfa_size(evaluation_suite(0, 20_000), 4_000);
+    if let Some(w) = suite.iter().max_by_key(|w| w.dfa.num_states()) {
+        sources.push((
+            format!("{} ({} DFA states)", w.name, w.dfa.num_states()),
+            sample_states(&w.dfa, 32)?,
+        ));
+    }
+    for (name, samples) in &sources {
+        println!("--- {name}: {} sampled states ---", samples.len());
+        println!(
+            "{:<10} {:>12} {:>12} {:>8} {:>12} {:>12}",
+            "codec", "input B", "output B", "ratio", "comp MiB/s", "dec MiB/s"
+        );
+        for r in sfa_compress::survey::run_survey(samples) {
+            println!(
+                "{:<10} {:>12} {:>12} {:>7.1}x {:>12.1} {:>12.1}",
+                r.codec,
+                r.input_bytes,
+                r.compressed_bytes,
+                r.ratio(),
+                r.compress_mib_s(),
+                r.decompress_mib_s()
+            );
+            out.push(CodecRow {
+                source: name.clone(),
+                codec: r.codec.to_string(),
+                input_bytes: r.input_bytes,
+                compressed_bytes: r.compressed_bytes,
+                ratio: r.ratio(),
+            });
+        }
+    }
+    println!(
+        "(paper: deflate-class best at 17-30x typical, ~95x on sink-dominated states;\n\
+              dictionary codecs >> RLE >> store, far above the ≤5x of text corpora)"
+    );
+    records::write_record("codecs", &out).map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+fn sample_states(dfa: &Dfa, count: usize) -> Result<Vec<Vec<u8>>, String> {
+    let result =
+        construct_parallel(dfa, &ParallelOptions::with_threads(2)).map_err(|e| e.to_string())?;
+    let sfa = result.sfa;
+    let n_states = sfa.num_states().max(1);
+    Ok((0..count)
+        .map(|i| {
+            let s = (i as u32 * n_states / count as u32).min(n_states - 1);
+            let mapping = sfa.mapping_of(s);
+            if sfa.dfa_states() <= u16::MAX as usize + 1 {
+                mapping
+                    .iter()
+                    .flat_map(|&v| (v as u16).to_le_bytes())
+                    .collect()
+            } else {
+                mapping.iter().flat_map(|&v| v.to_le_bytes()).collect()
+            }
+        })
+        .collect())
+}
+
+// ---------------------------------------------------------- §IV-D matching
+
+fn matching(cfg: &Config) -> Result<(), String> {
+    let dfa = rn(cfg.rn_size.min(if cfg.quick { 150 } else { 500 }));
+    let threads = *cfg.threads.last().unwrap();
+    let (construction_secs, result) =
+        time_once(|| construct_parallel(&dfa, &ParallelOptions::with_threads(threads)));
+    let result = result.map_err(|e| e.to_string())?;
+    let sfa = result.sfa;
+    let sizes: &[usize] = if cfg.quick {
+        &[100_000, 1_000_000]
+    } else {
+        &[100_000, 1_000_000, 10_000_000, 50_000_000]
+    };
+    println!(
+        "matching break-even, r{} SFA ({} states, constructed in {:.3} s, {threads} threads):",
+        dfa.num_states() - 2,
+        sfa.num_states(),
+        construction_secs
+    );
+    // The lazy-SFA extension: construct only visited states on the fly.
+    let lazy = sfa_core::lazy::LazySfa::new(&dfa, 1 << 20).map_err(|e| e.to_string())?;
+    println!(
+        "{:>12} {:>12} {:>12} {:>14} {:>12} {:>10}",
+        "input", "seq s", "SFA match s", "SFA total s", "lazy s", "winner"
+    );
+    let mut rows = Vec::new();
+    for &len in sizes {
+        let text = protein_text(len, 0xBEEF);
+        let (seq_secs, seq_hit) = time_once(|| match_sequential(&dfa, &text));
+        let (sfa_secs, sfa_hit) = time_once(|| match_with_sfa(&sfa, &dfa, &text, threads));
+        let (lazy_secs, lazy_hit) = time_once(|| lazy.matches(&text, threads).unwrap());
+        assert_eq!(seq_hit, sfa_hit, "matchers disagree");
+        assert_eq!(seq_hit, lazy_hit, "lazy matcher disagrees");
+        let row = MatchRow {
+            input_len: len,
+            sequential_secs: seq_secs,
+            construction_secs,
+            sfa_match_secs: sfa_secs,
+            threads,
+        };
+        println!(
+            "{:>12} {:>12.4} {:>12.4} {:>14.4} {:>12.4} {:>10}",
+            len,
+            seq_secs,
+            sfa_secs,
+            row.sfa_total_secs(),
+            lazy_secs,
+            if row.sfa_total_secs() < seq_secs {
+                "SFA"
+            } else {
+                "sequential"
+            }
+        );
+        rows.push(row);
+    }
+    println!(
+        "lazy SFA discovered {} of {} states — the construction term of the\n\
+         break-even equation all but disappears (extension, not in the paper)",
+        lazy.states_built(),
+        sfa.num_states()
+    );
+    println!(
+        "(paper: break-even at ~20 MB for r500 with 88 threads; with one core the\n\
+         SFA path cannot beat the sequential matcher on wall-clock — the structure\n\
+         of the comparison [construction amortized against input size] is preserved)"
+    );
+    records::write_record("matching", &rows).map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+// ------------------------------------------------------------ §III-A hashes
+
+fn hashes(cfg: &Config) -> Result<(), String> {
+    let mhz = PlatformInfo::detect().cpu_mhz;
+    let sizes = if cfg.quick { 1 << 20 } else { 8 << 20 };
+    let data: Vec<u8> = (0..sizes)
+        .map(|i| ((i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 56) as u8)
+        .collect();
+    println!(
+        "{:<12} {:>12} {:>14} (paper: CityHash 5.1 B/cyc, Rabin+PCLMULQDQ 1.1 B/cyc)",
+        "hash", "GB/s", "bytes/cycle"
+    );
+    let mut rows = Vec::new();
+    let rabin = RabinFingerprinter::default();
+    let city = CityFingerprinter;
+    let fx = FxFingerprinter;
+    let fns: Vec<(&str, &dyn Fingerprinter)> = vec![
+        ("cityhash64", &city),
+        ("rabin64", &rabin),
+        ("fxhash64", &fx),
+    ];
+    for (name, f) in fns {
+        // Warm up, then measure over several passes.
+        let mut sink = 0u64;
+        sink ^= f.fingerprint(&data);
+        let passes = if cfg.quick { 3 } else { 10 };
+        let (secs, _) = time_once(|| {
+            for _ in 0..passes {
+                sink ^= f.fingerprint(&data);
+            }
+        });
+        std::hint::black_box(sink);
+        let bytes_per_sec = (data.len() * passes) as f64 / secs;
+        let bytes_per_cycle = if mhz > 0.0 {
+            bytes_per_sec / (mhz * 1e6)
+        } else {
+            0.0
+        };
+        println!(
+            "{name:<12} {:>12.2} {bytes_per_cycle:>14.2}",
+            bytes_per_sec / 1e9
+        );
+        rows.push(HashRow {
+            name: name.into(),
+            bytes_per_sec,
+            bytes_per_cycle,
+        });
+    }
+    records::write_record("hashes", &rows).map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------- ablations
+
+fn ablations(cfg: &Config) -> Result<(), String> {
+    let dfa = rn(cfg.rn_size.min(if cfg.quick { 150 } else { 300 }));
+    let threads = *cfg.threads.last().unwrap();
+    println!(
+        "ablations on r{} with {threads} threads:",
+        dfa.num_states() - 2
+    );
+
+    #[derive(serde::Serialize)]
+    struct AblationRow {
+        name: String,
+        secs: f64,
+        states: u32,
+        exhaustive_compares: u64,
+        stored_bytes: u64,
+    }
+    let mut rows = Vec::new();
+    let mut run = |name: &str, opts: ParallelOptions| -> Result<(), String> {
+        let secs = sfa_bench::time_secs(cfg.runs, || {
+            let _ = construct_parallel(&dfa, &opts);
+        });
+        let r = construct_parallel(&dfa, &opts).map_err(|e| e.to_string())?;
+        println!(
+            "  {:<28} {:>10.4} s   {:>8} states  {:>12} compares  {:>10} bytes",
+            name,
+            secs,
+            r.sfa.num_states(),
+            r.stats.exhaustive_compares,
+            r.stats.stored_bytes
+        );
+        rows.push(AblationRow {
+            name: name.into(),
+            secs,
+            states: r.sfa.num_states(),
+            exhaustive_compares: r.stats.exhaustive_compares,
+            stored_bytes: r.stats.stored_bytes,
+        });
+        Ok(())
+    };
+
+    run(
+        "default (ws + fingerprints)",
+        ParallelOptions::with_threads(threads),
+    )?;
+    let mut no_fp = ParallelOptions::with_threads(threads);
+    no_fp.fingerprint_short_circuit = false;
+    run("no fingerprint short-circuit", no_fp)?;
+    run(
+        "global queue only",
+        ParallelOptions::with_threads(threads).scheduler(Scheduler::GlobalOnly),
+    )?;
+    run(
+        "shared MPMC queue",
+        ParallelOptions::with_threads(threads).scheduler(Scheduler::SharedMpmc),
+    )?;
+    run(
+        "compress from start",
+        ParallelOptions::with_threads(threads).compression(CompressionPolicy::FromStart),
+    )?;
+    run(
+        "medium-grained (4 blocks)",
+        ParallelOptions::with_threads(threads).symbol_blocks(4),
+    )?;
+    records::write_record("ablations", &rows).map_err(|e| e.to_string())?;
+    Ok(())
+}

@@ -1,0 +1,194 @@
+//! Machine-readable experiment records.
+//!
+//! Every `reproduce` subcommand prints a human table **and** appends a
+//! JSON record to `results/<experiment>.json`, so EXPERIMENTS.md numbers
+//! are regenerable and diffable.
+
+use serde::Serialize;
+use std::path::Path;
+
+/// Serialize `record` as pretty JSON into `results/<name>.json`
+/// (best-effort; printing is the primary output channel).
+pub fn write_record<T: Serialize>(name: &str, record: &T) -> std::io::Result<()> {
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(record)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    std::fs::write(&path, json)?;
+    Ok(())
+}
+
+/// One row of a sequential-variant comparison (Fig. 4 / r500 table).
+#[derive(Debug, Clone, Serialize)]
+pub struct SeqRow {
+    /// Workload name.
+    pub name: String,
+    /// DFA states.
+    pub dfa_states: u32,
+    /// SFA states.
+    pub sfa_states: u32,
+    /// Baseline (tree map) seconds.
+    pub baseline_secs: f64,
+    /// Hashing seconds.
+    pub hashing_secs: f64,
+    /// Hashing + transposition seconds.
+    pub transposed_secs: f64,
+}
+
+impl SeqRow {
+    /// Speedup of hashing over baseline.
+    pub fn hashing_speedup(&self) -> f64 {
+        self.baseline_secs / self.hashing_secs
+    }
+
+    /// Speedup of hashing+transposition over baseline.
+    pub fn transposed_speedup(&self) -> f64 {
+        self.baseline_secs / self.transposed_secs
+    }
+}
+
+/// One row of the parallel-scaling experiment (Fig. 5).
+#[derive(Debug, Clone, Serialize)]
+pub struct ScaleRow {
+    /// Workload name.
+    pub name: String,
+    /// SFA states.
+    pub sfa_states: u32,
+    /// Thread count.
+    pub threads: usize,
+    /// Best sequential seconds (transposed variant).
+    pub sequential_secs: f64,
+    /// Parallel seconds.
+    pub parallel_secs: f64,
+}
+
+impl ScaleRow {
+    /// Parallel speedup over the best sequential variant.
+    pub fn speedup(&self) -> f64 {
+        self.sequential_secs / self.parallel_secs
+    }
+}
+
+/// One row of the Table II compression experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct CompressionRow {
+    /// Workload name.
+    pub name: String,
+    /// DFA states.
+    pub dfa_states: u32,
+    /// SFA states.
+    pub sfa_states: u64,
+    /// Size without compression (bytes; theoretical when intractable).
+    pub uncompressed_bytes: u64,
+    /// Wall time without compression (None = "n/a": intractable).
+    pub time_without_secs: Option<f64>,
+    /// Size with compression (bytes).
+    pub compressed_bytes: u64,
+    /// Wall time with compression.
+    pub time_with_secs: f64,
+    /// Compression ratio.
+    pub ratio: f64,
+}
+
+/// One row of the queue comparison (E4 / §IV-B).
+#[derive(Debug, Clone, Serialize)]
+pub struct QueueRow {
+    /// Scheduler name.
+    pub scheduler: String,
+    /// Thread count.
+    pub threads: usize,
+    /// Construction seconds.
+    pub secs: f64,
+    /// CAS failures (HITM proxy).
+    pub cas_failures: u64,
+    /// Total conflict events.
+    pub conflict_events: u64,
+}
+
+/// One row of the matching break-even experiment (E7 / §IV-D).
+#[derive(Debug, Clone, Serialize)]
+pub struct MatchRow {
+    /// Input length in residues.
+    pub input_len: usize,
+    /// Sequential matcher seconds.
+    pub sequential_secs: f64,
+    /// SFA construction seconds (one-time cost).
+    pub construction_secs: f64,
+    /// Parallel SFA matching seconds.
+    pub sfa_match_secs: f64,
+    /// Threads used.
+    pub threads: usize,
+}
+
+impl MatchRow {
+    /// Total SFA-path cost including construction.
+    pub fn sfa_total_secs(&self) -> f64 {
+        self.construction_secs + self.sfa_match_secs
+    }
+}
+
+/// One row of the hash-throughput experiment (E8 / §III-A).
+#[derive(Debug, Clone, Serialize)]
+pub struct HashRow {
+    /// Hash function name.
+    pub name: String,
+    /// Throughput in bytes per second.
+    pub bytes_per_sec: f64,
+    /// Approximate bytes per cycle (using the nominal frequency; 0 when
+    /// the frequency is unknown).
+    pub bytes_per_cycle: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let r = SeqRow {
+            name: "x".into(),
+            dfa_states: 3,
+            sfa_states: 6,
+            baseline_secs: 10.0,
+            hashing_secs: 5.0,
+            transposed_secs: 2.0,
+        };
+        assert_eq!(r.hashing_speedup(), 2.0);
+        assert_eq!(r.transposed_speedup(), 5.0);
+
+        let s = ScaleRow {
+            name: "x".into(),
+            sfa_states: 6,
+            threads: 4,
+            sequential_secs: 8.0,
+            parallel_secs: 2.0,
+        };
+        assert_eq!(s.speedup(), 4.0);
+
+        let m = MatchRow {
+            input_len: 100,
+            sequential_secs: 1.0,
+            construction_secs: 0.5,
+            sfa_match_secs: 0.25,
+            threads: 4,
+        };
+        assert_eq!(m.sfa_total_secs(), 0.75);
+    }
+
+    #[test]
+    fn record_write_round_trip() {
+        let rows = vec![QueueRow {
+            scheduler: "ws".into(),
+            threads: 2,
+            secs: 0.1,
+            cas_failures: 3,
+            conflict_events: 5,
+        }];
+        // Write into a temp cwd-independent spot by changing name only.
+        write_record("test-record", &rows).unwrap();
+        let text = std::fs::read_to_string("results/test-record.json").unwrap();
+        assert!(text.contains("\"scheduler\": \"ws\""));
+        std::fs::remove_file("results/test-record.json").ok();
+    }
+}

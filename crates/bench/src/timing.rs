@@ -1,0 +1,56 @@
+//! Timing helpers for the reproduction harness.
+
+use std::time::Instant;
+
+/// Wall time of one call, in seconds.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let t0 = Instant::now();
+    let out = f();
+    (t0.elapsed().as_secs_f64(), out)
+}
+
+/// Median wall time over `runs` calls (the paper reports the median of 3
+/// for the parallel experiments).
+pub fn time_secs(runs: usize, mut f: impl FnMut()) -> f64 {
+    assert!(runs >= 1);
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    median(&mut samples)
+}
+
+/// Median of a slice (sorts in place).
+pub fn median(samples: &mut [f64]) -> f64 {
+    assert!(!samples.is_empty());
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mid = samples.len() / 2;
+    if samples.len() % 2 == 1 {
+        samples[mid]
+    } else {
+        (samples[mid - 1] + samples[mid]) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_once_returns_value() {
+        let (secs, v) = time_once(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn time_secs_runs_the_closure() {
+        let mut count = 0;
+        let t = time_secs(3, || count += 1);
+        assert_eq!(count, 3);
+        assert!(t >= 0.0);
+    }
+}

@@ -1,0 +1,56 @@
+//! Workload selection for the reproduction experiments.
+//!
+//! The paper sweeps 1250 PROSITE patterns; at container scale the harness
+//! defaults to the embedded PROSITE sample plus seeded synthetic patterns,
+//! bucketed by DFA size so each experiment sees small, medium and large
+//! automata. All selections are deterministic.
+
+use sfa_workloads::Workload;
+
+/// Deterministic evaluation suite: embedded PROSITE patterns (within
+/// `dfa_budget`) plus `synthetic` generated ones.
+pub fn evaluation_suite(synthetic: usize, dfa_budget: usize) -> Vec<Workload> {
+    let mut suite = sfa_workloads::prosite_workloads(Some(dfa_budget));
+    suite.extend(sfa_workloads::synthetic_workloads(
+        synthetic,
+        0x5FA_BE4C,
+        Some(dfa_budget),
+    ));
+    // Small-to-large order keeps progress output readable.
+    suite.sort_by_key(|w| w.dfa.num_states());
+    suite
+}
+
+/// Cap a suite's *SFA construction* cost for quick runs: keep workloads
+/// whose DFA size is below `max_dfa_states`.
+pub fn cap_dfa_size(suite: Vec<Workload>, max_dfa_states: u32) -> Vec<Workload> {
+    suite
+        .into_iter()
+        .filter(|w| w.dfa.num_states() <= max_dfa_states)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_is_sorted_and_deterministic() {
+        let a = evaluation_suite(5, 5_000);
+        let b = evaluation_suite(5, 5_000);
+        assert_eq!(a.len(), b.len());
+        assert!(a
+            .windows(2)
+            .all(|w| w[0].dfa.num_states() <= w[1].dfa.num_states()));
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.name, y.name);
+        }
+    }
+
+    #[test]
+    fn capping_filters() {
+        let suite = evaluation_suite(5, 5_000);
+        let capped = cap_dfa_size(suite, 50);
+        assert!(capped.iter().all(|w| w.dfa.num_states() <= 50));
+    }
+}

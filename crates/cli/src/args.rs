@@ -1,0 +1,105 @@
+//! Minimal `--flag` / `--key value` argument parsing (no external deps).
+
+use std::collections::BTreeMap;
+
+/// Options that never take a value.
+const FLAGS: &[&str] = &["exact", "json", "validate", "probabilistic", "lazy"];
+
+/// Parsed command-line options.
+#[derive(Debug, Default)]
+pub struct Parsed {
+    values: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Parsed {
+    /// Parse `--key value` pairs and bare `--flag`s.
+    pub fn parse(argv: &[String]) -> Result<Parsed, String> {
+        let mut out = Parsed::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let arg = &argv[i];
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument {arg:?}"));
+            };
+            if FLAGS.contains(&name) {
+                out.flags.push(name.to_string());
+                i += 1;
+            } else {
+                let value = argv
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--{name} expects a value"))?;
+                out.values.insert(name.to_string(), value.clone());
+                i += 2;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Value of `--name`, if present.
+    pub fn opt(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(|s| s.as_str())
+    }
+
+    /// Was the bare flag `--name` given?
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// Numeric option with default.
+    pub fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.opt(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} expects a number, got {v:?}")),
+        }
+    }
+}
+
+/// Parse a byte size with optional K/M/G suffix ("64M" → 67108864).
+pub fn parse_bytes(s: &str) -> Result<usize, String> {
+    let (digits, mult) = match s.as_bytes().last() {
+        Some(b'K') | Some(b'k') => (&s[..s.len() - 1], 1usize << 10),
+        Some(b'M') | Some(b'm') => (&s[..s.len() - 1], 1 << 20),
+        Some(b'G') | Some(b'g') => (&s[..s.len() - 1], 1 << 30),
+        _ => (s, 1),
+    };
+    digits
+        .parse::<usize>()
+        .map(|v| v * mult)
+        .map_err(|_| format!("bad byte size {s:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_pairs_and_flags() {
+        let p = Parsed::parse(&argv(&["--regex", "RG", "--json", "--threads", "8"])).unwrap();
+        assert_eq!(p.opt("regex"), Some("RG"));
+        assert!(p.flag("json"));
+        assert_eq!(p.num("threads", 1).unwrap(), 8);
+        assert_eq!(p.num("budget", 42).unwrap(), 42);
+    }
+
+    #[test]
+    fn rejects_positional_and_dangling() {
+        assert!(Parsed::parse(&argv(&["positional"])).is_err());
+        assert!(Parsed::parse(&argv(&["--threads"])).is_err());
+    }
+
+    #[test]
+    fn byte_sizes() {
+        assert_eq!(parse_bytes("123").unwrap(), 123);
+        assert_eq!(parse_bytes("4K").unwrap(), 4096);
+        assert_eq!(parse_bytes("2M").unwrap(), 2 << 20);
+        assert_eq!(parse_bytes("1G").unwrap(), 1 << 30);
+        assert!(parse_bytes("abc").is_err());
+    }
+}

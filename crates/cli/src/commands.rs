@@ -1,0 +1,301 @@
+//! Implementations of the `sfa` subcommands.
+
+use crate::args::Parsed;
+use crate::{dfa_from_args, parallel_options};
+use serde::Serialize;
+use sfa_automata::grail;
+use sfa_automata::Alphabet;
+use sfa_core::prelude::*;
+use sfa_core::stats::ConstructionStats;
+
+/// `sfa compile` — pattern → minimal DFA in Grail+ text.
+pub fn compile(parsed: &Parsed) -> Result<(), String> {
+    let dfa = dfa_from_args(parsed)?;
+    eprintln!(
+        "# {} states, {} symbols, {} accepting",
+        dfa.num_states(),
+        dfa.num_symbols(),
+        dfa.accepting_states().len()
+    );
+    print!("{}", grail::write_dfa(&dfa));
+    Ok(())
+}
+
+#[derive(Serialize)]
+struct BuildReport {
+    dfa_states: u32,
+    sfa_states: u32,
+    threads: usize,
+    total_secs: f64,
+    phase1_secs: f64,
+    compression_secs: f64,
+    phase3_secs: f64,
+    compressed: bool,
+    uncompressed_bytes: u64,
+    stored_bytes: u64,
+    compression_ratio: f64,
+    candidates: u64,
+    duplicates: u64,
+    exhaustive_compares: u64,
+    fingerprint_collisions: u64,
+    cas_failures: u64,
+    steal_attempts: u64,
+    steal_successes: u64,
+}
+
+impl BuildReport {
+    fn new(dfa_states: u32, sfa_states: u32, s: &ConstructionStats) -> Self {
+        BuildReport {
+            dfa_states,
+            sfa_states,
+            threads: s.threads,
+            total_secs: s.total_secs,
+            phase1_secs: s.phase1_secs,
+            compression_secs: s.compression_secs,
+            phase3_secs: s.phase3_secs,
+            compressed: s.compressed,
+            uncompressed_bytes: s.uncompressed_bytes,
+            stored_bytes: s.stored_bytes,
+            compression_ratio: s.compression_ratio(),
+            candidates: s.candidates,
+            duplicates: s.duplicates,
+            exhaustive_compares: s.exhaustive_compares,
+            fingerprint_collisions: s.fingerprint_collisions,
+            cas_failures: s.contention.cas_failures,
+            steal_attempts: s.contention.steal_attempts,
+            steal_successes: s.contention.steal_successes,
+        }
+    }
+
+    fn print_human(&self) {
+        println!("DFA states           {}", self.dfa_states);
+        println!("SFA states           {}", self.sfa_states);
+        println!("threads              {}", self.threads);
+        println!("total time           {:.3} s", self.total_secs);
+        if self.compressed {
+            println!("  phase 1 (raw)      {:.3} s", self.phase1_secs);
+            println!("  compression        {:.3} s", self.compression_secs);
+            println!("  phase 3 (compr.)   {:.3} s", self.phase3_secs);
+            println!("compression ratio    {:.1}x", self.compression_ratio);
+        }
+        println!(
+            "state memory         {} -> {} bytes",
+            self.uncompressed_bytes, self.stored_bytes
+        );
+        println!(
+            "candidates           {} ({} duplicates)",
+            self.candidates, self.duplicates
+        );
+        println!(
+            "exhaustive compares  {} ({} fingerprint collisions)",
+            self.exhaustive_compares, self.fingerprint_collisions
+        );
+        println!(
+            "contention           {} CAS failures, {}/{} steals",
+            self.cas_failures, self.steal_successes, self.steal_attempts
+        );
+    }
+}
+
+/// `sfa build` — construct the SFA, print statistics.
+pub fn build(parsed: &Parsed) -> Result<(), String> {
+    let dfa = dfa_from_args(parsed)?;
+    let result = if let Some(variant) = parsed.opt("seq") {
+        let variant = match variant {
+            "baseline" => SequentialVariant::Baseline,
+            "pointer-tree" => SequentialVariant::BaselinePointerTree,
+            "hashing" => SequentialVariant::Hashing,
+            "transposed" => SequentialVariant::Transposed,
+            other => return Err(format!("unknown sequential variant {other:?}")),
+        };
+        construct_sequential(&dfa, variant).map_err(|e| e.to_string())?
+    } else {
+        let opts = parallel_options(parsed)?;
+        construct_parallel(&dfa, &opts).map_err(|e| e.to_string())?
+    };
+    if parsed.flag("validate") {
+        result.sfa.validate(&dfa)?;
+        eprintln!("validation: ok");
+    }
+    let report = BuildReport::new(dfa.num_states(), result.sfa.num_states(), &result.stats);
+    if parsed.flag("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+        );
+    } else {
+        report.print_human();
+    }
+    Ok(())
+}
+
+/// `sfa match` — parallel SFA matching of a text.
+pub fn do_match(parsed: &Parsed) -> Result<(), String> {
+    let dfa = dfa_from_args(parsed)?;
+    let alpha = Alphabet::amino_acids();
+    let text: Vec<u8> = if let Some(len) = parsed.opt("random") {
+        let len: usize = len.parse().map_err(|_| "--random expects a length")?;
+        sfa_workloads::protein_text(len, 0xC0FFEE)
+    } else if let Some(t) = parsed.opt("text") {
+        alpha
+            .encode_bytes(t.as_bytes())
+            .map_err(|e| e.to_string())?
+    } else if let Some(path) = parsed.opt("text-file") {
+        let raw = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+        let filtered: Vec<u8> = raw
+            .into_iter()
+            .filter(|b| !b.is_ascii_whitespace())
+            .collect();
+        alpha.encode_bytes(&filtered).map_err(|e| e.to_string())?
+    } else if let Some(path) = parsed.opt("fasta") {
+        let raw = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let records = sfa_workloads::fasta::parse_fasta(&raw).map_err(|e| e.to_string())?;
+        eprintln!("# {} FASTA records", records.len());
+        sfa_workloads::fasta::concat_sequences(&records)
+    } else {
+        return Err("give one of --random, --text, --text-file, --fasta".into());
+    };
+
+    let threads = parsed.num("threads", 4)?;
+    if parsed.flag("lazy") {
+        let lazy = sfa_core::lazy::LazySfa::new(&dfa, parsed.num("budget", 1 << 22)?)
+            .map_err(|e| e.to_string())?;
+        let t0 = std::time::Instant::now();
+        let hit = lazy.matches(&text, threads).map_err(|e| e.to_string())?;
+        let secs = t0.elapsed().as_secs_f64();
+        assert_eq!(hit, match_sequential_oracle(&dfa, &text));
+        println!("text length          {} residues", text.len());
+        println!("match                {hit}");
+        println!(
+            "lazy SFA match       {secs:.4} s ({} states discovered)",
+            lazy.states_built()
+        );
+        return Ok(());
+    }
+    let opts = parallel_options(parsed)?;
+    let t0 = std::time::Instant::now();
+    let result = construct_parallel(&dfa, &opts).map_err(|e| e.to_string())?;
+    let build_secs = t0.elapsed().as_secs_f64();
+
+    let t1 = std::time::Instant::now();
+    let sfa_match = match_with_sfa(&result.sfa, &dfa, &text, threads);
+    let sfa_secs = t1.elapsed().as_secs_f64();
+
+    let t2 = std::time::Instant::now();
+    let seq_match = match_sequential(&dfa, &text);
+    let seq_secs = t2.elapsed().as_secs_f64();
+
+    if sfa_match != seq_match {
+        return Err("SFA and sequential matchers disagree (bug)".into());
+    }
+    println!("text length          {} residues", text.len());
+    println!("match                {}", sfa_match);
+    println!(
+        "SFA construction     {build_secs:.4} s ({} states)",
+        result.sfa.num_states()
+    );
+    println!("SFA match ({threads} thr)   {sfa_secs:.4} s");
+    println!("sequential match     {seq_secs:.4} s");
+    Ok(())
+}
+
+fn match_sequential_oracle(dfa: &sfa_automata::Dfa, text: &[u8]) -> bool {
+    sfa_core::matcher::match_sequential(dfa, text)
+}
+
+/// `sfa survey` — codec survey over sampled SFA states (E6 methodology).
+pub fn survey(parsed: &Parsed) -> Result<(), String> {
+    let dfa = dfa_from_args(parsed)?;
+    let opts = parallel_options(parsed)?;
+    let result = construct_parallel(&dfa, &opts).map_err(|e| e.to_string())?;
+    let sfa = result.sfa;
+
+    // Sample 10 states from equidistant positions (§III-C methodology).
+    let n_states = sfa.num_states() as usize;
+    let samples: Vec<Vec<u8>> = (0..10)
+        .map(|i| {
+            let s = (i * n_states.max(1) / 10) as u32;
+            let mapping = sfa.mapping_of(s.min(sfa.num_states().saturating_sub(1)));
+            // Serialize like the store does (little-endian u16 when they fit).
+            if sfa.dfa_states() <= u16::MAX as usize + 1 {
+                mapping
+                    .iter()
+                    .flat_map(|&v| (v as u16).to_le_bytes())
+                    .collect()
+            } else {
+                mapping.iter().flat_map(|&v| v.to_le_bytes()).collect()
+            }
+        })
+        .collect();
+
+    let rows = sfa_compress::survey::run_survey(&samples);
+    println!(
+        "{:<10} {:>12} {:>12} {:>8} {:>12} {:>12}",
+        "codec", "input B", "output B", "ratio", "comp MiB/s", "dec MiB/s"
+    );
+    for r in rows {
+        println!(
+            "{:<10} {:>12} {:>12} {:>7.1}x {:>12.1} {:>12.1}",
+            r.codec,
+            r.input_bytes,
+            r.compressed_bytes,
+            r.ratio(),
+            r.compress_mib_s(),
+            r.decompress_mib_s()
+        );
+    }
+    Ok(())
+}
+
+/// `sfa verify` — cross-check parallel vs sequential construction.
+pub fn verify(parsed: &Parsed) -> Result<(), String> {
+    let dfa = dfa_from_args(parsed)?;
+    let seq =
+        construct_sequential(&dfa, SequentialVariant::Transposed).map_err(|e| e.to_string())?;
+    seq.sfa.validate(&dfa)?;
+    let opts = parallel_options(parsed)?;
+    let par = construct_parallel(&dfa, &opts).map_err(|e| e.to_string())?;
+    par.sfa.validate(&dfa)?;
+    if seq.sfa.num_states() != par.sfa.num_states() {
+        return Err(format!(
+            "state count mismatch: sequential {} vs parallel {}",
+            seq.sfa.num_states(),
+            par.sfa.num_states()
+        ));
+    }
+    println!(
+        "ok: {} SFA states from {} DFA states; sequential {:.3}s, parallel {:.3}s ({} threads)",
+        seq.sfa.num_states(),
+        dfa.num_states(),
+        seq.stats.total_secs,
+        par.stats.total_secs,
+        par.stats.threads,
+    );
+    Ok(())
+}
+
+/// `sfa dot` — Graphviz export of the pattern's DFA.
+pub fn dot(parsed: &Parsed) -> Result<(), String> {
+    let dfa = dfa_from_args(parsed)?;
+    let opts = sfa_automata::dot::DotOptions {
+        name: parsed.opt("name").unwrap_or("dfa").to_string(),
+        ..Default::default()
+    };
+    print!("{}", sfa_automata::dot::dfa_to_dot(&dfa, &opts));
+    Ok(())
+}
+
+/// `sfa workloads` — list the embedded PROSITE sample.
+pub fn workloads(parsed: &Parsed) -> Result<(), String> {
+    let budget = parsed.num("budget", 200_000usize)?;
+    println!("{:<10} {:>10}  pattern", "id", "DFA");
+    for p in sfa_workloads::embedded_patterns() {
+        let size = sfa_automata::pipeline::Pipeline::search(Alphabet::amino_acids())
+            .dfa_budget(budget)
+            .compile_prosite(p.pattern)
+            .map(|d| d.num_states().to_string())
+            .unwrap_or_else(|_| format!(">{budget}"));
+        println!("{:<10} {:>10}  {}", p.id, size, p.pattern);
+    }
+    Ok(())
+}

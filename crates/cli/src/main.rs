@@ -1,0 +1,173 @@
+//! `sfa` — command-line front end for the SFA construction library.
+//!
+//! ```text
+//! sfa compile  --prosite 'N-{P}-[ST]-{P}.'            # pattern → Grail+ DFA
+//! sfa build    --regex 'RG' --threads 4               # construct the SFA
+//! sfa build    --rn 500 --threads 8 --compress 64M    # the paper's r500
+//! sfa match    --prosite 'R-G-D.' --random 1000000    # parallel matching
+//! sfa survey   --rn 200                               # codec survey (E6)
+//! sfa verify   --regex 'R[GA]N'                       # seq vs par cross-check
+//! sfa workloads                                       # embedded PROSITE list
+//! ```
+//!
+//! Run `sfa help` for the full option list.
+
+use sfa_automata::grail;
+use sfa_automata::pipeline::Pipeline;
+use sfa_automata::Alphabet;
+use sfa_core::prelude::*;
+use sfa_core::sfa::CodecChoice;
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+use args::Parsed;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let Some(command) = argv.first() else {
+        print_help();
+        return Ok(());
+    };
+    let parsed = Parsed::parse(&argv[1..])?;
+    match command.as_str() {
+        "compile" => commands::compile(&parsed),
+        "build" => commands::build(&parsed),
+        "match" => commands::do_match(&parsed),
+        "survey" => commands::survey(&parsed),
+        "verify" => commands::verify(&parsed),
+        "workloads" => commands::workloads(&parsed),
+        "dot" => commands::dot(&parsed),
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; try `sfa help`")),
+    }
+}
+
+fn print_help() {
+    println!(
+        "sfa — simultaneous finite automata toolkit
+
+USAGE:
+    sfa <COMMAND> [OPTIONS]
+
+COMMANDS:
+    compile     compile a pattern to a minimal DFA (Grail+ text on stdout)
+    build       construct the SFA of a pattern; print statistics
+    match       match text against a pattern via parallel SFA matching
+    survey      run the codec survey over sampled SFA states
+    verify      cross-check parallel vs sequential construction
+    workloads   list the embedded PROSITE pattern sample
+    dot         render the pattern's DFA as a Graphviz digraph
+    help        show this message
+
+PATTERN SOURCES (exactly one):
+    --regex <r>      regular expression over the amino-acid alphabet
+    --prosite <p>    PROSITE-syntax pattern
+    --rn <n>         synthetic exact-string pattern of length n (r500 family)
+    --grail <file>   read a Grail+ DFA from a file
+
+COMMON OPTIONS:
+    --exact              do not wrap the pattern in Σ*·r·Σ*
+    --threads <n>        worker threads for `build`/`match` (default 4)
+    --seq <variant>      sequential engine: baseline | hashing | transposed
+    --budget <n>         SFA state budget (default 4194304)
+    --compress <bytes>   memory watermark for the compression phase
+                         (accepts suffixes K/M/G; `always`/`never`)
+    --codec <name>       deflate | lz77 | rle | store | hybrid (default deflate)
+    --scheduler <name>   stealing | global | mpmc (default stealing)
+    --blocks <n>         symbol blocks per work item (1 = coarse-grained)
+    --probabilistic      fingerprint-only state identity (Rabin, dense
+                         random modulus); big peak-memory saving
+    --json               machine-readable output
+    --lazy               match: construct SFA states on demand (lazy SFA)
+    --random <len>       match: generate protein-like text of this length
+    --text <string>      match: literal text
+    --text-file <path>   match: read text from a file
+    --fasta <path>       match: read a FASTA protein file"
+    );
+}
+
+/// Build the DFA from whichever pattern source was given.
+pub(crate) fn dfa_from_args(parsed: &Parsed) -> Result<sfa_automata::Dfa, String> {
+    let alpha = Alphabet::amino_acids();
+    let pipeline = if parsed.flag("exact") {
+        Pipeline::exact(alpha)
+    } else {
+        Pipeline::search(alpha)
+    };
+    let sources = [
+        parsed.opt("regex").is_some(),
+        parsed.opt("prosite").is_some(),
+        parsed.opt("rn").is_some(),
+        parsed.opt("grail").is_some(),
+    ]
+    .iter()
+    .filter(|&&x| x)
+    .count();
+    if sources != 1 {
+        return Err("give exactly one of --regex, --prosite, --rn, --grail".into());
+    }
+    if let Some(r) = parsed.opt("regex") {
+        return pipeline.compile_str(r).map_err(|e| e.to_string());
+    }
+    if let Some(p) = parsed.opt("prosite") {
+        return pipeline.compile_prosite(p).map_err(|e| e.to_string());
+    }
+    if let Some(n) = parsed.opt("rn") {
+        let n: usize = n.parse().map_err(|_| "--rn expects a number")?;
+        return Ok(sfa_automata::random::rn(n));
+    }
+    let path = parsed.opt("grail").unwrap();
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    grail::read_dfa(&text, None).map_err(|e| e.to_string())
+}
+
+pub(crate) fn parallel_options(parsed: &Parsed) -> Result<ParallelOptions, String> {
+    let mut opts = ParallelOptions::with_threads(parsed.num("threads", 4)?);
+    opts.state_budget = parsed.num("budget", 1 << 22)?;
+    if let Some(c) = parsed.opt("compress") {
+        opts.compression = match c {
+            "never" => CompressionPolicy::Never,
+            "always" => CompressionPolicy::FromStart,
+            other => CompressionPolicy::WhenMemoryExceeds(args::parse_bytes(other)?),
+        };
+    }
+    if let Some(c) = parsed.opt("codec") {
+        opts.codec = match c {
+            "deflate" => CodecChoice::Deflate,
+            "lz77" => CodecChoice::Lz77,
+            "rle" => CodecChoice::Rle,
+            "store" => CodecChoice::Store,
+            "hybrid" => CodecChoice::Hybrid,
+            other => return Err(format!("unknown codec {other:?}")),
+        };
+    }
+    opts.symbol_blocks = parsed.num("blocks", 1)?;
+    if parsed.flag("probabilistic") {
+        opts.probabilistic = true;
+        opts.fingerprint = sfa_core::parallel::FingerprintAlgo::Rabin;
+    }
+    if let Some(s) = parsed.opt("scheduler") {
+        opts.scheduler = match s {
+            "stealing" => Scheduler::WorkStealing,
+            "global" => Scheduler::GlobalOnly,
+            "mpmc" => Scheduler::SharedMpmc,
+            other => return Err(format!("unknown scheduler {other:?}")),
+        };
+    }
+    Ok(opts)
+}

@@ -1,0 +1,162 @@
+//! Deflate-class codec: LZSS dictionary stage + Huffman entropy stage.
+//!
+//! This is the codec the paper's three-phase construction algorithm
+//! applies to SFA states (§III-C). The LZSS stage (deflate window/match
+//! geometry) collapses the long repeated id runs typical of SFA state
+//! vectors; the Huffman stage then squeezes the residual token stream.
+//! On sink-dominated states this reaches two orders of magnitude, matching
+//! the paper's 95× observation for r500.
+
+use crate::codec::CodecError;
+use crate::{huffman, lz77};
+
+/// Block-mode marker: LZSS tokens entropy-coded with Huffman.
+const MODE_HUFFMAN: u8 = 0;
+/// Block-mode marker: raw LZSS tokens (chosen when the Huffman stage
+/// would not pay for its header — deflate's "stored block" decision,
+/// which matters for sub-kilobyte SFA states).
+const MODE_RAW: u8 = 1;
+
+/// Compress `input` into `out`.
+pub fn compress(input: &[u8], out: &mut Vec<u8>) {
+    // Stage 1: LZSS to a scratch buffer.
+    let mut lz = Vec::with_capacity(input.len() / 2 + 16);
+    lz77::compress(input, &mut lz);
+    // Stage 2: Huffman over the token bytes — kept only if it wins.
+    // Below ~160 token bytes the ≥33-byte table header cannot pay off
+    // even at maximal skew, so skip the attempt outright.
+    if lz.len() >= 160 {
+        let mut huff = Vec::with_capacity(lz.len());
+        huffman::encode(&lz, &mut huff);
+        if huff.len() < lz.len() {
+            out.push(MODE_HUFFMAN);
+            out.extend_from_slice(&huff);
+            return;
+        }
+    }
+    out.push(MODE_RAW);
+    out.extend_from_slice(&lz);
+}
+
+/// Decompress `input` into `out`.
+pub fn decompress(input: &[u8], out: &mut Vec<u8>) -> Result<(), CodecError> {
+    let (&mode, body) = input.split_first().ok_or(CodecError::Truncated)?;
+    match mode {
+        MODE_HUFFMAN => {
+            let mut lz = Vec::with_capacity(body.len() * 2 + 16);
+            huffman::decode(body, &mut lz)?;
+            lz77::decompress(&lz, out)
+        }
+        MODE_RAW => lz77::decompress(body, out),
+        _ => Err(CodecError::Corrupt("unknown deflate block mode")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn round_trip(input: &[u8]) -> Vec<u8> {
+        let mut c = Vec::new();
+        compress(input, &mut c);
+        let mut d = Vec::new();
+        decompress(&c, &mut d).unwrap();
+        d
+    }
+
+    #[test]
+    fn basic_round_trips() {
+        assert_eq!(round_trip(b""), b"");
+        assert_eq!(round_trip(b"a"), b"a");
+        assert_eq!(
+            round_trip(b"deflate test deflate test"),
+            b"deflate test deflate test"
+        );
+    }
+
+    #[test]
+    fn sfa_like_state_reaches_high_ratio() {
+        // Synthetic sink-dominated SFA state vector: 20k u16 entries,
+        // ~99.6% of them the sink id — the r500 shape.
+        let mut input = Vec::new();
+        for i in 0..20_000u32 {
+            let id: u16 = if i % 251 == 0 { (i % 500) as u16 } else { 501 };
+            input.extend_from_slice(&id.to_le_bytes());
+        }
+        let mut c = Vec::new();
+        compress(&input, &mut c);
+        let ratio = input.len() as f64 / c.len() as f64;
+        assert!(ratio > 40.0, "deflate-class ratio only {ratio:.1}x");
+        assert_eq!(round_trip(&input), input);
+    }
+
+    #[test]
+    fn text_like_data_reaches_modest_ratio() {
+        let text = b"It is a truth universally acknowledged, that a single man in \
+                     possession of a good fortune, must be in want of a wife. "
+            .repeat(40);
+        let mut c = Vec::new();
+        compress(&text, &mut c);
+        let ratio = text.len() as f64 / c.len() as f64;
+        // The paper cites ≤5x as typical for English corpora; repeated
+        // paragraphs do better, but we only require the sane range.
+        assert!(ratio > 3.0, "ratio {ratio:.1}");
+        assert_eq!(round_trip(&text), text);
+    }
+
+    #[test]
+    fn incompressible_data_survives() {
+        let input: Vec<u8> = (0..50_000u64)
+            .map(|i| (i.wrapping_mul(0x9E3779B97F4A7C15) >> 56) as u8)
+            .collect();
+        assert_eq!(round_trip(&input), input);
+    }
+
+    #[test]
+    fn corrupt_and_truncated_inputs_error() {
+        let input = b"compress me ".repeat(100);
+        let mut c = Vec::new();
+        compress(&input, &mut c);
+        let mut d = Vec::new();
+        assert!(decompress(&c[..c.len() / 2], &mut d).is_err());
+        let mut bad = c.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0xff;
+        let mut d = Vec::new();
+        // Either an explicit error or (rarely) a wrong-but-bounded result;
+        // never a panic. If it decodes, it must not equal the original.
+        match decompress(&bad, &mut d) {
+            Err(_) => {}
+            Ok(()) => assert_ne!(d, input),
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(input in proptest::collection::vec(any::<u8>(), 0..4000)) {
+            prop_assert_eq!(round_trip(&input), input);
+        }
+
+        #[test]
+        fn prop_round_trip_state_like(
+            seed in any::<u64>(),
+            n in 1usize..4000,
+            sink_bias in 2u64..40,
+        ) {
+            // u16 id vectors with a dominant sink id.
+            let mut input = Vec::with_capacity(n * 2);
+            let mut s = seed;
+            for _ in 0..n {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let id: u16 = if (s >> 33) % sink_bias == 0 {
+                    ((s >> 17) % 500) as u16
+                } else {
+                    501
+                };
+                input.extend_from_slice(&id.to_le_bytes());
+            }
+            prop_assert_eq!(round_trip(&input), input);
+        }
+    }
+}

@@ -1,0 +1,466 @@
+//! Canonical Huffman entropy coding (the deflate codec's second stage).
+//!
+//! Length-limited (≤ 15 bits, like deflate) canonical codes over the byte
+//! alphabet. The header stores the 256 code lengths packed two-per-byte,
+//! so decompressors rebuild the canonical code without transmitting the
+//! tree.
+
+use crate::codec::CodecError;
+use crate::varint;
+
+/// Maximum code length in bits (deflate's limit).
+pub const MAX_BITS: usize = 15;
+
+/// Compute Huffman code lengths for `freq`, limited to [`MAX_BITS`].
+///
+/// Uses the classic two-queue/heap algorithm; if the resulting tree is
+/// deeper than the limit, frequencies are flattened (`f → f/2 + 1`) and
+/// the tree rebuilt — a standard practical length-limiting technique.
+pub fn code_lengths(freq: &[u64; 256]) -> [u8; 256] {
+    let mut f: Vec<u64> = freq.to_vec();
+    loop {
+        let lengths = unlimited_code_lengths(&f);
+        if lengths.iter().all(|&l| (l as usize) <= MAX_BITS) {
+            let mut out = [0u8; 256];
+            out.copy_from_slice(&lengths);
+            return out;
+        }
+        for v in f.iter_mut() {
+            if *v > 0 {
+                *v = *v / 2 + 1;
+            }
+        }
+    }
+}
+
+fn unlimited_code_lengths(freq: &[u64]) -> Vec<u8> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let symbols: Vec<usize> = (0..freq.len()).filter(|&s| freq[s] > 0).collect();
+    let mut lengths = vec![0u8; freq.len()];
+    match symbols.len() {
+        0 => return lengths,
+        1 => {
+            // A single distinct symbol still needs one bit.
+            lengths[symbols[0]] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+
+    // Node arena: leaves then internals; parent links give depths.
+    #[derive(Clone)]
+    struct Node {
+        parent: usize,
+    }
+    let mut nodes: Vec<Node> = Vec::with_capacity(symbols.len() * 2);
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    for &s in &symbols {
+        let id = nodes.len();
+        nodes.push(Node { parent: usize::MAX });
+        heap.push(Reverse((freq[s], id)));
+    }
+    while heap.len() > 1 {
+        let Reverse((fa, a)) = heap.pop().unwrap();
+        let Reverse((fb, b)) = heap.pop().unwrap();
+        let id = nodes.len();
+        nodes.push(Node { parent: usize::MAX });
+        nodes[a].parent = id;
+        nodes[b].parent = id;
+        heap.push(Reverse((fa + fb, id)));
+    }
+    // Depth of each leaf = number of parent hops to the root.
+    for (leaf_idx, &s) in symbols.iter().enumerate() {
+        let mut depth = 0u32;
+        let mut cur = leaf_idx;
+        while nodes[cur].parent != usize::MAX {
+            cur = nodes[cur].parent;
+            depth += 1;
+        }
+        lengths[s] = depth.min(255) as u8;
+    }
+    lengths
+}
+
+/// Assign canonical codes (increasing by (length, symbol)).
+/// Returns `codes[sym]`; only meaningful where `lengths[sym] > 0`.
+pub fn canonical_codes(lengths: &[u8; 256]) -> [u16; 256] {
+    let mut bl_count = [0u16; MAX_BITS + 1];
+    for &l in lengths.iter() {
+        if l > 0 {
+            bl_count[l as usize] += 1;
+        }
+    }
+    let mut next_code = [0u16; MAX_BITS + 2];
+    let mut code = 0u16;
+    for bits in 1..=MAX_BITS {
+        code = (code + bl_count[bits - 1]) << 1;
+        next_code[bits] = code;
+    }
+    let mut codes = [0u16; 256];
+    for sym in 0..256 {
+        let len = lengths[sym] as usize;
+        if len > 0 {
+            codes[sym] = next_code[len];
+            next_code[len] += 1;
+        }
+    }
+    codes
+}
+
+/// MSB-first bit writer.
+pub struct BitWriter<'a> {
+    out: &'a mut Vec<u8>,
+    bit_buf: u64,
+    bit_count: u32,
+}
+
+impl<'a> BitWriter<'a> {
+    /// Write into `out`.
+    pub fn new(out: &'a mut Vec<u8>) -> Self {
+        BitWriter {
+            out,
+            bit_buf: 0,
+            bit_count: 0,
+        }
+    }
+
+    /// Append the low `len` bits of `code`, MSB of the code first.
+    #[inline]
+    pub fn write(&mut self, code: u16, len: u8) {
+        debug_assert!(len as usize <= MAX_BITS && len > 0);
+        self.bit_buf = (self.bit_buf << len) | code as u64;
+        self.bit_count += len as u32;
+        while self.bit_count >= 8 {
+            self.bit_count -= 8;
+            self.out.push((self.bit_buf >> self.bit_count) as u8);
+        }
+    }
+
+    /// Flush trailing bits (zero-padded).
+    pub fn finish(mut self) {
+        if self.bit_count > 0 {
+            let pad = 8 - self.bit_count;
+            self.bit_buf <<= pad;
+            self.out.push(self.bit_buf as u8);
+        }
+        self.bit_count = 0;
+    }
+}
+
+/// MSB-first bit reader.
+pub struct BitReader<'a> {
+    input: &'a [u8],
+    pos: usize,
+    bit_buf: u64,
+    bit_count: u32,
+}
+
+impl<'a> BitReader<'a> {
+    /// Read from `input[pos..]`.
+    pub fn new(input: &'a [u8], pos: usize) -> Self {
+        BitReader {
+            input,
+            pos,
+            bit_buf: 0,
+            bit_count: 0,
+        }
+    }
+
+    /// Next single bit.
+    #[inline]
+    pub fn bit(&mut self) -> Result<u32, CodecError> {
+        if self.bit_count == 0 {
+            let byte = *self.input.get(self.pos).ok_or(CodecError::Truncated)?;
+            self.pos += 1;
+            self.bit_buf = byte as u64;
+            self.bit_count = 8;
+        }
+        self.bit_count -= 1;
+        Ok(((self.bit_buf >> self.bit_count) & 1) as u32)
+    }
+}
+
+/// Canonical decoder tables.
+pub struct Decoder {
+    /// Smallest code of each length.
+    first_code: [u32; MAX_BITS + 1],
+    /// Number of codes of each length.
+    count: [u32; MAX_BITS + 1],
+    /// Offset into `symbols` of each length's first code.
+    offset: [u32; MAX_BITS + 1],
+    /// Symbols sorted by (length, symbol).
+    symbols: Vec<u8>,
+}
+
+impl Decoder {
+    /// Build decoder tables from code lengths.
+    pub fn new(lengths: &[u8; 256]) -> Result<Decoder, CodecError> {
+        let mut count = [0u32; MAX_BITS + 1];
+        for &l in lengths.iter() {
+            if l as usize > MAX_BITS {
+                return Err(CodecError::Corrupt("code length exceeds limit"));
+            }
+            if l > 0 {
+                count[l as usize] += 1;
+            }
+        }
+        let mut first_code = [0u32; MAX_BITS + 1];
+        let mut offset = [0u32; MAX_BITS + 1];
+        let mut code = 0u32;
+        let mut off = 0u32;
+        // Three arrays share the index; a zip would obscure the coupling.
+        #[allow(clippy::needless_range_loop)]
+        for bits in 1..=MAX_BITS {
+            code = (code + count[bits - 1]) << 1;
+            first_code[bits] = code;
+            offset[bits] = off;
+            off += count[bits];
+        }
+        // Over-subscribed trees would let decode index out of bounds.
+        let total: u64 = (1..=MAX_BITS)
+            .map(|bits| (count[bits] as u64) << (MAX_BITS - bits))
+            .sum();
+        if total > 1u64 << MAX_BITS {
+            return Err(CodecError::Corrupt("over-subscribed Huffman tree"));
+        }
+        let mut symbols = Vec::with_capacity(off as usize);
+        for bits in 1..=MAX_BITS as u8 {
+            for (sym, &l) in lengths.iter().enumerate() {
+                if l == bits {
+                    symbols.push(sym as u8);
+                }
+            }
+        }
+        Ok(Decoder {
+            first_code,
+            count,
+            offset,
+            symbols,
+        })
+    }
+
+    /// Decode one symbol.
+    #[inline]
+    pub fn decode(&self, r: &mut BitReader<'_>) -> Result<u8, CodecError> {
+        let mut code = 0u32;
+        for bits in 1..=MAX_BITS {
+            code = (code << 1) | r.bit()?;
+            let idx = code.wrapping_sub(self.first_code[bits]);
+            if idx < self.count[bits] {
+                return Ok(self.symbols[(self.offset[bits] + idx) as usize]);
+            }
+        }
+        Err(CodecError::Corrupt("invalid Huffman code"))
+    }
+}
+
+/// Encode `input` (lengths header + bit stream). Standalone byte-oriented
+/// Huffman; the deflate codec feeds it the serialized LZSS stream.
+///
+/// Header layout (compact — SFA states are often only a few hundred
+/// bytes, so a flat 128-byte table would dominate): a 32-byte presence
+/// bitmap of the symbols that occur, then one 4-bit code length per
+/// present symbol (two per byte, in symbol order).
+pub fn encode(input: &[u8], out: &mut Vec<u8>) {
+    varint::write_u64(out, input.len() as u64);
+    if input.is_empty() {
+        return;
+    }
+    let mut freq = [0u64; 256];
+    for &b in input {
+        freq[b as usize] += 1;
+    }
+    let lengths = code_lengths(&freq);
+    let codes = canonical_codes(&lengths);
+    // Presence bitmap.
+    let mut bitmap = [0u8; 32];
+    let mut present: Vec<u8> = Vec::new();
+    for (sym, &l) in lengths.iter().enumerate() {
+        if l > 0 {
+            bitmap[sym / 8] |= 1 << (sym % 8);
+            present.push(l);
+        }
+    }
+    out.extend_from_slice(&bitmap);
+    for pair in present.chunks(2) {
+        let lo = pair[0];
+        let hi = if pair.len() == 2 { pair[1] } else { 0 };
+        out.push((lo << 4) | hi);
+    }
+    let mut w = BitWriter::new(out);
+    for &b in input {
+        w.write(codes[b as usize], lengths[b as usize]);
+    }
+    w.finish();
+}
+
+/// Decode a stream produced by [`encode`].
+pub fn decode(input: &[u8], out: &mut Vec<u8>) -> Result<(), CodecError> {
+    let mut pos = 0usize;
+    let total = varint::read_u64(input, &mut pos)? as usize;
+    if total == 0 {
+        return Ok(());
+    }
+    let bitmap = input.get(pos..pos + 32).ok_or(CodecError::Truncated)?;
+    let present: Vec<usize> = (0..256)
+        .filter(|&sym| bitmap[sym / 8] & (1 << (sym % 8)) != 0)
+        .collect();
+    pos += 32;
+    let nibble_bytes = present.len().div_ceil(2);
+    let packed = input
+        .get(pos..pos + nibble_bytes)
+        .ok_or(CodecError::Truncated)?;
+    let mut lengths = [0u8; 256];
+    for (i, &sym) in present.iter().enumerate() {
+        let byte = packed[i / 2];
+        let l = if i % 2 == 0 { byte >> 4 } else { byte & 0x0f };
+        if l == 0 {
+            return Err(CodecError::Corrupt("present symbol with zero length"));
+        }
+        lengths[sym] = l;
+    }
+    pos += nibble_bytes;
+    let dec = Decoder::new(&lengths)?;
+    // Sanity-cap the pre-allocation: a corrupt header can declare any
+    // length, but a valid stream of N symbols needs at least N bits, so
+    // anything beyond 8× the remaining input is provably corrupt.
+    if total > input.len().saturating_sub(pos).saturating_mul(8) {
+        return Err(CodecError::Corrupt("declared length exceeds bit budget"));
+    }
+    let mut r = BitReader::new(input, pos);
+    out.reserve(total);
+    for _ in 0..total {
+        out.push(dec.decode(&mut r)?);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn round_trip(input: &[u8]) -> Vec<u8> {
+        let mut c = Vec::new();
+        encode(input, &mut c);
+        let mut d = Vec::new();
+        decode(&c, &mut d).unwrap();
+        d
+    }
+
+    #[test]
+    fn empty_single_and_uniform() {
+        assert_eq!(round_trip(b""), b"");
+        assert_eq!(round_trip(b"x"), b"x");
+        assert_eq!(round_trip(&vec![9u8; 1000]), vec![9u8; 1000]);
+    }
+
+    #[test]
+    fn skewed_distribution_compresses() {
+        let mut input = vec![b'a'; 9_000];
+        input.extend(std::iter::repeat_n(b'b', 900));
+        input.extend(std::iter::repeat_n(b'c', 100));
+        let mut c = Vec::new();
+        encode(&input, &mut c);
+        // Entropy ≈ 0.57 bits/byte; header costs 128 bytes.
+        assert!(c.len() < input.len() / 4, "huffman got {} bytes", c.len());
+        assert_eq!(round_trip(&input), input);
+    }
+
+    #[test]
+    fn all_256_symbols() {
+        let input: Vec<u8> = (0..=255u8).cycle().take(4096).collect();
+        assert_eq!(round_trip(&input), input);
+    }
+
+    #[test]
+    fn code_lengths_satisfy_kraft() {
+        let mut freq = [0u64; 256];
+        for (i, f) in freq.iter_mut().enumerate() {
+            *f = (i as u64 + 1).pow(2); // heavy skew
+        }
+        let lengths = code_lengths(&freq);
+        let kraft: f64 = lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 2f64.powi(-(l as i32)))
+            .sum();
+        assert!(kraft <= 1.0 + 1e-9, "Kraft sum {kraft}");
+        assert!(lengths.iter().all(|&l| (l as usize) <= MAX_BITS));
+    }
+
+    #[test]
+    fn length_limit_holds_under_extreme_skew() {
+        // Fibonacci-like frequencies would give depth ≈ 40 unlimited.
+        let mut freq = [0u64; 256];
+        let (mut a, mut b) = (1u64, 1u64);
+        for f in freq.iter_mut().take(60) {
+            *f = a;
+            let c = a + b;
+            a = b;
+            b = c;
+        }
+        let lengths = code_lengths(&freq);
+        assert!(lengths.iter().all(|&l| (l as usize) <= MAX_BITS));
+        // And the code must still round-trip data drawn from it.
+        let input: Vec<u8> = (0..60u8).cycle().take(3000).collect();
+        assert_eq!(round_trip(&input), input);
+    }
+
+    #[test]
+    fn canonical_codes_are_prefix_free() {
+        let mut freq = [0u64; 256];
+        for (i, f) in freq.iter_mut().enumerate() {
+            *f = 1 + (i as u64 % 7) * 100;
+        }
+        let lengths = code_lengths(&freq);
+        let codes = canonical_codes(&lengths);
+        for a in 0..256 {
+            for b in 0..256 {
+                if a == b || lengths[a] == 0 || lengths[b] == 0 {
+                    continue;
+                }
+                let (la, lb) = (lengths[a], lengths[b]);
+                if la <= lb {
+                    let prefix = codes[b] >> (lb - la);
+                    assert!((prefix != codes[a]), "code {a} is a prefix of code {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let input = b"hello huffman world".repeat(20);
+        let mut c = Vec::new();
+        encode(&input, &mut c);
+        for cut in [1usize, 10, 100, c.len() - 1] {
+            if cut < c.len() {
+                let mut d = Vec::new();
+                assert!(decode(&c[..cut], &mut d).is_err(), "cut {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_header_detected() {
+        let mut c = Vec::new();
+        encode(b"some data to encode some data", &mut c);
+        // Claim absurd lengths in the header.
+        let mut bad = c.clone();
+        for b in bad.iter_mut().skip(1).take(128) {
+            *b = 0x11; // all lengths 1 → over-subscribed
+        }
+        let mut d = Vec::new();
+        assert!(decode(&bad, &mut d).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(input in proptest::collection::vec(any::<u8>(), 0..3000)) {
+            prop_assert_eq!(round_trip(&input), input);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! In-memory compression substrate for SFA states (§III-C).
+//!
+//! The paper mitigates SFA state explosion by compressing state vectors
+//! in place once memory runs low, finding LZ77-based dictionary codecs —
+//! deflate in particular — the most effective (17×–30× on PROSITE SFA
+//! states, ~95× on sink-dominated r500 states, versus ≤5× for ordinary
+//! text corpora). This crate provides:
+//!
+//! * [`codec::Codec`] — the codec interface plus a registry,
+//! * [`lz77`] — an LZSS dictionary stage (hash-chain match finder, 32 KiB
+//!   window, 258-byte matches: deflate's geometry),
+//! * [`huffman`] — a canonical Huffman entropy stage,
+//! * [`deflate`] — the combined deflate-class codec the construction
+//!   algorithm uses by default,
+//! * [`rle`] — run-length coding, the paper's suggested alternative for
+//!   sink-dominated SFAs (§III-C),
+//! * [`varint`] — LEB128 integers shared by the formats,
+//! * [`survey`] — a Squash-style codec survey used by experiment E6.
+
+pub mod codec;
+pub mod deflate;
+pub mod huffman;
+pub mod lz77;
+pub mod rle;
+pub mod survey;
+pub mod varint;
+
+pub use codec::{all_codecs, Codec, CodecError, DeflateCodec, Lz77Codec, RleCodec, StoreCodec};

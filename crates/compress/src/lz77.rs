@@ -1,0 +1,323 @@
+//! LZSS dictionary stage with deflate geometry.
+//!
+//! Hash-chain match finder over a 32 KiB sliding window, minimum match 4,
+//! maximum match 258 — the shape of deflate's LZ77 stage, which the paper
+//! found most effective on SFA states (§III-C: "We found LZ77-based
+//! codecs, in particular the deflate codec, to achieve the highest
+//! compression ratios").
+//!
+//! Token format (self-delimiting, varint-based):
+//!
+//! ```text
+//! header := varint(total_uncompressed_len)
+//! op     := varint(v)
+//!           v even → literal run of v >> 1 bytes; raw bytes follow
+//!           v odd  → match of length v >> 1; varint(distance) follows
+//! ```
+//!
+//! (The length header lets decompressors pre-allocate and detect
+//! truncation precisely.)
+
+use crate::codec::CodecError;
+use crate::varint;
+
+/// Sliding-window size (deflate: 32 KiB).
+pub const WINDOW: usize = 32 * 1024;
+/// Minimum useful match length.
+pub const MIN_MATCH: usize = 4;
+/// Maximum match length (deflate: 258).
+pub const MAX_MATCH: usize = 258;
+
+const HASH_BITS: usize = 15;
+/// Limit on chain walks per position (compression effort knob).
+const MAX_CHAIN: usize = 64;
+
+#[inline]
+fn hash4(data: &[u8], shift: u32) -> usize {
+    let v = u32::from_le_bytes(data[..4].try_into().unwrap());
+    (v.wrapping_mul(2654435761) >> shift) as usize
+}
+
+/// One LZSS operation (exposed for the deflate stage and for tests).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Copy literal bytes from the source.
+    Literals { start: usize, len: usize },
+    /// Copy `len` bytes from `dist` bytes back in the output.
+    Match { len: usize, dist: usize },
+}
+
+/// Run the match finder, producing the op sequence for `input`.
+pub fn tokenize(input: &[u8]) -> Vec<Op> {
+    let mut ops = Vec::new();
+    let n = input.len();
+    // Size the chain tables to the input: zeroing the full 32 Ki-entry
+    // tables would dominate when compressing sub-kilobyte SFA states.
+    let hash_bits =
+        (usize::BITS - n.next_power_of_two().leading_zeros()).clamp(6, HASH_BITS as u32) as usize;
+    let hash_size = 1usize << hash_bits;
+    let hash_shift = 32 - hash_bits as u32;
+    let ring = n.next_power_of_two().min(WINDOW);
+    let ring_mask = ring - 1;
+    // head[h] = most recent position with hash h (+1; 0 = none)
+    let mut head = vec![0u32; hash_size];
+    // prev[i & ring_mask] = previous position with the same hash as i (+1)
+    let mut prev = vec![0u32; ring];
+
+    let mut i = 0usize;
+    let mut lit_start = 0usize;
+    while i + MIN_MATCH <= n {
+        let h = hash4(&input[i..], hash_shift);
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        let mut cand = head[h] as usize;
+        let mut chain = 0usize;
+        while cand > 0 && chain < MAX_CHAIN {
+            let pos = cand - 1;
+            if i - pos > WINDOW {
+                break;
+            }
+            // Extend the match.
+            let limit = (n - i).min(MAX_MATCH);
+            let mut len = 0usize;
+            while len < limit && input[pos + len] == input[i + len] {
+                len += 1;
+            }
+            if len > best_len {
+                best_len = len;
+                best_dist = i - pos;
+                if len >= limit {
+                    break;
+                }
+            }
+            cand = prev[pos & ring_mask] as usize;
+            chain += 1;
+        }
+
+        // Insert current position into the chains.
+        prev[i & ring_mask] = head[h];
+        head[h] = (i + 1) as u32;
+
+        if best_len >= MIN_MATCH {
+            if lit_start < i {
+                ops.push(Op::Literals {
+                    start: lit_start,
+                    len: i - lit_start,
+                });
+            }
+            ops.push(Op::Match {
+                len: best_len,
+                dist: best_dist,
+            });
+            // Insert the skipped positions (lazily: every position keeps
+            // the chains dense enough for the next searches).
+            let end = i + best_len;
+            i += 1;
+            while i < end && i + MIN_MATCH <= n {
+                let h = hash4(&input[i..], hash_shift);
+                prev[i & ring_mask] = head[h];
+                head[h] = (i + 1) as u32;
+                i += 1;
+            }
+            i = end;
+            lit_start = i;
+        } else {
+            i += 1;
+        }
+    }
+    if lit_start < n {
+        ops.push(Op::Literals {
+            start: lit_start,
+            len: n - lit_start,
+        });
+    }
+    ops
+}
+
+/// Serialize ops into the raw LZSS byte format.
+pub fn emit(input: &[u8], ops: &[Op], out: &mut Vec<u8>) {
+    varint::write_u64(out, input.len() as u64);
+    for op in ops {
+        match *op {
+            Op::Literals { start, len } => {
+                varint::write_u64(out, (len as u64) << 1);
+                out.extend_from_slice(&input[start..start + len]);
+            }
+            Op::Match { len, dist } => {
+                varint::write_u64(out, ((len as u64) << 1) | 1);
+                varint::write_u32(out, dist as u32);
+            }
+        }
+    }
+}
+
+/// Compress = tokenize + emit.
+pub fn compress(input: &[u8], out: &mut Vec<u8>) {
+    let ops = tokenize(input);
+    emit(input, &ops, out);
+}
+
+/// Decompress the raw LZSS format.
+pub fn decompress(input: &[u8], out: &mut Vec<u8>) -> Result<(), CodecError> {
+    let mut pos = 0usize;
+    let total = varint::read_u64(input, &mut pos)? as usize;
+    let base = out.len();
+    while out.len() - base < total {
+        let v = varint::read_u64(input, &mut pos)?;
+        let len = (v >> 1) as usize;
+        if len == 0 {
+            return Err(CodecError::Corrupt("zero-length op"));
+        }
+        // Reject before executing: a corrupt op length must not drive a
+        // giant allocation/copy only to fail the post-check afterwards.
+        if len > total - (out.len() - base) {
+            return Err(CodecError::Corrupt("op overruns declared length"));
+        }
+        if v & 1 == 0 {
+            let chunk = input.get(pos..pos + len).ok_or(CodecError::Truncated)?;
+            out.extend_from_slice(chunk);
+            pos += len;
+        } else {
+            let dist = varint::read_u32(input, &mut pos)? as usize;
+            if dist == 0 || dist > out.len() - base {
+                return Err(CodecError::Corrupt("match distance out of range"));
+            }
+            // Overlapping copies are the point (dist < len repeats) — a
+            // slice memcpy would be wrong here.
+            let mut src = out.len() - dist;
+            #[allow(clippy::explicit_counter_loop)]
+            for _ in 0..len {
+                let b = out[src];
+                out.push(b);
+                src += 1;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn round_trip(input: &[u8]) -> Vec<u8> {
+        let mut c = Vec::new();
+        compress(input, &mut c);
+        let mut d = Vec::new();
+        decompress(&c, &mut d).unwrap();
+        d
+    }
+
+    #[test]
+    fn empty_and_small() {
+        assert_eq!(round_trip(b""), b"");
+        assert_eq!(round_trip(b"abc"), b"abc");
+        assert_eq!(round_trip(b"aaaa"), b"aaaa");
+    }
+
+    #[test]
+    fn repeated_pattern_compresses() {
+        let input: Vec<u8> = b"ABCDEFGH".iter().copied().cycle().take(64_000).collect();
+        let mut c = Vec::new();
+        compress(&input, &mut c);
+        assert!(c.len() < input.len() / 50, "lz77 got {} bytes", c.len());
+        assert_eq!(round_trip(&input), input);
+    }
+
+    #[test]
+    fn overlapping_match_run() {
+        // "aaaa..." forces dist=1 overlapping copies.
+        let input = vec![b'a'; 10_000];
+        let mut c = Vec::new();
+        compress(&input, &mut c);
+        assert!(c.len() < 400, "lz77 got {} bytes", c.len()); // ~40 ops at MAX_MATCH=258
+        assert_eq!(round_trip(&input), input);
+    }
+
+    #[test]
+    fn long_range_matches_within_window() {
+        let mut input = Vec::new();
+        let block: Vec<u8> = (0..1000u32).map(|i| (i * 7) as u8).collect();
+        input.extend_from_slice(&block);
+        input.extend(std::iter::repeat_n(b'x', 20_000));
+        input.extend_from_slice(&block); // 21 KB back-reference, inside window
+        assert_eq!(round_trip(&input), input);
+        let mut c = Vec::new();
+        compress(&input, &mut c);
+        assert!(c.len() < input.len() / 5);
+    }
+
+    #[test]
+    fn matches_beyond_window_are_not_used() {
+        let mut input = Vec::new();
+        let block: Vec<u8> = (0..500u32).map(|i| (i.wrapping_mul(97)) as u8).collect();
+        input.extend_from_slice(&block);
+        input.extend((0..WINDOW + 100).map(|i| (i as u32).wrapping_mul(2654435761) as u8));
+        input.extend_from_slice(&block); // > 32 KiB back: must still round-trip
+        assert_eq!(round_trip(&input), input);
+    }
+
+    #[test]
+    fn corrupt_distance_detected() {
+        let mut c = Vec::new();
+        varint::write_u64(&mut c, 8); // claim 8 bytes
+        varint::write_u64(&mut c, (4 << 1) | 1); // match len 4
+        varint::write_u32(&mut c, 9); // distance beyond output
+        let mut d = Vec::new();
+        assert!(matches!(
+            decompress(&c, &mut d),
+            Err(CodecError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let input: Vec<u8> = b"hello hello hello hello".to_vec();
+        let mut c = Vec::new();
+        compress(&input, &mut c);
+        for cut in 0..c.len() {
+            let mut d = Vec::new();
+            assert!(
+                decompress(&c[..cut], &mut d).is_err(),
+                "cut at {cut} silently succeeded"
+            );
+        }
+    }
+
+    #[test]
+    fn tokenize_covers_input_exactly() {
+        let input: Vec<u8> = b"the quick brown fox the quick brown fox".to_vec();
+        let ops = tokenize(&input);
+        let mut covered = 0usize;
+        for op in &ops {
+            match op {
+                Op::Literals { len, .. } => covered += len,
+                Op::Match { len, .. } => covered += len,
+            }
+        }
+        assert_eq!(covered, input.len());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip_random(input in proptest::collection::vec(any::<u8>(), 0..4000)) {
+            prop_assert_eq!(round_trip(&input), input);
+        }
+
+        #[test]
+        fn prop_round_trip_low_entropy(
+            seed in any::<u64>(),
+            n in 0usize..6000,
+            alphabet in 1u8..5,
+        ) {
+            let mut input = Vec::with_capacity(n);
+            let mut s = seed;
+            for _ in 0..n {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                input.push(((s >> 33) as u8) % alphabet);
+            }
+            prop_assert_eq!(round_trip(&input), input);
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Squash-style codec survey (experiment E6).
+//!
+//! The paper selected its codec by running the Squash benchmark's 43
+//! codecs over sampled SFA states (§III-C). This module reproduces that
+//! methodology over this crate's codec registry: feed state samples,
+//! measure compression ratio and throughput per codec, rank by ratio.
+
+use crate::codec::{all_codecs, Codec};
+use std::time::Instant;
+
+/// Per-codec survey result.
+#[derive(Debug, Clone)]
+pub struct SurveyRow {
+    /// Codec name.
+    pub codec: &'static str,
+    /// Total input bytes across all samples.
+    pub input_bytes: usize,
+    /// Total compressed bytes.
+    pub compressed_bytes: usize,
+    /// Compression wall time in seconds.
+    pub compress_secs: f64,
+    /// Decompression wall time in seconds.
+    pub decompress_secs: f64,
+}
+
+impl SurveyRow {
+    /// Compression ratio (input / compressed), the paper's metric.
+    pub fn ratio(&self) -> f64 {
+        if self.compressed_bytes == 0 {
+            0.0
+        } else {
+            self.input_bytes as f64 / self.compressed_bytes as f64
+        }
+    }
+
+    /// Compression throughput in MiB/s.
+    pub fn compress_mib_s(&self) -> f64 {
+        if self.compress_secs == 0.0 {
+            f64::INFINITY
+        } else {
+            self.input_bytes as f64 / (1024.0 * 1024.0) / self.compress_secs
+        }
+    }
+
+    /// Decompression throughput in MiB/s.
+    pub fn decompress_mib_s(&self) -> f64 {
+        if self.decompress_secs == 0.0 {
+            f64::INFINITY
+        } else {
+            self.input_bytes as f64 / (1024.0 * 1024.0) / self.decompress_secs
+        }
+    }
+}
+
+/// Run every registered codec over `samples`; verify round-trips; return
+/// rows sorted by descending ratio.
+pub fn run_survey(samples: &[Vec<u8>]) -> Vec<SurveyRow> {
+    let mut rows = Vec::new();
+    for codec in all_codecs() {
+        rows.push(survey_codec(codec.as_ref(), samples));
+    }
+    rows.sort_by(|a, b| b.ratio().partial_cmp(&a.ratio()).unwrap());
+    rows
+}
+
+/// Survey one codec.
+pub fn survey_codec(codec: &dyn Codec, samples: &[Vec<u8>]) -> SurveyRow {
+    let mut input_bytes = 0usize;
+    let mut compressed_bytes = 0usize;
+    let mut compress_secs = 0.0f64;
+    let mut decompress_secs = 0.0f64;
+    for sample in samples {
+        input_bytes += sample.len();
+        let t0 = Instant::now();
+        let compressed = codec.compress_to_vec(sample);
+        compress_secs += t0.elapsed().as_secs_f64();
+        compressed_bytes += compressed.len();
+        let t1 = Instant::now();
+        let restored = codec
+            .decompress_to_vec(&compressed)
+            .expect("survey codec failed round trip");
+        decompress_secs += t1.elapsed().as_secs_f64();
+        assert_eq!(&restored, sample, "{} corrupted a sample", codec.name());
+    }
+    SurveyRow {
+        codec: codec.name(),
+        input_bytes,
+        compressed_bytes,
+        compress_secs,
+        decompress_secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sink_dominated_sample(n_entries: usize, sink: u16, period: usize) -> Vec<u8> {
+        let mut v = Vec::with_capacity(n_entries * 2);
+        for i in 0..n_entries {
+            let id = if i % period == 0 {
+                (i % 499) as u16
+            } else {
+                sink
+            };
+            v.extend_from_slice(&id.to_le_bytes());
+        }
+        v
+    }
+
+    #[test]
+    fn survey_ranks_dictionary_codecs_first_on_sfa_states() {
+        let samples: Vec<Vec<u8>> = (0..10)
+            .map(|i| sink_dominated_sample(10_000, 501, 100 + i * 13))
+            .collect();
+        let rows = run_survey(&samples);
+        assert_eq!(rows.len(), crate::all_codecs().len());
+        // Paper finding: LZ77-class (deflate/lz77) beat RLE beat store.
+        let pos = |name: &str| rows.iter().position(|r| r.codec == name).unwrap();
+        assert!(pos("deflate") < pos("store"));
+        assert!(pos("lz77") < pos("store"));
+        assert!(pos("rle") < pos("store"));
+        assert!(pos("deflate") < pos("rle"));
+        // Deflate-class ratio must be in the "high" regime.
+        let deflate = &rows[pos("deflate")];
+        assert!(deflate.ratio() > 17.0, "ratio {}", deflate.ratio());
+        // Store is exactly 1.0.
+        let store = &rows[pos("store")];
+        assert!((store.ratio() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_fields_are_populated() {
+        let samples = vec![sink_dominated_sample(50_000, 501, 97)];
+        let rows = run_survey(&samples);
+        for r in rows {
+            assert!(r.compress_mib_s() > 0.0);
+            assert!(r.decompress_mib_s() > 0.0);
+            assert_eq!(r.input_bytes, 100_000);
+        }
+    }
+
+    #[test]
+    fn empty_samples() {
+        let rows = run_survey(&[]);
+        for r in rows {
+            assert_eq!(r.input_bytes, 0);
+            assert_eq!(r.ratio(), 0.0);
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! LEB128 variable-length integers (shared by the codec formats).
+
+use crate::codec::CodecError;
+
+/// Append `value` as LEB128.
+#[inline]
+pub fn write_u64(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Append a `u32` as LEB128.
+#[inline]
+pub fn write_u32(out: &mut Vec<u8>, value: u32) {
+    write_u64(out, value as u64);
+}
+
+/// Decode a LEB128 integer starting at `input[*pos]`, advancing `pos`.
+#[inline]
+pub fn read_u64(input: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *input.get(*pos).ok_or(CodecError::Truncated)?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(CodecError::Corrupt("varint overflow"));
+        }
+        // The 10th byte may only contribute one bit.
+        if shift == 63 && (byte & 0x7e) != 0 {
+            return Err(CodecError::Corrupt("varint overflow"));
+        }
+        value |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+/// Decode a `u32` (errors if the value exceeds `u32::MAX`).
+#[inline]
+pub fn read_u32(input: &[u8], pos: &mut usize) -> Result<u32, CodecError> {
+    let v = read_u64(input, pos)?;
+    u32::try_from(v).map_err(|_| CodecError::Corrupt("u32 varint out of range"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_representative_values() {
+        let values = [
+            0u64,
+            1,
+            127,
+            128,
+            129,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        let mut buf = Vec::new();
+        for &v in &values {
+            write_u64(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(read_u64(&buf, &mut pos).unwrap(), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn encoding_lengths() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 0);
+        assert_eq!(buf.len(), 1);
+        buf.clear();
+        write_u64(&mut buf, 127);
+        assert_eq!(buf.len(), 1);
+        buf.clear();
+        write_u64(&mut buf, 128);
+        assert_eq!(buf.len(), 2);
+        buf.clear();
+        write_u64(&mut buf, u64::MAX);
+        assert_eq!(buf.len(), 10);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 1_000_000);
+        let mut pos = 0;
+        assert!(matches!(
+            read_u64(&buf[..buf.len() - 1], &mut pos),
+            Err(CodecError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn overlong_encodings_rejected() {
+        // 11 continuation bytes cannot be a valid u64.
+        let buf = vec![0x80u8; 10];
+        let mut pos = 0;
+        assert!(read_u64(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn u32_range_check() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u32::MAX as u64 + 1);
+        let mut pos = 0;
+        assert!(read_u32(&buf, &mut pos).is_err());
+    }
+}

@@ -1,0 +1,172 @@
+//! Element-width abstraction for SFA state vectors.
+//!
+//! The paper sizes table entries to the DFA: 16-bit ids for DFAs under
+//! 64 Ki states (the entire PROSITE workload), 32-bit beyond, and ships
+//! SIMD kernels for both widths (§III-A). [`Elem`] lets the construction
+//! engines be generic over the width while dispatching to the right
+//! transposition kernel.
+
+use sfa_simd::{transpose_gather_u16, transpose_gather_u32};
+
+/// A state-id element of an SFA mapping vector (u16 or u32).
+pub trait Elem: Copy + Eq + Send + Sync + 'static {
+    /// Width in bytes.
+    const BYTES: usize;
+
+    /// Widen to a u32 state id.
+    fn to_u32(self) -> u32;
+
+    /// Narrow from a u32 state id (caller guarantees fit).
+    fn from_u32(v: u32) -> Self;
+
+    /// Gather rows of `table` (row-major, `k` columns) selected by `rows`
+    /// and transpose: `out[sym * rows.len() + i] = table[rows[i]*k + sym]`.
+    /// Dispatches to the width's SIMD kernel.
+    fn transpose_gather(table: &[Self], k: usize, rows: &[u32], out: &mut [Self]);
+
+    /// View a slice of elements as raw **native-endian** bytes (for
+    /// in-memory fingerprinting, comparison and compression — the byte
+    /// view never leaves the process except inside compressed-store
+    /// blobs, whose files are therefore native-endian; `sfa_core::io`
+    /// writes *raw* stores explicitly little-endian).
+    fn as_bytes(slice: &[Self]) -> &[u8] {
+        // SAFETY: u16/u32 are plain-old-data with no padding or invalid
+        // bit patterns; the byte length is exact.
+        unsafe {
+            std::slice::from_raw_parts(slice.as_ptr() as *const u8, slice.len() * Self::BYTES)
+        }
+    }
+
+    /// Decode elements from raw bytes produced by [`Elem::as_bytes`]
+    /// (native-endian round trip on every target).
+    fn read_bytes(bytes: &[u8], out: &mut Vec<Self>);
+
+    /// Wrap a flat mapping vector in the right
+    /// [`MappingStore`](crate::sfa::MappingStore) variant.
+    fn into_store(v: Vec<Self>) -> crate::sfa::MappingStore;
+}
+
+impl Elem for u16 {
+    const BYTES: usize = 2;
+
+    #[inline]
+    fn to_u32(self) -> u32 {
+        self as u32
+    }
+
+    #[inline]
+    fn from_u32(v: u32) -> Self {
+        debug_assert!(v <= u16::MAX as u32);
+        v as u16
+    }
+
+    fn transpose_gather(table: &[Self], k: usize, rows: &[u32], out: &mut [Self]) {
+        transpose_gather_u16(table, k, rows, out);
+    }
+
+    fn read_bytes(bytes: &[u8], out: &mut Vec<Self>) {
+        debug_assert_eq!(bytes.len() % 2, 0);
+        out.clear();
+        out.extend(
+            bytes
+                .chunks_exact(2)
+                .map(|c| u16::from_ne_bytes([c[0], c[1]])),
+        );
+    }
+
+    fn into_store(v: Vec<Self>) -> crate::sfa::MappingStore {
+        crate::sfa::MappingStore::U16(v)
+    }
+}
+
+impl Elem for u32 {
+    const BYTES: usize = 4;
+
+    #[inline]
+    fn to_u32(self) -> u32 {
+        self
+    }
+
+    #[inline]
+    fn from_u32(v: u32) -> Self {
+        v
+    }
+
+    fn transpose_gather(table: &[Self], k: usize, rows: &[u32], out: &mut [Self]) {
+        transpose_gather_u32(table, k, rows, out);
+    }
+
+    fn read_bytes(bytes: &[u8], out: &mut Vec<Self>) {
+        debug_assert_eq!(bytes.len() % 4, 0);
+        out.clear();
+        out.extend(
+            bytes
+                .chunks_exact(4)
+                .map(|c| u32::from_ne_bytes([c[0], c[1], c[2], c[3]])),
+        );
+    }
+
+    fn into_store(v: Vec<Self>) -> crate::sfa::MappingStore {
+        crate::sfa::MappingStore::U32(v)
+    }
+}
+
+/// Should this DFA use 16-bit state vectors? (All PROSITE DFAs do.)
+pub fn fits_u16(num_dfa_states: u32) -> bool {
+    num_dfa_states <= u16::MAX as u32 + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_views_round_trip() {
+        let v16: Vec<u16> = vec![0, 1, 513, u16::MAX];
+        let bytes = <u16 as Elem>::as_bytes(&v16);
+        assert_eq!(bytes.len(), 8);
+        let mut back = Vec::new();
+        <u16 as Elem>::read_bytes(bytes, &mut back);
+        assert_eq!(back, v16);
+
+        let v32: Vec<u32> = vec![0, 70_000, u32::MAX];
+        let bytes = <u32 as Elem>::as_bytes(&v32);
+        assert_eq!(bytes.len(), 12);
+        let mut back = Vec::new();
+        <u32 as Elem>::read_bytes(bytes, &mut back);
+        assert_eq!(back, v32);
+    }
+
+    #[test]
+    #[cfg(target_endian = "little")]
+    fn byte_layout_is_little_endian_on_le_targets() {
+        let v: Vec<u16> = vec![0x0201];
+        assert_eq!(<u16 as Elem>::as_bytes(&v), &[0x01, 0x02]);
+        let v: Vec<u32> = vec![0x04030201];
+        assert_eq!(<u32 as Elem>::as_bytes(&v), &[0x01, 0x02, 0x03, 0x04]);
+    }
+
+    #[test]
+    fn transpose_dispatch_works_for_both_widths() {
+        let table16: Vec<u16> = (0..60u16).collect(); // 6 rows × 10 cols
+        let rows = vec![2u32, 0, 5];
+        let mut out16 = vec![0u16; 30];
+        <u16 as Elem>::transpose_gather(&table16, 10, &rows, &mut out16);
+        assert_eq!(out16[0], 20); // row 2, sym 0
+        assert_eq!(out16[1], 0); // row 0, sym 0
+        assert_eq!(out16[2], 50); // row 5, sym 0
+        assert_eq!(out16[3 * 9], 29); // sym 9, i=0 → row2 col9
+
+        let table32: Vec<u32> = (0..60u32).collect();
+        let mut out32 = vec![0u32; 30];
+        <u32 as Elem>::transpose_gather(&table32, 10, &rows, &mut out32);
+        assert_eq!(out32, out16.iter().map(|&x| x as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn width_selection() {
+        assert!(fits_u16(1));
+        assert!(fits_u16(65_536));
+        assert!(!fits_u16(65_537));
+    }
+}

@@ -1,0 +1,298 @@
+//! Binary serialization for constructed SFAs.
+//!
+//! Construction can take minutes for large automata while the SFA itself
+//! is reusable across runs (and across machines — everything is stored
+//! little-endian). The format keeps compressed mapping stores compressed,
+//! so a Table-II-class SFA persists at its compressed size.
+//!
+//! ```text
+//! magic   "SFA\x01"
+//! u8      store kind: 0 = raw u16, 1 = raw u32, 2+codec = compressed
+//! varint  n (DFA states), k (symbols), num_states, start
+//! u32×(num_states·k)   δₛ, row-major, little-endian
+//! payload raw: n·num_states elements LE
+//!         compressed: per state varint(len) + blob
+//! ```
+
+use crate::sfa::{CodecChoice, MappingStore, Sfa};
+use sfa_compress::varint;
+
+/// Errors produced while decoding a serialized SFA.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IoError {
+    /// Missing/incorrect magic bytes.
+    BadMagic,
+    /// Input ended prematurely.
+    Truncated,
+    /// Structurally invalid content.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::BadMagic => write!(f, "not an SFA file (bad magic)"),
+            IoError::Truncated => write!(f, "SFA file is truncated"),
+            IoError::Corrupt(m) => write!(f, "SFA file is corrupt: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+const MAGIC: &[u8; 4] = b"SFA\x01";
+
+const KIND_U16: u8 = 0;
+const KIND_U32: u8 = 1;
+const KIND_COMPRESSED_BASE: u8 = 2;
+
+fn codec_tag(c: CodecChoice) -> u8 {
+    match c {
+        CodecChoice::Deflate => 0,
+        CodecChoice::Lz77 => 1,
+        CodecChoice::Rle => 2,
+        CodecChoice::Store => 3,
+        CodecChoice::Hybrid => 4,
+    }
+}
+
+fn codec_from_tag(t: u8) -> Result<CodecChoice, IoError> {
+    Ok(match t {
+        0 => CodecChoice::Deflate,
+        1 => CodecChoice::Lz77,
+        2 => CodecChoice::Rle,
+        3 => CodecChoice::Store,
+        4 => CodecChoice::Hybrid,
+        _ => return Err(IoError::Corrupt("unknown codec tag")),
+    })
+}
+
+/// Serialize `sfa` into a byte vector.
+pub fn to_bytes(sfa: &Sfa) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + sfa.mapping_bytes() + sfa.num_states() as usize * 4);
+    out.extend_from_slice(MAGIC);
+    let (kind, codec) = match sfa.mappings() {
+        MappingStore::U16(_) => (KIND_U16, None),
+        MappingStore::U32(_) => (KIND_U32, None),
+        MappingStore::Compressed {
+            elem_bytes, codec, ..
+        } => (
+            KIND_COMPRESSED_BASE + codec_tag(*codec) * 2 + u8::from(*elem_bytes == 4),
+            Some(*codec),
+        ),
+    };
+    let _ = codec;
+    out.push(kind);
+    varint::write_u64(&mut out, sfa.dfa_states() as u64);
+    varint::write_u64(&mut out, sfa.num_symbols() as u64);
+    varint::write_u64(&mut out, sfa.num_states() as u64);
+    varint::write_u64(&mut out, sfa.start() as u64);
+    for s in 0..sfa.num_states() {
+        for sym in 0..sfa.num_symbols() {
+            out.extend_from_slice(&sfa.step(s, sym as u8).to_le_bytes());
+        }
+    }
+    match sfa.mappings() {
+        MappingStore::U16(v) => {
+            for &x in v {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        MappingStore::U32(v) => {
+            for &x in v {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        MappingStore::Compressed { blobs, .. } => {
+            for b in blobs {
+                varint::write_u64(&mut out, b.len() as u64);
+                out.extend_from_slice(b);
+            }
+        }
+    }
+    out
+}
+
+/// Deserialize an SFA from bytes produced by [`to_bytes`].
+pub fn from_bytes(bytes: &[u8]) -> Result<Sfa, IoError> {
+    if bytes.len() < 5 || &bytes[..4] != MAGIC {
+        return Err(IoError::BadMagic);
+    }
+    let kind = bytes[4];
+    let mut pos = 5usize;
+    let rd = |pos: &mut usize| -> Result<u64, IoError> {
+        varint::read_u64(bytes, pos).map_err(|_| IoError::Truncated)
+    };
+    let n = rd(&mut pos)? as usize;
+    let k = rd(&mut pos)? as usize;
+    let num_states = rd(&mut pos)? as usize;
+    let start = rd(&mut pos)? as u32;
+    if n == 0 || k == 0 || num_states == 0 {
+        return Err(IoError::Corrupt("zero dimension"));
+    }
+    if start as usize >= num_states {
+        return Err(IoError::Corrupt("start state out of range"));
+    }
+    let delta_bytes = num_states
+        .checked_mul(k)
+        .and_then(|x| x.checked_mul(4))
+        .ok_or(IoError::Corrupt("dimension overflow"))?;
+    let delta_raw = bytes
+        .get(pos..pos + delta_bytes)
+        .ok_or(IoError::Truncated)?;
+    let delta: Vec<u32> = delta_raw
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    if let Some(&bad) = delta.iter().find(|&&s| s as usize >= num_states) {
+        let _ = bad;
+        return Err(IoError::Corrupt("transition out of range"));
+    }
+    pos += delta_bytes;
+
+    let payload_len = |bytes_per: usize| {
+        num_states
+            .checked_mul(n)
+            .and_then(|x| x.checked_mul(bytes_per))
+            .ok_or(IoError::Corrupt("dimension overflow"))
+    };
+    let mappings = match kind {
+        KIND_U16 => {
+            let want = payload_len(2)?;
+            let raw = bytes.get(pos..pos + want).ok_or(IoError::Truncated)?;
+            MappingStore::U16(
+                raw.chunks_exact(2)
+                    .map(|c| u16::from_le_bytes(c.try_into().unwrap()))
+                    .collect(),
+            )
+        }
+        KIND_U32 => {
+            let want = payload_len(4)?;
+            let raw = bytes.get(pos..pos + want).ok_or(IoError::Truncated)?;
+            MappingStore::U32(
+                raw.chunks_exact(4)
+                    .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+                    .collect(),
+            )
+        }
+        t if t >= KIND_COMPRESSED_BASE => {
+            let rel = t - KIND_COMPRESSED_BASE;
+            let codec = codec_from_tag(rel / 2)?;
+            let elem_bytes = if rel % 2 == 1 { 4 } else { 2 };
+            let mut blobs = Vec::with_capacity(num_states);
+            for _ in 0..num_states {
+                let len = rd(&mut pos)? as usize;
+                let blob = bytes.get(pos..pos + len).ok_or(IoError::Truncated)?;
+                blobs.push(blob.to_vec().into_boxed_slice());
+                pos += len;
+            }
+            MappingStore::Compressed {
+                elem_bytes,
+                blobs,
+                codec,
+            }
+        }
+        _ => return Err(IoError::Corrupt("unknown store kind")),
+    };
+    Ok(Sfa::from_parts(n, k, start, delta, mappings))
+}
+
+/// Write `sfa` to a file.
+pub fn write_file(sfa: &Sfa, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, to_bytes(sfa))
+}
+
+/// Read an SFA from a file.
+pub fn read_file(path: &std::path::Path) -> std::io::Result<Sfa> {
+    let bytes = std::fs::read(path)?;
+    from_bytes(&bytes).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::{construct_parallel, CompressionPolicy, ParallelOptions};
+    use crate::sequential::{construct_sequential, SequentialVariant};
+    use sfa_automata::pipeline::Pipeline;
+    use sfa_automata::Alphabet;
+
+    fn rg_sfa() -> (sfa_automata::Dfa, Sfa) {
+        let dfa = Pipeline::search(Alphabet::amino_acids())
+            .compile_str("R[GA]N")
+            .unwrap();
+        let sfa = construct_sequential(&dfa, SequentialVariant::Transposed)
+            .unwrap()
+            .sfa;
+        (dfa, sfa)
+    }
+
+    #[test]
+    fn raw_u16_round_trip() {
+        let (dfa, sfa) = rg_sfa();
+        let bytes = to_bytes(&sfa);
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(back.num_states(), sfa.num_states());
+        assert_eq!(back.start(), sfa.start());
+        back.validate(&dfa).unwrap();
+        for s in 0..sfa.num_states() {
+            assert_eq!(back.mapping_of(s), sfa.mapping_of(s));
+        }
+    }
+
+    #[test]
+    fn compressed_round_trip_stays_compressed() {
+        let dfa = sfa_workloads::rn(50);
+        let sfa = construct_parallel(
+            &dfa,
+            &ParallelOptions::with_threads(2).compression(CompressionPolicy::FromStart),
+        )
+        .unwrap()
+        .sfa;
+        assert!(sfa.is_compressed());
+        let bytes = to_bytes(&sfa);
+        // Compressed payload dominates the file: far smaller than raw.
+        assert!(bytes.len() < sfa.num_states() as usize * dfa.num_states() as usize * 2);
+        let back = from_bytes(&bytes).unwrap();
+        assert!(back.is_compressed());
+        back.validate(&dfa).unwrap();
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let (dfa, sfa) = rg_sfa();
+        let dir = std::env::temp_dir().join("sfa_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test.sfa");
+        write_file(&sfa, &path).unwrap();
+        let back = read_file(&path).unwrap();
+        back.validate(&dfa).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncation() {
+        assert_eq!(from_bytes(b"not an sfa").unwrap_err(), IoError::BadMagic);
+        let (_, sfa) = rg_sfa();
+        let bytes = to_bytes(&sfa);
+        for cut in [5usize, 10, bytes.len() / 2, bytes.len() - 1] {
+            assert!(from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        // Corrupt a delta entry to point out of range.
+        let mut bad = bytes.clone();
+        // delta starts right after header; find it: magic(4)+kind(1)+4 varints
+        // (all small here, 1 byte each) = 9.
+        bad[9..13].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(from_bytes(&bad), Err(IoError::Corrupt(_))));
+    }
+
+    #[test]
+    fn serialized_sfa_matches_like_the_original() {
+        let (dfa, sfa) = rg_sfa();
+        let back = from_bytes(&to_bytes(&sfa)).unwrap();
+        let text = sfa_workloads::protein_text(10_000, 3);
+        assert_eq!(
+            crate::matcher::match_with_sfa(&sfa, &dfa, &text, 4),
+            crate::matcher::match_with_sfa(&back, &dfa, &text, 4),
+        );
+    }
+}

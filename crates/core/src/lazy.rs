@@ -1,0 +1,320 @@
+//! Lazy (on-the-fly) SFA construction during matching.
+//!
+//! Full SFA construction is the paper's bottleneck: matching only pays
+//! off once construction cost amortizes (§IV-D's break-even). This module
+//! implements the natural extension — construct SFA states **on demand
+//! while matching**, in the style of lazy-DFA regex engines: a chunk
+//! worker that needs `δₛ(s, σ)` and finds the successor slot empty
+//! computes the candidate mapping, interns it through the same lock-free
+//! fingerprint table the batch engine uses, caches the edge, and keeps
+//! matching. Only states actually *visited by the input* are ever built,
+//! and the structure is shared and reused across inputs and threads.
+//!
+//! For the r500 automaton the full SFA has 124 543 states; matching a
+//! protein-like text touches a tiny fraction of them, so the lazy matcher
+//! removes almost the entire construction cost from the §IV-D break-even
+//! equation.
+//!
+//! Internals deliberately reuse the batch engine's substrate:
+//! [`StateStore`] (lock-free arena records with fingerprint, chain link
+//! and successor slots) and [`ChainedTable`] (find-or-insert keyed by
+//! fingerprint). Mappings are stored as raw little-endian `u32` ids —
+//! lazy matching visits few states, so the 2× width versus `u16` does
+//! not matter and keeps the code monomorphic.
+
+use crate::elem::Elem;
+use crate::state::StateStore;
+use crate::SfaError;
+use sfa_automata::alphabet::SymbolId;
+use sfa_automata::dfa::Dfa;
+use sfa_hash::{CityFingerprinter, Fingerprinter};
+use sfa_sync::{ChainedTable, FindOrInsert, Links, NIL};
+
+/// A thread-safe, incrementally constructed SFA.
+pub struct LazySfa<'d> {
+    dfa: &'d Dfa,
+    n: usize,
+    start: u32,
+    state_budget: usize,
+    store: StateStore,
+    table: ChainedTable,
+    fingerprinter: CityFingerprinter,
+}
+
+impl<'d> LazySfa<'d> {
+    /// Create a lazy SFA over `dfa` able to hold up to `state_budget`
+    /// discovered states.
+    pub fn new(dfa: &'d Dfa, state_budget: usize) -> Result<Self, SfaError> {
+        if dfa.num_states() == 0 {
+            return Err(SfaError::EmptyDfa);
+        }
+        let n = dfa.num_states() as usize;
+        let store = StateStore::new(state_budget, n, 4, dfa.num_symbols());
+        let table = ChainedTable::new((state_budget / 64).clamp(1 << 10, 1 << 22));
+        let fingerprinter = CityFingerprinter;
+        let identity: Vec<u32> = (0..n as u32).collect();
+        let bytes = <u32 as Elem>::as_bytes(&identity);
+        let fp = fingerprinter.fingerprint(bytes);
+        let start = store
+            .alloc(fp, bytes.to_vec().into_boxed_slice(), false)
+            .ok_or(SfaError::StateBudgetExceeded {
+                budget: state_budget,
+            })?;
+        table.insert_unchecked(fp, start, &store);
+        Ok(LazySfa {
+            dfa,
+            n,
+            start,
+            state_budget,
+            store,
+            table,
+            fingerprinter,
+        })
+    }
+
+    /// The underlying DFA.
+    pub fn dfa(&self) -> &Dfa {
+        self.dfa
+    }
+
+    /// The start state (identity mapping).
+    pub fn start(&self) -> u32 {
+        self.start
+    }
+
+    /// SFA states discovered so far.
+    pub fn states_built(&self) -> u32 {
+        self.store.len() as u32
+    }
+
+    /// The mapping vector of a discovered state.
+    pub fn mapping_of(&self, s: u32) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.n);
+        <u32 as Elem>::read_bytes(&self.store.mapping(s).data, &mut out);
+        out
+    }
+
+    /// Apply state `s`'s mapping to DFA state `q`.
+    pub fn apply(&self, s: u32, q: u32) -> u32 {
+        let buf = &self.store.mapping(s).data;
+        let base = q as usize * 4;
+        u32::from_ne_bytes(buf[base..base + 4].try_into().unwrap())
+    }
+
+    /// `δₛ(s, σ)`, constructing the successor state if it has not been
+    /// discovered yet. Thread-safe: concurrent callers deduplicate
+    /// through the lock-free table; the cached edge makes repeats `O(1)`.
+    pub fn step(&self, s: u32, sym: SymbolId) -> Result<u32, SfaError> {
+        let cached = self.store.succ(s, sym as usize);
+        if cached != NIL {
+            return Ok(cached);
+        }
+        // Compute the candidate mapping: one δ column over s's mapping.
+        let src = &self.store.mapping(s).data;
+        let mut cand: Vec<u32> = Vec::with_capacity(self.n);
+        for i in 0..self.n {
+            let q = u32::from_ne_bytes(src[i * 4..i * 4 + 4].try_into().unwrap());
+            cand.push(self.dfa.next(q, sym));
+        }
+        let bytes = <u32 as Elem>::as_bytes(&cand);
+        let fp = self.fingerprinter.fingerprint(bytes);
+        let eq = |other: u32| {
+            self.store.fingerprint(other) == fp && self.store.mapping_equals(other, bytes)
+        };
+        let succ = if let Some(found) = self.table.find(fp, &self.store, eq) {
+            found
+        } else {
+            let id = self
+                .store
+                .alloc(fp, bytes.to_vec().into_boxed_slice(), false)
+                .ok_or(SfaError::StateBudgetExceeded {
+                    budget: self.state_budget,
+                })?;
+            match self.table.find_or_insert(fp, id, &self.store, eq) {
+                FindOrInsert::Inserted => id,
+                FindOrInsert::Found(existing) => {
+                    // Lost the race; tombstone our record (it is arena
+                    // garbage but must never alias a live chain entry).
+                    self.store
+                        .link(id)
+                        .store(u32::MAX - 1, std::sync::atomic::Ordering::SeqCst);
+                    existing
+                }
+            }
+        };
+        self.store.set_succ(s, sym as usize, succ);
+        Ok(succ)
+    }
+
+    /// Run the lazy SFA over `input` from the start state, constructing
+    /// missing states along the way.
+    pub fn run(&self, input: &[SymbolId]) -> Result<u32, SfaError> {
+        let mut s = self.start;
+        for &sym in input {
+            s = self.step(s, sym)?;
+        }
+        Ok(s)
+    }
+
+    /// Parallel membership test: chunk the input, run the lazy SFA over
+    /// each chunk concurrently (states discovered by one worker are
+    /// immediately visible to the others), compose the mappings, apply
+    /// the DFA start state.
+    pub fn matches(&self, input: &[SymbolId], threads: usize) -> Result<bool, SfaError> {
+        let threads = threads.max(1);
+        if input.is_empty() {
+            return Ok(self.dfa.is_accepting(self.dfa.start()));
+        }
+        let chunk = input.len().div_ceil(threads);
+        let chunks: Vec<&[SymbolId]> = input.chunks(chunk).collect();
+        let mut results: Vec<Result<u32, SfaError>> = Vec::with_capacity(chunks.len());
+        if chunks.len() == 1 {
+            results.push(self.run(chunks[0]));
+        } else {
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(chunks.len());
+                for &c in &chunks {
+                    handles.push(scope.spawn(move || self.run(c)));
+                }
+                for h in handles {
+                    results.push(h.join().expect("lazy matcher thread panicked"));
+                }
+            });
+        }
+        let mut q = self.dfa.start();
+        for r in results {
+            let s = r?;
+            q = self.apply(s, q);
+        }
+        Ok(self.dfa.is_accepting(q))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::match_sequential;
+    use crate::parallel::{construct_parallel, ParallelOptions};
+    use sfa_automata::pipeline::Pipeline;
+    use sfa_automata::Alphabet;
+    use sfa_workloads::protein_text;
+
+    fn rg_dfa() -> Dfa {
+        Pipeline::search(Alphabet::amino_acids())
+            .compile_str("RG")
+            .unwrap()
+    }
+
+    #[test]
+    fn lazy_matching_agrees_with_sequential() {
+        let dfa = rg_dfa();
+        let lazy = LazySfa::new(&dfa, 1 << 16).unwrap();
+        for seed in 0..5 {
+            let text = protein_text(10_000, seed);
+            assert_eq!(
+                lazy.matches(&text, 4).unwrap(),
+                match_sequential(&dfa, &text),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn lazy_builds_at_most_the_full_sfa() {
+        let dfa = rg_dfa();
+        let full = construct_parallel(&dfa, &ParallelOptions::with_threads(2))
+            .unwrap()
+            .sfa;
+        let lazy = LazySfa::new(&dfa, 1 << 16).unwrap();
+        for seed in 0..10 {
+            let text = protein_text(5_000, seed);
+            lazy.matches(&text, 3).unwrap();
+        }
+        assert!(lazy.states_built() <= full.num_states());
+        assert!(lazy.states_built() >= 1);
+    }
+
+    #[test]
+    fn lazy_visits_a_fraction_on_large_automata() {
+        // The headline benefit: r200's full SFA has ~20k states; matching
+        // real text discovers only a few hundred.
+        let dfa = sfa_automata::random::rn(200);
+        let full_states = 19_883u32; // measured by the batch engine (E5)
+        let lazy = LazySfa::new(&dfa, 1 << 20).unwrap();
+        let text = protein_text(100_000, 3);
+        let hit = lazy.matches(&text, 4).unwrap();
+        assert_eq!(hit, match_sequential(&dfa, &text));
+        assert!(
+            lazy.states_built() * 10 < full_states,
+            "lazy built {} of {} states",
+            lazy.states_built(),
+            full_states
+        );
+    }
+
+    #[test]
+    fn states_are_reused_across_inputs() {
+        let dfa = rg_dfa();
+        let lazy = LazySfa::new(&dfa, 1 << 16).unwrap();
+        let text = protein_text(5_000, 1);
+        lazy.matches(&text, 2).unwrap();
+        let after_first = lazy.states_built();
+        // Same text again: no new states.
+        lazy.matches(&text, 2).unwrap();
+        assert_eq!(lazy.states_built(), after_first);
+    }
+
+    #[test]
+    fn concurrent_discovery_is_consistent() {
+        // Many threads matching different texts concurrently must agree
+        // with the oracle and never duplicate states.
+        let dfa = rg_dfa();
+        let lazy = LazySfa::new(&dfa, 1 << 16).unwrap();
+        std::thread::scope(|scope| {
+            for seed in 0..8u64 {
+                let lazy = &lazy;
+                let dfa = &dfa;
+                scope.spawn(move || {
+                    let text = protein_text(20_000, seed);
+                    assert_eq!(
+                        lazy.matches(&text, 1).unwrap(),
+                        match_sequential(dfa, &text)
+                    );
+                });
+            }
+        });
+        // The full RG SFA has 6 states; lazy must not exceed it even
+        // under concurrent discovery (losers are tombstoned, not listed).
+        let full = construct_parallel(&dfa, &ParallelOptions::with_threads(2))
+            .unwrap()
+            .sfa;
+        // Count only table-reachable states.
+        let text = protein_text(1_000, 99);
+        lazy.matches(&text, 4).unwrap();
+        assert!(lazy.states_built() >= 1);
+        // states_built counts arena records incl. race losers; the
+        // discovered distinct states can never exceed the full SFA + losers.
+        assert!(lazy.states_built() <= full.num_states() + 8);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        // The RG search SFA needs 6 distinct states on generic text; a
+        // 2-state budget must fail once the second new state appears.
+        let dfa = rg_dfa();
+        let lazy = LazySfa::new(&dfa, 2).unwrap();
+        let text = protein_text(10_000, 0);
+        match lazy.matches(&text, 2) {
+            Err(SfaError::StateBudgetExceeded { .. }) => {}
+            other => panic!("expected budget error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mapping_of_start_is_identity() {
+        let dfa = rg_dfa();
+        let lazy = LazySfa::new(&dfa, 64).unwrap();
+        assert_eq!(lazy.mapping_of(lazy.start()), vec![0, 1, 2]);
+        assert_eq!(lazy.apply(lazy.start(), 2), 2);
+    }
+}

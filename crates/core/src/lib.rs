@@ -1,0 +1,116 @@
+//! # sfa-core — parallel construction of simultaneous finite automata
+//!
+//! Rust implementation of *"Parallel Construction of Simultaneous
+//! Deterministic Finite Automata on Shared-memory Multicores"* (Jung,
+//! Park, Blieberger, Burgstaller — ICPP 2017).
+//!
+//! Given a DFA `A` with `n` states, the **simultaneous DFA** (SFA) `S(A)`
+//! simulates `n` instances of `A` at once: an SFA state is the vector
+//! `⟨δ*(q₀,w), …, δ*(qₙ₋₁,w)⟩` — the state each instance reaches after the
+//! input read so far. Because the SFA's start state is the identity
+//! mapping, running the SFA over a *chunk* of input computes the DFA's
+//! behaviour for **every possible entry state**, which removes the data
+//! dependency that makes DFA matching sequential: split the input, match
+//! chunks in parallel, compose the resulting mappings ([`matcher`]).
+//!
+//! The hard part is *constructing* the SFA (exponential state growth).
+//! This crate provides the paper's full algorithm stack:
+//!
+//! * [`sequential`] — Algorithm 1 in three variants: the red-black-tree
+//!   baseline, fingerprint+hashing, and hashing+parameterized SIMD
+//!   transposition (the paper's Fig. 4 comparison),
+//! * [`parallel`] — the lock-free multicore engine: work-stealing
+//!   thread-local deques seeded from a CAS global queue, a lock-free
+//!   chained hash table of states, and the three-phase in-memory
+//!   compression scheme (§III-B, §III-C),
+//! * [`matcher`] — sequential DFA matching and parallel SFA matching with
+//!   mapping composition (§IV-D),
+//! * [`sfa::Sfa`] — the constructed automaton (optionally with its state
+//!   vectors still compressed),
+//! * [`stats`] — construction statistics: comparisons, collisions, phase
+//!   times, memory, contention.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use sfa_automata::prelude::*;
+//! use sfa_core::prelude::*;
+//!
+//! // DFA for "contains RG" (Fig. 1 of the paper).
+//! let dfa = Pipeline::search(Alphabet::amino_acids())
+//!     .compile_str("RG")
+//!     .unwrap();
+//!
+//! // Build the SFA with the fastest sequential algorithm…
+//! let sfa = construct_sequential(&dfa, SequentialVariant::Transposed)
+//!     .unwrap()
+//!     .sfa;
+//!
+//! // …or in parallel.
+//! let parallel = construct_parallel(&dfa, &ParallelOptions::with_threads(2)).unwrap();
+//! assert_eq!(sfa.num_states(), parallel.sfa.num_states());
+//!
+//! // Match in parallel chunks.
+//! let text = Alphabet::amino_acids().encode_bytes(b"MKVARGAA").unwrap();
+//! assert!(match_with_sfa(&sfa, &dfa, &text, 4));
+//! ```
+
+pub mod elem;
+pub mod io;
+pub mod lazy;
+pub mod matcher;
+pub mod memory;
+pub mod parallel;
+pub mod sequential;
+pub mod sfa;
+pub mod state;
+pub mod stats;
+pub mod treemap;
+
+pub use lazy::LazySfa;
+pub use matcher::{match_sequential, match_with_sfa, ParallelMatcher};
+pub use parallel::{construct_parallel, CompressionPolicy, ParallelOptions, Scheduler};
+pub use sequential::{construct_sequential, SequentialVariant};
+pub use sfa::Sfa;
+pub use stats::{ConstructionResult, ConstructionStats};
+
+/// Errors produced by SFA construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SfaError {
+    /// The configured state budget / arena capacity was exhausted.
+    StateBudgetExceeded {
+        /// The configured limit.
+        budget: usize,
+    },
+    /// A DFA with zero states was supplied.
+    EmptyDfa,
+    /// Thread pool configuration invalid (zero threads).
+    NoThreads,
+    /// Mutually exclusive options were combined.
+    InvalidOptions(&'static str),
+}
+
+impl std::fmt::Display for SfaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SfaError::StateBudgetExceeded { budget } => {
+                write!(f, "SFA construction exceeded the state budget of {budget}")
+            }
+            SfaError::EmptyDfa => write!(f, "input DFA has no states"),
+            SfaError::NoThreads => write!(f, "at least one worker thread is required"),
+            SfaError::InvalidOptions(msg) => write!(f, "invalid option combination: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SfaError {}
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::matcher::{match_sequential, match_with_sfa, ParallelMatcher};
+    pub use crate::parallel::{construct_parallel, CompressionPolicy, ParallelOptions, Scheduler};
+    pub use crate::sequential::{construct_sequential, SequentialVariant};
+    pub use crate::sfa::Sfa;
+    pub use crate::stats::{ConstructionResult, ConstructionStats};
+    pub use crate::SfaError;
+}

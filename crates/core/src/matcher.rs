@@ -1,0 +1,473 @@
+//! DFA and SFA matching (§IV-D).
+//!
+//! * [`match_sequential`] — the classic one-state-at-a-time DFA membership
+//!   test (Fig. 1c), whose running time is linear in the input and *not*
+//!   parallelizable because every transition depends on the previous one.
+//! * [`match_with_sfa`] / [`ParallelMatcher`] — the SFA alternative: split
+//!   the input into chunks, run the SFA over each chunk independently
+//!   (each run yields the chunk's state *mapping*), compose the mappings
+//!   left-to-right (composition is associative), and apply the DFA start
+//!   state at the very end. The per-chunk runs are embarrassingly
+//!   parallel, which is the paper's break-even argument: construction
+//!   cost + parallel matching beats sequential matching beyond ~20 MB of
+//!   input on their 88-thread machine.
+
+use crate::sfa::Sfa;
+use sfa_automata::alphabet::SymbolId;
+use sfa_automata::dfa::Dfa;
+
+/// Sequential DFA membership test over dense symbols (Fig. 1c).
+pub fn match_sequential(dfa: &Dfa, input: &[SymbolId]) -> bool {
+    dfa.is_accepting(dfa.run(input))
+}
+
+/// Match `input` with the SFA in `threads` parallel chunks; returns the
+/// DFA's accept decision for the whole input.
+pub fn match_with_sfa(sfa: &Sfa, dfa: &Dfa, input: &[SymbolId], threads: usize) -> bool {
+    ParallelMatcher::new(sfa, dfa).matches(input, threads)
+}
+
+/// Reusable parallel matcher (construct once, match many inputs).
+pub struct ParallelMatcher<'a> {
+    sfa: &'a Sfa,
+    dfa: &'a Dfa,
+}
+
+impl<'a> ParallelMatcher<'a> {
+    /// Pair an SFA with its source DFA.
+    pub fn new(sfa: &'a Sfa, dfa: &'a Dfa) -> Self {
+        debug_assert_eq!(sfa.dfa_states(), dfa.num_states() as usize);
+        debug_assert_eq!(sfa.num_symbols(), dfa.num_symbols());
+        ParallelMatcher { sfa, dfa }
+    }
+
+    /// The final DFA state after `input`, computed with parallel chunks.
+    pub fn final_state(&self, input: &[SymbolId], threads: usize) -> u32 {
+        let threads = threads.max(1);
+        if input.is_empty() {
+            return self.dfa.start();
+        }
+        let chunk = input.len().div_ceil(threads);
+        let chunks: Vec<&[SymbolId]> = input.chunks(chunk).collect();
+
+        // Run the SFA over each chunk in parallel. Each run starts from
+        // the SFA start state (the identity mapping), so its result is
+        // the chunk's full transition mapping.
+        let sfa = self.sfa;
+        let mut chunk_states: Vec<u32> = vec![0; chunks.len()];
+        if chunks.len() == 1 {
+            chunk_states[0] = sfa.run(chunks[0]);
+        } else {
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(chunks.len());
+                for &c in &chunks {
+                    handles.push(scope.spawn(move || sfa.run(c)));
+                }
+                for (slot, h) in chunk_states.iter_mut().zip(handles) {
+                    *slot = h.join().expect("matcher thread panicked");
+                }
+            });
+        }
+
+        // Reduce. Full mapping composition ([`Sfa::compose`]) is the
+        // paper's general reduction; for a single accept decision only
+        // q0's image is needed, so chaining `apply` is equivalent and
+        // O(threads) instead of O(threads·n) — and avoids decompressing
+        // whole vectors for compressed stores.
+        let mut q = self.dfa.start();
+        for &s in &chunk_states {
+            q = sfa.apply(s, q);
+        }
+        q
+    }
+
+    /// Accept decision for `input`.
+    pub fn matches(&self, input: &[SymbolId], threads: usize) -> bool {
+        self.dfa.is_accepting(self.final_state(input, threads))
+    }
+
+    /// Position after which the first match ends (number of symbols
+    /// consumed; `Some(0)` when the start state itself accepts), or
+    /// `None` when no prefix of `input` is accepted.
+    ///
+    /// Two-pass parallel algorithm: (1) compute each chunk's SFA mapping
+    /// in parallel; (2) prefix-compose the mappings (cheap, `O(threads·n)`)
+    /// to learn every chunk's true *entry* DFA state; (3) re-scan chunks in
+    /// parallel with the DFA from their entry states, reporting the
+    /// earliest accepting position. Unlike the speculative approaches the
+    /// paper surveys (§V), no re-matching is ever needed — entry states
+    /// are exact.
+    pub fn find_first_match(&self, input: &[SymbolId], threads: usize) -> Option<usize> {
+        let dfa = self.dfa;
+        if dfa.is_accepting(dfa.start()) {
+            return Some(0);
+        }
+        if input.is_empty() {
+            return None;
+        }
+        let threads = threads.max(1);
+        let chunk = input.len().div_ceil(threads);
+        let chunks: Vec<&[SymbolId]> = input.chunks(chunk).collect();
+
+        // Pass 1: per-chunk SFA mappings (parallel).
+        let sfa = self.sfa;
+        let mut chunk_states: Vec<u32> = vec![0; chunks.len()];
+        if chunks.len() == 1 {
+            chunk_states[0] = sfa.run(chunks[0]);
+        } else {
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(chunks.len());
+                for &c in &chunks {
+                    handles.push(scope.spawn(move || sfa.run(c)));
+                }
+                for (slot, h) in chunk_states.iter_mut().zip(handles) {
+                    *slot = h.join().expect("matcher thread panicked");
+                }
+            });
+        }
+
+        // Pass 2: entry DFA state of every chunk via prefix composition.
+        let mut entry_states = Vec::with_capacity(chunks.len());
+        let mut q = dfa.start();
+        for (i, &s) in chunk_states.iter().enumerate() {
+            entry_states.push(q);
+            if i + 1 < chunks.len() {
+                q = sfa.apply(s, q);
+            }
+        }
+
+        // Pass 3: parallel DFA scans from the exact entry states.
+        let mut firsts: Vec<Option<usize>> = vec![None; chunks.len()];
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(chunks.len());
+            for (i, &c) in chunks.iter().enumerate() {
+                let entry = entry_states[i];
+                handles.push(scope.spawn(move || {
+                    let mut q = entry;
+                    for (j, &sym) in c.iter().enumerate() {
+                        q = dfa.next(q, sym);
+                        if dfa.is_accepting(q) {
+                            return Some(j + 1);
+                        }
+                    }
+                    None
+                }));
+            }
+            for (slot, h) in firsts.iter_mut().zip(handles) {
+                *slot = h.join().expect("matcher thread panicked");
+            }
+        });
+        firsts
+            .iter()
+            .enumerate()
+            .find_map(|(i, &local)| local.map(|j| i * chunk + j))
+    }
+}
+
+/// Sequential first-match search (the oracle for
+/// [`ParallelMatcher::find_first_match`]); returns the number of symbols
+/// consumed when the DFA first enters an accepting state.
+pub fn find_first_match_sequential(dfa: &Dfa, input: &[SymbolId]) -> Option<usize> {
+    dfa.first_match_end(input)
+}
+
+/// Sequential occurrence counting: the number of positions (including 0)
+/// at which the DFA is in an accepting state. With a *scanner* DFA
+/// (`Pipeline::scanner`: `Σ*·r`), this is the number of positions where a
+/// match of `r` ends.
+pub fn count_matches_sequential(dfa: &Dfa, input: &[SymbolId]) -> u64 {
+    let mut q = dfa.start();
+    let mut count = u64::from(dfa.is_accepting(q));
+    for &sym in input {
+        q = dfa.next(q, sym);
+        count += u64::from(dfa.is_accepting(q));
+    }
+    count
+}
+
+impl<'a> ParallelMatcher<'a> {
+    /// Parallel occurrence counting (same two-pass scheme as
+    /// [`Self::find_first_match`]): chunk mappings give every chunk its
+    /// exact entry state; chunks then count accepting positions
+    /// independently and the counts sum.
+    pub fn count_matches(&self, input: &[SymbolId], threads: usize) -> u64 {
+        let dfa = self.dfa;
+        let base = u64::from(dfa.is_accepting(dfa.start()));
+        if input.is_empty() {
+            return base;
+        }
+        let threads = threads.max(1);
+        let chunk = input.len().div_ceil(threads);
+        let chunks: Vec<&[SymbolId]> = input.chunks(chunk).collect();
+
+        // Pass 1: per-chunk SFA mappings (parallel).
+        let sfa = self.sfa;
+        let mut chunk_states: Vec<u32> = vec![0; chunks.len()];
+        if chunks.len() == 1 {
+            chunk_states[0] = sfa.run(chunks[0]);
+        } else {
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(chunks.len());
+                for &c in &chunks {
+                    handles.push(scope.spawn(move || sfa.run(c)));
+                }
+                for (slot, h) in chunk_states.iter_mut().zip(handles) {
+                    *slot = h.join().expect("matcher thread panicked");
+                }
+            });
+        }
+
+        // Pass 2: exact entry states by prefix composition.
+        let mut entry_states = Vec::with_capacity(chunks.len());
+        let mut q = dfa.start();
+        for (i, &s) in chunk_states.iter().enumerate() {
+            entry_states.push(q);
+            if i + 1 < chunks.len() {
+                q = sfa.apply(s, q);
+            }
+        }
+
+        // Pass 3: parallel counting scans.
+        let mut counts: Vec<u64> = vec![0; chunks.len()];
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(chunks.len());
+            for (i, &c) in chunks.iter().enumerate() {
+                let entry = entry_states[i];
+                handles.push(scope.spawn(move || {
+                    let mut q = entry;
+                    let mut count = 0u64;
+                    for &sym in c {
+                        q = dfa.next(q, sym);
+                        count += u64::from(dfa.is_accepting(q));
+                    }
+                    count
+                }));
+            }
+            for (slot, h) in counts.iter_mut().zip(handles) {
+                *slot = h.join().expect("matcher thread panicked");
+            }
+        });
+        base + counts.iter().sum::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::find_first_match_sequential;
+    use super::*;
+    use crate::sequential::{construct_sequential, SequentialVariant};
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+    use sfa_automata::alphabet::Alphabet;
+    use sfa_automata::pipeline::Pipeline;
+
+    fn setup(pattern: &str) -> (Dfa, Sfa) {
+        let dfa = Pipeline::search(Alphabet::amino_acids())
+            .compile_str(pattern)
+            .unwrap();
+        let sfa = construct_sequential(&dfa, SequentialVariant::Transposed)
+            .unwrap()
+            .sfa;
+        (dfa, sfa)
+    }
+
+    #[test]
+    fn agrees_with_sequential_on_examples() {
+        let (dfa, sfa) = setup("RG");
+        let alpha = dfa.alphabet().clone();
+        for text in [
+            &b""[..],
+            b"RG",
+            b"AAARGAAA",
+            b"GGGGRRRR",
+            b"RRRGGG",
+            b"R",
+            b"G",
+        ] {
+            let syms = alpha.encode_bytes(text).unwrap();
+            for threads in [1, 2, 3, 7] {
+                assert_eq!(
+                    match_with_sfa(&sfa, &dfa, &syms, threads),
+                    match_sequential(&dfa, &syms),
+                    "text {:?} threads {threads}",
+                    std::str::from_utf8(text).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_agreement_fuzz() {
+        let (dfa, sfa) = setup("R[GA]N");
+        let mut rng = StdRng::seed_from_u64(42);
+        for round in 0..50 {
+            let len = rng.random_range(0..500);
+            let syms: Vec<u8> = (0..len).map(|_| rng.random_range(0..20) as u8).collect();
+            let expected = match_sequential(&dfa, &syms);
+            for threads in [1, 4, 9] {
+                assert_eq!(
+                    match_with_sfa(&sfa, &dfa, &syms, threads),
+                    expected,
+                    "round {round} threads {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn final_state_matches_dfa_run() {
+        let (dfa, sfa) = setup("RG");
+        let matcher = ParallelMatcher::new(&sfa, &dfa);
+        let alpha = dfa.alphabet().clone();
+        let syms = alpha.encode_bytes(b"MKVARGAARG").unwrap();
+        assert_eq!(matcher.final_state(&syms, 3), dfa.run(&syms));
+    }
+
+    #[test]
+    fn more_threads_than_symbols() {
+        let (dfa, sfa) = setup("RG");
+        let alpha = dfa.alphabet().clone();
+        let syms = alpha.encode_bytes(b"RG").unwrap();
+        assert!(match_with_sfa(&sfa, &dfa, &syms, 64));
+    }
+
+    #[test]
+    fn find_first_match_agrees_with_sequential() {
+        let (dfa, sfa) = setup("RG");
+        let matcher = ParallelMatcher::new(&sfa, &dfa);
+        let alpha = dfa.alphabet().clone();
+        for text in [
+            &b""[..],
+            b"RG",
+            b"AARG",
+            b"AARGRG",
+            b"GGGG",
+            b"RRRRG",
+            b"AAAAAAAAAAAAAAAAAAAAARG",
+        ] {
+            let syms = alpha.encode_bytes(text).unwrap();
+            let expected = find_first_match_sequential(&dfa, &syms);
+            for threads in [1usize, 2, 3, 8] {
+                assert_eq!(
+                    matcher.find_first_match(&syms, threads),
+                    expected,
+                    "text {:?} threads {threads}",
+                    std::str::from_utf8(text).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn find_first_match_fuzz() {
+        let (dfa, sfa) = setup("R[GA]N");
+        let matcher = ParallelMatcher::new(&sfa, &dfa);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..60 {
+            let len = rng.random_range(0..400);
+            let syms: Vec<u8> = (0..len).map(|_| rng.random_range(0..20) as u8).collect();
+            let expected = find_first_match_sequential(&dfa, &syms);
+            for threads in [1usize, 4, 6] {
+                assert_eq!(matcher.find_first_match(&syms, threads), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn count_matches_agrees_with_sequential() {
+        // Scanner DFA: accepts exactly at match-end positions of "RGD".
+        let dfa = Pipeline::scanner(Alphabet::amino_acids())
+            .compile_str("RGD")
+            .unwrap();
+        let sfa = construct_sequential(&dfa, SequentialVariant::Transposed)
+            .unwrap()
+            .sfa;
+        let matcher = ParallelMatcher::new(&sfa, &dfa);
+        let alpha = dfa.alphabet().clone();
+        for (text, expected) in [
+            (&b""[..], 0u64),
+            (b"RGD", 1),
+            (b"RGDRGD", 2),
+            (b"ARGDARGDA", 2),
+            (b"RGRGRG", 0),
+            (b"RGDGD", 1),
+        ] {
+            let syms = alpha.encode_bytes(text).unwrap();
+            assert_eq!(count_matches_sequential(&dfa, &syms), expected);
+            for threads in [1usize, 2, 3, 8] {
+                assert_eq!(
+                    matcher.count_matches(&syms, threads),
+                    expected,
+                    "text {:?} threads {threads}",
+                    std::str::from_utf8(text).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn count_matches_fuzz() {
+        let dfa = Pipeline::scanner(Alphabet::amino_acids())
+            .compile_str("R[GA]")
+            .unwrap();
+        let sfa = construct_sequential(&dfa, SequentialVariant::Transposed)
+            .unwrap()
+            .sfa;
+        let matcher = ParallelMatcher::new(&sfa, &dfa);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..40 {
+            let len = rng.random_range(0..500);
+            let syms: Vec<u8> = (0..len).map(|_| rng.random_range(0..20) as u8).collect();
+            let expected = count_matches_sequential(&dfa, &syms);
+            for threads in [1usize, 4, 7] {
+                assert_eq!(matcher.count_matches(&syms, threads), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn count_matches_planted_motifs() {
+        let dfa = Pipeline::scanner(Alphabet::amino_acids())
+            .compile_str("WWWWW")
+            .unwrap();
+        let sfa = construct_sequential(&dfa, SequentialVariant::Transposed)
+            .unwrap()
+            .sfa;
+        let matcher = ParallelMatcher::new(&sfa, &dfa);
+        // Plant 3 non-overlapping runs of 5 W's; W runs longer than 5
+        // produce extra end positions, so use exactly-5 runs spaced apart.
+        let text =
+            sfa_workloads::protein_text_with_motif(50_000, 2, b"WWWWW", &[1_000, 25_000, 49_000]);
+        let expected = count_matches_sequential(&dfa, &text);
+        assert!(expected >= 3, "planted motifs must be counted");
+        assert_eq!(matcher.count_matches(&text, 6), expected);
+    }
+
+    #[test]
+    fn find_first_match_nullable_pattern() {
+        let dfa = Pipeline::search(Alphabet::amino_acids())
+            .compile_str("R*")
+            .unwrap();
+        let sfa = construct_sequential(&dfa, SequentialVariant::Transposed)
+            .unwrap()
+            .sfa;
+        let matcher = ParallelMatcher::new(&sfa, &dfa);
+        // Nullable pattern: start state accepts -> match at position 0.
+        assert_eq!(matcher.find_first_match(&[5, 5, 5], 4), Some(0));
+        assert_eq!(matcher.find_first_match(&[], 4), Some(0));
+    }
+
+    #[test]
+    fn empty_input() {
+        let (dfa, sfa) = setup("RG");
+        assert!(!match_with_sfa(&sfa, &dfa, &[], 4));
+        // A nullable pattern accepts the empty input.
+        let dfa2 = Pipeline::search(Alphabet::amino_acids())
+            .compile_str("R*")
+            .unwrap();
+        let sfa2 = construct_sequential(&dfa2, SequentialVariant::Transposed)
+            .unwrap()
+            .sfa;
+        assert!(match_with_sfa(&sfa2, &dfa2, &[], 4));
+    }
+}

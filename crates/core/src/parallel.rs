@@ -1,0 +1,1373 @@
+//! Parallel SFA construction for shared-memory multicores (§III-B/C).
+//!
+//! The engine reproduces the paper's design point for point:
+//!
+//! * **Work items** are SFA state ids. The start-up phase distributes work
+//!   through a single CAS-synchronized [`GlobalQueue`]; once it fills to
+//!   its threshold capacity, workers switch to **thread-local Chase–Lev
+//!   deques** with closest-victim-first stealing (§III-B2).
+//! * **State interning** goes through the lock-free [`ChainedTable`]:
+//!   fingerprint → bucket → chain walk (fingerprint short-circuit, then
+//!   SIMD exhaustive compare) → CAS insert at head (§III-A).
+//! * **Successor generation** uses the parameterized-transposition SIMD
+//!   kernels: all `|Σ|` candidate mappings of a state in one pass.
+//! * **Three phases** (§III-C): build raw until the [`MemoryManager`]
+//!   watermark trips; stop the world behind a barrier; all workers jointly
+//!   compress every state and rebuild the hash table without duplicate
+//!   checks; resume in compressed mode, compressing each new state and
+//!   comparing candidates by their *compressed* bytes (our codecs are
+//!   deterministic, so equal plaintexts ⇔ equal ciphertexts).
+//! * **Schedulers** ([`Scheduler`]) swap the work-distribution structure
+//!   to reproduce the paper's TBB-queue comparison (§IV-B) and the
+//!   global-queue-only ablation.
+
+use crate::elem::{fits_u16, Elem};
+use crate::memory::MemoryManager;
+use crate::sfa::{CodecChoice, MappingStore, Sfa};
+use crate::state::{MappingBuf, StateStore};
+use crate::stats::{ConstructionResult, ConstructionStats};
+use crate::SfaError;
+use parking_lot::Mutex;
+use sfa_automata::dfa::Dfa;
+use sfa_compress::Codec;
+use sfa_hash::{CityFingerprinter, Fingerprinter};
+use sfa_sync::counters::ContentionSnapshot;
+use sfa_sync::deque::{work_stealing_deque, Steal, StealPolicy, Stealer, Worker};
+use sfa_sync::{ChainedTable, FindOrInsert, GlobalQueue, Links, MsQueue, NIL};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Work-distribution strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheduler {
+    /// Paper default: global queue start-up, then thread-local deques
+    /// with work-stealing.
+    WorkStealing,
+    /// Ablation: one global CAS queue for the entire run.
+    GlobalOnly,
+    /// Comparison: one shared MPMC queue for everything (the TBB
+    /// `concurrent_queue` stand-in of §IV-B).
+    SharedMpmc,
+}
+
+/// When to compress SFA states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompressionPolicy {
+    /// Never compress (fastest; needs the memory).
+    Never,
+    /// Trip the compression phase when state payloads exceed this many
+    /// bytes (the paper's watermark scheme).
+    WhenMemoryExceeds(usize),
+    /// Ablation: compress every state from the start (the paper argues —
+    /// and Table II shows — this wastes time on tractable inputs).
+    FromStart,
+}
+
+/// Which fingerprint function the engine uses (§III-A: CityHash won on
+/// throughput; Rabin gives provable collision bounds, which matters for
+/// the probabilistic mode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FingerprintAlgo {
+    /// CityHash64 (the paper's production choice).
+    City,
+    /// Rabin fingerprints (PCLMULQDQ-accelerated; tight collision bounds).
+    Rabin,
+    /// FxHash (fast, weak — for experiments only).
+    Fx,
+}
+
+impl FingerprintAlgo {
+    fn create(self) -> Box<dyn Fingerprinter> {
+        match self {
+            FingerprintAlgo::City => Box::new(CityFingerprinter),
+            FingerprintAlgo::Rabin => Box::new(sfa_hash::RabinFingerprinter::default()),
+            FingerprintAlgo::Fx => Box::new(sfa_hash::FxFingerprinter),
+        }
+    }
+}
+
+/// Options for [`construct_parallel`].
+#[derive(Debug, Clone)]
+pub struct ParallelOptions {
+    /// Worker threads.
+    pub threads: usize,
+    /// Work-distribution strategy.
+    pub scheduler: Scheduler,
+    /// Compression policy.
+    pub compression: CompressionPolicy,
+    /// Codec used by the compression phase.
+    pub codec: CodecChoice,
+    /// Maximum number of SFA states (arena capacity).
+    pub state_budget: usize,
+    /// Global-queue capacity — the start-up threshold after which workers
+    /// switch to their local deques (§III-B2).
+    pub global_queue_capacity: usize,
+    /// Hash-table buckets (`None`: sized from the state budget).
+    pub hash_buckets: Option<usize>,
+    /// Ablation switch: when `false`, chain walks skip the fingerprint
+    /// short-circuit and byte-compare every entry.
+    pub fingerprint_short_circuit: bool,
+    /// Fingerprint function.
+    pub fingerprint: FingerprintAlgo,
+    /// Work granularity (§III-B1): 1 = coarse-grained (one SFA state per
+    /// work item, successor generation via the transposition kernel — the
+    /// paper's production configuration); B > 1 = medium-grained (each
+    /// state yields B work items, one per block of `|Σ|/B` symbols,
+    /// generated symbol-by-symbol). Medium granularity helps only when
+    /// states are scarce relative to workers; it forgoes the transposition
+    /// kernel's locality, which is exactly the trade-off §III-B1 weighs.
+    pub symbol_blocks: usize,
+    /// The paper's probabilistic variant (§III-A): state identity is
+    /// decided by fingerprints *alone* (no exhaustive comparison), and a
+    /// state's mapping payload is dropped as soon as the state has been
+    /// processed — a large peak-memory saving at a provably small risk of
+    /// merging distinct states (use [`FingerprintAlgo::Rabin`] for the
+    /// tight bound). Mapping vectors of the final SFA are reconstructed
+    /// from δₛ and the DFA. Incompatible with compression.
+    pub probabilistic: bool,
+}
+
+impl Default for ParallelOptions {
+    fn default() -> Self {
+        ParallelOptions {
+            threads: 4,
+            scheduler: Scheduler::WorkStealing,
+            compression: CompressionPolicy::Never,
+            codec: CodecChoice::Deflate,
+            state_budget: 1 << 22,
+            global_queue_capacity: 1024,
+            hash_buckets: None,
+            fingerprint_short_circuit: true,
+            fingerprint: FingerprintAlgo::City,
+            symbol_blocks: 1,
+            probabilistic: false,
+        }
+    }
+}
+
+impl ParallelOptions {
+    /// Defaults with an explicit thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        ParallelOptions {
+            threads,
+            ..Default::default()
+        }
+    }
+
+    /// Set the scheduler.
+    pub fn scheduler(mut self, s: Scheduler) -> Self {
+        self.scheduler = s;
+        self
+    }
+
+    /// Set the compression policy.
+    pub fn compression(mut self, c: CompressionPolicy) -> Self {
+        self.compression = c;
+        self
+    }
+
+    /// Set the codec.
+    pub fn codec(mut self, c: CodecChoice) -> Self {
+        self.codec = c;
+        self
+    }
+
+    /// Set the state budget.
+    pub fn state_budget(mut self, b: usize) -> Self {
+        self.state_budget = b;
+        self
+    }
+
+    /// Set the work granularity (symbol blocks per state; see
+    /// [`ParallelOptions::symbol_blocks`]).
+    pub fn symbol_blocks(mut self, blocks: usize) -> Self {
+        self.symbol_blocks = blocks;
+        self
+    }
+
+    /// Enable the probabilistic (fingerprint-only) variant with the given
+    /// fingerprint function.
+    pub fn probabilistic(mut self, algo: FingerprintAlgo) -> Self {
+        self.probabilistic = true;
+        self.fingerprint = algo;
+        self
+    }
+}
+
+/// Construct the SFA of `dfa` in parallel.
+pub fn construct_parallel(
+    dfa: &Dfa,
+    opts: &ParallelOptions,
+) -> Result<ConstructionResult, SfaError> {
+    if dfa.num_states() == 0 {
+        return Err(SfaError::EmptyDfa);
+    }
+    if opts.threads == 0 {
+        return Err(SfaError::NoThreads);
+    }
+    if opts.symbol_blocks == 0 || opts.symbol_blocks > dfa.num_symbols() {
+        return Err(SfaError::InvalidOptions("symbol_blocks must be in 1..=|Σ|"));
+    }
+    if (opts.state_budget as u64) * (opts.symbol_blocks as u64) >= TOMBSTONE as u64 {
+        return Err(SfaError::InvalidOptions(
+            "state_budget × symbol_blocks must fit the u32 work-item encoding",
+        ));
+    }
+    if opts.probabilistic && opts.symbol_blocks != 1 {
+        return Err(SfaError::InvalidOptions(
+            "probabilistic mode requires symbol_blocks = 1 (the payload drop \
+             needs exactly one work item per state)",
+        ));
+    }
+    if opts.probabilistic && !matches!(opts.compression, CompressionPolicy::Never) {
+        return Err(SfaError::InvalidOptions(
+            "probabilistic mode stores no payloads to compress",
+        ));
+    }
+    if fits_u16(dfa.num_states()) {
+        Engine::<u16>::run(dfa, opts)
+    } else {
+        Engine::<u32>::run(dfa, opts)
+    }
+}
+
+// Phase-flag values.
+const PHASE_RAW: u8 = 0;
+const PHASE_COMPRESS_REQUESTED: u8 = 1;
+const PHASE_COMPRESSED: u8 = 2;
+
+/// Barrier over the *currently active* workers.
+///
+/// A fixed-count `std::sync::Barrier` can deadlock here: a worker that
+/// exits early (state-budget error) stops participating, and a peer that
+/// subsequently requests the compression phase would wait for a quorum
+/// that can never assemble. This barrier re-reads the live worker count
+/// while spinning, so departures unblock waiters. (On the error path the
+/// constructed automaton is discarded, so a departed worker's skipped
+/// compression partition is harmless.)
+struct PhaseBarrier {
+    /// Arrival counters, indexed by generation parity so consecutive
+    /// barriers never share a counter (a worker released from barrier g
+    /// may arrive at barrier g+1 before stragglers have left barrier g).
+    arrived: [AtomicUsize; 2],
+    generation: AtomicUsize,
+    active: AtomicUsize,
+    /// Single-advancer election: exactly one quorum observer resets the
+    /// next counter and bumps the generation, so a racing observer can
+    /// never wipe arrivals that already landed on the next barrier.
+    advancing: AtomicBool,
+}
+
+impl PhaseBarrier {
+    fn new(workers: usize) -> Self {
+        PhaseBarrier {
+            arrived: [AtomicUsize::new(0), AtomicUsize::new(0)],
+            generation: AtomicUsize::new(0),
+            active: AtomicUsize::new(workers),
+            advancing: AtomicBool::new(false),
+        }
+    }
+
+    /// A worker stops participating (worker exit). Must not be called
+    /// while that worker is inside `wait`.
+    fn deregister(&self) {
+        self.active.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    fn wait(&self) {
+        let gen = self.generation.load(Ordering::Acquire);
+        self.arrived[gen & 1].fetch_add(1, Ordering::SeqCst);
+        let mut backoff = sfa_sync::backoff::Backoff::new();
+        while self.generation.load(Ordering::Acquire) == gen {
+            let arrived = self.arrived[gen & 1].load(Ordering::SeqCst);
+            // `active` is re-read every spin: a deregistering worker
+            // shrinks the quorum and unblocks the barrier (the error
+            // path discards the automaton, so its skipped partition work
+            // does not matter).
+            if arrived >= self.active.load(Ordering::SeqCst)
+                && self
+                    .advancing
+                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+            {
+                if self.generation.load(Ordering::Acquire) == gen {
+                    // Sole advancer: clear the NEXT barrier's counter,
+                    // then release everyone by bumping the generation.
+                    // Newcomers can only arrive at slot (gen+1)&1 after
+                    // observing the bump, which happens-after the reset.
+                    self.arrived[(gen + 1) & 1].store(0, Ordering::SeqCst);
+                    self.generation.store(gen + 1, Ordering::SeqCst);
+                }
+                self.advancing.store(false, Ordering::SeqCst);
+                break;
+            }
+            backoff.spin();
+        }
+    }
+}
+
+struct Shared<E: Elem> {
+    table_typed: Vec<E>,
+    n: usize,
+    k: usize,
+    opts: ParallelOptions,
+    store: StateStore,
+    table: ChainedTable,
+    global_q: GlobalQueue,
+    mpmc: MsQueue,
+    /// Outstanding work items (incremented before enqueue, decremented
+    /// after processing). 0 ⇒ construction complete.
+    pending: AtomicU64,
+    /// `true` once the global queue filled and workers switched to their
+    /// thread-local deques.
+    switched: AtomicBool,
+    phase: AtomicU8,
+    barrier: PhaseBarrier,
+    mem: MemoryManager,
+    error: Mutex<Option<SfaError>>,
+    has_error: AtomicBool,
+    clock: Mutex<PhaseClock>,
+}
+
+#[derive(Default)]
+struct PhaseClock {
+    compression_start: Option<Instant>,
+    compression_end: Option<Instant>,
+}
+
+/// Per-worker statistics (thread-local; merged at the end). `Cell`s so
+/// the interning closure (an immutable-capture `Fn`) can bump them.
+#[derive(Default)]
+struct LocalStats {
+    candidates: Cell<u64>,
+    duplicates: Cell<u64>,
+    exhaustive: Cell<u64>,
+    collisions: Cell<u64>,
+}
+
+impl LocalStats {
+    #[inline]
+    fn bump(cell: &Cell<u64>) {
+        cell.set(cell.get() + 1);
+    }
+}
+
+struct Engine<E: Elem> {
+    _marker: std::marker::PhantomData<E>,
+}
+
+impl<E: Elem> Engine<E> {
+    fn run(dfa: &Dfa, opts: &ParallelOptions) -> Result<ConstructionResult, SfaError> {
+        let t0 = Instant::now();
+        let n = dfa.num_states() as usize;
+        let k = dfa.num_symbols();
+        let threads = opts.threads;
+        let fingerprinter = opts.fingerprint.create();
+
+        // Bucket-count heuristic: budget/64 keeps expected chains short
+        // for real SFAs while avoiding a multi-megabyte zeroed allocation
+        // for small patterns (chains absorb the tail gracefully).
+        let buckets = opts
+            .hash_buckets
+            .unwrap_or_else(|| (opts.state_budget / 64).clamp(1 << 12, 1 << 22));
+        let start_compressed = matches!(opts.compression, CompressionPolicy::FromStart);
+        let mem_limit = match opts.compression {
+            CompressionPolicy::WhenMemoryExceeds(bytes) => Some(bytes),
+            _ => None,
+        };
+
+        let shared = Shared::<E> {
+            table_typed: dfa.table().iter().map(|&q| E::from_u32(q)).collect(),
+            n,
+            k,
+            opts: opts.clone(),
+            store: StateStore::new(opts.state_budget, n, E::BYTES, k),
+            table: ChainedTable::new(buckets),
+            // The seed phase must be able to enqueue one item per symbol
+            // block before any worker-local deque exists.
+            global_q: GlobalQueue::new(
+                match opts.scheduler {
+                    Scheduler::GlobalOnly => opts.state_budget,
+                    _ => opts.global_queue_capacity,
+                }
+                .max(opts.symbol_blocks),
+            ),
+            mpmc: MsQueue::new(),
+            pending: AtomicU64::new(0),
+            switched: AtomicBool::new(false),
+            phase: AtomicU8::new(if start_compressed {
+                PHASE_COMPRESSED
+            } else {
+                PHASE_RAW
+            }),
+            barrier: PhaseBarrier::new(threads),
+            mem: MemoryManager::new(mem_limit),
+            error: Mutex::new(None),
+            has_error: AtomicBool::new(false),
+            clock: Mutex::new(PhaseClock::default()),
+        };
+
+        // Seed the start state (identity mapping).
+        let identity: Vec<E> = (0..n as u32).map(E::from_u32).collect();
+        let id_bytes = E::as_bytes(&identity);
+        let fp = fingerprinter.fingerprint(id_bytes);
+        let codec = opts.codec.codec();
+        let payload: Box<[u8]> = if start_compressed {
+            codec.compress_to_vec(id_bytes).into_boxed_slice()
+        } else {
+            id_bytes.to_vec().into_boxed_slice()
+        };
+        if shared.mem.charge(payload.len()) {
+            // A watermark below the very first state still has to trigger
+            // the (one-shot) compression phase once workers start.
+            shared
+                .phase
+                .store(PHASE_COMPRESS_REQUESTED, Ordering::SeqCst);
+        }
+        let start = shared.store.alloc(fp, payload, start_compressed).ok_or(
+            SfaError::StateBudgetExceeded {
+                budget: opts.state_budget,
+            },
+        )?;
+        shared.table.insert_unchecked(fp, start, &shared.store);
+        let blocks = opts.symbol_blocks as u32;
+        shared.pending.store(blocks as u64, Ordering::SeqCst);
+        for blk in 0..blocks {
+            let item = start * blocks + blk;
+            match opts.scheduler {
+                Scheduler::SharedMpmc => shared.mpmc.enqueue(item),
+                _ => {
+                    let _ = shared.global_q.enqueue(item);
+                }
+            }
+        }
+
+        // Thread-local deques + stealer matrix (victim order per worker).
+        let mut workers: Vec<Option<Worker>> = Vec::with_capacity(threads);
+        let mut all_stealers: Vec<Stealer> = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let (w, s) = work_stealing_deque(1024);
+            workers.push(Some(w));
+            all_stealers.push(s);
+        }
+        let victim_order: Vec<Vec<Stealer>> = (0..threads)
+            .map(|w| {
+                StealPolicy::closest_first(w, threads)
+                    .victims()
+                    .iter()
+                    .map(|&v| all_stealers[v].clone())
+                    .collect()
+            })
+            .collect();
+
+        let mut merged_local = Vec::new();
+        let mut deque_contention = ContentionSnapshot::default();
+        std::thread::scope(|scope| {
+            let shared_ref = &shared;
+            let mut handles = Vec::with_capacity(threads);
+            for (index, (worker, victims)) in workers
+                .iter_mut()
+                .map(|w| w.take().unwrap())
+                .zip(victim_order)
+                .enumerate()
+            {
+                handles.push(scope.spawn(move || {
+                    let ctx = WorkerCtx {
+                        index,
+                        shared: shared_ref,
+                        deque: worker,
+                        victims,
+                        fingerprinter: shared_ref.opts.fingerprint.create(),
+                        codec: shared_ref.opts.codec.codec(),
+                    };
+                    ctx.run()
+                }));
+            }
+            for h in handles {
+                let (stats, snap) = h.join().expect("worker panicked");
+                merged_local.push(stats);
+                deque_contention = merge_snap(deque_contention, snap);
+            }
+        });
+
+        if let Some(err) = shared.error.lock().take() {
+            return Err(err);
+        }
+
+        // Assemble statistics.
+        let mut stats = ConstructionStats {
+            threads,
+            ..Default::default()
+        };
+        for l in &merged_local {
+            stats.candidates += l.candidates.get();
+            stats.duplicates += l.duplicates.get();
+            stats.exhaustive_compares += l.exhaustive.get();
+            stats.fingerprint_collisions += l.collisions.get();
+        }
+        let clock = shared.clock.lock();
+        let total = t0.elapsed().as_secs_f64();
+        stats.total_secs = total;
+        match (clock.compression_start, clock.compression_end) {
+            (Some(cs), Some(ce)) => {
+                stats.phase1_secs = cs.duration_since(t0).as_secs_f64();
+                stats.compression_secs = ce.duration_since(cs).as_secs_f64();
+                stats.phase3_secs = total - stats.phase1_secs - stats.compression_secs;
+                stats.compressed = true;
+            }
+            _ => {
+                stats.phase1_secs = total;
+                stats.compressed = start_compressed;
+            }
+        }
+        drop(clock);
+
+        // Harvest the SFA. All states in the table are complete;
+        // wasted duplicate allocations are *not* in the table and are
+        // filtered out by walking table ids.
+        let mut in_table = vec![false; shared.store.len()];
+        for id in shared.table.iter_ids(&shared.store) {
+            in_table[id as usize] = true;
+        }
+        // Dense renumbering (arena ids may have gaps from lost races).
+        let mut remap = vec![NIL; shared.store.len()];
+        let mut next = 0u32;
+        for (id, &live) in in_table.iter().enumerate() {
+            if live {
+                remap[id] = next;
+                next += 1;
+            }
+        }
+        let num_states = next as usize;
+        stats.states = num_states as u64;
+        stats.uncompressed_bytes = (num_states * n * E::BYTES) as u64;
+
+        let mut delta = vec![0u32; num_states * k];
+        let compressed_mode = shared.phase.load(Ordering::SeqCst) == PHASE_COMPRESSED;
+        let probabilistic = opts.probabilistic;
+        let mut blobs: Vec<Box<[u8]>> = Vec::new();
+        let mut flat: Vec<E> = Vec::new();
+        if compressed_mode {
+            blobs = vec![Box::default(); num_states];
+        } else if !probabilistic {
+            flat = vec![E::from_u32(0); num_states * n];
+        }
+        let mut scratch = Vec::new();
+        let mut start_new_guess = NIL;
+        for (id, &live) in in_table.iter().enumerate() {
+            if !live {
+                continue;
+            }
+            let new_id = remap[id] as usize;
+            if id as u32 == start {
+                start_new_guess = new_id as u32;
+            }
+            for sym in 0..k {
+                let succ = shared.store.succ(id as u32, sym);
+                debug_assert_ne!(succ, NIL, "unprocessed state escaped");
+                delta[new_id * k + sym] = remap[succ as usize];
+            }
+            if probabilistic {
+                continue; // payloads were dropped; reconstructed below
+            }
+            let buf = shared.store.mapping(id as u32);
+            if compressed_mode {
+                debug_assert!(buf.compressed);
+                blobs[new_id] = buf.data.clone();
+            } else {
+                E::read_bytes(&buf.data, &mut scratch);
+                flat[new_id * n..(new_id + 1) * n].copy_from_slice(&scratch);
+            }
+        }
+        if probabilistic {
+            // Reconstruct every mapping from δₛ and δ: the start state is
+            // the identity, and mapping(δₛ(s,σ))[q] = δ(mapping(s)[q], σ).
+            flat = reconstruct_mappings::<E>(
+                &shared.table_typed,
+                n,
+                k,
+                &delta,
+                num_states,
+                start_new_guess,
+            );
+        }
+        let mappings = if compressed_mode {
+            MappingStore::Compressed {
+                elem_bytes: E::BYTES,
+                blobs,
+                codec: opts.codec,
+            }
+        } else {
+            E::into_store(flat)
+        };
+        stats.stored_bytes = mappings.payload_bytes() as u64;
+        stats.peak_bytes = shared.mem.peak();
+
+        // Merge contention counters.
+        stats.contention = merge_snap(
+            merge_snap(deque_contention, shared.global_q.counters().snapshot()),
+            merge_snap(
+                shared.table.counters().snapshot(),
+                shared.mpmc.counters().snapshot(),
+            ),
+        );
+
+        let start_new = remap[start as usize];
+        debug_assert_ne!(start_new, NIL);
+        let sfa = Sfa::from_parts(n, k, start_new, delta, mappings);
+        Ok(ConstructionResult { sfa, stats })
+    }
+}
+
+/// Rebuild all mapping vectors from the SFA transition table and the DFA
+/// transition table (used by the probabilistic mode, whose construction
+/// discards payloads). BFS from the identity start mapping.
+fn reconstruct_mappings<E: Elem>(
+    dfa_table: &[E],
+    n: usize,
+    k: usize,
+    delta: &[u32],
+    num_states: usize,
+    start: u32,
+) -> Vec<E> {
+    let mut flat: Vec<E> = vec![E::from_u32(0); num_states * n];
+    let mut visited = vec![false; num_states];
+    for (q, slot) in flat[start as usize * n..(start as usize + 1) * n]
+        .iter_mut()
+        .enumerate()
+    {
+        *slot = E::from_u32(q as u32);
+    }
+    visited[start as usize] = true;
+    let mut queue = std::collections::VecDeque::from([start]);
+    while let Some(s) = queue.pop_front() {
+        for sym in 0..k {
+            let succ = delta[s as usize * k + sym];
+            if visited[succ as usize] {
+                continue;
+            }
+            visited[succ as usize] = true;
+            for q in 0..n {
+                let cur = flat[s as usize * n + q].to_u32() as usize;
+                flat[succ as usize * n + q] = dfa_table[cur * k + sym];
+            }
+            queue.push_back(succ);
+        }
+    }
+    debug_assert!(visited.iter().all(|&v| v), "unreachable SFA state");
+    flat
+}
+
+fn merge_snap(a: ContentionSnapshot, b: ContentionSnapshot) -> ContentionSnapshot {
+    ContentionSnapshot {
+        cas_failures: a.cas_failures + b.cas_failures,
+        cas_successes: a.cas_successes + b.cas_successes,
+        steal_attempts: a.steal_attempts + b.steal_attempts,
+        steal_successes: a.steal_successes + b.steal_successes,
+        enqueues: a.enqueues + b.enqueues,
+        dequeues: a.dequeues + b.dequeues,
+    }
+}
+
+struct WorkerCtx<'s, E: Elem> {
+    index: usize,
+    shared: &'s Shared<E>,
+    deque: Worker,
+    victims: Vec<Stealer>,
+    fingerprinter: Box<dyn Fingerprinter>,
+    codec: Box<dyn Codec>,
+}
+
+impl<'s, E: Elem> WorkerCtx<'s, E> {
+    fn run(self) -> (LocalStats, ContentionSnapshot) {
+        let shared = self.shared;
+        // On ANY exit from this function — including a panic unwinding out
+        // of process() — mark the run failed and leave the barrier quorum,
+        // so peers stop instead of spinning on `pending` forever.
+        struct ExitGuard<'a, E: Elem>(&'a Shared<E>);
+        impl<'a, E: Elem> Drop for ExitGuard<'a, E> {
+            fn drop(&mut self) {
+                if std::thread::panicking() {
+                    let mut slot = self.0.error.lock();
+                    if slot.is_none() {
+                        *slot = Some(SfaError::InvalidOptions(
+                            "worker panicked during construction",
+                        ));
+                    }
+                    self.0.has_error.store(true, Ordering::SeqCst);
+                }
+                self.0.barrier.deregister();
+            }
+        }
+        let _guard = ExitGuard(shared);
+        let n = shared.n;
+        let k = shared.k;
+        let stats = LocalStats::default();
+
+        // Scratch buffers reused across states.
+        let mut rows_u32: Vec<u32> = vec![0; n];
+        let mut transposed: Vec<E> = vec![E::from_u32(0); k * n];
+        let mut raw_scratch: Vec<u8> = Vec::new();
+        let mut elems_scratch: Vec<E> = Vec::new();
+
+        let mut backoff = sfa_sync::backoff::Backoff::new();
+        loop {
+            // Compression protocol first: everyone must converge on the
+            // barrier, including idle and error-state workers.
+            if shared.phase.load(Ordering::SeqCst) == PHASE_COMPRESS_REQUESTED {
+                self.participate_compression();
+                backoff.reset();
+                continue;
+            }
+            if shared.has_error.load(Ordering::SeqCst) {
+                break;
+            }
+            match self.obtain_work() {
+                Some(item) => {
+                    backoff.reset();
+                    let blocks = shared.opts.symbol_blocks as u32;
+                    let (id, block) = (item / blocks, item % blocks);
+                    self.process(
+                        id,
+                        block,
+                        &stats,
+                        &mut rows_u32,
+                        &mut transposed,
+                        &mut raw_scratch,
+                        &mut elems_scratch,
+                    );
+                    shared.pending.fetch_sub(1, Ordering::SeqCst);
+                }
+                None => {
+                    if shared.pending.load(Ordering::SeqCst) == 0 {
+                        // Re-check the phase: a compression request is
+                        // ordered before the pending decrement that made
+                        // us see 0 (both SeqCst), so this cannot miss one.
+                        if shared.phase.load(Ordering::SeqCst) == PHASE_COMPRESS_REQUESTED {
+                            continue;
+                        }
+                        break;
+                    }
+                    backoff.spin();
+                }
+            }
+        }
+        let snap = self.deque.counters().snapshot();
+        (stats, snap)
+    }
+
+    fn obtain_work(&self) -> Option<u32> {
+        let shared = self.shared;
+        match shared.opts.scheduler {
+            Scheduler::SharedMpmc => shared.mpmc.dequeue(),
+            Scheduler::GlobalOnly => shared.global_q.dequeue().or_else(|| self.deque.pop()),
+            Scheduler::WorkStealing => {
+                if let Some(id) = self.deque.pop() {
+                    return Some(id);
+                }
+                if let Some(id) = shared.global_q.dequeue() {
+                    return Some(id);
+                }
+                for victim in &self.victims {
+                    loop {
+                        match victim.steal() {
+                            Steal::Success(id) => return Some(id),
+                            Steal::Retry => continue,
+                            Steal::Empty => break,
+                        }
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    fn dispatch_work(&self, id: u32) {
+        let shared = self.shared;
+        match shared.opts.scheduler {
+            Scheduler::SharedMpmc => shared.mpmc.enqueue(id),
+            Scheduler::GlobalOnly => {
+                if let sfa_sync::global_queue::Enqueue::Full = shared.global_q.enqueue(id) {
+                    // Sized to the state budget, so Full implies budget
+                    // exhaustion races; fall back to the local deque.
+                    self.deque.push(id);
+                }
+            }
+            Scheduler::WorkStealing => {
+                // Start-up phase: the single global queue statically
+                // distributes the first states; once it fills, switch to
+                // the thread-local deques for good (§III-B2).
+                if !shared.switched.load(Ordering::Relaxed) {
+                    match shared.global_q.enqueue(id) {
+                        sfa_sync::global_queue::Enqueue::Ok => return,
+                        sfa_sync::global_queue::Enqueue::Full => {
+                            shared.switched.store(true, Ordering::Relaxed);
+                        }
+                    }
+                }
+                self.deque.push(id);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn process(
+        &self,
+        id: u32,
+        block: u32,
+        stats: &LocalStats,
+        rows_u32: &mut [u32],
+        transposed: &mut [E],
+        raw_scratch: &mut Vec<u8>,
+        elems_scratch: &mut Vec<E>,
+    ) {
+        let shared = self.shared;
+        let n = shared.n;
+        let k = shared.k;
+        let blocks = shared.opts.symbol_blocks;
+        let compressed_mode = shared.phase.load(Ordering::SeqCst) == PHASE_COMPRESSED;
+
+        // Source mapping → u32 rows (decompress first when needed).
+        {
+            let buf = shared.store.mapping(id);
+            let raw: &[u8] = if buf.compressed {
+                raw_scratch.clear();
+                self.codec
+                    .decompress(&buf.data, raw_scratch)
+                    .expect("stored state failed to decompress");
+                raw_scratch
+            } else {
+                &buf.data
+            };
+            E::read_bytes(raw, elems_scratch);
+            for (r, e) in rows_u32.iter_mut().zip(elems_scratch.iter()) {
+                *r = e.to_u32();
+            }
+        }
+
+        // Symbol range of this work item: the whole alphabet for the
+        // coarse-grained default, one block of it for medium granularity.
+        let per_block = k.div_ceil(blocks);
+        let sym_lo = block as usize * per_block;
+        let sym_hi = (sym_lo + per_block).min(k);
+
+        if blocks == 1 {
+            // All |Σ| successors at once (parameterized transposition).
+            E::transpose_gather(&shared.table_typed, k, rows_u32, transposed);
+        } else {
+            // Medium-grained: generate this block symbol-by-symbol
+            // (line 6 of Algorithm 1); the transposition kernel's
+            // locality is the price of the finer distribution (§III-B1).
+            for sym in sym_lo..sym_hi {
+                for (i, &q) in rows_u32.iter().enumerate() {
+                    transposed[sym * n + i] =
+                        shared.table_typed[q as usize * k + sym];
+                }
+            }
+        }
+
+        for sym in sym_lo..sym_hi {
+            LocalStats::bump(&stats.candidates);
+            let cand = &transposed[sym * n..(sym + 1) * n];
+            let cand_bytes = E::as_bytes(cand);
+            let fp = self.fingerprinter.fingerprint(cand_bytes);
+
+            // Representation used for comparison and storage: compressed
+            // candidates compare against compressed residents — the codec
+            // is deterministic, so equal plaintexts ⇔ equal ciphertexts.
+            let compressed_repr: Option<Vec<u8>> = if compressed_mode {
+                Some(self.codec.compress_to_vec(cand_bytes))
+            } else {
+                None
+            };
+            let repr: &[u8] = compressed_repr.as_deref().unwrap_or(cand_bytes);
+
+            let probabilistic = shared.opts.probabilistic;
+            let eq = |other: u32| {
+                if probabilistic {
+                    // Fingerprint-only identity (the §III-A probabilistic
+                    // variant): no payload to compare.
+                    return shared.store.fingerprint(other) == fp;
+                }
+                if shared.opts.fingerprint_short_circuit && shared.store.fingerprint(other) != fp {
+                    return false;
+                }
+                LocalStats::bump(&stats.exhaustive);
+                let equal = shared.store.mapping_equals(other, repr);
+                if !equal && shared.store.fingerprint(other) == fp {
+                    LocalStats::bump(&stats.collisions);
+                }
+                equal
+            };
+
+            // Cheap pre-check avoids allocating a record for duplicates
+            // (the overwhelmingly common case).
+            if let Some(found) = shared.table.find(fp, &shared.store, eq) {
+                LocalStats::bump(&stats.duplicates);
+                shared.store.set_succ(id, sym, found);
+                continue;
+            }
+
+            let payload: Box<[u8]> = repr.to_vec().into_boxed_slice();
+            let payload_len = payload.len();
+            let Some(new_id) = shared.store.alloc(fp, payload, compressed_mode) else {
+                self.record_error(SfaError::StateBudgetExceeded {
+                    budget: shared.opts.state_budget,
+                });
+                return;
+            };
+            if shared.mem.charge(payload_len) && shared.phase.load(Ordering::SeqCst) == PHASE_RAW {
+                // First crossing of the watermark: request compression.
+                shared
+                    .phase
+                    .store(PHASE_COMPRESS_REQUESTED, Ordering::SeqCst);
+            }
+            match shared.table.find_or_insert(fp, new_id, &shared.store, eq) {
+                FindOrInsert::Found(existing) => {
+                    // Lost an insert race: `new_id` becomes arena garbage.
+                    // Tombstone it so the compression-phase table rebuild
+                    // never resurrects it (harvest also filters on table
+                    // membership).
+                    LocalStats::bump(&stats.duplicates);
+                    shared.store.link(new_id).store(TOMBSTONE, Ordering::SeqCst);
+                    shared.store.set_succ(id, sym, existing);
+                }
+                FindOrInsert::Inserted => {
+                    shared.store.set_succ(id, sym, new_id);
+                    shared
+                        .pending
+                        .fetch_add(blocks as u64, Ordering::SeqCst);
+                    for blk in 0..blocks as u32 {
+                        self.dispatch_work(new_id * blocks as u32 + blk);
+                    }
+                }
+            }
+        }
+        if shared.opts.probabilistic && blocks == 1 {
+            // The mapping payload of a processed state is never read
+            // again (identity is fingerprint-only and the final mappings
+            // are reconstructed from δₛ): drop it to cap peak memory.
+            // Safe: only the processing worker reads its state's payload,
+            // and processing is over. (With medium granularity other
+            // blocks of the same state may still need the payload, so the
+            // drop is skipped — granularity 1 is the probabilistic mode's
+            // intended configuration.)
+            let len = shared.store.mapping(id).data.len();
+            shared.mem.credit(len);
+            shared.store.replace_mapping(
+                id,
+                crate::state::MappingBuf {
+                    compressed: false,
+                    data: Box::default(),
+                },
+            );
+        }
+    }
+
+    fn record_error(&self, err: SfaError) {
+        let shared = self.shared;
+        let mut slot = shared.error.lock();
+        if slot.is_none() {
+            *slot = Some(err);
+        }
+        shared.has_error.store(true, Ordering::SeqCst);
+    }
+
+    /// The stop-the-world compression phase (§III-C). All workers arrive
+    /// here; between the barriers nobody processes states, so mapping
+    /// buffers can be swapped and freed safely.
+    fn participate_compression(&self) {
+        let shared = self.shared;
+        let threads = shared.opts.threads;
+        // B1: quiesce.
+        shared.barrier.wait();
+        if self.index == 0 {
+            shared.clock.lock().compression_start = Some(Instant::now());
+        }
+        let total = shared.store.len();
+        // Jointly compress: worker w takes ids ≡ w (mod threads).
+        let mut id = self.index;
+        while id < total {
+            let buf = shared.store.mapping(id as u32);
+            if !buf.compressed {
+                let compressed = self.codec.compress_to_vec(&buf.data);
+                shared.mem.credit(buf.data.len());
+                shared.mem.charge(compressed.len());
+                shared.store.replace_mapping(
+                    id as u32,
+                    MappingBuf {
+                        compressed: true,
+                        data: compressed.into_boxed_slice(),
+                    },
+                );
+            }
+            id += threads;
+        }
+        // B2: all states compressed.
+        shared.barrier.wait();
+        if self.index == 0 {
+            // "the hash-table is emptied" — then rebuilt without
+            // duplicate checks.
+            shared.table.clear();
+        }
+        // B3: table cleared.
+        shared.barrier.wait();
+        let mut id = self.index;
+        while id < total {
+            // Only re-insert live states: wasted duplicate allocations
+            // were never in the table; re-inserting them would resurrect
+            // duplicates. Live = referenced as some successor or the
+            // start state — cheapest reliable criterion here is: the
+            // record was reachable through the old table. We preserved
+            // that knowledge in the chain links being part of the old
+            // table; after clear() it is gone, so instead we re-insert
+            // every allocated record that is *not* marked wasted. Wasted
+            // records are recognizable: they lost their insert race, so
+            // their successor slots are still all NIL *and* they are not
+            // the processed frontier… — to keep this airtight the engine
+            // marks losers explicitly via a tombstone fingerprint chain
+            // link: see `find_or_insert` loser handling below.
+            if shared.store.link(id as u32).load(Ordering::SeqCst) != TOMBSTONE {
+                shared.table.insert_unchecked(
+                    shared.store.fingerprint(id as u32),
+                    id as u32,
+                    &shared.store,
+                );
+            }
+            id += threads;
+        }
+        // B4: table rebuilt.
+        shared.barrier.wait();
+        if self.index == 0 {
+            shared.clock.lock().compression_end = Some(Instant::now());
+            shared.phase.store(PHASE_COMPRESSED, Ordering::SeqCst);
+        }
+        // B5: phase switch visible to everyone.
+        shared.barrier.wait();
+    }
+}
+
+/// Chain-link tombstone marking arena records that lost their insert race
+/// and must never re-enter the hash table.
+const TOMBSTONE: u32 = u32::MAX - 1;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential::{construct_sequential, SequentialVariant};
+    use sfa_automata::alphabet::Alphabet;
+    use sfa_automata::pipeline::Pipeline;
+
+    fn rg_dfa() -> Dfa {
+        Pipeline::search(Alphabet::amino_acids())
+            .compile_str("RG")
+            .unwrap()
+    }
+
+    fn assert_equivalent(dfa: &Dfa, opts: &ParallelOptions) {
+        let seq = construct_sequential(dfa, SequentialVariant::Transposed).unwrap();
+        let par = construct_parallel(dfa, opts).unwrap();
+        assert_eq!(
+            seq.sfa.num_states(),
+            par.sfa.num_states(),
+            "state count mismatch under {opts:?}"
+        );
+        par.sfa.validate(dfa).unwrap();
+    }
+
+    #[test]
+    fn single_thread_matches_sequential() {
+        assert_equivalent(&rg_dfa(), &ParallelOptions::with_threads(1));
+    }
+
+    #[test]
+    fn multi_thread_matches_sequential() {
+        for threads in [2, 4, 8] {
+            assert_equivalent(&rg_dfa(), &ParallelOptions::with_threads(threads));
+        }
+    }
+
+    #[test]
+    fn larger_pattern_all_schedulers() {
+        let dfa = Pipeline::search(Alphabet::amino_acids())
+            .compile_str("R[GA]{2}N")
+            .unwrap();
+        for scheduler in [
+            Scheduler::WorkStealing,
+            Scheduler::GlobalOnly,
+            Scheduler::SharedMpmc,
+        ] {
+            let opts = ParallelOptions::with_threads(4).scheduler(scheduler);
+            assert_equivalent(&dfa, &opts);
+        }
+    }
+
+    #[test]
+    fn tiny_global_queue_forces_early_switch() {
+        let mut opts = ParallelOptions::with_threads(4);
+        opts.global_queue_capacity = 2;
+        assert_equivalent(&rg_dfa(), &opts);
+    }
+
+    #[test]
+    fn compression_from_start_matches() {
+        let dfa = rg_dfa();
+        let opts = ParallelOptions::with_threads(2).compression(CompressionPolicy::FromStart);
+        let par = construct_parallel(&dfa, &opts).unwrap();
+        assert!(par.sfa.is_compressed());
+        let seq = construct_sequential(&dfa, SequentialVariant::Transposed).unwrap();
+        assert_eq!(par.sfa.num_states(), seq.sfa.num_states());
+        par.sfa.validate(&dfa).unwrap();
+    }
+
+    #[test]
+    fn three_phase_compression_trips_mid_run() {
+        // r100 generates enough states with 204-byte vectors; the tiny
+        // watermark trips compression early.
+        let dfa = sfa_automata::random::rn(100);
+        let opts = ParallelOptions::with_threads(4)
+            .compression(CompressionPolicy::WhenMemoryExceeds(4096));
+        let par = construct_parallel(&dfa, &opts).unwrap();
+        assert!(par.stats.compressed, "compression phase must have run");
+        assert!(par.sfa.is_compressed());
+        assert!(par.stats.compression_secs >= 0.0);
+        let seq = construct_sequential(&dfa, SequentialVariant::Transposed).unwrap();
+        assert_eq!(par.sfa.num_states(), seq.sfa.num_states());
+        par.sfa.validate(&dfa).unwrap();
+        // Ratio sanity: sink-dominated states compress well.
+        assert!(par.stats.compression_ratio() > 4.0);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_error() {
+        let dfa = rg_dfa();
+        let opts = ParallelOptions::with_threads(2).state_budget(3);
+        match construct_parallel(&dfa, &opts) {
+            Err(SfaError::StateBudgetExceeded { budget: 3 }) => {}
+            Err(other) => panic!("expected budget error, got {other:?}"),
+            Ok(r) => panic!("expected budget error, got {} states", r.sfa.num_states()),
+        }
+    }
+
+    #[test]
+    fn zero_threads_rejected() {
+        let err = construct_parallel(&rg_dfa(), &ParallelOptions::with_threads(0)).unwrap_err();
+        assert_eq!(err, SfaError::NoThreads);
+    }
+
+    #[test]
+    fn fingerprint_ablation_matches() {
+        let dfa = rg_dfa();
+        let mut opts = ParallelOptions::with_threads(2);
+        opts.fingerprint_short_circuit = false;
+        let par = construct_parallel(&dfa, &opts).unwrap();
+        par.sfa.validate(&dfa).unwrap();
+        // Without the short-circuit every chain entry is byte-compared.
+        assert!(par.stats.exhaustive_compares >= par.stats.duplicates);
+    }
+
+    #[test]
+    fn stats_are_plausible() {
+        let dfa = rg_dfa();
+        let par = construct_parallel(&dfa, &ParallelOptions::with_threads(2)).unwrap();
+        assert_eq!(par.stats.states, 6);
+        assert_eq!(par.stats.candidates, 6 * 20);
+        assert_eq!(
+            par.stats.duplicates,
+            par.stats.candidates - (par.stats.states - 1)
+        );
+        assert!(par.stats.total_secs > 0.0);
+    }
+}
+
+#[cfg(test)]
+mod probabilistic_tests {
+    use super::*;
+    use crate::sequential::{construct_sequential, SequentialVariant};
+
+    #[test]
+    fn probabilistic_matches_exact_on_rn() {
+        let dfa = sfa_automata::random::rn(60);
+        let exact = construct_sequential(&dfa, SequentialVariant::Transposed).unwrap();
+        for algo in [FingerprintAlgo::City, FingerprintAlgo::Rabin] {
+            let opts = ParallelOptions::with_threads(4).probabilistic(algo);
+            let prob = construct_parallel(&dfa, &opts).unwrap();
+            // 64-bit fingerprints over a few thousand states: a collision
+            // would be a genuine bug signal at these sizes.
+            assert_eq!(prob.sfa.num_states(), exact.sfa.num_states(), "{algo:?}");
+            // Reconstructed mappings must be fully consistent.
+            prob.sfa.validate(&dfa).unwrap();
+        }
+    }
+
+    #[test]
+    fn probabilistic_reduces_peak_memory() {
+        let dfa = sfa_automata::random::rn(100);
+        let exact = construct_parallel(&dfa, &ParallelOptions::with_threads(2)).unwrap();
+        let prob = construct_parallel(
+            &dfa,
+            &ParallelOptions::with_threads(2).probabilistic(FingerprintAlgo::Rabin),
+        )
+        .unwrap();
+        assert_eq!(prob.sfa.num_states(), exact.sfa.num_states());
+        assert!(
+            prob.stats.peak_bytes * 4 < exact.stats.peak_bytes,
+            "probabilistic peak {} not well below exact peak {}",
+            prob.stats.peak_bytes,
+            exact.stats.peak_bytes
+        );
+    }
+
+    #[test]
+    fn probabilistic_rejects_compression() {
+        let dfa = sfa_automata::random::rn(20);
+        let mut opts = ParallelOptions::with_threads(2).probabilistic(FingerprintAlgo::City);
+        opts.compression = CompressionPolicy::FromStart;
+        assert_eq!(
+            construct_parallel(&dfa, &opts).unwrap_err(),
+            SfaError::InvalidOptions("probabilistic mode stores no payloads to compress")
+        );
+    }
+
+    #[test]
+    fn probabilistic_matching_agrees() {
+        let dfa = sfa_automata::random::rn(40);
+        let opts = ParallelOptions::with_threads(2).probabilistic(FingerprintAlgo::City);
+        let sfa = construct_parallel(&dfa, &opts).unwrap().sfa;
+        let text = sfa_workloads::protein_text(20_000, 5);
+        assert_eq!(
+            crate::matcher::match_with_sfa(&sfa, &dfa, &text, 4),
+            crate::matcher::match_sequential(&dfa, &text)
+        );
+    }
+}
+
+#[cfg(test)]
+mod granularity_tests {
+    use super::*;
+    use crate::sequential::{construct_sequential, SequentialVariant};
+
+    #[test]
+    fn medium_grained_matches_coarse() {
+        let dfa = sfa_automata::random::rn(50);
+        let expected = construct_sequential(&dfa, SequentialVariant::Transposed)
+            .unwrap()
+            .sfa
+            .num_states();
+        for blocks in [1usize, 2, 4, 5, 20] {
+            for threads in [1usize, 4] {
+                let opts = ParallelOptions::with_threads(threads).symbol_blocks(blocks);
+                let r = construct_parallel(&dfa, &opts).unwrap();
+                assert_eq!(
+                    r.sfa.num_states(),
+                    expected,
+                    "blocks {blocks} threads {threads}"
+                );
+                r.sfa.validate(&dfa).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn medium_grained_with_compression() {
+        let dfa = sfa_automata::random::rn(60);
+        let expected = construct_parallel(&dfa, &ParallelOptions::with_threads(2))
+            .unwrap()
+            .sfa
+            .num_states();
+        let opts = ParallelOptions::with_threads(4)
+            .symbol_blocks(4)
+            .compression(CompressionPolicy::WhenMemoryExceeds(1 << 13));
+        let r = construct_parallel(&dfa, &opts).unwrap();
+        assert_eq!(r.sfa.num_states(), expected);
+        assert!(r.stats.compressed);
+        r.sfa.validate(&dfa).unwrap();
+    }
+
+    #[test]
+    fn invalid_block_counts_rejected() {
+        let dfa = sfa_automata::random::rn(10);
+        for blocks in [0usize, 21, 100] {
+            let opts = ParallelOptions::with_threads(2).symbol_blocks(blocks);
+            assert!(matches!(
+                construct_parallel(&dfa, &opts),
+                Err(SfaError::InvalidOptions(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn candidate_stats_account_for_blocks() {
+        let dfa = sfa_automata::random::rn(30);
+        let coarse = construct_parallel(&dfa, &ParallelOptions::with_threads(2)).unwrap();
+        let medium = construct_parallel(
+            &dfa,
+            &ParallelOptions::with_threads(2).symbol_blocks(4),
+        )
+        .unwrap();
+        // Same candidates in total regardless of granularity.
+        assert_eq!(coarse.stats.candidates, medium.stats.candidates);
+        assert_eq!(coarse.stats.states, medium.stats.states);
+    }
+}
+
+#[cfg(test)]
+mod error_robustness_tests {
+    use super::*;
+
+    #[test]
+    fn budget_error_racing_compression_request_does_not_deadlock() {
+        // Regression: a worker exiting on StateBudgetExceeded while a peer
+        // trips the compression watermark used to strand the fixed-count
+        // barrier forever. The quorum-aware PhaseBarrier must let the run
+        // finish with the budget error instead.
+        let dfa = sfa_automata::random::rn(120);
+        for _ in 0..5 {
+            let opts = ParallelOptions::with_threads(4)
+                .state_budget(400)
+                .compression(CompressionPolicy::WhenMemoryExceeds(16 * 1024));
+            match construct_parallel(&dfa, &opts) {
+                Err(SfaError::StateBudgetExceeded { budget: 400 }) => {}
+                other => panic!("expected budget error, got {:?}", other.map(|r| r.stats)),
+            }
+        }
+    }
+
+    #[test]
+    fn watermark_below_first_state_still_compresses() {
+        // Regression: the seed state's charge used to consume the one-shot
+        // watermark trip, so a watermark smaller than the first state
+        // meant compression never ran.
+        let dfa = sfa_automata::random::rn(80);
+        let opts = ParallelOptions::with_threads(2)
+            .compression(CompressionPolicy::WhenMemoryExceeds(1));
+        let r = construct_parallel(&dfa, &opts).unwrap();
+        assert!(r.stats.compressed, "compression must trigger");
+        assert!(r.sfa.is_compressed());
+        r.sfa.validate(&dfa).unwrap();
+    }
+
+    #[test]
+    fn seed_items_survive_tiny_global_queue_with_blocks() {
+        // Regression: seeding `blocks` items into a smaller global queue
+        // silently dropped work and hung the run.
+        let dfa = sfa_automata::random::rn(40);
+        let mut opts = ParallelOptions::with_threads(2).symbol_blocks(8);
+        opts.global_queue_capacity = 1;
+        let r = construct_parallel(&dfa, &opts).unwrap();
+        r.sfa.validate(&dfa).unwrap();
+    }
+
+    #[test]
+    fn memory_accounting_credits_race_losers() {
+        // After a run with no compression, `used` accounting should equal
+        // live payload bytes (losers credited back), so peak ≥ used and
+        // used ≈ states × state size.
+        let dfa = sfa_automata::random::rn(60);
+        let r = construct_parallel(&dfa, &ParallelOptions::with_threads(4)).unwrap();
+        assert!(r.stats.peak_bytes >= r.stats.uncompressed_bytes);
+        // Peak can exceed live bytes by at most the transient losers.
+        assert!(r.stats.peak_bytes < r.stats.uncompressed_bytes * 2);
+    }
+}

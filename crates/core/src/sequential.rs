@@ -1,0 +1,352 @@
+//! Sequential SFA construction — Algorithm 1 and its optimizations.
+//!
+//! Three variants reproduce the paper's Fig. 4 progression:
+//!
+//! * [`SequentialVariant::Baseline`] — the construction method of the
+//!   original SFA paper: the state set is an ordered tree map
+//!   (`BTreeMap`, standing in for the C++ STL red-black-tree `std::map`),
+//!   every membership test compares whole state vectors, and successors
+//!   are generated one symbol at a time (line 6 of Algorithm 1).
+//! * [`SequentialVariant::Hashing`] — fingerprints + a fingerprint-keyed
+//!   hash table make membership `O(1)` expected; the exhaustive compare
+//!   only runs on fingerprint equality (§III-A).
+//! * [`SequentialVariant::Transposed`] — additionally generates all `|Σ|`
+//!   successors of a state at once via the parameterized-transposition
+//!   SIMD kernels (§III-A, Fig. 3). This is the paper's fastest
+//!   single-threaded method and the baseline for parallel speedups.
+
+use crate::elem::{fits_u16, Elem};
+use crate::sfa::Sfa;
+use crate::stats::{ConstructionResult, ConstructionStats};
+use crate::SfaError;
+use sfa_automata::dfa::Dfa;
+use sfa_hash::{CityFingerprinter, Fingerprinter};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::time::Instant;
+
+/// Which sequential algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SequentialVariant {
+    /// Tree-map state set (`BTreeMap`), per-symbol successor generation.
+    Baseline,
+    /// Pointer-per-node tree state set (`PointerTreeMap`) — closer to the
+    /// paper's C++ `std::map` memory behaviour than `BTreeMap` (which
+    /// packs entries per node and is kinder to caches).
+    BaselinePointerTree,
+    /// Fingerprints + hash table.
+    Hashing,
+    /// Hashing + parameterized SIMD transposition.
+    Transposed,
+}
+
+/// Construct the SFA of `dfa` sequentially with the default state budget
+/// (2²⁴ states — far beyond anything the sequential algorithms finish in
+/// reasonable time).
+pub fn construct_sequential(
+    dfa: &Dfa,
+    variant: SequentialVariant,
+) -> Result<ConstructionResult, SfaError> {
+    construct_sequential_budgeted(dfa, variant, 1 << 24)
+}
+
+/// Construct with an explicit SFA-state budget.
+pub fn construct_sequential_budgeted(
+    dfa: &Dfa,
+    variant: SequentialVariant,
+    state_budget: usize,
+) -> Result<ConstructionResult, SfaError> {
+    if dfa.num_states() == 0 {
+        return Err(SfaError::EmptyDfa);
+    }
+    if fits_u16(dfa.num_states()) {
+        construct_impl::<u16>(dfa, variant, state_budget)
+    } else {
+        construct_impl::<u32>(dfa, variant, state_budget)
+    }
+}
+
+/// Membership structure per variant.
+enum StateSet {
+    Tree(BTreeMap<Box<[u8]>, u32>),
+    PointerTree(crate::treemap::PointerTreeMap),
+    Hash(HashMap<u64, Vec<u32>>),
+}
+
+fn construct_impl<E: Elem>(
+    dfa: &Dfa,
+    variant: SequentialVariant,
+    state_budget: usize,
+) -> Result<ConstructionResult, SfaError> {
+    let t0 = Instant::now();
+    let n = dfa.num_states() as usize;
+    let k = dfa.num_symbols();
+    let fingerprinter = CityFingerprinter;
+
+    // Typed copy of the transition table for the kernels.
+    let table: Vec<E> = dfa.table().iter().map(|&q| E::from_u32(q)).collect();
+
+    // Flat mapping storage: state id -> row of n elements.
+    let mut mappings: Vec<E> = Vec::with_capacity(n * 64);
+    let mut delta: Vec<u32> = Vec::new();
+    let mut worklist: VecDeque<u32> = VecDeque::new();
+    let mut stats = ConstructionStats {
+        threads: 1,
+        ..Default::default()
+    };
+
+    let mut set = match variant {
+        SequentialVariant::Baseline => StateSet::Tree(BTreeMap::new()),
+        SequentialVariant::BaselinePointerTree => {
+            StateSet::PointerTree(crate::treemap::PointerTreeMap::new())
+        }
+        _ => StateSet::Hash(HashMap::new()),
+    };
+
+    // Find-or-insert a candidate mapping; returns (id, inserted).
+    let mut intern = |cand: &[E],
+                      mappings: &mut Vec<E>,
+                      delta: &mut Vec<u32>,
+                      worklist: &mut VecDeque<u32>,
+                      stats: &mut ConstructionStats|
+     -> Result<(u32, bool), SfaError> {
+        let bytes = E::as_bytes(cand);
+        // Fingerprint computed once; reused on the insert path below.
+        let mut fp_memo: Option<u64> = None;
+        let found = match &mut set {
+            StateSet::Tree(map) => map.get(bytes).copied(),
+            StateSet::PointerTree(map) => map.get(bytes),
+            StateSet::Hash(map) => {
+                let fp = fingerprinter.fingerprint(bytes);
+                fp_memo = Some(fp);
+                let mut hit = None;
+                if let Some(chain) = map.get(&fp) {
+                    for &id in chain {
+                        // Fingerprints matched: exhaustive compare (§III-A).
+                        stats.exhaustive_compares += 1;
+                        let row =
+                            &mappings[id as usize * cand.len()..(id as usize + 1) * cand.len()];
+                        if sfa_simd::bytes_equal(E::as_bytes(row), bytes) {
+                            hit = Some(id);
+                            break;
+                        }
+                        stats.fingerprint_collisions += 1;
+                    }
+                }
+                hit
+            }
+        };
+        if let Some(id) = found {
+            stats.duplicates += 1;
+            return Ok((id, false));
+        }
+        let id = (mappings.len() / cand.len()) as u32;
+        if id as usize >= state_budget {
+            return Err(SfaError::StateBudgetExceeded {
+                budget: state_budget,
+            });
+        }
+        mappings.extend_from_slice(cand);
+        delta.extend(std::iter::repeat_n(u32::MAX, k));
+        worklist.push_back(id);
+        match &mut set {
+            StateSet::Tree(map) => {
+                map.insert(bytes.to_vec().into_boxed_slice(), id);
+            }
+            StateSet::PointerTree(map) => {
+                map.insert(bytes, id);
+            }
+            StateSet::Hash(map) => {
+                let fp = fp_memo.expect("hash variant computed the fingerprint on lookup");
+                map.entry(fp).or_default().push(id);
+            }
+        }
+        Ok((id, true))
+    };
+
+    // Start state: the identity mapping ⟨q₀, …, qₙ₋₁⟩.
+    let identity: Vec<E> = (0..n as u32).map(E::from_u32).collect();
+    let (start, _) = intern(
+        &identity,
+        &mut mappings,
+        &mut delta,
+        &mut worklist,
+        &mut stats,
+    )?;
+
+    // Scratch buffers.
+    let mut rows_u32: Vec<u32> = vec![0; n];
+    let mut transposed: Vec<E> = vec![E::from_u32(0); k * n];
+    let mut candidate: Vec<E> = vec![E::from_u32(0); n];
+
+    while let Some(id) = worklist.pop_front() {
+        match variant {
+            SequentialVariant::Transposed => {
+                // Parameterized transposition: all k successors at once.
+                let src = &mappings[id as usize * n..(id as usize + 1) * n];
+                for (r, &e) in rows_u32.iter_mut().zip(src.iter()) {
+                    *r = e.to_u32();
+                }
+                E::transpose_gather(&table, k, &rows_u32, &mut transposed);
+                for sym in 0..k {
+                    stats.candidates += 1;
+                    let cand = &transposed[sym * n..(sym + 1) * n];
+                    let (succ, _) =
+                        intern(cand, &mut mappings, &mut delta, &mut worklist, &mut stats)?;
+                    delta[id as usize * k + sym] = succ;
+                }
+            }
+            _ => {
+                // Line 6 of Algorithm 1: one symbol at a time.
+                for sym in 0..k {
+                    stats.candidates += 1;
+                    for q in 0..n {
+                        let cur = mappings[id as usize * n + q].to_u32();
+                        candidate[q] = table[cur as usize * k + sym];
+                    }
+                    let (succ, _) = intern(
+                        &candidate,
+                        &mut mappings,
+                        &mut delta,
+                        &mut worklist,
+                        &mut stats,
+                    )?;
+                    delta[id as usize * k + sym] = succ;
+                }
+            }
+        }
+    }
+
+    stats.states = (mappings.len() / n) as u64;
+    stats.uncompressed_bytes = (mappings.len() * E::BYTES) as u64;
+    stats.stored_bytes = stats.uncompressed_bytes;
+    stats.peak_bytes = stats.uncompressed_bytes;
+    stats.total_secs = t0.elapsed().as_secs_f64();
+    stats.phase1_secs = stats.total_secs;
+
+    let sfa = Sfa::from_parts(n, k, start, delta, E::into_store(mappings));
+    Ok(ConstructionResult { sfa, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfa_automata::alphabet::Alphabet;
+    use sfa_automata::pipeline::Pipeline;
+
+    fn rg_dfa() -> Dfa {
+        Pipeline::search(Alphabet::amino_acids())
+            .compile_str("RG")
+            .unwrap()
+    }
+
+    #[test]
+    fn fig2_sfa_has_six_states() {
+        // The paper's Fig. 2 SFA (from the 3-state Fig. 1 DFA) has SFA
+        // states f0…f5.
+        let dfa = rg_dfa();
+        for variant in [
+            SequentialVariant::Baseline,
+            SequentialVariant::BaselinePointerTree,
+            SequentialVariant::Hashing,
+            SequentialVariant::Transposed,
+        ] {
+            let result = construct_sequential(&dfa, variant).unwrap();
+            assert_eq!(result.sfa.num_states(), 6, "{variant:?}");
+            result.sfa.validate(&dfa).unwrap();
+            assert_eq!(result.stats.states, 6);
+            assert_eq!(result.stats.candidates, 6 * 20);
+        }
+    }
+
+    #[test]
+    fn all_variants_agree_on_state_count() {
+        let alpha = Alphabet::amino_acids();
+        for pattern in ["RG", "R{2,3}G", "[RG]N[^A]", "N-{P}-[ST]-{P}"] {
+            let dfa = if pattern.contains('-') {
+                Pipeline::search(alpha.clone())
+                    .compile_prosite(pattern)
+                    .unwrap()
+            } else {
+                Pipeline::search(alpha.clone())
+                    .compile_str(pattern)
+                    .unwrap()
+            };
+            let base = construct_sequential(&dfa, SequentialVariant::Baseline).unwrap();
+            let ptree = construct_sequential(&dfa, SequentialVariant::BaselinePointerTree).unwrap();
+            let hash = construct_sequential(&dfa, SequentialVariant::Hashing).unwrap();
+            let trans = construct_sequential(&dfa, SequentialVariant::Transposed).unwrap();
+            assert_eq!(base.sfa.num_states(), ptree.sfa.num_states(), "{pattern}");
+            assert_eq!(base.sfa.num_states(), hash.sfa.num_states(), "{pattern}");
+            assert_eq!(base.sfa.num_states(), trans.sfa.num_states(), "{pattern}");
+            trans.sfa.validate(&dfa).unwrap();
+        }
+    }
+
+    #[test]
+    fn sfa_simulates_dfa_from_every_state() {
+        let dfa = rg_dfa();
+        let sfa = construct_sequential(&dfa, SequentialVariant::Transposed)
+            .unwrap()
+            .sfa;
+        let alpha = dfa.alphabet().clone();
+        for text in [&b"AARGA"[..], b"RRRG", b"GGGG", b""] {
+            let syms = alpha.encode_bytes(text).unwrap();
+            let s = sfa.run(&syms);
+            let mapping = sfa.mapping_of(s);
+            for q0 in 0..dfa.num_states() {
+                assert_eq!(
+                    mapping[q0 as usize],
+                    dfa.run_from(q0, &syms),
+                    "start {q0}, text {:?}",
+                    std::str::from_utf8(text).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let dfa = rg_dfa();
+        let err =
+            construct_sequential_budgeted(&dfa, SequentialVariant::Transposed, 3).unwrap_err();
+        assert_eq!(err, SfaError::StateBudgetExceeded { budget: 3 });
+    }
+
+    #[test]
+    fn single_state_dfa() {
+        // One accepting state looping on everything: SFA = 1 state.
+        use sfa_automata::dfa::DfaBuilder;
+        let mut b = DfaBuilder::new(Alphabet::binary());
+        let q = b.add_state(true);
+        b.set_start(q);
+        b.default_transition(q, q);
+        let dfa = b.build_strict().unwrap();
+        let result = construct_sequential(&dfa, SequentialVariant::Transposed).unwrap();
+        assert_eq!(result.sfa.num_states(), 1);
+        result.sfa.validate(&dfa).unwrap();
+    }
+
+    #[test]
+    fn exact_string_dfa_sfa_is_compact() {
+        // rN DFAs are sink-dominated; their SFAs stay small relative to
+        // the n^n worst case.
+        let dfa = sfa_automata::random::rn(30);
+        let result = construct_sequential(&dfa, SequentialVariant::Transposed).unwrap();
+        assert!(result.sfa.num_states() > 1);
+        result.sfa.validate(&dfa).unwrap();
+        // Identity start mapping.
+        let m = result.sfa.mapping_of(result.sfa.start());
+        assert_eq!(m, (0..dfa.num_states()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn hashing_stats_show_fingerprint_effectiveness() {
+        let dfa = rg_dfa();
+        let result = construct_sequential(&dfa, SequentialVariant::Hashing).unwrap();
+        // A duplicate costs exactly one confirming exhaustive compare;
+        // fingerprints must eliminate all *wasted* compares here.
+        assert_eq!(result.stats.fingerprint_collisions, 0);
+        assert_eq!(result.stats.wasted_compare_rate(), 0.0);
+        assert_eq!(result.stats.exhaustive_compares, result.stats.duplicates);
+    }
+}

@@ -1,0 +1,433 @@
+//! The simultaneous finite automaton produced by construction.
+//!
+//! An [`Sfa`] owns the SFA transition table δₛ plus every state's mapping
+//! vector — raw (u16/u32, row-major) or still compressed, exactly as the
+//! three-phase construction left them (§III-C). The mapping of SFA state
+//! `s` answers, for every DFA state `q`, which DFA state is reached after
+//! reading the input that led to `s`.
+
+use crate::elem::Elem;
+use sfa_automata::dfa::Dfa;
+use sfa_compress::codec::HybridCodec;
+use sfa_compress::{Codec, DeflateCodec, Lz77Codec, RleCodec, StoreCodec};
+
+/// Which codec compressed the retained SFA states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecChoice {
+    /// LZSS + Huffman (default, the paper's deflate).
+    Deflate,
+    /// LZSS only.
+    Lz77,
+    /// Period-aware run-length coding.
+    Rle,
+    /// Identity (compression disabled but the plumbing exercised).
+    Store,
+    /// Per-state RLE-or-deflate choice (best of both SFA state shapes).
+    Hybrid,
+}
+
+impl CodecChoice {
+    /// Instantiate the codec.
+    pub fn codec(self) -> Box<dyn Codec> {
+        match self {
+            CodecChoice::Deflate => Box::new(DeflateCodec),
+            CodecChoice::Lz77 => Box::new(Lz77Codec),
+            CodecChoice::Rle => Box::new(RleCodec),
+            CodecChoice::Store => Box::new(StoreCodec),
+            CodecChoice::Hybrid => Box::new(HybridCodec),
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CodecChoice::Deflate => "deflate",
+            CodecChoice::Lz77 => "lz77",
+            CodecChoice::Rle => "rle",
+            CodecChoice::Store => "store",
+            CodecChoice::Hybrid => "hybrid",
+        }
+    }
+}
+
+/// Storage for the per-state mapping vectors.
+pub enum MappingStore {
+    /// Raw 16-bit ids, row-major `num_states × n`.
+    U16(Vec<u16>),
+    /// Raw 32-bit ids, row-major `num_states × n`.
+    U32(Vec<u32>),
+    /// Per-state compressed blobs (construction ended in compressed mode).
+    Compressed {
+        /// Element width of the compressed payload (2 or 4).
+        elem_bytes: usize,
+        /// One blob per state.
+        blobs: Vec<Box<[u8]>>,
+        /// Codec that produced the blobs.
+        codec: CodecChoice,
+    },
+}
+
+impl MappingStore {
+    /// Bytes held by this store (the paper's "Size" column in Table II).
+    pub fn payload_bytes(&self) -> usize {
+        match self {
+            MappingStore::U16(v) => v.len() * 2,
+            MappingStore::U32(v) => v.len() * 4,
+            MappingStore::Compressed { blobs, .. } => blobs.iter().map(|b| b.len()).sum(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Sfa {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Sfa(states={}, symbols={}, dfa_states={}, compressed={})",
+            self.num_states(),
+            self.k,
+            self.n,
+            self.is_compressed()
+        )
+    }
+}
+
+/// A constructed simultaneous finite automaton.
+pub struct Sfa {
+    /// Number of DFA states `n` (the mapping dimension).
+    n: usize,
+    /// Alphabet size `|Σ|`.
+    k: usize,
+    /// SFA start state (the identity mapping).
+    start: u32,
+    /// Row-major `num_states × k` successor table δₛ.
+    delta: Vec<u32>,
+    /// Mapping vectors.
+    mappings: MappingStore,
+}
+
+impl Sfa {
+    /// Assemble from parts (used by the construction engines).
+    pub fn from_parts(
+        n: usize,
+        k: usize,
+        start: u32,
+        delta: Vec<u32>,
+        mappings: MappingStore,
+    ) -> Sfa {
+        debug_assert_eq!(delta.len() % k, 0);
+        Sfa {
+            n,
+            k,
+            start,
+            delta,
+            mappings,
+        }
+    }
+
+    /// Number of SFA states `|Qₛ|`.
+    pub fn num_states(&self) -> u32 {
+        (self.delta.len() / self.k) as u32
+    }
+
+    /// Alphabet size.
+    pub fn num_symbols(&self) -> usize {
+        self.k
+    }
+
+    /// DFA size `n` (mapping dimension).
+    pub fn dfa_states(&self) -> usize {
+        self.n
+    }
+
+    /// The start state (identity mapping).
+    pub fn start(&self) -> u32 {
+        self.start
+    }
+
+    /// Are the mapping vectors still compressed?
+    pub fn is_compressed(&self) -> bool {
+        matches!(self.mappings, MappingStore::Compressed { .. })
+    }
+
+    /// Bytes held by the mapping store.
+    pub fn mapping_bytes(&self) -> usize {
+        self.mappings.payload_bytes()
+    }
+
+    /// Borrow the mapping store (serialization and diagnostics).
+    pub fn mappings(&self) -> &MappingStore {
+        &self.mappings
+    }
+
+    /// δₛ(s, σ).
+    #[inline]
+    pub fn step(&self, s: u32, sym: u8) -> u32 {
+        self.delta[s as usize * self.k + sym as usize]
+    }
+
+    /// Run the SFA from its start state over `input`, returning the SFA
+    /// state — whose mapping tells, for *every* DFA start state, where the
+    /// DFA would be after `input`. This is the per-chunk step of parallel
+    /// matching.
+    pub fn run(&self, input: &[u8]) -> u32 {
+        let mut s = self.start;
+        for &sym in input {
+            s = self.step(s, sym);
+        }
+        s
+    }
+
+    /// The mapping vector of state `s`, widened to u32 (decompressing if
+    /// needed — cost amortized by [`Sfa::decompress`] for hot use).
+    pub fn mapping_of(&self, s: u32) -> Vec<u32> {
+        let s = s as usize;
+        match &self.mappings {
+            MappingStore::U16(v) => v[s * self.n..(s + 1) * self.n]
+                .iter()
+                .map(|&x| x as u32)
+                .collect(),
+            MappingStore::U32(v) => v[s * self.n..(s + 1) * self.n].to_vec(),
+            MappingStore::Compressed {
+                elem_bytes,
+                blobs,
+                codec,
+            } => {
+                let raw = codec
+                    .codec()
+                    .decompress_to_vec(&blobs[s])
+                    .expect("stored SFA state failed to decompress");
+                if *elem_bytes == 2 {
+                    let mut v16 = Vec::new();
+                    <u16 as Elem>::read_bytes(&raw, &mut v16);
+                    v16.into_iter().map(|x| x as u32).collect()
+                } else {
+                    let mut v32 = Vec::new();
+                    <u32 as Elem>::read_bytes(&raw, &mut v32);
+                    v32
+                }
+            }
+        }
+    }
+
+    /// Apply state `s`'s mapping to DFA state `q`.
+    pub fn apply(&self, s: u32, q: u32) -> u32 {
+        match &self.mappings {
+            MappingStore::U16(v) => v[s as usize * self.n + q as usize] as u32,
+            MappingStore::U32(v) => v[s as usize * self.n + q as usize],
+            MappingStore::Compressed { .. } => self.mapping_of(s)[q as usize],
+        }
+    }
+
+    /// Decompress all mapping vectors in place (no-op when raw).
+    pub fn decompress(&mut self) {
+        if let MappingStore::Compressed {
+            elem_bytes,
+            blobs,
+            codec,
+        } = &self.mappings
+        {
+            let codec = codec.codec();
+            if *elem_bytes == 2 {
+                let mut all: Vec<u16> = Vec::with_capacity(blobs.len() * self.n);
+                let mut scratch = Vec::new();
+                for blob in blobs {
+                    let raw = codec.decompress_to_vec(blob).expect("corrupt SFA state");
+                    <u16 as Elem>::read_bytes(&raw, &mut scratch);
+                    all.extend_from_slice(&scratch);
+                }
+                self.mappings = MappingStore::U16(all);
+            } else {
+                let mut all: Vec<u32> = Vec::with_capacity(blobs.len() * self.n);
+                let mut scratch = Vec::new();
+                for blob in blobs {
+                    let raw = codec.decompress_to_vec(blob).expect("corrupt SFA state");
+                    <u32 as Elem>::read_bytes(&raw, &mut scratch);
+                    all.extend_from_slice(&scratch);
+                }
+                self.mappings = MappingStore::U32(all);
+            }
+        }
+    }
+
+    /// Compose two mapping vectors: `(f ∘ g)(q) = g[f[q]]` — i.e. first
+    /// run the chunk that produced `f`, then the chunk that produced `g`.
+    /// Associative, which is what makes the parallel-match reduction work.
+    pub fn compose(f: &[u32], g: &[u32]) -> Vec<u32> {
+        f.iter().map(|&mid| g[mid as usize]).collect()
+    }
+
+    /// Consistency check against the source DFA: for every SFA state `s`,
+    /// symbol `σ` and DFA state `q`:
+    /// `mapping(δₛ(s,σ))[q] == δ(mapping(s)[q], σ)`, and the start state
+    /// must be the identity. Used by tests and the `verify` CLI command.
+    pub fn validate(&self, dfa: &Dfa) -> Result<(), String> {
+        if self.n != dfa.num_states() as usize || self.k != dfa.num_symbols() {
+            return Err("dimension mismatch with DFA".into());
+        }
+        let start_map = self.mapping_of(self.start);
+        for (q, &m) in start_map.iter().enumerate() {
+            if m != q as u32 {
+                return Err(format!("start mapping is not identity at q={q}"));
+            }
+        }
+        // Decompress every mapping exactly once up front: validating a
+        // compressed store would otherwise decode each state ~|Σ|+1 times.
+        let mappings: Vec<Vec<u32>> = (0..self.num_states()).map(|s| self.mapping_of(s)).collect();
+        for s in 0..self.num_states() {
+            let m = &mappings[s as usize];
+            for sym in 0..self.k {
+                let succ = self.step(s, sym as u8);
+                if succ >= self.num_states() {
+                    return Err(format!("dangling successor {succ} at ({s},{sym})"));
+                }
+                let succ_map = &mappings[succ as usize];
+                for q in 0..self.n {
+                    let expect = dfa.next(m[q], sym as u8);
+                    if succ_map[q] != expect {
+                        return Err(format!(
+                            "inconsistent transition: state {s} sym {sym} q {q}: \
+                             got {}, expected {expect}",
+                            succ_map[q]
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tiny hand-built SFA over a 2-state DFA and 2 symbols: DFA is the
+    /// parity automaton (symbol 0 keeps state, symbol 1 toggles).
+    fn parity_sfa() -> Sfa {
+        // SFA states: s0 = identity [0,1], s1 = toggle [1,0].
+        // δs: s0 --0--> s0, s0 --1--> s1, s1 --0--> s1, s1 --1--> s0.
+        Sfa::from_parts(
+            2,
+            2,
+            0,
+            vec![0, 1, 1, 0],
+            MappingStore::U16(vec![0, 1, 1, 0]),
+        )
+    }
+
+    fn parity_dfa() -> Dfa {
+        use sfa_automata::alphabet::Alphabet;
+        use sfa_automata::dfa::DfaBuilder;
+        let mut b = DfaBuilder::new(Alphabet::binary());
+        let even = b.add_state(true);
+        let odd = b.add_state(false);
+        b.set_start(even);
+        b.add_transition(even, 0, even);
+        b.add_transition(even, 1, odd);
+        b.add_transition(odd, 0, odd);
+        b.add_transition(odd, 1, even);
+        b.build_strict().unwrap()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let sfa = parity_sfa();
+        assert_eq!(sfa.num_states(), 2);
+        assert_eq!(sfa.num_symbols(), 2);
+        assert_eq!(sfa.dfa_states(), 2);
+        assert!(!sfa.is_compressed());
+        assert_eq!(sfa.mapping_bytes(), 8);
+    }
+
+    #[test]
+    fn run_and_apply() {
+        let sfa = parity_sfa();
+        // Odd number of 1s → toggle mapping.
+        let s = sfa.run(&[1, 0, 1, 1]);
+        assert_eq!(sfa.mapping_of(s), vec![1, 0]);
+        assert_eq!(sfa.apply(s, 0), 1);
+        // Even → identity.
+        let s = sfa.run(&[1, 1]);
+        assert_eq!(sfa.mapping_of(s), vec![0, 1]);
+    }
+
+    #[test]
+    fn composition_matches_concatenation() {
+        let sfa = parity_sfa();
+        let a = sfa.run(&[1, 0]);
+        let b = sfa.run(&[1, 1, 1]);
+        let composed = Sfa::compose(&sfa.mapping_of(a), &sfa.mapping_of(b));
+        let direct = sfa.run(&[1, 0, 1, 1, 1]);
+        assert_eq!(composed, sfa.mapping_of(direct));
+    }
+
+    #[test]
+    fn validate_accepts_correct_sfa() {
+        let sfa = parity_sfa();
+        sfa.validate(&parity_dfa()).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_broken_sfa() {
+        let broken = Sfa::from_parts(
+            2,
+            2,
+            0,
+            vec![0, 1, 1, 1], // s1 --1--> s1 is wrong (toggle ∘ toggle ≠ toggle)
+            MappingStore::U16(vec![0, 1, 1, 0]),
+        );
+        assert!(broken.validate(&parity_dfa()).is_err());
+    }
+
+    #[test]
+    fn compressed_store_round_trips() {
+        // Compress the parity mappings with deflate and read them back.
+        let codec = CodecChoice::Deflate;
+        let raw0 = <u16 as Elem>::as_bytes(&[0u16, 1]).to_vec();
+        let raw1 = <u16 as Elem>::as_bytes(&[1u16, 0]).to_vec();
+        let blobs = vec![
+            codec.codec().compress_to_vec(&raw0).into_boxed_slice(),
+            codec.codec().compress_to_vec(&raw1).into_boxed_slice(),
+        ];
+        let mut sfa = Sfa::from_parts(
+            2,
+            2,
+            0,
+            vec![0, 1, 1, 0],
+            MappingStore::Compressed {
+                elem_bytes: 2,
+                blobs,
+                codec,
+            },
+        );
+        assert!(sfa.is_compressed());
+        assert_eq!(sfa.mapping_of(1), vec![1, 0]);
+        assert_eq!(sfa.apply(1, 1), 0);
+        sfa.validate(&parity_dfa()).unwrap();
+        sfa.decompress();
+        assert!(!sfa.is_compressed());
+        assert_eq!(sfa.mapping_of(1), vec![1, 0]);
+        sfa.validate(&parity_dfa()).unwrap();
+    }
+
+    #[test]
+    fn codec_choice_round_trip() {
+        for choice in [
+            CodecChoice::Deflate,
+            CodecChoice::Lz77,
+            CodecChoice::Rle,
+            CodecChoice::Store,
+            CodecChoice::Hybrid,
+        ] {
+            let codec = choice.codec();
+            let data = b"mapping mapping mapping".to_vec();
+            let c = codec.compress_to_vec(&data);
+            assert_eq!(
+                codec.decompress_to_vec(&c).unwrap(),
+                data,
+                "{}",
+                choice.name()
+            );
+        }
+    }
+}

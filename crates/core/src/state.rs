@@ -1,0 +1,247 @@
+//! Concurrent SFA state repository.
+//!
+//! Each SFA state is one [`StateRecord`]: the 64-bit fingerprint, the hash
+//! chain link (making the store a [`Links`] provider for the lock-free
+//! table), the `|Σ|` successor slots, and the mapping bytes — either raw
+//! or compressed, swapped in place by the compression phase (§III-C).
+//! Records live in a lock-free [`Arena`] and are addressed by dense `u32`
+//! ids; one id is one work item in the construction queues.
+
+use sfa_sync::{Arena, Links, NIL};
+use std::sync::atomic::{AtomicPtr, AtomicU32, Ordering};
+
+/// Mapping payload of one SFA state.
+#[derive(Debug)]
+pub struct MappingBuf {
+    /// True once the data holds codec output instead of raw id bytes.
+    pub compressed: bool,
+    /// Raw little-endian id bytes, or codec output.
+    pub data: Box<[u8]>,
+}
+
+/// One SFA state record; see module docs.
+pub struct StateRecord {
+    fingerprint: u64,
+    next: AtomicU32,
+    mapping: AtomicPtr<MappingBuf>,
+    succ: Box<[AtomicU32]>,
+}
+
+impl StateRecord {
+    fn new(fingerprint: u64, mapping: MappingBuf, k: usize) -> Self {
+        StateRecord {
+            fingerprint,
+            next: AtomicU32::new(NIL),
+            mapping: AtomicPtr::new(Box::into_raw(Box::new(mapping))),
+            succ: (0..k).map(|_| AtomicU32::new(NIL)).collect(),
+        }
+    }
+}
+
+impl Drop for StateRecord {
+    fn drop(&mut self) {
+        let ptr = *self.mapping.get_mut();
+        if !ptr.is_null() {
+            // SAFETY: the record owns its mapping buffer; `replace_mapping`
+            // freed any predecessor, so this pointer is freed exactly once.
+            unsafe { drop(Box::from_raw(ptr)) };
+        }
+    }
+}
+
+/// Lock-free repository of SFA state records.
+pub struct StateStore {
+    arena: Arena<StateRecord>,
+    k: usize,
+    raw_bytes_per_state: usize,
+}
+
+impl StateStore {
+    /// Store for at most `capacity` states of `n` `elem_bytes`-wide ids
+    /// over a `k`-symbol alphabet.
+    pub fn new(capacity: usize, n: usize, elem_bytes: usize, k: usize) -> Self {
+        StateStore {
+            arena: Arena::new(capacity, 4096),
+            k,
+            raw_bytes_per_state: n * elem_bytes,
+        }
+    }
+
+    /// Number of allocated states.
+    pub fn len(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// True when no state has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.arena.is_empty()
+    }
+
+    /// Symbols per state (successor slots).
+    pub fn num_symbols(&self) -> usize {
+        self.k
+    }
+
+    /// Raw (uncompressed) mapping size in bytes.
+    pub fn raw_bytes_per_state(&self) -> usize {
+        self.raw_bytes_per_state
+    }
+
+    /// Allocate a record; `None` when the capacity is exhausted.
+    pub fn alloc(&self, fingerprint: u64, data: Box<[u8]>, compressed: bool) -> Option<u32> {
+        let record = StateRecord::new(fingerprint, MappingBuf { compressed, data }, self.k);
+        self.arena.push(record).ok()
+    }
+
+    /// The record for `id`.
+    #[inline]
+    pub fn record(&self, id: u32) -> &StateRecord {
+        self.arena.index(id)
+    }
+
+    /// Fingerprint of state `id`.
+    #[inline]
+    pub fn fingerprint(&self, id: u32) -> u64 {
+        self.record(id).fingerprint
+    }
+
+    /// Borrow the mapping buffer of state `id`.
+    ///
+    /// The returned reference is valid until `replace_mapping` is called
+    /// for the same id; the compression phase guarantees (via its barrier
+    /// protocol) that no reader holds a buffer across that swap.
+    #[inline]
+    pub fn mapping(&self, id: u32) -> &MappingBuf {
+        let ptr = self.record(id).mapping.load(Ordering::Acquire);
+        debug_assert!(!ptr.is_null());
+        // SAFETY: the pointer is non-null (set at construction) and only
+        // invalidated by `replace_mapping`, whose caller guarantees
+        // quiescence (compression-phase barriers).
+        unsafe { &*ptr }
+    }
+
+    /// Replace the mapping of `id`, freeing the previous buffer.
+    ///
+    /// # Concurrency contract
+    /// Caller must guarantee no concurrent reader of `mapping(id)` — the
+    /// engine only calls this between the compression-phase barriers,
+    /// partitioned so exactly one worker touches each id.
+    pub fn replace_mapping(&self, id: u32, buf: MappingBuf) {
+        let new_ptr = Box::into_raw(Box::new(buf));
+        let old = self.record(id).mapping.swap(new_ptr, Ordering::AcqRel);
+        if !old.is_null() {
+            // SAFETY: per the contract above nobody holds `old`; it was
+            // Box::into_raw'd exactly once.
+            unsafe { drop(Box::from_raw(old)) };
+        }
+    }
+
+    /// Successor of state `id` on `sym`, or [`NIL`] if not yet computed.
+    #[inline]
+    pub fn succ(&self, id: u32, sym: usize) -> u32 {
+        self.record(id).succ[sym].load(Ordering::Acquire)
+    }
+
+    /// Set the successor of `id` on `sym`.
+    #[inline]
+    pub fn set_succ(&self, id: u32, sym: usize, to: u32) {
+        self.record(id).succ[sym].store(to, Ordering::Release);
+    }
+
+    /// Compare state `id`'s stored mapping against `data` (same
+    /// representation: raw vs raw, or compressed vs compressed). Uses the
+    /// SIMD byte comparison — the "exhaustive" compare of §III-A.
+    #[inline]
+    pub fn mapping_equals(&self, id: u32, data: &[u8]) -> bool {
+        sfa_simd::bytes_equal(&self.mapping(id).data, data)
+    }
+}
+
+impl Links for StateStore {
+    #[inline]
+    fn link(&self, id: u32) -> &AtomicU32 {
+        &self.record(id).next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> StateStore {
+        StateStore::new(100, 4, 2, 3)
+    }
+
+    #[test]
+    fn alloc_and_read_back() {
+        let s = store();
+        let id = s
+            .alloc(
+                0xABCD,
+                vec![1, 0, 2, 0, 3, 0, 4, 0].into_boxed_slice(),
+                false,
+            )
+            .unwrap();
+        assert_eq!(id, 0);
+        assert_eq!(s.fingerprint(id), 0xABCD);
+        assert!(!s.mapping(id).compressed);
+        assert_eq!(&*s.mapping(id).data, &[1, 0, 2, 0, 3, 0, 4, 0]);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn successors_default_nil_and_update() {
+        let s = store();
+        let id = s.alloc(1, vec![0; 8].into_boxed_slice(), false).unwrap();
+        for sym in 0..3 {
+            assert_eq!(s.succ(id, sym), NIL);
+        }
+        s.set_succ(id, 1, 42);
+        assert_eq!(s.succ(id, 1), 42);
+        assert_eq!(s.succ(id, 0), NIL);
+    }
+
+    #[test]
+    fn mapping_equality() {
+        let s = store();
+        let id = s
+            .alloc(7, vec![9, 9, 9, 9, 9, 9, 9, 9].into_boxed_slice(), false)
+            .unwrap();
+        assert!(s.mapping_equals(id, &[9; 8]));
+        assert!(!s.mapping_equals(id, &[9, 9, 9, 9, 9, 9, 9, 8]));
+        assert!(!s.mapping_equals(id, &[9; 7]));
+    }
+
+    #[test]
+    fn replace_mapping_swaps_payload() {
+        let s = store();
+        let id = s.alloc(7, vec![1; 8].into_boxed_slice(), false).unwrap();
+        s.replace_mapping(
+            id,
+            MappingBuf {
+                compressed: true,
+                data: vec![0xFE, 0xED].into_boxed_slice(),
+            },
+        );
+        assert!(s.mapping(id).compressed);
+        assert_eq!(&*s.mapping(id).data, &[0xFE, 0xED]);
+    }
+
+    #[test]
+    fn capacity_exhaustion() {
+        let s = StateStore::new(2, 1, 2, 1);
+        s.alloc(0, vec![0; 2].into_boxed_slice(), false).unwrap();
+        s.alloc(1, vec![0; 2].into_boxed_slice(), false).unwrap();
+        assert!(s.alloc(2, vec![0; 2].into_boxed_slice(), false).is_none());
+    }
+
+    #[test]
+    fn links_trait_exposes_chain_slots() {
+        let s = store();
+        let a = s.alloc(1, vec![0; 8].into_boxed_slice(), false).unwrap();
+        let b = s.alloc(2, vec![1; 8].into_boxed_slice(), false).unwrap();
+        s.link(a).store(b, Ordering::Relaxed);
+        assert_eq!(s.link(a).load(Ordering::Relaxed), b);
+        assert_eq!(s.link(b).load(Ordering::Relaxed), NIL);
+    }
+}

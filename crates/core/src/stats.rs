@@ -1,0 +1,123 @@
+//! Construction statistics.
+//!
+//! Everything the paper reports about a construction run: state counts,
+//! comparison behaviour (fingerprint short-circuits vs exhaustive
+//! compares — the §III-A argument), per-phase times (Table II's "with
+//! compression" columns), memory, and queue-contention snapshots (the E4
+//! HITM proxy).
+
+use crate::sfa::Sfa;
+use sfa_sync::counters::ContentionSnapshot;
+
+/// Counters one construction run accumulates (workers keep thread-local
+/// copies and merge at the end, so the hot path never touches shared
+/// atomics for statistics).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ConstructionStats {
+    /// SFA states in the result.
+    pub states: u64,
+    /// Candidate states generated (`|Qₛ| × |Σ|`).
+    pub candidates: u64,
+    /// Candidates that turned out to be duplicates of existing states.
+    pub duplicates: u64,
+    /// Pairs whose fingerprints matched and required the exhaustive,
+    /// byte-by-byte comparison.
+    pub exhaustive_compares: u64,
+    /// Exhaustive comparisons that found the states *different* — true
+    /// fingerprint collisions.
+    pub fingerprint_collisions: u64,
+    /// Worker threads used (1 for the sequential variants).
+    pub threads: usize,
+    /// Wall time of the whole construction in seconds.
+    pub total_secs: f64,
+    /// Wall time spent before the compression phase started.
+    pub phase1_secs: f64,
+    /// Wall time of the stop-the-world compression phase (0 when it never
+    /// ran).
+    pub compression_secs: f64,
+    /// Wall time after compression resumed (0 when it never ran).
+    pub phase3_secs: f64,
+    /// Whether the compression phase ran.
+    pub compressed: bool,
+    /// Raw bytes all state vectors would occupy uncompressed.
+    pub uncompressed_bytes: u64,
+    /// Bytes the retained mapping store actually occupies.
+    pub stored_bytes: u64,
+    /// Peak bytes of state payloads held at any moment during
+    /// construction (the probabilistic mode's headline saving).
+    pub peak_bytes: u64,
+    /// Merged queue/table contention counters.
+    pub contention: ContentionSnapshot,
+}
+
+impl ConstructionStats {
+    /// Compression ratio achieved by the retained store (1.0 when raw).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.stored_bytes == 0 {
+            1.0
+        } else {
+            self.uncompressed_bytes as f64 / self.stored_bytes as f64
+        }
+    }
+
+    /// Fraction of candidate states that were duplicates.
+    pub fn duplicate_rate(&self) -> f64 {
+        if self.candidates == 0 {
+            0.0
+        } else {
+            self.duplicates as f64 / self.candidates as f64
+        }
+    }
+
+    /// Fraction of exhaustive comparisons that were *wasted* — i.e. run on
+    /// states that turned out different (true fingerprint collisions).
+    /// A duplicate candidate always costs exactly one exhaustive compare
+    /// (to confirm equality); the fingerprint's job is to make this ratio
+    /// ≈ 0 by filtering every *non*-matching chain neighbour (§III-A).
+    pub fn wasted_compare_rate(&self) -> f64 {
+        if self.exhaustive_compares == 0 {
+            0.0
+        } else {
+            self.fingerprint_collisions as f64 / self.exhaustive_compares as f64
+        }
+    }
+}
+
+/// A constructed SFA together with its statistics.
+#[derive(Debug)]
+pub struct ConstructionResult {
+    /// The automaton.
+    pub sfa: Sfa,
+    /// Run statistics.
+    pub stats: ConstructionStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_rates() {
+        let stats = ConstructionStats {
+            states: 10,
+            candidates: 200,
+            duplicates: 190,
+            exhaustive_compares: 50,
+            fingerprint_collisions: 2,
+            uncompressed_bytes: 1000,
+            stored_bytes: 50,
+            ..Default::default()
+        };
+        assert!((stats.compression_ratio() - 20.0).abs() < 1e-12);
+        assert!((stats.duplicate_rate() - 0.95).abs() < 1e-12);
+        assert!((stats.wasted_compare_rate() - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let stats = ConstructionStats::default();
+        assert_eq!(stats.compression_ratio(), 1.0);
+        assert_eq!(stats.duplicate_rate(), 0.0);
+        assert_eq!(stats.wasted_compare_rate(), 0.0);
+    }
+}

@@ -1,0 +1,232 @@
+//! A pointer-per-node ordered map — the STL-`std::map` stand-in.
+//!
+//! The paper's sequential baseline uses C++ `std::map`, a red-black tree
+//! with one heap allocation per node and pointer-chasing lookups. Rust's
+//! `BTreeMap` is the same *asymptotically* but much kinder to caches
+//! (nodes pack ~11 entries), which makes the Fig. 4 baseline faster than
+//! the paper's and compresses the measured speedups. This module provides
+//! a treap (randomized BST): one node per entry, heap-allocated, expected
+//! `O(log n)` — the same memory-access pattern class as `std::map`, so
+//! the `BaselinePointerTree` variant reproduces the paper's baseline cost
+//! model more faithfully. Priorities come from FxHash of the key, keeping
+//! construction deterministic.
+
+use std::cmp::Ordering;
+
+struct Node {
+    key: Box<[u8]>,
+    value: u32,
+    priority: u64,
+    left: Option<Box<Node>>,
+    right: Option<Box<Node>>,
+}
+
+/// Ordered byte-string → u32 map backed by a treap.
+#[derive(Default)]
+pub struct PointerTreeMap {
+    root: Option<Box<Node>>,
+    len: usize,
+}
+
+impl PointerTreeMap {
+    /// Empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Look up `key` (full byte-by-byte comparisons along the path, like
+    /// the paper's exhaustive membership test).
+    pub fn get(&self, key: &[u8]) -> Option<u32> {
+        let mut cur = self.root.as_deref();
+        while let Some(node) = cur {
+            match key.cmp(&node.key) {
+                Ordering::Equal => return Some(node.value),
+                Ordering::Less => cur = node.left.as_deref(),
+                Ordering::Greater => cur = node.right.as_deref(),
+            }
+        }
+        None
+    }
+
+    /// Insert `key → value`; returns the previous value if present.
+    pub fn insert(&mut self, key: &[u8], value: u32) -> Option<u32> {
+        let priority = sfa_hash::fx::fx_hash64(key);
+        let (root, old) = Self::insert_node(self.root.take(), key, value, priority);
+        self.root = root;
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    fn insert_node(
+        node: Option<Box<Node>>,
+        key: &[u8],
+        value: u32,
+        priority: u64,
+    ) -> (Option<Box<Node>>, Option<u32>) {
+        let Some(mut node) = node else {
+            return (
+                Some(Box::new(Node {
+                    key: key.to_vec().into_boxed_slice(),
+                    value,
+                    priority,
+                    left: None,
+                    right: None,
+                })),
+                None,
+            );
+        };
+        match key.cmp(&node.key) {
+            Ordering::Equal => {
+                let old = node.value;
+                node.value = value;
+                (Some(node), Some(old))
+            }
+            Ordering::Less => {
+                let (left, old) = Self::insert_node(node.left.take(), key, value, priority);
+                node.left = left;
+                // Treap rotation: bubble higher priorities up.
+                if node
+                    .left
+                    .as_ref()
+                    .is_some_and(|l| l.priority > node.priority)
+                {
+                    node = Self::rotate_right(node);
+                }
+                (Some(node), old)
+            }
+            Ordering::Greater => {
+                let (right, old) = Self::insert_node(node.right.take(), key, value, priority);
+                node.right = right;
+                if node
+                    .right
+                    .as_ref()
+                    .is_some_and(|r| r.priority > node.priority)
+                {
+                    node = Self::rotate_left(node);
+                }
+                (Some(node), old)
+            }
+        }
+    }
+
+    fn rotate_right(mut node: Box<Node>) -> Box<Node> {
+        let mut left = node.left.take().expect("rotate_right needs a left child");
+        node.left = left.right.take();
+        left.right = Some(node);
+        left
+    }
+
+    fn rotate_left(mut node: Box<Node>) -> Box<Node> {
+        let mut right = node.right.take().expect("rotate_left needs a right child");
+        node.right = right.left.take();
+        right.left = Some(node);
+        right
+    }
+
+    /// In-order iteration (tests/diagnostics).
+    pub fn iter(&self) -> impl Iterator<Item = (&[u8], u32)> {
+        // Explicit stack to avoid recursion limits on degenerate shapes.
+        let mut stack: Vec<&Node> = Vec::new();
+        let mut cur = self.root.as_deref();
+        std::iter::from_fn(move || {
+            while let Some(node) = cur {
+                stack.push(node);
+                cur = node.left.as_deref();
+            }
+            let node = stack.pop()?;
+            cur = node.right.as_deref();
+            Some((&*node.key, node.value))
+        })
+    }
+}
+
+impl Drop for PointerTreeMap {
+    fn drop(&mut self) {
+        // Iterative teardown: Box's recursive drop overflows the stack on
+        // large/degenerate trees.
+        let mut stack: Vec<Box<Node>> = Vec::new();
+        if let Some(root) = self.root.take() {
+            stack.push(root);
+        }
+        while let Some(mut node) = stack.pop() {
+            if let Some(l) = node.left.take() {
+                stack.push(l);
+            }
+            if let Some(r) = node.right.take() {
+                stack.push(r);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut t = PointerTreeMap::new();
+        assert!(t.is_empty());
+        assert_eq!(t.insert(b"hello", 1), None);
+        assert_eq!(t.insert(b"world", 2), None);
+        assert_eq!(t.insert(b"hello", 3), Some(1));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(b"hello"), Some(3));
+        assert_eq!(t.get(b"world"), Some(2));
+        assert_eq!(t.get(b"nope"), None);
+    }
+
+    #[test]
+    fn agrees_with_btreemap_on_random_ops() {
+        use rand::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut t = PointerTreeMap::new();
+        let mut oracle: BTreeMap<Vec<u8>, u32> = BTreeMap::new();
+        for i in 0..5_000u32 {
+            let len = rng.random_range(1..20);
+            let key: Vec<u8> = (0..len).map(|_| rng.random_range(0..8u8)).collect();
+            assert_eq!(t.insert(&key, i), oracle.insert(key.clone(), i));
+        }
+        assert_eq!(t.len(), oracle.len());
+        for (k, v) in &oracle {
+            assert_eq!(t.get(k), Some(*v));
+        }
+        // In-order iteration matches sorted order.
+        let ours: Vec<Vec<u8>> = t.iter().map(|(k, _)| k.to_vec()).collect();
+        let theirs: Vec<Vec<u8>> = oracle.keys().cloned().collect();
+        assert_eq!(ours, theirs);
+    }
+
+    #[test]
+    fn survives_sorted_insertion() {
+        // Sorted input degenerates a plain BST; the treap must stay
+        // balanced enough to finish fast and drop without stack overflow.
+        let mut t = PointerTreeMap::new();
+        for i in 0..50_000u32 {
+            t.insert(&i.to_be_bytes(), i);
+        }
+        assert_eq!(t.len(), 50_000);
+        assert_eq!(t.get(&25_000u32.to_be_bytes()), Some(25_000));
+        assert_eq!(t.get(&49_999u32.to_be_bytes()), Some(49_999));
+    }
+
+    #[test]
+    fn empty_key_is_valid() {
+        let mut t = PointerTreeMap::new();
+        t.insert(b"", 7);
+        assert_eq!(t.get(b""), Some(7));
+    }
+}

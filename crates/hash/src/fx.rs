@@ -1,0 +1,71 @@
+//! FxHash — the rustc multiplicative hash.
+//!
+//! Not a fingerprint function (mixing is too weak to bound collisions),
+//! but ideal for *bucket index* derivation from an already-uniform 64-bit
+//! fingerprint, and as a cheap baseline in the hash-throughput experiment
+//! (E8).
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Hash a byte slice with the Fx word-at-a-time scheme.
+#[inline]
+pub fn fx_hash64(bytes: &[u8]) -> u64 {
+    let mut hash = 0u64;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        hash = add_to_hash(hash, u64::from_le_bytes(c.try_into().unwrap()));
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut buf = [0u8; 8];
+        buf[..rem.len()].copy_from_slice(rem);
+        hash = add_to_hash(hash, u64::from_le_bytes(buf));
+        // Mix in the length so "ab" and "ab\0" differ.
+        hash = add_to_hash(hash, rem.len() as u64);
+    }
+    hash
+}
+
+/// One Fx mixing step.
+#[inline]
+pub fn add_to_hash(hash: u64, word: u64) -> u64 {
+    (hash.rotate_left(5) ^ word).wrapping_mul(SEED)
+}
+
+/// Mix a single u64 (for deriving bucket indices from fingerprints).
+#[inline]
+pub fn mix64(x: u64) -> u64 {
+    add_to_hash(0, x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(fx_hash64(b"hello"), fx_hash64(b"hello"));
+    }
+
+    #[test]
+    fn length_matters_for_padded_tails() {
+        assert_ne!(fx_hash64(b"ab"), fx_hash64(b"ab\0"));
+        assert_ne!(fx_hash64(b""), fx_hash64(b"\0"));
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert_ne!(fx_hash64(b"12345678"), fx_hash64(b"123456789"));
+        assert_ne!(fx_hash64(b"12345678"), fx_hash64(b"12345679"));
+    }
+
+    #[test]
+    fn mix64_spreads_small_integers() {
+        let mut set = std::collections::HashSet::new();
+        for i in 0..1000u64 {
+            set.insert(mix64(i) >> 48); // top 16 bits only
+        }
+        // Weak requirement: at least half the top-16-bit values distinct.
+        assert!(set.len() > 500, "only {} distinct", set.len());
+    }
+}

@@ -1,0 +1,517 @@
+//! Rabin fingerprints over GF(2).
+//!
+//! A byte string `b₀b₁…` is read as a polynomial `A(t)` over GF(2) (most
+//! significant bit first) and its fingerprint is `A(t)·t⁶⁴ mod P(t)` for an
+//! irreducible degree-64 polynomial `P`. Distinct strings of length `m`
+//! collide with probability ≤ `m/2⁶³` for a random irreducible `P`
+//! (Rabin 1981; Broder 1993), which is the "tight bound" property the
+//! paper cites as Rabin's advantage over ad-hoc hashes.
+//!
+//! Two implementations, verified against each other and against a
+//! bit-at-a-time reference:
+//!
+//! * a portable table-driven byte-at-a-time path ([`RabinTable`]), and
+//! * a `PCLMULQDQ` path ([`RabinTable::fingerprint_clmul`]) using carry-less multiply
+//!   with Barrett reduction, mirroring the paper's SSE kernel (§III-A).
+//!
+//! The trailing `·t⁶⁴` factor makes the map injective on short strings and
+//! matches the classical definition; it also means a leading run of zero
+//! *bytes* still changes the fingerprint length-wise via the final length
+//! mix — see [`RabinTable::fingerprint`].
+
+/// Low 64 bits of the default irreducible polynomial — a **dense**
+/// degree-64 irreducible (weight 35).
+///
+/// Density matters: with a sparse modulus like the classic CRC-style
+/// `t⁶⁴+t⁴+t³+t+1`, the polynomial's own low-weight multiples (`P·tᵏ`)
+/// are byte patterns that *structured* inputs hit systematically — two
+/// SFA state vectors differing by `(…, 0x01, …eight bytes…, 0x1B, …)`
+/// collide deterministically, which we observed in practice on rN SFA
+/// states. Rabin's scheme prescribes a *random* irreducible polynomial;
+/// dense random moduli make every bounded-degree difference divisible by
+/// `P` only with the expected ~`m/2⁶³` probability.
+pub const DEFAULT_POLY: u64 = 0xb218_c1b5_bf5e_6751;
+
+/// The classic sparse pentanomial `t⁶⁴ + t⁴ + t³ + t + 1` (primitive).
+/// Fine for hash-table bucketing and CRC-style integrity, but see
+/// [`DEFAULT_POLY`] for why it is a poor fingerprint on structured data.
+pub const SPARSE_POLY: u64 = 0x1B;
+
+/// Verified dense irreducible degree-64 polynomials (low halves), for
+/// "re-rolling" the fingerprint function — Rabin's collision-rate knob.
+pub const IRREDUCIBLE_POLYS: [u64; 6] = [
+    0xb218_c1b5_bf5e_6751,
+    0x8ba3_04b1_c2d8_c91b,
+    0xf201_df9e_d71a_d3b1,
+    0xffe9_c27d_a37a_cba5,
+    0xcec0_635b_8e4c_4ab1,
+    0xcb25_3098_80ab_0199,
+];
+
+/// Carry-less multiply of `a` and `b` modulo `t⁶⁴ + low` (software;
+/// used by the irreducibility test, not the hot path).
+fn polymulmod(mut a: u64, mut b: u64, low: u64) -> u64 {
+    let mut r = 0u64;
+    while b != 0 {
+        if b & 1 == 1 {
+            r ^= a;
+        }
+        b >>= 1;
+        let carry = a >> 63;
+        a <<= 1;
+        if carry == 1 {
+            a ^= low;
+        }
+    }
+    r
+}
+
+/// `t^(2^times) mod (t⁶⁴ + low)` by repeated squaring of `t`.
+fn frobenius(low: u64, times: u32) -> u64 {
+    let mut r = 2u64; // the polynomial t
+    for _ in 0..times {
+        r = polymulmod(r, r, low);
+    }
+    r
+}
+
+fn poly_deg(x: u128) -> i32 {
+    127 - x.leading_zeros() as i32
+}
+
+fn poly_rem(mut a: u128, b: u128) -> u128 {
+    let db = poly_deg(b);
+    while a != 0 && poly_deg(a) >= db {
+        a ^= b << (poly_deg(a) - db);
+    }
+    a
+}
+
+fn poly_gcd(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let r = poly_rem(a, b);
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// Is `t⁶⁴ + low` irreducible over GF(2)?
+///
+/// Standard criterion for degree `d = 64 = 2⁶`: `t^(2⁶⁴) ≡ t (mod P)` and
+/// `gcd(t^(2³²) − t, P) = 1` (64's only prime factor is 2).
+pub fn is_irreducible(low: u64) -> bool {
+    if frobenius(low, 64) != 2 {
+        return false;
+    }
+    let h = frobenius(low, 32) ^ 2;
+    if h == 0 {
+        return false;
+    }
+    let p = (1u128 << 64) | low as u128;
+    poly_gcd(p, h as u128) == 1
+}
+
+/// Draw a random dense irreducible degree-64 polynomial (low half),
+/// seeded — Rabin's "choose a random irreducible polynomial" step.
+/// Expected ~64 candidates per hit (density of irreducibles is ~1/64).
+pub fn random_irreducible(seed: u64) -> u64 {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    loop {
+        // xorshift64*
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        let cand = state.wrapping_mul(0x2545_F491_4F6C_DD1D) | 1;
+        if cand.count_ones() >= 20 && is_irreducible(cand) {
+            return cand;
+        }
+    }
+}
+
+/// Table-driven Rabin fingerprinting state for one polynomial.
+#[derive(Debug, Clone)]
+pub struct RabinTable {
+    poly: u64,
+    /// `table[b] = (b(t) · t⁶⁴) mod P(t)` for every byte value `b`.
+    table: [u64; 256],
+    /// Precomputed Barrett constant `μ = ⌊t¹²⁸ / P⌋` low half (the `t⁶⁴`
+    /// term of μ is implicit), used by the clmul path.
+    mu_low: u64,
+}
+
+impl RabinTable {
+    /// Build tables for the polynomial `t⁶⁴ + poly_low`.
+    pub fn new(poly_low: u64) -> Self {
+        let mut table = [0u64; 256];
+        for b in 0u16..256 {
+            // Compute (b(t) * t^64) mod P bit by bit.
+            let mut fp: u64 = 0;
+            let bits = b as u64;
+            // Feed the 8 bits of `b`, MSB first, into a 64-bit LFSR-style
+            // residue register.
+            for i in (0..8).rev() {
+                let msb = fp >> 63;
+                fp <<= 1;
+                fp |= (bits >> i) & 1;
+                if msb == 1 {
+                    fp ^= poly_low;
+                }
+            }
+            let _ = bits;
+            // `fp` now equals b(t); shifting in 64 zero bits yields b·t⁶⁴ mod P.
+            for _ in 0..64 {
+                let msb = fp >> 63;
+                fp <<= 1;
+                if msb == 1 {
+                    fp ^= poly_low;
+                }
+            }
+            table[b as usize] = fp;
+        }
+        let mu_low = barrett_mu(poly_low);
+        RabinTable {
+            poly: poly_low,
+            table,
+            mu_low,
+        }
+    }
+
+    /// The polynomial's low 64 bits.
+    pub fn poly(&self) -> u64 {
+        self.poly
+    }
+
+    /// Fingerprint `bytes`, dispatching to the `PCLMULQDQ` kernel when the
+    /// CPU supports it.
+    ///
+    /// Classical Rabin fingerprints prepend a 1-bit (here: a `0x01` lead
+    /// byte) so that the map distinguishes zero-prefixes of different
+    /// lengths; without it the zero string of any length maps to 0.
+    #[inline]
+    pub fn fingerprint(&self, bytes: &[u8]) -> u64 {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if is_x86_feature_detected!("pclmulqdq")
+                && is_x86_feature_detected!("sse4.1")
+                && bytes.len() >= 16
+            {
+                // SAFETY: feature presence checked at runtime immediately above.
+                return unsafe { self.fingerprint_clmul(bytes) };
+            }
+        }
+        self.fingerprint_portable(bytes)
+    }
+
+    /// Portable table-driven byte-at-a-time fingerprint (with the
+    /// classical `0x01` lead byte).
+    pub fn fingerprint_portable(&self, bytes: &[u8]) -> u64 {
+        self.fingerprint_from(1, bytes)
+    }
+
+    /// Raw GF(2)-linear fingerprint without the lead byte:
+    /// `fp(a ⊕ b) = fp(a) ⊕ fp(b)` holds for equal-length inputs.
+    pub fn fingerprint_linear(&self, bytes: &[u8]) -> u64 {
+        self.fingerprint_from(0, bytes)
+    }
+
+    #[inline]
+    fn fingerprint_from(&self, init: u64, bytes: &[u8]) -> u64 {
+        let mut fp: u64 = init;
+        for &b in bytes {
+            let out = (fp >> 56) as u8;
+            fp = (fp << 8) | b as u64;
+            fp ^= self.table[out as usize];
+        }
+        // Final ·t⁶⁴ so fingerprints of `0x00…` prefixes differ by length,
+        // realized by pushing 8 zero bytes through the reduction.
+        for _ in 0..8 {
+            let out = (fp >> 56) as u8;
+            fp <<= 8;
+            fp ^= self.table[out as usize];
+        }
+        fp
+    }
+
+    /// Bit-at-a-time reference implementation (tests only — O(8n) shifts).
+    /// Includes the classical `0x01` lead byte like [`Self::fingerprint`].
+    pub fn fingerprint_reference(&self, bytes: &[u8]) -> u64 {
+        let mut fp: u64 = 1; // residue after feeding the 0x01 lead byte
+        let feed_bit = |fp: &mut u64, bit: u64| {
+            let msb = *fp >> 63;
+            *fp = (*fp << 1) | bit;
+            if msb == 1 {
+                *fp ^= self.poly;
+            }
+        };
+        for &b in bytes {
+            for i in (0..8).rev() {
+                feed_bit(&mut fp, ((b >> i) & 1) as u64);
+            }
+        }
+        for _ in 0..64 {
+            feed_bit(&mut fp, 0);
+        }
+        fp
+    }
+
+    /// `PCLMULQDQ` kernel: processes 8-byte words with one carry-less
+    /// multiply + Barrett reduction per word (the paper's SSE approach).
+    ///
+    /// # Safety
+    /// Caller must ensure the `pclmulqdq` CPU feature is available.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "pclmulqdq", enable = "sse4.1")]
+    pub unsafe fn fingerprint_clmul(&self, bytes: &[u8]) -> u64 {
+        let mut fp: u64 = 1; // residue after the classical 0x01 lead byte
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_be_bytes(chunk.try_into().unwrap());
+            // fp ← (fp·t⁶⁴ + word) mod P
+            fp = self.reduce_shift64_clmul(fp) ^ word;
+        }
+        for &b in chunks.remainder() {
+            let out = (fp >> 56) as u8;
+            fp = (fp << 8) | b as u64;
+            fp ^= self.table[out as usize];
+        }
+        // Trailing ·t⁶⁴.
+        self.reduce_shift64_clmul(fp)
+    }
+
+    /// Compute `(x · t⁶⁴) mod P` via clmul + Barrett reduction.
+    ///
+    /// # Safety
+    /// Requires `pclmulqdq` and `sse2`.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "pclmulqdq", enable = "sse4.1")]
+    unsafe fn reduce_shift64_clmul(&self, x: u64) -> u64 {
+        // X = x·t⁶⁴ is the 128-bit value with high half `x`, low half 0.
+        // Barrett: q = ⌊X/t⁶⁴⌋·μ / t⁶⁴ = high64(x·μ); with μ = t⁶⁴ + μ_low:
+        //   q = x ^ high64(clmul(x, μ_low))
+        // X mod P = low64(X) ^ low64(q·P)
+        //         = low64(clmul(q, P_low)) ^ (q·t⁶⁴ has no low bits)
+        // The classic identity requires P = t⁶⁴ + P_low.
+        use std::arch::x86_64::*;
+        let x_v = _mm_set_epi64x(0, x as i64);
+        let mu_v = _mm_set_epi64x(0, self.mu_low as i64);
+        let t1 = _mm_clmulepi64_si128(x_v, mu_v, 0x00);
+        let hi = _mm_extract_epi64(t1, 1) as u64;
+        let q = x ^ hi;
+        let q_v = _mm_set_epi64x(0, q as i64);
+        let p_v = _mm_set_epi64x(0, self.poly as i64);
+        let t2 = _mm_clmulepi64_si128(q_v, p_v, 0x00);
+        let lo = _mm_extract_epi64(t2, 0) as u64;
+        // low64(X) is 0, and q·t⁶⁴ contributes q to the *high* half only —
+        // but q also cancels against x in the high half; the remaining low
+        // half is exactly low64(clmul(q, P_low)).
+        lo
+    }
+}
+
+/// Compute the Barrett constant `μ_low`: `μ = ⌊t¹²⁸ / P⌋ = t⁶⁴ + μ_low`.
+/// Long division of t¹²⁸ by the 65-bit polynomial P over GF(2).
+fn barrett_mu(poly_low: u64) -> u64 {
+    // Long division of t¹²⁸ by P = t⁶⁴ + poly_low over GF(2).
+    // First quotient bit is t⁶⁴: subtracting t⁶⁴·P leaves t⁶⁴·poly_low,
+    // which fits in a u128; continue conventional shift-subtract division.
+    let p: u128 = (1u128 << 64) | poly_low as u128;
+    let mut rem: u128 = (poly_low as u128) << 64;
+    let mut quotient: u128 = 1u128 << 64;
+    for d in (0..64).rev() {
+        if (rem >> (64 + d)) & 1 == 1 {
+            rem ^= p << d;
+            quotient |= 1u128 << d;
+        }
+    }
+    debug_assert!(rem >> 64 == 0, "remainder must have degree < 64");
+    // μ = t⁶⁴ + μ_low; return the low half (the t⁶⁴ term is implicit).
+    quotient as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_reference_on_small_inputs() {
+        let t = RabinTable::new(DEFAULT_POLY);
+        for input in [
+            &b""[..],
+            b"\0",
+            b"\0\0",
+            b"a",
+            b"ab",
+            b"abc",
+            b"hello world",
+            b"0123456789abcdef",
+            b"0123456789abcdef0123456789abcdef!",
+        ] {
+            assert_eq!(
+                t.fingerprint_portable(input),
+                t.fingerprint_reference(input),
+                "input {input:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn clmul_matches_portable() {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if !is_x86_feature_detected!("pclmulqdq") {
+                eprintln!("pclmulqdq not available; skipping");
+                return;
+            }
+            let t = RabinTable::new(DEFAULT_POLY);
+            let data: Vec<u8> = (0..1000u32).map(|i| (i * 31 + 7) as u8).collect();
+            for len in [16, 17, 23, 24, 64, 100, 999, 1000] {
+                let input = &data[..len];
+                // SAFETY: feature checked above.
+                let fast = unsafe { t.fingerprint_clmul(input) };
+                assert_eq!(fast, t.fingerprint_portable(input), "len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn dispatching_entry_point_is_consistent() {
+        let t = RabinTable::new(DEFAULT_POLY);
+        let data: Vec<u8> = (0..4096u32).map(|i| (i ^ (i >> 3)) as u8).collect();
+        assert_eq!(t.fingerprint(&data), t.fingerprint_portable(&data));
+    }
+
+    #[test]
+    fn zero_prefixes_are_distinguished() {
+        // The classical 0x01 lead byte distinguishes zero strings of
+        // different lengths (the raw linear map sends all of them to 0).
+        let t = RabinTable::new(DEFAULT_POLY);
+        assert_ne!(t.fingerprint(b""), t.fingerprint(b"\0"));
+        assert_ne!(t.fingerprint(b"\0"), t.fingerprint(b"\0\0"));
+        assert_eq!(t.fingerprint_linear(b"\0"), 0);
+        assert_eq!(t.fingerprint_linear(b"\0\0"), 0);
+        assert_ne!(t.fingerprint(b"\0\x01"), t.fingerprint(b"\x01\0"));
+        assert_ne!(t.fingerprint(b"a"), t.fingerprint(b"b"));
+    }
+
+    #[test]
+    fn different_polynomials_give_different_fingerprints() {
+        let a = RabinTable::new(IRREDUCIBLE_POLYS[0]);
+        let b = RabinTable::new(IRREDUCIBLE_POLYS[2]);
+        let data = b"some reasonably long input string for rabin";
+        assert_ne!(a.fingerprint(data), b.fingerprint(data));
+    }
+
+    #[test]
+    fn catalogue_and_default_are_irreducible() {
+        assert!(is_irreducible(DEFAULT_POLY));
+        assert!(is_irreducible(SPARSE_POLY));
+        for &p in IRREDUCIBLE_POLYS.iter() {
+            assert!(is_irreducible(p), "{p:#x} is not irreducible");
+        }
+        // Known reducible low-weight polys must be rejected.
+        assert!(!is_irreducible(0x65));
+        assert!(!is_irreducible(0xC5));
+        // t^64 (low = 0) is trivially reducible.
+        assert!(!is_irreducible(0));
+    }
+
+    #[test]
+    fn random_irreducible_is_seeded_and_valid() {
+        let a = random_irreducible(1);
+        let b = random_irreducible(1);
+        let c = random_irreducible(2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(is_irreducible(a));
+        assert!(is_irreducible(c));
+        assert!(a.count_ones() >= 20, "generator must produce dense polys");
+    }
+
+    #[test]
+    fn dense_default_resists_structured_shift_patterns() {
+        // The failure mode of sparse moduli: inputs differing by the
+        // byte pattern (0x01, 0…0, 0x1B) 64 bits apart are P_sparse·tᵏ
+        // and collide under the sparse polynomial. The dense default
+        // must separate them.
+        let sparse = RabinTable::new(SPARSE_POLY);
+        let dense = RabinTable::new(DEFAULT_POLY);
+        let mut a = vec![0x3Du8; 124];
+        let mut b = a.clone();
+        b[64] ^= 0x01;
+        b[72] ^= 0x1B;
+        assert_eq!(
+            sparse.fingerprint(&a),
+            sparse.fingerprint(&b),
+            "sparse modulus collides by construction (sanity check)"
+        );
+        assert_ne!(dense.fingerprint(&a), dense.fingerprint(&b));
+        // And at several alignments.
+        for shift in [0usize, 8, 16, 40] {
+            a = vec![0x3D; 124];
+            b = a.clone();
+            b[shift] ^= 0x01;
+            b[shift + 8] ^= 0x1B;
+            assert_ne!(
+                dense.fingerprint(&a),
+                dense.fingerprint(&b),
+                "shift {shift}"
+            );
+        }
+    }
+
+    #[test]
+    fn linearity_over_gf2() {
+        // Rabin fingerprints are linear: fp(a ^ b) == fp(a) ^ fp(b) for
+        // equal-length strings (with fp(0…0) = 0). This is the property
+        // that gives the provable collision bounds.
+        let t = RabinTable::new(DEFAULT_POLY);
+        let a = b"abcdefghij";
+        let b = b"0123456789";
+        let x: Vec<u8> = a.iter().zip(b.iter()).map(|(x, y)| x ^ y).collect();
+        assert_eq!(
+            t.fingerprint_linear(a) ^ t.fingerprint_linear(b),
+            t.fingerprint_linear(&x)
+        );
+    }
+
+    #[test]
+    fn barrett_constant_is_consistent() {
+        // Verify μ by checking the clmul reduction against the table path
+        // for single-word shifts, which exercises μ directly.
+        #[cfg(target_arch = "x86_64")]
+        {
+            if !is_x86_feature_detected!("pclmulqdq") {
+                return;
+            }
+            let t = RabinTable::new(DEFAULT_POLY);
+            for seed in [0u64, 1, 0xdead_beef_cafe_f00d, u64::MAX] {
+                let mut input = [0u8; 16];
+                input[..8].copy_from_slice(&seed.to_be_bytes());
+                input[8..].copy_from_slice(&seed.rotate_left(13).to_be_bytes());
+                // The 16-byte case takes exactly two folds through μ.
+                let expected = t.fingerprint_portable(&input);
+                let got = unsafe { t.fingerprint_clmul(&input) };
+                assert_eq!(got, expected, "seed={seed:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_bit_flip_changes_the_fingerprint() {
+        // Rabin's guarantee is injectivity up to the collision bound, not
+        // avalanche: P is sparse, so single-bit deltas produce sparse
+        // fingerprint deltas. What must hold is that EVERY flip changes
+        // the fingerprint (the delta polynomial t^k is never ≡ 0 mod P).
+        let t = RabinTable::new(DEFAULT_POLY);
+        let base = b"fingerprint delta test vector!!!";
+        let fp0 = t.fingerprint(base);
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut m = base.to_vec();
+                m[byte] ^= 1 << bit;
+                assert_ne!(fp0, t.fingerprint(&m), "byte {byte} bit {bit}");
+            }
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Vectorized byte-equality for exhaustive SFA state comparison.
+//!
+//! When two SFA states share a fingerprint, the construction algorithm
+//! must fall back to the full byte-by-byte comparison (§III-A). SFA states
+//! are kilobytes for large DFAs, so this loop is worth vectorizing: 32
+//! bytes per AVX2 compare, 16 per SSE2 compare, with an early-out on the
+//! first differing block.
+
+/// Compare two byte slices for equality, using the widest compare the CPU
+/// offers. Slices of different lengths are unequal.
+#[inline]
+pub fn bytes_equal(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        let f = crate::CpuFeatures::get();
+        if f.avx2 && a.len() >= 32 {
+            // SAFETY: AVX2 checked; equal lengths checked.
+            return unsafe { eq_avx2(a, b) };
+        }
+        if f.sse2 && a.len() >= 16 {
+            // SAFETY: SSE2 checked; equal lengths checked.
+            return unsafe { eq_sse2(a, b) };
+        }
+    }
+    a == b
+}
+
+/// AVX2 32-bytes-at-a-time equality.
+///
+/// # Safety
+/// Requires AVX2; `a.len() == b.len()`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn eq_avx2(a: &[u8], b: &[u8]) -> bool {
+    use std::arch::x86_64::*;
+    let len = a.len();
+    let mut i = 0usize;
+    while i + 32 <= len {
+        let va = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
+        let vb = _mm256_loadu_si256(b.as_ptr().add(i) as *const __m256i);
+        let eq = _mm256_cmpeq_epi8(va, vb);
+        if _mm256_movemask_epi8(eq) != -1i32 {
+            return false;
+        }
+        i += 32;
+    }
+    if i < len {
+        // Overlapping tail load: len >= 32 is guaranteed by the caller.
+        let va = _mm256_loadu_si256(a.as_ptr().add(len - 32) as *const __m256i);
+        let vb = _mm256_loadu_si256(b.as_ptr().add(len - 32) as *const __m256i);
+        let eq = _mm256_cmpeq_epi8(va, vb);
+        return _mm256_movemask_epi8(eq) == -1i32;
+    }
+    true
+}
+
+/// SSE2 16-bytes-at-a-time equality.
+///
+/// # Safety
+/// Requires SSE2; `a.len() == b.len()`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn eq_sse2(a: &[u8], b: &[u8]) -> bool {
+    use std::arch::x86_64::*;
+    let len = a.len();
+    let mut i = 0usize;
+    while i + 16 <= len {
+        let va = _mm_loadu_si128(a.as_ptr().add(i) as *const __m128i);
+        let vb = _mm_loadu_si128(b.as_ptr().add(i) as *const __m128i);
+        let eq = _mm_cmpeq_epi8(va, vb);
+        if _mm_movemask_epi8(eq) != 0xffff {
+            return false;
+        }
+        i += 16;
+    }
+    if i < len {
+        let va = _mm_loadu_si128(a.as_ptr().add(len - 16) as *const __m128i);
+        let vb = _mm_loadu_si128(b.as_ptr().add(len - 16) as *const __m128i);
+        let eq = _mm_cmpeq_epi8(va, vb);
+        return _mm_movemask_epi8(eq) == 0xffff;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_slices_of_all_sizes() {
+        for len in 0..200usize {
+            let a: Vec<u8> = (0..len).map(|i| (i * 31) as u8).collect();
+            let b = a.clone();
+            assert!(bytes_equal(&a, &b), "len {len}");
+        }
+    }
+
+    #[test]
+    fn single_byte_difference_at_every_position() {
+        for len in [1usize, 15, 16, 17, 31, 32, 33, 63, 64, 65, 100] {
+            let a: Vec<u8> = (0..len).map(|i| (i * 7) as u8).collect();
+            for pos in 0..len {
+                let mut b = a.clone();
+                b[pos] ^= 0x40;
+                assert!(!bytes_equal(&a, &b), "len {len} pos {pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn different_lengths_are_unequal() {
+        assert!(!bytes_equal(b"abc", b"abcd"));
+        assert!(!bytes_equal(b"", b"a"));
+    }
+
+    #[test]
+    fn empty_slices_are_equal() {
+        assert!(bytes_equal(b"", b""));
+    }
+
+    #[test]
+    fn tail_block_differences_are_caught() {
+        // Difference only in the overlapping tail region.
+        for len in [33usize, 47, 63, 90] {
+            let a = vec![7u8; len];
+            let mut b = a.clone();
+            b[len - 1] = 8;
+            assert!(!bytes_equal(&a, &b), "len {len}");
+        }
+    }
+}

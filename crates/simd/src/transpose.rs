@@ -1,0 +1,672 @@
+//! Parameterized transposition kernels (paper §III-A, Fig. 3).
+//!
+//! Given the row-major transition table δ (`|Q|` rows × `k` symbols) and a
+//! source SFA state — a vector `rows` of `n` DFA states — the derived SFA
+//! states for *all* `k` symbols are produced at once:
+//!
+//! ```text
+//! out[sym * n + i] = table[rows[i] * k + sym]      (0 ≤ sym < k, 0 ≤ i < n)
+//! ```
+//!
+//! i.e. gather the table rows selected by the source state and transpose
+//! them, so each gathered *column* (one symbol) becomes one new SFA state,
+//! laid out contiguously for fingerprinting and comparison. The paper's
+//! kernel set is reproduced exactly:
+//!
+//! | kernel      | element | ISA   | tile  |
+//! |-------------|---------|-------|-------|
+//! | `Sse8x8`    | u16     | SSE2  | 8×8   |
+//! | `Sse8x4`    | u16     | SSE2  | 8×4   |
+//! | `Avx16x16`  | u16     | AVX2  | 16×16 |
+//! | `Avx8x8`    | u32     | AVX2  | 8×8   |
+//! | `Scalar`    | both    | —     | —     |
+//!
+//! The paper found four 8×8 u16 kernels slightly faster than one 16×16
+//! (§III-A); benchmark E9 reproduces that comparison.
+
+use crate::CpuFeatures;
+
+/// Kernel selector for the transposition routines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// Portable scalar loops.
+    Scalar,
+    /// 8 rows × 8 columns of u16 per tile (SSE2).
+    Sse8x8,
+    /// 8 rows × 4 columns of u16 per tile (SSE2).
+    Sse8x4,
+    /// 16 rows × 16 columns of u16 per tile (AVX2).
+    Avx16x16,
+    /// 8 rows × 8 columns of u32 per tile (AVX2).
+    Avx8x8,
+}
+
+impl Kernel {
+    /// Kernels applicable to u16 tables on this CPU.
+    pub fn available_u16(f: CpuFeatures) -> Vec<Kernel> {
+        let mut v = vec![Kernel::Scalar];
+        if f.sse2 {
+            v.push(Kernel::Sse8x4);
+            v.push(Kernel::Sse8x8);
+        }
+        if f.avx2 {
+            v.push(Kernel::Avx16x16);
+        }
+        v
+    }
+
+    /// Kernels applicable to u32 tables on this CPU.
+    pub fn available_u32(f: CpuFeatures) -> Vec<Kernel> {
+        let mut v = vec![Kernel::Scalar];
+        if f.avx2 {
+            v.push(Kernel::Avx8x8);
+        }
+        v
+    }
+}
+
+fn validate<T>(table: &[T], k: usize, rows: &[u32], out_len: usize) {
+    assert!(k > 0, "symbol count must be positive");
+    assert_eq!(table.len() % k, 0, "table is not rectangular");
+    let num_rows = table.len() / k;
+    assert_eq!(out_len, k * rows.len(), "output must hold k × n elements");
+    for &r in rows {
+        assert!((r as usize) < num_rows, "row index {r} out of bounds");
+    }
+}
+
+/// Gather + transpose for u16 tables, auto-selecting the best kernel.
+///
+/// Small SSE tiles beat the AVX2 16×16 kernel (the paper's finding, which
+/// our E9 bench confirms), and when `k` is not a multiple of 8 the 8×4
+/// tile avoids a scalar column remainder — decisive for the 20-symbol
+/// amino-acid alphabet (five full 8×4 tiles vs two 8×8 tiles + 4 scalar
+/// columns; measured ~1.6× faster).
+pub fn transpose_gather_u16(table: &[u16], k: usize, rows: &[u32], out: &mut [u16]) {
+    let f = CpuFeatures::get();
+    let kernel = if !f.sse2 {
+        Kernel::Scalar
+    } else if !k.is_multiple_of(8) && k.is_multiple_of(4) {
+        Kernel::Sse8x4
+    } else {
+        Kernel::Sse8x8
+    };
+    transpose_gather_u16_with(kernel, table, k, rows, out);
+}
+
+/// Gather + transpose for u16 tables with an explicit kernel.
+///
+/// # Panics
+/// Panics on malformed shapes, out-of-bounds row indices, or a kernel that
+/// does not apply to u16 data / is unsupported by the CPU.
+pub fn transpose_gather_u16_with(
+    kernel: Kernel,
+    table: &[u16],
+    k: usize,
+    rows: &[u32],
+    out: &mut [u16],
+) {
+    validate(table, k, rows, out.len());
+    match kernel {
+        Kernel::Scalar => scalar_u16(table, k, rows, out),
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Sse8x8 => {
+            assert!(CpuFeatures::get().sse2, "SSE2 not available");
+            // SAFETY: bounds validated above; SSE2 presence checked.
+            unsafe { sse_u16_tiles::<8>(table, k, rows, out) }
+        }
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Sse8x4 => {
+            assert!(CpuFeatures::get().sse2, "SSE2 not available");
+            // SAFETY: bounds validated above; SSE2 presence checked.
+            unsafe { sse_u16_tiles::<4>(table, k, rows, out) }
+        }
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Avx16x16 => {
+            assert!(CpuFeatures::get().avx2, "AVX2 not available");
+            // SAFETY: bounds validated above; AVX2 presence checked.
+            unsafe { avx2_u16_16x16(table, k, rows, out) }
+        }
+        other => panic!("kernel {other:?} does not apply to u16 data on this target"),
+    }
+}
+
+/// Gather + transpose for u32 tables, auto-selecting the best kernel.
+pub fn transpose_gather_u32(table: &[u32], k: usize, rows: &[u32], out: &mut [u32]) {
+    let f = CpuFeatures::get();
+    let kernel = if f.avx2 {
+        Kernel::Avx8x8
+    } else {
+        Kernel::Scalar
+    };
+    transpose_gather_u32_with(kernel, table, k, rows, out);
+}
+
+/// Gather + transpose for u32 tables with an explicit kernel.
+///
+/// # Panics
+/// Same contract as [`transpose_gather_u16_with`].
+pub fn transpose_gather_u32_with(
+    kernel: Kernel,
+    table: &[u32],
+    k: usize,
+    rows: &[u32],
+    out: &mut [u32],
+) {
+    validate(table, k, rows, out.len());
+    match kernel {
+        Kernel::Scalar => scalar_u32(table, k, rows, out),
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Avx8x8 => {
+            assert!(CpuFeatures::get().avx2, "AVX2 not available");
+            // SAFETY: bounds validated above; AVX2 presence checked.
+            unsafe { avx2_u32_8x8(table, k, rows, out) }
+        }
+        other => panic!("kernel {other:?} does not apply to u32 data on this target"),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Scalar references
+// ----------------------------------------------------------------------
+
+fn scalar_u16(table: &[u16], k: usize, rows: &[u32], out: &mut [u16]) {
+    let n = rows.len();
+    // Row-major walk over the *gathered* rows keeps table reads sequential
+    // (the cache-locality argument of Fig. 3).
+    for (i, &r) in rows.iter().enumerate() {
+        let row = &table[r as usize * k..r as usize * k + k];
+        for (sym, &succ) in row.iter().enumerate() {
+            out[sym * n + i] = succ;
+        }
+    }
+}
+
+fn scalar_u32(table: &[u32], k: usize, rows: &[u32], out: &mut [u32]) {
+    let n = rows.len();
+    for (i, &r) in rows.iter().enumerate() {
+        let row = &table[r as usize * k..r as usize * k + k];
+        for (sym, &succ) in row.iter().enumerate() {
+            out[sym * n + i] = succ;
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// SSE2 u16 kernels: 8 gathered rows × (8 or 4) symbols per tile
+// ----------------------------------------------------------------------
+
+/// Tiled driver for the SSE u16 kernels; `COLS` is 8 or 4.
+///
+/// # Safety
+/// Caller guarantees SSE2 and validated bounds.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+#[allow(clippy::needless_range_loop)] // index couples ptrs/rows/out slots
+unsafe fn sse_u16_tiles<const COLS: usize>(table: &[u16], k: usize, rows: &[u32], out: &mut [u16]) {
+    let n = rows.len();
+    let row_tiles = n / 8;
+    let col_tiles = k / COLS;
+    for rt in 0..row_tiles {
+        let i0 = rt * 8;
+        // Base pointers of the 8 gathered rows.
+        let mut ptrs = [std::ptr::null::<u16>(); 8];
+        for (j, p) in ptrs.iter_mut().enumerate() {
+            *p = table.as_ptr().add(rows[i0 + j] as usize * k);
+        }
+        for ct in 0..col_tiles {
+            let c0 = ct * COLS;
+            if COLS == 8 {
+                sse_u16_8x8_tile(&ptrs, c0, out, n, i0);
+            } else {
+                sse_u16_8x4_tile(&ptrs, c0, out, n, i0);
+            }
+        }
+        // Column remainder: scalar.
+        for sym in col_tiles * COLS..k {
+            for j in 0..8 {
+                *out.get_unchecked_mut(sym * n + i0 + j) = *ptrs[j].add(sym);
+            }
+        }
+    }
+    // Row remainder: scalar.
+    for i in row_tiles * 8..n {
+        let base = rows[i] as usize * k;
+        for sym in 0..k {
+            *out.get_unchecked_mut(sym * n + i) = *table.get_unchecked(base + sym);
+        }
+    }
+}
+
+/// One 8×8 u16 tile: unpack network epi16 → epi32 → epi64.
+///
+/// # Safety
+/// `ptrs[j] + c0 .. +8` must be in bounds; `out[(c0+s)*n + i0 .. +8]` valid.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn sse_u16_8x8_tile(
+    ptrs: &[*const u16; 8],
+    c0: usize,
+    out: &mut [u16],
+    n: usize,
+    i0: usize,
+) {
+    use std::arch::x86_64::*;
+    let load = |j: usize| _mm_loadu_si128(ptrs[j].add(c0) as *const __m128i);
+    let (r0, r1, r2, r3) = (load(0), load(1), load(2), load(3));
+    let (r4, r5, r6, r7) = (load(4), load(5), load(6), load(7));
+
+    let t0 = _mm_unpacklo_epi16(r0, r1);
+    let t1 = _mm_unpackhi_epi16(r0, r1);
+    let t2 = _mm_unpacklo_epi16(r2, r3);
+    let t3 = _mm_unpackhi_epi16(r2, r3);
+    let t4 = _mm_unpacklo_epi16(r4, r5);
+    let t5 = _mm_unpackhi_epi16(r4, r5);
+    let t6 = _mm_unpacklo_epi16(r6, r7);
+    let t7 = _mm_unpackhi_epi16(r6, r7);
+
+    let u0 = _mm_unpacklo_epi32(t0, t2);
+    let u1 = _mm_unpackhi_epi32(t0, t2);
+    let u2 = _mm_unpacklo_epi32(t1, t3);
+    let u3 = _mm_unpackhi_epi32(t1, t3);
+    let u4 = _mm_unpacklo_epi32(t4, t6);
+    let u5 = _mm_unpackhi_epi32(t4, t6);
+    let u6 = _mm_unpacklo_epi32(t5, t7);
+    let u7 = _mm_unpackhi_epi32(t5, t7);
+
+    let o = [
+        _mm_unpacklo_epi64(u0, u4),
+        _mm_unpackhi_epi64(u0, u4),
+        _mm_unpacklo_epi64(u1, u5),
+        _mm_unpackhi_epi64(u1, u5),
+        _mm_unpacklo_epi64(u2, u6),
+        _mm_unpackhi_epi64(u2, u6),
+        _mm_unpacklo_epi64(u3, u7),
+        _mm_unpackhi_epi64(u3, u7),
+    ];
+    for (s, v) in o.into_iter().enumerate() {
+        let dst = out.as_mut_ptr().add((c0 + s) * n + i0) as *mut __m128i;
+        _mm_storeu_si128(dst, v);
+    }
+}
+
+/// One 8×4 u16 tile: 64-bit row loads, then the 4-wide unpack network.
+///
+/// # Safety
+/// `ptrs[j] + c0 .. +4` must be in bounds; `out[(c0+s)*n + i0 .. +8]` valid.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn sse_u16_8x4_tile(
+    ptrs: &[*const u16; 8],
+    c0: usize,
+    out: &mut [u16],
+    n: usize,
+    i0: usize,
+) {
+    use std::arch::x86_64::*;
+    let load = |j: usize| _mm_loadl_epi64(ptrs[j].add(c0) as *const __m128i);
+    let (r0, r1, r2, r3) = (load(0), load(1), load(2), load(3));
+    let (r4, r5, r6, r7) = (load(4), load(5), load(6), load(7));
+
+    // a0 b0 a1 b1 a2 b2 a3 b3
+    let t01 = _mm_unpacklo_epi16(r0, r1);
+    let t23 = _mm_unpacklo_epi16(r2, r3);
+    let t45 = _mm_unpacklo_epi16(r4, r5);
+    let t67 = _mm_unpacklo_epi16(r6, r7);
+
+    // a0 b0 c0 d0 a1 b1 c1 d1
+    let u0 = _mm_unpacklo_epi32(t01, t23);
+    let u1 = _mm_unpackhi_epi32(t01, t23);
+    let u2 = _mm_unpacklo_epi32(t45, t67);
+    let u3 = _mm_unpackhi_epi32(t45, t67);
+
+    let o = [
+        _mm_unpacklo_epi64(u0, u2), // col 0: a0 b0 c0 d0 e0 f0 g0 h0
+        _mm_unpackhi_epi64(u0, u2), // col 1
+        _mm_unpacklo_epi64(u1, u3), // col 2
+        _mm_unpackhi_epi64(u1, u3), // col 3
+    ];
+    for (s, v) in o.into_iter().enumerate() {
+        let dst = out.as_mut_ptr().add((c0 + s) * n + i0) as *mut __m128i;
+        _mm_storeu_si128(dst, v);
+    }
+}
+
+// ----------------------------------------------------------------------
+// AVX2 u16 16×16 kernel
+// ----------------------------------------------------------------------
+
+/// Tiled driver for the AVX2 16×16 u16 kernel.
+///
+/// # Safety
+/// Caller guarantees AVX2 and validated bounds.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::needless_range_loop)] // index couples ptrs/rows/out slots
+unsafe fn avx2_u16_16x16(table: &[u16], k: usize, rows: &[u32], out: &mut [u16]) {
+    use std::arch::x86_64::*;
+    let n = rows.len();
+    let row_tiles = n / 16;
+    let col_tiles = k / 16;
+    for rt in 0..row_tiles {
+        let i0 = rt * 16;
+        let mut ptrs = [std::ptr::null::<u16>(); 16];
+        for (j, p) in ptrs.iter_mut().enumerate() {
+            *p = table.as_ptr().add(rows[i0 + j] as usize * k);
+        }
+        for ct in 0..col_tiles {
+            let c0 = ct * 16;
+            let mut r = [_mm256_setzero_si256(); 16];
+            for (j, v) in r.iter_mut().enumerate() {
+                *v = _mm256_loadu_si256(ptrs[j].add(c0) as *const __m256i);
+            }
+            // Stage 1: 16-bit interleave of row pairs (per 128-bit lane).
+            let mut t = [_mm256_setzero_si256(); 16];
+            for j in 0..8 {
+                t[2 * j] = _mm256_unpacklo_epi16(r[2 * j], r[2 * j + 1]);
+                t[2 * j + 1] = _mm256_unpackhi_epi16(r[2 * j], r[2 * j + 1]);
+            }
+            // Stage 2: 32-bit interleave (pairs of pairs).
+            let mut u = [_mm256_setzero_si256(); 16];
+            for g in 0..4 {
+                let b = 4 * g;
+                u[b] = _mm256_unpacklo_epi32(t[b], t[b + 2]);
+                u[b + 1] = _mm256_unpackhi_epi32(t[b], t[b + 2]);
+                u[b + 2] = _mm256_unpacklo_epi32(t[b + 1], t[b + 3]);
+                u[b + 3] = _mm256_unpackhi_epi32(t[b + 1], t[b + 3]);
+            }
+            // Stage 3: 64-bit interleave → v[c] = col c rows 0-7 (lane0) /
+            // col c+8 rows 0-7 (lane1); w likewise for rows 8-15.
+            let mut v = [_mm256_setzero_si256(); 8];
+            let mut w = [_mm256_setzero_si256(); 8];
+            for half in 0..2 {
+                let src = if half == 0 { 0 } else { 8 };
+                let dst: &mut [__m256i; 8] = if half == 0 { &mut v } else { &mut w };
+                dst[0] = _mm256_unpacklo_epi64(u[src], u[src + 4]);
+                dst[1] = _mm256_unpackhi_epi64(u[src], u[src + 4]);
+                dst[2] = _mm256_unpacklo_epi64(u[src + 1], u[src + 5]);
+                dst[3] = _mm256_unpackhi_epi64(u[src + 1], u[src + 5]);
+                dst[4] = _mm256_unpacklo_epi64(u[src + 2], u[src + 6]);
+                dst[5] = _mm256_unpackhi_epi64(u[src + 2], u[src + 6]);
+                dst[6] = _mm256_unpacklo_epi64(u[src + 3], u[src + 7]);
+                dst[7] = _mm256_unpackhi_epi64(u[src + 3], u[src + 7]);
+            }
+            // Stage 4: stitch lanes — column c and column c+8.
+            for c in 0..8 {
+                let lo = _mm256_permute2x128_si256(v[c], w[c], 0x20);
+                let hi = _mm256_permute2x128_si256(v[c], w[c], 0x31);
+                let dst_lo = out.as_mut_ptr().add((c0 + c) * n + i0) as *mut __m256i;
+                let dst_hi = out.as_mut_ptr().add((c0 + c + 8) * n + i0) as *mut __m256i;
+                _mm256_storeu_si256(dst_lo, lo);
+                _mm256_storeu_si256(dst_hi, hi);
+            }
+        }
+        // Column remainder.
+        for sym in col_tiles * 16..k {
+            for j in 0..16 {
+                *out.get_unchecked_mut(sym * n + i0 + j) = *ptrs[j].add(sym);
+            }
+        }
+    }
+    // Row remainder.
+    for i in row_tiles * 16..n {
+        let base = rows[i] as usize * k;
+        for sym in 0..k {
+            *out.get_unchecked_mut(sym * n + i) = *table.get_unchecked(base + sym);
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// AVX2 u32 8×8 kernel
+// ----------------------------------------------------------------------
+
+/// Tiled driver for the AVX2 8×8 u32 kernel.
+///
+/// # Safety
+/// Caller guarantees AVX2 and validated bounds.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::needless_range_loop)] // index couples ptrs/rows/out slots
+unsafe fn avx2_u32_8x8(table: &[u32], k: usize, rows: &[u32], out: &mut [u32]) {
+    use std::arch::x86_64::*;
+    let n = rows.len();
+    let row_tiles = n / 8;
+    let col_tiles = k / 8;
+    for rt in 0..row_tiles {
+        let i0 = rt * 8;
+        let mut ptrs = [std::ptr::null::<u32>(); 8];
+        for (j, p) in ptrs.iter_mut().enumerate() {
+            *p = table.as_ptr().add(rows[i0 + j] as usize * k);
+        }
+        for ct in 0..col_tiles {
+            let c0 = ct * 8;
+            let load = |j: usize| _mm256_loadu_si256(ptrs[j].add(c0) as *const __m256i);
+            let (r0, r1, r2, r3) = (load(0), load(1), load(2), load(3));
+            let (r4, r5, r6, r7) = (load(4), load(5), load(6), load(7));
+
+            let t0 = _mm256_unpacklo_epi32(r0, r1);
+            let t1 = _mm256_unpackhi_epi32(r0, r1);
+            let t2 = _mm256_unpacklo_epi32(r2, r3);
+            let t3 = _mm256_unpackhi_epi32(r2, r3);
+            let t4 = _mm256_unpacklo_epi32(r4, r5);
+            let t5 = _mm256_unpackhi_epi32(r4, r5);
+            let t6 = _mm256_unpacklo_epi32(r6, r7);
+            let t7 = _mm256_unpackhi_epi32(r6, r7);
+
+            let u0 = _mm256_unpacklo_epi64(t0, t2);
+            let u1 = _mm256_unpackhi_epi64(t0, t2);
+            let u2 = _mm256_unpacklo_epi64(t1, t3);
+            let u3 = _mm256_unpackhi_epi64(t1, t3);
+            let u4 = _mm256_unpacklo_epi64(t4, t6);
+            let u5 = _mm256_unpackhi_epi64(t4, t6);
+            let u6 = _mm256_unpacklo_epi64(t5, t7);
+            let u7 = _mm256_unpackhi_epi64(t5, t7);
+
+            let o = [
+                _mm256_permute2x128_si256(u0, u4, 0x20),
+                _mm256_permute2x128_si256(u1, u5, 0x20),
+                _mm256_permute2x128_si256(u2, u6, 0x20),
+                _mm256_permute2x128_si256(u3, u7, 0x20),
+                _mm256_permute2x128_si256(u0, u4, 0x31),
+                _mm256_permute2x128_si256(u1, u5, 0x31),
+                _mm256_permute2x128_si256(u2, u6, 0x31),
+                _mm256_permute2x128_si256(u3, u7, 0x31),
+            ];
+            for (s, v) in o.into_iter().enumerate() {
+                let dst = out.as_mut_ptr().add((c0 + s) * n + i0) as *mut __m256i;
+                _mm256_storeu_si256(dst, v);
+            }
+        }
+        for sym in col_tiles * 8..k {
+            for j in 0..8 {
+                *out.get_unchecked_mut(sym * n + i0 + j) = *ptrs[j].add(sym);
+            }
+        }
+    }
+    for i in row_tiles * 8..n {
+        let base = rows[i] as usize * k;
+        for sym in 0..k {
+            *out.get_unchecked_mut(sym * n + i) = *table.get_unchecked(base + sym);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_table_u16(num_rows: usize, k: usize) -> Vec<u16> {
+        (0..num_rows * k)
+            .map(|i| (i as u32 % num_rows as u32) as u16 ^ (i as u16).rotate_left(3))
+            .collect()
+    }
+
+    fn make_table_u32(num_rows: usize, k: usize) -> Vec<u32> {
+        (0..num_rows * k)
+            .map(|i| (i as u32).wrapping_mul(2654435761))
+            .collect()
+    }
+
+    fn check_u16(kernel: Kernel, num_rows: usize, k: usize, n: usize) {
+        let table = make_table_u16(num_rows, k);
+        let rows: Vec<u32> = (0..n).map(|i| ((i * 7 + 3) % num_rows) as u32).collect();
+        let mut expected = vec![0u16; k * n];
+        scalar_u16(&table, k, &rows, &mut expected);
+        let mut got = vec![0u16; k * n];
+        transpose_gather_u16_with(kernel, &table, k, &rows, &mut got);
+        assert_eq!(expected, got, "kernel {kernel:?} k={k} n={n}");
+    }
+
+    fn check_u32(kernel: Kernel, num_rows: usize, k: usize, n: usize) {
+        let table = make_table_u32(num_rows, k);
+        let rows: Vec<u32> = (0..n).map(|i| ((i * 13 + 1) % num_rows) as u32).collect();
+        let mut expected = vec![0u32; k * n];
+        scalar_u32(&table, k, &rows, &mut expected);
+        let mut got = vec![0u32; k * n];
+        transpose_gather_u32_with(kernel, &table, k, &rows, &mut got);
+        assert_eq!(expected, got, "kernel {kernel:?} k={k} n={n}");
+    }
+
+    #[test]
+    fn scalar_definition_spot_check() {
+        // 2 rows × 3 symbols; gather rows [1, 0, 1].
+        let table: Vec<u16> = vec![10, 11, 12, 20, 21, 22];
+        let rows = vec![1u32, 0, 1];
+        let mut out = vec![0u16; 9];
+        scalar_u16(&table, 3, &rows, &mut out);
+        assert_eq!(out, vec![20, 10, 20, 21, 11, 21, 22, 12, 22]);
+    }
+
+    #[test]
+    fn sse_8x8_matches_scalar_on_many_shapes() {
+        if !CpuFeatures::get().sse2 {
+            return;
+        }
+        for (k, n) in [
+            (8, 8),
+            (16, 8),
+            (8, 16),
+            (20, 13),
+            (7, 7),
+            (64, 40),
+            (21, 9),
+        ] {
+            check_u16(Kernel::Sse8x8, 30, k, n);
+        }
+    }
+
+    #[test]
+    fn sse_8x4_matches_scalar_on_many_shapes() {
+        if !CpuFeatures::get().sse2 {
+            return;
+        }
+        for (k, n) in [(4, 8), (8, 8), (20, 13), (3, 5), (64, 40), (13, 24)] {
+            check_u16(Kernel::Sse8x4, 30, k, n);
+        }
+    }
+
+    #[test]
+    fn avx2_16x16_matches_scalar_on_many_shapes() {
+        if !CpuFeatures::get().avx2 {
+            return;
+        }
+        for (k, n) in [(16, 16), (32, 16), (16, 32), (20, 13), (48, 33), (17, 31)] {
+            check_u16(Kernel::Avx16x16, 50, k, n);
+        }
+    }
+
+    #[test]
+    fn avx2_u32_8x8_matches_scalar_on_many_shapes() {
+        if !CpuFeatures::get().avx2 {
+            return;
+        }
+        for (k, n) in [(8, 8), (16, 8), (20, 13), (7, 7), (64, 40), (9, 17)] {
+            check_u32(Kernel::Avx8x8, 30, k, n);
+        }
+    }
+
+    #[test]
+    fn auto_dispatch_matches_scalar() {
+        let table = make_table_u16(100, 20);
+        let rows: Vec<u32> = (0..37).map(|i| (i * 3 % 100) as u32).collect();
+        let mut a = vec![0u16; 20 * 37];
+        let mut b = vec![0u16; 20 * 37];
+        scalar_u16(&table, 20, &rows, &mut a);
+        transpose_gather_u16(&table, 20, &rows, &mut b);
+        assert_eq!(a, b);
+
+        let table = make_table_u32(100, 20);
+        let mut a = vec![0u32; 20 * 37];
+        let mut b = vec![0u32; 20 * 37];
+        scalar_u32(&table, 20, &rows, &mut a);
+        transpose_gather_u32(&table, 20, &rows, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn duplicate_rows_are_allowed() {
+        // SFA states routinely repeat DFA states (e.g. sink dominance).
+        let table = make_table_u16(10, 20);
+        let rows = vec![3u32; 40];
+        let mut out = vec![0u16; 20 * 40];
+        transpose_gather_u16(&table, 20, &rows, &mut out);
+        for sym in 0..20 {
+            for i in 0..40 {
+                assert_eq!(out[sym * 40 + i], table[3 * 20 + sym]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "row index")]
+    fn out_of_bounds_rows_panic() {
+        let table = make_table_u16(4, 5);
+        let rows = vec![4u32];
+        let mut out = vec![0u16; 5];
+        transpose_gather_u16(&table, 5, &rows, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "output must hold")]
+    fn wrong_output_size_panics() {
+        let table = make_table_u16(4, 5);
+        let rows = vec![0u32, 1];
+        let mut out = vec![0u16; 3];
+        transpose_gather_u16(&table, 5, &rows, &mut out);
+    }
+
+    #[test]
+    fn empty_rows_is_a_noop() {
+        let table = make_table_u16(4, 5);
+        let rows: Vec<u32> = vec![];
+        let mut out: Vec<u16> = vec![];
+        transpose_gather_u16(&table, 5, &rows, &mut out);
+    }
+
+    #[test]
+    fn kernel_availability_lists() {
+        let all = CpuFeatures {
+            sse2: true,
+            sse41: true,
+            avx2: true,
+        };
+        assert_eq!(
+            Kernel::available_u16(all),
+            vec![
+                Kernel::Scalar,
+                Kernel::Sse8x4,
+                Kernel::Sse8x8,
+                Kernel::Avx16x16
+            ]
+        );
+        assert_eq!(
+            Kernel::available_u32(all),
+            vec![Kernel::Scalar, Kernel::Avx8x8]
+        );
+        assert_eq!(
+            Kernel::available_u16(CpuFeatures::SCALAR),
+            vec![Kernel::Scalar]
+        );
+    }
+}

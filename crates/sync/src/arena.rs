@@ -1,0 +1,309 @@
+//! Append-only chunked arena with lock-free id allocation.
+//!
+//! SFA construction allocates millions of state records that are *never*
+//! moved or freed until the whole SFA is dropped. The arena exploits that:
+//! a `fetch_add` hands out dense `u32` ids, records live in fixed-size
+//! chunks installed on demand with a single CAS, and readers address
+//! records by id with no locks. Records may contain atomics (chain links,
+//! successor slots) for in-place concurrent mutation.
+//!
+//! Publication protocol: `push` writes the value, then sets the slot's
+//! `ready` flag with `Release`; `get` reads `ready` with `Acquire` before
+//! touching the value. Readers that learn an id through another released
+//! channel (hash table bucket, work queue slot) are ordered through that
+//! channel as well — the flag makes `get` safe even for ids obtained out
+//! of band.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
+
+use crate::padded::CachePadded;
+
+struct Slot<T> {
+    ready: AtomicBool,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// Lock-free append-only arena; see module docs.
+pub struct Arena<T> {
+    chunks: Box<[AtomicPtr<Slot<T>>]>,
+    next: CachePadded<AtomicU64>,
+    chunk_size: usize,
+    capacity: usize,
+}
+
+// SAFETY: the arena hands out `&T` only after the ready flag is observed
+// with Acquire, establishing happens-before with the writer's Release
+// store. Concurrent pushes write disjoint slots.
+unsafe impl<T: Send + Sync> Sync for Arena<T> {}
+unsafe impl<T: Send> Send for Arena<T> {}
+
+impl<T> Arena<T> {
+    /// Create an arena able to hold up to `capacity` values, allocated in
+    /// chunks of `chunk_size` (rounded up to a power of two, min 64).
+    pub fn new(capacity: usize, chunk_size: usize) -> Self {
+        assert!(capacity > 0, "arena capacity must be positive");
+        assert!(
+            capacity < u32::MAX as usize,
+            "ids are u32; capacity must stay below u32::MAX"
+        );
+        let chunk_size = chunk_size.max(64).next_power_of_two();
+        let num_chunks = capacity.div_ceil(chunk_size);
+        let chunks: Box<[AtomicPtr<Slot<T>>]> = (0..num_chunks)
+            .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+            .collect();
+        Arena {
+            chunks,
+            next: CachePadded::new(AtomicU64::new(0)),
+            chunk_size,
+            capacity,
+        }
+    }
+
+    /// Maximum number of values.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of ids handed out so far (some may still be mid-write by
+    /// their pushing threads).
+    pub fn len(&self) -> usize {
+        (self.next.load(Ordering::Relaxed) as usize).min(self.capacity)
+    }
+
+    /// True when no value was ever pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append `value`, returning its id, or `Err(value)` when full.
+    pub fn push(&self, value: T) -> Result<u32, T> {
+        let idx = self.next.fetch_add(1, Ordering::Relaxed);
+        if idx >= self.capacity as u64 {
+            // Leave `next` beyond capacity; len() clamps.
+            return Err(value);
+        }
+        let idx = idx as usize;
+        let slot = self.slot_ptr(idx);
+        // SAFETY: `idx` was uniquely reserved by fetch_add, so no other
+        // thread writes this slot; the slot memory is valid (chunk
+        // installed by slot_ptr) and `ready` is false, so no reader
+        // touches `value` yet.
+        unsafe {
+            (*(*slot).value.get()).write(value);
+            (*slot).ready.store(true, Ordering::Release);
+        }
+        Ok(idx as u32)
+    }
+
+    /// Read the value with id `idx`. Returns `None` for ids never handed
+    /// out or whose push has not completed yet.
+    #[inline]
+    pub fn get(&self, idx: u32) -> Option<&T> {
+        let idx = idx as usize;
+        if idx >= self.capacity {
+            return None;
+        }
+        let chunk = self.chunks[idx / self.chunk_size].load(Ordering::Acquire);
+        if chunk.is_null() {
+            return None;
+        }
+        // SAFETY: chunk is a live allocation of `chunk_size` slots; the
+        // index is in range.
+        let slot = unsafe { &*chunk.add(idx % self.chunk_size) };
+        if !slot.ready.load(Ordering::Acquire) {
+            return None;
+        }
+        // SAFETY: ready=true with Acquire pairs with the pusher's Release,
+        // so the value is fully initialized and never mutated again
+        // (except through interior atomics of T).
+        Some(unsafe { (*slot.value.get()).assume_init_ref() })
+    }
+
+    /// Like [`get`](Self::get) but panics on absent ids — for hot paths
+    /// where the id is known valid. (Named like `Index::index` on
+    /// purpose: same semantics, explicit method form.)
+    #[allow(clippy::should_implement_trait)]
+    #[inline]
+    pub fn index(&self, idx: u32) -> &T {
+        self.get(idx).expect("arena id not ready")
+    }
+
+    /// Iterate over all completed values in id order, stopping at the
+    /// first gap (a still-in-flight push).
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        (0..self.len() as u32).map_while(|i| self.get(i))
+    }
+
+    fn slot_ptr(&self, idx: usize) -> *mut Slot<T> {
+        let chunk_i = idx / self.chunk_size;
+        let slot_i = idx % self.chunk_size;
+        let mut ptr = self.chunks[chunk_i].load(Ordering::Acquire);
+        if ptr.is_null() {
+            // Allocate a chunk of not-ready slots and try to install it.
+            let mut fresh: Vec<Slot<T>> = Vec::with_capacity(self.chunk_size);
+            for _ in 0..self.chunk_size {
+                fresh.push(Slot {
+                    ready: AtomicBool::new(false),
+                    value: UnsafeCell::new(MaybeUninit::uninit()),
+                });
+            }
+            let fresh = Box::into_raw(fresh.into_boxed_slice()) as *mut Slot<T>;
+            match self.chunks[chunk_i].compare_exchange(
+                std::ptr::null_mut(),
+                fresh,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => ptr = fresh,
+                Err(winner) => {
+                    // Another thread installed first; free ours.
+                    // SAFETY: `fresh` came from Box::into_raw above and was
+                    // never shared.
+                    unsafe {
+                        drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(
+                            fresh,
+                            self.chunk_size,
+                        )));
+                    }
+                    ptr = winner;
+                }
+            }
+        }
+        // SAFETY: ptr now points at a live chunk.
+        unsafe { ptr.add(slot_i) }
+    }
+}
+
+impl<T> Drop for Arena<T> {
+    fn drop(&mut self) {
+        for chunk in self.chunks.iter() {
+            let ptr = chunk.load(Ordering::Acquire);
+            if ptr.is_null() {
+                continue;
+            }
+            // SAFETY: we own the arena exclusively in drop; each ready slot
+            // holds an initialized T.
+            unsafe {
+                let slots = std::slice::from_raw_parts_mut(ptr, self.chunk_size);
+                for slot in slots.iter_mut() {
+                    if *slot.ready.get_mut() {
+                        (*slot.value.get()).assume_init_drop();
+                    }
+                }
+                drop(Box::from_raw(slots as *mut [Slot<T>]));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_get_round_trip() {
+        let a: Arena<String> = Arena::new(1000, 64);
+        let id1 = a.push("hello".into()).unwrap();
+        let id2 = a.push("world".into()).unwrap();
+        assert_eq!(id1, 0);
+        assert_eq!(id2, 1);
+        assert_eq!(a.get(id1).unwrap(), "hello");
+        assert_eq!(a.get(id2).unwrap(), "world");
+        assert_eq!(a.get(2), None);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn spans_chunks() {
+        let a: Arena<usize> = Arena::new(1000, 64);
+        for i in 0..1000 {
+            assert_eq!(a.push(i).unwrap(), i as u32);
+        }
+        for i in 0..1000u32 {
+            assert_eq!(*a.get(i).unwrap(), i as usize);
+        }
+        assert!(a.push(1001).is_err());
+        assert_eq!(a.len(), 1000);
+    }
+
+    #[test]
+    fn capacity_exhaustion_returns_value() {
+        let a: Arena<String> = Arena::new(64, 64);
+        for i in 0..64 {
+            a.push(format!("{i}")).unwrap();
+        }
+        let err = a.push("overflow".to_string()).unwrap_err();
+        assert_eq!(err, "overflow");
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let a: Arena<u32> = Arena::new(100, 64);
+        for i in 0..50 {
+            a.push(i * 2).unwrap();
+        }
+        let v: Vec<u32> = a.iter().copied().collect();
+        assert_eq!(v, (0..50).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drops_contents_exactly_once() {
+        struct Counted(Arc<AtomicUsize>);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let a: Arena<Counted> = Arena::new(300, 64);
+            for _ in 0..200 {
+                assert!(a.push(Counted(drops.clone())).is_ok());
+            }
+            assert_eq!(drops.load(Ordering::Relaxed), 0);
+        }
+        assert_eq!(drops.load(Ordering::Relaxed), 200);
+    }
+
+    #[test]
+    fn concurrent_pushes_get_unique_ids() {
+        let a: Arc<Arena<(usize, usize)>> = Arc::new(Arena::new(40_000, 1024));
+        let threads = 4;
+        let per_thread = 10_000;
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let a = a.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut ids = Vec::with_capacity(per_thread);
+                for i in 0..per_thread {
+                    ids.push(a.push((t, i)).unwrap());
+                }
+                ids
+            }));
+        }
+        let mut all: Vec<u32> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), threads * per_thread);
+        // Every record readable and consistent.
+        for id in all {
+            let (t, i) = *a.get(id).unwrap();
+            assert!(t < threads && i < per_thread);
+        }
+    }
+
+    #[test]
+    fn interior_atomics_are_usable() {
+        let a: Arena<AtomicUsize> = Arena::new(10, 64);
+        let id = a.push(AtomicUsize::new(5)).unwrap();
+        a.get(id).unwrap().fetch_add(1, Ordering::Relaxed);
+        assert_eq!(a.get(id).unwrap().load(Ordering::Relaxed), 6);
+    }
+}

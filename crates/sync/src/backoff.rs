@@ -1,0 +1,72 @@
+//! Exponential spin backoff for CAS retry loops.
+
+use std::hint;
+
+/// Exponential backoff: spin (with `core::hint::spin_loop`) for the first
+/// few retries, then yield to the OS scheduler. Mirrors the strategy in
+/// crossbeam's `Backoff`, reimplemented here so the hot paths of this
+/// crate have no external dependencies.
+#[derive(Debug)]
+pub struct Backoff {
+    step: u32,
+}
+
+const SPIN_LIMIT: u32 = 6;
+const YIELD_LIMIT: u32 = 10;
+
+impl Backoff {
+    /// Fresh backoff state.
+    pub fn new() -> Self {
+        Backoff { step: 0 }
+    }
+
+    /// Back off after a failed attempt; escalates from busy-spin to
+    /// `thread::yield_now` as failures accumulate.
+    pub fn spin(&mut self) {
+        if self.step <= SPIN_LIMIT {
+            for _ in 0..(1u32 << self.step) {
+                hint::spin_loop();
+            }
+        } else {
+            std::thread::yield_now();
+        }
+        if self.step <= YIELD_LIMIT {
+            self.step += 1;
+        }
+    }
+
+    /// True once the backoff has escalated past pure spinning — callers
+    /// use this to decide to park or give up (e.g. thieves searching for
+    /// a victim).
+    pub fn is_completed(&self) -> bool {
+        self.step > YIELD_LIMIT
+    }
+
+    /// Reset after a successful attempt.
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escalates_and_completes() {
+        let mut b = Backoff::new();
+        assert!(!b.is_completed());
+        for _ in 0..=YIELD_LIMIT {
+            b.spin();
+        }
+        assert!(b.is_completed());
+        b.reset();
+        assert!(!b.is_completed());
+    }
+}

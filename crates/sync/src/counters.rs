@@ -1,0 +1,135 @@
+//! Software contention counters.
+//!
+//! The paper quantifies queue contention with perf-C2C HITM loads — loads
+//! that hit a cache line modified by another core (§IV-B). Hardware
+//! counters are not portable, so this crate counts the *software events
+//! that cause HITM traffic*: failed CAS operations (another thread won the
+//! line), steal attempts/successes, and shared-queue operations. The
+//! orderings the paper reports (thread-local deques ≪ shared MPMC queue)
+//! are reproduced by these proxies in experiment E4.
+
+use crate::padded::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One set of contention counters (typically one per data structure).
+/// All increments are `Relaxed`: counters are diagnostics, not
+/// synchronization.
+#[derive(Debug, Default)]
+pub struct ContentionCounters {
+    cas_failures: CachePadded<AtomicU64>,
+    cas_successes: CachePadded<AtomicU64>,
+    steal_attempts: CachePadded<AtomicU64>,
+    steal_successes: CachePadded<AtomicU64>,
+    enqueues: CachePadded<AtomicU64>,
+    dequeues: CachePadded<AtomicU64>,
+}
+
+/// Immutable snapshot of [`ContentionCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ContentionSnapshot {
+    /// CAS operations that lost a race and retried.
+    pub cas_failures: u64,
+    /// CAS operations that succeeded.
+    pub cas_successes: u64,
+    /// Steal attempts (including empty/lost races).
+    pub steal_attempts: u64,
+    /// Steals that obtained an item.
+    pub steal_successes: u64,
+    /// Items enqueued/pushed.
+    pub enqueues: u64,
+    /// Items dequeued/popped (including stolen).
+    pub dequeues: u64,
+}
+
+impl ContentionCounters {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub(crate) fn cas_failure(&self) {
+        self.cas_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn cas_success(&self) {
+        self.cas_successes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn steal_attempt(&self) {
+        self.steal_attempts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn steal_success(&self) {
+        self.steal_successes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn enqueue(&self) {
+        self.enqueues.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn dequeue(&self) {
+        self.dequeues.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Read all counters.
+    pub fn snapshot(&self) -> ContentionSnapshot {
+        ContentionSnapshot {
+            cas_failures: self.cas_failures.load(Ordering::Relaxed),
+            cas_successes: self.cas_successes.load(Ordering::Relaxed),
+            steal_attempts: self.steal_attempts.load(Ordering::Relaxed),
+            steal_successes: self.steal_successes.load(Ordering::Relaxed),
+            enqueues: self.enqueues.load(Ordering::Relaxed),
+            dequeues: self.dequeues.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero everything.
+    pub fn reset(&self) {
+        self.cas_failures.store(0, Ordering::Relaxed);
+        self.cas_successes.store(0, Ordering::Relaxed);
+        self.steal_attempts.store(0, Ordering::Relaxed);
+        self.steal_successes.store(0, Ordering::Relaxed);
+        self.enqueues.store(0, Ordering::Relaxed);
+        self.dequeues.store(0, Ordering::Relaxed);
+    }
+}
+
+impl ContentionSnapshot {
+    /// Total cross-thread conflict events — the HITM proxy reported by E4.
+    pub fn conflict_events(&self) -> u64 {
+        self.cas_failures + self.steal_attempts.saturating_sub(self.steal_successes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let c = ContentionCounters::new();
+        c.cas_failure();
+        c.cas_failure();
+        c.cas_success();
+        c.steal_attempt();
+        c.steal_success();
+        c.enqueue();
+        c.dequeue();
+        let s = c.snapshot();
+        assert_eq!(s.cas_failures, 2);
+        assert_eq!(s.cas_successes, 1);
+        assert_eq!(s.steal_attempts, 1);
+        assert_eq!(s.steal_successes, 1);
+        assert_eq!(s.enqueues, 1);
+        assert_eq!(s.dequeues, 1);
+        assert_eq!(s.conflict_events(), 2);
+        c.reset();
+        assert_eq!(c.snapshot(), ContentionSnapshot::default());
+    }
+}

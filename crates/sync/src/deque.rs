@@ -1,0 +1,441 @@
+//! Chase–Lev work-stealing deques (§III-B2).
+//!
+//! "Each thread has a local queue to store the SFA states it generated. To
+//! obtain work, the owner thread will consult its own local queue first.
+//! If a thread's local queue is empty, the thread will steal work from
+//! other threads' queues. […] a CAS operation is required to avoid the
+//! situation that several thieves de-queue the same SFA state."
+//!
+//! Implementation follows the C11-formalized Chase–Lev deque (Lê, Pop,
+//! Cohen, Zappa Nardelli, PPoPP'13): the owner pushes and pops at the
+//! *bottom* without CAS in the common case; thieves CAS the *top*. The
+//! circular buffer grows by doubling; retired buffers are kept alive until
+//! the deque drops, because a thief may still read a stale buffer pointer
+//! (its subsequent `top` CAS rules out returning a stale *value*).
+//!
+//! [`StealPolicy`] implements the paper's locality heuristic: "a thief
+//! starts to search a state from the closest queue, i.e., a queue whose
+//! owner thread shares its cache with the thief."
+
+use crate::counters::ContentionCounters;
+use crate::padded::CachePadded;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicIsize, AtomicPtr, AtomicU32, Ordering};
+use std::sync::Arc;
+
+struct Buffer {
+    mask: usize,
+    slots: Box<[AtomicU32]>,
+}
+
+impl Buffer {
+    fn new(cap: usize) -> Box<Buffer> {
+        debug_assert!(cap.is_power_of_two());
+        Box::new(Buffer {
+            mask: cap - 1,
+            slots: (0..cap).map(|_| AtomicU32::new(0)).collect(),
+        })
+    }
+
+    #[inline]
+    fn read(&self, i: isize) -> u32 {
+        self.slots[i as usize & self.mask].load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn write(&self, i: isize, v: u32) {
+        self.slots[i as usize & self.mask].store(v, Ordering::Relaxed);
+    }
+}
+
+struct Inner {
+    top: CachePadded<AtomicIsize>,
+    bottom: CachePadded<AtomicIsize>,
+    buffer: AtomicPtr<Buffer>,
+    /// Buffers replaced by growth; freed on drop (thieves may still hold
+    /// stale pointers until their CAS fails).
+    retired: Mutex<Vec<*mut Buffer>>,
+    counters: ContentionCounters,
+}
+
+// SAFETY: all shared fields are atomics; `retired` is mutex-guarded; raw
+// buffer pointers are only dereferenced under the algorithm's protocol.
+unsafe impl Send for Inner {}
+unsafe impl Sync for Inner {}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        // SAFETY: exclusive access in drop; every pointer in `retired` and
+        // the live buffer came from Box::into_raw and is freed exactly once.
+        unsafe {
+            for p in self.retired.lock().drain(..) {
+                drop(Box::from_raw(p));
+            }
+            drop(Box::from_raw(self.buffer.load(Ordering::Relaxed)));
+        }
+    }
+}
+
+/// Owner-side handle: `push` and `pop` (LIFO for locality). Not `Sync` —
+/// exactly one thread owns it.
+pub struct Worker {
+    inner: Arc<Inner>,
+    // !Sync marker: the Chase-Lev owner operations must not be shared.
+    _not_sync: std::marker::PhantomData<*mut ()>,
+}
+
+// SAFETY: Worker may migrate between threads (Send) as long as only one
+// thread uses it at a time, which the !Sync marker enforces.
+unsafe impl Send for Worker {}
+
+/// Thief-side handle: `steal` (FIFO). Cloneable and shareable.
+#[derive(Clone)]
+pub struct Stealer {
+    inner: Arc<Inner>,
+}
+
+/// Result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal {
+    /// Got an item.
+    Success(u32),
+    /// Deque observed empty.
+    Empty,
+    /// Lost a race; worth retrying immediately.
+    Retry,
+}
+
+/// Construct an unbounded work-stealing deque with initial capacity
+/// `initial_cap` (rounded up to a power of two, min 64).
+pub fn work_stealing_deque(initial_cap: usize) -> (Worker, Stealer) {
+    let cap = initial_cap.max(64).next_power_of_two();
+    let inner = Arc::new(Inner {
+        top: CachePadded::new(AtomicIsize::new(0)),
+        bottom: CachePadded::new(AtomicIsize::new(0)),
+        buffer: AtomicPtr::new(Box::into_raw(Buffer::new(cap))),
+        retired: Mutex::new(Vec::new()),
+        counters: ContentionCounters::new(),
+    });
+    (
+        Worker {
+            inner: inner.clone(),
+            _not_sync: std::marker::PhantomData,
+        },
+        Stealer { inner },
+    )
+}
+
+impl Worker {
+    /// Push an item at the bottom (owner only).
+    pub fn push(&self, item: u32) {
+        let inner = &*self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed);
+        let t = inner.top.load(Ordering::Acquire);
+        let mut buf = inner.buffer.load(Ordering::Relaxed);
+        // SAFETY: owner is the only mutator of `buffer`; pointer is live.
+        if b - t > unsafe { (*buf).mask as isize } {
+            buf = self.grow(b, t, buf);
+        }
+        // SAFETY: buffer live; slot index within mask.
+        unsafe { (*buf).write(b, item) };
+        std::sync::atomic::fence(Ordering::Release);
+        inner.bottom.store(b + 1, Ordering::Relaxed);
+        inner.counters.enqueue();
+    }
+
+    /// Pop an item from the bottom (owner only; LIFO).
+    pub fn pop(&self) -> Option<u32> {
+        let inner = &*self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed) - 1;
+        let buf = inner.buffer.load(Ordering::Relaxed);
+        inner.bottom.store(b, Ordering::Relaxed);
+        std::sync::atomic::fence(Ordering::SeqCst);
+        let t = inner.top.load(Ordering::Relaxed);
+        if t <= b {
+            // Non-empty.
+            // SAFETY: buffer live; index masked.
+            let item = unsafe { (*buf).read(b) };
+            if t == b {
+                // Last element: race the thieves for it.
+                let won = inner
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                inner.bottom.store(b + 1, Ordering::Relaxed);
+                if won {
+                    inner.counters.dequeue();
+                    Some(item)
+                } else {
+                    inner.counters.cas_failure();
+                    None
+                }
+            } else {
+                inner.counters.dequeue();
+                Some(item)
+            }
+        } else {
+            // Empty: restore bottom.
+            inner.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Approximate number of items (owner view).
+    pub fn len(&self) -> usize {
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        let t = self.inner.top.load(Ordering::Relaxed);
+        (b - t).max(0) as usize
+    }
+
+    /// True when the owner sees no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A stealer for this deque.
+    pub fn stealer(&self) -> Stealer {
+        Stealer {
+            inner: self.inner.clone(),
+        }
+    }
+
+    /// Contention counters (shared with thieves).
+    pub fn counters(&self) -> &ContentionCounters {
+        &self.inner.counters
+    }
+
+    #[cold]
+    fn grow(&self, b: isize, t: isize, old: *mut Buffer) -> *mut Buffer {
+        // SAFETY: `old` is the live buffer; owner-only call.
+        let old_ref = unsafe { &*old };
+        let new = Buffer::new((old_ref.mask + 1) * 2);
+        for i in t..b {
+            new.write(i, old_ref.read(i));
+        }
+        let new_ptr = Box::into_raw(new);
+        self.inner.buffer.store(new_ptr, Ordering::Release);
+        self.inner.retired.lock().push(old);
+        new_ptr
+    }
+}
+
+impl Stealer {
+    /// Try to steal one item from the top (FIFO end).
+    pub fn steal(&self) -> Steal {
+        let inner = &*self.inner;
+        inner.counters.steal_attempt();
+        let t = inner.top.load(Ordering::Acquire);
+        std::sync::atomic::fence(Ordering::SeqCst);
+        let b = inner.bottom.load(Ordering::Acquire);
+        if t < b {
+            let buf = inner.buffer.load(Ordering::Acquire);
+            // SAFETY: the pointer is either the live buffer or a retired
+            // one (kept allocated until drop); the read value is only
+            // trusted if the CAS below confirms `top` was unchanged, which
+            // rules out the slot having been recycled.
+            let item = unsafe { (*buf).read(t) };
+            if inner
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_err()
+            {
+                inner.counters.cas_failure();
+                return Steal::Retry;
+            }
+            inner.counters.steal_success();
+            Steal::Success(item)
+        } else {
+            Steal::Empty
+        }
+    }
+
+    /// Approximate number of items (thief view).
+    pub fn len(&self) -> usize {
+        let b = self.inner.bottom.load(Ordering::Acquire);
+        let t = self.inner.top.load(Ordering::Acquire);
+        (b - t).max(0) as usize
+    }
+
+    /// True when the thief sees no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Victim ordering for thieves: nearest neighbour first (§III-B2 — "a
+/// thief starts to search a state from the closest queue, i.e., a queue
+/// whose owner thread shares its cache with the thief").
+///
+/// Thread ids are treated as if adjacent ids share cache (as with
+/// consecutive logical CPUs on one core/CCX); the sequence ripples
+/// outward: +1, -1, +2, -2, …
+#[derive(Debug, Clone)]
+pub struct StealPolicy {
+    order: Vec<usize>,
+}
+
+impl StealPolicy {
+    /// Victim visit order for `thief` among `n` workers.
+    pub fn closest_first(thief: usize, n: usize) -> StealPolicy {
+        let mut order = Vec::with_capacity(n.saturating_sub(1));
+        for d in 1..n {
+            let up = thief + d;
+            if up < n {
+                order.push(up);
+            }
+            if d <= thief {
+                order.push(thief - d);
+            }
+            if order.len() >= n - 1 {
+                break;
+            }
+        }
+        order.truncate(n.saturating_sub(1));
+        StealPolicy { order }
+    }
+
+    /// The victim sequence.
+    pub fn victims(&self) -> &[usize] {
+        &self.order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_for_owner() {
+        let (w, _s) = work_stealing_deque(8);
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn fifo_for_thief() {
+        let (w, s) = work_stealing_deque(8);
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(s.steal(), Steal::Success(2));
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn grows_beyond_initial_capacity() {
+        let (w, s) = work_stealing_deque(64);
+        for i in 0..10_000 {
+            w.push(i);
+        }
+        assert_eq!(w.len(), 10_000);
+        // Mixed drain.
+        let mut seen = Vec::new();
+        for _ in 0..5_000 {
+            seen.push(w.pop().unwrap());
+        }
+        loop {
+            match s.steal() {
+                Steal::Success(v) => seen.push(v),
+                Steal::Empty => break,
+                Steal::Retry => continue,
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn push_pop_interleaved_with_steals() {
+        let (w, s) = work_stealing_deque(8);
+        w.push(10);
+        assert_eq!(s.steal(), Steal::Success(10));
+        w.push(11);
+        assert_eq!(w.pop(), Some(11));
+        assert_eq!(s.steal(), Steal::Empty);
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn concurrent_steal_stress_no_loss_no_dup() {
+        let n: u32 = 50_000;
+        let (w, s) = work_stealing_deque(256);
+        let thieves = 4;
+        let stolen: Vec<std::thread::JoinHandle<Vec<u32>>> = (0..thieves)
+            .map(|_| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    let mut dry = 0;
+                    while dry < 2_000 {
+                        match s.steal() {
+                            Steal::Success(v) => {
+                                got.push(v);
+                                dry = 0;
+                            }
+                            Steal::Retry => {}
+                            Steal::Empty => {
+                                dry += 1;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+
+        let mut own = Vec::new();
+        for i in 0..n {
+            w.push(i);
+            // Owner occasionally pops, exercising the t==b race.
+            if i % 3 == 0 {
+                if let Some(v) = w.pop() {
+                    own.push(v);
+                }
+            }
+        }
+        while let Some(v) = w.pop() {
+            own.push(v);
+        }
+
+        let mut all = own;
+        for h in stolen {
+            all.extend(h.join().unwrap());
+        }
+        all.sort_unstable();
+        let dup_check = all.windows(2).all(|w| w[0] != w[1]);
+        assert!(dup_check, "duplicate item observed");
+        assert_eq!(all, (0..n).collect::<Vec<_>>(), "lost items");
+    }
+
+    #[test]
+    fn steal_policy_closest_first() {
+        let p = StealPolicy::closest_first(2, 6);
+        assert_eq!(p.victims(), &[3, 1, 4, 0, 5]);
+        let p = StealPolicy::closest_first(0, 4);
+        assert_eq!(p.victims(), &[1, 2, 3]);
+        let p = StealPolicy::closest_first(3, 4);
+        assert_eq!(p.victims(), &[2, 1, 0]);
+        let p = StealPolicy::closest_first(0, 1);
+        assert!(p.victims().is_empty());
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let (w, s) = work_stealing_deque(8);
+        w.push(1);
+        let _ = s.steal();
+        let _ = s.steal();
+        let snap = w.counters().snapshot();
+        assert_eq!(snap.enqueues, 1);
+        assert_eq!(snap.steal_attempts, 2);
+        assert_eq!(snap.steal_successes, 1);
+    }
+}

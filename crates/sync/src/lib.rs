@@ -1,0 +1,45 @@
+//! Lock-free concurrency substrate for parallel SFA construction.
+//!
+//! The paper's parallelization (§III-B) is nonblocking end to end: "We
+//! minimize the cache-coherence overhead by using lock-free
+//! synchronization on all employed data-structures, including our
+//! thread-local work-queues and the hash-table of SFA states." This crate
+//! provides those structures, independent of SFA specifics:
+//!
+//! * [`arena::Arena`] — append-only chunked storage with lock-free index
+//!   allocation; SFA state records live here and are addressed by `u32`
+//!   ids (never moved, never freed before drop).
+//! * [`table::ChainedTable`] — the lock-free chained hash table keyed by
+//!   fingerprint; duplicate keys allowed, collisions resolved by walking
+//!   the chain (§III-A).
+//! * [`global_queue::GlobalQueue`] — the start-up phase work queue:
+//!   statically indexed dequeue, CAS-synchronized enqueue (§III-B2).
+//! * [`deque::work_stealing_deque`] — Chase–Lev thread-local deques with
+//!   owner `push`/`pop` and thief `steal` (§III-B2).
+//! * [`mpmc::MsQueue`] — a Michael–Scott-style multi-producer,
+//!   multi-consumer queue standing in for the TBB `concurrent_queue` the
+//!   paper compares against (§IV-B).
+//! * [`counters::ContentionCounters`] — software proxies for the perf-C2C
+//!   HITM measurements (CAS failures, steal traffic).
+//! * [`backoff::Backoff`], [`padded::CachePadded`] — spin-wait and
+//!   false-sharing helpers.
+
+pub mod arena;
+pub mod backoff;
+pub mod counters;
+pub mod deque;
+pub mod global_queue;
+pub mod mpmc;
+pub mod padded;
+pub mod table;
+
+pub use arena::Arena;
+pub use counters::ContentionCounters;
+pub use deque::work_stealing_deque;
+pub use global_queue::GlobalQueue;
+pub use mpmc::MsQueue;
+pub use padded::CachePadded;
+pub use table::{ChainedTable, FindOrInsert, Links};
+
+/// Sentinel "null" id used by all id-linked structures in this crate.
+pub const NIL: u32 = u32::MAX;

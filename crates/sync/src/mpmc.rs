@@ -1,0 +1,264 @@
+//! Michael–Scott-style MPMC queue — the contended-comparison queue.
+//!
+//! The paper contrasts its thread-local deques with Intel TBB's
+//! `concurrent_queue` (§IV-B): one shared multi-producer/multi-consumer
+//! queue whose head and tail CASes force cross-core cache-line transfers
+//! (the HITM loads perf-C2C attributes to "atomic operations on the TBB
+//! queue's internal state"). [`MsQueue`] reproduces that contention
+//! profile with the classic two-pointer linked queue (Michael & Scott,
+//! PODC'96).
+//!
+//! **Reclamation:** dequeued nodes are moved to a retire list and freed
+//! only when the queue drops. This sidesteps hazard pointers/epochs
+//! (which this comparison artifact does not need) at the cost of memory
+//! proportional to total traffic — an explicitly documented trade-off.
+
+use crate::counters::ContentionCounters;
+use crate::padded::CachePadded;
+use parking_lot::Mutex;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicU32, Ordering};
+
+struct Node {
+    value: AtomicU32,
+    next: AtomicPtr<Node>,
+}
+
+impl Node {
+    fn boxed(value: u32) -> *mut Node {
+        Box::into_raw(Box::new(Node {
+            value: AtomicU32::new(value),
+            next: AtomicPtr::new(ptr::null_mut()),
+        }))
+    }
+}
+
+/// Lock-free (except deferred reclamation) MPMC FIFO queue of `u32` items.
+pub struct MsQueue {
+    head: CachePadded<AtomicPtr<Node>>,
+    tail: CachePadded<AtomicPtr<Node>>,
+    retired: Mutex<Vec<*mut Node>>,
+    counters: ContentionCounters,
+}
+
+// SAFETY: nodes are only freed on drop; head/tail moves follow the MS
+// protocol; `retired` is mutex-guarded.
+unsafe impl Send for MsQueue {}
+unsafe impl Sync for MsQueue {}
+
+impl MsQueue {
+    /// Empty queue (one dummy node, as in the original algorithm).
+    pub fn new() -> Self {
+        let dummy = Node::boxed(0);
+        MsQueue {
+            head: CachePadded::new(AtomicPtr::new(dummy)),
+            tail: CachePadded::new(AtomicPtr::new(dummy)),
+            retired: Mutex::new(Vec::new()),
+            counters: ContentionCounters::new(),
+        }
+    }
+
+    /// Enqueue at the tail.
+    pub fn enqueue(&self, value: u32) {
+        let node = Node::boxed(value);
+        loop {
+            let tail = self.tail.load(Ordering::Acquire);
+            // SAFETY: tail is never freed before drop (retire list).
+            let next = unsafe { (*tail).next.load(Ordering::Acquire) };
+            if tail != self.tail.load(Ordering::Acquire) {
+                continue; // tail moved under us
+            }
+            if next.is_null() {
+                // SAFETY: as above; CAS links our node after the last one.
+                if unsafe {
+                    (*tail)
+                        .next
+                        .compare_exchange(
+                            ptr::null_mut(),
+                            node,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                } {
+                    self.counters.cas_success();
+                    // Swing tail (failure is fine — someone else helped).
+                    let _ =
+                        self.tail
+                            .compare_exchange(tail, node, Ordering::AcqRel, Ordering::Acquire);
+                    self.counters.enqueue();
+                    return;
+                }
+                self.counters.cas_failure();
+            } else {
+                // Help swing the lagging tail.
+                let _ = self
+                    .tail
+                    .compare_exchange(tail, next, Ordering::AcqRel, Ordering::Acquire);
+            }
+        }
+    }
+
+    /// Dequeue from the head; `None` when empty.
+    pub fn dequeue(&self) -> Option<u32> {
+        loop {
+            let head = self.head.load(Ordering::Acquire);
+            let tail = self.tail.load(Ordering::Acquire);
+            // SAFETY: head is never freed before drop.
+            let next = unsafe { (*head).next.load(Ordering::Acquire) };
+            if head != self.head.load(Ordering::Acquire) {
+                continue;
+            }
+            if head == tail {
+                if next.is_null() {
+                    return None; // empty
+                }
+                // Tail lagging: help.
+                let _ = self
+                    .tail
+                    .compare_exchange(tail, next, Ordering::AcqRel, Ordering::Acquire);
+            } else {
+                // SAFETY: next non-null here (head != tail ⇒ a successor
+                // exists); value read before the CAS claims the node.
+                let value = unsafe { (*next).value.load(Ordering::Acquire) };
+                if self
+                    .head
+                    .compare_exchange(head, next, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    self.counters.cas_success();
+                    self.counters.dequeue();
+                    // The old dummy is unreachable for new operations but
+                    // may still be read by lagging peers: retire, don't free.
+                    self.retired.lock().push(head);
+                    return Some(value);
+                }
+                self.counters.cas_failure();
+            }
+        }
+    }
+
+    /// Contention counters for experiment E4.
+    pub fn counters(&self) -> &ContentionCounters {
+        &self.counters
+    }
+}
+
+impl Default for MsQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for MsQueue {
+    fn drop(&mut self) {
+        // SAFETY: exclusive in drop. Free the remaining chain, then the
+        // retired nodes; every node was Box::into_raw'd exactly once.
+        unsafe {
+            let mut cur = self.head.load(Ordering::Relaxed);
+            while !cur.is_null() {
+                let next = (*cur).next.load(Ordering::Relaxed);
+                drop(Box::from_raw(cur));
+                cur = next;
+            }
+            for p in self.retired.lock().drain(..) {
+                drop(Box::from_raw(p));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order() {
+        let q = MsQueue::new();
+        assert_eq!(q.dequeue(), None);
+        for i in 0..100 {
+            q.enqueue(i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.dequeue(), Some(i));
+        }
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn interleaved() {
+        let q = MsQueue::new();
+        q.enqueue(1);
+        assert_eq!(q.dequeue(), Some(1));
+        assert_eq!(q.dequeue(), None);
+        q.enqueue(2);
+        q.enqueue(3);
+        assert_eq!(q.dequeue(), Some(2));
+        q.enqueue(4);
+        assert_eq!(q.dequeue(), Some(3));
+        assert_eq!(q.dequeue(), Some(4));
+    }
+
+    #[test]
+    fn concurrent_stress_no_loss_no_dup() {
+        let q = Arc::new(MsQueue::new());
+        let producers = 4;
+        let per: u32 = 10_000;
+        let mut handles = Vec::new();
+        for p in 0..producers {
+            let q = q.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per {
+                    q.enqueue(p * per + i);
+                }
+            }));
+        }
+        let consumers: Vec<std::thread::JoinHandle<Vec<u32>>> = (0..4)
+            .map(|_| {
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    let mut dry = 0;
+                    while dry < 2_000 {
+                        match q.dequeue() {
+                            Some(v) => {
+                                got.push(v);
+                                dry = 0;
+                            }
+                            None => {
+                                dry += 1;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut all: Vec<u32> = consumers
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..producers * per).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drop_releases_everything() {
+        // Run under the normal allocator; correctness = no double free /
+        // no leak detectable by miri-style reasoning; here we just make
+        // sure drop with mixed state does not crash.
+        let q = MsQueue::new();
+        for i in 0..1000 {
+            q.enqueue(i);
+        }
+        for _ in 0..500 {
+            q.dequeue();
+        }
+        drop(q);
+    }
+}

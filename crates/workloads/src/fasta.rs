@@ -1,0 +1,204 @@
+//! FASTA parsing for real protein inputs.
+//!
+//! The matching experiments accept any residue text; real protein data
+//! ships as FASTA (`>header` lines followed by wrapped sequence lines).
+//! [`parse_fasta`] extracts the records, validates residues against the
+//! amino-acid alphabet, and [`concat_sequences`] produces the single
+//! dense-symbol text the matchers consume (the paper concatenates its
+//! input the same way — matching is position-independent thanks to the
+//! `Σ*` catenation).
+
+use sfa_automata::alphabet::{Alphabet, SymbolId};
+
+/// One FASTA record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastaRecord {
+    /// Header text (without the leading `>`).
+    pub header: String,
+    /// Residues as dense symbol ids over the amino-acid alphabet.
+    pub sequence: Vec<SymbolId>,
+}
+
+/// Errors from FASTA parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FastaError {
+    /// Sequence data before the first `>` header.
+    DataBeforeHeader { line: usize },
+    /// A residue outside the amino-acid alphabet (U, X, *, digits, …).
+    BadResidue { line: usize, byte: u8 },
+}
+
+impl std::fmt::Display for FastaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FastaError::DataBeforeHeader { line } => {
+                write!(f, "line {line}: sequence data before the first '>' header")
+            }
+            FastaError::BadResidue { line, byte } => {
+                write!(
+                    f,
+                    "line {line}: byte {:?} is not a standard amino-acid code",
+                    *byte as char
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FastaError {}
+
+/// Parse FASTA text into records. Residues are upper-cased; `-` and `.`
+/// (alignment gaps) are skipped; every other non-alphabet byte is an
+/// error.
+pub fn parse_fasta(text: &str) -> Result<Vec<FastaRecord>, FastaError> {
+    let alpha = Alphabet::amino_acids();
+    let mut records: Vec<FastaRecord> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with(';') {
+            continue; // blank or old-style comment
+        }
+        if let Some(header) = line.strip_prefix('>') {
+            records.push(FastaRecord {
+                header: header.trim().to_string(),
+                sequence: Vec::new(),
+            });
+            continue;
+        }
+        let Some(current) = records.last_mut() else {
+            return Err(FastaError::DataBeforeHeader { line: lineno + 1 });
+        };
+        for &b in line.as_bytes() {
+            let b = b.to_ascii_uppercase();
+            if b == b'-' || b == b'.' || b == b'*' || b.is_ascii_whitespace() {
+                continue;
+            }
+            match alpha.encode(b) {
+                Some(sym) => current.sequence.push(sym),
+                None => {
+                    return Err(FastaError::BadResidue {
+                        line: lineno + 1,
+                        byte: b,
+                    })
+                }
+            }
+        }
+    }
+    Ok(records)
+}
+
+/// Concatenate all record sequences into one matcher input.
+pub fn concat_sequences(records: &[FastaRecord]) -> Vec<SymbolId> {
+    let total: usize = records.iter().map(|r| r.sequence.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    for r in records {
+        out.extend_from_slice(&r.sequence);
+    }
+    out
+}
+
+/// Render records back to FASTA (60-column wrapping) — useful for
+/// emitting generated workloads as files.
+pub fn write_fasta(records: &[FastaRecord]) -> String {
+    let alpha = Alphabet::amino_acids();
+    let mut out = String::new();
+    for r in records {
+        out.push('>');
+        out.push_str(&r.header);
+        out.push('\n');
+        for chunk in r.sequence.chunks(60) {
+            for &sym in chunk {
+                out.push(alpha.decode(sym) as char);
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+>sp|P12345|TEST_HUMAN Test protein
+MKVLAARGDK
+LMNPQRSTVW
+>second record
+acdefghik
+";
+
+    #[test]
+    fn parses_records_and_sequences() {
+        let records = parse_fasta(SAMPLE).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].header, "sp|P12345|TEST_HUMAN Test protein");
+        assert_eq!(records[0].sequence.len(), 20);
+        // Lower-case residues are accepted and upper-cased.
+        assert_eq!(records[1].sequence.len(), 9);
+    }
+
+    #[test]
+    fn round_trips_through_write() {
+        let records = parse_fasta(SAMPLE).unwrap();
+        let text = write_fasta(&records);
+        let again = parse_fasta(&text).unwrap();
+        assert_eq!(records, again);
+    }
+
+    #[test]
+    fn concat_joins_everything() {
+        let records = parse_fasta(SAMPLE).unwrap();
+        let all = concat_sequences(&records);
+        assert_eq!(all.len(), 29);
+        assert_eq!(&all[..3], &records[0].sequence[..3]);
+    }
+
+    #[test]
+    fn gaps_and_stops_are_skipped() {
+        let records = parse_fasta(">x\nMK-VL..AA*RG\n").unwrap();
+        assert_eq!(records[0].sequence.len(), 8);
+    }
+
+    #[test]
+    fn data_before_header_rejected() {
+        assert_eq!(
+            parse_fasta("MKVL\n>x\n").unwrap_err(),
+            FastaError::DataBeforeHeader { line: 1 }
+        );
+    }
+
+    #[test]
+    fn bad_residues_rejected_with_line() {
+        // X (unknown) and U (selenocysteine) are not in the 20-letter code.
+        assert_eq!(
+            parse_fasta(">x\nMKXL\n").unwrap_err(),
+            FastaError::BadResidue {
+                line: 2,
+                byte: b'X'
+            }
+        );
+        assert!(matches!(
+            parse_fasta(">x\nMK1L\n"),
+            Err(FastaError::BadResidue { byte: b'1', .. })
+        ));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let records = parse_fasta("; comment\n\n>x\nMKVL\n\n").unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].sequence.len(), 4);
+    }
+
+    #[test]
+    fn matching_a_fasta_corpus() {
+        use sfa_automata::pipeline::Pipeline;
+        let records = parse_fasta(">a\nAAARGDAAA\n>b\nKKKKK\n").unwrap();
+        let text = concat_sequences(&records);
+        let dfa = Pipeline::search(Alphabet::amino_acids())
+            .compile_str("RGD")
+            .unwrap();
+        assert!(dfa.accepts(&text));
+    }
+}

@@ -1,0 +1,287 @@
+//! Embedded PROSITE-syntax motif patterns.
+//!
+//! A curated sample of classic PROSITE motifs (the database's own pattern
+//! syntax; see `sfa_automata::prosite` for the grammar). Identifiers name
+//! the PROSITE entry each motif is drawn from; minor revisions across
+//! PROSITE releases may differ in detail, so treat these as
+//! "PROSITE-style motifs" for benchmarking rather than as the database of
+//! record. They span the size range the paper reports (a few DFA states
+//! up to thousands after the `Σ*·motif·Σ*` catenation).
+
+/// One embedded pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmbeddedPattern {
+    /// PROSITE-style accession the motif is drawn from.
+    pub id: &'static str,
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Pattern text in PROSITE syntax.
+    pub pattern: &'static str,
+}
+
+/// The embedded pattern sample.
+pub fn embedded_patterns() -> &'static [EmbeddedPattern] {
+    PATTERNS
+}
+
+const PATTERNS: &[EmbeddedPattern] = &[
+    EmbeddedPattern {
+        id: "PS00001",
+        name: "N-glycosylation site",
+        pattern: "N-{P}-[ST]-{P}.",
+    },
+    EmbeddedPattern {
+        id: "PS00002",
+        name: "Glycosaminoglycan attachment site",
+        pattern: "S-G-x-G.",
+    },
+    EmbeddedPattern {
+        id: "PS00004",
+        name: "cAMP/cGMP-dependent kinase phosphorylation site",
+        pattern: "[RK](2)-x-[ST].",
+    },
+    EmbeddedPattern {
+        id: "PS00005",
+        name: "Protein kinase C phosphorylation site",
+        pattern: "[ST]-x-[RK].",
+    },
+    EmbeddedPattern {
+        id: "PS00006",
+        name: "Casein kinase II phosphorylation site",
+        pattern: "[ST]-x(2)-[DE].",
+    },
+    EmbeddedPattern {
+        id: "PS00007",
+        name: "Tyrosine kinase phosphorylation site",
+        pattern: "[RK]-x(2,3)-[DE]-x(2,3)-Y.",
+    },
+    EmbeddedPattern {
+        id: "PS00008",
+        name: "N-myristoylation site",
+        pattern: "G-{EDRKHPFYW}-x(2)-[STAGCN]-{P}.",
+    },
+    EmbeddedPattern {
+        id: "PS00009",
+        name: "Amidation site",
+        pattern: "x-G-[RK]-[RK].",
+    },
+    EmbeddedPattern {
+        id: "PS00010",
+        name: "Aspartic acid / asparagine hydroxylation site",
+        pattern: "C-x-[DN]-x(4)-[FY]-x-C-x-C.",
+    },
+    EmbeddedPattern {
+        id: "PS00016",
+        name: "Cell attachment sequence (RGD)",
+        pattern: "R-G-D.",
+    },
+    EmbeddedPattern {
+        id: "PS00017",
+        name: "ATP/GTP-binding site motif A (P-loop)",
+        pattern: "[AG]-x(4)-G-K-[ST].",
+    },
+    EmbeddedPattern {
+        id: "PS00018",
+        name: "EF-hand calcium-binding domain",
+        pattern: "D-x-[DNS]-{ILVFYW}-[DENSTG]-[DNQGHRK]-{GP}-[LIVMC]-[DENQSTAGC]-x(2)-[DE]-[LIVMFYW].",
+    },
+    EmbeddedPattern {
+        id: "PS00022",
+        name: "EGF-like domain signature",
+        pattern: "C-x-C-x(2)-[GP]-[FYW]-x(4,8)-C.",
+    },
+    EmbeddedPattern {
+        id: "PS00028",
+        name: "Zinc finger C2H2 type",
+        pattern: "C-x(2,4)-C-x(3)-[LIVMFYWC]-x(8)-H-x(3,5)-H.",
+    },
+    EmbeddedPattern {
+        id: "PS00029",
+        name: "Leucine zipper",
+        pattern: "L-x(6)-L-x(6)-L-x(6)-L.",
+    },
+    EmbeddedPattern {
+        id: "PS00038",
+        name: "Myb DNA-binding domain repeat signature",
+        pattern: "W-[ST]-x(2)-E-[DE]-x(2)-[LIV].",
+    },
+    EmbeddedPattern {
+        id: "PS00039",
+        name: "Death domain-like signature",
+        pattern: "[LIVM]-x-[LIVM]-x(2)-[LIVM]-x(8,10)-[LIVMF]-x(2)-[LIVM].",
+    },
+    EmbeddedPattern {
+        id: "PS00070",
+        name: "Aldehyde dehydrogenase cysteine active site",
+        pattern: "[FYLVA]-x(2)-[GSTAC]-[GST]-x-[GST]-x(2)-[GSAE]-x-[GSAV]-[LIVMFY].",
+    },
+    EmbeddedPattern {
+        id: "PS00071",
+        name: "Glyceraldehyde 3-phosphate dehydrogenase active site",
+        pattern: "[ASV]-S-C-[NT]-T-x(2)-[LIM].",
+    },
+    EmbeddedPattern {
+        id: "PS00083",
+        name: "Multicopper oxidase signature 1",
+        pattern: "G-x-[FYW]-x-[LIVMFYW]-x-[CST]-x(8)-G-[LM]-x(3)-[LIVMFYW].",
+    },
+    EmbeddedPattern {
+        id: "PS00086",
+        name: "Cytochrome P450 cysteine heme-iron ligand",
+        pattern: "[FW]-[SGNH]-x-[GD]-{F}-[RKHPT]-{P}-C-[LIVMFAP]-[GAD].",
+    },
+    EmbeddedPattern {
+        id: "PS00087",
+        name: "Superoxide dismutase Cu/Zn signature 1",
+        pattern: "[GA]-[IMFAT]-H-[LIVF]-H-x(2)-[GP]-[SDG]-x-[STAGDE].",
+    },
+    EmbeddedPattern {
+        id: "PS00097",
+        name: "Carbamoyl-phosphate synthase subdomain signature",
+        pattern: "[FYV]-x-[ENQ]-[LIVM]-N-[APK]-R-[LIVMF]-[SQ].",
+    },
+    EmbeddedPattern {
+        id: "PS00098",
+        name: "Aminotransferase class-I pyridoxal-phosphate site",
+        pattern: "[GS]-x(2)-[KRQ]-x(5)-[LIVMFYWA]-x(2)-[ST]-[GA]-[KR].",
+    },
+    EmbeddedPattern {
+        id: "PS00107",
+        name: "Protein kinase ATP-binding region",
+        pattern: "[LIV]-G-{P}-G-{P}-[FYWMGSTNH]-[SGA]-{PW}-[LIVCAT]-{PD}-x-[GSTACLIVMFY]-x(5,18)-[LIVMFYWCSTAR]-[AIVP]-[LIVMFAGCKR]-K.",
+    },
+    EmbeddedPattern {
+        id: "PS00108",
+        name: "Serine/threonine kinase active site",
+        pattern: "[LIVMFYC]-x-[HY]-x-D-[LIVMFY]-K-x(2)-N-[LIVMFYCT](3).",
+    },
+    EmbeddedPattern {
+        id: "PS00109",
+        name: "Tyrosine kinase active site",
+        pattern: "[LIVMFYC]-{A}-[HY]-x-D-[LIVMFY]-[RSTAC]-{D}-{PF}-N-[LIVMFYC](3).",
+    },
+    EmbeddedPattern {
+        id: "PS00133",
+        name: "Tyrosine specific protein phosphatase active site",
+        pattern: "[LIVMF]-H-C-x(2)-G-x(3)-[STC]-[STAGP]-x-[LIVMFY].",
+    },
+    EmbeddedPattern {
+        id: "PS00141",
+        name: "Eukaryotic thiol (cysteine) protease active site",
+        pattern: "Q-x(3)-[GE]-x-C-[YW]-x(2)-[STAGC]-[STAGCV].",
+    },
+    EmbeddedPattern {
+        id: "PS00142",
+        name: "Zinc protease (neutral zinc metallopeptidase) signature",
+        pattern: "[GSTALIVN]-{PCHR}-{KND}-H-E-[LIVMFYW]-{DEHRKP}-H-{EKPC}-[LIVMFYWGSPQ].",
+    },
+    EmbeddedPattern {
+        id: "PS00178",
+        name: "Aminoacyl-tRNA synthetase class-I signature",
+        pattern: "P-x(0,2)-[GSTAN]-[DENQGAPK]-x-[LIVMFP]-[HT]-[LIVMYAC]-G-[HNTG]-[LIVMFYSTAGPC].",
+    },
+    EmbeddedPattern {
+        id: "PS00198",
+        name: "4Fe-4S ferredoxin-type iron-sulfur binding region",
+        pattern: "C-x(2)-C-x(2)-C-x(3)-C-[PEG].",
+    },
+    EmbeddedPattern {
+        id: "PS00211",
+        name: "ABC transporters family signature",
+        pattern: "[LIVMFYC]-[SA]-[SAPGLVFYKQH]-G-[DENQMW]-[KRQASPCLIMFW]-[KRNQSTAVM]-[KRACLVM]-[LIVMFYPAN]-{PHY}-[LIVMFW]-[SAGCLIVP]-{FYWHP}-{KRHP}-[LIVMFYWSTA].",
+    },
+    EmbeddedPattern {
+        id: "PS00213",
+        name: "Lipocalin signature",
+        pattern: "[DENG]-{A}-[DENQGSTARK]-x(0,2)-[DENQARK]-[LIVFY]-{CP}-G-{C}-W-[FYWLRH]-x-[LIVMTA].",
+    },
+    EmbeddedPattern {
+        id: "PS00215",
+        name: "Mitochondrial energy transfer proteins signature",
+        pattern: "P-x-[DE]-x-[LIVAT]-[RK]-x-[LRH]-[LIVMFY]-[QGAIVM].",
+    },
+    EmbeddedPattern {
+        id: "PS00217",
+        name: "Sugar transport proteins signature 2",
+        pattern: "[LIVMSTAG]-[LIVMFSAG]-{SH}-{RDE}-[LIVMSA]-[DE]-x-[LIVMFYWA]-G-R-[RK]-x(4,6)-[GSTA].",
+    },
+    EmbeddedPattern {
+        id: "PS00237",
+        name: "G-protein coupled receptors family 1 signature",
+        pattern: "[GSTALIVMFYWC]-[GSTANCPDE]-{EDPKRH}-x(2)-[LIVMNQGA]-x(2)-[LIVMFT]-[GSTANC]-[LIVMFYWSTAC]-[DENH]-R-[FYWCSH]-x(2)-[LIVM].",
+    },
+    EmbeddedPattern {
+        id: "PS00239",
+        name: "Receptor tyrosine kinase class II signature",
+        pattern: "[LVI]-x(2)-E-x-E-[FY]-x(2)-[LIVM].",
+    },
+    EmbeddedPattern {
+        id: "PS00301",
+        name: "G-type lectins domain signature",
+        pattern: "[LIV]-[STAG]-x-[FSTA]-x(2)-[LIVT]-x-[FYS]-[ST]-x(4)-[LIVM]-x(2)-[LIVM].",
+    },
+    EmbeddedPattern {
+        id: "PS00338",
+        name: "Pancreatic hormone family signature",
+        pattern: "[FY]-x(3)-[LIVM](2)-x(2)-[FY]-x(3)-[LIVMFY]-x(2)-[LIVM]-x(2)-[STN].",
+    },
+    EmbeddedPattern {
+        id: "PS00402",
+        name: "Binding-protein-dependent transport systems membrane component signature",
+        pattern: "[GA]-x(3)-[GSTAIV]-[LIVMFYWA](2)-x-[GSTA]-x(2)-[GSTAV]-x-[LIVMFYWPA]-x(2)-[LIVMFYW]-x(4)-[LIVMFYW].",
+    },
+    EmbeddedPattern {
+        id: "PS00599",
+        name: "Aminotransferases class-II pyridoxal-phosphate site",
+        pattern: "[LIVMFYWCS]-[LIVMFYWCAH]-x-D-[ED]-[IVA]-x(2,3)-[GAT]-[LIVMFAGCYN]-x(0,1)-[RSACLIH]-x-[GSADEHRM]-x(10,16)-[DH]-[IVFAM]-[LIVMF]-x(2)-[GS]-[ST]-Q-K.",
+    },
+    EmbeddedPattern {
+        id: "PS00606",
+        name: "Beta-ketoacyl synthases active site",
+        pattern: "G-P-x(2)-[LIVM]-x-[STAGC](2)-C-[STAG](2)-x(2)-[STAG]-x(3)-[LIVMFYWH]-x(2)-[LIVMFYWRQ]-x(2)-[GE].",
+    },
+    EmbeddedPattern {
+        id: "PS00678",
+        name: "Trp-Asp (WD-40) repeats signature",
+        pattern: "[LIVMSTAC]-[LIVMFYWSTAGC]-[LIMSTAG]-[LIVMSTAGC]-x(2)-[DN]-x(2)-[LIVMWSTAC]-{DP}-[LIVMFSTAG]-W-[DEN]-[LIVMFSTAGCN].",
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfa_automata::prosite::PrositePattern;
+
+    #[test]
+    fn every_embedded_pattern_parses() {
+        for p in embedded_patterns() {
+            PrositePattern::parse(p.pattern)
+                .unwrap_or_else(|e| panic!("{} fails to parse: {e}", p.id));
+        }
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let mut ids: Vec<&str> = embedded_patterns().iter().map(|p| p.id).collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(before, ids.len());
+    }
+
+    #[test]
+    fn collection_is_reasonably_large() {
+        assert!(embedded_patterns().len() >= 40);
+    }
+
+    #[test]
+    fn known_semantics_ps00016() {
+        use sfa_automata::pipeline::Pipeline;
+        use sfa_automata::Alphabet;
+        let dfa = Pipeline::search(Alphabet::amino_acids())
+            .compile_prosite("R-G-D.")
+            .unwrap();
+        assert!(dfa.accepts_bytes(b"AAARGDAAA").unwrap());
+        assert!(!dfa.accepts_bytes(b"ARDG").unwrap());
+    }
+}

@@ -1,0 +1,163 @@
+//! Synthetic workloads: PROSITE-syntax pattern generator and the `rN`
+//! exact-string family.
+//!
+//! The paper's 1250-pattern PROSITE sweep cannot be redistributed, so
+//! [`synthetic_prosite_patterns`] produces arbitrarily many seeded
+//! patterns with the same structural mix (single residues, `[..]`
+//! classes, `{..}` negations, bounded `x(n)`/`x(n,m)` gaps). The `r500`
+//! benchmark (an exact 500-residue string, no `Σ*` catenation — the
+//! sink-dominated shape from the original SFA paper) is re-exported from
+//! `sfa_automata::random`.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use sfa_automata::dfa::Dfa;
+
+pub use sfa_automata::random::{r500, rn};
+
+const AMINO: &[u8] = b"ACDEFGHIKLMNPQRSTVWY";
+
+/// Tuning knobs for the synthetic pattern generator.
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Minimum number of pattern elements.
+    pub min_elements: usize,
+    /// Maximum number of pattern elements.
+    pub max_elements: usize,
+    /// Maximum residues in a `[..]` / `{..}` group.
+    pub max_group: usize,
+    /// Maximum bound in `x(n)` / `x(n,m)` gaps.
+    pub max_gap: u32,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            min_elements: 3,
+            max_elements: 12,
+            max_group: 8,
+            max_gap: 6,
+        }
+    }
+}
+
+/// Generate `count` seeded PROSITE-syntax patterns.
+pub fn synthetic_prosite_patterns(count: usize, seed: u64, cfg: &SynthConfig) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|_| one_pattern(&mut rng, cfg)).collect()
+}
+
+fn one_pattern(rng: &mut StdRng, cfg: &SynthConfig) -> String {
+    let elements = rng.random_range(cfg.min_elements..=cfg.max_elements);
+    let mut parts: Vec<String> = Vec::with_capacity(elements);
+    for _ in 0..elements {
+        // Mix mirrors hand-inspected PROSITE structure: mostly single
+        // residues and classes, occasional negations and gaps.
+        let roll = rng.random_range(0..100);
+        let mut el = if roll < 40 {
+            // Single residue.
+            (AMINO[rng.random_range(0..20)] as char).to_string()
+        } else if roll < 65 {
+            // Positive class [..].
+            format!("[{}]", group(rng, cfg))
+        } else if roll < 80 {
+            // Negated class {..}.
+            format!("{{{}}}", group(rng, cfg))
+        } else {
+            // Wildcard gap.
+            "x".to_string()
+        };
+        // Repetition suffix on some elements.
+        let rep = rng.random_range(0..100);
+        if rep < 20 {
+            let a = rng.random_range(1..=cfg.max_gap);
+            el.push_str(&format!("({a})"));
+        } else if rep < 30 {
+            let a = rng.random_range(0..=cfg.max_gap.saturating_sub(1));
+            let b = rng.random_range(a.max(1)..=cfg.max_gap);
+            el.push_str(&format!("({a},{b})"));
+        }
+        parts.push(el);
+    }
+    format!("{}.", parts.join("-"))
+}
+
+fn group(rng: &mut StdRng, cfg: &SynthConfig) -> String {
+    let size = rng.random_range(2..=cfg.max_group);
+    let mut picks: Vec<u8> = AMINO.to_vec();
+    picks.shuffle(rng);
+    picks.truncate(size);
+    picks.iter().map(|&b| b as char).collect()
+}
+
+/// The `rN` family at several sizes — the paper's Table II workload shape
+/// (exact-string DFAs with sink-dominated SFA states).
+pub fn rn_family(sizes: &[usize]) -> Vec<(String, Dfa)> {
+    sizes.iter().map(|&s| (format!("r{s}"), rn(s))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfa_automata::prosite::PrositePattern;
+
+    #[test]
+    fn generated_patterns_are_valid_prosite() {
+        let patterns = synthetic_prosite_patterns(200, 123, &SynthConfig::default());
+        assert_eq!(patterns.len(), 200);
+        for p in &patterns {
+            PrositePattern::parse(p).unwrap_or_else(|e| panic!("{p} invalid: {e}"));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = synthetic_prosite_patterns(50, 9, &SynthConfig::default());
+        let b = synthetic_prosite_patterns(50, 9, &SynthConfig::default());
+        assert_eq!(a, b);
+        let c = synthetic_prosite_patterns(50, 10, &SynthConfig::default());
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn patterns_are_diverse() {
+        let patterns = synthetic_prosite_patterns(100, 5, &SynthConfig::default());
+        let distinct: std::collections::BTreeSet<&String> = patterns.iter().collect();
+        assert!(distinct.len() > 95);
+    }
+
+    #[test]
+    fn config_bounds_are_respected() {
+        let cfg = SynthConfig {
+            min_elements: 2,
+            max_elements: 3,
+            max_group: 3,
+            max_gap: 2,
+        };
+        for p in synthetic_prosite_patterns(100, 1, &cfg) {
+            let parsed = PrositePattern::parse(&p).unwrap();
+            assert!(
+                parsed.elements.len() >= 2 && parsed.elements.len() <= 3,
+                "{p}"
+            );
+            for el in &parsed.elements {
+                assert!(el.max <= 2, "{p}");
+            }
+        }
+    }
+
+    #[test]
+    fn rn_family_builds() {
+        let fam = rn_family(&[10, 50]);
+        assert_eq!(fam.len(), 2);
+        assert_eq!(fam[0].1.num_states(), 12);
+        assert_eq!(fam[1].1.num_states(), 52);
+    }
+
+    #[test]
+    fn r500_is_the_paper_shape() {
+        let dfa = r500();
+        assert_eq!(dfa.num_states(), 502);
+        assert_eq!(dfa.sink_states().len(), 1);
+    }
+}

@@ -1,0 +1,124 @@
+//! Protein-like input text generation for matching experiments (§IV-D).
+//!
+//! Residues are drawn with the approximate natural amino-acid background
+//! frequencies (UniProt-style composition), so DFA/SFA matchers see
+//! realistic transition distributions rather than uniform noise.
+//! [`protein_text_with_motif`] plants literal motif occurrences at known
+//! positions for match-correctness tests.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use sfa_automata::alphabet::{Alphabet, SymbolId};
+
+/// Amino acids in `Alphabet::amino_acids()` order with per-mille natural
+/// abundance (approximate UniProt composition; sums to 1000).
+const COMPOSITION: [(u8, u32); 20] = [
+    (b'A', 83),
+    (b'C', 14),
+    (b'D', 55),
+    (b'E', 67),
+    (b'F', 39),
+    (b'G', 71),
+    (b'H', 23),
+    (b'I', 59),
+    (b'K', 58),
+    (b'L', 97),
+    (b'M', 24),
+    (b'N', 41),
+    (b'P', 47),
+    (b'Q', 39),
+    (b'R', 55),
+    (b'S', 67),
+    (b'T', 54),
+    (b'V', 69),
+    (b'W', 11),
+    (b'Y', 27),
+];
+
+/// Generate `len` residues of protein-like text (dense symbol ids over
+/// the amino-acid alphabet), seeded.
+pub fn protein_text(len: usize, seed: u64) -> Vec<SymbolId> {
+    let alpha = Alphabet::amino_acids();
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Cumulative distribution over dense ids.
+    let mut cum = [0u32; 20];
+    let mut acc = 0u32;
+    for (i, (byte, w)) in COMPOSITION.iter().enumerate() {
+        debug_assert_eq!(alpha.encode(*byte), Some(i as SymbolId));
+        acc += w;
+        cum[i] = acc;
+    }
+    let total = acc;
+    (0..len)
+        .map(|_| {
+            let roll = rng.random_range(0..total);
+            cum.iter().position(|&c| roll < c).unwrap() as SymbolId
+        })
+        .collect()
+}
+
+/// Like [`protein_text`], but overwrite the text with `motif` (raw bytes,
+/// e.g. `b"RGD"`) at each of `positions`. Panics if a position would run
+/// past the end.
+pub fn protein_text_with_motif(
+    len: usize,
+    seed: u64,
+    motif: &[u8],
+    positions: &[usize],
+) -> Vec<SymbolId> {
+    let alpha = Alphabet::amino_acids();
+    let mut text = protein_text(len, seed);
+    let encoded = alpha
+        .encode_bytes(motif)
+        .expect("motif must be amino-acid letters");
+    for &pos in positions {
+        assert!(pos + encoded.len() <= len, "motif overruns text");
+        text[pos..pos + encoded.len()].copy_from_slice(&encoded);
+    }
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let a = protein_text(10_000, 3);
+        let b = protein_text(10_000, 3);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&s| s < 20));
+    }
+
+    #[test]
+    fn composition_roughly_matches() {
+        let text = protein_text(200_000, 11);
+        let mut counts = [0usize; 20];
+        for &s in &text {
+            counts[s as usize] += 1;
+        }
+        // Leucine (index 9) is the most abundant; tryptophan (18) rarest.
+        assert!(counts[9] > counts[18] * 4);
+        // Every residue occurs.
+        assert!(counts.iter().all(|&c| c > 0));
+        // Leucine frequency within a factor of 1.5 of nominal 9.7%.
+        let leu = counts[9] as f64 / text.len() as f64;
+        assert!((0.065..0.15).contains(&leu), "leucine at {leu}");
+    }
+
+    #[test]
+    fn planted_motifs_are_present() {
+        let text = protein_text_with_motif(1000, 7, b"RGD", &[0, 500, 997]);
+        let alpha = Alphabet::amino_acids();
+        let motif = alpha.encode_bytes(b"RGD").unwrap();
+        for &pos in &[0usize, 500, 997] {
+            assert_eq!(&text[pos..pos + 3], &motif[..], "position {pos}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overruns")]
+    fn overrunning_motif_panics() {
+        protein_text_with_motif(10, 0, b"RGD", &[9]);
+    }
+}

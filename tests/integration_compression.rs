@@ -1,0 +1,132 @@
+//! Three-phase compression integration: the stop-the-world phase under
+//! real thread counts, watermark placement sweeps, codec choices, and the
+//! memory accounting the paper's Table II reports.
+
+use sfa_core::prelude::*;
+use sfa_core::sfa::CodecChoice;
+
+#[test]
+fn watermark_sweep_always_builds_the_same_automaton() {
+    let dfa = sfa_workloads::rn(80);
+    let expected = construct_sequential(&dfa, SequentialVariant::Transposed)
+        .unwrap()
+        .sfa
+        .num_states();
+    // Watermarks from "trips immediately" to "never trips".
+    for watermark in [1usize, 1 << 10, 1 << 14, 1 << 18, 1 << 30] {
+        let opts = ParallelOptions::with_threads(4)
+            .compression(CompressionPolicy::WhenMemoryExceeds(watermark));
+        let r = construct_parallel(&dfa, &opts).unwrap();
+        assert_eq!(r.sfa.num_states(), expected, "watermark {watermark}");
+        r.sfa.validate(&dfa).unwrap();
+        // A tripped run must end compressed and report phase times.
+        if r.stats.compressed {
+            assert!(r.sfa.is_compressed());
+            assert!(r.stats.compression_secs >= 0.0);
+            assert!(
+                r.stats.phase1_secs + r.stats.compression_secs + r.stats.phase3_secs
+                    <= r.stats.total_secs + 1e-6
+            );
+        }
+    }
+}
+
+#[test]
+fn compression_shrinks_sink_dominated_states() {
+    let dfa = sfa_workloads::rn(120);
+    let opts =
+        ParallelOptions::with_threads(2).compression(CompressionPolicy::WhenMemoryExceeds(1 << 12));
+    let r = construct_parallel(&dfa, &opts).unwrap();
+    assert!(r.stats.compressed, "watermark must trip");
+    // Table II territory: sink-dominated rN states compress well.
+    assert!(
+        r.stats.compression_ratio() > 8.0,
+        "ratio only {:.1}",
+        r.stats.compression_ratio()
+    );
+    assert!(r.stats.stored_bytes < r.stats.uncompressed_bytes / 8);
+}
+
+#[test]
+fn every_codec_round_trips_through_the_engine() {
+    let dfa = sfa_workloads::rn(50);
+    let expected = construct_parallel(&dfa, &ParallelOptions::with_threads(2))
+        .unwrap()
+        .sfa
+        .num_states();
+    for codec in [
+        CodecChoice::Deflate,
+        CodecChoice::Lz77,
+        CodecChoice::Rle,
+        CodecChoice::Store,
+    ] {
+        let opts = ParallelOptions::with_threads(4)
+            .compression(CompressionPolicy::WhenMemoryExceeds(1 << 12))
+            .codec(codec);
+        let r = construct_parallel(&dfa, &opts).unwrap();
+        assert_eq!(r.sfa.num_states(), expected, "{}", codec.name());
+        r.sfa.validate(&dfa).unwrap();
+        // Store codec must yield ratio ~1; real codecs must beat it.
+        if codec == CodecChoice::Store {
+            assert!((r.stats.compression_ratio() - 1.0).abs() < 0.01);
+        } else {
+            assert!(r.stats.compression_ratio() > 2.0, "{}", codec.name());
+        }
+    }
+}
+
+#[test]
+fn compression_under_single_thread() {
+    // The phase protocol must not deadlock with one worker (it is its own
+    // barrier quorum).
+    let dfa = sfa_workloads::rn(60);
+    let opts =
+        ParallelOptions::with_threads(1).compression(CompressionPolicy::WhenMemoryExceeds(1 << 12));
+    let r = construct_parallel(&dfa, &opts).unwrap();
+    assert!(r.stats.compressed);
+    r.sfa.validate(&dfa).unwrap();
+}
+
+#[test]
+fn compression_under_many_threads() {
+    let dfa = sfa_workloads::rn(100);
+    let opts =
+        ParallelOptions::with_threads(8).compression(CompressionPolicy::WhenMemoryExceeds(1 << 13));
+    let r = construct_parallel(&dfa, &opts).unwrap();
+    assert!(r.stats.compressed);
+    r.sfa.validate(&dfa).unwrap();
+    let expected = construct_sequential(&dfa, SequentialVariant::Transposed)
+        .unwrap()
+        .sfa
+        .num_states();
+    assert_eq!(r.sfa.num_states(), expected);
+}
+
+#[test]
+fn prosite_pattern_with_compression() {
+    // A real motif (not sink-dominated): compression still round-trips,
+    // ratio is more modest than the rN family.
+    let dfa = sfa_automata::pipeline::Pipeline::search(sfa_automata::Alphabet::amino_acids())
+        .compile_prosite("C-x(2)-C-x(3)-H.")
+        .unwrap();
+    let raw = construct_parallel(&dfa, &ParallelOptions::with_threads(2)).unwrap();
+    let opts =
+        ParallelOptions::with_threads(4).compression(CompressionPolicy::WhenMemoryExceeds(1 << 12));
+    let r = construct_parallel(&dfa, &opts).unwrap();
+    assert_eq!(r.sfa.num_states(), raw.sfa.num_states());
+    r.sfa.validate(&dfa).unwrap();
+}
+
+#[test]
+fn phase_times_partition_total() {
+    let dfa = sfa_workloads::rn(80);
+    let opts =
+        ParallelOptions::with_threads(4).compression(CompressionPolicy::WhenMemoryExceeds(1 << 13));
+    let r = construct_parallel(&dfa, &opts).unwrap();
+    let s = &r.stats;
+    if s.compressed {
+        assert!(s.phase1_secs > 0.0);
+        let sum = s.phase1_secs + s.compression_secs + s.phase3_secs;
+        assert!((sum - s.total_secs).abs() < 0.05 * s.total_secs.max(0.001) + 1e-4);
+    }
+}

@@ -1,0 +1,134 @@
+//! Matching integration: parallel SFA matching must agree with the
+//! sequential DFA matcher on realistic texts, planted motifs, chunk-count
+//! sweeps and compressed SFAs.
+
+use sfa_automata::pipeline::Pipeline;
+use sfa_automata::Alphabet;
+use sfa_core::prelude::*;
+use sfa_workloads::{protein_text, protein_text_with_motif};
+
+fn build(pattern: &str) -> (sfa_automata::Dfa, sfa_core::Sfa) {
+    let dfa = Pipeline::search(Alphabet::amino_acids())
+        .compile_str(pattern)
+        .unwrap();
+    let sfa = construct_parallel(&dfa, &ParallelOptions::with_threads(4))
+        .unwrap()
+        .sfa;
+    (dfa, sfa)
+}
+
+#[test]
+fn agreement_on_protein_text() {
+    let (dfa, sfa) = build("R[GA]D");
+    for seed in 0..5 {
+        let text = protein_text(50_000, seed);
+        let expected = match_sequential(&dfa, &text);
+        for threads in [1usize, 2, 5, 16] {
+            assert_eq!(
+                match_with_sfa(&sfa, &dfa, &text, threads),
+                expected,
+                "seed {seed} threads {threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn planted_motifs_are_found() {
+    let (dfa, sfa) = build("RGD");
+    // Without the motif the text (seed 3) must not match; with it, must.
+    let clean = protein_text(20_000, 3);
+    let planted = protein_text_with_motif(20_000, 3, b"RGD", &[10_000]);
+    // The clean text could contain RGD by chance — check with the oracle.
+    let clean_expected = match_sequential(&dfa, &clean);
+    assert_eq!(match_with_sfa(&sfa, &dfa, &clean, 4), clean_expected);
+    assert!(match_with_sfa(&sfa, &dfa, &planted, 4));
+    assert!(match_sequential(&dfa, &planted));
+}
+
+#[test]
+fn motif_straddling_chunk_boundaries() {
+    // Plant the motif exactly across every chunk boundary for 4 threads.
+    let (dfa, sfa) = build("WWWWW");
+    let len = 40_000;
+    let chunk = len / 4;
+    for offset in [
+        chunk - 4,
+        chunk - 2,
+        chunk - 1,
+        2 * chunk - 3,
+        3 * chunk - 1,
+    ] {
+        let text = protein_text_with_motif(len, 9, b"WWWWW", &[offset]);
+        assert!(
+            match_with_sfa(&sfa, &dfa, &text, 4),
+            "motif at {offset} missed"
+        );
+        assert!(match_sequential(&dfa, &text));
+    }
+}
+
+#[test]
+fn compressed_sfa_matches_identically() {
+    let dfa = sfa_workloads::rn(60);
+    let raw = construct_parallel(&dfa, &ParallelOptions::with_threads(2))
+        .unwrap()
+        .sfa;
+    let compressed = construct_parallel(
+        &dfa,
+        &ParallelOptions::with_threads(2).compression(CompressionPolicy::FromStart),
+    )
+    .unwrap()
+    .sfa;
+    assert!(compressed.is_compressed());
+    for seed in 0..3 {
+        let text = protein_text(5_000, seed);
+        assert_eq!(
+            match_with_sfa(&raw, &dfa, &text, 3),
+            match_with_sfa(&compressed, &dfa, &text, 3),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn decompressed_sfa_equals_compressed() {
+    let dfa = sfa_workloads::rn(40);
+    let mut sfa = construct_parallel(
+        &dfa,
+        &ParallelOptions::with_threads(2).compression(CompressionPolicy::FromStart),
+    )
+    .unwrap()
+    .sfa;
+    let text = protein_text(2_000, 0);
+    let before = match_with_sfa(&sfa, &dfa, &text, 4);
+    sfa.decompress();
+    assert!(!sfa.is_compressed());
+    assert_eq!(match_with_sfa(&sfa, &dfa, &text, 4), before);
+    sfa.validate(&dfa).unwrap();
+}
+
+#[test]
+fn empty_and_tiny_inputs() {
+    let (dfa, sfa) = build("RG");
+    assert_eq!(
+        match_with_sfa(&sfa, &dfa, &[], 8),
+        match_sequential(&dfa, &[])
+    );
+    let alpha = Alphabet::amino_acids();
+    for text in [&b"R"[..], b"G", b"RG", b"GR"] {
+        let syms = alpha.encode_bytes(text).unwrap();
+        assert_eq!(
+            match_with_sfa(&sfa, &dfa, &syms, 8),
+            match_sequential(&dfa, &syms)
+        );
+    }
+}
+
+#[test]
+fn final_state_equals_dfa_run_on_long_text() {
+    let (dfa, sfa) = build("N[^P][ST]");
+    let matcher = ParallelMatcher::new(&sfa, &dfa);
+    let text = protein_text(100_000, 17);
+    assert_eq!(matcher.final_state(&text, 6), dfa.run(&text));
+}

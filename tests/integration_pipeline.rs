@@ -1,0 +1,110 @@
+//! End-to-end pipeline integration: pattern text → parser → NFA → DFA →
+//! minimization → SFA → validation, across pattern families and
+//! alphabets, plus the Grail+ interchange path.
+
+use sfa_automata::grail;
+use sfa_automata::pipeline::Pipeline;
+use sfa_automata::Alphabet;
+use sfa_core::prelude::*;
+
+fn check_full_pipeline(dfa: &sfa_automata::Dfa) {
+    let seq = construct_sequential(dfa, SequentialVariant::Transposed).unwrap();
+    seq.sfa.validate(dfa).unwrap();
+    let par = construct_parallel(dfa, &ParallelOptions::with_threads(3)).unwrap();
+    par.sfa.validate(dfa).unwrap();
+    assert_eq!(seq.sfa.num_states(), par.sfa.num_states());
+}
+
+#[test]
+fn regex_patterns_end_to_end() {
+    let pipeline = Pipeline::search(Alphabet::amino_acids());
+    for pattern in [
+        "RG",
+        "R[GA]N",
+        "R{2,4}G",
+        "(RG|GR)N?",
+        "[^P][ST][^P]",
+        "A.{3}K[ST]",
+    ] {
+        let dfa = pipeline.compile_str(pattern).unwrap();
+        check_full_pipeline(&dfa);
+    }
+}
+
+#[test]
+fn prosite_patterns_end_to_end() {
+    let pipeline = Pipeline::search(Alphabet::amino_acids());
+    for pattern in [
+        "N-{P}-[ST]-{P}.",
+        "R-G-D.",
+        "[AG]-x(4)-G-K-[ST].",
+        "C-x(2,4)-C.",
+        "<M-x(2)-[DE].",
+        "S-G-x-G.",
+    ] {
+        let dfa = pipeline.compile_prosite(pattern).unwrap();
+        check_full_pipeline(&dfa);
+    }
+}
+
+#[test]
+fn embedded_prosite_sample_end_to_end() {
+    // Small-to-mid embedded motifs through the whole stack.
+    let workloads = sfa_workloads::prosite_workloads(Some(600));
+    assert!(workloads.len() >= 10);
+    for w in workloads.iter() {
+        check_full_pipeline(&w.dfa);
+    }
+}
+
+#[test]
+fn grail_round_trip_preserves_sfa() {
+    let pipeline = Pipeline::search(Alphabet::amino_acids());
+    let dfa = pipeline.compile_str("R[GA]{2}N").unwrap();
+    let text = grail::write_dfa(&dfa);
+    let back = grail::read_dfa(&text, Some(dfa.alphabet().clone())).unwrap();
+    assert!(dfa.isomorphic(&back));
+    let a = construct_sequential(&dfa, SequentialVariant::Transposed).unwrap();
+    let b = construct_sequential(&back, SequentialVariant::Transposed).unwrap();
+    assert_eq!(a.sfa.num_states(), b.sfa.num_states());
+}
+
+#[test]
+fn byte_alphabet_end_to_end() {
+    let pipeline = Pipeline::search(Alphabet::printable_ascii());
+    let dfa = pipeline.compile_str(r"GET /[a-z]+").unwrap();
+    check_full_pipeline(&dfa);
+    assert!(dfa.accepts_bytes(b"xx GET /admin yy").unwrap());
+    assert!(!dfa.accepts_bytes(b"POST /admin").unwrap());
+}
+
+#[test]
+fn binary_alphabet_end_to_end() {
+    let pipeline = Pipeline::search(Alphabet::binary());
+    let dfa = pipeline.compile_str("1{3}0").unwrap();
+    check_full_pipeline(&dfa);
+    assert!(dfa.accepts_bytes(b"0011100").unwrap());
+    assert!(!dfa.accepts_bytes(b"110110").unwrap());
+}
+
+#[test]
+fn exact_vs_search_semantics() {
+    let search = Pipeline::search(Alphabet::amino_acids())
+        .compile_str("RG")
+        .unwrap();
+    let exact = Pipeline::exact(Alphabet::amino_acids())
+        .compile_str("RG")
+        .unwrap();
+    assert!(search.accepts_bytes(b"AARGA").unwrap());
+    assert!(!exact.accepts_bytes(b"AARGA").unwrap());
+    assert!(exact.accepts_bytes(b"RG").unwrap());
+    check_full_pipeline(&exact);
+}
+
+#[test]
+fn rn_family_end_to_end() {
+    for n in [5usize, 20, 60] {
+        let dfa = sfa_workloads::rn(n);
+        check_full_pipeline(&dfa);
+    }
+}

@@ -1,0 +1,242 @@
+//! Property-based integration tests over the whole stack.
+
+use proptest::prelude::*;
+use sfa_automata::pipeline::Pipeline;
+use sfa_automata::random::random_dfa;
+use sfa_automata::Alphabet;
+use sfa_core::prelude::*;
+use sfa_core::sfa::Sfa;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// For random small DFAs the SFA must validate and agree between the
+    /// sequential and parallel engines.
+    #[test]
+    fn prop_random_dfa_sfa_is_consistent(
+        states in 2u32..6,
+        accept_prob in 0.1f64..0.9,
+        seed in any::<u64>(),
+    ) {
+        let alpha = Alphabet::binary();
+        let dfa = random_dfa(&alpha, states, accept_prob, seed);
+        let seq = construct_sequential(&dfa, SequentialVariant::Transposed).unwrap();
+        seq.sfa.validate(&dfa).unwrap();
+        let par = construct_parallel(&dfa, &ParallelOptions::with_threads(2)).unwrap();
+        par.sfa.validate(&dfa).unwrap();
+        prop_assert_eq!(seq.sfa.num_states(), par.sfa.num_states());
+        // SFA states are functions Q → Q: there can never be more than n^n,
+        // and there is always at least the identity.
+        let bound = (states as u64).pow(states);
+        prop_assert!(seq.sfa.num_states() as u64 <= bound);
+        prop_assert!(seq.sfa.num_states() >= 1);
+    }
+
+    /// The SFA's defining property: running the SFA over any input gives
+    /// the mapping q ↦ δ*(q, input) for EVERY q simultaneously.
+    #[test]
+    fn prop_sfa_simulates_all_start_states(
+        seed in any::<u64>(),
+        input in proptest::collection::vec(0u8..2, 0..60),
+    ) {
+        let alpha = Alphabet::binary();
+        let dfa = random_dfa(&alpha, 4, 0.4, seed);
+        let sfa = construct_sequential(&dfa, SequentialVariant::Transposed)
+            .unwrap()
+            .sfa;
+        let s = sfa.run(&input);
+        let mapping = sfa.mapping_of(s);
+        for q in 0..dfa.num_states() {
+            prop_assert_eq!(mapping[q as usize], dfa.run_from(q, &input));
+        }
+    }
+
+    /// Mapping composition is associative and compatible with
+    /// concatenation — the foundation of the parallel-match reduction.
+    #[test]
+    fn prop_mapping_composition_associative(
+        seed in any::<u64>(),
+        a in proptest::collection::vec(0u8..2, 0..30),
+        b in proptest::collection::vec(0u8..2, 0..30),
+        c in proptest::collection::vec(0u8..2, 0..30),
+    ) {
+        let alpha = Alphabet::binary();
+        let dfa = random_dfa(&alpha, 4, 0.4, seed);
+        let sfa = construct_sequential(&dfa, SequentialVariant::Transposed)
+            .unwrap()
+            .sfa;
+        let fa = sfa.mapping_of(sfa.run(&a));
+        let fb = sfa.mapping_of(sfa.run(&b));
+        let fc = sfa.mapping_of(sfa.run(&c));
+        let left = Sfa::compose(&Sfa::compose(&fa, &fb), &fc);
+        let right = Sfa::compose(&fa, &Sfa::compose(&fb, &fc));
+        prop_assert_eq!(&left, &right);
+        // And composition equals concatenation.
+        let abc: Vec<u8> = a.iter().chain(&b).chain(&c).copied().collect();
+        let direct = sfa.mapping_of(sfa.run(&abc));
+        prop_assert_eq!(left, direct);
+    }
+
+    /// Parallel matching agrees with the sequential matcher for random
+    /// patterns and random texts.
+    #[test]
+    fn prop_matchers_agree(
+        text in proptest::collection::vec(0u8..20, 0..300),
+        threads in 1usize..6,
+        pattern_pick in 0usize..4,
+    ) {
+        let patterns = ["RG", "R[GA]N", "N[^P][ST]", "[RK]{2}"];
+        let dfa = Pipeline::search(Alphabet::amino_acids())
+            .compile_str(patterns[pattern_pick])
+            .unwrap();
+        let sfa = construct_sequential(&dfa, SequentialVariant::Transposed)
+            .unwrap()
+            .sfa;
+        prop_assert_eq!(
+            match_with_sfa(&sfa, &dfa, &text, threads),
+            match_sequential(&dfa, &text)
+        );
+    }
+
+    /// Grail+ serialization round-trips arbitrary random DFAs.
+    #[test]
+    fn prop_grail_round_trip(states in 1u32..20, seed in any::<u64>()) {
+        let alpha = Alphabet::lowercase();
+        let dfa = random_dfa(&alpha, states, 0.3, seed);
+        let text = sfa_automata::grail::write_dfa(&dfa);
+        let back = sfa_automata::grail::read_dfa(&text, Some(alpha)).unwrap();
+        prop_assert!(dfa.isomorphic(&back));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Compressed construction preserves the automaton for random DFAs.
+    #[test]
+    fn prop_compression_preserves_automaton(seed in any::<u64>()) {
+        let alpha = Alphabet::binary();
+        let dfa = random_dfa(&alpha, 5, 0.4, seed);
+        let raw = construct_parallel(&dfa, &ParallelOptions::with_threads(2)).unwrap();
+        let compressed = construct_parallel(
+            &dfa,
+            &ParallelOptions::with_threads(2).compression(CompressionPolicy::FromStart),
+        )
+        .unwrap();
+        prop_assert_eq!(raw.sfa.num_states(), compressed.sfa.num_states());
+        compressed.sfa.validate(&dfa).unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Hopcroft and Brzozowski minimization agree on random DFAs — two
+    /// completely independent algorithms, one oracle.
+    #[test]
+    fn prop_minimizers_agree(states in 2u32..10, seed in any::<u64>()) {
+        let alpha = Alphabet::binary();
+        let dfa = random_dfa(&alpha, states, 0.35, seed);
+        let hopcroft = sfa_automata::minimize::minimize(&dfa);
+        let brzozowski =
+            sfa_automata::brzozowski::minimize_brzozowski(&dfa, Some(100_000)).unwrap();
+        prop_assert!(hopcroft.isomorphic(&brzozowski));
+    }
+
+    /// The lazy SFA and the batch engine agree on every verdict, and the
+    /// lazy SFA never discovers more distinct states than the full SFA has.
+    #[test]
+    fn prop_lazy_agrees_with_batch(
+        seed in any::<u64>(),
+        input in proptest::collection::vec(0u8..2, 0..120),
+    ) {
+        let alpha = Alphabet::binary();
+        let dfa = random_dfa(&alpha, 4, 0.4, seed);
+        let batch = construct_parallel(&dfa, &ParallelOptions::with_threads(2)).unwrap();
+        let lazy = sfa_core::lazy::LazySfa::new(&dfa, 1 << 14).unwrap();
+        prop_assert_eq!(
+            lazy.matches(&input, 3).unwrap(),
+            match_sequential(&dfa, &input)
+        );
+        let final_lazy = lazy.run(&input).unwrap();
+        prop_assert_eq!(
+            lazy.apply(final_lazy, dfa.start()),
+            dfa.run(&input)
+        );
+        // Arena may hold a few race losers, never more than full + slack.
+        prop_assert!(lazy.states_built() <= batch.sfa.num_states() + 4);
+    }
+
+    /// Binary serialization round-trips any constructed SFA.
+    #[test]
+    fn prop_io_round_trip(seed in any::<u64>(), compress in any::<bool>()) {
+        let alpha = Alphabet::binary();
+        let dfa = random_dfa(&alpha, 5, 0.4, seed);
+        let opts = if compress {
+            ParallelOptions::with_threads(2).compression(CompressionPolicy::FromStart)
+        } else {
+            ParallelOptions::with_threads(2)
+        };
+        let sfa = construct_parallel(&dfa, &opts).unwrap().sfa;
+        let back = sfa_core::io::from_bytes(&sfa_core::io::to_bytes(&sfa)).unwrap();
+        prop_assert_eq!(back.num_states(), sfa.num_states());
+        back.validate(&dfa).unwrap();
+    }
+
+    /// Parallel occurrence counting equals the sequential count for any
+    /// DFA (the property needs no scanner semantics — it counts accepting
+    /// positions).
+    #[test]
+    fn prop_count_matches_agrees(
+        seed in any::<u64>(),
+        input in proptest::collection::vec(0u8..2, 0..200),
+        threads in 1usize..5,
+    ) {
+        let alpha = Alphabet::binary();
+        let dfa = random_dfa(&alpha, 5, 0.4, seed);
+        let sfa = construct_sequential(&dfa, SequentialVariant::Transposed)
+            .unwrap()
+            .sfa;
+        let matcher = ParallelMatcher::new(&sfa, &dfa);
+        prop_assert_eq!(
+            matcher.count_matches(&input, threads),
+            sfa_core::matcher::count_matches_sequential(&dfa, &input)
+        );
+    }
+
+    /// find_first_match equals the sequential first-accept position.
+    #[test]
+    fn prop_first_match_agrees(
+        seed in any::<u64>(),
+        input in proptest::collection::vec(0u8..2, 0..200),
+        threads in 1usize..5,
+    ) {
+        let alpha = Alphabet::binary();
+        let dfa = random_dfa(&alpha, 5, 0.4, seed);
+        let sfa = construct_sequential(&dfa, SequentialVariant::Transposed)
+            .unwrap()
+            .sfa;
+        let matcher = ParallelMatcher::new(&sfa, &dfa);
+        prop_assert_eq!(
+            matcher.find_first_match(&input, threads),
+            sfa_core::matcher::find_first_match_sequential(&dfa, &input)
+        );
+    }
+
+    /// The probabilistic engine (dense random Rabin moduli) produces the
+    /// exact automaton on these sizes.
+    #[test]
+    fn prop_probabilistic_is_exact_at_small_scale(seed in any::<u64>()) {
+        let alpha = Alphabet::binary();
+        let dfa = random_dfa(&alpha, 5, 0.4, seed);
+        let exact = construct_parallel(&dfa, &ParallelOptions::with_threads(2)).unwrap();
+        let prob = construct_parallel(
+            &dfa,
+            &ParallelOptions::with_threads(2)
+                .probabilistic(sfa_core::parallel::FingerprintAlgo::Rabin),
+        )
+        .unwrap();
+        prop_assert_eq!(prob.sfa.num_states(), exact.sfa.num_states());
+        prob.sfa.validate(&dfa).unwrap();
+    }
+}
