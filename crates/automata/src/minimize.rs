@@ -317,7 +317,6 @@ mod tests {
             let min = minimize(&dfa);
             assert!(min.num_states() <= dfa.num_states());
             // Spot-check language equality on random inputs.
-            use rand::prelude::*;
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 999);
             for _ in 0..100 {
                 let len = rng.random_range(0..40);

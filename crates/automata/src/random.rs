@@ -13,7 +13,6 @@
 
 use crate::alphabet::{Alphabet, SymbolId};
 use crate::dfa::{Dfa, DfaBuilder, StateId};
-use rand::prelude::*;
 use rand::rngs::StdRng;
 
 /// Build the DFA recognizing exactly one random string of length `len`

@@ -37,7 +37,7 @@ fn bench_ablations(c: &mut Criterion) {
     ];
     for (name, opts) in configs {
         group.bench_with_input(BenchmarkId::new("r120", name), &dfa, |b, dfa| {
-            b.iter(|| black_box(construct_parallel(black_box(dfa), &opts).unwrap()))
+            b.iter(|| black_box(Sfa::builder(black_box(dfa)).options(&opts).build().unwrap()))
         });
     }
     group.finish();

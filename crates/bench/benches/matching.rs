@@ -9,7 +9,9 @@ fn bench_matching(c: &mut Criterion) {
     let mut group = c.benchmark_group("matching");
     group.sample_size(10);
     let dfa = sfa_workloads::rn(150);
-    let sfa = construct_parallel(&dfa, &ParallelOptions::with_threads(4))
+    let sfa = Sfa::builder(&dfa)
+        .options(&ParallelOptions::with_threads(4))
+        .build()
         .unwrap()
         .sfa;
     for len in [100_000usize, 1_000_000] {

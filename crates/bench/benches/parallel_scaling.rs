@@ -11,13 +11,18 @@ fn bench_scaling(c: &mut Criterion) {
     let dfa = sfa_workloads::rn(150);
     group.bench_function("sequential_transposed", |b| {
         b.iter(|| {
-            black_box(construct_sequential(black_box(&dfa), SequentialVariant::Transposed).unwrap())
+            black_box(
+                Sfa::builder(black_box(&dfa))
+                    .sequential(SequentialVariant::Transposed)
+                    .build()
+                    .unwrap(),
+            )
         })
     });
     for threads in [1usize, 2, 4, 8] {
         group.bench_with_input(BenchmarkId::new("threads", threads), &dfa, |b, dfa| {
             let opts = ParallelOptions::with_threads(threads);
-            b.iter(|| black_box(construct_parallel(black_box(dfa), &opts).unwrap()))
+            b.iter(|| black_box(Sfa::builder(black_box(dfa)).options(&opts).build().unwrap()))
         });
     }
     group.finish();

@@ -20,7 +20,7 @@ fn bench_engine_schedulers(c: &mut Criterion) {
         for threads in [2usize, 4] {
             group.bench_with_input(BenchmarkId::new(label, threads), &dfa, |b, dfa| {
                 let opts = ParallelOptions::with_threads(threads).scheduler(sched);
-                b.iter(|| black_box(construct_parallel(black_box(dfa), &opts).unwrap()))
+                b.iter(|| black_box(Sfa::builder(black_box(dfa)).options(&opts).build().unwrap()))
             });
         }
     }

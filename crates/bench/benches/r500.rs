@@ -16,13 +16,20 @@ fn bench_rn(c: &mut Criterion) {
         ("transposed", SequentialVariant::Transposed),
     ] {
         group.bench_with_input(BenchmarkId::new("seq", label), &dfa, |b, dfa| {
-            b.iter(|| black_box(construct_sequential(black_box(dfa), variant).unwrap()))
+            b.iter(|| {
+                black_box(
+                    Sfa::builder(black_box(dfa))
+                        .sequential(variant)
+                        .build()
+                        .unwrap(),
+                )
+            })
         });
     }
     for threads in [1usize, 2, 4] {
         group.bench_with_input(BenchmarkId::new("parallel", threads), &dfa, |b, dfa| {
             let opts = ParallelOptions::with_threads(threads);
-            b.iter(|| black_box(construct_parallel(black_box(dfa), &opts).unwrap()))
+            b.iter(|| black_box(Sfa::builder(black_box(dfa)).options(&opts).build().unwrap()))
         });
     }
     group.finish();

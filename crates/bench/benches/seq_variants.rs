@@ -29,7 +29,14 @@ fn bench_seq_variants(c: &mut Criterion) {
             ("transposed", SequentialVariant::Transposed),
         ] {
             group.bench_with_input(BenchmarkId::new(label, name), dfa, |b, dfa| {
-                b.iter(|| black_box(construct_sequential(black_box(dfa), variant).unwrap()))
+                b.iter(|| {
+                    black_box(
+                        Sfa::builder(black_box(dfa))
+                            .sequential(variant)
+                            .build()
+                            .unwrap(),
+                    )
+                })
             });
         }
     }

@@ -25,7 +25,6 @@ use sfa_bench::records::{self, CompressionRow, HashRow, MatchRow, QueueRow, Scal
 use sfa_bench::workloads::{cap_dfa_size, evaluation_suite};
 use sfa_bench::{median, time_once, PlatformInfo};
 use sfa_core::prelude::*;
-use sfa_core::sequential::construct_sequential_budgeted;
 use sfa_hash::{CityFingerprinter, Fingerprinter, FxFingerprinter, RabinFingerprinter};
 use sfa_workloads::{protein_text, rn};
 use std::process::ExitCode;
@@ -181,20 +180,28 @@ fn fig4(cfg: &Config) -> Result<(), String> {
         // Rust's BTreeMap and the pointer-per-node treap (speedups below
         // use the pointer tree, matching the paper's baseline class).
         let (bt, rb) = time_once(|| {
-            construct_sequential_budgeted(&w.dfa, SequentialVariant::Baseline, state_budget)
+            Sfa::builder(&w.dfa)
+                .sequential(SequentialVariant::Baseline)
+                .state_budget(state_budget)
+                .build()
         });
         let (b, _) = time_once(|| {
-            construct_sequential_budgeted(
-                &w.dfa,
-                SequentialVariant::BaselinePointerTree,
-                state_budget,
-            )
+            Sfa::builder(&w.dfa)
+                .sequential(SequentialVariant::BaselinePointerTree)
+                .state_budget(state_budget)
+                .build()
         });
         let (h, _) = time_once(|| {
-            construct_sequential_budgeted(&w.dfa, SequentialVariant::Hashing, state_budget)
+            Sfa::builder(&w.dfa)
+                .sequential(SequentialVariant::Hashing)
+                .state_budget(state_budget)
+                .build()
         });
         let (t, _) = time_once(|| {
-            construct_sequential_budgeted(&w.dfa, SequentialVariant::Transposed, state_budget)
+            Sfa::builder(&w.dfa)
+                .sequential(SequentialVariant::Transposed)
+                .state_budget(state_budget)
+                .build()
         });
         let Ok(rb) = rb else { continue };
         let row = SeqRow {
@@ -246,12 +253,23 @@ fn r500_seq(cfg: &Config) -> Result<(), String> {
     let budget = 1 << 22;
     println!("r{} ({} DFA states):", cfg.rn_size, dfa.num_states());
     let (b, rb) = time_once(|| {
-        construct_sequential_budgeted(&dfa, SequentialVariant::BaselinePointerTree, budget)
+        Sfa::builder(&dfa)
+            .sequential(SequentialVariant::BaselinePointerTree)
+            .state_budget(budget)
+            .build()
     });
-    let (h, _) =
-        time_once(|| construct_sequential_budgeted(&dfa, SequentialVariant::Hashing, budget));
-    let (t, _) =
-        time_once(|| construct_sequential_budgeted(&dfa, SequentialVariant::Transposed, budget));
+    let (h, _) = time_once(|| {
+        Sfa::builder(&dfa)
+            .sequential(SequentialVariant::Hashing)
+            .state_budget(budget)
+            .build()
+    });
+    let (t, _) = time_once(|| {
+        Sfa::builder(&dfa)
+            .sequential(SequentialVariant::Transposed)
+            .state_budget(budget)
+            .build()
+    });
     let states = rb.map(|r| r.sfa.num_states()).unwrap_or(0);
     let row = SeqRow {
         name: format!("r{}", cfg.rn_size),
@@ -294,14 +312,20 @@ fn fig5(cfg: &Config) -> Result<(), String> {
     let mut rows = Vec::new();
     for w in &suite {
         let seq = sfa_bench::time_secs(cfg.runs, || {
-            let _ = construct_sequential(&w.dfa, SequentialVariant::Transposed);
+            let _ = Sfa::builder(&w.dfa)
+                .sequential(SequentialVariant::Transposed)
+                .build();
         });
-        let states = construct_sequential(&w.dfa, SequentialVariant::Transposed)
+        let states = Sfa::builder(&w.dfa)
+            .sequential(SequentialVariant::Transposed)
+            .build()
             .map(|r| r.sfa.num_states())
             .unwrap_or(0);
         for &t in &cfg.threads {
             let par = sfa_bench::time_secs(cfg.runs, || {
-                let _ = construct_parallel(&w.dfa, &ParallelOptions::with_threads(t));
+                let _ = Sfa::builder(&w.dfa)
+                    .options(&ParallelOptions::with_threads(t))
+                    .build();
             });
             let row = ScaleRow {
                 name: w.name.clone(),
@@ -372,7 +396,10 @@ fn queues(cfg: &Config) -> Result<(), String> {
             let opts = ParallelOptions::with_threads(t).scheduler(sched);
             let mut contention = Default::default();
             let secs = sfa_bench::time_secs(cfg.runs, || {
-                let r = construct_parallel(&dfa, &opts).expect("construction failed");
+                let r = Sfa::builder(&dfa)
+                    .options(&opts)
+                    .build()
+                    .expect("construction failed");
                 contention = r.stats.contention;
             });
             let row = QueueRow {
@@ -425,7 +452,7 @@ fn table2(cfg: &Config) -> Result<(), String> {
         let opts = ParallelOptions::with_threads(*cfg.threads.last().unwrap())
             .compression(CompressionPolicy::WhenMemoryExceeds(watermark))
             .state_budget(1 << 22);
-        let (with_secs, with_result) = time_once(|| construct_parallel(&dfa, &opts));
+        let (with_secs, with_result) = time_once(|| Sfa::builder(&dfa).options(&opts).build());
         let with_result = with_result.map_err(|e| e.to_string())?;
         let states = with_result.stats.states;
         let uncompressed = with_result.stats.uncompressed_bytes;
@@ -437,7 +464,7 @@ fn table2(cfg: &Config) -> Result<(), String> {
         let without = if uncompressed <= mem_budget {
             let opts =
                 ParallelOptions::with_threads(*cfg.threads.last().unwrap()).state_budget(1 << 22);
-            let (secs, r) = time_once(|| construct_parallel(&dfa, &opts));
+            let (secs, r) = time_once(|| Sfa::builder(&dfa).options(&opts).build());
             r.map_err(|e| e.to_string())?;
             Some(secs)
         } else {
@@ -483,7 +510,6 @@ fn codecs(cfg: &Config) -> Result<(), String> {
     // methodology) for an rN automaton and a PROSITE automaton, surveyed
     // separately: the paper's 95x claim is for the sink-dominated rN
     // family; the 17-30x range is for PROSITE SFAs.
-    #[derive(serde::Serialize)]
     struct CodecRow {
         source: String,
         codec: String,
@@ -491,6 +517,13 @@ fn codecs(cfg: &Config) -> Result<(), String> {
         compressed_bytes: usize,
         ratio: f64,
     }
+    sfa_json::impl_to_json!(CodecRow {
+        source,
+        codec,
+        input_bytes,
+        compressed_bytes,
+        ratio,
+    });
     let mut out = Vec::new();
     let mut sources: Vec<(String, Vec<Vec<u8>>)> = Vec::new();
     let rn_dfa = rn(cfg.rn_size.min(300));
@@ -539,8 +572,10 @@ fn codecs(cfg: &Config) -> Result<(), String> {
 }
 
 fn sample_states(dfa: &Dfa, count: usize) -> Result<Vec<Vec<u8>>, String> {
-    let result =
-        construct_parallel(dfa, &ParallelOptions::with_threads(2)).map_err(|e| e.to_string())?;
+    let result = Sfa::builder(dfa)
+        .options(&ParallelOptions::with_threads(2))
+        .build()
+        .map_err(|e| e.to_string())?;
     let sfa = result.sfa;
     let n_states = sfa.num_states().max(1);
     Ok((0..count)
@@ -564,8 +599,11 @@ fn sample_states(dfa: &Dfa, count: usize) -> Result<Vec<Vec<u8>>, String> {
 fn matching(cfg: &Config) -> Result<(), String> {
     let dfa = rn(cfg.rn_size.min(if cfg.quick { 150 } else { 500 }));
     let threads = *cfg.threads.last().unwrap();
-    let (construction_secs, result) =
-        time_once(|| construct_parallel(&dfa, &ParallelOptions::with_threads(threads)));
+    let (construction_secs, result) = time_once(|| {
+        Sfa::builder(&dfa)
+            .options(&ParallelOptions::with_threads(threads))
+            .build()
+    });
     let result = result.map_err(|e| e.to_string())?;
     let sfa = result.sfa;
     let sizes: &[usize] = if cfg.quick {
@@ -692,7 +730,6 @@ fn ablations(cfg: &Config) -> Result<(), String> {
         dfa.num_states() - 2
     );
 
-    #[derive(serde::Serialize)]
     struct AblationRow {
         name: String,
         secs: f64,
@@ -700,12 +737,22 @@ fn ablations(cfg: &Config) -> Result<(), String> {
         exhaustive_compares: u64,
         stored_bytes: u64,
     }
+    sfa_json::impl_to_json!(AblationRow {
+        name,
+        secs,
+        states,
+        exhaustive_compares,
+        stored_bytes,
+    });
     let mut rows = Vec::new();
     let mut run = |name: &str, opts: ParallelOptions| -> Result<(), String> {
         let secs = sfa_bench::time_secs(cfg.runs, || {
-            let _ = construct_parallel(&dfa, &opts);
+            let _ = Sfa::builder(&dfa).options(&opts).build();
         });
-        let r = construct_parallel(&dfa, &opts).map_err(|e| e.to_string())?;
+        let r = Sfa::builder(&dfa)
+            .options(&opts)
+            .build()
+            .map_err(|e| e.to_string())?;
         println!(
             "  {:<28} {:>10.4} s   {:>8} states  {:>12} compares  {:>10} bytes",
             name,

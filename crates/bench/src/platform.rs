@@ -3,10 +3,8 @@
 //! cache sizes, memory), read from `/proc` and `/sys` on Linux with
 //! fallbacks elsewhere.
 
-use serde::Serialize;
-
 /// What we can detect about the machine.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PlatformInfo {
     /// CPU model string.
     pub cpu_model: String,
@@ -21,6 +19,15 @@ pub struct PlatformInfo {
     /// OS description.
     pub os: String,
 }
+
+sfa_json::impl_to_json!(PlatformInfo {
+    cpu_model,
+    logical_cpus,
+    cpu_mhz,
+    total_memory_bytes,
+    simd,
+    os,
+});
 
 impl PlatformInfo {
     /// Probe the current machine.

@@ -4,23 +4,22 @@
 //! JSON record to `results/<experiment>.json`, so EXPERIMENTS.md numbers
 //! are regenerable and diffable.
 
-use serde::Serialize;
+use sfa_json::ToJson;
 use std::path::Path;
 
 /// Serialize `record` as pretty JSON into `results/<name>.json`
 /// (best-effort; printing is the primary output channel).
-pub fn write_record<T: Serialize>(name: &str, record: &T) -> std::io::Result<()> {
+pub fn write_record<T: ToJson + ?Sized>(name: &str, record: &T) -> std::io::Result<()> {
     let dir = Path::new("results");
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{name}.json"));
-    let json = serde_json::to_string_pretty(record)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    let json = sfa_json::to_string_pretty(record);
     std::fs::write(&path, json)?;
     Ok(())
 }
 
 /// One row of a sequential-variant comparison (Fig. 4 / r500 table).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SeqRow {
     /// Workload name.
     pub name: String,
@@ -36,6 +35,15 @@ pub struct SeqRow {
     pub transposed_secs: f64,
 }
 
+sfa_json::impl_to_json!(SeqRow {
+    name,
+    dfa_states,
+    sfa_states,
+    baseline_secs,
+    hashing_secs,
+    transposed_secs,
+});
+
 impl SeqRow {
     /// Speedup of hashing over baseline.
     pub fn hashing_speedup(&self) -> f64 {
@@ -49,7 +57,7 @@ impl SeqRow {
 }
 
 /// One row of the parallel-scaling experiment (Fig. 5).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ScaleRow {
     /// Workload name.
     pub name: String,
@@ -63,6 +71,14 @@ pub struct ScaleRow {
     pub parallel_secs: f64,
 }
 
+sfa_json::impl_to_json!(ScaleRow {
+    name,
+    sfa_states,
+    threads,
+    sequential_secs,
+    parallel_secs,
+});
+
 impl ScaleRow {
     /// Parallel speedup over the best sequential variant.
     pub fn speedup(&self) -> f64 {
@@ -71,7 +87,7 @@ impl ScaleRow {
 }
 
 /// One row of the Table II compression experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CompressionRow {
     /// Workload name.
     pub name: String,
@@ -91,8 +107,19 @@ pub struct CompressionRow {
     pub ratio: f64,
 }
 
+sfa_json::impl_to_json!(CompressionRow {
+    name,
+    dfa_states,
+    sfa_states,
+    uncompressed_bytes,
+    time_without_secs,
+    compressed_bytes,
+    time_with_secs,
+    ratio,
+});
+
 /// One row of the queue comparison (E4 / §IV-B).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct QueueRow {
     /// Scheduler name.
     pub scheduler: String,
@@ -106,8 +133,16 @@ pub struct QueueRow {
     pub conflict_events: u64,
 }
 
+sfa_json::impl_to_json!(QueueRow {
+    scheduler,
+    threads,
+    secs,
+    cas_failures,
+    conflict_events,
+});
+
 /// One row of the matching break-even experiment (E7 / §IV-D).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct MatchRow {
     /// Input length in residues.
     pub input_len: usize,
@@ -121,6 +156,14 @@ pub struct MatchRow {
     pub threads: usize,
 }
 
+sfa_json::impl_to_json!(MatchRow {
+    input_len,
+    sequential_secs,
+    construction_secs,
+    sfa_match_secs,
+    threads,
+});
+
 impl MatchRow {
     /// Total SFA-path cost including construction.
     pub fn sfa_total_secs(&self) -> f64 {
@@ -129,7 +172,7 @@ impl MatchRow {
 }
 
 /// One row of the hash-throughput experiment (E8 / §III-A).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct HashRow {
     /// Hash function name.
     pub name: String,
@@ -139,6 +182,12 @@ pub struct HashRow {
     /// the frequency is unknown).
     pub bytes_per_cycle: f64,
 }
+
+sfa_json::impl_to_json!(HashRow {
+    name,
+    bytes_per_sec,
+    bytes_per_cycle,
+});
 
 #[cfg(test)]
 mod tests {

@@ -2,7 +2,6 @@
 
 use crate::args::Parsed;
 use crate::{dfa_from_args, parallel_options};
-use serde::Serialize;
 use sfa_automata::grail;
 use sfa_automata::Alphabet;
 use sfa_core::prelude::*;
@@ -21,7 +20,6 @@ pub fn compile(parsed: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
-#[derive(Serialize)]
 struct BuildReport {
     dfa_states: u32,
     sfa_states: u32,
@@ -42,6 +40,27 @@ struct BuildReport {
     steal_attempts: u64,
     steal_successes: u64,
 }
+
+sfa_json::impl_to_json!(BuildReport {
+    dfa_states,
+    sfa_states,
+    threads,
+    total_secs,
+    phase1_secs,
+    compression_secs,
+    phase3_secs,
+    compressed,
+    uncompressed_bytes,
+    stored_bytes,
+    compression_ratio,
+    candidates,
+    duplicates,
+    exhaustive_compares,
+    fingerprint_collisions,
+    cas_failures,
+    steal_attempts,
+    steal_successes,
+});
 
 impl BuildReport {
     fn new(dfa_states: u32, sfa_states: u32, s: &ConstructionStats) -> Self {
@@ -97,10 +116,37 @@ impl BuildReport {
     }
 }
 
+/// Structured report for a build the budget governor aborted.
+fn budget_error_json(err: &SfaError) -> sfa_json::Value {
+    use sfa_json::{ToJson, Value};
+    let mut fields: Vec<(String, Value)> = vec![("error".to_string(), err.to_string().to_json())];
+    let progress = match err {
+        SfaError::BudgetExceeded { resource, progress } => {
+            fields.push(("resource".to_string(), resource.to_string().to_json()));
+            Some(progress)
+        }
+        SfaError::Cancelled { progress } => {
+            fields.push(("resource".to_string(), "cancelled".to_json()));
+            Some(progress)
+        }
+        _ => None,
+    };
+    if let Some(p) = progress {
+        fields.push(("states".to_string(), p.states.to_json()));
+        fields.push(("payload_bytes".to_string(), p.payload_bytes.to_json()));
+        fields.push((
+            "elapsed_secs".to_string(),
+            p.elapsed.as_secs_f64().to_json(),
+        ));
+    }
+    Value::Object(fields)
+}
+
 /// `sfa build` — construct the SFA, print statistics.
 pub fn build(parsed: &Parsed) -> Result<(), String> {
     let dfa = dfa_from_args(parsed)?;
-    let result = if let Some(variant) = parsed.opt("seq") {
+    let budget = crate::budget_from_args(parsed)?;
+    let built = if let Some(variant) = parsed.opt("seq") {
         let variant = match variant {
             "baseline" => SequentialVariant::Baseline,
             "pointer-tree" => SequentialVariant::BaselinePointerTree,
@@ -108,10 +154,26 @@ pub fn build(parsed: &Parsed) -> Result<(), String> {
             "transposed" => SequentialVariant::Transposed,
             other => return Err(format!("unknown sequential variant {other:?}")),
         };
-        construct_sequential(&dfa, variant).map_err(|e| e.to_string())?
+        Sfa::builder(&dfa)
+            .sequential(variant)
+            .budget(budget)
+            .build()
     } else {
         let opts = parallel_options(parsed)?;
-        construct_parallel(&dfa, &opts).map_err(|e| e.to_string())?
+        Sfa::builder(&dfa).options(&opts).budget(budget).build()
+    };
+    let result = match built {
+        Ok(r) => r,
+        Err(err) if err.is_degradable() => {
+            // Degraded-mode reporting: the governor stopped the build.
+            // Surface which axis fired and how far construction got,
+            // then exit non-zero.
+            if parsed.flag("json") {
+                println!("{}", sfa_json::to_string_pretty(&budget_error_json(&err)));
+            }
+            return Err(format!("construction aborted by budget: {err}"));
+        }
+        Err(err) => return Err(err.to_string()),
     };
     if parsed.flag("validate") {
         result.sfa.validate(&dfa)?;
@@ -119,10 +181,7 @@ pub fn build(parsed: &Parsed) -> Result<(), String> {
     }
     let report = BuildReport::new(dfa.num_states(), result.sfa.num_states(), &result.stats);
     if parsed.flag("json") {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
-        );
+        println!("{}", sfa_json::to_string_pretty(&report));
     } else {
         report.print_human();
     }
@@ -157,6 +216,34 @@ pub fn do_match(parsed: &Parsed) -> Result<(), String> {
     };
 
     let threads = parsed.num("threads", 4)?;
+    let budget = crate::budget_from_args(parsed)?;
+    if !budget.is_unlimited() {
+        // Budgeted matching goes through the self-degrading engine:
+        // if full construction is not possible under the budget, the
+        // lazy or sequential tier serves the query instead of failing.
+        let opts = parallel_options(parsed)?;
+        let mut engine = MatchEngine::with_budget(&dfa, &opts, &budget, None);
+        let t0 = std::time::Instant::now();
+        let hit = engine.matches(&text);
+        let secs = t0.elapsed().as_secs_f64();
+        if hit != match_sequential(&dfa, &text) {
+            return Err("engine and sequential matchers disagree (bug)".into());
+        }
+        println!("text length          {} residues", text.len());
+        println!("match                {hit}");
+        println!("engine tier          {}", engine.tier());
+        let stats = engine.stats();
+        if stats.degradations > 0 {
+            if let Some(err) = &stats.last_error {
+                println!(
+                    "degraded             {}x (last cause: {err})",
+                    stats.degradations
+                );
+            }
+        }
+        println!("engine match         {secs:.4} s");
+        return Ok(());
+    }
     if parsed.flag("lazy") {
         let lazy = sfa_core::lazy::LazySfa::new(&dfa, parsed.num("budget", 1 << 22)?)
             .map_err(|e| e.to_string())?;
@@ -174,7 +261,10 @@ pub fn do_match(parsed: &Parsed) -> Result<(), String> {
     }
     let opts = parallel_options(parsed)?;
     let t0 = std::time::Instant::now();
-    let result = construct_parallel(&dfa, &opts).map_err(|e| e.to_string())?;
+    let result = Sfa::builder(&dfa)
+        .options(&opts)
+        .build()
+        .map_err(|e| e.to_string())?;
     let build_secs = t0.elapsed().as_secs_f64();
 
     let t1 = std::time::Instant::now();
@@ -207,7 +297,10 @@ fn match_sequential_oracle(dfa: &sfa_automata::Dfa, text: &[u8]) -> bool {
 pub fn survey(parsed: &Parsed) -> Result<(), String> {
     let dfa = dfa_from_args(parsed)?;
     let opts = parallel_options(parsed)?;
-    let result = construct_parallel(&dfa, &opts).map_err(|e| e.to_string())?;
+    let result = Sfa::builder(&dfa)
+        .options(&opts)
+        .build()
+        .map_err(|e| e.to_string())?;
     let sfa = result.sfa;
 
     // Sample 10 states from equidistant positions (§III-C methodology).
@@ -250,11 +343,16 @@ pub fn survey(parsed: &Parsed) -> Result<(), String> {
 /// `sfa verify` — cross-check parallel vs sequential construction.
 pub fn verify(parsed: &Parsed) -> Result<(), String> {
     let dfa = dfa_from_args(parsed)?;
-    let seq =
-        construct_sequential(&dfa, SequentialVariant::Transposed).map_err(|e| e.to_string())?;
+    let seq = Sfa::builder(&dfa)
+        .sequential(SequentialVariant::Transposed)
+        .build()
+        .map_err(|e| e.to_string())?;
     seq.sfa.validate(&dfa)?;
     let opts = parallel_options(parsed)?;
-    let par = construct_parallel(&dfa, &opts).map_err(|e| e.to_string())?;
+    let par = Sfa::builder(&dfa)
+        .options(&opts)
+        .build()
+        .map_err(|e| e.to_string())?;
     par.sfa.validate(&dfa)?;
     if seq.sfa.num_states() != par.sfa.num_states() {
         return Err(format!(

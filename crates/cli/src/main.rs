@@ -92,6 +92,10 @@ COMMON OPTIONS:
     --blocks <n>         symbol blocks per work item (1 = coarse-grained)
     --probabilistic      fingerprint-only state identity (Rabin, dense
                          random modulus); big peak-memory saving
+    --deadline-ms <n>    abort construction after n milliseconds (typed
+                         error; `match` degrades to lazy/sequential instead)
+    --max-bytes <b>      cap stored mapping-payload bytes (suffixes K/M/G)
+    --max-states <n>     cap constructed SFA state count
     --json               machine-readable output
     --lazy               match: construct SFA states on demand (lazy SFA)
     --random <len>       match: generate protein-like text of this length
@@ -134,6 +138,28 @@ pub(crate) fn dfa_from_args(parsed: &Parsed) -> Result<sfa_automata::Dfa, String
     let path = parsed.opt("grail").unwrap();
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     grail::read_dfa(&text, None).map_err(|e| e.to_string())
+}
+
+/// Assemble the construction [`Budget`] from `--deadline-ms`,
+/// `--max-bytes` and `--max-states` (unlimited when none are given).
+pub(crate) fn budget_from_args(parsed: &Parsed) -> Result<Budget, String> {
+    let mut budget = Budget::unlimited();
+    if let Some(ms) = parsed.opt("deadline-ms") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| format!("--deadline-ms expects milliseconds, got {ms:?}"))?;
+        budget = budget.with_deadline(std::time::Duration::from_millis(ms));
+    }
+    if let Some(b) = parsed.opt("max-bytes") {
+        budget = budget.with_max_payload_bytes(args::parse_bytes(b)? as u64);
+    }
+    if let Some(n) = parsed.opt("max-states") {
+        let n: u64 = n
+            .parse()
+            .map_err(|_| format!("--max-states expects a number, got {n:?}"))?;
+        budget = budget.with_max_states(n);
+    }
+    Ok(budget)
 }
 
 pub(crate) fn parallel_options(parsed: &Parsed) -> Result<ParallelOptions, String> {

@@ -64,7 +64,7 @@ fn build_validates_and_reports() {
 fn build_json_is_parseable() {
     let out = sfa(&["build", "--regex", "RG", "--threads", "2", "--json"]);
     assert!(out.status.success());
-    let v: serde_json::Value = serde_json::from_str(&stdout(&out)).expect("valid JSON");
+    let v: sfa_json::Value = sfa_json::from_str(&stdout(&out)).expect("valid JSON");
     assert_eq!(v["sfa_states"], 6);
     assert_eq!(v["dfa_states"], 3);
 }

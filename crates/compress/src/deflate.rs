@@ -149,7 +149,7 @@ mod tests {
             let mut s = seed;
             for _ in 0..n {
                 s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
-                let id: u16 = if (s >> 33) % sink_bias == 0 {
+                let id: u16 = if (s >> 33).is_multiple_of(sink_bias) {
                     ((s >> 17) % 500) as u16
                 } else {
                     501

@@ -1,0 +1,229 @@
+//! The unified construction entry point: [`Sfa::builder`].
+//!
+//! Historically each algorithm family had its own free function
+//! (`construct_sequential`, `construct_sequential_budgeted`,
+//! `construct_parallel`), none of which could express resource limits or
+//! cancellation. The builder subsumes all of them behind one chain:
+//!
+//! ```
+//! use sfa_automata::prelude::*;
+//! use sfa_core::prelude::*;
+//! use std::time::Duration;
+//!
+//! let dfa = Pipeline::search(Alphabet::amino_acids())
+//!     .compile_str("RG")
+//!     .unwrap();
+//!
+//! let token = CancelToken::new();
+//! let result = Sfa::builder(&dfa)
+//!     .threads(4)
+//!     .scheduler(Scheduler::WorkStealing)
+//!     .budget(
+//!         Budget::unlimited()
+//!             .with_deadline(Duration::from_secs(5))
+//!             .with_max_states(1 << 20),
+//!     )
+//!     .cancel(token.clone())
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(result.sfa.num_states(), 6);
+//! ```
+//!
+//! The old free functions remain as `#[deprecated]` thin wrappers over
+//! the same governed engines.
+
+use crate::budget::{Budget, Governor};
+use crate::parallel::{
+    construct_parallel_governed, CompressionPolicy, FingerprintAlgo, ParallelOptions, Scheduler,
+};
+use crate::sequential::{construct_sequential_governed, SequentialVariant};
+use crate::sfa::{CodecChoice, Sfa};
+use crate::stats::ConstructionResult;
+use crate::SfaError;
+use sfa_automata::dfa::Dfa;
+use sfa_sync::CancelToken;
+
+impl Sfa {
+    /// Start configuring a construction run for `dfa`. Defaults to the
+    /// parallel engine with [`ParallelOptions::default`] and no resource
+    /// limits.
+    pub fn builder(dfa: &Dfa) -> SfaBuilder<'_> {
+        SfaBuilder {
+            dfa,
+            opts: ParallelOptions::default(),
+            variant: None,
+            budget: Budget::unlimited(),
+            cancel: None,
+        }
+    }
+}
+
+/// Builder for one SFA construction run — see [`Sfa::builder`].
+#[derive(Debug, Clone)]
+pub struct SfaBuilder<'d> {
+    dfa: &'d Dfa,
+    opts: ParallelOptions,
+    /// `Some` switches from the parallel engine to a sequential variant.
+    variant: Option<SequentialVariant>,
+    budget: Budget,
+    cancel: Option<CancelToken>,
+}
+
+impl<'d> SfaBuilder<'d> {
+    /// Use the parallel engine with `threads` workers (the default
+    /// engine; this clears any sequential variant selected earlier).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.opts.threads = threads;
+        self.variant = None;
+        self
+    }
+
+    /// Use the single-threaded engine with the given algorithm variant.
+    pub fn sequential(mut self, variant: SequentialVariant) -> Self {
+        self.variant = Some(variant);
+        self
+    }
+
+    /// Replace the whole parallel-option block (for callers that already
+    /// carry a [`ParallelOptions`], e.g. benchmark sweeps).
+    pub fn options(mut self, opts: &ParallelOptions) -> Self {
+        self.opts = opts.clone();
+        self
+    }
+
+    /// Work-distribution strategy of the parallel engine.
+    pub fn scheduler(mut self, s: Scheduler) -> Self {
+        self.opts.scheduler = s;
+        self
+    }
+
+    /// Compression policy of the parallel engine.
+    pub fn compression(mut self, c: CompressionPolicy) -> Self {
+        self.opts.compression = c;
+        self
+    }
+
+    /// Codec used by the compression phase.
+    pub fn codec(mut self, c: CodecChoice) -> Self {
+        self.opts.codec = c;
+        self
+    }
+
+    /// Arena capacity (maximum SFA states; applies to the sequential
+    /// engine too).
+    pub fn state_budget(mut self, states: usize) -> Self {
+        self.opts.state_budget = states;
+        self
+    }
+
+    /// Work granularity (symbol blocks per state) of the parallel engine.
+    pub fn symbol_blocks(mut self, blocks: usize) -> Self {
+        self.opts.symbol_blocks = blocks;
+        self
+    }
+
+    /// Probabilistic (fingerprint-only) parallel mode.
+    pub fn probabilistic(mut self, algo: FingerprintAlgo) -> Self {
+        self.opts.probabilistic = true;
+        self.opts.fingerprint = algo;
+        self
+    }
+
+    /// Resource limits enforced during the build.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Attach a cancellation token; cancelling any clone of it stops the
+    /// build at the next work-item checkpoint.
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// The configured [`ParallelOptions`] (inspection / reuse).
+    pub fn parallel_options(&self) -> &ParallelOptions {
+        &self.opts
+    }
+
+    /// Run the configured construction. The budget clock starts here.
+    pub fn build(self) -> Result<ConstructionResult, SfaError> {
+        let governor = Governor::new(&self.budget, self.cancel);
+        match self.variant {
+            Some(variant) => {
+                construct_sequential_governed(self.dfa, variant, self.opts.state_budget, &governor)
+            }
+            None => construct_parallel_governed(self.dfa, &self.opts, &governor),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfa_automata::alphabet::Alphabet;
+    use sfa_automata::pipeline::Pipeline;
+
+    fn rg_dfa() -> Dfa {
+        Pipeline::search(Alphabet::amino_acids())
+            .compile_str("RG")
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_matches_both_engines() {
+        let dfa = rg_dfa();
+        let par = Sfa::builder(&dfa).threads(2).build().unwrap();
+        let seq = Sfa::builder(&dfa)
+            .sequential(SequentialVariant::Transposed)
+            .build()
+            .unwrap();
+        assert_eq!(par.sfa.num_states(), 6);
+        assert_eq!(seq.sfa.num_states(), 6);
+        par.sfa.validate(&dfa).unwrap();
+        assert_eq!(par.stats.threads, 2);
+        assert_eq!(seq.stats.threads, 1);
+    }
+
+    #[test]
+    fn builder_wraps_deprecated_entry_points() {
+        // The wrappers must stay behaviourally identical to the builder.
+        let dfa = rg_dfa();
+        #[allow(deprecated)]
+        let old =
+            crate::parallel::construct_parallel(&dfa, &ParallelOptions::with_threads(2)).unwrap();
+        let new = Sfa::builder(&dfa)
+            .options(&ParallelOptions::with_threads(2))
+            .build()
+            .unwrap();
+        assert_eq!(old.sfa.num_states(), new.sfa.num_states());
+    }
+
+    #[test]
+    fn state_budget_applies_to_both_engines() {
+        let dfa = rg_dfa();
+        for b in [
+            Sfa::builder(&dfa).threads(2).state_budget(3),
+            Sfa::builder(&dfa)
+                .sequential(SequentialVariant::Hashing)
+                .state_budget(3),
+        ] {
+            assert_eq!(
+                b.build().unwrap_err(),
+                SfaError::StateBudgetExceeded { budget: 3 }
+            );
+        }
+    }
+
+    #[test]
+    fn threads_clears_sequential_selection() {
+        let dfa = rg_dfa();
+        let r = Sfa::builder(&dfa)
+            .sequential(SequentialVariant::Baseline)
+            .threads(3)
+            .build()
+            .unwrap();
+        assert_eq!(r.stats.threads, 3);
+    }
+}

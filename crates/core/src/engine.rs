@@ -1,0 +1,278 @@
+//! The self-degrading match engine.
+//!
+//! [`MatchEngine`] answers "does this input match?" under a resource
+//! budget by climbing down a three-tier ladder instead of failing:
+//!
+//! 1. **Full SFA** — batch-construct the complete SFA under the budget;
+//!    matching then runs in parallel chunks with no construction cost
+//!    per input (the paper's intended operating point).
+//! 2. **Lazy SFA** — if batch construction exhausts the budget or is
+//!    cancelled, fall back to [`LazySfa`]: states are built on demand
+//!    while matching, bounded by the budget's *space* axes (the deadline
+//!    was spent on the failed batch attempt, so it is dropped —
+//!    [`Budget::without_deadline`]).
+//! 3. **Sequential** — if even lazy discovery exhausts the space budget,
+//!    fall back to plain sequential DFA matching, which needs no
+//!    construction at all and always answers.
+//!
+//! Every tier returns the *same verdict* — the SFA simulates the DFA
+//! from every start state, so degradation trades throughput, never
+//! correctness. The engine records which tier served each query in
+//! [`EngineStats`].
+
+use crate::budget::{Budget, Governor};
+use crate::lazy::LazySfa;
+use crate::matcher::{match_sequential, ParallelMatcher};
+use crate::parallel::{construct_parallel_governed, ParallelOptions};
+use crate::sfa::Sfa;
+use crate::stats::ConstructionStats;
+use crate::SfaError;
+use sfa_automata::alphabet::SymbolId;
+use sfa_automata::dfa::Dfa;
+use sfa_sync::CancelToken;
+
+/// Which rung of the degradation ladder is serving queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchTier {
+    /// Complete batch-constructed SFA; parallel chunk matching.
+    FullSfa,
+    /// On-demand SFA construction during matching.
+    LazySfa,
+    /// Plain sequential DFA simulation (no construction).
+    Sequential,
+}
+
+impl std::fmt::Display for MatchTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            MatchTier::FullSfa => "full",
+            MatchTier::LazySfa => "lazy",
+            MatchTier::Sequential => "sequential",
+        })
+    }
+}
+
+/// What the engine did and why.
+#[derive(Debug, Clone, Default)]
+#[non_exhaustive]
+pub struct EngineStats {
+    /// Times the engine stepped down a tier (0–2).
+    pub degradations: u64,
+    /// Queries served by the full-SFA tier.
+    pub full_matches: u64,
+    /// Queries served by the lazy tier.
+    pub lazy_matches: u64,
+    /// Queries served by the sequential tier.
+    pub sequential_matches: u64,
+    /// Statistics of the successful batch construction (full tier only).
+    pub construction: Option<ConstructionStats>,
+    /// The governance error behind the most recent degradation.
+    pub last_error: Option<SfaError>,
+}
+
+enum Backend<'d> {
+    Full(Box<Sfa>),
+    Lazy(Box<LazySfa<'d>>),
+    Sequential,
+}
+
+/// A matcher that builds the best automaton the budget allows and
+/// degrades gracefully instead of failing — see the module docs.
+pub struct MatchEngine<'d> {
+    dfa: &'d Dfa,
+    threads: usize,
+    backend: Backend<'d>,
+    stats: EngineStats,
+}
+
+impl<'d> MatchEngine<'d> {
+    /// Build with default parallel options and no limits (always lands
+    /// on the full tier unless the DFA itself is degenerate).
+    pub fn new(dfa: &'d Dfa, threads: usize) -> Self {
+        let opts = ParallelOptions::with_threads(threads.max(1));
+        MatchEngine::with_budget(dfa, &opts, &Budget::unlimited(), None)
+    }
+
+    /// Build under `budget` / `cancel`. Never fails: construction errors
+    /// degrade the tier (recorded in [`EngineStats`]) rather than
+    /// propagate.
+    pub fn with_budget(
+        dfa: &'d Dfa,
+        opts: &ParallelOptions,
+        budget: &Budget,
+        cancel: Option<CancelToken>,
+    ) -> Self {
+        let mut stats = EngineStats::default();
+        let governor = Governor::new(budget, cancel.clone());
+        let backend = match construct_parallel_governed(dfa, opts, &governor) {
+            Ok(result) => {
+                stats.construction = Some(result.stats);
+                Backend::Full(Box::new(result.sfa))
+            }
+            Err(err) => {
+                stats.degradations += 1;
+                stats.last_error = Some(err);
+                // The deadline was consumed by the batch attempt; the
+                // space axes still bound lazy discovery.
+                let lazy_budget = budget.clone().without_deadline();
+                match LazySfa::with_budget(dfa, opts.state_budget, &lazy_budget, cancel) {
+                    Ok(lazy) => Backend::Lazy(Box::new(lazy)),
+                    Err(err) => {
+                        stats.degradations += 1;
+                        stats.last_error = Some(err);
+                        Backend::Sequential
+                    }
+                }
+            }
+        };
+        MatchEngine {
+            dfa,
+            threads: opts.threads.max(1),
+            backend,
+            stats,
+        }
+    }
+
+    /// The underlying DFA.
+    pub fn dfa(&self) -> &Dfa {
+        self.dfa
+    }
+
+    /// The tier currently serving queries.
+    pub fn tier(&self) -> MatchTier {
+        match self.backend {
+            Backend::Full(_) => MatchTier::FullSfa,
+            Backend::Lazy(_) => MatchTier::LazySfa,
+            Backend::Sequential => MatchTier::Sequential,
+        }
+    }
+
+    /// Engine statistics (tier counters, degradation causes,
+    /// construction stats of the full tier).
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Does `input` match? Same verdict on every tier; a lazy tier that
+    /// exhausts its space budget mid-query degrades to sequential and
+    /// still answers.
+    pub fn matches(&mut self, input: &[SymbolId]) -> bool {
+        let lazy_err = match &self.backend {
+            Backend::Full(sfa) => {
+                self.stats.full_matches += 1;
+                return ParallelMatcher::new(sfa, self.dfa).matches(input, self.threads);
+            }
+            Backend::Lazy(lazy) => match lazy.matches(input, self.threads) {
+                Ok(verdict) => {
+                    self.stats.lazy_matches += 1;
+                    return verdict;
+                }
+                Err(err) => err,
+            },
+            Backend::Sequential => {
+                self.stats.sequential_matches += 1;
+                return match_sequential(self.dfa, input);
+            }
+        };
+        // The lazy tier ran out of budget mid-query: degrade for good
+        // and serve this (and every later) query sequentially.
+        self.stats.degradations += 1;
+        self.stats.last_error = Some(lazy_err);
+        self.backend = Backend::Sequential;
+        self.stats.sequential_matches += 1;
+        match_sequential(self.dfa, input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::BudgetResource;
+    use sfa_automata::alphabet::Alphabet;
+    use sfa_automata::pipeline::Pipeline;
+    use sfa_workloads::protein_text;
+    use std::time::Duration;
+
+    fn rg_dfa() -> Dfa {
+        Pipeline::search(Alphabet::amino_acids())
+            .compile_str("RG")
+            .unwrap()
+    }
+
+    #[test]
+    fn unlimited_engine_uses_full_tier() {
+        let dfa = rg_dfa();
+        let mut engine = MatchEngine::new(&dfa, 2);
+        assert_eq!(engine.tier(), MatchTier::FullSfa);
+        assert!(engine.stats().construction.is_some());
+        let text = protein_text(5_000, 7);
+        assert_eq!(engine.matches(&text), match_sequential(&dfa, &text));
+        assert_eq!(engine.stats().full_matches, 1);
+        assert_eq!(engine.stats().degradations, 0);
+    }
+
+    #[test]
+    fn zero_deadline_degrades_to_lazy_with_same_verdict() {
+        let dfa = rg_dfa();
+        let budget = Budget::unlimited().with_deadline(Duration::ZERO);
+        let mut engine =
+            MatchEngine::with_budget(&dfa, &ParallelOptions::with_threads(2), &budget, None);
+        assert_eq!(engine.tier(), MatchTier::LazySfa);
+        assert!(matches!(
+            engine.stats().last_error,
+            Some(SfaError::BudgetExceeded {
+                resource: BudgetResource::Deadline,
+                ..
+            })
+        ));
+        for seed in 0..4 {
+            let text = protein_text(8_000, seed);
+            assert_eq!(engine.matches(&text), match_sequential(&dfa, &text));
+        }
+        assert_eq!(engine.stats().lazy_matches, 4);
+    }
+
+    #[test]
+    fn lazy_space_exhaustion_degrades_to_sequential_mid_query() {
+        // max_states=1 admits the identity state only; the first lazy
+        // discovery trips the budget and the query is served
+        // sequentially — with the right verdict.
+        let dfa = rg_dfa();
+        let budget = Budget::unlimited()
+            .with_deadline(Duration::ZERO)
+            .with_max_states(1);
+        let mut engine =
+            MatchEngine::with_budget(&dfa, &ParallelOptions::with_threads(2), &budget, None);
+        assert_eq!(engine.tier(), MatchTier::LazySfa);
+        let text = protein_text(5_000, 3);
+        assert_eq!(engine.matches(&text), match_sequential(&dfa, &text));
+        assert_eq!(engine.tier(), MatchTier::Sequential);
+        assert_eq!(engine.stats().degradations, 2);
+        assert_eq!(engine.stats().sequential_matches, 1);
+        // Further queries stay sequential.
+        let text2 = protein_text(1_000, 4);
+        assert_eq!(engine.matches(&text2), match_sequential(&dfa, &text2));
+        assert_eq!(engine.stats().sequential_matches, 2);
+    }
+
+    #[test]
+    fn cancelled_before_start_still_answers() {
+        let dfa = rg_dfa();
+        let token = sfa_sync::CancelToken::new();
+        token.cancel();
+        let mut engine = MatchEngine::with_budget(
+            &dfa,
+            &ParallelOptions::with_threads(2),
+            &Budget::unlimited(),
+            Some(token),
+        );
+        // Batch construction refuses immediately; lazy discovery is also
+        // cancelled, so the first query degrades to sequential.
+        assert!(matches!(
+            engine.stats().last_error,
+            Some(SfaError::Cancelled { .. })
+        ));
+        let text = protein_text(2_000, 11);
+        assert_eq!(engine.matches(&text), match_sequential(&dfa, &text));
+    }
+}

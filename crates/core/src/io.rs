@@ -211,8 +211,8 @@ pub fn read_file(path: &std::path::Path) -> std::io::Result<Sfa> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::parallel::{construct_parallel, CompressionPolicy, ParallelOptions};
-    use crate::sequential::{construct_sequential, SequentialVariant};
+    use crate::parallel::{CompressionPolicy, ParallelOptions};
+    use crate::sequential::SequentialVariant;
     use sfa_automata::pipeline::Pipeline;
     use sfa_automata::Alphabet;
 
@@ -220,7 +220,9 @@ mod tests {
         let dfa = Pipeline::search(Alphabet::amino_acids())
             .compile_str("R[GA]N")
             .unwrap();
-        let sfa = construct_sequential(&dfa, SequentialVariant::Transposed)
+        let sfa = Sfa::builder(&dfa)
+            .sequential(SequentialVariant::Transposed)
+            .build()
             .unwrap()
             .sfa;
         (dfa, sfa)
@@ -242,12 +244,11 @@ mod tests {
     #[test]
     fn compressed_round_trip_stays_compressed() {
         let dfa = sfa_workloads::rn(50);
-        let sfa = construct_parallel(
-            &dfa,
-            &ParallelOptions::with_threads(2).compression(CompressionPolicy::FromStart),
-        )
-        .unwrap()
-        .sfa;
+        let sfa = Sfa::builder(&dfa)
+            .options(&ParallelOptions::with_threads(2).compression(CompressionPolicy::FromStart))
+            .build()
+            .unwrap()
+            .sfa;
         assert!(sfa.is_compressed());
         let bytes = to_bytes(&sfa);
         // Compressed payload dominates the file: far smaller than raw.

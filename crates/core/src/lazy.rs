@@ -22,12 +22,14 @@
 //! lazy matching visits few states, so the 2× width versus `u16` does
 //! not matter and keeps the code monomorphic.
 
+use crate::budget::{Budget, Governor};
 use crate::elem::Elem;
 use crate::state::StateStore;
 use crate::SfaError;
 use sfa_automata::alphabet::SymbolId;
 use sfa_automata::dfa::Dfa;
 use sfa_hash::{CityFingerprinter, Fingerprinter};
+use sfa_sync::CancelToken;
 use sfa_sync::{ChainedTable, FindOrInsert, Links, NIL};
 
 /// A thread-safe, incrementally constructed SFA.
@@ -39,15 +41,36 @@ pub struct LazySfa<'d> {
     store: StateStore,
     table: ChainedTable,
     fingerprinter: CityFingerprinter,
+    governor: Governor,
 }
 
 impl<'d> LazySfa<'d> {
     /// Create a lazy SFA over `dfa` able to hold up to `state_budget`
     /// discovered states.
     pub fn new(dfa: &'d Dfa, state_budget: usize) -> Result<Self, SfaError> {
+        LazySfa::with_budget(dfa, state_budget, &Budget::unlimited(), None)
+    }
+
+    /// Like [`LazySfa::new`], additionally governed by `budget` and an
+    /// optional cancellation token. Limits are enforced on the *state
+    /// discovery* path: cached transitions keep matching at full speed,
+    /// but a step that would have to construct a new SFA state first
+    /// passes the budget checkpoint. The deadline axis measures from
+    /// this constructor, which suits the lazy tier's "construction
+    /// amortized into matching" lifecycle.
+    pub fn with_budget(
+        dfa: &'d Dfa,
+        state_budget: usize,
+        budget: &Budget,
+        cancel: Option<CancelToken>,
+    ) -> Result<Self, SfaError> {
         if dfa.num_states() == 0 {
             return Err(SfaError::EmptyDfa);
         }
+        let governor = Governor::new(budget, cancel);
+        // Fail fast on a budget that is already exhausted (cancelled
+        // token, zero space budget) before allocating the arena.
+        governor.check(0, 0)?;
         let n = dfa.num_states() as usize;
         let store = StateStore::new(state_budget, n, 4, dfa.num_symbols());
         let table = ChainedTable::new((state_budget / 64).clamp(1 << 10, 1 << 22));
@@ -69,6 +92,7 @@ impl<'d> LazySfa<'d> {
             store,
             table,
             fingerprinter,
+            governor,
         })
     }
 
@@ -108,6 +132,11 @@ impl<'d> LazySfa<'d> {
         let cached = self.store.succ(s, sym as usize);
         if cached != NIL {
             return Ok(cached);
+        }
+        if !self.governor.is_unlimited() {
+            // Discovery-path checkpoint: about to construct a state.
+            let states = self.store.len() as u64;
+            self.governor.check(states, states * self.n as u64 * 4)?;
         }
         // Compute the candidate mapping: one δ column over s's mapping.
         let src = &self.store.mapping(s).data;
@@ -194,7 +223,8 @@ impl<'d> LazySfa<'d> {
 mod tests {
     use super::*;
     use crate::matcher::match_sequential;
-    use crate::parallel::{construct_parallel, ParallelOptions};
+    use crate::parallel::ParallelOptions;
+    use crate::sfa::Sfa;
     use sfa_automata::pipeline::Pipeline;
     use sfa_automata::Alphabet;
     use sfa_workloads::protein_text;
@@ -222,7 +252,9 @@ mod tests {
     #[test]
     fn lazy_builds_at_most_the_full_sfa() {
         let dfa = rg_dfa();
-        let full = construct_parallel(&dfa, &ParallelOptions::with_threads(2))
+        let full = Sfa::builder(&dfa)
+            .options(&ParallelOptions::with_threads(2))
+            .build()
             .unwrap()
             .sfa;
         let lazy = LazySfa::new(&dfa, 1 << 16).unwrap();
@@ -285,7 +317,9 @@ mod tests {
         });
         // The full RG SFA has 6 states; lazy must not exceed it even
         // under concurrent discovery (losers are tombstoned, not listed).
-        let full = construct_parallel(&dfa, &ParallelOptions::with_threads(2))
+        let full = Sfa::builder(&dfa)
+            .options(&ParallelOptions::with_threads(2))
+            .build()
             .unwrap()
             .sfa;
         // Count only table-reachable states.

@@ -42,12 +42,18 @@
 //!     .unwrap();
 //!
 //! // Build the SFA with the fastest sequential algorithm…
-//! let sfa = construct_sequential(&dfa, SequentialVariant::Transposed)
+//! let sfa = Sfa::builder(&dfa)
+//!     .sequential(SequentialVariant::Transposed)
+//!     .build()
 //!     .unwrap()
 //!     .sfa;
 //!
-//! // …or in parallel.
-//! let parallel = construct_parallel(&dfa, &ParallelOptions::with_threads(2)).unwrap();
+//! // …or in parallel, under a resource budget.
+//! let parallel = Sfa::builder(&dfa)
+//!     .threads(2)
+//!     .budget(Budget::unlimited().with_max_states(1 << 20))
+//!     .build()
+//!     .unwrap();
 //! assert_eq!(sfa.num_states(), parallel.sfa.num_states());
 //!
 //! // Match in parallel chunks.
@@ -55,7 +61,10 @@
 //! assert!(match_with_sfa(&sfa, &dfa, &text, 4));
 //! ```
 
+pub mod budget;
+pub mod builder;
 pub mod elem;
+pub mod engine;
 pub mod io;
 pub mod lazy;
 pub mod matcher;
@@ -67,20 +76,45 @@ pub mod state;
 pub mod stats;
 pub mod treemap;
 
+pub use budget::{Budget, BudgetProgress, BudgetResource};
+pub use builder::SfaBuilder;
+pub use engine::{EngineStats, MatchEngine, MatchTier};
 pub use lazy::LazySfa;
 pub use matcher::{match_sequential, match_with_sfa, ParallelMatcher};
-pub use parallel::{construct_parallel, CompressionPolicy, ParallelOptions, Scheduler};
-pub use sequential::{construct_sequential, SequentialVariant};
+#[allow(deprecated)]
+pub use parallel::construct_parallel;
+pub use parallel::{CompressionPolicy, ParallelOptions, Scheduler};
+#[allow(deprecated)]
+pub use sequential::construct_sequential;
+pub use sequential::SequentialVariant;
 pub use sfa::Sfa;
+pub use sfa_sync::CancelToken;
 pub use stats::{ConstructionResult, ConstructionStats};
 
 /// Errors produced by SFA construction.
+///
+/// `#[non_exhaustive]`: downstream matches need a wildcard arm, which
+/// lets future resource axes add variants without a breaking change.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum SfaError {
-    /// The configured state budget / arena capacity was exhausted.
+    /// The engine's arena capacity (`ParallelOptions::state_budget` /
+    /// the sequential and lazy `state_budget` arguments) was exhausted.
     StateBudgetExceeded {
         /// The configured limit.
         budget: usize,
+    },
+    /// A [`Budget`] axis was exhausted mid-construction.
+    BudgetExceeded {
+        /// Which axis fired.
+        resource: BudgetResource,
+        /// Progress at the moment the check fired.
+        progress: BudgetProgress,
+    },
+    /// The build's [`CancelToken`] was cancelled.
+    Cancelled {
+        /// Progress at the moment the cancellation was observed.
+        progress: BudgetProgress,
     },
     /// A DFA with zero states was supplied.
     EmptyDfa,
@@ -90,12 +124,42 @@ pub enum SfaError {
     InvalidOptions(&'static str),
 }
 
+impl SfaError {
+    /// `true` for the errors produced by resource governance (budget
+    /// exhaustion or cancellation) — the errors the
+    /// [`MatchEngine`] degradation ladder recovers from, as opposed to
+    /// configuration errors that no retry can fix.
+    pub fn is_degradable(&self) -> bool {
+        matches!(
+            self,
+            SfaError::StateBudgetExceeded { .. }
+                | SfaError::BudgetExceeded { .. }
+                | SfaError::Cancelled { .. }
+        )
+    }
+}
+
 impl std::fmt::Display for SfaError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SfaError::StateBudgetExceeded { budget } => {
                 write!(f, "SFA construction exceeded the state budget of {budget}")
             }
+            SfaError::BudgetExceeded { resource, progress } => write!(
+                f,
+                "SFA construction exceeded its {resource} budget after {} states, \
+                 {} payload bytes, {:.3}s",
+                progress.states,
+                progress.payload_bytes,
+                progress.elapsed.as_secs_f64()
+            ),
+            SfaError::Cancelled { progress } => write!(
+                f,
+                "SFA construction was cancelled after {} states, {} payload bytes, {:.3}s",
+                progress.states,
+                progress.payload_bytes,
+                progress.elapsed.as_secs_f64()
+            ),
             SfaError::EmptyDfa => write!(f, "input DFA has no states"),
             SfaError::NoThreads => write!(f, "at least one worker thread is required"),
             SfaError::InvalidOptions(msg) => write!(f, "invalid option combination: {msg}"),
@@ -107,10 +171,19 @@ impl std::error::Error for SfaError {}
 
 /// Convenient glob-import surface.
 pub mod prelude {
+    pub use crate::budget::{Budget, BudgetProgress, BudgetResource};
+    pub use crate::builder::SfaBuilder;
+    pub use crate::engine::{EngineStats, MatchEngine, MatchTier};
+    pub use crate::lazy::LazySfa;
     pub use crate::matcher::{match_sequential, match_with_sfa, ParallelMatcher};
-    pub use crate::parallel::{construct_parallel, CompressionPolicy, ParallelOptions, Scheduler};
-    pub use crate::sequential::{construct_sequential, SequentialVariant};
+    #[allow(deprecated)]
+    pub use crate::parallel::construct_parallel;
+    pub use crate::parallel::{CompressionPolicy, ParallelOptions, Scheduler};
+    #[allow(deprecated)]
+    pub use crate::sequential::construct_sequential;
+    pub use crate::sequential::SequentialVariant;
     pub use crate::sfa::Sfa;
     pub use crate::stats::{ConstructionResult, ConstructionStats};
     pub use crate::SfaError;
+    pub use sfa_sync::CancelToken;
 }

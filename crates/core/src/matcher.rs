@@ -255,8 +255,7 @@ impl<'a> ParallelMatcher<'a> {
 mod tests {
     use super::find_first_match_sequential;
     use super::*;
-    use crate::sequential::{construct_sequential, SequentialVariant};
-    use rand::prelude::*;
+    use crate::sequential::SequentialVariant;
     use rand::rngs::StdRng;
     use sfa_automata::alphabet::Alphabet;
     use sfa_automata::pipeline::Pipeline;
@@ -265,7 +264,9 @@ mod tests {
         let dfa = Pipeline::search(Alphabet::amino_acids())
             .compile_str(pattern)
             .unwrap();
-        let sfa = construct_sequential(&dfa, SequentialVariant::Transposed)
+        let sfa = Sfa::builder(&dfa)
+            .sequential(SequentialVariant::Transposed)
+            .build()
             .unwrap()
             .sfa;
         (dfa, sfa)
@@ -379,7 +380,9 @@ mod tests {
         let dfa = Pipeline::scanner(Alphabet::amino_acids())
             .compile_str("RGD")
             .unwrap();
-        let sfa = construct_sequential(&dfa, SequentialVariant::Transposed)
+        let sfa = Sfa::builder(&dfa)
+            .sequential(SequentialVariant::Transposed)
+            .build()
             .unwrap()
             .sfa;
         let matcher = ParallelMatcher::new(&sfa, &dfa);
@@ -410,7 +413,9 @@ mod tests {
         let dfa = Pipeline::scanner(Alphabet::amino_acids())
             .compile_str("R[GA]")
             .unwrap();
-        let sfa = construct_sequential(&dfa, SequentialVariant::Transposed)
+        let sfa = Sfa::builder(&dfa)
+            .sequential(SequentialVariant::Transposed)
+            .build()
             .unwrap()
             .sfa;
         let matcher = ParallelMatcher::new(&sfa, &dfa);
@@ -430,7 +435,9 @@ mod tests {
         let dfa = Pipeline::scanner(Alphabet::amino_acids())
             .compile_str("WWWWW")
             .unwrap();
-        let sfa = construct_sequential(&dfa, SequentialVariant::Transposed)
+        let sfa = Sfa::builder(&dfa)
+            .sequential(SequentialVariant::Transposed)
+            .build()
             .unwrap()
             .sfa;
         let matcher = ParallelMatcher::new(&sfa, &dfa);
@@ -448,7 +455,9 @@ mod tests {
         let dfa = Pipeline::search(Alphabet::amino_acids())
             .compile_str("R*")
             .unwrap();
-        let sfa = construct_sequential(&dfa, SequentialVariant::Transposed)
+        let sfa = Sfa::builder(&dfa)
+            .sequential(SequentialVariant::Transposed)
+            .build()
             .unwrap()
             .sfa;
         let matcher = ParallelMatcher::new(&sfa, &dfa);
@@ -465,7 +474,9 @@ mod tests {
         let dfa2 = Pipeline::search(Alphabet::amino_acids())
             .compile_str("R*")
             .unwrap();
-        let sfa2 = construct_sequential(&dfa2, SequentialVariant::Transposed)
+        let sfa2 = Sfa::builder(&dfa2)
+            .sequential(SequentialVariant::Transposed)
+            .build()
             .unwrap()
             .sfa;
         assert!(match_with_sfa(&sfa2, &dfa2, &[], 4));

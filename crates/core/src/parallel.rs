@@ -21,18 +21,19 @@
 //!   to reproduce the paper's TBB-queue comparison (§IV-B) and the
 //!   global-queue-only ablation.
 
+use crate::budget::Governor;
 use crate::elem::{fits_u16, Elem};
 use crate::memory::MemoryManager;
 use crate::sfa::{CodecChoice, MappingStore, Sfa};
 use crate::state::{MappingBuf, StateStore};
 use crate::stats::{ConstructionResult, ConstructionStats};
 use crate::SfaError;
-use parking_lot::Mutex;
 use sfa_automata::dfa::Dfa;
 use sfa_compress::Codec;
 use sfa_hash::{CityFingerprinter, Fingerprinter};
 use sfa_sync::counters::ContentionSnapshot;
 use sfa_sync::deque::{work_stealing_deque, Steal, StealPolicy, Stealer, Worker};
+use sfa_sync::mutex::Mutex;
 use sfa_sync::{ChainedTable, FindOrInsert, GlobalQueue, Links, MsQueue, NIL};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
@@ -87,8 +88,15 @@ impl FingerprintAlgo {
     }
 }
 
-/// Options for [`construct_parallel`].
+/// Options for parallel construction (see
+/// [`crate::builder::SfaBuilder`], which wraps these).
+///
+/// `#[non_exhaustive]`: start from [`ParallelOptions::default`] or
+/// [`ParallelOptions::with_threads`] and adjust fields or chain the
+/// builder-style methods; new knobs can then be added without a breaking
+/// change.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct ParallelOptions {
     /// Worker threads.
     pub threads: usize,
@@ -196,9 +204,25 @@ impl ParallelOptions {
 }
 
 /// Construct the SFA of `dfa` in parallel.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Sfa::builder(&dfa).options(&opts).build()"
+)]
 pub fn construct_parallel(
     dfa: &Dfa,
     opts: &ParallelOptions,
+) -> Result<ConstructionResult, SfaError> {
+    construct_parallel_governed(dfa, opts, &Governor::unlimited())
+}
+
+/// The canonical governed entry point ([`crate::builder::SfaBuilder`]
+/// calls this): every worker polls `governor` once per work item, in all
+/// three phases, and winds down cooperatively when a budget axis fires
+/// or the attached token is cancelled.
+pub fn construct_parallel_governed(
+    dfa: &Dfa,
+    opts: &ParallelOptions,
+    governor: &Governor,
 ) -> Result<ConstructionResult, SfaError> {
     if dfa.num_states() == 0 {
         return Err(SfaError::EmptyDfa);
@@ -225,10 +249,14 @@ pub fn construct_parallel(
             "probabilistic mode stores no payloads to compress",
         ));
     }
+    // Fail fast (before allocating the arena or spawning workers) when
+    // the budget is already exhausted — e.g. a zero deadline or a token
+    // cancelled ahead of the call.
+    governor.check(0, 0)?;
     if fits_u16(dfa.num_states()) {
-        Engine::<u16>::run(dfa, opts)
+        Engine::<u16>::run(dfa, opts, governor)
     } else {
-        Engine::<u32>::run(dfa, opts)
+        Engine::<u32>::run(dfa, opts, governor)
     }
 }
 
@@ -328,6 +356,7 @@ struct Shared<E: Elem> {
     error: Mutex<Option<SfaError>>,
     has_error: AtomicBool,
     clock: Mutex<PhaseClock>,
+    governor: Governor,
 }
 
 #[derive(Default)]
@@ -358,7 +387,11 @@ struct Engine<E: Elem> {
 }
 
 impl<E: Elem> Engine<E> {
-    fn run(dfa: &Dfa, opts: &ParallelOptions) -> Result<ConstructionResult, SfaError> {
+    fn run(
+        dfa: &Dfa,
+        opts: &ParallelOptions,
+        governor: &Governor,
+    ) -> Result<ConstructionResult, SfaError> {
         let t0 = Instant::now();
         let n = dfa.num_states() as usize;
         let k = dfa.num_symbols();
@@ -406,6 +439,7 @@ impl<E: Elem> Engine<E> {
             error: Mutex::new(None),
             has_error: AtomicBool::new(false),
             clock: Mutex::new(PhaseClock::default()),
+            governor: governor.clone(),
         };
 
         // Seed the start state (identity mapping).
@@ -496,10 +530,7 @@ impl<E: Elem> Engine<E> {
         }
 
         // Assemble statistics.
-        let mut stats = ConstructionStats {
-            threads,
-            ..Default::default()
-        };
+        let mut stats = ConstructionStats::with_threads(threads);
         for l in &merged_local {
             stats.candidates += l.candidates.get();
             stats.duplicates += l.duplicates.get();
@@ -703,6 +734,7 @@ impl<'s, E: Elem> WorkerCtx<'s, E> {
         let _guard = ExitGuard(shared);
         let n = shared.n;
         let k = shared.k;
+        let governed = !shared.governor.is_unlimited();
         let stats = LocalStats::default();
 
         // Scratch buffers reused across states.
@@ -722,6 +754,18 @@ impl<'s, E: Elem> WorkerCtx<'s, E> {
             }
             if shared.has_error.load(Ordering::SeqCst) {
                 break;
+            }
+            if governed {
+                // One checkpoint per loop turn (≈ one per work item):
+                // budget axes and the cancel token are polled against the
+                // live arena and memory-manager counters.
+                if let Err(e) = shared
+                    .governor
+                    .check(shared.store.len() as u64, shared.mem.used())
+                {
+                    self.record_error(e);
+                    break;
+                }
             }
             match self.obtain_work() {
                 Some(item) => {
@@ -861,8 +905,7 @@ impl<'s, E: Elem> WorkerCtx<'s, E> {
             // locality is the price of the finer distribution (§III-B1).
             for sym in sym_lo..sym_hi {
                 for (i, &q) in rows_u32.iter().enumerate() {
-                    transposed[sym * n + i] =
-                        shared.table_typed[q as usize * k + sym];
+                    transposed[sym * n + i] = shared.table_typed[q as usize * k + sym];
                 }
             }
         }
@@ -935,9 +978,7 @@ impl<'s, E: Elem> WorkerCtx<'s, E> {
                 }
                 FindOrInsert::Inserted => {
                     shared.store.set_succ(id, sym, new_id);
-                    shared
-                        .pending
-                        .fetch_add(blocks as u64, Ordering::SeqCst);
+                    shared.pending.fetch_add(blocks as u64, Ordering::SeqCst);
                     for blk in 0..blocks as u32 {
                         self.dispatch_work(new_id * blocks as u32 + blk);
                     }
@@ -986,9 +1027,29 @@ impl<'s, E: Elem> WorkerCtx<'s, E> {
             shared.clock.lock().compression_start = Some(Instant::now());
         }
         let total = shared.store.len();
-        // Jointly compress: worker w takes ids ≡ w (mod threads).
+        let governed = !shared.governor.is_unlimited();
+        // Jointly compress: worker w takes ids ≡ w (mod threads). A
+        // worker that observes budget exhaustion or cancellation here
+        // records the error and skips its remaining partition, but still
+        // completes the whole barrier protocol — leaving the quorum
+        // mid-phase could strand peers, and on the error path the
+        // automaton is discarded anyway, so the skipped work is moot.
+        let mut processed = 0u64;
         let mut id = self.index;
         while id < total {
+            if shared.has_error.load(Ordering::SeqCst) {
+                break;
+            }
+            if governed && processed.is_multiple_of(64) {
+                if let Err(e) = shared
+                    .governor
+                    .check(shared.store.len() as u64, shared.mem.used())
+                {
+                    self.record_error(e);
+                    break;
+                }
+            }
+            processed += 1;
             let buf = shared.store.mapping(id as u32);
             if !buf.compressed {
                 let compressed = self.codec.compress_to_vec(&buf.data);
@@ -1015,6 +1076,9 @@ impl<'s, E: Elem> WorkerCtx<'s, E> {
         shared.barrier.wait();
         let mut id = self.index;
         while id < total {
+            if shared.has_error.load(Ordering::SeqCst) {
+                break;
+            }
             // Only re-insert live states: wasted duplicate allocations
             // were never in the table; re-inserting them would resurrect
             // duplicates. Live = referenced as some successor or the
@@ -1055,7 +1119,7 @@ const TOMBSTONE: u32 = u32::MAX - 1;
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sequential::{construct_sequential, SequentialVariant};
+    use crate::sequential::SequentialVariant;
     use sfa_automata::alphabet::Alphabet;
     use sfa_automata::pipeline::Pipeline;
 
@@ -1066,8 +1130,11 @@ mod tests {
     }
 
     fn assert_equivalent(dfa: &Dfa, opts: &ParallelOptions) {
-        let seq = construct_sequential(dfa, SequentialVariant::Transposed).unwrap();
-        let par = construct_parallel(dfa, opts).unwrap();
+        let seq = Sfa::builder(dfa)
+            .sequential(SequentialVariant::Transposed)
+            .build()
+            .unwrap();
+        let par = Sfa::builder(dfa).options(opts).build().unwrap();
         assert_eq!(
             seq.sfa.num_states(),
             par.sfa.num_states(),
@@ -1114,9 +1181,12 @@ mod tests {
     fn compression_from_start_matches() {
         let dfa = rg_dfa();
         let opts = ParallelOptions::with_threads(2).compression(CompressionPolicy::FromStart);
-        let par = construct_parallel(&dfa, &opts).unwrap();
+        let par = Sfa::builder(&dfa).options(&opts).build().unwrap();
         assert!(par.sfa.is_compressed());
-        let seq = construct_sequential(&dfa, SequentialVariant::Transposed).unwrap();
+        let seq = Sfa::builder(&dfa)
+            .sequential(SequentialVariant::Transposed)
+            .build()
+            .unwrap();
         assert_eq!(par.sfa.num_states(), seq.sfa.num_states());
         par.sfa.validate(&dfa).unwrap();
     }
@@ -1128,11 +1198,14 @@ mod tests {
         let dfa = sfa_automata::random::rn(100);
         let opts = ParallelOptions::with_threads(4)
             .compression(CompressionPolicy::WhenMemoryExceeds(4096));
-        let par = construct_parallel(&dfa, &opts).unwrap();
+        let par = Sfa::builder(&dfa).options(&opts).build().unwrap();
         assert!(par.stats.compressed, "compression phase must have run");
         assert!(par.sfa.is_compressed());
         assert!(par.stats.compression_secs >= 0.0);
-        let seq = construct_sequential(&dfa, SequentialVariant::Transposed).unwrap();
+        let seq = Sfa::builder(&dfa)
+            .sequential(SequentialVariant::Transposed)
+            .build()
+            .unwrap();
         assert_eq!(par.sfa.num_states(), seq.sfa.num_states());
         par.sfa.validate(&dfa).unwrap();
         // Ratio sanity: sink-dominated states compress well.
@@ -1143,7 +1216,7 @@ mod tests {
     fn budget_exhaustion_reports_error() {
         let dfa = rg_dfa();
         let opts = ParallelOptions::with_threads(2).state_budget(3);
-        match construct_parallel(&dfa, &opts) {
+        match Sfa::builder(&dfa).options(&opts).build() {
             Err(SfaError::StateBudgetExceeded { budget: 3 }) => {}
             Err(other) => panic!("expected budget error, got {other:?}"),
             Ok(r) => panic!("expected budget error, got {} states", r.sfa.num_states()),
@@ -1152,7 +1225,10 @@ mod tests {
 
     #[test]
     fn zero_threads_rejected() {
-        let err = construct_parallel(&rg_dfa(), &ParallelOptions::with_threads(0)).unwrap_err();
+        let err = Sfa::builder(&rg_dfa())
+            .options(&ParallelOptions::with_threads(0))
+            .build()
+            .unwrap_err();
         assert_eq!(err, SfaError::NoThreads);
     }
 
@@ -1161,7 +1237,7 @@ mod tests {
         let dfa = rg_dfa();
         let mut opts = ParallelOptions::with_threads(2);
         opts.fingerprint_short_circuit = false;
-        let par = construct_parallel(&dfa, &opts).unwrap();
+        let par = Sfa::builder(&dfa).options(&opts).build().unwrap();
         par.sfa.validate(&dfa).unwrap();
         // Without the short-circuit every chain entry is byte-compared.
         assert!(par.stats.exhaustive_compares >= par.stats.duplicates);
@@ -1170,7 +1246,10 @@ mod tests {
     #[test]
     fn stats_are_plausible() {
         let dfa = rg_dfa();
-        let par = construct_parallel(&dfa, &ParallelOptions::with_threads(2)).unwrap();
+        let par = Sfa::builder(&dfa)
+            .options(&ParallelOptions::with_threads(2))
+            .build()
+            .unwrap();
         assert_eq!(par.stats.states, 6);
         assert_eq!(par.stats.candidates, 6 * 20);
         assert_eq!(
@@ -1184,15 +1263,18 @@ mod tests {
 #[cfg(test)]
 mod probabilistic_tests {
     use super::*;
-    use crate::sequential::{construct_sequential, SequentialVariant};
+    use crate::sequential::SequentialVariant;
 
     #[test]
     fn probabilistic_matches_exact_on_rn() {
         let dfa = sfa_automata::random::rn(60);
-        let exact = construct_sequential(&dfa, SequentialVariant::Transposed).unwrap();
+        let exact = Sfa::builder(&dfa)
+            .sequential(SequentialVariant::Transposed)
+            .build()
+            .unwrap();
         for algo in [FingerprintAlgo::City, FingerprintAlgo::Rabin] {
             let opts = ParallelOptions::with_threads(4).probabilistic(algo);
-            let prob = construct_parallel(&dfa, &opts).unwrap();
+            let prob = Sfa::builder(&dfa).options(&opts).build().unwrap();
             // 64-bit fingerprints over a few thousand states: a collision
             // would be a genuine bug signal at these sizes.
             assert_eq!(prob.sfa.num_states(), exact.sfa.num_states(), "{algo:?}");
@@ -1204,12 +1286,14 @@ mod probabilistic_tests {
     #[test]
     fn probabilistic_reduces_peak_memory() {
         let dfa = sfa_automata::random::rn(100);
-        let exact = construct_parallel(&dfa, &ParallelOptions::with_threads(2)).unwrap();
-        let prob = construct_parallel(
-            &dfa,
-            &ParallelOptions::with_threads(2).probabilistic(FingerprintAlgo::Rabin),
-        )
-        .unwrap();
+        let exact = Sfa::builder(&dfa)
+            .options(&ParallelOptions::with_threads(2))
+            .build()
+            .unwrap();
+        let prob = Sfa::builder(&dfa)
+            .options(&ParallelOptions::with_threads(2).probabilistic(FingerprintAlgo::Rabin))
+            .build()
+            .unwrap();
         assert_eq!(prob.sfa.num_states(), exact.sfa.num_states());
         assert!(
             prob.stats.peak_bytes * 4 < exact.stats.peak_bytes,
@@ -1225,7 +1309,7 @@ mod probabilistic_tests {
         let mut opts = ParallelOptions::with_threads(2).probabilistic(FingerprintAlgo::City);
         opts.compression = CompressionPolicy::FromStart;
         assert_eq!(
-            construct_parallel(&dfa, &opts).unwrap_err(),
+            Sfa::builder(&dfa).options(&opts).build().unwrap_err(),
             SfaError::InvalidOptions("probabilistic mode stores no payloads to compress")
         );
     }
@@ -1234,7 +1318,7 @@ mod probabilistic_tests {
     fn probabilistic_matching_agrees() {
         let dfa = sfa_automata::random::rn(40);
         let opts = ParallelOptions::with_threads(2).probabilistic(FingerprintAlgo::City);
-        let sfa = construct_parallel(&dfa, &opts).unwrap().sfa;
+        let sfa = Sfa::builder(&dfa).options(&opts).build().unwrap().sfa;
         let text = sfa_workloads::protein_text(20_000, 5);
         assert_eq!(
             crate::matcher::match_with_sfa(&sfa, &dfa, &text, 4),
@@ -1246,19 +1330,21 @@ mod probabilistic_tests {
 #[cfg(test)]
 mod granularity_tests {
     use super::*;
-    use crate::sequential::{construct_sequential, SequentialVariant};
+    use crate::sequential::SequentialVariant;
 
     #[test]
     fn medium_grained_matches_coarse() {
         let dfa = sfa_automata::random::rn(50);
-        let expected = construct_sequential(&dfa, SequentialVariant::Transposed)
+        let expected = Sfa::builder(&dfa)
+            .sequential(SequentialVariant::Transposed)
+            .build()
             .unwrap()
             .sfa
             .num_states();
         for blocks in [1usize, 2, 4, 5, 20] {
             for threads in [1usize, 4] {
                 let opts = ParallelOptions::with_threads(threads).symbol_blocks(blocks);
-                let r = construct_parallel(&dfa, &opts).unwrap();
+                let r = Sfa::builder(&dfa).options(&opts).build().unwrap();
                 assert_eq!(
                     r.sfa.num_states(),
                     expected,
@@ -1272,14 +1358,16 @@ mod granularity_tests {
     #[test]
     fn medium_grained_with_compression() {
         let dfa = sfa_automata::random::rn(60);
-        let expected = construct_parallel(&dfa, &ParallelOptions::with_threads(2))
+        let expected = Sfa::builder(&dfa)
+            .options(&ParallelOptions::with_threads(2))
+            .build()
             .unwrap()
             .sfa
             .num_states();
         let opts = ParallelOptions::with_threads(4)
             .symbol_blocks(4)
             .compression(CompressionPolicy::WhenMemoryExceeds(1 << 13));
-        let r = construct_parallel(&dfa, &opts).unwrap();
+        let r = Sfa::builder(&dfa).options(&opts).build().unwrap();
         assert_eq!(r.sfa.num_states(), expected);
         assert!(r.stats.compressed);
         r.sfa.validate(&dfa).unwrap();
@@ -1291,7 +1379,7 @@ mod granularity_tests {
         for blocks in [0usize, 21, 100] {
             let opts = ParallelOptions::with_threads(2).symbol_blocks(blocks);
             assert!(matches!(
-                construct_parallel(&dfa, &opts),
+                Sfa::builder(&dfa).options(&opts).build(),
                 Err(SfaError::InvalidOptions(_))
             ));
         }
@@ -1300,12 +1388,14 @@ mod granularity_tests {
     #[test]
     fn candidate_stats_account_for_blocks() {
         let dfa = sfa_automata::random::rn(30);
-        let coarse = construct_parallel(&dfa, &ParallelOptions::with_threads(2)).unwrap();
-        let medium = construct_parallel(
-            &dfa,
-            &ParallelOptions::with_threads(2).symbol_blocks(4),
-        )
-        .unwrap();
+        let coarse = Sfa::builder(&dfa)
+            .options(&ParallelOptions::with_threads(2))
+            .build()
+            .unwrap();
+        let medium = Sfa::builder(&dfa)
+            .options(&ParallelOptions::with_threads(2).symbol_blocks(4))
+            .build()
+            .unwrap();
         // Same candidates in total regardless of granularity.
         assert_eq!(coarse.stats.candidates, medium.stats.candidates);
         assert_eq!(coarse.stats.states, medium.stats.states);
@@ -1327,7 +1417,7 @@ mod error_robustness_tests {
             let opts = ParallelOptions::with_threads(4)
                 .state_budget(400)
                 .compression(CompressionPolicy::WhenMemoryExceeds(16 * 1024));
-            match construct_parallel(&dfa, &opts) {
+            match Sfa::builder(&dfa).options(&opts).build() {
                 Err(SfaError::StateBudgetExceeded { budget: 400 }) => {}
                 other => panic!("expected budget error, got {:?}", other.map(|r| r.stats)),
             }
@@ -1340,9 +1430,9 @@ mod error_robustness_tests {
         // watermark trip, so a watermark smaller than the first state
         // meant compression never ran.
         let dfa = sfa_automata::random::rn(80);
-        let opts = ParallelOptions::with_threads(2)
-            .compression(CompressionPolicy::WhenMemoryExceeds(1));
-        let r = construct_parallel(&dfa, &opts).unwrap();
+        let opts =
+            ParallelOptions::with_threads(2).compression(CompressionPolicy::WhenMemoryExceeds(1));
+        let r = Sfa::builder(&dfa).options(&opts).build().unwrap();
         assert!(r.stats.compressed, "compression must trigger");
         assert!(r.sfa.is_compressed());
         r.sfa.validate(&dfa).unwrap();
@@ -1355,7 +1445,7 @@ mod error_robustness_tests {
         let dfa = sfa_automata::random::rn(40);
         let mut opts = ParallelOptions::with_threads(2).symbol_blocks(8);
         opts.global_queue_capacity = 1;
-        let r = construct_parallel(&dfa, &opts).unwrap();
+        let r = Sfa::builder(&dfa).options(&opts).build().unwrap();
         r.sfa.validate(&dfa).unwrap();
     }
 
@@ -1365,7 +1455,10 @@ mod error_robustness_tests {
         // live payload bytes (losers credited back), so peak ≥ used and
         // used ≈ states × state size.
         let dfa = sfa_automata::random::rn(60);
-        let r = construct_parallel(&dfa, &ParallelOptions::with_threads(4)).unwrap();
+        let r = Sfa::builder(&dfa)
+            .options(&ParallelOptions::with_threads(4))
+            .build()
+            .unwrap();
         assert!(r.stats.peak_bytes >= r.stats.uncompressed_bytes);
         // Peak can exceed live bytes by at most the transient losers.
         assert!(r.stats.peak_bytes < r.stats.uncompressed_bytes * 2);

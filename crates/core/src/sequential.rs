@@ -15,6 +15,7 @@
 //!   SIMD kernels (§III-A, Fig. 3). This is the paper's fastest
 //!   single-threaded method and the baseline for parallel speedups.
 
+use crate::budget::Governor;
 use crate::elem::{fits_u16, Elem};
 use crate::sfa::Sfa;
 use crate::stats::{ConstructionResult, ConstructionStats};
@@ -39,29 +40,56 @@ pub enum SequentialVariant {
     Transposed,
 }
 
-/// Construct the SFA of `dfa` sequentially with the default state budget
-/// (2²⁴ states — far beyond anything the sequential algorithms finish in
-/// reasonable time).
+/// Default sequential arena capacity (2²⁴ states — far beyond anything
+/// the sequential algorithms finish in reasonable time).
+pub const DEFAULT_SEQUENTIAL_STATE_BUDGET: usize = 1 << 24;
+
+/// Construct the SFA of `dfa` sequentially with the default state budget.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Sfa::builder(&dfa).sequential(variant).build()"
+)]
 pub fn construct_sequential(
     dfa: &Dfa,
     variant: SequentialVariant,
 ) -> Result<ConstructionResult, SfaError> {
-    construct_sequential_budgeted(dfa, variant, 1 << 24)
+    construct_sequential_governed(
+        dfa,
+        variant,
+        DEFAULT_SEQUENTIAL_STATE_BUDGET,
+        &Governor::unlimited(),
+    )
 }
 
 /// Construct with an explicit SFA-state budget.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Sfa::builder(&dfa).sequential(variant).state_budget(n).build()"
+)]
 pub fn construct_sequential_budgeted(
     dfa: &Dfa,
     variant: SequentialVariant,
     state_budget: usize,
 ) -> Result<ConstructionResult, SfaError> {
+    construct_sequential_governed(dfa, variant, state_budget, &Governor::unlimited())
+}
+
+/// The canonical governed entry point ([`crate::builder::SfaBuilder`]
+/// calls this): construct under an explicit arena capacity and a
+/// [`Governor`] polled once per processed SFA state.
+pub fn construct_sequential_governed(
+    dfa: &Dfa,
+    variant: SequentialVariant,
+    state_budget: usize,
+    governor: &Governor,
+) -> Result<ConstructionResult, SfaError> {
     if dfa.num_states() == 0 {
         return Err(SfaError::EmptyDfa);
     }
     if fits_u16(dfa.num_states()) {
-        construct_impl::<u16>(dfa, variant, state_budget)
+        construct_impl::<u16>(dfa, variant, state_budget, governor)
     } else {
-        construct_impl::<u32>(dfa, variant, state_budget)
+        construct_impl::<u32>(dfa, variant, state_budget, governor)
     }
 }
 
@@ -76,6 +104,7 @@ fn construct_impl<E: Elem>(
     dfa: &Dfa,
     variant: SequentialVariant,
     state_budget: usize,
+    governor: &Governor,
 ) -> Result<ConstructionResult, SfaError> {
     let t0 = Instant::now();
     let n = dfa.num_states() as usize;
@@ -89,10 +118,7 @@ fn construct_impl<E: Elem>(
     let mut mappings: Vec<E> = Vec::with_capacity(n * 64);
     let mut delta: Vec<u32> = Vec::new();
     let mut worklist: VecDeque<u32> = VecDeque::new();
-    let mut stats = ConstructionStats {
-        threads: 1,
-        ..Default::default()
-    };
+    let mut stats = ConstructionStats::with_threads(1);
 
     let mut set = match variant {
         SequentialVariant::Baseline => StateSet::Tree(BTreeMap::new()),
@@ -178,7 +204,16 @@ fn construct_impl<E: Elem>(
     let mut transposed: Vec<E> = vec![E::from_u32(0); k * n];
     let mut candidate: Vec<E> = vec![E::from_u32(0); n];
 
+    let governed = !governor.is_unlimited();
     while let Some(id) = worklist.pop_front() {
+        if governed {
+            // One checkpoint per processed SFA state: cheap relative to
+            // the |Σ| candidate generations the state is about to do.
+            governor.check(
+                (mappings.len() / n) as u64,
+                (mappings.len() * E::BYTES) as u64,
+            )?;
+        }
         match variant {
             SequentialVariant::Transposed => {
                 // Parameterized transposition: all k successors at once.
@@ -250,7 +285,7 @@ mod tests {
             SequentialVariant::Hashing,
             SequentialVariant::Transposed,
         ] {
-            let result = construct_sequential(&dfa, variant).unwrap();
+            let result = Sfa::builder(&dfa).sequential(variant).build().unwrap();
             assert_eq!(result.sfa.num_states(), 6, "{variant:?}");
             result.sfa.validate(&dfa).unwrap();
             assert_eq!(result.stats.states, 6);
@@ -271,10 +306,22 @@ mod tests {
                     .compile_str(pattern)
                     .unwrap()
             };
-            let base = construct_sequential(&dfa, SequentialVariant::Baseline).unwrap();
-            let ptree = construct_sequential(&dfa, SequentialVariant::BaselinePointerTree).unwrap();
-            let hash = construct_sequential(&dfa, SequentialVariant::Hashing).unwrap();
-            let trans = construct_sequential(&dfa, SequentialVariant::Transposed).unwrap();
+            let base = Sfa::builder(&dfa)
+                .sequential(SequentialVariant::Baseline)
+                .build()
+                .unwrap();
+            let ptree = Sfa::builder(&dfa)
+                .sequential(SequentialVariant::BaselinePointerTree)
+                .build()
+                .unwrap();
+            let hash = Sfa::builder(&dfa)
+                .sequential(SequentialVariant::Hashing)
+                .build()
+                .unwrap();
+            let trans = Sfa::builder(&dfa)
+                .sequential(SequentialVariant::Transposed)
+                .build()
+                .unwrap();
             assert_eq!(base.sfa.num_states(), ptree.sfa.num_states(), "{pattern}");
             assert_eq!(base.sfa.num_states(), hash.sfa.num_states(), "{pattern}");
             assert_eq!(base.sfa.num_states(), trans.sfa.num_states(), "{pattern}");
@@ -285,7 +332,9 @@ mod tests {
     #[test]
     fn sfa_simulates_dfa_from_every_state() {
         let dfa = rg_dfa();
-        let sfa = construct_sequential(&dfa, SequentialVariant::Transposed)
+        let sfa = Sfa::builder(&dfa)
+            .sequential(SequentialVariant::Transposed)
+            .build()
             .unwrap()
             .sfa;
         let alpha = dfa.alphabet().clone();
@@ -307,8 +356,11 @@ mod tests {
     #[test]
     fn budget_is_enforced() {
         let dfa = rg_dfa();
-        let err =
-            construct_sequential_budgeted(&dfa, SequentialVariant::Transposed, 3).unwrap_err();
+        let err = Sfa::builder(&dfa)
+            .sequential(SequentialVariant::Transposed)
+            .state_budget(3)
+            .build()
+            .unwrap_err();
         assert_eq!(err, SfaError::StateBudgetExceeded { budget: 3 });
     }
 
@@ -321,7 +373,10 @@ mod tests {
         b.set_start(q);
         b.default_transition(q, q);
         let dfa = b.build_strict().unwrap();
-        let result = construct_sequential(&dfa, SequentialVariant::Transposed).unwrap();
+        let result = Sfa::builder(&dfa)
+            .sequential(SequentialVariant::Transposed)
+            .build()
+            .unwrap();
         assert_eq!(result.sfa.num_states(), 1);
         result.sfa.validate(&dfa).unwrap();
     }
@@ -331,7 +386,10 @@ mod tests {
         // rN DFAs are sink-dominated; their SFAs stay small relative to
         // the n^n worst case.
         let dfa = sfa_automata::random::rn(30);
-        let result = construct_sequential(&dfa, SequentialVariant::Transposed).unwrap();
+        let result = Sfa::builder(&dfa)
+            .sequential(SequentialVariant::Transposed)
+            .build()
+            .unwrap();
         assert!(result.sfa.num_states() > 1);
         result.sfa.validate(&dfa).unwrap();
         // Identity start mapping.
@@ -342,7 +400,10 @@ mod tests {
     #[test]
     fn hashing_stats_show_fingerprint_effectiveness() {
         let dfa = rg_dfa();
-        let result = construct_sequential(&dfa, SequentialVariant::Hashing).unwrap();
+        let result = Sfa::builder(&dfa)
+            .sequential(SequentialVariant::Hashing)
+            .build()
+            .unwrap();
         // A duplicate costs exactly one confirming exhaustive compare;
         // fingerprints must eliminate all *wasted* compares here.
         assert_eq!(result.stats.fingerprint_collisions, 0);

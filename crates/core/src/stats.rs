@@ -12,7 +12,11 @@ use sfa_sync::counters::ContentionSnapshot;
 /// Counters one construction run accumulates (workers keep thread-local
 /// copies and merge at the end, so the hot path never touches shared
 /// atomics for statistics).
+/// `#[non_exhaustive]`: construct through [`ConstructionStats::with_threads`]
+/// (or `Default`) so future counters can be added without breaking
+/// downstream crates.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[non_exhaustive]
 pub struct ConstructionStats {
     /// SFA states in the result.
     pub states: u64,
@@ -51,6 +55,17 @@ pub struct ConstructionStats {
 }
 
 impl ConstructionStats {
+    /// Fresh counters for a run on `threads` workers (every other field
+    /// zeroed) — the constructor the engines use, and the only way for
+    /// downstream code to build a value of this `#[non_exhaustive]`
+    /// struct.
+    pub fn with_threads(threads: usize) -> Self {
+        ConstructionStats {
+            threads,
+            ..Default::default()
+        }
+    }
+
     /// Compression ratio achieved by the retained store (1.0 when raw).
     pub fn compression_ratio(&self) -> f64 {
         if self.stored_bytes == 0 {

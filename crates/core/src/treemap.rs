@@ -191,7 +191,6 @@ mod tests {
 
     #[test]
     fn agrees_with_btreemap_on_random_ops() {
-        use rand::prelude::*;
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let mut t = PointerTreeMap::new();
         let mut oracle: BTreeMap<Vec<u8>, u32> = BTreeMap::new();

@@ -1,0 +1,637 @@
+//! Dependency-free JSON for experiment records and CLI output.
+//!
+//! The build environment cannot fetch serde, and nothing here needs
+//! serde's generality: records are flat structs of numbers, strings and
+//! options. This crate provides
+//!
+//! * [`Value`] — a JSON document tree with an [`Index`](std::ops::Index)
+//!   impl (`v["field"]`) and literal comparisons (`v["n"] == 6`),
+//! * [`from_str`] — a strict recursive-descent parser,
+//! * [`ToJson`] + [`to_string_pretty`] — serialization,
+//! * [`impl_to_json!`] — a one-line field-list replacement for
+//!   `#[derive(Serialize)]` on plain structs.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// All JSON numbers, kept as f64 (integers up to 2⁵³ round-trip).
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    /// Insertion-ordered object (records keep their field order).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup; `None` for absent keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The bool payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        static NULL: Value = Value::Null;
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        static NULL: Value = Value::Null;
+        match self {
+            Value::Array(items) => items.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+macro_rules! impl_value_eq_num {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                matches!(self, Value::Number(n) if *n == *other as f64)
+            }
+        }
+    )*};
+}
+
+impl_value_eq_num!(i32, i64, u32, u64, usize, f64);
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        matches!(self, Value::String(s) if s == other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        matches!(self, Value::Bool(b) if b == other)
+    }
+}
+
+/// Parse error with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: &'static str,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected).
+pub fn from_str(text: &str) -> Result<Value, ParseError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &'static str) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8, message: &'static str) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(message))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'{', "expected '{'")?;
+        let mut fields = Vec::new();
+        let mut seen = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            if seen.insert(key.clone(), ()).is_some() {
+                return Err(self.err("duplicate object key"));
+            }
+            self.skip_ws();
+            self.expect(b':', "expected ':'")?;
+            self.skip_ws();
+            let v = self.value()?;
+            fields.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            // Surrogates are rejected rather than paired —
+                            // nothing this workspace writes emits them.
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("bad \\u code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is &str, so valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                    let ch = s.chars().next().unwrap();
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| self.err("bad number"))
+    }
+}
+
+/// Serialization into a [`Value`].
+pub trait ToJson {
+    fn to_json(&self) -> Value;
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> Value {
+        Value::String((*self).to_string())
+    }
+}
+
+macro_rules! impl_to_json_num {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+    )*};
+}
+
+impl_to_json_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Value {
+        (*self).to_json()
+    }
+}
+
+/// Implement [`ToJson`] for a struct by listing its fields — the
+/// replacement for `#[derive(Serialize)]` on flat record structs.
+///
+/// ```
+/// struct Row { name: String, count: u64 }
+/// sfa_json::impl_to_json!(Row { name, count });
+/// ```
+#[macro_export]
+macro_rules! impl_to_json {
+    ($ty:ty { $($field:ident),* $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Value {
+                $crate::Value::Object(vec![
+                    $((stringify!($field).to_string(),
+                       $crate::ToJson::to_json(&self.$field)),)*
+                ])
+            }
+        }
+    };
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn number_to_string(n: f64) -> String {
+    // Integers print without a trailing ".0" so records look like the
+    // serde_json output they replace.
+    if n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+fn write_value(v: &Value, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    let pad_in = "  ".repeat(indent + 1);
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&number_to_string(*n)),
+        Value::String(s) => escape_into(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&pad_in);
+                write_value(item, indent + 1, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (k, item)) in fields.iter().enumerate() {
+                out.push_str(&pad_in);
+                escape_into(k, out);
+                out.push_str(": ");
+                write_value(item, indent + 1, out);
+                if i + 1 < fields.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+/// Pretty-print (2-space indent, serde_json-compatible layout).
+pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> String {
+    let mut out = String::new();
+    write_value(&value.to_json(), 0, &mut out);
+    out
+}
+
+/// Compact single-line form.
+pub fn to_string<T: ToJson + ?Sized>(value: &T) -> String {
+    fn compact(v: &Value, out: &mut String) {
+        match v {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => out.push_str(&number_to_string(*n)),
+            Value::String(s) => escape_into(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    compact(item, out);
+                }
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                out.push('{');
+                for (i, (k, item)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(k, out);
+                    out.push(':');
+                    compact(item, out);
+                }
+                out.push('}');
+            }
+        }
+    }
+    let mut out = String::new();
+    compact(&value.to_json(), &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Row {
+        name: String,
+        count: u64,
+        ratio: f64,
+        maybe: Option<f64>,
+    }
+
+    impl_to_json!(Row {
+        name,
+        count,
+        ratio,
+        maybe
+    });
+
+    #[test]
+    fn struct_round_trip() {
+        let row = Row {
+            name: "r500".into(),
+            count: 124_543,
+            ratio: 27.5,
+            maybe: None,
+        };
+        let text = to_string_pretty(&row);
+        let v = from_str(&text).unwrap();
+        assert_eq!(v["name"], "r500");
+        assert_eq!(v["count"], 124_543u64);
+        assert_eq!(v["ratio"], 27.5);
+        assert_eq!(v["maybe"], Value::Null);
+    }
+
+    #[test]
+    fn vec_of_records_and_indexing() {
+        let rows = vec![
+            Row {
+                name: "a".into(),
+                count: 1,
+                ratio: 1.0,
+                maybe: Some(2.0),
+            },
+            Row {
+                name: "b".into(),
+                count: 2,
+                ratio: 0.5,
+                maybe: None,
+            },
+        ];
+        let v = from_str(&to_string_pretty(&rows)).unwrap();
+        assert_eq!(v[0]["name"], "a");
+        assert_eq!(v[1]["count"], 2u64);
+        assert_eq!(v[2], Value::Null);
+    }
+
+    #[test]
+    fn parses_escapes_and_nesting() {
+        let v = from_str(r#"{"s": "a\"b\\c\ndA", "arr": [1, -2.5, 1e3, true, null]}"#).unwrap();
+        assert_eq!(v["s"], "a\"b\\c\ndA");
+        assert_eq!(v["arr"][0], 1);
+        assert_eq!(v["arr"][1], -2.5);
+        assert_eq!(v["arr"][2], 1000.0);
+        assert_eq!(v["arr"][3], true);
+        assert_eq!(v["arr"][4], Value::Null);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("{\"a\":1} x").is_err());
+        assert!(from_str("{\"a\":1,\"a\":2}").is_err());
+        assert!(from_str("nul").is_err());
+    }
+
+    #[test]
+    fn compact_and_pretty_agree() {
+        let v = from_str("{\"a\": [1, 2], \"b\": {\"c\": true}}").unwrap();
+        let compact = to_string(&v);
+        assert_eq!(from_str(&compact).unwrap(), v);
+        assert!(!compact.contains('\n'));
+        let pretty = to_string_pretty(&v);
+        assert_eq!(from_str(&pretty).unwrap(), v);
+        assert!(pretty.contains("\n  \"a\": ["));
+    }
+
+    #[test]
+    fn escaped_string_round_trip() {
+        let original = "tab\there \"quotes\" and \\ slash \u{1}";
+        let text = to_string_pretty(&original);
+        let v = from_str(&text).unwrap();
+        assert_eq!(v.as_str(), Some(original));
+    }
+}

@@ -1,0 +1,96 @@
+//! Cooperative cancellation.
+//!
+//! A [`CancelToken`] is a cloneable handle to one shared flag. The party
+//! that wants to stop calls [`CancelToken::cancel`]; workers poll
+//! [`CancelToken::is_cancelled`] at their work-item granularity and wind
+//! down cooperatively. There is no unwinding and no thread killing — a
+//! cancelled engine stops at the next checkpoint, which keeps the
+//! lock-free structures (arena, chained table, phase barrier) in a state
+//! that is safe to discard or, for lazy construction, to keep using.
+//!
+//! The flag is monotonic: once set it stays set, so checks can use
+//! relaxed-ish orderings without risk of "un-cancelling". `Acquire` on
+//! the read pairs with `Release` on the set so that anything written
+//! before `cancel()` is visible to a worker that observes the flag.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Cloneable handle to a shared cancellation flag.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Set the flag. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Has any clone of this token been cancelled?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    /// Do the two tokens share one flag?
+    pub fn same_token(&self, other: &CancelToken) -> bool {
+        Arc::ptr_eq(&self.flag, &other.flag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::CancelToken;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!t.is_cancelled());
+        assert!(t.same_token(&c));
+        c.cancel();
+        assert!(t.is_cancelled());
+        // Idempotent.
+        t.cancel();
+        assert!(c.is_cancelled());
+    }
+
+    #[test]
+    fn fresh_tokens_are_independent() {
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        a.cancel();
+        assert!(!b.is_cancelled());
+        assert!(!a.same_token(&b));
+    }
+
+    #[test]
+    fn cancellation_crosses_threads() {
+        let t = CancelToken::new();
+        let seen = std::thread::scope(|scope| {
+            let worker = {
+                let t = t.clone();
+                scope.spawn(move || {
+                    let mut spins = 0u64;
+                    while !t.is_cancelled() {
+                        std::hint::spin_loop();
+                        spins += 1;
+                        if spins > 1_000_000_000 {
+                            return false;
+                        }
+                    }
+                    true
+                })
+            };
+            t.cancel();
+            worker.join().unwrap()
+        });
+        assert!(seen, "worker never observed the cancellation");
+    }
+}

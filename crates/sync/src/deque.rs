@@ -18,8 +18,8 @@
 //! owner thread shares its cache with the thief."
 
 use crate::counters::ContentionCounters;
+use crate::mutex::Mutex;
 use crate::padded::CachePadded;
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicIsize, AtomicPtr, AtomicU32, Ordering};
 use std::sync::Arc;
 

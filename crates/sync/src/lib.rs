@@ -21,23 +21,29 @@
 //!   paper compares against (§IV-B).
 //! * [`counters::ContentionCounters`] — software proxies for the perf-C2C
 //!   HITM measurements (CAS failures, steal traffic).
+//! * [`cancel::CancelToken`] — the cooperative cancellation flag polled
+//!   by every construction engine at work-item granularity.
 //! * [`backoff::Backoff`], [`padded::CachePadded`] — spin-wait and
 //!   false-sharing helpers.
 
 pub mod arena;
 pub mod backoff;
+pub mod cancel;
 pub mod counters;
 pub mod deque;
 pub mod global_queue;
 pub mod mpmc;
+pub mod mutex;
 pub mod padded;
 pub mod table;
 
 pub use arena::Arena;
+pub use cancel::CancelToken;
 pub use counters::ContentionCounters;
 pub use deque::work_stealing_deque;
 pub use global_queue::GlobalQueue;
 pub use mpmc::MsQueue;
+pub use mutex::Mutex;
 pub use padded::CachePadded;
 pub use table::{ChainedTable, FindOrInsert, Links};
 

@@ -14,8 +14,8 @@
 //! proportional to total traffic — an explicitly documented trade-off.
 
 use crate::counters::ContentionCounters;
+use crate::mutex::Mutex;
 use crate::padded::CachePadded;
-use parking_lot::Mutex;
 use std::ptr;
 use std::sync::atomic::{AtomicPtr, AtomicU32, Ordering};
 

@@ -1,0 +1,69 @@
+//! Minimal mutex with `parking_lot`-style ergonomics over `std`.
+//!
+//! The handful of blocking locks in this workspace (deferred-reclamation
+//! lists, the parallel engine's error slot and phase clock) never hold a
+//! guard across a panic point whose partial state could be observed, so
+//! poisoning adds nothing but `unwrap` noise at every call site. This
+//! wrapper recovers the inner value on poison and returns the guard
+//! directly, matching the `lock()` signature the code was written
+//! against.
+
+use std::sync::MutexGuard;
+
+/// Mutual exclusion that ignores poisoning.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a mutex protecting `value`.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Block until the lock is held; a poisoned lock is recovered rather
+    /// than propagated.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Consume the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(value) => value,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_and_mutate() {
+        let m = Mutex::new(1u32);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn recovers_from_poison() {
+        let m = std::sync::Arc::new(Mutex::new(0u32));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock();
+            panic!("poison the lock");
+        })
+        .join();
+        *m.lock() = 7;
+        assert_eq!(*m.lock(), 7);
+    }
+}

@@ -56,7 +56,7 @@ fn one_pattern(rng: &mut StdRng, cfg: &SynthConfig) -> String {
         let roll = rng.random_range(0..100);
         let mut el = if roll < 40 {
             // Single residue.
-            (AMINO[rng.random_range(0..20)] as char).to_string()
+            (AMINO[rng.random_range(0..20usize)] as char).to_string()
         } else if roll < 65 {
             // Positive class [..].
             format!("[{}]", group(rng, cfg))

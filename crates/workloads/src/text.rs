@@ -6,7 +6,6 @@
 //! [`protein_text_with_motif`] plants literal motif occurrences at known
 //! positions for match-correctness tests.
 
-use rand::prelude::*;
 use rand::rngs::StdRng;
 use sfa_automata::alphabet::{Alphabet, SymbolId};
 

@@ -48,7 +48,10 @@ fn main() {
     );
     let mut reference_states = None;
     for (name, opts) in runs {
-        let result = construct_parallel(&dfa, &opts).expect("construction");
+        let result = Sfa::builder(&dfa)
+            .options(&opts)
+            .build()
+            .expect("construction");
         let s = &result.stats;
         // All configurations must build the identical automaton.
         match reference_states {

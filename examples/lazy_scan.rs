@@ -21,7 +21,9 @@ fn main() {
 
     // --- Batch path: full construction, then matching. -------------------
     let t0 = Instant::now();
-    let batch = construct_parallel(&dfa, &ParallelOptions::with_threads(threads))
+    let batch = Sfa::builder(&dfa)
+        .options(&ParallelOptions::with_threads(threads))
+        .build()
         .expect("batch construction");
     let construct_secs = t0.elapsed().as_secs_f64();
     println!(

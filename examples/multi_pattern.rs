@@ -35,8 +35,10 @@ fn main() {
     );
 
     // --- 2. One SFA, one parallel scan for the whole set. ----------------
-    let result =
-        construct_parallel(&union, &ParallelOptions::with_threads(4)).expect("SFA construction");
+    let result = Sfa::builder(&union)
+        .options(&ParallelOptions::with_threads(4))
+        .build()
+        .expect("SFA construction");
     result.sfa.validate(&union).expect("valid SFA");
     println!(
         "union SFA: {} states in {:.1} ms",
@@ -53,8 +55,10 @@ fn main() {
     let scanner = Pipeline::scanner(alphabet.clone())
         .compile_str("RGD")
         .expect("scanner compiles");
-    let scan_sfa =
-        construct_parallel(&scanner, &ParallelOptions::with_threads(4)).expect("scanner SFA");
+    let scan_sfa = Sfa::builder(&scanner)
+        .options(&ParallelOptions::with_threads(4))
+        .build()
+        .expect("scanner SFA");
     let matcher = ParallelMatcher::new(&scan_sfa.sfa, &scanner);
     let text2 =
         sfa_workloads::protein_text_with_motif(1_000_000, 10, b"RGD", &[1_000, 400_000, 999_000]);

@@ -51,8 +51,10 @@ fn main() {
     for (name, regex) in SIGNATURES {
         let dfa = pipeline.compile_str(regex).expect("signature compiles");
         let t0 = std::time::Instant::now();
-        let result =
-            construct_parallel(&dfa, &ParallelOptions::with_threads(4)).expect("SFA construction");
+        let result = Sfa::builder(&dfa)
+            .options(&ParallelOptions::with_threads(4))
+            .build()
+            .expect("SFA construction");
         let build_ms = t0.elapsed().as_secs_f64() * 1e3;
         result.sfa.validate(&dfa).expect("valid SFA");
 

@@ -40,7 +40,10 @@ fn main() {
     let threads = 4;
     for w in workloads.iter().take(12) {
         let t0 = std::time::Instant::now();
-        let result = match construct_parallel(&w.dfa, &ParallelOptions::with_threads(threads)) {
+        let result = match Sfa::builder(&w.dfa)
+            .options(&ParallelOptions::with_threads(threads))
+            .build()
+        {
             Ok(r) => r,
             Err(e) => {
                 println!("{:<10} construction failed: {e}", w.name);

@@ -24,8 +24,10 @@ fn main() {
     );
 
     // --- 2. Sequential SFA construction (Algorithm 1 + optimizations). --
-    let seq =
-        construct_sequential(&dfa, SequentialVariant::Transposed).expect("sequential construction");
+    let seq = Sfa::builder(&dfa)
+        .sequential(SequentialVariant::Transposed)
+        .build()
+        .expect("sequential construction");
     println!(
         "SFA: {} states (Fig. 2 shows f0..f5 — six states), built in {:.3} ms",
         seq.sfa.num_states(),
@@ -39,8 +41,10 @@ fn main() {
     );
 
     // --- 3. Parallel construction agrees. --------------------------------
-    let par =
-        construct_parallel(&dfa, &ParallelOptions::with_threads(4)).expect("parallel construction");
+    let par = Sfa::builder(&dfa)
+        .options(&ParallelOptions::with_threads(4))
+        .build()
+        .expect("parallel construction");
     assert_eq!(par.sfa.num_states(), seq.sfa.num_states());
     par.sfa.validate(&dfa).expect("SFA consistent with DFA");
     println!(

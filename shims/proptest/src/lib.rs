@@ -1,0 +1,240 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! crates.io is unreachable in this build environment, so this shim
+//! implements the `proptest!` surface the workspace uses: per-test case
+//! counts via `ProptestConfig::with_cases`, `any::<T>()`, range
+//! strategies, `proptest::collection::vec`, and the `prop_assert*`
+//! macros. Inputs are sampled from a deterministic RNG seeded from the
+//! test name, so failures reproduce across runs. (No shrinking — a
+//! failing case panics with the sampled values left to the assert
+//! message.)
+
+use rand::rngs::StdRng;
+
+/// The RNG driving all sampling; aliased so the `proptest!` expansion
+/// resolves it through `$crate` even when the expanding crate does not
+/// depend on the `rand` shim itself.
+pub type TestRng = StdRng;
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per test.
+    pub cases: usize,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` sampled inputs per test.
+    pub fn with_cases(cases: usize) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// A source of sampled values.
+pub trait Strategy {
+    /// The sampled value type.
+    type Value;
+    /// Draw one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+/// Types with a canonical "whole domain" strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.next_u64() as u8
+    }
+}
+
+impl Arbitrary for u16 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.next_u64() as u16
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.next_u64() as u32
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Marker strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+/// The whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl<T> Strategy for core::ops::Range<T>
+where
+    T: rand::UniformInt,
+    core::ops::Range<T>: Clone + rand::IntoBounds<T>,
+{
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.random_range(self.clone())
+    }
+}
+
+impl<T> Strategy for core::ops::RangeInclusive<T>
+where
+    T: rand::UniformInt,
+    core::ops::RangeInclusive<T>: Clone + rand::IntoBounds<T>,
+{
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.random_range(self.clone())
+    }
+}
+
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+
+    /// Strategy for `Vec<T>` with a length range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// `proptest::collection::vec(elem, len_range)`.
+    pub fn vec<S: Strategy>(elem: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.len.is_empty() {
+                self.len.start
+            } else {
+                rng.random_range(self.len.clone())
+            };
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// Stable 64-bit seed from the test path so each test gets its own
+/// deterministic stream.
+pub fn seed_from_name(name: &str) -> u64 {
+    // FNV-1a.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@expand ($cfg).cases; $($rest)*);
+    };
+    (@expand $cases:expr; $($(#[$meta:meta])* fn $name:ident(
+        $($arg:ident in $strat:expr),* $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __proptest_rng = <$crate::TestRng>::seed_from_u64(
+                    $crate::seed_from_name(concat!(module_path!(), "::", stringify!($name))),
+                );
+                for __proptest_case in 0..($cases) {
+                    let _ = __proptest_case;
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __proptest_rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@expand $crate::ProptestConfig::default().cases; $($rest)*);
+    };
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
+        Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u32..17, y in 0usize..5, f in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 5);
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in crate::collection::vec(any::<u8>(), 2..9)) {
+            prop_assert!((2..9).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn seeds_differ_by_name() {
+        assert_ne!(crate::seed_from_name("a"), crate::seed_from_name("b"));
+    }
+}

@@ -1,0 +1,201 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this shim
+//! provides the (small) API subset the workspace actually uses, with the
+//! same call syntax as rand 0.10: `StdRng::seed_from_u64`,
+//! `random_range` over `Range`/`RangeInclusive`, `random_bool`, and
+//! slice `shuffle`. The generator is xoshiro256** seeded via SplitMix64 —
+//! deterministic across platforms, which is all the workloads and tests
+//! require (they fix seeds for reproducibility, not for statistics).
+
+pub mod rngs {
+    /// Deterministic 64-bit generator (xoshiro256**).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        /// Seed the full 256-bit state from one u64 via SplitMix64, as
+        /// recommended by the xoshiro authors.
+        pub fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        /// Next raw 64 bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform sample from a half-open or inclusive range.
+        pub fn random_range<T, R>(&mut self, range: R) -> T
+        where
+            T: crate::UniformInt,
+            R: crate::IntoBounds<T>,
+        {
+            let (lo, hi_inclusive) = range.into_bounds();
+            T::sample_inclusive(self, lo, hi_inclusive)
+        }
+
+        /// Bernoulli sample with probability `p`.
+        pub fn random_bool(&mut self, p: f64) -> bool {
+            // 53 uniform mantissa bits, the standard [0,1) construction.
+            let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            unit < p
+        }
+    }
+}
+
+/// Types that can be sampled uniformly from an inclusive range.
+pub trait UniformInt: Copy + PartialOrd {
+    fn sample_inclusive(rng: &mut rngs::StdRng, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample_inclusive(rng: &mut rngs::StdRng, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "empty sampling range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full u64 domain.
+                    return rng.next_u64() as $t;
+                }
+                // Rejection sampling to avoid modulo bias (the tests only
+                // need determinism, but unbiasedness is cheap).
+                let zone = u64::MAX - (u64::MAX - span + 1) % span;
+                loop {
+                    let v = rng.next_u64();
+                    if v <= zone {
+                        return (lo as u64).wrapping_add(v % span) as $t;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i32, i64);
+
+impl UniformInt for f64 {
+    fn sample_inclusive(rng: &mut rngs::StdRng, lo: Self, hi: Self) -> Self {
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + unit * (hi - lo)
+    }
+}
+
+/// Range-like arguments accepted by `random_range`.
+pub trait IntoBounds<T> {
+    /// (low, high) with the high bound inclusive.
+    fn into_bounds(self) -> (T, T);
+}
+
+impl IntoBounds<f64> for core::ops::Range<f64> {
+    fn into_bounds(self) -> (f64, f64) {
+        (self.start, self.end)
+    }
+}
+
+macro_rules! impl_into_bounds {
+    ($($t:ty),*) => {$(
+        impl IntoBounds<$t> for core::ops::Range<$t> {
+            fn into_bounds(self) -> ($t, $t) {
+                assert!(self.start < self.end, "empty range");
+                (self.start, self.end - 1)
+            }
+        }
+        impl IntoBounds<$t> for core::ops::RangeInclusive<$t> {
+            fn into_bounds(self) -> ($t, $t) {
+                (*self.start(), *self.end())
+            }
+        }
+    )*};
+}
+
+impl_into_bounds!(u8, u16, u32, u64, usize, i32, i64);
+
+/// Slice shuffling (the `SliceRandom` surface the workspace uses).
+pub trait SliceRandom {
+    fn shuffle(&mut self, rng: &mut rngs::StdRng);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle(&mut self, rng: &mut rngs::StdRng) {
+        // Fisher–Yates.
+        for i in (1..self.len()).rev() {
+            let j = rng.random_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::rngs::StdRng;
+    pub use crate::SliceRandom;
+    pub use crate::UniformInt;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::rngs::StdRng;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: u32 = rng.random_range(0..20);
+            assert!(v < 20);
+            let w: usize = rng.random_range(3..=5);
+            assert!((3..=5).contains(&w));
+            let f: f64 = rng.random_range(0.1..0.9);
+            assert!((0.1..0.9).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bool_probability_extremes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert!(!rng.random_bool(0.0));
+            assert!(rng.random_bool(1.0));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u8> = (0..25).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..25).collect::<Vec<u8>>());
+    }
+}

@@ -8,7 +8,9 @@ use sfa_core::sfa::CodecChoice;
 #[test]
 fn watermark_sweep_always_builds_the_same_automaton() {
     let dfa = sfa_workloads::rn(80);
-    let expected = construct_sequential(&dfa, SequentialVariant::Transposed)
+    let expected = Sfa::builder(&dfa)
+        .sequential(SequentialVariant::Transposed)
+        .build()
         .unwrap()
         .sfa
         .num_states();
@@ -16,7 +18,7 @@ fn watermark_sweep_always_builds_the_same_automaton() {
     for watermark in [1usize, 1 << 10, 1 << 14, 1 << 18, 1 << 30] {
         let opts = ParallelOptions::with_threads(4)
             .compression(CompressionPolicy::WhenMemoryExceeds(watermark));
-        let r = construct_parallel(&dfa, &opts).unwrap();
+        let r = Sfa::builder(&dfa).options(&opts).build().unwrap();
         assert_eq!(r.sfa.num_states(), expected, "watermark {watermark}");
         r.sfa.validate(&dfa).unwrap();
         // A tripped run must end compressed and report phase times.
@@ -36,7 +38,7 @@ fn compression_shrinks_sink_dominated_states() {
     let dfa = sfa_workloads::rn(120);
     let opts =
         ParallelOptions::with_threads(2).compression(CompressionPolicy::WhenMemoryExceeds(1 << 12));
-    let r = construct_parallel(&dfa, &opts).unwrap();
+    let r = Sfa::builder(&dfa).options(&opts).build().unwrap();
     assert!(r.stats.compressed, "watermark must trip");
     // Table II territory: sink-dominated rN states compress well.
     assert!(
@@ -50,7 +52,9 @@ fn compression_shrinks_sink_dominated_states() {
 #[test]
 fn every_codec_round_trips_through_the_engine() {
     let dfa = sfa_workloads::rn(50);
-    let expected = construct_parallel(&dfa, &ParallelOptions::with_threads(2))
+    let expected = Sfa::builder(&dfa)
+        .options(&ParallelOptions::with_threads(2))
+        .build()
         .unwrap()
         .sfa
         .num_states();
@@ -63,7 +67,7 @@ fn every_codec_round_trips_through_the_engine() {
         let opts = ParallelOptions::with_threads(4)
             .compression(CompressionPolicy::WhenMemoryExceeds(1 << 12))
             .codec(codec);
-        let r = construct_parallel(&dfa, &opts).unwrap();
+        let r = Sfa::builder(&dfa).options(&opts).build().unwrap();
         assert_eq!(r.sfa.num_states(), expected, "{}", codec.name());
         r.sfa.validate(&dfa).unwrap();
         // Store codec must yield ratio ~1; real codecs must beat it.
@@ -82,7 +86,7 @@ fn compression_under_single_thread() {
     let dfa = sfa_workloads::rn(60);
     let opts =
         ParallelOptions::with_threads(1).compression(CompressionPolicy::WhenMemoryExceeds(1 << 12));
-    let r = construct_parallel(&dfa, &opts).unwrap();
+    let r = Sfa::builder(&dfa).options(&opts).build().unwrap();
     assert!(r.stats.compressed);
     r.sfa.validate(&dfa).unwrap();
 }
@@ -92,10 +96,12 @@ fn compression_under_many_threads() {
     let dfa = sfa_workloads::rn(100);
     let opts =
         ParallelOptions::with_threads(8).compression(CompressionPolicy::WhenMemoryExceeds(1 << 13));
-    let r = construct_parallel(&dfa, &opts).unwrap();
+    let r = Sfa::builder(&dfa).options(&opts).build().unwrap();
     assert!(r.stats.compressed);
     r.sfa.validate(&dfa).unwrap();
-    let expected = construct_sequential(&dfa, SequentialVariant::Transposed)
+    let expected = Sfa::builder(&dfa)
+        .sequential(SequentialVariant::Transposed)
+        .build()
         .unwrap()
         .sfa
         .num_states();
@@ -109,10 +115,13 @@ fn prosite_pattern_with_compression() {
     let dfa = sfa_automata::pipeline::Pipeline::search(sfa_automata::Alphabet::amino_acids())
         .compile_prosite("C-x(2)-C-x(3)-H.")
         .unwrap();
-    let raw = construct_parallel(&dfa, &ParallelOptions::with_threads(2)).unwrap();
+    let raw = Sfa::builder(&dfa)
+        .options(&ParallelOptions::with_threads(2))
+        .build()
+        .unwrap();
     let opts =
         ParallelOptions::with_threads(4).compression(CompressionPolicy::WhenMemoryExceeds(1 << 12));
-    let r = construct_parallel(&dfa, &opts).unwrap();
+    let r = Sfa::builder(&dfa).options(&opts).build().unwrap();
     assert_eq!(r.sfa.num_states(), raw.sfa.num_states());
     r.sfa.validate(&dfa).unwrap();
 }
@@ -122,7 +131,7 @@ fn phase_times_partition_total() {
     let dfa = sfa_workloads::rn(80);
     let opts =
         ParallelOptions::with_threads(4).compression(CompressionPolicy::WhenMemoryExceeds(1 << 13));
-    let r = construct_parallel(&dfa, &opts).unwrap();
+    let r = Sfa::builder(&dfa).options(&opts).build().unwrap();
     let s = &r.stats;
     if s.compressed {
         assert!(s.phase1_secs > 0.0);

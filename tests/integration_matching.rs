@@ -11,7 +11,9 @@ fn build(pattern: &str) -> (sfa_automata::Dfa, sfa_core::Sfa) {
     let dfa = Pipeline::search(Alphabet::amino_acids())
         .compile_str(pattern)
         .unwrap();
-    let sfa = construct_parallel(&dfa, &ParallelOptions::with_threads(4))
+    let sfa = Sfa::builder(&dfa)
+        .options(&ParallelOptions::with_threads(4))
+        .build()
         .unwrap()
         .sfa;
     (dfa, sfa)
@@ -71,15 +73,16 @@ fn motif_straddling_chunk_boundaries() {
 #[test]
 fn compressed_sfa_matches_identically() {
     let dfa = sfa_workloads::rn(60);
-    let raw = construct_parallel(&dfa, &ParallelOptions::with_threads(2))
+    let raw = Sfa::builder(&dfa)
+        .options(&ParallelOptions::with_threads(2))
+        .build()
         .unwrap()
         .sfa;
-    let compressed = construct_parallel(
-        &dfa,
-        &ParallelOptions::with_threads(2).compression(CompressionPolicy::FromStart),
-    )
-    .unwrap()
-    .sfa;
+    let compressed = Sfa::builder(&dfa)
+        .options(&ParallelOptions::with_threads(2).compression(CompressionPolicy::FromStart))
+        .build()
+        .unwrap()
+        .sfa;
     assert!(compressed.is_compressed());
     for seed in 0..3 {
         let text = protein_text(5_000, seed);
@@ -94,12 +97,11 @@ fn compressed_sfa_matches_identically() {
 #[test]
 fn decompressed_sfa_equals_compressed() {
     let dfa = sfa_workloads::rn(40);
-    let mut sfa = construct_parallel(
-        &dfa,
-        &ParallelOptions::with_threads(2).compression(CompressionPolicy::FromStart),
-    )
-    .unwrap()
-    .sfa;
+    let mut sfa = Sfa::builder(&dfa)
+        .options(&ParallelOptions::with_threads(2).compression(CompressionPolicy::FromStart))
+        .build()
+        .unwrap()
+        .sfa;
     let text = protein_text(2_000, 0);
     let before = match_with_sfa(&sfa, &dfa, &text, 4);
     sfa.decompress();

@@ -8,7 +8,9 @@ use sfa_core::prelude::*;
 use sfa_core::sfa::CodecChoice;
 
 fn reference_states(dfa: &sfa_automata::Dfa) -> u32 {
-    construct_sequential(dfa, SequentialVariant::Transposed)
+    Sfa::builder(dfa)
+        .sequential(SequentialVariant::Transposed)
+        .build()
         .unwrap()
         .sfa
         .num_states()
@@ -25,7 +27,7 @@ fn scheduler_matrix_agrees_with_sequential() {
     ] {
         for threads in [1usize, 2, 4, 7] {
             let opts = ParallelOptions::with_threads(threads).scheduler(scheduler);
-            let r = construct_parallel(&dfa, &opts).unwrap();
+            let r = Sfa::builder(&dfa).options(&opts).build().unwrap();
             assert_eq!(
                 r.sfa.num_states(),
                 expected,
@@ -45,7 +47,7 @@ fn random_dfas_fuzz_parallel_vs_sequential() {
         let dfa = random_dfa(&alpha, 6, 0.3, seed);
         let expected = reference_states(&dfa);
         let opts = ParallelOptions::with_threads(4);
-        let r = construct_parallel(&dfa, &opts).unwrap();
+        let r = Sfa::builder(&dfa).options(&opts).build().unwrap();
         assert_eq!(r.sfa.num_states(), expected, "seed {seed}");
         r.sfa.validate(&dfa).unwrap();
     }
@@ -73,7 +75,7 @@ fn compression_policies_build_identical_automata() {
         let opts = ParallelOptions::with_threads(4)
             .compression(policy)
             .codec(codec);
-        let r = construct_parallel(&dfa, &opts).unwrap();
+        let r = Sfa::builder(&dfa).options(&opts).build().unwrap();
         assert_eq!(
             r.sfa.num_states(),
             expected,
@@ -91,7 +93,10 @@ fn repeated_runs_are_deterministic_in_outcome() {
     let dfa = sfa_workloads::rn(50);
     let expected = reference_states(&dfa);
     for _ in 0..5 {
-        let r = construct_parallel(&dfa, &ParallelOptions::with_threads(8)).unwrap();
+        let r = Sfa::builder(&dfa)
+            .options(&ParallelOptions::with_threads(8))
+            .build()
+            .unwrap();
         assert_eq!(r.sfa.num_states(), expected);
     }
 }
@@ -102,14 +107,17 @@ fn tiny_global_queue_capacity_still_correct() {
     let expected = reference_states(&dfa);
     let mut opts = ParallelOptions::with_threads(4);
     opts.global_queue_capacity = 1;
-    let r = construct_parallel(&dfa, &opts).unwrap();
+    let r = Sfa::builder(&dfa).options(&opts).build().unwrap();
     assert_eq!(r.sfa.num_states(), expected);
 }
 
 #[test]
 fn stats_are_internally_consistent() {
     let dfa = sfa_workloads::rn(40);
-    let r = construct_parallel(&dfa, &ParallelOptions::with_threads(4)).unwrap();
+    let r = Sfa::builder(&dfa)
+        .options(&ParallelOptions::with_threads(4))
+        .build()
+        .unwrap();
     let s = &r.stats;
     assert_eq!(s.states, r.sfa.num_states() as u64);
     assert_eq!(s.candidates, s.states * dfa.num_symbols() as u64);
@@ -123,7 +131,7 @@ fn budget_error_is_clean_under_parallelism() {
     let dfa = sfa_workloads::rn(60);
     for threads in [1usize, 4] {
         let opts = ParallelOptions::with_threads(threads).state_budget(10);
-        match construct_parallel(&dfa, &opts) {
+        match Sfa::builder(&dfa).options(&opts).build() {
             Err(SfaError::StateBudgetExceeded { budget: 10 }) => {}
             other => panic!(
                 "expected clean budget error, got {:?}",
@@ -142,7 +150,7 @@ fn large_dfa_uses_u32_elements() {
     assert!(dfa.num_states() > 65_537);
     let opts = ParallelOptions::with_threads(2).state_budget(40);
     // Budget exceeded is fine — the point is exercising the u32 path.
-    match construct_parallel(&dfa, &opts) {
+    match Sfa::builder(&dfa).options(&opts).build() {
         Ok(r) => r.sfa.validate(&dfa).unwrap(),
         Err(SfaError::StateBudgetExceeded { .. }) => {}
         Err(other) => panic!("unexpected error {other:?}"),

@@ -8,9 +8,15 @@ use sfa_automata::Alphabet;
 use sfa_core::prelude::*;
 
 fn check_full_pipeline(dfa: &sfa_automata::Dfa) {
-    let seq = construct_sequential(dfa, SequentialVariant::Transposed).unwrap();
+    let seq = Sfa::builder(dfa)
+        .sequential(SequentialVariant::Transposed)
+        .build()
+        .unwrap();
     seq.sfa.validate(dfa).unwrap();
-    let par = construct_parallel(dfa, &ParallelOptions::with_threads(3)).unwrap();
+    let par = Sfa::builder(dfa)
+        .options(&ParallelOptions::with_threads(3))
+        .build()
+        .unwrap();
     par.sfa.validate(dfa).unwrap();
     assert_eq!(seq.sfa.num_states(), par.sfa.num_states());
 }
@@ -64,8 +70,14 @@ fn grail_round_trip_preserves_sfa() {
     let text = grail::write_dfa(&dfa);
     let back = grail::read_dfa(&text, Some(dfa.alphabet().clone())).unwrap();
     assert!(dfa.isomorphic(&back));
-    let a = construct_sequential(&dfa, SequentialVariant::Transposed).unwrap();
-    let b = construct_sequential(&back, SequentialVariant::Transposed).unwrap();
+    let a = Sfa::builder(&dfa)
+        .sequential(SequentialVariant::Transposed)
+        .build()
+        .unwrap();
+    let b = Sfa::builder(&back)
+        .sequential(SequentialVariant::Transposed)
+        .build()
+        .unwrap();
     assert_eq!(a.sfa.num_states(), b.sfa.num_states());
 }
 

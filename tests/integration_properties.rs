@@ -20,9 +20,9 @@ proptest! {
     ) {
         let alpha = Alphabet::binary();
         let dfa = random_dfa(&alpha, states, accept_prob, seed);
-        let seq = construct_sequential(&dfa, SequentialVariant::Transposed).unwrap();
+        let seq = Sfa::builder(&dfa).sequential(SequentialVariant::Transposed).build().unwrap();
         seq.sfa.validate(&dfa).unwrap();
-        let par = construct_parallel(&dfa, &ParallelOptions::with_threads(2)).unwrap();
+        let par = Sfa::builder(&dfa).options(&ParallelOptions::with_threads(2)).build().unwrap();
         par.sfa.validate(&dfa).unwrap();
         prop_assert_eq!(seq.sfa.num_states(), par.sfa.num_states());
         // SFA states are functions Q → Q: there can never be more than n^n,
@@ -41,7 +41,7 @@ proptest! {
     ) {
         let alpha = Alphabet::binary();
         let dfa = random_dfa(&alpha, 4, 0.4, seed);
-        let sfa = construct_sequential(&dfa, SequentialVariant::Transposed)
+        let sfa = Sfa::builder(&dfa).sequential(SequentialVariant::Transposed).build()
             .unwrap()
             .sfa;
         let s = sfa.run(&input);
@@ -62,7 +62,7 @@ proptest! {
     ) {
         let alpha = Alphabet::binary();
         let dfa = random_dfa(&alpha, 4, 0.4, seed);
-        let sfa = construct_sequential(&dfa, SequentialVariant::Transposed)
+        let sfa = Sfa::builder(&dfa).sequential(SequentialVariant::Transposed).build()
             .unwrap()
             .sfa;
         let fa = sfa.mapping_of(sfa.run(&a));
@@ -89,7 +89,7 @@ proptest! {
         let dfa = Pipeline::search(Alphabet::amino_acids())
             .compile_str(patterns[pattern_pick])
             .unwrap();
-        let sfa = construct_sequential(&dfa, SequentialVariant::Transposed)
+        let sfa = Sfa::builder(&dfa).sequential(SequentialVariant::Transposed).build()
             .unwrap()
             .sfa;
         prop_assert_eq!(
@@ -117,11 +117,8 @@ proptest! {
     fn prop_compression_preserves_automaton(seed in any::<u64>()) {
         let alpha = Alphabet::binary();
         let dfa = random_dfa(&alpha, 5, 0.4, seed);
-        let raw = construct_parallel(&dfa, &ParallelOptions::with_threads(2)).unwrap();
-        let compressed = construct_parallel(
-            &dfa,
-            &ParallelOptions::with_threads(2).compression(CompressionPolicy::FromStart),
-        )
+        let raw = Sfa::builder(&dfa).options(&ParallelOptions::with_threads(2)).build().unwrap();
+        let compressed = Sfa::builder(&dfa).options(&ParallelOptions::with_threads(2).compression(CompressionPolicy::FromStart)).build()
         .unwrap();
         prop_assert_eq!(raw.sfa.num_states(), compressed.sfa.num_states());
         compressed.sfa.validate(&dfa).unwrap();
@@ -152,7 +149,7 @@ proptest! {
     ) {
         let alpha = Alphabet::binary();
         let dfa = random_dfa(&alpha, 4, 0.4, seed);
-        let batch = construct_parallel(&dfa, &ParallelOptions::with_threads(2)).unwrap();
+        let batch = Sfa::builder(&dfa).options(&ParallelOptions::with_threads(2)).build().unwrap();
         let lazy = sfa_core::lazy::LazySfa::new(&dfa, 1 << 14).unwrap();
         prop_assert_eq!(
             lazy.matches(&input, 3).unwrap(),
@@ -177,7 +174,7 @@ proptest! {
         } else {
             ParallelOptions::with_threads(2)
         };
-        let sfa = construct_parallel(&dfa, &opts).unwrap().sfa;
+        let sfa = Sfa::builder(&dfa).options(&opts).build().unwrap().sfa;
         let back = sfa_core::io::from_bytes(&sfa_core::io::to_bytes(&sfa)).unwrap();
         prop_assert_eq!(back.num_states(), sfa.num_states());
         back.validate(&dfa).unwrap();
@@ -194,7 +191,7 @@ proptest! {
     ) {
         let alpha = Alphabet::binary();
         let dfa = random_dfa(&alpha, 5, 0.4, seed);
-        let sfa = construct_sequential(&dfa, SequentialVariant::Transposed)
+        let sfa = Sfa::builder(&dfa).sequential(SequentialVariant::Transposed).build()
             .unwrap()
             .sfa;
         let matcher = ParallelMatcher::new(&sfa, &dfa);
@@ -213,7 +210,7 @@ proptest! {
     ) {
         let alpha = Alphabet::binary();
         let dfa = random_dfa(&alpha, 5, 0.4, seed);
-        let sfa = construct_sequential(&dfa, SequentialVariant::Transposed)
+        let sfa = Sfa::builder(&dfa).sequential(SequentialVariant::Transposed).build()
             .unwrap()
             .sfa;
         let matcher = ParallelMatcher::new(&sfa, &dfa);
@@ -229,12 +226,9 @@ proptest! {
     fn prop_probabilistic_is_exact_at_small_scale(seed in any::<u64>()) {
         let alpha = Alphabet::binary();
         let dfa = random_dfa(&alpha, 5, 0.4, seed);
-        let exact = construct_parallel(&dfa, &ParallelOptions::with_threads(2)).unwrap();
-        let prob = construct_parallel(
-            &dfa,
-            &ParallelOptions::with_threads(2)
-                .probabilistic(sfa_core::parallel::FingerprintAlgo::Rabin),
-        )
+        let exact = Sfa::builder(&dfa).options(&ParallelOptions::with_threads(2)).build().unwrap();
+        let prob = Sfa::builder(&dfa).options(&ParallelOptions::with_threads(2)
+                .probabilistic(sfa_core::parallel::FingerprintAlgo::Rabin)).build()
         .unwrap();
         prop_assert_eq!(prob.sfa.num_states(), exact.sfa.num_states());
         prob.sfa.validate(&dfa).unwrap();
