@@ -21,7 +21,9 @@
 //! Run in release mode: `cargo run --release -p sfa-bench --bin reproduce -- all`.
 
 use sfa_automata::dfa::Dfa;
-use sfa_bench::records::{self, CompressionRow, HashRow, MatchRow, QueueRow, ScaleRow, SeqRow};
+use sfa_bench::records::{
+    self, CompressionRow, HashRow, MatchRow, QueueRow, ScaleRow, SeqRow, ThroughputRow,
+};
 use sfa_bench::workloads::{cap_dfa_size, evaluation_suite};
 use sfa_bench::{median, time_once, PlatformInfo};
 use sfa_core::prelude::*;
@@ -119,6 +121,7 @@ fn main() -> ExitCode {
         "table2" => table2(&cfg),
         "codecs" => codecs(&cfg),
         "matching" => matching(&cfg),
+        "match-throughput" => match_throughput(&cfg),
         "hashes" => hashes(&cfg),
         "ablations" => ablations(&cfg),
         "all" => all(&cfg),
@@ -143,6 +146,7 @@ fn all(cfg: &Config) -> Result<(), String> {
         ("table2", table2),
         ("codecs", codecs),
         ("matching", matching),
+        ("match-throughput", match_throughput),
         ("hashes", hashes),
         ("ablations", ablations),
     ] {
@@ -665,6 +669,122 @@ fn matching(cfg: &Config) -> Result<(), String> {
          of the comparison [construction amortized against input size] is preserved)"
     );
     records::write_record("matching", &rows).map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+// ------------------------------------------- match-runtime throughput
+
+/// Matching-throughput comparison across dispatch strategies: the
+/// sequential matcher, the pre-pool per-call-spawn behavior (replicated
+/// here as the dispatch-overhead baseline), the persistent pool, and the
+/// blocked streaming path with fused byte classification. The delta
+/// between the spawn and pool columns is exactly the per-query thread
+/// cost the match runtime removes.
+fn match_throughput(cfg: &Config) -> Result<(), String> {
+    use sfa_core::budget::Governor;
+    use sfa_core::runtime::{ByteClassifier, MatchRuntime};
+    use std::io::Cursor;
+
+    let dfa = rn(cfg.rn_size.min(if cfg.quick { 150 } else { 500 }));
+    let threads = *cfg.threads.last().unwrap();
+    let result = Sfa::builder(&dfa)
+        .options(&ParallelOptions::with_threads(threads))
+        .build()
+        .map_err(|e| e.to_string())?;
+    let sfa = result.sfa;
+    let matcher = ParallelMatcher::new(&sfa, &dfa).map_err(|e| e.to_string())?;
+    let runtime = MatchRuntime::new(threads);
+    let governor = Governor::unlimited();
+    let alpha = sfa_automata::Alphabet::amino_acids();
+    let classifier = ByteClassifier::strict(&alpha);
+
+    let sizes: &[usize] = if cfg.quick {
+        &[100_000, 1_000_000]
+    } else {
+        &[1_000_000, 10_000_000, 50_000_000]
+    };
+    println!(
+        "match-runtime throughput ({threads} threads, median of {} runs):",
+        cfg.runs
+    );
+    println!(
+        "{:>12} {:>10} {:>12} {:>10} {:>12} {:>12}",
+        "input", "seq s", "spawn/call s", "pooled s", "streaming s", "pool gain"
+    );
+    let mut rows = Vec::new();
+    for &len in sizes {
+        let text = protein_text(len, 0xF00D);
+        let bytes = alpha.decode_symbols(&text);
+        let expected = match_sequential(&dfa, &text);
+
+        let mut samples: Vec<f64> = (0..cfg.runs)
+            .map(|_| {
+                let (s, hit) = time_once(|| match_sequential(&dfa, &text));
+                assert_eq!(hit, expected);
+                s
+            })
+            .collect();
+        let seq_secs = median(&mut samples);
+        // The pre-pool behavior: scoped OS threads spawned per call.
+        let mut samples: Vec<f64> = (0..cfg.runs)
+            .map(|_| {
+                let (s, hit) = time_once(|| {
+                    let chunk = text.len().div_ceil(threads);
+                    let mut q = dfa.start();
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = text
+                            .chunks(chunk)
+                            .map(|c| scope.spawn(|| sfa.run(c)))
+                            .collect();
+                        for h in handles {
+                            q = sfa.apply(h.join().expect("matcher thread panicked"), q);
+                        }
+                    });
+                    dfa.is_accepting(q)
+                });
+                assert_eq!(hit, expected);
+                s
+            })
+            .collect();
+        let spawn_secs = median(&mut samples);
+        let mut samples: Vec<f64> = (0..cfg.runs)
+            .map(|_| {
+                let (s, r) = time_once(|| runtime.matches_symbols(&matcher, &text, &governor));
+                assert_eq!(r.unwrap().0, expected);
+                s
+            })
+            .collect();
+        let pooled_secs = median(&mut samples);
+        let mut samples: Vec<f64> = (0..cfg.runs)
+            .map(|_| {
+                let (s, r) = time_once(|| {
+                    runtime.matches_stream(&matcher, &classifier, Cursor::new(&bytes), &governor)
+                });
+                assert_eq!(r.unwrap().0, expected);
+                s
+            })
+            .collect();
+        let streaming_secs = median(&mut samples);
+        let row = ThroughputRow {
+            input_len: len,
+            threads,
+            sequential_secs: seq_secs,
+            spawn_per_call_secs: spawn_secs,
+            pooled_secs,
+            streaming_secs,
+        };
+        println!(
+            "{:>12} {:>10.4} {:>12.4} {:>10.4} {:>12.4} {:>11.2}x",
+            len,
+            seq_secs,
+            spawn_secs,
+            pooled_secs,
+            streaming_secs,
+            row.pool_speedup()
+        );
+        rows.push(row);
+    }
+    records::write_record("match_throughput", &rows).map_err(|e| e.to_string())?;
     Ok(())
 }
 

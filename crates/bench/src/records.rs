@@ -171,6 +171,42 @@ impl MatchRow {
     }
 }
 
+/// One row of the matching-throughput experiment: one input size,
+/// compared across match paths (sequential, per-call thread spawn,
+/// pooled, streaming).
+#[derive(Debug, Clone)]
+pub struct ThroughputRow {
+    /// Input length in bytes/residues.
+    pub input_len: usize,
+    /// Worker threads for the parallel paths.
+    pub threads: usize,
+    /// Sequential DFA matcher seconds.
+    pub sequential_secs: f64,
+    /// Parallel matching with threads spawned per call (the pre-pool
+    /// behavior, kept as the dispatch-overhead baseline).
+    pub spawn_per_call_secs: f64,
+    /// Parallel matching on the persistent pool.
+    pub pooled_secs: f64,
+    /// Streaming (blocked, fused classification) on the pool.
+    pub streaming_secs: f64,
+}
+
+sfa_json::impl_to_json!(ThroughputRow {
+    input_len,
+    threads,
+    sequential_secs,
+    spawn_per_call_secs,
+    pooled_secs,
+    streaming_secs,
+});
+
+impl ThroughputRow {
+    /// Pool dispatch win over per-call spawning.
+    pub fn pool_speedup(&self) -> f64 {
+        self.spawn_per_call_secs / self.pooled_secs
+    }
+}
+
 /// One row of the hash-throughput experiment (E8 / §III-A).
 #[derive(Debug, Clone)]
 pub struct HashRow {

@@ -190,6 +190,9 @@ pub fn build(parsed: &Parsed) -> Result<(), String> {
 
 /// `sfa match` — parallel SFA matching of a text.
 pub fn do_match(parsed: &Parsed) -> Result<(), String> {
+    if let Some(path) = parsed.opt("stream") {
+        return do_match_stream(parsed, path);
+    }
     let dfa = dfa_from_args(parsed)?;
     let alpha = Alphabet::amino_acids();
     let text: Vec<u8> = if let Some(len) = parsed.opt("random") {
@@ -291,6 +294,50 @@ pub fn do_match(parsed: &Parsed) -> Result<(), String> {
 
 fn match_sequential_oracle(dfa: &sfa_automata::Dfa, text: &[u8]) -> bool {
     sfa_core::matcher::match_sequential(dfa, text)
+}
+
+/// `sfa match --stream <path>` — stream a file through the pooled match
+/// runtime in fixed-size blocks: byte→symbol classification is fused
+/// into the parallel chunk scans, so the file is never materialized as
+/// a symbol vector. ASCII whitespace is skipped (line-wrapped text
+/// streams as-is); any other non-alphabet byte is a typed error.
+fn do_match_stream(parsed: &Parsed, path: &str) -> Result<(), String> {
+    let dfa = dfa_from_args(parsed)?;
+    let alpha = Alphabet::amino_acids();
+    let classifier = ByteClassifier::skipping_ascii_whitespace(&alpha);
+    let block_bytes = match parsed.opt("block-bytes") {
+        Some(s) => crate::args::parse_bytes(s)?,
+        None => sfa_core::runtime::DEFAULT_BLOCK_BYTES,
+    };
+    let opts = parallel_options(parsed)?;
+    let budget = crate::budget_from_args(parsed)?;
+    let mut engine = MatchEngine::with_budget(&dfa, &opts, &budget, None);
+    // An explicit --threads gets its own pool of that size; otherwise the
+    // process-shared pool (one worker per CPU).
+    let runtime = match parsed.opt("threads") {
+        Some(_) => MatchRuntime::new(parsed.num("threads", 4)?),
+        None => MatchRuntime::shared(),
+    };
+    engine.set_runtime(runtime.with_block_bytes(block_bytes));
+    let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let t0 = std::time::Instant::now();
+    let (hit, stats) = engine
+        .match_stream(&classifier, file)
+        .map_err(|e| e.to_string())?;
+    let secs = t0.elapsed().as_secs_f64();
+    println!("stream               {path}");
+    println!(
+        "streamed             {} bytes in {} blocks of {} ({} chunk scans)",
+        stats.bytes, stats.blocks, block_bytes, stats.chunks
+    );
+    println!("match                {hit}");
+    println!("engine tier          {}", stats.tier);
+    println!(
+        "throughput           {:.1} MiB/s ({secs:.4} s, pool depth {})",
+        stats.bytes_per_sec() / (1024.0 * 1024.0),
+        stats.queue_depth
+    );
+    Ok(())
 }
 
 /// `sfa survey` — codec survey over sampled SFA states (E6 methodology).

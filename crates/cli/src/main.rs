@@ -101,7 +101,12 @@ COMMON OPTIONS:
     --random <len>       match: generate protein-like text of this length
     --text <string>      match: literal text
     --text-file <path>   match: read text from a file
-    --fasta <path>       match: read a FASTA protein file"
+    --fasta <path>       match: read a FASTA protein file
+    --stream <path>      match: stream a file in fixed-size blocks through
+                         the pooled match runtime (whitespace skipped;
+                         never materializes the whole input)
+    --block-bytes <b>    match: streaming block size (suffixes K/M/G;
+                         default 8M)"
     );
 }
 

@@ -24,12 +24,15 @@ use crate::budget::{Budget, Governor};
 use crate::lazy::LazySfa;
 use crate::matcher::{match_sequential, ParallelMatcher};
 use crate::parallel::{construct_parallel_governed, ParallelOptions};
+use crate::runtime::{ByteClassifier, Classified, MatchRuntime, MatchStats};
 use crate::sfa::Sfa;
 use crate::stats::ConstructionStats;
 use crate::SfaError;
 use sfa_automata::alphabet::SymbolId;
 use sfa_automata::dfa::Dfa;
 use sfa_sync::CancelToken;
+use std::io::Read;
+use std::time::Instant;
 
 /// Which rung of the degradation ladder is serving queries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +71,9 @@ pub struct EngineStats {
     pub construction: Option<ConstructionStats>,
     /// The governance error behind the most recent degradation.
     pub last_error: Option<SfaError>,
+    /// Telemetry of the most recent match (tier, chunks, throughput,
+    /// pool backlog).
+    pub last_match: Option<MatchStats>,
 }
 
 enum Backend<'d> {
@@ -83,6 +89,10 @@ pub struct MatchEngine<'d> {
     threads: usize,
     backend: Backend<'d>,
     stats: EngineStats,
+    runtime: MatchRuntime,
+    /// Matching polls the same token construction did, so a server can
+    /// abort an in-flight query with the handle it already holds.
+    cancel: Option<CancelToken>,
 }
 
 impl<'d> MatchEngine<'d> {
@@ -115,7 +125,7 @@ impl<'d> MatchEngine<'d> {
                 // The deadline was consumed by the batch attempt; the
                 // space axes still bound lazy discovery.
                 let lazy_budget = budget.clone().without_deadline();
-                match LazySfa::with_budget(dfa, opts.state_budget, &lazy_budget, cancel) {
+                match LazySfa::with_budget(dfa, opts.state_budget, &lazy_budget, cancel.clone()) {
                     Ok(lazy) => Backend::Lazy(Box::new(lazy)),
                     Err(err) => {
                         stats.degradations += 1;
@@ -130,7 +140,20 @@ impl<'d> MatchEngine<'d> {
             threads: opts.threads.max(1),
             backend,
             stats,
+            runtime: MatchRuntime::shared(),
+            cancel,
         }
+    }
+
+    /// Replace the match runtime (pool / streaming block size). The
+    /// default is the process-shared pool with the default block size.
+    pub fn set_runtime(&mut self, runtime: MatchRuntime) {
+        self.runtime = runtime;
+    }
+
+    /// The match runtime serving this engine.
+    pub fn runtime(&self) -> &MatchRuntime {
+        &self.runtime
     }
 
     /// The underlying DFA.
@@ -154,33 +177,215 @@ impl<'d> MatchEngine<'d> {
     }
 
     /// Does `input` match? Same verdict on every tier; a lazy tier that
-    /// exhausts its space budget mid-query degrades to sequential and
-    /// still answers.
+    /// exhausts its space budget mid-query — or a full tier whose worker
+    /// panics — degrades to sequential and still answers. A query
+    /// cancelled mid-match is also answered sequentially (the caller
+    /// asked for a verdict); use [`Self::try_matches`] to receive
+    /// cancellation as a typed error instead.
     pub fn matches(&mut self, input: &[SymbolId]) -> bool {
-        let lazy_err = match &self.backend {
+        match self.try_matches(input) {
+            Ok((verdict, _)) => verdict,
+            Err(_) => {
+                self.stats.sequential_matches += 1;
+                match_sequential(self.dfa, input)
+            }
+        }
+    }
+
+    /// Fallible, telemetry-carrying match. The engine's cancel token is
+    /// polled during the match; mid-match cancellation returns
+    /// [`SfaError::Cancelled`]. A worker panic on the full tier degrades
+    /// the engine to sequential (permanently, recorded in
+    /// [`EngineStats`]) and still answers.
+    pub fn try_matches(&mut self, input: &[SymbolId]) -> Result<(bool, MatchStats), SfaError> {
+        let governor = self.match_governor();
+        let degrade_err = match &self.backend {
             Backend::Full(sfa) => {
-                self.stats.full_matches += 1;
-                return ParallelMatcher::new(sfa, self.dfa).matches(input, self.threads);
+                let matcher = ParallelMatcher::new_unchecked(sfa, self.dfa);
+                match self.runtime.matches_symbols(&matcher, input, &governor) {
+                    Ok((verdict, stats)) => {
+                        self.stats.full_matches += 1;
+                        self.stats.last_match = Some(stats.clone());
+                        return Ok((verdict, stats));
+                    }
+                    // A poisoned automaton: contain it, stop trusting the
+                    // full tier, serve sequentially from now on.
+                    Err(err @ SfaError::WorkerPanic { .. }) => err,
+                    // Governance (cancellation): the tier is fine, the
+                    // caller said stop.
+                    Err(other) => return Err(other),
+                }
             }
             Backend::Lazy(lazy) => match lazy.matches(input, self.threads) {
                 Ok(verdict) => {
                     self.stats.lazy_matches += 1;
-                    return verdict;
+                    let stats = MatchStats {
+                        tier: MatchTier::LazySfa,
+                        blocks: 1,
+                        chunks: self.threads as u64,
+                        bytes: input.len() as u64,
+                        ..MatchStats::default()
+                    };
+                    self.stats.last_match = Some(stats.clone());
+                    return Ok((verdict, stats));
                 }
+                // The lazy tier ran out of budget mid-query: degrade for
+                // good and serve this (and every later) query
+                // sequentially.
                 Err(err) => err,
             },
-            Backend::Sequential => {
-                self.stats.sequential_matches += 1;
-                return match_sequential(self.dfa, input);
-            }
+            Backend::Sequential => return Ok(self.match_sequentially(input)),
         };
-        // The lazy tier ran out of budget mid-query: degrade for good
-        // and serve this (and every later) query sequentially.
         self.stats.degradations += 1;
-        self.stats.last_error = Some(lazy_err);
+        self.stats.last_error = Some(degrade_err);
         self.backend = Backend::Sequential;
+        Ok(self.match_sequentially(input))
+    }
+
+    /// Stream an input through the engine in fixed-size blocks (see
+    /// [`MatchRuntime::matches_stream`]): the full tier chunk-matches
+    /// each block in parallel on the pool; other tiers scan the stream
+    /// sequentially through the DFA. Same verdict either way, and peak
+    /// memory stays at one block.
+    pub fn match_stream<R: Read>(
+        &mut self,
+        classifier: &ByteClassifier,
+        reader: R,
+    ) -> Result<(bool, MatchStats), SfaError> {
+        let governor = self.match_governor();
+        match &self.backend {
+            Backend::Full(sfa) => {
+                let matcher = ParallelMatcher::new_unchecked(sfa, self.dfa);
+                match self
+                    .runtime
+                    .matches_stream(&matcher, classifier, reader, &governor)
+                {
+                    Ok((verdict, stats)) => {
+                        self.stats.full_matches += 1;
+                        self.stats.last_match = Some(stats.clone());
+                        Ok((verdict, stats))
+                    }
+                    Err(err @ SfaError::WorkerPanic { .. }) => {
+                        // The stream is partially consumed, so this query
+                        // cannot be replayed — surface the error, but stop
+                        // trusting the full tier for later queries.
+                        self.stats.degradations += 1;
+                        self.stats.last_error = Some(err.clone());
+                        self.backend = Backend::Sequential;
+                        Err(err)
+                    }
+                    Err(other) => Err(other),
+                }
+            }
+            _ => self.stream_sequentially(classifier, reader, &governor),
+        }
+    }
+
+    /// Batch matching: the full tier dispatches one pool task per input
+    /// ([`MatchRuntime::match_many`]); other tiers answer input by
+    /// input. One verdict per input, in order.
+    pub fn match_many(&mut self, inputs: &[&[SymbolId]]) -> Result<Vec<bool>, SfaError> {
+        if !matches!(self.backend, Backend::Full(_)) {
+            return Ok(inputs.iter().map(|input| self.matches(input)).collect());
+        }
+        let governor = self.match_governor();
+        let err = match &self.backend {
+            Backend::Full(sfa) => {
+                let matcher = ParallelMatcher::new_unchecked(sfa, self.dfa);
+                match self.runtime.match_many(&matcher, inputs, &governor) {
+                    Ok(verdicts) => {
+                        self.stats.full_matches += inputs.len() as u64;
+                        return Ok(verdicts);
+                    }
+                    Err(err @ SfaError::WorkerPanic { .. }) => err,
+                    Err(other) => return Err(other),
+                }
+            }
+            _ => unreachable!("checked above"),
+        };
+        self.stats.degradations += 1;
+        self.stats.last_error = Some(err);
+        self.backend = Backend::Sequential;
+        Ok(inputs.iter().map(|input| self.matches(input)).collect())
+    }
+
+    /// The governor every match polls: the construction budget's axes
+    /// were spent on construction, but the cancel token stays live so a
+    /// server can abort in-flight queries.
+    fn match_governor(&self) -> Governor {
+        Governor::new(&Budget::unlimited(), self.cancel.clone())
+    }
+
+    fn match_sequentially(&mut self, input: &[SymbolId]) -> (bool, MatchStats) {
+        let start = Instant::now();
         self.stats.sequential_matches += 1;
-        match_sequential(self.dfa, input)
+        let verdict = match_sequential(self.dfa, input);
+        let stats = MatchStats {
+            tier: MatchTier::Sequential,
+            blocks: 1,
+            chunks: 1,
+            bytes: input.len() as u64,
+            elapsed: start.elapsed(),
+            ..MatchStats::default()
+        };
+        self.stats.last_match = Some(stats.clone());
+        (verdict, stats)
+    }
+
+    /// Sequential streaming scan used by the non-full tiers: classify
+    /// and step block by block, polling the governor between blocks.
+    fn stream_sequentially<R: Read>(
+        &mut self,
+        classifier: &ByteClassifier,
+        mut reader: R,
+        governor: &Governor,
+    ) -> Result<(bool, MatchStats), SfaError> {
+        let start = Instant::now();
+        let mut stats = MatchStats {
+            tier: MatchTier::Sequential,
+            chunks: 1,
+            ..MatchStats::default()
+        };
+        let mut buf = vec![0u8; self.runtime.block_bytes()];
+        let mut q = self.dfa.start();
+        let mut offset = 0u64;
+        loop {
+            governor.check(0, 0)?;
+            let mut filled = 0usize;
+            while filled < buf.len() {
+                match reader.read(&mut buf[filled..]) {
+                    Ok(0) => break,
+                    Ok(n) => filled += n,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(SfaError::Io(e.to_string())),
+                }
+            }
+            if filled == 0 {
+                break;
+            }
+            for (j, &b) in buf[..filled].iter().enumerate() {
+                match classifier.classify(b) {
+                    Classified::Symbol(sym) => q = self.dfa.next(q, sym),
+                    Classified::Skip => {}
+                    Classified::Invalid => {
+                        return Err(SfaError::InvalidByte {
+                            byte: b,
+                            offset: offset + j as u64,
+                        })
+                    }
+                }
+            }
+            offset += filled as u64;
+            stats.blocks += 1;
+            if filled < buf.len() {
+                break;
+            }
+        }
+        self.stats.sequential_matches += 1;
+        stats.bytes = offset;
+        stats.elapsed = start.elapsed();
+        self.stats.last_match = Some(stats.clone());
+        Ok((self.dfa.is_accepting(q), stats))
     }
 }
 

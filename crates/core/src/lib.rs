@@ -70,6 +70,7 @@ pub mod lazy;
 pub mod matcher;
 pub mod memory;
 pub mod parallel;
+pub mod runtime;
 pub mod sequential;
 pub mod sfa;
 pub mod state;
@@ -80,10 +81,11 @@ pub use budget::{Budget, BudgetProgress, BudgetResource};
 pub use builder::SfaBuilder;
 pub use engine::{EngineStats, MatchEngine, MatchTier};
 pub use lazy::LazySfa;
-pub use matcher::{match_sequential, match_with_sfa, ParallelMatcher};
+pub use matcher::{match_sequential, match_with_sfa, try_match_with_sfa, ParallelMatcher};
 #[allow(deprecated)]
 pub use parallel::construct_parallel;
 pub use parallel::{CompressionPolicy, ParallelOptions, Scheduler};
+pub use runtime::{ByteClassifier, Classified, MatchRuntime, MatchStats};
 #[allow(deprecated)]
 pub use sequential::construct_sequential;
 pub use sequential::SequentialVariant;
@@ -122,6 +124,36 @@ pub enum SfaError {
     NoThreads,
     /// Mutually exclusive options were combined.
     InvalidOptions(&'static str),
+    /// An SFA was paired with a DFA it was not built from: the state or
+    /// symbol counts disagree. Matching such a pair would index past the
+    /// mapping vectors or silently return wrong verdicts.
+    Mismatch {
+        /// DFA states the SFA's mappings cover.
+        sfa_dfa_states: usize,
+        /// States of the DFA actually supplied.
+        dfa_states: usize,
+        /// Symbols in the SFA's transition table.
+        sfa_symbols: usize,
+        /// Symbols of the DFA actually supplied.
+        dfa_symbols: usize,
+    },
+    /// A pooled matcher worker panicked while scanning its chunk. The
+    /// panic was contained — the pool and the process survive — and the
+    /// payload message is carried here.
+    WorkerPanic {
+        /// The panic payload (or `"; "`-joined payloads).
+        message: String,
+    },
+    /// A streamed input byte is outside the alphabet (and the classifier
+    /// was not configured to skip it).
+    InvalidByte {
+        /// The offending byte.
+        byte: u8,
+        /// Offset of the byte from the start of the stream.
+        offset: u64,
+    },
+    /// An I/O error while reading a streamed input.
+    Io(String),
 }
 
 impl SfaError {
@@ -163,6 +195,24 @@ impl std::fmt::Display for SfaError {
             SfaError::EmptyDfa => write!(f, "input DFA has no states"),
             SfaError::NoThreads => write!(f, "at least one worker thread is required"),
             SfaError::InvalidOptions(msg) => write!(f, "invalid option combination: {msg}"),
+            SfaError::Mismatch {
+                sfa_dfa_states,
+                dfa_states,
+                sfa_symbols,
+                dfa_symbols,
+            } => write!(
+                f,
+                "SFA/DFA mismatch: SFA built for {sfa_dfa_states} states x {sfa_symbols} \
+                 symbols, DFA has {dfa_states} states x {dfa_symbols} symbols"
+            ),
+            SfaError::WorkerPanic { message } => {
+                write!(f, "matcher worker panicked: {message}")
+            }
+            SfaError::InvalidByte { byte, offset } => write!(
+                f,
+                "input byte 0x{byte:02x} at offset {offset} is outside the alphabet"
+            ),
+            SfaError::Io(msg) => write!(f, "I/O error while streaming input: {msg}"),
         }
     }
 }
@@ -175,10 +225,13 @@ pub mod prelude {
     pub use crate::builder::SfaBuilder;
     pub use crate::engine::{EngineStats, MatchEngine, MatchTier};
     pub use crate::lazy::LazySfa;
-    pub use crate::matcher::{match_sequential, match_with_sfa, ParallelMatcher};
+    pub use crate::matcher::{
+        match_sequential, match_with_sfa, try_match_with_sfa, ParallelMatcher,
+    };
     #[allow(deprecated)]
     pub use crate::parallel::construct_parallel;
     pub use crate::parallel::{CompressionPolicy, ParallelOptions, Scheduler};
+    pub use crate::runtime::{ByteClassifier, Classified, MatchRuntime, MatchStats};
     #[allow(deprecated)]
     pub use crate::sequential::construct_sequential;
     pub use crate::sequential::SequentialVariant;

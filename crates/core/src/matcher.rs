@@ -11,10 +11,31 @@
 //!   parallel, which is the paper's break-even argument: construction
 //!   cost + parallel matching beats sequential matching beyond ~20 MB of
 //!   input on their 88-thread machine.
+//!
+//! Chunk scans run on a persistent [`TaskPool`] (the process-shared pool
+//! by default) rather than on per-call `std::thread::scope` threads: a
+//! serving process answers many queries, and spawning OS threads per
+//! query would bury the break-even argument under `clone(2)` noise. The
+//! fallible `try_*` entry points additionally poll a [`Governor`] every
+//! [`GOVERNOR_POLL_SYMBOLS`] symbols, so deadlines and cancellation
+//! apply to *matching* just as PR 1 applied them to construction, and
+//! they surface worker panics as [`SfaError::WorkerPanic`] instead of
+//! aborting the process.
 
+use crate::budget::Governor;
 use crate::sfa::Sfa;
+use crate::SfaError;
 use sfa_automata::alphabet::SymbolId;
 use sfa_automata::dfa::Dfa;
+use sfa_sync::pool::TaskPool;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// How many symbols a chunk scan processes between governor polls (and
+/// abort-flag checks). Large enough that the poll is invisible next to
+/// the table lookups, small enough that cancellation latency stays in
+/// the tens of microseconds.
+pub const GOVERNOR_POLL_SYMBOLS: usize = 64 * 1024;
 
 /// Sequential DFA membership test over dense symbols (Fig. 1c).
 pub fn match_sequential(dfa: &Dfa, input: &[SymbolId]) -> bool {
@@ -23,52 +44,145 @@ pub fn match_sequential(dfa: &Dfa, input: &[SymbolId]) -> bool {
 
 /// Match `input` with the SFA in `threads` parallel chunks; returns the
 /// DFA's accept decision for the whole input.
+///
+/// # Panics
+///
+/// On an SFA/DFA mismatch or a worker panic. Use [`try_match_with_sfa`]
+/// to receive those conditions as typed errors instead.
 pub fn match_with_sfa(sfa: &Sfa, dfa: &Dfa, input: &[SymbolId], threads: usize) -> bool {
-    ParallelMatcher::new(sfa, dfa).matches(input, threads)
+    try_match_with_sfa(sfa, dfa, input, threads).expect("match_with_sfa failed")
+}
+
+/// Fallible variant of [`match_with_sfa`]: a mismatched SFA/DFA pair
+/// returns [`SfaError::Mismatch`], a worker panic returns
+/// [`SfaError::WorkerPanic`].
+pub fn try_match_with_sfa(
+    sfa: &Sfa,
+    dfa: &Dfa,
+    input: &[SymbolId],
+    threads: usize,
+) -> Result<bool, SfaError> {
+    ParallelMatcher::new(sfa, dfa)?.try_matches(input, threads)
 }
 
 /// Reusable parallel matcher (construct once, match many inputs).
 pub struct ParallelMatcher<'a> {
-    sfa: &'a Sfa,
-    dfa: &'a Dfa,
+    pub(crate) sfa: &'a Sfa,
+    pub(crate) dfa: &'a Dfa,
+}
+
+impl std::fmt::Debug for ParallelMatcher<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParallelMatcher")
+            .field("dfa_states", &self.sfa.dfa_states())
+            .field("num_symbols", &self.sfa.num_symbols())
+            .finish()
+    }
 }
 
 impl<'a> ParallelMatcher<'a> {
-    /// Pair an SFA with its source DFA.
-    pub fn new(sfa: &'a Sfa, dfa: &'a Dfa) -> Self {
-        debug_assert_eq!(sfa.dfa_states(), dfa.num_states() as usize);
-        debug_assert_eq!(sfa.num_symbols(), dfa.num_symbols());
+    /// Pair an SFA with its source DFA, verifying that the SFA was
+    /// actually built from this DFA (state and symbol counts agree).
+    /// A mismatched pair would silently return wrong verdicts or index
+    /// out of bounds, so the check runs in **every** build profile —
+    /// the `debug_assert_eq!` this replaces let release builds through.
+    pub fn new(sfa: &'a Sfa, dfa: &'a Dfa) -> Result<Self, SfaError> {
+        check_compatible(sfa, dfa)?;
+        Ok(ParallelMatcher { sfa, dfa })
+    }
+
+    /// Pair without the compatibility check, for internal callers that
+    /// just built the SFA from this very DFA and hold both by construction.
+    pub fn new_unchecked(sfa: &'a Sfa, dfa: &'a Dfa) -> Self {
+        debug_assert!(check_compatible(sfa, dfa).is_ok());
         ParallelMatcher { sfa, dfa }
     }
 
     /// The final DFA state after `input`, computed with parallel chunks.
+    ///
+    /// # Panics
+    ///
+    /// If a worker panics; see [`Self::try_final_state`].
     pub fn final_state(&self, input: &[SymbolId], threads: usize) -> u32 {
-        let threads = threads.max(1);
+        self.try_final_state(input, threads)
+            .expect("parallel final_state failed")
+    }
+
+    /// Accept decision for `input`.
+    ///
+    /// # Panics
+    ///
+    /// If a worker panics; see [`Self::try_matches`].
+    pub fn matches(&self, input: &[SymbolId], threads: usize) -> bool {
+        self.try_matches(input, threads)
+            .expect("parallel matches failed")
+    }
+
+    /// Position after which the first match ends (number of symbols
+    /// consumed; `Some(0)` when the start state itself accepts), or
+    /// `None` when no prefix of `input` is accepted.
+    ///
+    /// # Panics
+    ///
+    /// If a worker panics; see [`Self::try_find_first_match`].
+    pub fn find_first_match(&self, input: &[SymbolId], threads: usize) -> Option<usize> {
+        self.try_find_first_match(input, threads)
+            .expect("parallel find_first_match failed")
+    }
+
+    /// Parallel occurrence counting (same two-pass scheme as
+    /// [`Self::find_first_match`]): chunk mappings give every chunk its
+    /// exact entry state; chunks then count accepting positions
+    /// independently and the counts sum.
+    ///
+    /// # Panics
+    ///
+    /// If a worker panics; see [`Self::try_count_matches`].
+    pub fn count_matches(&self, input: &[SymbolId], threads: usize) -> u64 {
+        self.try_count_matches(input, threads)
+            .expect("parallel count_matches failed")
+    }
+
+    /// Fallible [`Self::final_state`] on the shared pool, ungoverned.
+    pub fn try_final_state(&self, input: &[SymbolId], threads: usize) -> Result<u32, SfaError> {
+        self.final_state_on(TaskPool::shared(), &Governor::unlimited(), input, threads)
+    }
+
+    /// Fallible [`Self::matches`] on the shared pool, ungoverned.
+    pub fn try_matches(&self, input: &[SymbolId], threads: usize) -> Result<bool, SfaError> {
+        Ok(self.dfa.is_accepting(self.try_final_state(input, threads)?))
+    }
+
+    /// Fallible [`Self::find_first_match`] on the shared pool, ungoverned.
+    pub fn try_find_first_match(
+        &self,
+        input: &[SymbolId],
+        threads: usize,
+    ) -> Result<Option<usize>, SfaError> {
+        self.find_first_match_on(TaskPool::shared(), &Governor::unlimited(), input, threads)
+    }
+
+    /// Fallible [`Self::count_matches`] on the shared pool, ungoverned.
+    pub fn try_count_matches(&self, input: &[SymbolId], threads: usize) -> Result<u64, SfaError> {
+        self.count_matches_on(TaskPool::shared(), &Governor::unlimited(), input, threads)
+    }
+
+    /// [`Self::final_state`] on an explicit pool under a [`Governor`].
+    /// Workers poll the governor every [`GOVERNOR_POLL_SYMBOLS`] symbols;
+    /// the first failure (cancellation, deadline, worker panic) aborts
+    /// the remaining scans and is returned.
+    pub fn final_state_on(
+        &self,
+        pool: &TaskPool,
+        governor: &Governor,
+        input: &[SymbolId],
+        threads: usize,
+    ) -> Result<u32, SfaError> {
         if input.is_empty() {
-            return self.dfa.start();
+            governor.check(0, 0)?;
+            return Ok(self.dfa.start());
         }
-        let chunk = input.len().div_ceil(threads);
-        let chunks: Vec<&[SymbolId]> = input.chunks(chunk).collect();
-
-        // Run the SFA over each chunk in parallel. Each run starts from
-        // the SFA start state (the identity mapping), so its result is
-        // the chunk's full transition mapping.
-        let sfa = self.sfa;
-        let mut chunk_states: Vec<u32> = vec![0; chunks.len()];
-        if chunks.len() == 1 {
-            chunk_states[0] = sfa.run(chunks[0]);
-        } else {
-            std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(chunks.len());
-                for &c in &chunks {
-                    handles.push(scope.spawn(move || sfa.run(c)));
-                }
-                for (slot, h) in chunk_states.iter_mut().zip(handles) {
-                    *slot = h.join().expect("matcher thread panicked");
-                }
-            });
-        }
-
+        let chunk_states = self.run_chunks(pool, governor, input, threads)?;
         // Reduce. Full mapping composition ([`Sfa::compose`]) is the
         // paper's general reduction; for a single accept decision only
         // q0's image is needed, so chaining `apply` is equivalent and
@@ -76,19 +190,26 @@ impl<'a> ParallelMatcher<'a> {
         // whole vectors for compressed stores.
         let mut q = self.dfa.start();
         for &s in &chunk_states {
-            q = sfa.apply(s, q);
+            q = self.sfa.apply(s, q);
         }
-        q
+        Ok(q)
     }
 
-    /// Accept decision for `input`.
-    pub fn matches(&self, input: &[SymbolId], threads: usize) -> bool {
-        self.dfa.is_accepting(self.final_state(input, threads))
+    /// [`Self::matches`] on an explicit pool under a [`Governor`].
+    pub fn matches_on(
+        &self,
+        pool: &TaskPool,
+        governor: &Governor,
+        input: &[SymbolId],
+        threads: usize,
+    ) -> Result<bool, SfaError> {
+        Ok(self
+            .dfa
+            .is_accepting(self.final_state_on(pool, governor, input, threads)?))
     }
 
-    /// Position after which the first match ends (number of symbols
-    /// consumed; `Some(0)` when the start state itself accepts), or
-    /// `None` when no prefix of `input` is accepted.
+    /// [`Self::find_first_match`] on an explicit pool under a
+    /// [`Governor`].
     ///
     /// Two-pass parallel algorithm: (1) compute each chunk's SFA mapping
     /// in parallel; (2) prefix-compose the mappings (cheap, `O(threads·n)`)
@@ -97,71 +218,269 @@ impl<'a> ParallelMatcher<'a> {
     /// earliest accepting position. Unlike the speculative approaches the
     /// paper surveys (§V), no re-matching is ever needed — entry states
     /// are exact.
-    pub fn find_first_match(&self, input: &[SymbolId], threads: usize) -> Option<usize> {
+    pub fn find_first_match_on(
+        &self,
+        pool: &TaskPool,
+        governor: &Governor,
+        input: &[SymbolId],
+        threads: usize,
+    ) -> Result<Option<usize>, SfaError> {
         let dfa = self.dfa;
+        governor.check(0, 0)?;
+        // `Dfa::first_match_end` (the oracle) reports `Some(0)` for an
+        // accepting start state even on empty input: zero symbols consume
+        // an accepted (empty) prefix. Keep that order here.
         if dfa.is_accepting(dfa.start()) {
-            return Some(0);
+            return Ok(Some(0));
         }
         if input.is_empty() {
-            return None;
+            return Ok(None);
         }
-        let threads = threads.max(1);
-        let chunk = input.len().div_ceil(threads);
+        let chunk_states = self.run_chunks(pool, governor, input, threads)?;
+        let chunk = input.len().div_ceil(threads.max(1));
         let chunks: Vec<&[SymbolId]> = input.chunks(chunk).collect();
 
-        // Pass 1: per-chunk SFA mappings (parallel).
-        let sfa = self.sfa;
-        let mut chunk_states: Vec<u32> = vec![0; chunks.len()];
-        if chunks.len() == 1 {
-            chunk_states[0] = sfa.run(chunks[0]);
-        } else {
-            std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(chunks.len());
-                for &c in &chunks {
-                    handles.push(scope.spawn(move || sfa.run(c)));
-                }
-                for (slot, h) in chunk_states.iter_mut().zip(handles) {
-                    *slot = h.join().expect("matcher thread panicked");
-                }
-            });
-        }
-
         // Pass 2: entry DFA state of every chunk via prefix composition.
-        let mut entry_states = Vec::with_capacity(chunks.len());
-        let mut q = dfa.start();
-        for (i, &s) in chunk_states.iter().enumerate() {
-            entry_states.push(q);
-            if i + 1 < chunks.len() {
-                q = sfa.apply(s, q);
-            }
-        }
+        let entry_states = self.entry_states(&chunk_states);
 
         // Pass 3: parallel DFA scans from the exact entry states.
         let mut firsts: Vec<Option<usize>> = vec![None; chunks.len()];
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(chunks.len());
-            for (i, &c) in chunks.iter().enumerate() {
-                let entry = entry_states[i];
-                handles.push(scope.spawn(move || {
-                    let mut q = entry;
-                    for (j, &sym) in c.iter().enumerate() {
-                        q = dfa.next(q, sym);
-                        if dfa.is_accepting(q) {
-                            return Some(j + 1);
+        let ctl = AbortControl::new(governor);
+        let scoped = {
+            let ctl = &ctl;
+            pool.scoped(|scope| {
+                for ((i, &c), slot) in chunks.iter().enumerate().zip(firsts.iter_mut()) {
+                    let entry = entry_states[i];
+                    scope.execute(move || {
+                        let mut q = entry;
+                        for (block_no, block) in c.chunks(GOVERNOR_POLL_SYMBOLS).enumerate() {
+                            if ctl.should_stop() {
+                                return;
+                            }
+                            for (j, &sym) in block.iter().enumerate() {
+                                q = dfa.next(q, sym);
+                                if dfa.is_accepting(q) {
+                                    *slot = Some(block_no * GOVERNOR_POLL_SYMBOLS + j + 1);
+                                    return;
+                                }
+                            }
                         }
-                    }
-                    None
-                }));
-            }
-            for (slot, h) in firsts.iter_mut().zip(handles) {
-                *slot = h.join().expect("matcher thread panicked");
-            }
-        });
-        firsts
+                    });
+                }
+            })
+        };
+        ctl.finish(scoped)?;
+        Ok(firsts
             .iter()
             .enumerate()
-            .find_map(|(i, &local)| local.map(|j| i * chunk + j))
+            .find_map(|(i, &local)| local.map(|j| i * chunk + j)))
     }
+
+    /// [`Self::count_matches`] on an explicit pool under a [`Governor`].
+    pub fn count_matches_on(
+        &self,
+        pool: &TaskPool,
+        governor: &Governor,
+        input: &[SymbolId],
+        threads: usize,
+    ) -> Result<u64, SfaError> {
+        let dfa = self.dfa;
+        governor.check(0, 0)?;
+        let base = u64::from(dfa.is_accepting(dfa.start()));
+        if input.is_empty() {
+            return Ok(base);
+        }
+        let chunk_states = self.run_chunks(pool, governor, input, threads)?;
+        let chunk = input.len().div_ceil(threads.max(1));
+        let chunks: Vec<&[SymbolId]> = input.chunks(chunk).collect();
+        let entry_states = self.entry_states(&chunk_states);
+
+        // Pass 3: parallel counting scans.
+        let mut counts: Vec<u64> = vec![0; chunks.len()];
+        let ctl = AbortControl::new(governor);
+        let scoped = {
+            let ctl = &ctl;
+            pool.scoped(|scope| {
+                for ((i, &c), slot) in chunks.iter().enumerate().zip(counts.iter_mut()) {
+                    let entry = entry_states[i];
+                    scope.execute(move || {
+                        let mut q = entry;
+                        let mut count = 0u64;
+                        for block in c.chunks(GOVERNOR_POLL_SYMBOLS) {
+                            if ctl.should_stop() {
+                                return;
+                            }
+                            for &sym in block {
+                                q = dfa.next(q, sym);
+                                count += u64::from(dfa.is_accepting(q));
+                            }
+                        }
+                        *slot = count;
+                    });
+                }
+            })
+        };
+        ctl.finish(scoped)?;
+        Ok(base + counts.iter().sum::<u64>())
+    }
+
+    /// Pass 1 of every parallel algorithm: the SFA state reached by each
+    /// chunk, computed on the pool. Workers re-check an abort flag every
+    /// [`GOVERNOR_POLL_SYMBOLS`] symbols; the submitting thread polls the
+    /// governor and raises the flag on failure, so a cancelled or
+    /// out-of-deadline match returns promptly instead of finishing the
+    /// scan.
+    fn run_chunks(
+        &self,
+        pool: &TaskPool,
+        governor: &Governor,
+        input: &[SymbolId],
+        threads: usize,
+    ) -> Result<Vec<u32>, SfaError> {
+        governor.check(0, 0)?;
+        let threads = threads.max(1);
+        let chunk = input.len().div_ceil(threads);
+        let chunks: Vec<&[SymbolId]> = input.chunks(chunk).collect();
+        let sfa = self.sfa;
+        let mut chunk_states: Vec<u32> = vec![0; chunks.len()];
+
+        if chunks.len() == 1 && governor.is_unlimited() {
+            // Single chunk, nothing to govern: run inline but still
+            // contain a panic (a poisoned SFA must not kill the caller).
+            let c = chunks[0];
+            return match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sfa.run(c))) {
+                Ok(s) => {
+                    chunk_states[0] = s;
+                    Ok(chunk_states)
+                }
+                Err(payload) => Err(SfaError::WorkerPanic {
+                    message: panic_payload_message(payload),
+                }),
+            };
+        }
+
+        let ctl = AbortControl::new(governor);
+        let scoped = {
+            let ctl = &ctl;
+            pool.scoped(|scope| {
+                for (&c, slot) in chunks.iter().zip(chunk_states.iter_mut()) {
+                    scope.execute(move || {
+                        let mut s = sfa.start();
+                        for block in c.chunks(GOVERNOR_POLL_SYMBOLS) {
+                            if ctl.should_stop() {
+                                return;
+                            }
+                            for &sym in block {
+                                s = sfa.step(s, sym);
+                            }
+                        }
+                        *slot = s;
+                    });
+                }
+            })
+        };
+        ctl.finish(scoped)?;
+        Ok(chunk_states)
+    }
+
+    /// Pass 2: exact entry DFA states by prefix composition of the chunk
+    /// mappings.
+    fn entry_states(&self, chunk_states: &[u32]) -> Vec<u32> {
+        let mut entry_states = Vec::with_capacity(chunk_states.len());
+        let mut q = self.dfa.start();
+        for (i, &s) in chunk_states.iter().enumerate() {
+            entry_states.push(q);
+            if i + 1 < chunk_states.len() {
+                q = self.sfa.apply(s, q);
+            }
+        }
+        entry_states
+    }
+}
+
+/// Shared stop-signal for one parallel pass: every worker calls
+/// [`AbortControl::should_stop`] at block granularity, which both
+/// observes failures raised elsewhere and polls the governor itself —
+/// so a deadline expiring or a token cancelled *mid-scan* stops all
+/// chunks within [`GOVERNOR_POLL_SYMBOLS`] symbols, and the first
+/// failure wins.
+struct AbortControl<'g> {
+    governor: &'g Governor,
+    governed: bool,
+    flag: AtomicBool,
+    failure: Mutex<Option<SfaError>>,
+}
+
+impl<'g> AbortControl<'g> {
+    fn new(governor: &'g Governor) -> Self {
+        AbortControl {
+            governor,
+            governed: !governor.is_unlimited(),
+            flag: AtomicBool::new(false),
+            failure: Mutex::new(None),
+        }
+    }
+
+    /// `true` → abandon the scan now (another chunk failed, or this
+    /// poll of the governor fired).
+    fn should_stop(&self) -> bool {
+        if self.flag.load(Ordering::Relaxed) {
+            return true;
+        }
+        if self.governed {
+            if let Err(err) = self.governor.check(0, 0) {
+                self.fail(err);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn fail(&self, err: SfaError) {
+        let mut slot = self.failure.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(err);
+        }
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Fold the scoped-execution outcome and any recorded failure into
+    /// one result (worker panics take precedence — they mean the data
+    /// raced with a poisoned automaton, not a mere budget stop).
+    fn finish(&self, scoped: Result<(), sfa_sync::pool::JobPanic>) -> Result<(), SfaError> {
+        if let Err(panic) = scoped {
+            return Err(SfaError::WorkerPanic {
+                message: panic.message,
+            });
+        }
+        match self.failure.lock().unwrap().take() {
+            Some(err) => Err(err),
+            None => Ok(()),
+        }
+    }
+}
+
+fn panic_payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// `Ok` iff the SFA's mapping dimensions match the DFA.
+fn check_compatible(sfa: &Sfa, dfa: &Dfa) -> Result<(), SfaError> {
+    if sfa.dfa_states() != dfa.num_states() as usize || sfa.num_symbols() != dfa.num_symbols() {
+        return Err(SfaError::Mismatch {
+            sfa_dfa_states: sfa.dfa_states(),
+            dfa_states: dfa.num_states() as usize,
+            sfa_symbols: sfa.num_symbols(),
+            dfa_symbols: dfa.num_symbols(),
+        });
+    }
+    Ok(())
 }
 
 /// Sequential first-match search (the oracle for
@@ -183,72 +502,6 @@ pub fn count_matches_sequential(dfa: &Dfa, input: &[SymbolId]) -> u64 {
         count += u64::from(dfa.is_accepting(q));
     }
     count
-}
-
-impl<'a> ParallelMatcher<'a> {
-    /// Parallel occurrence counting (same two-pass scheme as
-    /// [`Self::find_first_match`]): chunk mappings give every chunk its
-    /// exact entry state; chunks then count accepting positions
-    /// independently and the counts sum.
-    pub fn count_matches(&self, input: &[SymbolId], threads: usize) -> u64 {
-        let dfa = self.dfa;
-        let base = u64::from(dfa.is_accepting(dfa.start()));
-        if input.is_empty() {
-            return base;
-        }
-        let threads = threads.max(1);
-        let chunk = input.len().div_ceil(threads);
-        let chunks: Vec<&[SymbolId]> = input.chunks(chunk).collect();
-
-        // Pass 1: per-chunk SFA mappings (parallel).
-        let sfa = self.sfa;
-        let mut chunk_states: Vec<u32> = vec![0; chunks.len()];
-        if chunks.len() == 1 {
-            chunk_states[0] = sfa.run(chunks[0]);
-        } else {
-            std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(chunks.len());
-                for &c in &chunks {
-                    handles.push(scope.spawn(move || sfa.run(c)));
-                }
-                for (slot, h) in chunk_states.iter_mut().zip(handles) {
-                    *slot = h.join().expect("matcher thread panicked");
-                }
-            });
-        }
-
-        // Pass 2: exact entry states by prefix composition.
-        let mut entry_states = Vec::with_capacity(chunks.len());
-        let mut q = dfa.start();
-        for (i, &s) in chunk_states.iter().enumerate() {
-            entry_states.push(q);
-            if i + 1 < chunks.len() {
-                q = sfa.apply(s, q);
-            }
-        }
-
-        // Pass 3: parallel counting scans.
-        let mut counts: Vec<u64> = vec![0; chunks.len()];
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(chunks.len());
-            for (i, &c) in chunks.iter().enumerate() {
-                let entry = entry_states[i];
-                handles.push(scope.spawn(move || {
-                    let mut q = entry;
-                    let mut count = 0u64;
-                    for &sym in c {
-                        q = dfa.next(q, sym);
-                        count += u64::from(dfa.is_accepting(q));
-                    }
-                    count
-                }));
-            }
-            for (slot, h) in counts.iter_mut().zip(handles) {
-                *slot = h.join().expect("matcher thread panicked");
-            }
-        });
-        base + counts.iter().sum::<u64>()
-    }
 }
 
 #[cfg(test)]
@@ -318,7 +571,7 @@ mod tests {
     #[test]
     fn final_state_matches_dfa_run() {
         let (dfa, sfa) = setup("RG");
-        let matcher = ParallelMatcher::new(&sfa, &dfa);
+        let matcher = ParallelMatcher::new(&sfa, &dfa).unwrap();
         let alpha = dfa.alphabet().clone();
         let syms = alpha.encode_bytes(b"MKVARGAARG").unwrap();
         assert_eq!(matcher.final_state(&syms, 3), dfa.run(&syms));
@@ -333,9 +586,32 @@ mod tests {
     }
 
     #[test]
+    fn mismatched_pair_is_rejected_in_every_profile() {
+        let (dfa_rg, sfa_rg) = setup("RG");
+        // A DFA with a different state count over the same alphabet.
+        let dfa_other = Pipeline::search(Alphabet::amino_acids())
+            .compile_str("RGDW")
+            .unwrap();
+        assert_ne!(dfa_rg.num_states(), dfa_other.num_states());
+        let err = ParallelMatcher::new(&sfa_rg, &dfa_other).unwrap_err();
+        match err {
+            SfaError::Mismatch {
+                sfa_dfa_states,
+                dfa_states,
+                ..
+            } => {
+                assert_eq!(sfa_dfa_states, dfa_rg.num_states() as usize);
+                assert_eq!(dfa_states, dfa_other.num_states() as usize);
+            }
+            other => panic!("expected Mismatch, got {other:?}"),
+        }
+        assert!(try_match_with_sfa(&sfa_rg, &dfa_other, &[0, 1], 2).is_err());
+    }
+
+    #[test]
     fn find_first_match_agrees_with_sequential() {
         let (dfa, sfa) = setup("RG");
-        let matcher = ParallelMatcher::new(&sfa, &dfa);
+        let matcher = ParallelMatcher::new(&sfa, &dfa).unwrap();
         let alpha = dfa.alphabet().clone();
         for text in [
             &b""[..],
@@ -362,7 +638,7 @@ mod tests {
     #[test]
     fn find_first_match_fuzz() {
         let (dfa, sfa) = setup("R[GA]N");
-        let matcher = ParallelMatcher::new(&sfa, &dfa);
+        let matcher = ParallelMatcher::new(&sfa, &dfa).unwrap();
         let mut rng = StdRng::seed_from_u64(7);
         for _ in 0..60 {
             let len = rng.random_range(0..400);
@@ -385,7 +661,7 @@ mod tests {
             .build()
             .unwrap()
             .sfa;
-        let matcher = ParallelMatcher::new(&sfa, &dfa);
+        let matcher = ParallelMatcher::new(&sfa, &dfa).unwrap();
         let alpha = dfa.alphabet().clone();
         for (text, expected) in [
             (&b""[..], 0u64),
@@ -418,7 +694,7 @@ mod tests {
             .build()
             .unwrap()
             .sfa;
-        let matcher = ParallelMatcher::new(&sfa, &dfa);
+        let matcher = ParallelMatcher::new(&sfa, &dfa).unwrap();
         let mut rng = StdRng::seed_from_u64(11);
         for _ in 0..40 {
             let len = rng.random_range(0..500);
@@ -440,7 +716,7 @@ mod tests {
             .build()
             .unwrap()
             .sfa;
-        let matcher = ParallelMatcher::new(&sfa, &dfa);
+        let matcher = ParallelMatcher::new(&sfa, &dfa).unwrap();
         // Plant 3 non-overlapping runs of 5 W's; W runs longer than 5
         // produce extra end positions, so use exactly-5 runs spaced apart.
         let text =
@@ -460,7 +736,7 @@ mod tests {
             .build()
             .unwrap()
             .sfa;
-        let matcher = ParallelMatcher::new(&sfa, &dfa);
+        let matcher = ParallelMatcher::new(&sfa, &dfa).unwrap();
         // Nullable pattern: start state accepts -> match at position 0.
         assert_eq!(matcher.find_first_match(&[5, 5, 5], 4), Some(0));
         assert_eq!(matcher.find_first_match(&[], 4), Some(0));
@@ -480,5 +756,37 @@ mod tests {
             .unwrap()
             .sfa;
         assert!(match_with_sfa(&sfa2, &dfa2, &[], 4));
+    }
+
+    #[test]
+    fn edge_cases_agree_with_oracles() {
+        // Satellite audit: empty input, threads > len, single chunk, and
+        // thread counts around the input length — for final_state,
+        // find_first_match and count_matches, vs the sequential oracles.
+        for pattern in ["RG", "R*", "R[GA]D", "W"] {
+            let (dfa, sfa) = setup(pattern);
+            let matcher = ParallelMatcher::new(&sfa, &dfa).unwrap();
+            let alpha = dfa.alphabet().clone();
+            for text in [&b""[..], b"R", b"RG", b"ARG", b"MKVARGAAGRGDWWY"] {
+                let syms = alpha.encode_bytes(text).unwrap();
+                for threads in [1usize, syms.len().max(1), syms.len() + 5, 64] {
+                    assert_eq!(
+                        matcher.final_state(&syms, threads),
+                        dfa.run(&syms),
+                        "final_state {pattern:?} {text:?} threads {threads}"
+                    );
+                    assert_eq!(
+                        matcher.find_first_match(&syms, threads),
+                        find_first_match_sequential(&dfa, &syms),
+                        "find_first_match {pattern:?} {text:?} threads {threads}"
+                    );
+                    assert_eq!(
+                        matcher.count_matches(&syms, threads),
+                        count_matches_sequential(&dfa, &syms),
+                        "count_matches {pattern:?} {text:?} threads {threads}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,606 @@
+//! The persistent match runtime: pooled, streaming, batched.
+//!
+//! [`MatchRuntime`] is the serving-side counterpart of the construction
+//! engine. It owns (or shares) a [`TaskPool`] and drives three input
+//! shapes through the SFA chunk-matching scheme of [`crate::matcher`]:
+//!
+//! * **Byte slices** ([`MatchRuntime::matches_bytes`]) — classification
+//!   from raw bytes to dense [`SymbolId`]s is *fused* into the per-chunk
+//!   SFA scan, so no intermediate `Vec<SymbolId>` is ever allocated.
+//! * **Streams** ([`MatchRuntime::matches_stream`]) — any `impl Read`,
+//!   consumed in fixed-size blocks ([`MatchRuntime::block_bytes`]).
+//!   Each block is chunk-matched in parallel and folded into a running
+//!   DFA state; memory stays at one block regardless of input size, so
+//!   multi-GB inputs stream through without materializing anything.
+//! * **Batches** ([`MatchRuntime::match_many`]) — many small inputs,
+//!   one pool task each: the pool dispatch cost is amortized across the
+//!   batch instead of splitting each tiny input into even tinier chunks.
+//!
+//! Every path polls a [`Governor`] at block/chunk granularity (deadline,
+//! cancellation), contains worker panics as
+//! [`SfaError::WorkerPanic`], and fills a [`MatchStats`] with what
+//! happened — chunks scanned, bytes consumed, throughput, pool backlog.
+
+use crate::budget::Governor;
+use crate::engine::MatchTier;
+use crate::matcher::{ParallelMatcher, GOVERNOR_POLL_SYMBOLS};
+use crate::SfaError;
+use sfa_automata::alphabet::{Alphabet, SymbolId};
+use sfa_sync::pool::TaskPool;
+use std::io::Read;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Default streaming block: 8 MiB. Large enough that each of ~10 worker
+/// chunks still covers several hundred KiB (chunk scans stay scan-bound,
+/// not dispatch-bound), small enough that peak memory and cancellation
+/// latency stay modest. Override with [`MatchRuntime::with_block_bytes`].
+pub const DEFAULT_BLOCK_BYTES: usize = 8 * 1024 * 1024;
+
+/// What one byte of raw input means to the matcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Classified {
+    /// A dense symbol in the alphabet.
+    Symbol(SymbolId),
+    /// Ignore this byte (e.g. whitespace in FASTA-ish text).
+    Skip,
+    /// Outside the alphabet and not skippable: the stream is malformed.
+    Invalid,
+}
+
+const CLASS_INVALID: u16 = u16::MAX;
+const CLASS_SKIP: u16 = u16::MAX - 1;
+
+/// A byte→symbol classifier fused into streaming scans: one 256-entry
+/// table lookup per input byte, no intermediate symbol buffer.
+#[derive(Debug, Clone)]
+pub struct ByteClassifier {
+    table: [u16; 256],
+}
+
+impl ByteClassifier {
+    /// Every byte must belong to `alpha`; anything else is
+    /// [`Classified::Invalid`] and fails the match with
+    /// [`SfaError::InvalidByte`].
+    pub fn strict(alpha: &Alphabet) -> Self {
+        let mut table = [CLASS_INVALID; 256];
+        for (b, slot) in table.iter_mut().enumerate() {
+            if let Some(sym) = alpha.encode(b as u8) {
+                *slot = sym as u16;
+            }
+        }
+        ByteClassifier { table }
+    }
+
+    /// Like [`Self::strict`], but ASCII whitespace (space, `\t`, `\n`,
+    /// `\r`, `\x0b`, `\x0c`) is skipped — the natural mode for streaming
+    /// line-wrapped text files.
+    pub fn skipping_ascii_whitespace(alpha: &Alphabet) -> Self {
+        let mut this = ByteClassifier::strict(alpha);
+        for b in [b' ', b'\t', b'\n', b'\r', 0x0b, 0x0c] {
+            if this.table[b as usize] == CLASS_INVALID {
+                this.table[b as usize] = CLASS_SKIP;
+            }
+        }
+        this
+    }
+
+    /// Classify one byte.
+    #[inline]
+    pub fn classify(&self, byte: u8) -> Classified {
+        match self.table[byte as usize] {
+            CLASS_INVALID => Classified::Invalid,
+            CLASS_SKIP => Classified::Skip,
+            sym => Classified::Symbol(sym as SymbolId),
+        }
+    }
+}
+
+/// Per-match telemetry, filled by every runtime path and threaded
+/// through [`crate::engine::MatchEngine`].
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct MatchStats {
+    /// Which degradation-ladder tier served the match.
+    pub tier: MatchTier,
+    /// Streaming blocks consumed (1 for slice/batch paths).
+    pub blocks: u64,
+    /// Parallel chunk scans dispatched to the pool.
+    pub chunks: u64,
+    /// Input bytes (or symbols, for pre-encoded slices) consumed.
+    pub bytes: u64,
+    /// Wall time of the match.
+    pub elapsed: Duration,
+    /// Pool backlog (queued + running tasks) sampled when the match
+    /// finished — a load signal for servers sharing one pool.
+    pub queue_depth: usize,
+}
+
+impl Default for MatchStats {
+    fn default() -> Self {
+        MatchStats {
+            tier: MatchTier::Sequential,
+            blocks: 0,
+            chunks: 0,
+            bytes: 0,
+            elapsed: Duration::ZERO,
+            queue_depth: 0,
+        }
+    }
+}
+
+impl MatchStats {
+    /// Input throughput; 0.0 when the match was too fast to time.
+    pub fn bytes_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.bytes as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The pooled, streaming match runtime — see the module docs.
+#[derive(Clone)]
+pub struct MatchRuntime {
+    pool: Arc<TaskPool>,
+    block_bytes: usize,
+}
+
+impl MatchRuntime {
+    /// A runtime on the process-shared pool (one worker per CPU,
+    /// constructed once for the whole process). This is the default
+    /// everywhere; prefer it unless you need an isolated pool.
+    pub fn shared() -> Self {
+        MatchRuntime {
+            pool: TaskPool::shared().clone(),
+            block_bytes: DEFAULT_BLOCK_BYTES,
+        }
+    }
+
+    /// A runtime with its own private pool of `threads` workers.
+    pub fn new(threads: usize) -> Self {
+        MatchRuntime {
+            pool: Arc::new(TaskPool::new(threads)),
+            block_bytes: DEFAULT_BLOCK_BYTES,
+        }
+    }
+
+    /// A runtime over an existing pool.
+    pub fn with_pool(pool: Arc<TaskPool>) -> Self {
+        MatchRuntime {
+            pool,
+            block_bytes: DEFAULT_BLOCK_BYTES,
+        }
+    }
+
+    /// Set the streaming block size (min 1; see [`DEFAULT_BLOCK_BYTES`]
+    /// for the trade-off). Tiny blocks are valid — tests use them to
+    /// exercise block-boundary straddling.
+    pub fn with_block_bytes(mut self, block_bytes: usize) -> Self {
+        self.block_bytes = block_bytes.max(1);
+        self
+    }
+
+    /// The streaming block size.
+    pub fn block_bytes(&self) -> usize {
+        self.block_bytes
+    }
+
+    /// The underlying pool.
+    pub fn pool(&self) -> &Arc<TaskPool> {
+        &self.pool
+    }
+
+    /// Worker count of the underlying pool.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Accept decision for a pre-encoded symbol slice, matched in
+    /// parallel chunks on the pool.
+    pub fn matches_symbols(
+        &self,
+        matcher: &ParallelMatcher<'_>,
+        input: &[SymbolId],
+        governor: &Governor,
+    ) -> Result<(bool, MatchStats), SfaError> {
+        let start = Instant::now();
+        let threads = self.pool.threads();
+        let verdict = matcher.matches_on(&self.pool, governor, input, threads)?;
+        let stats = MatchStats {
+            tier: MatchTier::FullSfa,
+            blocks: 1,
+            chunks: input
+                .len()
+                .div_ceil(input.len().div_ceil(threads).max(1))
+                .max(1) as u64,
+            bytes: input.len() as u64,
+            elapsed: start.elapsed(),
+            queue_depth: self.pool.queue_depth(),
+        };
+        Ok((verdict, stats))
+    }
+
+    /// Accept decision for raw bytes: classification is fused into the
+    /// parallel chunk scans (no symbol buffer). Invalid bytes fail with
+    /// [`SfaError::InvalidByte`] carrying the byte's offset.
+    pub fn matches_bytes(
+        &self,
+        matcher: &ParallelMatcher<'_>,
+        classifier: &ByteClassifier,
+        input: &[u8],
+        governor: &Governor,
+    ) -> Result<(bool, MatchStats), SfaError> {
+        let start = Instant::now();
+        let mut stats = MatchStats {
+            tier: MatchTier::FullSfa,
+            blocks: 1,
+            ..MatchStats::default()
+        };
+        let q = self.fold_block(
+            matcher,
+            classifier,
+            input,
+            0,
+            matcher.dfa.start(),
+            governor,
+            &mut stats,
+        )?;
+        stats.bytes = input.len() as u64;
+        stats.elapsed = start.elapsed();
+        stats.queue_depth = self.pool.queue_depth();
+        Ok((matcher.dfa.is_accepting(q), stats))
+    }
+
+    /// Accept decision for a stream, consumed in fixed-size blocks.
+    /// Peak memory is one block; each block is chunk-matched in parallel
+    /// and folded into a running DFA state, so the verdict is identical
+    /// to reading the whole input at once.
+    pub fn matches_stream<R: Read>(
+        &self,
+        matcher: &ParallelMatcher<'_>,
+        classifier: &ByteClassifier,
+        reader: R,
+        governor: &Governor,
+    ) -> Result<(bool, MatchStats), SfaError> {
+        let (q, stats) = self.final_state_stream(matcher, classifier, reader, governor)?;
+        Ok((matcher.dfa.is_accepting(q), stats))
+    }
+
+    /// Final DFA state for a stream (the streaming analogue of
+    /// [`ParallelMatcher::final_state`]).
+    pub fn final_state_stream<R: Read>(
+        &self,
+        matcher: &ParallelMatcher<'_>,
+        classifier: &ByteClassifier,
+        mut reader: R,
+        governor: &Governor,
+    ) -> Result<(u32, MatchStats), SfaError> {
+        let start = Instant::now();
+        let mut stats = MatchStats {
+            tier: MatchTier::FullSfa,
+            ..MatchStats::default()
+        };
+        let mut buf = vec![0u8; self.block_bytes];
+        let mut q = matcher.dfa.start();
+        let mut offset = 0u64;
+        loop {
+            let filled = read_block(&mut reader, &mut buf)?;
+            if filled == 0 {
+                break;
+            }
+            q = self.fold_block(
+                matcher,
+                classifier,
+                &buf[..filled],
+                offset,
+                q,
+                governor,
+                &mut stats,
+            )?;
+            offset += filled as u64;
+            stats.blocks += 1;
+            if filled < buf.len() {
+                break; // EOF
+            }
+        }
+        stats.bytes = offset;
+        stats.elapsed = start.elapsed();
+        stats.queue_depth = self.pool.queue_depth();
+        Ok((q, stats))
+    }
+
+    /// Batch matching: one pool task per input (whole-input SFA run),
+    /// amortizing dispatch across the batch — many small inputs is the
+    /// workload where per-input chunk splitting would be all overhead.
+    /// Returns one verdict per input, in order.
+    pub fn match_many(
+        &self,
+        matcher: &ParallelMatcher<'_>,
+        inputs: &[&[SymbolId]],
+        governor: &Governor,
+    ) -> Result<Vec<bool>, SfaError> {
+        governor.check(0, 0)?;
+        let sfa = matcher.sfa;
+        let dfa = matcher.dfa;
+        let mut verdicts = vec![false; inputs.len()];
+        let abort = AtomicBool::new(false);
+        let failure: Mutex<Option<SfaError>> = Mutex::new(None);
+        let governed = !governor.is_unlimited();
+        let scoped = {
+            let abort = &abort;
+            let failure = &failure;
+            self.pool.scoped(|scope| {
+                for (&input, slot) in inputs.iter().zip(verdicts.iter_mut()) {
+                    scope.execute(move || {
+                        let mut s = sfa.start();
+                        for block in input.chunks(GOVERNOR_POLL_SYMBOLS) {
+                            if abort.load(Ordering::Relaxed) {
+                                return;
+                            }
+                            if governed {
+                                if let Err(err) = governor.check(0, 0) {
+                                    let mut f = failure.lock().unwrap();
+                                    if f.is_none() {
+                                        *f = Some(err);
+                                    }
+                                    abort.store(true, Ordering::Relaxed);
+                                    return;
+                                }
+                            }
+                            for &sym in block {
+                                s = sfa.step(s, sym);
+                            }
+                        }
+                        *slot = dfa.is_accepting(sfa.apply(s, dfa.start()));
+                    });
+                }
+            })
+        };
+        if let Err(panic) = scoped {
+            return Err(SfaError::WorkerPanic {
+                message: panic.message,
+            });
+        }
+        if let Some(err) = failure.lock().unwrap().take() {
+            return Err(err);
+        }
+        Ok(verdicts)
+    }
+
+    /// Chunk-match one block of raw bytes (fused classification) from
+    /// running state `q`, returning the state after the block.
+    #[allow(clippy::too_many_arguments)]
+    fn fold_block(
+        &self,
+        matcher: &ParallelMatcher<'_>,
+        classifier: &ByteClassifier,
+        block: &[u8],
+        block_offset: u64,
+        q: u32,
+        governor: &Governor,
+        stats: &mut MatchStats,
+    ) -> Result<u32, SfaError> {
+        governor.check(0, 0)?;
+        if block.is_empty() {
+            return Ok(q);
+        }
+        let sfa = matcher.sfa;
+        let threads = self.pool.threads().max(1);
+        let chunk = block.len().div_ceil(threads);
+        let chunks: Vec<&[u8]> = block.chunks(chunk).collect();
+        stats.chunks += chunks.len() as u64;
+
+        let mut chunk_states: Vec<u32> = vec![0; chunks.len()];
+        let abort = AtomicBool::new(false);
+        let failure: Mutex<Option<SfaError>> = Mutex::new(None);
+        let governed = !governor.is_unlimited();
+        let scoped = {
+            let abort = &abort;
+            let failure = &failure;
+            self.pool.scoped(|scope| {
+                for ((i, &bytes), slot) in chunks.iter().enumerate().zip(chunk_states.iter_mut()) {
+                    let chunk_offset = block_offset + (i * chunk) as u64;
+                    scope.execute(move || {
+                        let mut s = sfa.start();
+                        for (sub_no, sub) in bytes.chunks(GOVERNOR_POLL_SYMBOLS).enumerate() {
+                            if abort.load(Ordering::Relaxed) {
+                                return;
+                            }
+                            if governed {
+                                if let Err(err) = governor.check(0, 0) {
+                                    let mut f = failure.lock().unwrap();
+                                    if f.is_none() {
+                                        *f = Some(err);
+                                    }
+                                    abort.store(true, Ordering::Relaxed);
+                                    return;
+                                }
+                            }
+                            for (j, &b) in sub.iter().enumerate() {
+                                match classifier.classify(b) {
+                                    Classified::Symbol(sym) => s = sfa.step(s, sym),
+                                    Classified::Skip => {}
+                                    Classified::Invalid => {
+                                        let mut f = failure.lock().unwrap();
+                                        if f.is_none() {
+                                            *f = Some(SfaError::InvalidByte {
+                                                byte: b,
+                                                offset: chunk_offset
+                                                    + (sub_no * GOVERNOR_POLL_SYMBOLS + j) as u64,
+                                            });
+                                        }
+                                        abort.store(true, Ordering::Relaxed);
+                                        return;
+                                    }
+                                }
+                            }
+                        }
+                        *slot = s;
+                    });
+                }
+            })
+        };
+        if let Err(panic) = scoped {
+            return Err(SfaError::WorkerPanic {
+                message: panic.message,
+            });
+        }
+        if let Some(err) = failure.lock().unwrap().take() {
+            return Err(err);
+        }
+        let mut q = q;
+        for &s in &chunk_states {
+            q = sfa.apply(s, q);
+        }
+        Ok(q)
+    }
+}
+
+impl Default for MatchRuntime {
+    fn default() -> Self {
+        MatchRuntime::shared()
+    }
+}
+
+/// Fill `buf` as far as the reader allows; returns bytes read (0 at
+/// EOF). Retries `Interrupted`; other errors become [`SfaError::Io`].
+fn read_block<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<usize, SfaError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(SfaError::Io(e.to_string())),
+        }
+    }
+    Ok(filled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::match_sequential;
+    use crate::sequential::SequentialVariant;
+    use crate::sfa::Sfa;
+    use sfa_automata::pipeline::Pipeline;
+    use std::io::Cursor;
+
+    fn setup(pattern: &str) -> (sfa_automata::dfa::Dfa, Sfa) {
+        let dfa = Pipeline::search(Alphabet::amino_acids())
+            .compile_str(pattern)
+            .unwrap();
+        let sfa = Sfa::builder(&dfa)
+            .sequential(SequentialVariant::Transposed)
+            .build()
+            .unwrap()
+            .sfa;
+        (dfa, sfa)
+    }
+
+    #[test]
+    fn stream_agrees_with_sequential_across_block_sizes() {
+        let (dfa, sfa) = setup("RGD");
+        let matcher = ParallelMatcher::new(&sfa, &dfa).unwrap();
+        let alpha = Alphabet::amino_acids();
+        let classifier = ByteClassifier::strict(&alpha);
+        let text = sfa_workloads::protein_text_with_motif(10_000, 5, b"RGD", &[7_001]);
+        let bytes = alpha.decode_symbols(&text);
+        let expected = match_sequential(&dfa, &text);
+        assert!(expected);
+        for block in [1usize, 7, 64, 4096, 1 << 20] {
+            let rt = MatchRuntime::new(3).with_block_bytes(block);
+            let (verdict, stats) = rt
+                .matches_stream(
+                    &matcher,
+                    &classifier,
+                    Cursor::new(&bytes),
+                    &Governor::unlimited(),
+                )
+                .unwrap();
+            assert_eq!(verdict, expected, "block {block}");
+            assert_eq!(stats.bytes, bytes.len() as u64);
+            assert!(stats.blocks >= 1);
+        }
+    }
+
+    #[test]
+    fn bytes_path_fuses_classification() {
+        let (dfa, sfa) = setup("RG");
+        let matcher = ParallelMatcher::new(&sfa, &dfa).unwrap();
+        let alpha = Alphabet::amino_acids();
+        let rt = MatchRuntime::new(2);
+        let strict = ByteClassifier::strict(&alpha);
+        let (verdict, stats) = rt
+            .matches_bytes(&matcher, &strict, b"MKVARGAA", &Governor::unlimited())
+            .unwrap();
+        assert!(verdict);
+        assert_eq!(stats.bytes, 8);
+        assert_eq!(stats.tier, MatchTier::FullSfa);
+    }
+
+    #[test]
+    fn whitespace_skipping_and_invalid_bytes() {
+        let (dfa, sfa) = setup("RG");
+        let matcher = ParallelMatcher::new(&sfa, &dfa).unwrap();
+        let alpha = Alphabet::amino_acids();
+        let rt = MatchRuntime::new(2);
+        let skipping = ByteClassifier::skipping_ascii_whitespace(&alpha);
+        let (verdict, _) = rt
+            .matches_bytes(&matcher, &skipping, b"MKV AR\nG AA", &Governor::unlimited())
+            .unwrap();
+        assert!(verdict, "whitespace must not break the motif");
+        let strict = ByteClassifier::strict(&alpha);
+        let err = rt
+            .matches_bytes(&matcher, &strict, b"MKV ARG", &Governor::unlimited())
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SfaError::InvalidByte {
+                    byte: b' ',
+                    offset: 3
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn match_many_agrees_with_sequential() {
+        let (dfa, sfa) = setup("R[GA]D");
+        let matcher = ParallelMatcher::new(&sfa, &dfa).unwrap();
+        let rt = MatchRuntime::new(3);
+        let inputs: Vec<Vec<u8>> = (0..40)
+            .map(|s| sfa_workloads::protein_text(200, s))
+            .collect();
+        let slices: Vec<&[u8]> = inputs.iter().map(|v| v.as_slice()).collect();
+        let verdicts = rt
+            .match_many(&matcher, &slices, &Governor::unlimited())
+            .unwrap();
+        for (input, verdict) in inputs.iter().zip(&verdicts) {
+            assert_eq!(*verdict, match_sequential(&dfa, input));
+        }
+    }
+
+    #[test]
+    fn cancelled_stream_returns_cancelled() {
+        let (dfa, sfa) = setup("RG");
+        let matcher = ParallelMatcher::new(&sfa, &dfa).unwrap();
+        let alpha = Alphabet::amino_acids();
+        let classifier = ByteClassifier::strict(&alpha);
+        let token = sfa_sync::CancelToken::new();
+        token.cancel();
+        let governor = Governor::new(&crate::budget::Budget::unlimited(), Some(token));
+        let rt = MatchRuntime::new(2);
+        let bytes = alpha.decode_symbols(&sfa_workloads::protein_text(10_000, 1));
+        let err = rt
+            .matches_stream(&matcher, &classifier, Cursor::new(&bytes), &governor)
+            .unwrap_err();
+        assert!(matches!(err, SfaError::Cancelled { .. }), "{err:?}");
+    }
+}

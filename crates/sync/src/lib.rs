@@ -23,6 +23,9 @@
 //!   HITM measurements (CAS failures, steal traffic).
 //! * [`cancel::CancelToken`] — the cooperative cancellation flag polled
 //!   by every construction engine at work-item granularity.
+//! * [`pool::TaskPool`] — the persistent worker pool used by the *match*
+//!   runtime: scoped pooled execution with contained panics, so serving
+//!   processes never spawn threads per query.
 //! * [`backoff::Backoff`], [`padded::CachePadded`] — spin-wait and
 //!   false-sharing helpers.
 
@@ -35,6 +38,7 @@ pub mod global_queue;
 pub mod mpmc;
 pub mod mutex;
 pub mod padded;
+pub mod pool;
 pub mod table;
 
 pub use arena::Arena;
@@ -45,6 +49,7 @@ pub use global_queue::GlobalQueue;
 pub use mpmc::MsQueue;
 pub use mutex::Mutex;
 pub use padded::CachePadded;
+pub use pool::{JobPanic, TaskPool};
 pub use table::{ChainedTable, FindOrInsert, Links};
 
 /// Sentinel "null" id used by all id-linked structures in this crate.

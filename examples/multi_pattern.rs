@@ -59,7 +59,8 @@ fn main() {
         .options(&ParallelOptions::with_threads(4))
         .build()
         .expect("scanner SFA");
-    let matcher = ParallelMatcher::new(&scan_sfa.sfa, &scanner);
+    let matcher =
+        ParallelMatcher::new(&scan_sfa.sfa, &scanner).expect("SFA built from this scanner");
     let text2 =
         sfa_workloads::protein_text_with_motif(1_000_000, 10, b"RGD", &[1_000, 400_000, 999_000]);
     let count = matcher.count_matches(&text2, 4);

@@ -65,7 +65,7 @@ fn main() {
     println!("contains 'RG': {hit} (parallel and sequential matchers agree)");
 
     // Show the per-chunk mappings composing to the final state.
-    let matcher = ParallelMatcher::new(&par.sfa, &dfa);
+    let matcher = ParallelMatcher::new(&par.sfa, &dfa).expect("SFA built from this DFA");
     let final_state = matcher.final_state(&text, 4);
     println!(
         "final DFA state after the whole input: {final_state} (accepting: {})",

@@ -130,7 +130,7 @@ fn empty_and_tiny_inputs() {
 #[test]
 fn final_state_equals_dfa_run_on_long_text() {
     let (dfa, sfa) = build("N[^P][ST]");
-    let matcher = ParallelMatcher::new(&sfa, &dfa);
+    let matcher = ParallelMatcher::new(&sfa, &dfa).unwrap();
     let text = protein_text(100_000, 17);
     assert_eq!(matcher.final_state(&text, 6), dfa.run(&text));
 }

@@ -194,7 +194,7 @@ proptest! {
         let sfa = Sfa::builder(&dfa).sequential(SequentialVariant::Transposed).build()
             .unwrap()
             .sfa;
-        let matcher = ParallelMatcher::new(&sfa, &dfa);
+        let matcher = ParallelMatcher::new(&sfa, &dfa).unwrap();
         prop_assert_eq!(
             matcher.count_matches(&input, threads),
             sfa_core::matcher::count_matches_sequential(&dfa, &input)
@@ -213,7 +213,7 @@ proptest! {
         let sfa = Sfa::builder(&dfa).sequential(SequentialVariant::Transposed).build()
             .unwrap()
             .sfa;
-        let matcher = ParallelMatcher::new(&sfa, &dfa);
+        let matcher = ParallelMatcher::new(&sfa, &dfa).unwrap();
         prop_assert_eq!(
             matcher.find_first_match(&input, threads),
             sfa_core::matcher::find_first_match_sequential(&dfa, &input)

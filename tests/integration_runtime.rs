@@ -1,0 +1,332 @@
+//! Match-runtime integration: the pooled, streaming and batch paths must
+//! agree with the sequential oracle on random DFAs and inputs (including
+//! inputs straddling streaming block boundaries), never spawn threads
+//! per call, surface mismatches and worker panics as typed errors, and
+//! return `Cancelled` — not a hang — when cancelled mid-match.
+
+use proptest::prelude::*;
+use sfa_automata::pipeline::Pipeline;
+use sfa_automata::random::random_dfa;
+use sfa_automata::Alphabet;
+use sfa_core::budget::{Budget, Governor};
+use sfa_core::prelude::*;
+use sfa_core::sfa::MappingStore;
+use sfa_core::SfaError;
+use sfa_sync::pool::TaskPool;
+use sfa_workloads::protein_text;
+use std::io::Cursor;
+use std::time::Duration;
+
+fn build(pattern: &str) -> (sfa_automata::Dfa, sfa_core::Sfa) {
+    let dfa = Pipeline::search(Alphabet::amino_acids())
+        .compile_str(pattern)
+        .unwrap();
+    let sfa = Sfa::builder(&dfa)
+        .sequential(SequentialVariant::Transposed)
+        .build()
+        .unwrap()
+        .sfa;
+    (dfa, sfa)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Pooled slice matching, streaming at several block sizes, and
+    /// batch matching all agree with `match_sequential` on random DFAs.
+    #[test]
+    fn prop_runtime_paths_agree_with_sequential(
+        states in 2u32..6,
+        seed in any::<u64>(),
+        input in proptest::collection::vec(0u8..2, 0..200),
+    ) {
+        let alpha = Alphabet::binary();
+        let dfa = random_dfa(&alpha, states, 0.3, seed);
+        let sfa = Sfa::builder(&dfa)
+            .sequential(SequentialVariant::Transposed)
+            .build()
+            .unwrap()
+            .sfa;
+        let matcher = ParallelMatcher::new(&sfa, &dfa).unwrap();
+        let expected = match_sequential(&dfa, &input);
+        let governor = Governor::unlimited();
+
+        // Pooled slice path.
+        let rt = MatchRuntime::new(3);
+        let (verdict, stats) = rt.matches_symbols(&matcher, &input, &governor).unwrap();
+        prop_assert_eq!(verdict, expected);
+        prop_assert_eq!(stats.bytes, input.len() as u64);
+
+        // Streaming path at block sizes that straddle the input.
+        let bytes = alpha.decode_symbols(&input);
+        let classifier = ByteClassifier::strict(&alpha);
+        for block in [1usize, 3, 7, 64] {
+            let rt = MatchRuntime::new(2).with_block_bytes(block);
+            let (verdict, _) = rt
+                .matches_stream(&matcher, &classifier, Cursor::new(&bytes), &governor)
+                .unwrap();
+            prop_assert_eq!(verdict, expected, "block size {}", block);
+        }
+
+        // Batch path (the input plus a few derived ones).
+        let shorter: Vec<u8> = input.iter().copied().take(input.len() / 2).collect();
+        let batch: Vec<&[u8]> = vec![&input, &shorter, &[]];
+        let verdicts = rt.match_many(&matcher, &batch, &governor).unwrap();
+        prop_assert_eq!(verdicts[0], expected);
+        prop_assert_eq!(verdicts[1], match_sequential(&dfa, &shorter));
+        prop_assert_eq!(verdicts[2], match_sequential(&dfa, &[]));
+    }
+
+    /// Fallible matcher APIs agree with their oracles on random DFAs at
+    /// edge-case thread counts.
+    #[test]
+    fn prop_try_apis_agree_with_oracles(
+        states in 2u32..5,
+        seed in any::<u64>(),
+        input in proptest::collection::vec(0u8..2, 0..60),
+    ) {
+        let alpha = Alphabet::binary();
+        let dfa = random_dfa(&alpha, states, 0.4, seed);
+        let sfa = Sfa::builder(&dfa)
+            .sequential(SequentialVariant::Transposed)
+            .build()
+            .unwrap()
+            .sfa;
+        let matcher = ParallelMatcher::new(&sfa, &dfa).unwrap();
+        for threads in [1usize, 2, input.len().max(1), input.len() + 3] {
+            prop_assert_eq!(matcher.try_final_state(&input, threads).unwrap(), dfa.run(&input));
+            prop_assert_eq!(
+                matcher.try_matches(&input, threads).unwrap(),
+                match_sequential(&dfa, &input)
+            );
+            prop_assert_eq!(
+                matcher.try_find_first_match(&input, threads).unwrap(),
+                dfa.first_match_end(&input)
+            );
+        }
+    }
+}
+
+#[test]
+fn streaming_64mb_agrees_with_sequential() {
+    // The acceptance-criteria scenario, scaled into test time: a large
+    // input streamed in blocks gives the sequential verdict. (The full
+    // ≥64 MB run is the CI smoke; here 8 MB keeps the suite fast.)
+    let (dfa, sfa) = build("RGD");
+    let matcher = ParallelMatcher::new(&sfa, &dfa).unwrap();
+    let alpha = Alphabet::amino_acids();
+    let classifier = ByteClassifier::strict(&alpha);
+    let len = 8 << 20;
+    let text = sfa_workloads::protein_text_with_motif(len, 42, b"RGD", &[len - 100]);
+    let expected = match_sequential(&dfa, &text);
+    let bytes = alpha.decode_symbols(&text);
+    let rt = MatchRuntime::new(4).with_block_bytes(1 << 20);
+    let (verdict, stats) = rt
+        .matches_stream(
+            &matcher,
+            &classifier,
+            Cursor::new(&bytes),
+            &Governor::unlimited(),
+        )
+        .unwrap();
+    assert_eq!(verdict, expected);
+    assert_eq!(stats.bytes, bytes.len() as u64);
+    assert_eq!(stats.blocks, 8);
+    assert!(stats.chunks >= 8, "each block should fan out chunk scans");
+}
+
+#[test]
+fn pool_is_reused_across_matches() {
+    // The per-call-spawn regression guard: after warm-up, 50 matches on
+    // one runtime must spawn zero new OS threads.
+    let (dfa, sfa) = build("RG");
+    let matcher = ParallelMatcher::new(&sfa, &dfa).unwrap();
+    let rt = MatchRuntime::new(4);
+    let text = protein_text(50_000, 3);
+    let governor = Governor::unlimited();
+    rt.matches_symbols(&matcher, &text, &governor).unwrap(); // warm-up
+    let before = TaskPool::threads_spawned_total();
+    for _ in 0..50 {
+        rt.matches_symbols(&matcher, &text, &governor).unwrap();
+    }
+    assert_eq!(
+        TaskPool::threads_spawned_total(),
+        before,
+        "matching must never spawn threads per call"
+    );
+}
+
+#[test]
+fn mismatched_pair_is_a_typed_error() {
+    // The release-mode silent-wrong-verdict bug: pairing an SFA with a
+    // DFA it was not built from must fail with `Mismatch` in every
+    // profile, not return a wrong answer.
+    let (_, sfa_rg) = build("RG");
+    let other = Pipeline::search(Alphabet::amino_acids())
+        .compile_str("WWWW")
+        .unwrap();
+    match ParallelMatcher::new(&sfa_rg, &other) {
+        Err(SfaError::Mismatch { .. }) => {}
+        Err(other) => panic!("expected Mismatch, got {other:?}"),
+        Ok(_) => panic!("mismatched pair must be rejected"),
+    }
+    assert!(matches!(
+        try_match_with_sfa(&sfa_rg, &other, &[0, 1, 2], 4),
+        Err(SfaError::Mismatch { .. })
+    ));
+}
+
+#[test]
+fn worker_panic_is_contained_as_typed_error() {
+    // A malformed SFA whose delta points at nonexistent states makes
+    // `Sfa::step` index out of bounds — a worker panic. The fallible
+    // API must surface `WorkerPanic`, not abort the process.
+    let (dfa, _) = build("R");
+    assert_eq!(dfa.num_states(), 2);
+    let poisoned = Sfa::from_parts(
+        2,
+        20,
+        0,
+        vec![99; 2 * 20], // every transition jumps out of bounds
+        MappingStore::U16(vec![0, 1, 1, 0]),
+    );
+    let matcher = ParallelMatcher::new(&poisoned, &dfa).unwrap();
+    let input = protein_text(10_000, 1);
+    match matcher.try_matches(&input, 4) {
+        Err(SfaError::WorkerPanic { message }) => {
+            assert!(!message.is_empty());
+        }
+        other => panic!("expected WorkerPanic, got {other:?}"),
+    }
+    // The shared pool survives the panic and keeps serving.
+    let (dfa2, sfa2) = build("RG");
+    let healthy = ParallelMatcher::new(&sfa2, &dfa2).unwrap();
+    assert_eq!(
+        healthy.try_matches(&input, 4).unwrap(),
+        match_sequential(&dfa2, &input)
+    );
+}
+
+#[test]
+fn cancellation_mid_match_returns_cancelled_not_a_hang() {
+    let (dfa, sfa) = build("RG");
+    let matcher = ParallelMatcher::new(&sfa, &dfa).unwrap();
+    let text = protein_text(2 << 20, 9);
+
+    // Pre-cancelled token: deterministic Cancelled before any scan.
+    let token = CancelToken::new();
+    token.cancel();
+    let governor = Governor::new(&Budget::unlimited(), Some(token));
+    let rt = MatchRuntime::new(4);
+    assert!(matches!(
+        rt.matches_symbols(&matcher, &text, &governor),
+        Err(SfaError::Cancelled { .. })
+    ));
+
+    // Expired deadline: deterministic BudgetExceeded.
+    let governor = Governor::new(&Budget::unlimited().with_deadline(Duration::ZERO), None);
+    assert!(matches!(
+        rt.matches_symbols(&matcher, &text, &governor),
+        Err(SfaError::BudgetExceeded { .. })
+    ));
+
+    // Cancel from another thread mid-match: must return (either verdict
+    // or Cancelled), never hang. Repeat to vary interleavings.
+    for _ in 0..5 {
+        let token = CancelToken::new();
+        let governor = Governor::new(&Budget::unlimited(), Some(token.clone()));
+        let canceller = std::thread::spawn({
+            let token = token.clone();
+            move || {
+                std::thread::sleep(Duration::from_micros(200));
+                token.cancel();
+            }
+        });
+        let result = rt.matches_symbols(&matcher, &text, &governor);
+        canceller.join().unwrap();
+        match result {
+            Ok((verdict, _)) => assert_eq!(verdict, match_sequential(&dfa, &text)),
+            Err(SfaError::Cancelled { .. }) => {}
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn engine_threads_match_stats_and_polls_cancellation() {
+    let dfa = Pipeline::search(Alphabet::amino_acids())
+        .compile_str("R[GA]D")
+        .unwrap();
+    let mut engine = MatchEngine::new(&dfa, 4);
+    assert_eq!(engine.tier(), MatchTier::FullSfa);
+    let text = protein_text(100_000, 21);
+    let (verdict, stats) = engine.try_matches(&text).unwrap();
+    assert_eq!(verdict, match_sequential(&dfa, &text));
+    assert_eq!(stats.tier, MatchTier::FullSfa);
+    assert_eq!(stats.bytes, text.len() as u64);
+    assert!(engine.stats().last_match.is_some());
+
+    // Streaming through the engine gives the same verdict.
+    let alpha = Alphabet::amino_acids();
+    let classifier = ByteClassifier::strict(&alpha);
+    let bytes = alpha.decode_symbols(&text);
+    let (stream_verdict, stream_stats) = engine
+        .match_stream(&classifier, Cursor::new(&bytes))
+        .unwrap();
+    assert_eq!(stream_verdict, verdict);
+    assert_eq!(stream_stats.bytes, bytes.len() as u64);
+
+    // Batch through the engine agrees input by input.
+    let a = protein_text(5_000, 1);
+    let b = protein_text(5_000, 2);
+    let verdicts = engine.match_many(&[&a, &b]).unwrap();
+    assert_eq!(verdicts[0], match_sequential(&dfa, &a));
+    assert_eq!(verdicts[1], match_sequential(&dfa, &b));
+
+    // A cancelled engine returns Cancelled from try_matches but still
+    // answers from matches().
+    let token = CancelToken::new();
+    let mut engine = MatchEngine::with_budget(
+        &dfa,
+        &ParallelOptions::with_threads(2),
+        &Budget::unlimited(),
+        Some(token.clone()),
+    );
+    assert_eq!(engine.tier(), MatchTier::FullSfa);
+    token.cancel();
+    assert!(matches!(
+        engine.try_matches(&text),
+        Err(SfaError::Cancelled { .. })
+    ));
+    assert_eq!(engine.matches(&text), match_sequential(&dfa, &text));
+}
+
+#[test]
+fn engine_stream_on_sequential_tier_agrees() {
+    // Force the sequential tier; streaming must still answer correctly
+    // (sequential block scan) with whitespace skipped.
+    let dfa = Pipeline::search(Alphabet::amino_acids())
+        .compile_str("RGD")
+        .unwrap();
+    let budget = Budget::unlimited()
+        .with_deadline(Duration::ZERO)
+        .with_max_states(0);
+    let mut engine =
+        MatchEngine::with_budget(&dfa, &ParallelOptions::with_threads(2), &budget, None);
+    let alpha = Alphabet::amino_acids();
+    let text = sfa_workloads::protein_text_with_motif(10_000, 8, b"RGD", &[9_000]);
+    let mut bytes = alpha.decode_symbols(&text);
+    // Wrap lines every 60 chars, as FASTA-ish files do.
+    let mut wrapped = Vec::with_capacity(bytes.len() + bytes.len() / 60 + 1);
+    for chunk in bytes.chunks(60) {
+        wrapped.extend_from_slice(chunk);
+        wrapped.push(b'\n');
+    }
+    bytes = wrapped;
+    let classifier = ByteClassifier::skipping_ascii_whitespace(&alpha);
+    let (verdict, stats) = engine
+        .match_stream(&classifier, Cursor::new(&bytes))
+        .unwrap();
+    assert_eq!(verdict, match_sequential(&dfa, &text));
+    assert_eq!(stats.tier, MatchTier::Sequential);
+}
