@@ -207,6 +207,58 @@ impl ThroughputRow {
     }
 }
 
+/// One row of the scan-throughput experiment: one input size compared
+/// across scan strategies (sequential, pooled chunk scan, K-way
+/// interleaved chains, interleaved chains on the compact pre-scaled
+/// table).
+#[derive(Debug, Clone)]
+pub struct ScanThroughputRow {
+    /// Input length in symbols.
+    pub input_len: usize,
+    /// Worker threads for the parallel paths.
+    pub threads: usize,
+    /// Interleave width K of the pipelined paths.
+    pub interleave: usize,
+    /// Sequential DFA matcher seconds.
+    pub sequential_secs: f64,
+    /// One-chunk-per-thread pooled SFA scan (the pre-scan-engine
+    /// behavior, replicated as the baseline the issue measures against).
+    pub pooled_secs: f64,
+    /// K-way interleaved chains on the raw `u32` transition table.
+    pub interleaved_secs: f64,
+    /// K-way interleaved chains on the compact pre-scaled table (the
+    /// full scan-engine path).
+    pub compact_secs: f64,
+}
+
+sfa_json::impl_to_json!(ScanThroughputRow {
+    input_len,
+    threads,
+    interleave,
+    sequential_secs,
+    pooled_secs,
+    interleaved_secs,
+    compact_secs,
+});
+
+impl ScanThroughputRow {
+    /// Throughput of one variant in MB/s (1 symbol = 1 byte).
+    pub fn mb_per_sec(&self, secs: f64) -> f64 {
+        self.input_len as f64 / secs / 1e6
+    }
+
+    /// Interleaving win over the pooled scan (same table format).
+    pub fn interleaved_speedup(&self) -> f64 {
+        self.pooled_secs / self.interleaved_secs
+    }
+
+    /// Full scan-engine win (interleaving + compact table) over the
+    /// pooled scan — the issue's ≥1.5× acceptance criterion.
+    pub fn compact_speedup(&self) -> f64 {
+        self.pooled_secs / self.compact_secs
+    }
+}
+
 /// One row of the hash-throughput experiment (E8 / §III-A).
 #[derive(Debug, Clone)]
 pub struct HashRow {

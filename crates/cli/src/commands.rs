@@ -188,6 +188,22 @@ pub fn build(parsed: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
+/// `--interleave` / `--oversubscribe` — explicit scan-engine knobs.
+/// `None` when neither was given, so the engine defaults apply.
+fn scan_options_from_args(parsed: &Parsed) -> Result<Option<ScanOptions>, String> {
+    if parsed.opt("interleave").is_none() && parsed.opt("oversubscribe").is_none() {
+        return Ok(None);
+    }
+    let defaults = ScanOptions::default();
+    let opts = ScanOptions {
+        interleave: parsed.num("interleave", defaults.interleave)?,
+        oversubscribe: parsed.num("oversubscribe", defaults.oversubscribe)?,
+        min_chunk_symbols: defaults.min_chunk_symbols,
+    };
+    opts.validate().map_err(|e| e.to_string())?;
+    Ok(Some(opts))
+}
+
 /// `sfa match` — parallel SFA matching of a text.
 pub fn do_match(parsed: &Parsed) -> Result<(), String> {
     if let Some(path) = parsed.opt("stream") {
@@ -226,6 +242,9 @@ pub fn do_match(parsed: &Parsed) -> Result<(), String> {
         // lazy or sequential tier serves the query instead of failing.
         let opts = parallel_options(parsed)?;
         let mut engine = MatchEngine::with_budget(&dfa, &opts, &budget, None);
+        if let Some(scan) = scan_options_from_args(parsed)? {
+            engine.set_scan_options(scan).map_err(|e| e.to_string())?;
+        }
         let t0 = std::time::Instant::now();
         let hit = engine.matches(&text);
         let secs = t0.elapsed().as_secs_f64();
@@ -270,8 +289,14 @@ pub fn do_match(parsed: &Parsed) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     let build_secs = t0.elapsed().as_secs_f64();
 
+    let matcher = match scan_options_from_args(parsed)? {
+        Some(scan) => {
+            ParallelMatcher::with_options(&result.sfa, &dfa, scan).map_err(|e| e.to_string())?
+        }
+        None => ParallelMatcher::new(&result.sfa, &dfa).map_err(|e| e.to_string())?,
+    };
     let t1 = std::time::Instant::now();
-    let sfa_match = match_with_sfa(&result.sfa, &dfa, &text, threads);
+    let sfa_match = matcher.matches(&text, threads);
     let sfa_secs = t1.elapsed().as_secs_f64();
 
     let t2 = std::time::Instant::now();
@@ -312,6 +337,9 @@ fn do_match_stream(parsed: &Parsed, path: &str) -> Result<(), String> {
     let opts = parallel_options(parsed)?;
     let budget = crate::budget_from_args(parsed)?;
     let mut engine = MatchEngine::with_budget(&dfa, &opts, &budget, None);
+    if let Some(scan) = scan_options_from_args(parsed)? {
+        engine.set_scan_options(scan).map_err(|e| e.to_string())?;
+    }
     // An explicit --threads gets its own pool of that size; otherwise the
     // process-shared pool (one worker per CPU).
     let runtime = match parsed.opt("threads") {

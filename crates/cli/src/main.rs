@@ -106,7 +106,11 @@ COMMON OPTIONS:
                          the pooled match runtime (whitespace skipped;
                          never materializes the whole input)
     --block-bytes <b>    match: streaming block size (suffixes K/M/G;
-                         default 8M)"
+                         default 8M)
+    --interleave <k>     match: chunk chains scanned per worker loop
+                         (1 | 2 | 4 | 8; default 4)
+    --oversubscribe <n>  match: chunk tasks per worker thread, so
+                         stragglers rebalance on the pool (default 4)"
     );
 }
 

@@ -116,6 +116,12 @@ pub fn fits_u16(num_dfa_states: u32) -> bool {
     num_dfa_states <= u16::MAX as u32 + 1
 }
 
+/// Do `num_ids` distinct ids fit a single byte? (The [`crate::scan`]
+/// tables use this to pack pre-scaled row offsets to u8.)
+pub fn fits_u8(num_ids: u32) -> bool {
+    num_ids <= u8::MAX as u32 + 1
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

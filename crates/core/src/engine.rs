@@ -25,6 +25,7 @@ use crate::lazy::LazySfa;
 use crate::matcher::{match_sequential, ParallelMatcher};
 use crate::parallel::{construct_parallel_governed, ParallelOptions};
 use crate::runtime::{ByteClassifier, Classified, MatchRuntime, MatchStats};
+use crate::scan::{ScanEngine, ScanOptions};
 use crate::sfa::Sfa;
 use crate::stats::ConstructionStats;
 use crate::SfaError;
@@ -32,6 +33,7 @@ use sfa_automata::alphabet::SymbolId;
 use sfa_automata::dfa::Dfa;
 use sfa_sync::CancelToken;
 use std::io::Read;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Which rung of the degradation ladder is serving queries.
@@ -77,7 +79,12 @@ pub struct EngineStats {
 }
 
 enum Backend<'d> {
-    Full(Box<Sfa>),
+    /// Complete SFA plus its precomputed [`ScanEngine`] — the compact
+    /// tables are built once here, not per query.
+    Full {
+        sfa: Box<Sfa>,
+        scan: Arc<ScanEngine>,
+    },
     Lazy(Box<LazySfa<'d>>),
     Sequential,
 }
@@ -117,7 +124,11 @@ impl<'d> MatchEngine<'d> {
         let backend = match construct_parallel_governed(dfa, opts, &governor) {
             Ok(result) => {
                 stats.construction = Some(result.stats);
-                Backend::Full(Box::new(result.sfa))
+                let scan = Arc::new(ScanEngine::new(&result.sfa, dfa));
+                Backend::Full {
+                    sfa: Box::new(result.sfa),
+                    scan,
+                }
             }
             Err(err) => {
                 stats.degradations += 1;
@@ -151,6 +162,25 @@ impl<'d> MatchEngine<'d> {
         self.runtime = runtime;
     }
 
+    /// Reconfigure the full tier's scan knobs (interleave width,
+    /// oversubscription). Rebuilds the compact tables once; a no-op on
+    /// the other tiers. Fails only on invalid options.
+    pub fn set_scan_options(&mut self, opts: ScanOptions) -> Result<(), SfaError> {
+        opts.validate()?;
+        if let Backend::Full { sfa, scan } = &mut self.backend {
+            *scan = Arc::new(ScanEngine::with_options(sfa, self.dfa, opts)?);
+        }
+        Ok(())
+    }
+
+    /// The full tier's scan knobs (`None` on degraded tiers).
+    pub fn scan_options(&self) -> Option<ScanOptions> {
+        match &self.backend {
+            Backend::Full { scan, .. } => Some(scan.options()),
+            _ => None,
+        }
+    }
+
     /// The match runtime serving this engine.
     pub fn runtime(&self) -> &MatchRuntime {
         &self.runtime
@@ -164,7 +194,7 @@ impl<'d> MatchEngine<'d> {
     /// The tier currently serving queries.
     pub fn tier(&self) -> MatchTier {
         match self.backend {
-            Backend::Full(_) => MatchTier::FullSfa,
+            Backend::Full { .. } => MatchTier::FullSfa,
             Backend::Lazy(_) => MatchTier::LazySfa,
             Backend::Sequential => MatchTier::Sequential,
         }
@@ -200,8 +230,8 @@ impl<'d> MatchEngine<'d> {
     pub fn try_matches(&mut self, input: &[SymbolId]) -> Result<(bool, MatchStats), SfaError> {
         let governor = self.match_governor();
         let degrade_err = match &self.backend {
-            Backend::Full(sfa) => {
-                let matcher = ParallelMatcher::new_unchecked(sfa, self.dfa);
+            Backend::Full { sfa, scan } => {
+                let matcher = ParallelMatcher::with_scan(sfa, self.dfa, Arc::clone(scan));
                 match self.runtime.matches_symbols(&matcher, input, &governor) {
                     Ok((verdict, stats)) => {
                         self.stats.full_matches += 1;
@@ -254,8 +284,8 @@ impl<'d> MatchEngine<'d> {
     ) -> Result<(bool, MatchStats), SfaError> {
         let governor = self.match_governor();
         match &self.backend {
-            Backend::Full(sfa) => {
-                let matcher = ParallelMatcher::new_unchecked(sfa, self.dfa);
+            Backend::Full { sfa, scan } => {
+                let matcher = ParallelMatcher::with_scan(sfa, self.dfa, Arc::clone(scan));
                 match self
                     .runtime
                     .matches_stream(&matcher, classifier, reader, &governor)
@@ -285,13 +315,13 @@ impl<'d> MatchEngine<'d> {
     /// ([`MatchRuntime::match_many`]); other tiers answer input by
     /// input. One verdict per input, in order.
     pub fn match_many(&mut self, inputs: &[&[SymbolId]]) -> Result<Vec<bool>, SfaError> {
-        if !matches!(self.backend, Backend::Full(_)) {
+        if !matches!(self.backend, Backend::Full { .. }) {
             return Ok(inputs.iter().map(|input| self.matches(input)).collect());
         }
         let governor = self.match_governor();
         let err = match &self.backend {
-            Backend::Full(sfa) => {
-                let matcher = ParallelMatcher::new_unchecked(sfa, self.dfa);
+            Backend::Full { sfa, scan } => {
+                let matcher = ParallelMatcher::with_scan(sfa, self.dfa, Arc::clone(scan));
                 match self.runtime.match_many(&matcher, inputs, &governor) {
                     Ok(verdicts) => {
                         self.stats.full_matches += inputs.len() as u64;

@@ -71,6 +71,7 @@ pub mod matcher;
 pub mod memory;
 pub mod parallel;
 pub mod runtime;
+pub mod scan;
 pub mod sequential;
 pub mod sfa;
 pub mod state;
@@ -86,6 +87,7 @@ pub use matcher::{match_sequential, match_with_sfa, try_match_with_sfa, Parallel
 pub use parallel::construct_parallel;
 pub use parallel::{CompressionPolicy, ParallelOptions, Scheduler};
 pub use runtime::{ByteClassifier, Classified, MatchRuntime, MatchStats};
+pub use scan::{prefix_compose_on, ScanEngine, ScanOptions, ScanTable};
 #[allow(deprecated)]
 pub use sequential::construct_sequential;
 pub use sequential::SequentialVariant;
@@ -232,6 +234,7 @@ pub mod prelude {
     pub use crate::parallel::construct_parallel;
     pub use crate::parallel::{CompressionPolicy, ParallelOptions, Scheduler};
     pub use crate::runtime::{ByteClassifier, Classified, MatchRuntime, MatchStats};
+    pub use crate::scan::{prefix_compose_on, ScanEngine, ScanOptions, ScanTable};
     #[allow(deprecated)]
     pub use crate::sequential::construct_sequential;
     pub use crate::sequential::SequentialVariant;

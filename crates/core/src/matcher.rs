@@ -23,13 +23,14 @@
 //! aborting the process.
 
 use crate::budget::Governor;
+use crate::scan::{ScanEngine, ScanOptions};
 use crate::sfa::Sfa;
 use crate::SfaError;
 use sfa_automata::alphabet::SymbolId;
 use sfa_automata::dfa::Dfa;
 use sfa_sync::pool::TaskPool;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// How many symbols a chunk scan processes between governor polls (and
 /// abort-flag checks). Large enough that the poll is invisible next to
@@ -66,9 +67,16 @@ pub fn try_match_with_sfa(
 }
 
 /// Reusable parallel matcher (construct once, match many inputs).
+///
+/// Construction precomputes a [`ScanEngine`] — compact pre-scaled
+/// transition tables for both automata (see [`crate::scan`]) — so every
+/// hot loop below is an add+load with no multiply and no per-step
+/// bounds check. Callers that match many inputs against one automaton
+/// pair can share the engine across matchers via [`Self::with_scan`].
 pub struct ParallelMatcher<'a> {
     pub(crate) sfa: &'a Sfa,
     pub(crate) dfa: &'a Dfa,
+    pub(crate) scan: Arc<ScanEngine>,
 }
 
 impl std::fmt::Debug for ParallelMatcher<'_> {
@@ -76,6 +84,7 @@ impl std::fmt::Debug for ParallelMatcher<'_> {
         f.debug_struct("ParallelMatcher")
             .field("dfa_states", &self.sfa.dfa_states())
             .field("num_symbols", &self.sfa.num_symbols())
+            .field("scan", &self.scan)
             .finish()
     }
 }
@@ -88,14 +97,46 @@ impl<'a> ParallelMatcher<'a> {
     /// the `debug_assert_eq!` this replaces let release builds through.
     pub fn new(sfa: &'a Sfa, dfa: &'a Dfa) -> Result<Self, SfaError> {
         check_compatible(sfa, dfa)?;
-        Ok(ParallelMatcher { sfa, dfa })
+        Ok(ParallelMatcher {
+            sfa,
+            dfa,
+            scan: Arc::new(ScanEngine::new(sfa, dfa)),
+        })
     }
 
     /// Pair without the compatibility check, for internal callers that
     /// just built the SFA from this very DFA and hold both by construction.
     pub fn new_unchecked(sfa: &'a Sfa, dfa: &'a Dfa) -> Self {
         debug_assert!(check_compatible(sfa, dfa).is_ok());
-        ParallelMatcher { sfa, dfa }
+        ParallelMatcher {
+            sfa,
+            dfa,
+            scan: Arc::new(ScanEngine::new(sfa, dfa)),
+        }
+    }
+
+    /// [`Self::new`] with explicit [`ScanOptions`] (interleave width,
+    /// oversubscription factor, minimum chunk size).
+    pub fn with_options(sfa: &'a Sfa, dfa: &'a Dfa, opts: ScanOptions) -> Result<Self, SfaError> {
+        check_compatible(sfa, dfa)?;
+        Ok(ParallelMatcher {
+            sfa,
+            dfa,
+            scan: Arc::new(ScanEngine::with_options(sfa, dfa, opts)?),
+        })
+    }
+
+    /// Pair with a prebuilt, shared [`ScanEngine`] — avoids rebuilding
+    /// the compact tables when many matchers (or repeated queries) use
+    /// the same automaton pair.
+    pub fn with_scan(sfa: &'a Sfa, dfa: &'a Dfa, scan: Arc<ScanEngine>) -> Self {
+        debug_assert!(check_compatible(sfa, dfa).is_ok());
+        ParallelMatcher { sfa, dfa, scan }
+    }
+
+    /// The precomputed scan engine.
+    pub fn scan(&self) -> &Arc<ScanEngine> {
+        &self.scan
     }
 
     /// The final DFA state after `input`, computed with parallel chunks.
@@ -182,17 +223,11 @@ impl<'a> ParallelMatcher<'a> {
             governor.check(0, 0)?;
             return Ok(self.dfa.start());
         }
-        let chunk_states = self.run_chunks(pool, governor, input, threads)?;
-        // Reduce. Full mapping composition ([`Sfa::compose`]) is the
-        // paper's general reduction; for a single accept decision only
-        // q0's image is needed, so chaining `apply` is equivalent and
-        // O(threads) instead of O(threads·n) — and avoids decompressing
-        // whole vectors for compressed stores.
-        let mut q = self.dfa.start();
-        for &s in &chunk_states {
-            q = self.sfa.apply(s, q);
-        }
-        Ok(q)
+        // Pass 1 scans chunks K-way interleaved on the compact table;
+        // pass 2 reduces the chunk mappings with the Ladner–Fischer
+        // tree (see [`crate::scan`]).
+        self.scan
+            .final_state(pool, governor, self.sfa, input, self.dfa.start(), threads)
     }
 
     /// [`Self::matches`] on an explicit pool under a [`Governor`].
@@ -236,44 +271,11 @@ impl<'a> ParallelMatcher<'a> {
         if input.is_empty() {
             return Ok(None);
         }
-        let chunk_states = self.run_chunks(pool, governor, input, threads)?;
-        let chunk = input.len().div_ceil(threads.max(1));
-        let chunks: Vec<&[SymbolId]> = input.chunks(chunk).collect();
-
-        // Pass 2: entry DFA state of every chunk via prefix composition.
-        let entry_states = self.entry_states(&chunk_states);
-
-        // Pass 3: parallel DFA scans from the exact entry states.
-        let mut firsts: Vec<Option<usize>> = vec![None; chunks.len()];
-        let ctl = AbortControl::new(governor);
-        let scoped = {
-            let ctl = &ctl;
-            pool.scoped(|scope| {
-                for ((i, &c), slot) in chunks.iter().enumerate().zip(firsts.iter_mut()) {
-                    let entry = entry_states[i];
-                    scope.execute(move || {
-                        let mut q = entry;
-                        for (block_no, block) in c.chunks(GOVERNOR_POLL_SYMBOLS).enumerate() {
-                            if ctl.should_stop() {
-                                return;
-                            }
-                            for (j, &sym) in block.iter().enumerate() {
-                                q = dfa.next(q, sym);
-                                if dfa.is_accepting(q) {
-                                    *slot = Some(block_no * GOVERNOR_POLL_SYMBOLS + j + 1);
-                                    return;
-                                }
-                            }
-                        }
-                    });
-                }
-            })
-        };
-        ctl.finish(scoped)?;
-        Ok(firsts
-            .iter()
-            .enumerate()
-            .find_map(|(i, &local)| local.map(|j| i * chunk + j)))
+        // Passes 1–3 on the scan engine. Pass 3 publishes the
+        // best-so-far chunk index, so chunks that can no longer improve
+        // the answer abort at block granularity instead of scanning on.
+        self.scan
+            .find_first(pool, governor, self.sfa, input, dfa.start(), threads)
     }
 
     /// [`Self::count_matches`] on an explicit pool under a [`Governor`].
@@ -290,111 +292,12 @@ impl<'a> ParallelMatcher<'a> {
         if input.is_empty() {
             return Ok(base);
         }
-        let chunk_states = self.run_chunks(pool, governor, input, threads)?;
-        let chunk = input.len().div_ceil(threads.max(1));
-        let chunks: Vec<&[SymbolId]> = input.chunks(chunk).collect();
-        let entry_states = self.entry_states(&chunk_states);
-
-        // Pass 3: parallel counting scans.
-        let mut counts: Vec<u64> = vec![0; chunks.len()];
-        let ctl = AbortControl::new(governor);
-        let scoped = {
-            let ctl = &ctl;
-            pool.scoped(|scope| {
-                for ((i, &c), slot) in chunks.iter().enumerate().zip(counts.iter_mut()) {
-                    let entry = entry_states[i];
-                    scope.execute(move || {
-                        let mut q = entry;
-                        let mut count = 0u64;
-                        for block in c.chunks(GOVERNOR_POLL_SYMBOLS) {
-                            if ctl.should_stop() {
-                                return;
-                            }
-                            for &sym in block {
-                                q = dfa.next(q, sym);
-                                count += u64::from(dfa.is_accepting(q));
-                            }
-                        }
-                        *slot = count;
-                    });
-                }
-            })
-        };
-        ctl.finish(scoped)?;
-        Ok(base + counts.iter().sum::<u64>())
-    }
-
-    /// Pass 1 of every parallel algorithm: the SFA state reached by each
-    /// chunk, computed on the pool. Workers re-check an abort flag every
-    /// [`GOVERNOR_POLL_SYMBOLS`] symbols; the submitting thread polls the
-    /// governor and raises the flag on failure, so a cancelled or
-    /// out-of-deadline match returns promptly instead of finishing the
-    /// scan.
-    fn run_chunks(
-        &self,
-        pool: &TaskPool,
-        governor: &Governor,
-        input: &[SymbolId],
-        threads: usize,
-    ) -> Result<Vec<u32>, SfaError> {
-        governor.check(0, 0)?;
-        let threads = threads.max(1);
-        let chunk = input.len().div_ceil(threads);
-        let chunks: Vec<&[SymbolId]> = input.chunks(chunk).collect();
-        let sfa = self.sfa;
-        let mut chunk_states: Vec<u32> = vec![0; chunks.len()];
-
-        if chunks.len() == 1 && governor.is_unlimited() {
-            // Single chunk, nothing to govern: run inline but still
-            // contain a panic (a poisoned SFA must not kill the caller).
-            let c = chunks[0];
-            return match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sfa.run(c))) {
-                Ok(s) => {
-                    chunk_states[0] = s;
-                    Ok(chunk_states)
-                }
-                Err(payload) => Err(SfaError::WorkerPanic {
-                    message: panic_payload_message(payload),
-                }),
-            };
-        }
-
-        let ctl = AbortControl::new(governor);
-        let scoped = {
-            let ctl = &ctl;
-            pool.scoped(|scope| {
-                for (&c, slot) in chunks.iter().zip(chunk_states.iter_mut()) {
-                    scope.execute(move || {
-                        let mut s = sfa.start();
-                        for block in c.chunks(GOVERNOR_POLL_SYMBOLS) {
-                            if ctl.should_stop() {
-                                return;
-                            }
-                            for &sym in block {
-                                s = sfa.step(s, sym);
-                            }
-                        }
-                        *slot = s;
-                    });
-                }
-            })
-        };
-        ctl.finish(scoped)?;
-        Ok(chunk_states)
-    }
-
-    /// Pass 2: exact entry DFA states by prefix composition of the chunk
-    /// mappings.
-    fn entry_states(&self, chunk_states: &[u32]) -> Vec<u32> {
-        let mut entry_states = Vec::with_capacity(chunk_states.len());
-        let mut q = self.dfa.start();
-        for (i, &s) in chunk_states.iter().enumerate() {
-            entry_states.push(q);
-            if i + 1 < chunk_states.len() {
-                q = self.sfa.apply(s, q);
-            }
-        }
-        entry_states
+        // Passes 1–3 on the scan engine; pass 3 counts K-way
+        // interleaved from the exact entry states.
+        let counted =
+            self.scan
+                .count_matches(pool, governor, self.sfa, input, dfa.start(), threads)?;
+        Ok(base + counted)
     }
 }
 
@@ -404,7 +307,7 @@ impl<'a> ParallelMatcher<'a> {
 /// so a deadline expiring or a token cancelled *mid-scan* stops all
 /// chunks within [`GOVERNOR_POLL_SYMBOLS`] symbols, and the first
 /// failure wins.
-struct AbortControl<'g> {
+pub(crate) struct AbortControl<'g> {
     governor: &'g Governor,
     governed: bool,
     flag: AtomicBool,
@@ -412,7 +315,7 @@ struct AbortControl<'g> {
 }
 
 impl<'g> AbortControl<'g> {
-    fn new(governor: &'g Governor) -> Self {
+    pub(crate) fn new(governor: &'g Governor) -> Self {
         AbortControl {
             governor,
             governed: !governor.is_unlimited(),
@@ -423,7 +326,7 @@ impl<'g> AbortControl<'g> {
 
     /// `true` → abandon the scan now (another chunk failed, or this
     /// poll of the governor fired).
-    fn should_stop(&self) -> bool {
+    pub(crate) fn should_stop(&self) -> bool {
         if self.flag.load(Ordering::Relaxed) {
             return true;
         }
@@ -436,7 +339,7 @@ impl<'g> AbortControl<'g> {
         false
     }
 
-    fn fail(&self, err: SfaError) {
+    pub(crate) fn fail(&self, err: SfaError) {
         let mut slot = self.failure.lock().unwrap();
         if slot.is_none() {
             *slot = Some(err);
@@ -447,7 +350,10 @@ impl<'g> AbortControl<'g> {
     /// Fold the scoped-execution outcome and any recorded failure into
     /// one result (worker panics take precedence — they mean the data
     /// raced with a poisoned automaton, not a mere budget stop).
-    fn finish(&self, scoped: Result<(), sfa_sync::pool::JobPanic>) -> Result<(), SfaError> {
+    pub(crate) fn finish(
+        &self,
+        scoped: Result<(), sfa_sync::pool::JobPanic>,
+    ) -> Result<(), SfaError> {
         if let Err(panic) = scoped {
             return Err(SfaError::WorkerPanic {
                 message: panic.message,
@@ -460,7 +366,7 @@ impl<'g> AbortControl<'g> {
     }
 }
 
-fn panic_payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

@@ -79,7 +79,14 @@ pub enum FingerprintAlgo {
 }
 
 impl FingerprintAlgo {
-    fn create(self) -> Box<dyn Fingerprinter> {
+    /// Boxed, dynamically-dispatched fingerprinter for callers that only
+    /// know the algorithm at runtime (the CLI flag). The construction
+    /// engine itself never calls this on its hot path: [`Engine::run`]
+    /// matches on the algorithm **once** and monomorphizes the whole
+    /// worker body over a concrete fingerprinter type, so the
+    /// per-candidate fingerprint call is static (and inlinable) instead
+    /// of a virtual call per candidate state.
+    pub fn create(self) -> Box<dyn Fingerprinter> {
         match self {
             FingerprintAlgo::City => Box::new(CityFingerprinter),
             FingerprintAlgo::Rabin => Box::new(sfa_hash::RabinFingerprinter::default()),
@@ -387,16 +394,34 @@ struct Engine<E: Elem> {
 }
 
 impl<E: Elem> Engine<E> {
+    /// Dispatch on the fingerprint algorithm **once**, then run the
+    /// whole construction monomorphized over the concrete fingerprinter
+    /// (satellite of the scan-engine PR: the old `Box<dyn Fingerprinter>`
+    /// cost a virtual call per candidate state).
     fn run(
         dfa: &Dfa,
         opts: &ParallelOptions,
         governor: &Governor,
     ) -> Result<ConstructionResult, SfaError> {
+        match opts.fingerprint {
+            FingerprintAlgo::City => Self::run_with(dfa, opts, governor, CityFingerprinter),
+            FingerprintAlgo::Rabin => {
+                Self::run_with(dfa, opts, governor, sfa_hash::RabinFingerprinter::default())
+            }
+            FingerprintAlgo::Fx => Self::run_with(dfa, opts, governor, sfa_hash::FxFingerprinter),
+        }
+    }
+
+    fn run_with<F: Fingerprinter + Clone>(
+        dfa: &Dfa,
+        opts: &ParallelOptions,
+        governor: &Governor,
+        fingerprinter: F,
+    ) -> Result<ConstructionResult, SfaError> {
         let t0 = Instant::now();
         let n = dfa.num_states() as usize;
         let k = dfa.num_symbols();
         let threads = opts.threads;
-        let fingerprinter = opts.fingerprint.create();
 
         // Bucket-count heuristic: budget/64 keeps expected chains short
         // for real SFAs while avoiding a multi-megabyte zeroed allocation
@@ -506,13 +531,14 @@ impl<E: Elem> Engine<E> {
                 .zip(victim_order)
                 .enumerate()
             {
+                let fingerprinter = fingerprinter.clone();
                 handles.push(scope.spawn(move || {
                     let ctx = WorkerCtx {
                         index,
                         shared: shared_ref,
                         deque: worker,
                         victims,
-                        fingerprinter: shared_ref.opts.fingerprint.create(),
+                        fingerprinter,
                         codec: shared_ref.opts.codec.codec(),
                     };
                     ctx.run()
@@ -701,16 +727,18 @@ fn merge_snap(a: ContentionSnapshot, b: ContentionSnapshot) -> ContentionSnapsho
     }
 }
 
-struct WorkerCtx<'s, E: Elem> {
+struct WorkerCtx<'s, E: Elem, F: Fingerprinter> {
     index: usize,
     shared: &'s Shared<E>,
     deque: Worker,
     victims: Vec<Stealer>,
-    fingerprinter: Box<dyn Fingerprinter>,
+    /// Concrete fingerprinter type: the per-candidate fingerprint call
+    /// is statically dispatched (see [`FingerprintAlgo::create`]).
+    fingerprinter: F,
     codec: Box<dyn Codec>,
 }
 
-impl<'s, E: Elem> WorkerCtx<'s, E> {
+impl<'s, E: Elem, F: Fingerprinter> WorkerCtx<'s, E, F> {
     fn run(self) -> (LocalStats, ContentionSnapshot) {
         let shared = self.shared;
         // On ANY exit from this function — including a panic unwinding out

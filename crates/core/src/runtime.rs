@@ -23,13 +23,12 @@
 
 use crate::budget::Governor;
 use crate::engine::MatchTier;
-use crate::matcher::{ParallelMatcher, GOVERNOR_POLL_SYMBOLS};
+use crate::matcher::{AbortControl, ParallelMatcher};
 use crate::SfaError;
 use sfa_automata::alphabet::{Alphabet, SymbolId};
 use sfa_sync::pool::TaskPool;
 use std::io::Read;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Default streaming block: 8 MiB. Large enough that each of ~10 worker
@@ -213,10 +212,7 @@ impl MatchRuntime {
         let stats = MatchStats {
             tier: MatchTier::FullSfa,
             blocks: 1,
-            chunks: input
-                .len()
-                .div_ceil(input.len().div_ceil(threads).max(1))
-                .max(1) as u64,
+            chunks: matcher.scan.chunk_count(input.len(), threads) as u64,
             bytes: input.len() as u64,
             elapsed: start.elapsed(),
             queue_depth: self.pool.queue_depth(),
@@ -326,48 +322,25 @@ impl MatchRuntime {
         governor.check(0, 0)?;
         let sfa = matcher.sfa;
         let dfa = matcher.dfa;
+        let tbl = matcher.scan.sfa_table()?;
+        let shift = tbl.shift();
         let mut verdicts = vec![false; inputs.len()];
-        let abort = AtomicBool::new(false);
-        let failure: Mutex<Option<SfaError>> = Mutex::new(None);
-        let governed = !governor.is_unlimited();
+        let ctl = AbortControl::new(governor);
         let scoped = {
-            let abort = &abort;
-            let failure = &failure;
+            let ctl = &ctl;
             self.pool.scoped(|scope| {
                 for (&input, slot) in inputs.iter().zip(verdicts.iter_mut()) {
                     scope.execute(move || {
-                        let mut s = sfa.start();
-                        for block in input.chunks(GOVERNOR_POLL_SYMBOLS) {
-                            if abort.load(Ordering::Relaxed) {
-                                return;
-                            }
-                            if governed {
-                                if let Err(err) = governor.check(0, 0) {
-                                    let mut f = failure.lock().unwrap();
-                                    if f.is_none() {
-                                        *f = Some(err);
-                                    }
-                                    abort.store(true, Ordering::Relaxed);
-                                    return;
-                                }
-                            }
-                            for &sym in block {
-                                s = sfa.step(s, sym);
-                            }
+                        // Whole-input single-chain scan on the compact
+                        // pre-scaled table.
+                        if let Some(scaled) = tbl.scan_lane(input, tbl.start_offset(), ctl) {
+                            *slot = dfa.is_accepting(sfa.apply(scaled >> shift, dfa.start()));
                         }
-                        *slot = dfa.is_accepting(sfa.apply(s, dfa.start()));
                     });
                 }
             })
         };
-        if let Err(panic) = scoped {
-            return Err(SfaError::WorkerPanic {
-                message: panic.message,
-            });
-        }
-        if let Some(err) = failure.lock().unwrap().take() {
-            return Err(err);
-        }
+        ctl.finish(scoped)?;
         Ok(verdicts)
     }
 
@@ -388,75 +361,23 @@ impl MatchRuntime {
         if block.is_empty() {
             return Ok(q);
         }
-        let sfa = matcher.sfa;
+        // Pass 1 with fused classification, K-way interleaved on the
+        // compact table; pass 2 reduces the chunk mappings with the
+        // composition tree and folds the running state through.
         let threads = self.pool.threads().max(1);
-        let chunk = block.len().div_ceil(threads);
-        let chunks: Vec<&[u8]> = block.chunks(chunk).collect();
-        stats.chunks += chunks.len() as u64;
-
-        let mut chunk_states: Vec<u32> = vec![0; chunks.len()];
-        let abort = AtomicBool::new(false);
-        let failure: Mutex<Option<SfaError>> = Mutex::new(None);
-        let governed = !governor.is_unlimited();
-        let scoped = {
-            let abort = &abort;
-            let failure = &failure;
-            self.pool.scoped(|scope| {
-                for ((i, &bytes), slot) in chunks.iter().enumerate().zip(chunk_states.iter_mut()) {
-                    let chunk_offset = block_offset + (i * chunk) as u64;
-                    scope.execute(move || {
-                        let mut s = sfa.start();
-                        for (sub_no, sub) in bytes.chunks(GOVERNOR_POLL_SYMBOLS).enumerate() {
-                            if abort.load(Ordering::Relaxed) {
-                                return;
-                            }
-                            if governed {
-                                if let Err(err) = governor.check(0, 0) {
-                                    let mut f = failure.lock().unwrap();
-                                    if f.is_none() {
-                                        *f = Some(err);
-                                    }
-                                    abort.store(true, Ordering::Relaxed);
-                                    return;
-                                }
-                            }
-                            for (j, &b) in sub.iter().enumerate() {
-                                match classifier.classify(b) {
-                                    Classified::Symbol(sym) => s = sfa.step(s, sym),
-                                    Classified::Skip => {}
-                                    Classified::Invalid => {
-                                        let mut f = failure.lock().unwrap();
-                                        if f.is_none() {
-                                            *f = Some(SfaError::InvalidByte {
-                                                byte: b,
-                                                offset: chunk_offset
-                                                    + (sub_no * GOVERNOR_POLL_SYMBOLS + j) as u64,
-                                            });
-                                        }
-                                        abort.store(true, Ordering::Relaxed);
-                                        return;
-                                    }
-                                }
-                            }
-                        }
-                        *slot = s;
-                    });
-                }
-            })
-        };
-        if let Err(panic) = scoped {
-            return Err(SfaError::WorkerPanic {
-                message: panic.message,
-            });
-        }
-        if let Some(err) = failure.lock().unwrap().take() {
-            return Err(err);
-        }
-        let mut q = q;
-        for &s in &chunk_states {
-            q = sfa.apply(s, q);
-        }
-        Ok(q)
+        let plan = matcher.scan.chunk_states_bytes(
+            &self.pool,
+            governor,
+            classifier,
+            block,
+            block_offset,
+            threads,
+        )?;
+        stats.chunks += plan.states.len() as u64;
+        let (_, folded) = matcher
+            .scan
+            .entry_states(&self.pool, matcher.sfa, &plan.states, q)?;
+        Ok(folded)
     }
 }
 

@@ -1,0 +1,1367 @@
+//! The latency-hiding scan engine: compact transition tables, K-way
+//! software-pipelined chunk scanning, and reduction-tree composition.
+//!
+//! The paper removes the *cross-chunk* dependency of DFA matching, but
+//! the per-chunk inner loop is still one dependent `delta[s*k + sym]`
+//! load per symbol. On a modern core an L1 load-to-use is 4–5 cycles
+//! and the add feeding it is 1 more, so a single dependency chain runs
+//! at ~5–6 cycles/symbol while the load ports could retire 2–3 loads
+//! per cycle — over 80% of the scan bandwidth is latency, not work.
+//! [`ScanEngine`] attacks this on three fronts:
+//!
+//! 1. **Compact tables** ([`ScanTable`]). Next-state entries are packed
+//!    to u8/u16 when the *pre-scaled* state count fits (reusing the
+//!    width rule of [`crate::elem`]), rows are padded to a power-of-two
+//!    stride that is a multiple of 64 bytes (so a row never straddles a
+//!    cache line and scaling is a shift), and every entry stores
+//!    `next_state << shift` — the row *offset* of the successor. The hot
+//!    loop is then `s = table[s + sym]`: add + load, no multiply, and no
+//!    per-step bounds check (entries and symbols are validated once at
+//!    table build; see the safety argument on [`Entry::step`]).
+//! 2. **K-way interleaving**. The input is oversubscribed into
+//!    `threads × oversubscribe × interleave` chunks and each pool task
+//!    scans `interleave` chunks in one software-pipelined loop. The K
+//!    chains are independent, so K loads are in flight at once and the
+//!    per-symbol cost drops toward the throughput limit instead of the
+//!    latency limit. Oversubscription leaves more tasks than workers, so
+//!    stragglers rebalance on the FIFO [`TaskPool`] with no new
+//!    machinery.
+//! 3. **Reduction-tree composition** ([`prefix_compose_on`]). Pass 2
+//!    (exact entry states) composes whole chunk mappings with a
+//!    Ladner–Fischer-style tree — `O(chunks)` vectorized compositions of
+//!    depth `O(log chunks)` on the pool, each one a [`sfa_simd`] gather
+//!    over the mapping vectors — instead of a sequential fold on the
+//!    submitting thread.
+//!
+//! Verdicts, positions and counts are byte-identical to the sequential
+//! oracle: the chunk geometry changes, but mapping composition is
+//! associative and entry states are exact. Governance keeps the same
+//! granularity — every worker polls its [`AbortControl`] at least once
+//! per [`GOVERNOR_POLL_SYMBOLS`] symbols of its own progress.
+
+use crate::budget::Governor;
+use crate::elem::{fits_u16, fits_u8};
+use crate::matcher::{panic_payload_message, AbortControl, GOVERNOR_POLL_SYMBOLS};
+use crate::runtime::{ByteClassifier, Classified};
+use crate::sfa::Sfa;
+use crate::SfaError;
+use sfa_automata::alphabet::SymbolId;
+use sfa_automata::dfa::Dfa;
+use sfa_simd::gather_u32;
+use sfa_sync::pool::TaskPool;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Knobs of the interleaved scan (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanOptions {
+    /// Chunks scanned interleaved per pool task (the K independent
+    /// dependency chains). Must be 1, 2, 4 or 8.
+    pub interleave: usize,
+    /// Task groups per worker thread: the input splits into
+    /// `threads × oversubscribe` groups of `interleave` chunks, so a
+    /// straggling worker leaves whole groups for its siblings.
+    pub oversubscribe: usize,
+    /// Smallest chunk worth dispatching (symbols). Inputs below
+    /// `min_chunk_symbols` scan as a single chunk — splitting them is
+    /// all dispatch overhead. Tests set 1 to force multi-chunk
+    /// geometry on tiny inputs.
+    pub min_chunk_symbols: usize,
+}
+
+impl Default for ScanOptions {
+    fn default() -> Self {
+        ScanOptions {
+            interleave: 4,
+            oversubscribe: 4,
+            min_chunk_symbols: 4096,
+        }
+    }
+}
+
+impl ScanOptions {
+    /// Validate the knob ranges.
+    pub fn validate(&self) -> Result<(), SfaError> {
+        if !matches!(self.interleave, 1 | 2 | 4 | 8) {
+            return Err(SfaError::InvalidOptions("interleave must be 1, 2, 4 or 8"));
+        }
+        if self.oversubscribe == 0 {
+            return Err(SfaError::InvalidOptions("oversubscribe must be >= 1"));
+        }
+        if self.min_chunk_symbols == 0 {
+            return Err(SfaError::InvalidOptions("min_chunk_symbols must be >= 1"));
+        }
+        Ok(())
+    }
+}
+
+/// A 64-byte-aligned allocation for table rows: base address and row
+/// stride are both cache-line multiples, so a row is never split
+/// across lines.
+#[repr(C, align(64))]
+#[derive(Clone, Copy)]
+struct CacheLine([u8; 64]);
+
+struct AlignedBuf {
+    lines: Box<[CacheLine]>,
+}
+
+impl AlignedBuf {
+    fn zeroed(bytes: usize) -> AlignedBuf {
+        AlignedBuf {
+            lines: vec![CacheLine([0u8; 64]); bytes.div_ceil(64)].into_boxed_slice(),
+        }
+    }
+
+    fn as_slice<T: Entry>(&self, len: usize) -> &[T] {
+        assert!(len * T::BYTES <= self.lines.len() * 64);
+        // SAFETY: u8/u16/u32 are plain-old-data; the base pointer is
+        // 64-byte aligned (≥ align_of::<T>()) and the length is checked
+        // against the allocation above.
+        unsafe { std::slice::from_raw_parts(self.lines.as_ptr() as *const T, len) }
+    }
+
+    fn as_mut_slice<T: Entry>(&mut self, len: usize) -> &mut [T] {
+        assert!(len * T::BYTES <= self.lines.len() * 64);
+        // SAFETY: as in `as_slice`, plus exclusive access via `&mut`.
+        unsafe { std::slice::from_raw_parts_mut(self.lines.as_mut_ptr() as *mut T, len) }
+    }
+}
+
+/// Entry width of a [`ScanTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Packed {
+    U8,
+    U16,
+    U32,
+}
+
+/// A packed table entry: a pre-scaled row offset (`next_state << shift`).
+trait Entry: Copy + Send + Sync + 'static {
+    const BYTES: usize;
+    fn pack(v: u32) -> Self;
+    fn unpack(self) -> u32;
+
+    /// One transition: `s` is the current row offset, `sym` the input
+    /// symbol. Returns the successor's row offset.
+    ///
+    /// # Safety argument (why `get_unchecked` is sound)
+    ///
+    /// Build-time validation guarantees every stored entry — including
+    /// the padding columns, which hold state 0's offset — is
+    /// `next << shift` with `next < num_states`, and the scaled start
+    /// satisfies the same bound. So `s ≤ (num_states-1) << shift` at
+    /// every step by induction. The symbol is masked to `< stride`,
+    /// hence `s + (sym & mask) < num_states << shift = tbl.len()`.
+    /// Out-of-alphabet symbols (`sym ≥ k`) thus read a padding entry
+    /// and continue on a valid (if meaningless) state instead of
+    /// faulting — the same "garbage in, defined garbage out" contract
+    /// as `Sfa::step`'s checked indexing, without the per-step branch.
+    #[inline(always)]
+    fn step(tbl: &[Self], mask: u32, s: u32, sym: u8) -> u32 {
+        let idx = (s + (sym as u32 & mask)) as usize;
+        debug_assert!(idx < tbl.len());
+        // SAFETY: see above — idx < num_states << shift == tbl.len().
+        unsafe { tbl.get_unchecked(idx) }.unpack()
+    }
+}
+
+impl Entry for u8 {
+    const BYTES: usize = 1;
+    #[inline(always)]
+    fn pack(v: u32) -> u8 {
+        debug_assert!(v <= u8::MAX as u32);
+        v as u8
+    }
+    #[inline(always)]
+    fn unpack(self) -> u32 {
+        self as u32
+    }
+}
+
+impl Entry for u16 {
+    const BYTES: usize = 2;
+    #[inline(always)]
+    fn pack(v: u32) -> u16 {
+        debug_assert!(v <= u16::MAX as u32);
+        v as u16
+    }
+    #[inline(always)]
+    fn unpack(self) -> u32 {
+        self as u32
+    }
+}
+
+impl Entry for u32 {
+    const BYTES: usize = 4;
+    #[inline(always)]
+    fn pack(v: u32) -> u32 {
+        v
+    }
+    #[inline(always)]
+    fn unpack(self) -> u32 {
+        self
+    }
+}
+
+/// A compact, cache-aware, pre-scaled transition table (module docs,
+/// point 1).
+pub struct ScanTable {
+    buf: AlignedBuf,
+    packed: Packed,
+    /// Entries = `num_states << shift`.
+    len: usize,
+    num_states: usize,
+    k: usize,
+    /// Row stride in entries: a power of two, ≥ k, row bytes a multiple
+    /// of 64.
+    stride: usize,
+    shift: u32,
+    mask: u32,
+    /// The automaton's start state, pre-scaled.
+    start: u32,
+}
+
+impl std::fmt::Debug for ScanTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScanTable")
+            .field("entry_bytes", &self.entry_bytes())
+            .field("num_states", &self.num_states)
+            .field("k", &self.k)
+            .field("stride", &self.stride)
+            .finish()
+    }
+}
+
+impl ScanTable {
+    /// Build from a row-major `num_states × k` table of successor state
+    /// ids. Validates every entry once — the hot loop never re-checks.
+    /// Returns `Err` (not a panic) for a malformed table, so a poisoned
+    /// automaton surfaces as [`SfaError::WorkerPanic`] at match time,
+    /// exactly like the checked indexing it replaces.
+    pub fn build(
+        table: &[u32],
+        num_states: usize,
+        k: usize,
+        start: u32,
+    ) -> Result<ScanTable, String> {
+        if num_states == 0 || k == 0 || table.len() != num_states * k {
+            return Err(format!(
+                "malformed transition table: {num_states} states x {k} symbols, {} entries",
+                table.len()
+            ));
+        }
+        if (start as usize) >= num_states {
+            return Err(format!(
+                "start state {start} out of bounds ({num_states} states)"
+            ));
+        }
+        if let Some(&bad) = table.iter().find(|&&t| t as usize >= num_states) {
+            return Err(format!(
+                "state id {bad} out of bounds ({num_states} states)"
+            ));
+        }
+        let (packed, stride) = Self::choose_layout(num_states, k)?;
+        let shift = stride.trailing_zeros();
+        let len = num_states * stride;
+        let mut this = ScanTable {
+            buf: AlignedBuf::zeroed(len * entry_bytes(packed)),
+            packed,
+            len,
+            num_states,
+            k,
+            stride,
+            shift,
+            mask: (stride - 1) as u32,
+            start: start << shift,
+        };
+        match packed {
+            Packed::U8 => this.fill::<u8>(table),
+            Packed::U16 => this.fill::<u16>(table),
+            Packed::U32 => this.fill::<u32>(table),
+        }
+        Ok(this)
+    }
+
+    /// Smallest entry width whose pre-scaled offsets fit, with the
+    /// width's stride (rows must cover ≥ 64 bytes *and* ≥ k entries).
+    fn choose_layout(num_states: usize, k: usize) -> Result<(Packed, usize), String> {
+        for packed in [Packed::U8, Packed::U16, Packed::U32] {
+            let bytes = entry_bytes(packed);
+            let stride = k.next_power_of_two().max(64 / bytes);
+            // Ids 0 ..= (num_states-1) << shift must fit the entry, i.e.
+            // the id *count* `num_states << shift` minus the final
+            // stride-1 padding positions; reuse the elem width rules.
+            let scaled_ids = (num_states as u64 - 1) * stride as u64 + 1;
+            let fits = match packed {
+                Packed::U8 => scaled_ids <= u32::MAX as u64 && fits_u8(scaled_ids as u32),
+                Packed::U16 => scaled_ids <= u32::MAX as u64 && fits_u16(scaled_ids as u32),
+                Packed::U32 => (num_states as u64) * stride as u64 <= u32::MAX as u64,
+            };
+            if fits {
+                return Ok((packed, stride));
+            }
+        }
+        Err(format!(
+            "scan table of {num_states} states x {k} symbols exceeds 32-bit row offsets"
+        ))
+    }
+
+    fn fill<T: Entry>(&mut self, table: &[u32]) {
+        let (k, stride, shift) = (self.k, self.stride, self.shift);
+        let dst = self.buf.as_mut_slice::<T>(self.len);
+        for (s, row) in dst.chunks_mut(stride).enumerate() {
+            let src = &table[s * k..(s + 1) * k];
+            for (sym, slot) in row.iter_mut().enumerate() {
+                // Padding columns (sym ≥ k) keep state 0's offset so a
+                // masked out-of-alphabet symbol still lands in bounds.
+                let next = if sym < k { src[sym] } else { 0 };
+                *slot = T::pack(next << shift);
+            }
+        }
+    }
+
+    fn entries<T: Entry>(&self) -> &[T] {
+        debug_assert_eq!(T::BYTES, self.entry_bytes());
+        self.buf.as_slice::<T>(self.len)
+    }
+
+    /// Bytes per packed entry (1, 2 or 4).
+    pub fn entry_bytes(&self) -> usize {
+        entry_bytes(self.packed)
+    }
+
+    /// Entries per row (power of two; row bytes are a multiple of 64).
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Total table size in bytes (before line rounding).
+    pub fn table_bytes(&self) -> usize {
+        self.len * self.entry_bytes()
+    }
+
+    /// The pre-scale shift: `offset = state << shift`.
+    pub fn shift(&self) -> u32 {
+        self.shift
+    }
+
+    /// The start state's row offset.
+    pub(crate) fn start_offset(&self) -> u32 {
+        self.start
+    }
+
+    /// Scale a state id to its row offset.
+    #[inline]
+    pub(crate) fn scale(&self, state: u32) -> u32 {
+        debug_assert!((state as usize) < self.num_states);
+        state << self.shift
+    }
+
+    /// Scan a group of ≤ K chunks interleaved from `start`; writes each
+    /// chunk's final *scaled* state to `out`. Returns `false` if the
+    /// scan was aborted via `ctl`.
+    fn scan_group(
+        &self,
+        group: &[&[SymbolId]],
+        out: &mut [u32],
+        ctl: &AbortControl,
+        k_way: usize,
+    ) -> bool {
+        match self.packed {
+            Packed::U8 => scan_group_width::<u8>(
+                self.entries(),
+                self.mask,
+                self.start,
+                group,
+                out,
+                ctl,
+                k_way,
+            ),
+            Packed::U16 => scan_group_width::<u16>(
+                self.entries(),
+                self.mask,
+                self.start,
+                group,
+                out,
+                ctl,
+                k_way,
+            ),
+            Packed::U32 => scan_group_width::<u32>(
+                self.entries(),
+                self.mask,
+                self.start,
+                group,
+                out,
+                ctl,
+                k_way,
+            ),
+        }
+    }
+
+    /// Byte-classifying variant of [`Self::scan_group`]: `offsets[j]` is
+    /// chunk j's absolute byte offset for [`SfaError::InvalidByte`].
+    #[allow(clippy::too_many_arguments)]
+    fn scan_group_bytes(
+        &self,
+        classifier: &ByteClassifier,
+        group: &[&[u8]],
+        offsets: &[u64],
+        out: &mut [u32],
+        ctl: &AbortControl,
+        k_way: usize,
+    ) -> bool {
+        match self.packed {
+            Packed::U8 => scan_group_bytes_width::<u8>(
+                self.entries(),
+                self.mask,
+                self.start,
+                classifier,
+                group,
+                offsets,
+                out,
+                ctl,
+                k_way,
+            ),
+            Packed::U16 => scan_group_bytes_width::<u16>(
+                self.entries(),
+                self.mask,
+                self.start,
+                classifier,
+                group,
+                offsets,
+                out,
+                ctl,
+                k_way,
+            ),
+            Packed::U32 => scan_group_bytes_width::<u32>(
+                self.entries(),
+                self.mask,
+                self.start,
+                classifier,
+                group,
+                offsets,
+                out,
+                ctl,
+                k_way,
+            ),
+        }
+    }
+
+    /// Count accepting positions over a group of ≤ K chunks interleaved,
+    /// each lane starting from its own (scaled) entry state.
+    fn count_group(
+        &self,
+        accepting: &[bool],
+        group: &[&[SymbolId]],
+        entries_scaled: &[u32],
+        out: &mut [u64],
+        ctl: &AbortControl,
+        k_way: usize,
+    ) -> bool {
+        match self.packed {
+            Packed::U8 => count_group_width::<u8>(
+                self.entries(),
+                self.mask,
+                self.shift,
+                accepting,
+                group,
+                entries_scaled,
+                out,
+                ctl,
+                k_way,
+            ),
+            Packed::U16 => count_group_width::<u16>(
+                self.entries(),
+                self.mask,
+                self.shift,
+                accepting,
+                group,
+                entries_scaled,
+                out,
+                ctl,
+                k_way,
+            ),
+            Packed::U32 => count_group_width::<u32>(
+                self.entries(),
+                self.mask,
+                self.shift,
+                accepting,
+                group,
+                entries_scaled,
+                out,
+                ctl,
+                k_way,
+            ),
+        }
+    }
+
+    /// Single-chain scan of one whole input from `from` (scaled);
+    /// `None` if aborted.
+    pub(crate) fn scan_lane(
+        &self,
+        input: &[SymbolId],
+        from: u32,
+        ctl: &AbortControl,
+    ) -> Option<u32> {
+        match self.packed {
+            Packed::U8 => scan_lane_width::<u8>(self.entries(), self.mask, from, input, ctl),
+            Packed::U16 => scan_lane_width::<u16>(self.entries(), self.mask, from, input, ctl),
+            Packed::U32 => scan_lane_width::<u32>(self.entries(), self.mask, from, input, ctl),
+        }
+    }
+
+    /// Scan one chunk from a (scaled) entry state until the first
+    /// accepting position; `Ok(None)` = no match, `Err(())` = aborted.
+    /// The position is 1-based (symbols consumed), matching
+    /// `Dfa::first_match_end`.
+    fn find_first_lane(
+        &self,
+        accepting: &[bool],
+        input: &[SymbolId],
+        from: u32,
+        ctl: &AbortControl,
+        stop: impl Fn() -> bool,
+    ) -> Result<Option<usize>, ()> {
+        match self.packed {
+            Packed::U8 => find_first_width::<u8>(
+                self.entries(),
+                self.mask,
+                self.shift,
+                accepting,
+                input,
+                from,
+                ctl,
+                stop,
+            ),
+            Packed::U16 => find_first_width::<u16>(
+                self.entries(),
+                self.mask,
+                self.shift,
+                accepting,
+                input,
+                from,
+                ctl,
+                stop,
+            ),
+            Packed::U32 => find_first_width::<u32>(
+                self.entries(),
+                self.mask,
+                self.shift,
+                accepting,
+                input,
+                from,
+                ctl,
+                stop,
+            ),
+        }
+    }
+}
+
+fn entry_bytes(packed: Packed) -> usize {
+    match packed {
+        Packed::U8 => 1,
+        Packed::U16 => 2,
+        Packed::U32 => 4,
+    }
+}
+
+// ----------------------------------------------------------------------
+// Interleaved scan loops (monomorphized per width × K)
+// ----------------------------------------------------------------------
+
+fn scan_group_width<T: Entry>(
+    tbl: &[T],
+    mask: u32,
+    start: u32,
+    group: &[&[SymbolId]],
+    out: &mut [u32],
+    ctl: &AbortControl,
+    k_way: usize,
+) -> bool {
+    match k_way {
+        1 => scan_group_k::<T, 1>(tbl, mask, start, group, out, ctl),
+        2 => scan_group_k::<T, 2>(tbl, mask, start, group, out, ctl),
+        4 => scan_group_k::<T, 4>(tbl, mask, start, group, out, ctl),
+        _ => scan_group_k::<T, 8>(tbl, mask, start, group, out, ctl),
+    }
+}
+
+/// The software-pipelined kernel: K independent chains step in lockstep,
+/// so K loads are in flight per iteration instead of one.
+fn scan_group_k<T: Entry, const K: usize>(
+    tbl: &[T],
+    mask: u32,
+    start: u32,
+    group: &[&[SymbolId]],
+    out: &mut [u32],
+    ctl: &AbortControl,
+) -> bool {
+    debug_assert!(group.len() <= K && group.len() == out.len());
+    let mut lanes: [&[SymbolId]; K] = [&[]; K];
+    lanes[..group.len()].copy_from_slice(group);
+    let mut s = [start; K];
+    // Shorter lanes (a partial final group, or the division remainder)
+    // bound the interleaved phase; tails finish single-chain below.
+    let common = lanes.iter().map(|l| l.len()).min().unwrap_or(0);
+    // Poll cadence: K symbols retire per pipelined step.
+    let poll = (GOVERNOR_POLL_SYMBOLS / K).max(1);
+    let mut pos = 0;
+    while pos < common {
+        if ctl.should_stop() {
+            return false;
+        }
+        let end = (pos + poll).min(common);
+        for i in pos..end {
+            for j in 0..K {
+                // SAFETY: i < common ≤ lanes[j].len().
+                let sym = unsafe { *lanes[j].get_unchecked(i) };
+                s[j] = T::step(tbl, mask, s[j], sym);
+            }
+        }
+        pos = end;
+    }
+    for (j, slot) in out.iter_mut().enumerate() {
+        let mut q = s[j];
+        for block in lanes[j][common..].chunks(GOVERNOR_POLL_SYMBOLS) {
+            if ctl.should_stop() {
+                return false;
+            }
+            for &sym in block {
+                q = T::step(tbl, mask, q, sym);
+            }
+        }
+        *slot = q;
+    }
+    true
+}
+
+#[allow(clippy::too_many_arguments)]
+fn scan_group_bytes_width<T: Entry>(
+    tbl: &[T],
+    mask: u32,
+    start: u32,
+    classifier: &ByteClassifier,
+    group: &[&[u8]],
+    offsets: &[u64],
+    out: &mut [u32],
+    ctl: &AbortControl,
+    k_way: usize,
+) -> bool {
+    match k_way {
+        1 => scan_group_bytes_k::<T, 1>(tbl, mask, start, classifier, group, offsets, out, ctl),
+        2 => scan_group_bytes_k::<T, 2>(tbl, mask, start, classifier, group, offsets, out, ctl),
+        4 => scan_group_bytes_k::<T, 4>(tbl, mask, start, classifier, group, offsets, out, ctl),
+        _ => scan_group_bytes_k::<T, 8>(tbl, mask, start, classifier, group, offsets, out, ctl),
+    }
+}
+
+/// Interleaved scan with fused byte classification. Skips are per-lane;
+/// an invalid byte records [`SfaError::InvalidByte`] with its absolute
+/// offset and aborts the pass.
+#[allow(clippy::too_many_arguments)]
+fn scan_group_bytes_k<T: Entry, const K: usize>(
+    tbl: &[T],
+    mask: u32,
+    start: u32,
+    classifier: &ByteClassifier,
+    group: &[&[u8]],
+    offsets: &[u64],
+    out: &mut [u32],
+    ctl: &AbortControl,
+) -> bool {
+    debug_assert!(group.len() <= K && group.len() == out.len());
+    let mut lanes: [&[u8]; K] = [&[]; K];
+    lanes[..group.len()].copy_from_slice(group);
+    let mut s = [start; K];
+    let common = lanes.iter().map(|l| l.len()).min().unwrap_or(0);
+    let poll = (GOVERNOR_POLL_SYMBOLS / K).max(1);
+    let mut pos = 0;
+    while pos < common {
+        if ctl.should_stop() {
+            return false;
+        }
+        let end = (pos + poll).min(common);
+        for i in pos..end {
+            for j in 0..K {
+                // SAFETY: i < common ≤ lanes[j].len().
+                let b = unsafe { *lanes[j].get_unchecked(i) };
+                match classifier.classify(b) {
+                    Classified::Symbol(sym) => s[j] = T::step(tbl, mask, s[j], sym),
+                    Classified::Skip => {}
+                    Classified::Invalid => {
+                        ctl.fail(SfaError::InvalidByte {
+                            byte: b,
+                            offset: offsets[j] + i as u64,
+                        });
+                        return false;
+                    }
+                }
+            }
+        }
+        pos = end;
+    }
+    for (j, slot) in out.iter_mut().enumerate() {
+        let mut q = s[j];
+        for (block_no, block) in lanes[j][common..].chunks(GOVERNOR_POLL_SYMBOLS).enumerate() {
+            if ctl.should_stop() {
+                return false;
+            }
+            for (i, &b) in block.iter().enumerate() {
+                match classifier.classify(b) {
+                    Classified::Symbol(sym) => q = T::step(tbl, mask, q, sym),
+                    Classified::Skip => {}
+                    Classified::Invalid => {
+                        ctl.fail(SfaError::InvalidByte {
+                            byte: b,
+                            offset: offsets[j]
+                                + (common + block_no * GOVERNOR_POLL_SYMBOLS + i) as u64,
+                        });
+                        return false;
+                    }
+                }
+            }
+        }
+        *slot = q;
+    }
+    true
+}
+
+#[allow(clippy::too_many_arguments)]
+fn count_group_width<T: Entry>(
+    tbl: &[T],
+    mask: u32,
+    shift: u32,
+    accepting: &[bool],
+    group: &[&[SymbolId]],
+    entries_scaled: &[u32],
+    out: &mut [u64],
+    ctl: &AbortControl,
+    k_way: usize,
+) -> bool {
+    match k_way {
+        1 => count_group_k::<T, 1>(tbl, mask, shift, accepting, group, entries_scaled, out, ctl),
+        2 => count_group_k::<T, 2>(tbl, mask, shift, accepting, group, entries_scaled, out, ctl),
+        4 => count_group_k::<T, 4>(tbl, mask, shift, accepting, group, entries_scaled, out, ctl),
+        _ => count_group_k::<T, 8>(tbl, mask, shift, accepting, group, entries_scaled, out, ctl),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn count_group_k<T: Entry, const K: usize>(
+    tbl: &[T],
+    mask: u32,
+    shift: u32,
+    accepting: &[bool],
+    group: &[&[SymbolId]],
+    entries_scaled: &[u32],
+    out: &mut [u64],
+    ctl: &AbortControl,
+) -> bool {
+    debug_assert!(group.len() <= K && group.len() == out.len());
+    let mut lanes: [&[SymbolId]; K] = [&[]; K];
+    lanes[..group.len()].copy_from_slice(group);
+    let mut s = [0u32; K];
+    s[..group.len()].copy_from_slice(entries_scaled);
+    let mut counts = [0u64; K];
+    let common = lanes.iter().map(|l| l.len()).min().unwrap_or(0);
+    let poll = (GOVERNOR_POLL_SYMBOLS / K).max(1);
+    let mut pos = 0;
+    while pos < common {
+        if ctl.should_stop() {
+            return false;
+        }
+        let end = (pos + poll).min(common);
+        for i in pos..end {
+            for j in 0..K {
+                // SAFETY: i < common ≤ lanes[j].len().
+                let sym = unsafe { *lanes[j].get_unchecked(i) };
+                s[j] = T::step(tbl, mask, s[j], sym);
+                // SAFETY: every scaled offset unshifts to < num_states
+                // (the `Entry::step` invariant), and `accepting` has
+                // num_states entries.
+                counts[j] +=
+                    u64::from(unsafe { *accepting.get_unchecked((s[j] >> shift) as usize) });
+            }
+        }
+        pos = end;
+    }
+    for (j, slot) in out.iter_mut().enumerate() {
+        let mut q = s[j];
+        let mut count = counts[j];
+        for block in lanes[j][common..].chunks(GOVERNOR_POLL_SYMBOLS) {
+            if ctl.should_stop() {
+                return false;
+            }
+            for &sym in block {
+                q = T::step(tbl, mask, q, sym);
+                count += u64::from(accepting[(q >> shift) as usize]);
+            }
+        }
+        *slot = count;
+    }
+    true
+}
+
+fn scan_lane_width<T: Entry>(
+    tbl: &[T],
+    mask: u32,
+    from: u32,
+    input: &[SymbolId],
+    ctl: &AbortControl,
+) -> Option<u32> {
+    let mut s = from;
+    for block in input.chunks(GOVERNOR_POLL_SYMBOLS) {
+        if ctl.should_stop() {
+            return None;
+        }
+        for &sym in block {
+            s = T::step(tbl, mask, s, sym);
+        }
+    }
+    Some(s)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn find_first_width<T: Entry>(
+    tbl: &[T],
+    mask: u32,
+    shift: u32,
+    accepting: &[bool],
+    input: &[SymbolId],
+    from: u32,
+    ctl: &AbortControl,
+    stop: impl Fn() -> bool,
+) -> Result<Option<usize>, ()> {
+    let mut s = from;
+    for (block_no, block) in input.chunks(GOVERNOR_POLL_SYMBOLS).enumerate() {
+        if ctl.should_stop() || stop() {
+            return Err(());
+        }
+        for (j, &sym) in block.iter().enumerate() {
+            s = T::step(tbl, mask, s, sym);
+            if accepting[(s >> shift) as usize] {
+                return Ok(Some(block_no * GOVERNOR_POLL_SYMBOLS + j + 1));
+            }
+        }
+    }
+    Ok(None)
+}
+
+// ----------------------------------------------------------------------
+// Reduction-tree composition (pass 2)
+// ----------------------------------------------------------------------
+
+/// Inclusive prefix composition of chunk mappings, Ladner–Fischer
+/// style: pair-combine, recurse on the halved sequence, then expand —
+/// `O(maps)` total compositions in `O(log maps)` levels, each level's
+/// compositions running in parallel on `pool` and each composition a
+/// vectorized [`sfa_simd::gather_u32`] (`out[q] = g[f[q]]`).
+///
+/// `result[i]` equals `maps[0] ∘ … ∘ maps[i]` (left-to-right
+/// application order, as in [`Sfa::compose`]).
+pub fn prefix_compose_on(pool: &TaskPool, maps: Vec<Vec<u32>>) -> Result<Vec<Vec<u32>>, SfaError> {
+    let c = maps.len();
+    if c <= 1 {
+        return Ok(maps);
+    }
+    // Up-sweep: combine adjacent pairs.
+    let pairs = c / 2;
+    let mut combined: Vec<Vec<u32>> = vec![Vec::new(); pairs];
+    run_composes(pool, |scope| {
+        for (i, slot) in combined.iter_mut().enumerate() {
+            let f = &maps[2 * i];
+            let g = &maps[2 * i + 1];
+            scope.execute(move || *slot = compose_vec(f, g));
+        }
+    })?;
+    // Recurse: prefixes over the pair-combined sequence.
+    let pair_prefix = prefix_compose_on(pool, combined)?;
+    // Down-sweep: expand pair prefixes back to element prefixes.
+    let mut out: Vec<Vec<u32>> = vec![Vec::new(); c];
+    run_composes(pool, |scope| {
+        let mut slots = out.iter_mut();
+        for (i, slot) in slots.by_ref().enumerate().take(c) {
+            let maps = &maps;
+            let pair_prefix = &pair_prefix;
+            scope.execute(move || {
+                *slot = if i == 0 {
+                    maps[0].clone()
+                } else if i % 2 == 1 {
+                    pair_prefix[i / 2].clone()
+                } else {
+                    compose_vec(&pair_prefix[i / 2 - 1], &maps[i])
+                };
+            });
+        }
+    })?;
+    Ok(out)
+}
+
+/// `out[q] = g[f[q]]` — f applied first, then g.
+fn compose_vec(f: &[u32], g: &[u32]) -> Vec<u32> {
+    let mut out = vec![0u32; f.len()];
+    gather_u32(g, f, &mut out);
+    out
+}
+
+fn run_composes<'pool, 'scope, F>(pool: &'pool TaskPool, f: F) -> Result<(), SfaError>
+where
+    F: FnOnce(&sfa_sync::pool::Scope<'pool, 'scope>) + 'scope,
+{
+    pool.scoped(f).map_err(|panic| SfaError::WorkerPanic {
+        message: panic.message,
+    })
+}
+
+// ----------------------------------------------------------------------
+// The engine
+// ----------------------------------------------------------------------
+
+/// Pass-1 result: the SFA state of every chunk plus the chunk geometry
+/// that produced it (pass 3 must re-split identically).
+pub(crate) struct ChunkPlan {
+    pub states: Vec<u32>,
+    pub chunk: usize,
+}
+
+/// Precomputed scan state for one SFA/DFA pair — build once, match many
+/// inputs. Owns no borrows: engines cache it in an `Arc` across queries.
+pub struct ScanEngine {
+    /// Compact SFA table, or the defect message of a malformed SFA
+    /// (surfaced as [`SfaError::WorkerPanic`] at match time).
+    sfa_tbl: Result<ScanTable, String>,
+    dfa_tbl: Result<ScanTable, String>,
+    /// Per-DFA-state accept flags, indexed by (unscaled) state id.
+    accepting: Vec<bool>,
+    opts: ScanOptions,
+}
+
+impl std::fmt::Debug for ScanEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScanEngine")
+            .field("sfa_tbl", &self.sfa_tbl)
+            .field("dfa_tbl", &self.dfa_tbl)
+            .field("opts", &self.opts)
+            .finish()
+    }
+}
+
+impl ScanEngine {
+    /// Build with default [`ScanOptions`].
+    pub fn new(sfa: &Sfa, dfa: &Dfa) -> ScanEngine {
+        ScanEngine::with_options(sfa, dfa, ScanOptions::default())
+            .expect("default scan options are valid")
+    }
+
+    /// Build with explicit options (fails only on invalid options — a
+    /// malformed automaton is deferred to match time, see `sfa_tbl`).
+    pub fn with_options(sfa: &Sfa, dfa: &Dfa, opts: ScanOptions) -> Result<ScanEngine, SfaError> {
+        opts.validate()?;
+        let sfa_tbl = ScanTable::build(
+            sfa.delta(),
+            sfa.num_states() as usize,
+            sfa.num_symbols(),
+            sfa.start(),
+        );
+        let dfa_tbl = ScanTable::build(
+            dfa.table(),
+            dfa.num_states() as usize,
+            dfa.num_symbols(),
+            dfa.start(),
+        );
+        let accepting = (0..dfa.num_states()).map(|q| dfa.is_accepting(q)).collect();
+        Ok(ScanEngine {
+            sfa_tbl,
+            dfa_tbl,
+            accepting,
+            opts,
+        })
+    }
+
+    /// The configured knobs.
+    pub fn options(&self) -> ScanOptions {
+        self.opts
+    }
+
+    /// The compact SFA table (`Err` for a malformed SFA).
+    pub fn sfa_table(&self) -> Result<&ScanTable, SfaError> {
+        self.sfa_tbl.as_ref().map_err(|msg| SfaError::WorkerPanic {
+            message: msg.clone(),
+        })
+    }
+
+    /// The compact DFA table (`Err` for a malformed DFA).
+    pub fn dfa_table(&self) -> Result<&ScanTable, SfaError> {
+        self.dfa_tbl.as_ref().map_err(|msg| SfaError::WorkerPanic {
+            message: msg.clone(),
+        })
+    }
+
+    /// Chunk length for an input of `len` symbols at `threads` workers:
+    /// oversubscribed to `threads × oversubscribe × interleave` chunks,
+    /// floored at `min_chunk_symbols`.
+    pub fn chunk_len(&self, len: usize, threads: usize) -> usize {
+        let want = threads.max(1) * self.opts.oversubscribe * self.opts.interleave;
+        len.div_ceil(want)
+            .max(self.opts.min_chunk_symbols.min(len))
+            .max(1)
+    }
+
+    /// How many chunks an input of `len` symbols splits into.
+    pub fn chunk_count(&self, len: usize, threads: usize) -> usize {
+        if len == 0 {
+            1
+        } else {
+            len.div_ceil(self.chunk_len(len, threads))
+        }
+    }
+
+    /// Pass 1: the SFA state of every chunk, scanned K-way interleaved
+    /// on the pool. `input` must be non-empty.
+    pub(crate) fn chunk_states(
+        &self,
+        pool: &TaskPool,
+        governor: &Governor,
+        input: &[SymbolId],
+        threads: usize,
+    ) -> Result<ChunkPlan, SfaError> {
+        governor.check(0, 0)?;
+        debug_assert!(!input.is_empty());
+        let tbl = self.sfa_table()?;
+        let chunk = self.chunk_len(input.len(), threads);
+        let chunks: Vec<&[SymbolId]> = input.chunks(chunk).collect();
+        let k_way = self.opts.interleave;
+        let mut scaled: Vec<u32> = vec![0; chunks.len()];
+        let ctl = AbortControl::new(governor);
+
+        if chunks.len() == 1 && governor.is_unlimited() {
+            // Single chunk, nothing to govern: run inline but still
+            // contain a panic (a poisoned classifier path or table must
+            // not kill the caller).
+            let scan = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut out = [0u32; 1];
+                tbl.scan_group(&chunks, &mut out, &ctl, 1);
+                out[0]
+            }));
+            match scan {
+                Ok(s) => scaled[0] = s,
+                Err(payload) => {
+                    return Err(SfaError::WorkerPanic {
+                        message: panic_payload_message(payload),
+                    })
+                }
+            }
+        } else {
+            let scoped = {
+                let ctl = &ctl;
+                pool.scoped(|scope| {
+                    for (group, out) in chunks.chunks(k_way).zip(scaled.chunks_mut(k_way)) {
+                        scope.execute(move || {
+                            tbl.scan_group(group, out, ctl, k_way);
+                        });
+                    }
+                })
+            };
+            ctl.finish(scoped)?;
+        }
+        let shift = tbl.shift();
+        Ok(ChunkPlan {
+            states: scaled.iter().map(|&s| s >> shift).collect(),
+            chunk,
+        })
+    }
+
+    /// Pass 1 over raw bytes with fused classification (the streaming
+    /// block path). `block` must be non-empty.
+    pub(crate) fn chunk_states_bytes(
+        &self,
+        pool: &TaskPool,
+        governor: &Governor,
+        classifier: &ByteClassifier,
+        block: &[u8],
+        block_offset: u64,
+        threads: usize,
+    ) -> Result<ChunkPlan, SfaError> {
+        governor.check(0, 0)?;
+        debug_assert!(!block.is_empty());
+        let tbl = self.sfa_table()?;
+        let chunk = self.chunk_len(block.len(), threads);
+        let chunks: Vec<&[u8]> = block.chunks(chunk).collect();
+        let offsets: Vec<u64> = (0..chunks.len())
+            .map(|i| block_offset + (i * chunk) as u64)
+            .collect();
+        let k_way = self.opts.interleave;
+        let mut scaled: Vec<u32> = vec![0; chunks.len()];
+        let ctl = AbortControl::new(governor);
+        let scoped = {
+            let ctl = &ctl;
+            pool.scoped(|scope| {
+                for ((group, offs), out) in chunks
+                    .chunks(k_way)
+                    .zip(offsets.chunks(k_way))
+                    .zip(scaled.chunks_mut(k_way))
+                {
+                    scope.execute(move || {
+                        tbl.scan_group_bytes(classifier, group, offs, out, ctl, k_way);
+                    });
+                }
+            })
+        };
+        ctl.finish(scoped)?;
+        let shift = tbl.shift();
+        Ok(ChunkPlan {
+            states: scaled.iter().map(|&s| s >> shift).collect(),
+            chunk,
+        })
+    }
+
+    /// Pass 2: every chunk's exact entry DFA state, and the final state
+    /// after the whole input, from `q0` — computed with the
+    /// reduction tree ([`prefix_compose_on`]). Chunk mappings are
+    /// materialized in parallel first (each may decompress a vector).
+    pub(crate) fn entry_states(
+        &self,
+        pool: &TaskPool,
+        sfa: &Sfa,
+        states: &[u32],
+        q0: u32,
+    ) -> Result<(Vec<u32>, u32), SfaError> {
+        let c = states.len();
+        if c == 1 {
+            // One chunk: no composition at all, just apply.
+            return Ok((vec![q0], sfa.apply(states[0], q0)));
+        }
+        let mut maps: Vec<Vec<u32>> = vec![Vec::new(); c];
+        run_composes(pool, |scope| {
+            for (slot, &s) in maps.iter_mut().zip(states) {
+                scope.execute(move || *slot = sfa.mapping_of(s));
+            }
+        })?;
+        let prefix = prefix_compose_on(pool, maps)?;
+        let mut entries = Vec::with_capacity(c);
+        entries.push(q0);
+        for p in &prefix[..c - 1] {
+            entries.push(p[q0 as usize]);
+        }
+        Ok((entries, prefix[c - 1][q0 as usize]))
+    }
+
+    /// Passes 1+2 fused: the DFA state after `input`, starting at `q0`.
+    pub(crate) fn final_state(
+        &self,
+        pool: &TaskPool,
+        governor: &Governor,
+        sfa: &Sfa,
+        input: &[SymbolId],
+        q0: u32,
+        threads: usize,
+    ) -> Result<u32, SfaError> {
+        let plan = self.chunk_states(pool, governor, input, threads)?;
+        Ok(self.entry_states(pool, sfa, &plan.states, q0)?.1)
+    }
+
+    /// Pass 3 for first-match search: per-chunk DFA scans from the exact
+    /// entry states, with a best-so-far chunk index published in an
+    /// `AtomicUsize` so chunks that can no longer win abort at block
+    /// granularity instead of finishing their scan.
+    pub(crate) fn find_first(
+        &self,
+        pool: &TaskPool,
+        governor: &Governor,
+        sfa: &Sfa,
+        input: &[SymbolId],
+        q0: u32,
+        threads: usize,
+    ) -> Result<Option<usize>, SfaError> {
+        let plan = self.chunk_states(pool, governor, input, threads)?;
+        let (entries, _) = self.entry_states(pool, sfa, &plan.states, q0)?;
+        let dtbl = self.dfa_table()?;
+        let accepting = self.accepting.as_slice();
+        let chunks: Vec<&[SymbolId]> = input.chunks(plan.chunk).collect();
+        let mut firsts: Vec<Option<usize>> = vec![None; chunks.len()];
+        let best = AtomicUsize::new(usize::MAX);
+        let ctl = AbortControl::new(governor);
+        let scoped = {
+            let (ctl, best) = (&ctl, &best);
+            pool.scoped(|scope| {
+                for ((i, &c), slot) in chunks.iter().enumerate().zip(firsts.iter_mut()) {
+                    let entry = dtbl.scale(entries[i]);
+                    scope.execute(move || {
+                        // A sibling with a smaller chunk index already
+                        // matched: this chunk cannot improve the answer.
+                        let found = dtbl.find_first_lane(accepting, c, entry, ctl, || {
+                            best.load(Ordering::Relaxed) < i
+                        });
+                        if let Ok(Some(local)) = found {
+                            *slot = Some(local);
+                            best.fetch_min(i, Ordering::Relaxed);
+                        }
+                    });
+                }
+            })
+        };
+        ctl.finish(scoped)?;
+        Ok(firsts
+            .iter()
+            .enumerate()
+            .find_map(|(i, &local)| local.map(|j| i * plan.chunk + j)))
+    }
+
+    /// Pass 3 for occurrence counting: K-way interleaved DFA counting
+    /// scans from the exact entry states. Returns the total over all
+    /// chunks (the accepting-start position 0 is the caller's).
+    pub(crate) fn count_matches(
+        &self,
+        pool: &TaskPool,
+        governor: &Governor,
+        sfa: &Sfa,
+        input: &[SymbolId],
+        q0: u32,
+        threads: usize,
+    ) -> Result<u64, SfaError> {
+        let plan = self.chunk_states(pool, governor, input, threads)?;
+        let (entries, _) = self.entry_states(pool, sfa, &plan.states, q0)?;
+        let dtbl = self.dfa_table()?;
+        let accepting = self.accepting.as_slice();
+        let entries_scaled: Vec<u32> = entries.iter().map(|&q| dtbl.scale(q)).collect();
+        let chunks: Vec<&[SymbolId]> = input.chunks(plan.chunk).collect();
+        let k_way = self.opts.interleave;
+        let mut counts: Vec<u64> = vec![0; chunks.len()];
+        let ctl = AbortControl::new(governor);
+        let scoped = {
+            let ctl = &ctl;
+            pool.scoped(|scope| {
+                for ((group, entry_group), out) in chunks
+                    .chunks(k_way)
+                    .zip(entries_scaled.chunks(k_way))
+                    .zip(counts.chunks_mut(k_way))
+                {
+                    scope.execute(move || {
+                        dtbl.count_group(accepting, group, entry_group, out, ctl, k_way);
+                    });
+                }
+            })
+        };
+        ctl.finish(scoped)?;
+        Ok(counts.iter().sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential::SequentialVariant;
+    use sfa_automata::alphabet::Alphabet;
+    use sfa_automata::pipeline::Pipeline;
+
+    fn setup(pattern: &str) -> (Dfa, Sfa) {
+        let dfa = Pipeline::search(Alphabet::amino_acids())
+            .compile_str(pattern)
+            .unwrap();
+        let sfa = Sfa::builder(&dfa)
+            .sequential(SequentialVariant::Transposed)
+            .build()
+            .unwrap()
+            .sfa;
+        (dfa, sfa)
+    }
+
+    #[test]
+    fn table_layout_is_compact_and_padded() {
+        let (dfa, sfa) = setup("RG");
+        let engine = ScanEngine::new(&sfa, &dfa);
+        let dtbl = engine.dfa_table().unwrap();
+        // Amino-acid alphabet: k = 20 → stride rounds to a power of two
+        // covering at least one cache line.
+        assert!(dtbl.stride().is_power_of_two());
+        assert!(dtbl.stride() >= 20);
+        assert_eq!(dtbl.stride() * dtbl.entry_bytes() % 64, 0);
+        // Tiny automata pack below u32.
+        assert!(dtbl.entry_bytes() < 4, "small DFA should pack: {dtbl:?}");
+        let stbl = engine.sfa_table().unwrap();
+        assert!(stbl.stride().is_power_of_two());
+    }
+
+    #[test]
+    fn scan_table_agrees_with_step() {
+        let (dfa, sfa) = setup("R[GA]N");
+        let engine = ScanEngine::new(&sfa, &dfa);
+        let tbl = engine.sfa_table().unwrap();
+        let governor = Governor::unlimited();
+        let ctl = AbortControl::new(&governor);
+        let input: Vec<u8> = (0..257u32).map(|i| (i % 20) as u8).collect();
+        let scaled = tbl.scan_lane(&input, tbl.start_offset(), &ctl).unwrap();
+        assert_eq!(scaled >> tbl.shift(), sfa.run(&input));
+    }
+
+    #[test]
+    fn malformed_table_is_deferred_not_fatal() {
+        let (dfa, _) = setup("R");
+        let poisoned = Sfa::from_parts(
+            2,
+            20,
+            0,
+            vec![99; 2 * 20],
+            crate::sfa::MappingStore::U16(vec![0, 1, 1, 0]),
+        );
+        let engine = ScanEngine::new(&poisoned, &dfa);
+        match engine.sfa_table() {
+            Err(SfaError::WorkerPanic { message }) => {
+                assert!(message.contains("out of bounds"), "{message}");
+            }
+            other => panic!("expected deferred WorkerPanic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prefix_compose_matches_sequential_fold() {
+        let (_, sfa) = setup("R[GA]N");
+        let pool = TaskPool::new(3);
+        // A handful of mappings from real runs, odd count on purpose.
+        let inputs: Vec<Vec<u8>> = (0..7)
+            .map(|i| (0..50 + i * 13).map(|j| ((i + j) % 20) as u8).collect())
+            .collect();
+        let maps: Vec<Vec<u32>> = inputs.iter().map(|w| sfa.mapping_of(sfa.run(w))).collect();
+        let tree = prefix_compose_on(&pool, maps.clone()).unwrap();
+        let mut fold = maps[0].clone();
+        assert_eq!(tree[0], fold);
+        for (i, m) in maps.iter().enumerate().skip(1) {
+            fold = Sfa::compose(&fold, m);
+            assert_eq!(tree[i], fold, "prefix {i}");
+        }
+    }
+
+    #[test]
+    fn invalid_options_are_rejected() {
+        let (dfa, sfa) = setup("RG");
+        for bad in [0usize, 3, 5, 16] {
+            let opts = ScanOptions {
+                interleave: bad,
+                ..ScanOptions::default()
+            };
+            assert!(matches!(
+                ScanEngine::with_options(&sfa, &dfa, opts),
+                Err(SfaError::InvalidOptions(_))
+            ));
+        }
+        let opts = ScanOptions {
+            oversubscribe: 0,
+            ..ScanOptions::default()
+        };
+        assert!(ScanEngine::with_options(&sfa, &dfa, opts).is_err());
+    }
+
+    #[test]
+    fn out_of_alphabet_symbols_stay_in_bounds() {
+        // The masked-padding contract: garbage symbols may produce a
+        // garbage state but never fault or leave the table.
+        let (dfa, sfa) = setup("RG");
+        let engine = ScanEngine::new(&sfa, &dfa);
+        let tbl = engine.sfa_table().unwrap();
+        let governor = Governor::unlimited();
+        let ctl = AbortControl::new(&governor);
+        let junk: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let scaled = tbl.scan_lane(&junk, tbl.start_offset(), &ctl).unwrap();
+        assert!(((scaled >> tbl.shift()) as usize) < sfa.num_states() as usize);
+    }
+}

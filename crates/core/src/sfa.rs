@@ -165,6 +165,12 @@ impl Sfa {
         self.delta[s as usize * self.k + sym as usize]
     }
 
+    /// The raw row-major transition table (`num_states × k`), for the
+    /// [`crate::scan`] table builder.
+    pub(crate) fn delta(&self) -> &[u32] {
+        &self.delta
+    }
+
     /// Run the SFA from its start state over `input`, returning the SFA
     /// state — whose mapping tells, for *every* DFA start state, where the
     /// DFA would be after `input`. This is the per-chunk step of parallel

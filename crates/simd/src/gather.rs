@@ -1,0 +1,113 @@
+//! Flat u32 gather: `out[i] = table[rows[i]]`.
+//!
+//! The composition tree of the match runtime composes whole chunk
+//! mappings: `h[q] = g[f[q]]` is exactly a gather of `g` at the indices
+//! `f`. The transposition kernels in [`crate::transpose`] cannot help
+//! here — they tile over `k` symbol columns, and a mapping is a k = 1
+//! "table", which degenerates to their scalar remainder loops — so this
+//! module provides a dedicated AVX2 `vpgatherdd` kernel (8 lanes per
+//! iteration) with a portable scalar fallback, dispatched at runtime
+//! like every other kernel in this crate.
+
+use crate::CpuFeatures;
+
+/// `out[i] = table[rows[i]]` for every `i`.
+///
+/// # Panics
+///
+/// If `out.len() != rows.len()` or any `rows[i]` is out of bounds for
+/// `table` (checked up front — the kernels then run unchecked).
+pub fn gather_u32(table: &[u32], rows: &[u32], out: &mut [u32]) {
+    gather_u32_with(CpuFeatures::get(), table, rows, out)
+}
+
+/// [`gather_u32`] with an explicit feature set (tests force the scalar
+/// path with [`CpuFeatures::SCALAR`]).
+pub fn gather_u32_with(features: CpuFeatures, table: &[u32], rows: &[u32], out: &mut [u32]) {
+    assert_eq!(
+        rows.len(),
+        out.len(),
+        "gather output length must match the index count"
+    );
+    let n = table.len();
+    assert!(
+        rows.iter().all(|&r| (r as usize) < n),
+        "gather index out of bounds ({n} table entries)"
+    );
+    #[cfg(target_arch = "x86_64")]
+    if features.avx2 {
+        // SAFETY: AVX2 confirmed by runtime detection; indices validated.
+        unsafe { gather_u32_avx2(table, rows, out) };
+        return;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = features;
+    gather_u32_scalar(table, rows, out);
+}
+
+fn gather_u32_scalar(table: &[u32], rows: &[u32], out: &mut [u32]) {
+    for (slot, &r) in out.iter_mut().zip(rows) {
+        *slot = table[r as usize];
+    }
+}
+
+/// # Safety
+///
+/// Caller must ensure AVX2 is available and every index in `rows` is in
+/// bounds for `table`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn gather_u32_avx2(table: &[u32], rows: &[u32], out: &mut [u32]) {
+    use std::arch::x86_64::*;
+    let base = table.as_ptr() as *const i32;
+    let mut i = 0;
+    while i + 8 <= rows.len() {
+        let idx = _mm256_loadu_si256(rows.as_ptr().add(i) as *const __m256i);
+        // Scale 4: indices are element counts, the gather wants bytes.
+        let got = _mm256_i32gather_epi32::<4>(base, idx);
+        _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, got);
+        i += 8;
+    }
+    for j in i..rows.len() {
+        *out.get_unchecked_mut(j) = *table.get_unchecked(*rows.get_unchecked(j) as usize);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn gather_matches_scalar_reference() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for len in [0usize, 1, 7, 8, 9, 31, 64, 1000] {
+            let table: Vec<u32> = (0..257u32).map(|i| i.wrapping_mul(2_654_435_761)).collect();
+            let rows: Vec<u32> = (0..len)
+                .map(|_| rng.random_range(0..table.len() as u32))
+                .collect();
+            let mut fast = vec![0u32; len];
+            let mut slow = vec![0u32; len];
+            gather_u32(&table, &rows, &mut fast);
+            gather_u32_with(CpuFeatures::SCALAR, &table, &rows, &mut slow);
+            assert_eq!(fast, slow, "len {len}");
+            for (i, &r) in rows.iter().enumerate() {
+                assert_eq!(fast[i], table[r as usize]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_index_panics() {
+        let mut out = vec![0u32; 1];
+        gather_u32(&[1, 2, 3], &[3], &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn mismatched_output_length_panics() {
+        let mut out = vec![0u32; 2];
+        gather_u32(&[1, 2, 3], &[0], &mut out);
+    }
+}

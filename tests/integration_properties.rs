@@ -4,8 +4,12 @@ use proptest::prelude::*;
 use sfa_automata::pipeline::Pipeline;
 use sfa_automata::random::random_dfa;
 use sfa_automata::Alphabet;
+use sfa_core::budget::Governor;
 use sfa_core::prelude::*;
+use sfa_core::scan::{prefix_compose_on, ScanOptions};
 use sfa_core::sfa::Sfa;
+use sfa_sync::pool::TaskPool;
+use std::time::Duration;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
@@ -232,5 +236,168 @@ proptest! {
         .unwrap();
         prop_assert_eq!(prob.sfa.num_states(), exact.sfa.num_states());
         prob.sfa.validate(&dfa).unwrap();
+    }
+}
+
+// Scan-engine properties: the K-way interleaved scan, the compact
+// tables, and the reduction-tree composition must be *byte-identical*
+// to the sequential oracles across every knob combination — including
+// odd chunk counts (min_chunk_symbols = 1 forces multi-chunk geometry
+// on tiny inputs) and matches straddling chunk seams.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Verdict, final state, occurrence count and first-match position
+    /// agree with the sequential oracles for every interleave width
+    /// K ∈ {1,2,4,8} and oversubscription factor.
+    #[test]
+    fn prop_interleaved_scan_agrees_with_oracles(
+        seed in any::<u64>(),
+        input in proptest::collection::vec(0u8..2, 0..200),
+        threads in 1usize..5,
+        k_pick in 0usize..4,
+        oversubscribe in 1usize..4,
+    ) {
+        let alpha = Alphabet::binary();
+        let dfa = random_dfa(&alpha, 5, 0.4, seed);
+        let sfa = Sfa::builder(&dfa).sequential(SequentialVariant::Transposed).build()
+            .unwrap()
+            .sfa;
+        let opts = ScanOptions {
+            interleave: [1, 2, 4, 8][k_pick],
+            oversubscribe,
+            min_chunk_symbols: 1,
+        };
+        let matcher = ParallelMatcher::with_options(&sfa, &dfa, opts).unwrap();
+        prop_assert_eq!(matcher.matches(&input, threads), match_sequential(&dfa, &input));
+        prop_assert_eq!(matcher.final_state(&input, threads), dfa.run(&input));
+        prop_assert_eq!(
+            matcher.count_matches(&input, threads),
+            sfa_core::matcher::count_matches_sequential(&dfa, &input)
+        );
+        prop_assert_eq!(
+            matcher.find_first_match(&input, threads),
+            sfa_core::matcher::find_first_match_sequential(&dfa, &input)
+        );
+    }
+
+    /// A match planted at an arbitrary position — including straddling
+    /// any chunk seam the forced multi-chunk geometry produces — is
+    /// found at exactly the sequential position.
+    #[test]
+    fn prop_straddling_matches_are_found(
+        text_len in 40usize..160,
+        pos_frac in 0.0f64..1.0,
+        k_pick in 0usize..4,
+        threads in 1usize..5,
+    ) {
+        let alpha = Alphabet::amino_acids();
+        let dfa = Pipeline::search(alpha.clone()).compile_str("RG").unwrap();
+        let sfa = Sfa::builder(&dfa).sequential(SequentialVariant::Transposed).build()
+            .unwrap()
+            .sfa;
+        let mut text = vec![b'A'; text_len];
+        let pos = ((text_len - 2) as f64 * pos_frac) as usize;
+        text[pos] = b'R';
+        text[pos + 1] = b'G';
+        let syms = alpha.encode_bytes(&text).unwrap();
+        let opts = ScanOptions {
+            interleave: [1, 2, 4, 8][k_pick],
+            oversubscribe: 2,
+            min_chunk_symbols: 1,
+        };
+        let matcher = ParallelMatcher::with_options(&sfa, &dfa, opts).unwrap();
+        prop_assert_eq!(matcher.find_first_match(&syms, threads), Some(pos + 2));
+        // The search automaton stays accepting once "RG" has been seen,
+        // so every later position counts — compare against the oracle.
+        prop_assert_eq!(
+            matcher.count_matches(&syms, threads),
+            sfa_core::matcher::count_matches_sequential(&dfa, &syms)
+        );
+        prop_assert!(matcher.matches(&syms, threads));
+    }
+
+    /// The Ladner–Fischer reduction tree computes exactly the
+    /// sequential composition fold, for any sequence length (odd counts
+    /// exercise the tail handling at every recursion level).
+    #[test]
+    fn prop_prefix_compose_tree_equals_fold(
+        seed in any::<u64>(),
+        lens in proptest::collection::vec(0usize..40, 1..10),
+    ) {
+        let alpha = Alphabet::binary();
+        let dfa = random_dfa(&alpha, 5, 0.4, seed);
+        let sfa = Sfa::builder(&dfa).sequential(SequentialVariant::Transposed).build()
+            .unwrap()
+            .sfa;
+        let maps: Vec<Vec<u32>> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| {
+                let w: Vec<u8> = (0..l).map(|j| ((i + j) % 2) as u8).collect();
+                sfa.mapping_of(sfa.run(&w))
+            })
+            .collect();
+        let pool = TaskPool::shared();
+        let tree = prefix_compose_on(pool, maps.clone()).unwrap();
+        let mut fold = maps[0].clone();
+        prop_assert_eq!(&tree[0], &fold);
+        for (i, m) in maps.iter().enumerate().skip(1) {
+            fold = Sfa::compose(&fold, m);
+            prop_assert_eq!(&tree[i], &fold);
+        }
+    }
+
+    /// Under a racing deadline or cancellation the governed scan paths
+    /// either answer exactly the oracle or fail with the governance
+    /// error — never a wrong verdict, count or position.
+    #[test]
+    fn prop_governed_scan_is_exact_or_stopped(
+        seed in any::<u64>(),
+        input in proptest::collection::vec(0u8..2, 0..300),
+        threads in 1usize..4,
+        cancel_now in any::<bool>(),
+        deadline_us in 0u64..200,
+    ) {
+        let alpha = Alphabet::binary();
+        let dfa = random_dfa(&alpha, 5, 0.4, seed);
+        let sfa = Sfa::builder(&dfa).sequential(SequentialVariant::Transposed).build()
+            .unwrap()
+            .sfa;
+        let opts = ScanOptions {
+            interleave: 4,
+            oversubscribe: 2,
+            min_chunk_symbols: 1,
+        };
+        let matcher = ParallelMatcher::with_options(&sfa, &dfa, opts).unwrap();
+        let token = CancelToken::new();
+        if cancel_now {
+            token.cancel();
+        }
+        let budget = Budget::unlimited().with_deadline(Duration::from_micros(deadline_us));
+        let governor = Governor::new(&budget, Some(token));
+        let pool = TaskPool::shared();
+
+        match matcher.matches_on(pool, &governor, &input, threads) {
+            Ok(v) => prop_assert_eq!(v, match_sequential(&dfa, &input)),
+            Err(SfaError::Cancelled { .. }) | Err(SfaError::BudgetExceeded { .. }) => {}
+            Err(other) => prop_assert!(false, "unexpected error: {other}"),
+        }
+        match matcher.count_matches_on(pool, &governor, &input, threads) {
+            Ok(c) => prop_assert_eq!(
+                c,
+                sfa_core::matcher::count_matches_sequential(&dfa, &input)
+            ),
+            Err(SfaError::Cancelled { .. }) | Err(SfaError::BudgetExceeded { .. }) => {}
+            Err(other) => prop_assert!(false, "unexpected error: {other}"),
+        }
+        match matcher.find_first_match_on(pool, &governor, &input, threads) {
+            Ok(p) => prop_assert_eq!(
+                p,
+                sfa_core::matcher::find_first_match_sequential(&dfa, &input)
+            ),
+            Err(SfaError::Cancelled { .. }) | Err(SfaError::BudgetExceeded { .. }) => {}
+            Err(other) => prop_assert!(false, "unexpected error: {other}"),
+        }
     }
 }

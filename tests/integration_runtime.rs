@@ -157,6 +157,44 @@ fn pool_is_reused_across_matches() {
 }
 
 #[test]
+fn scan_paths_never_spawn_threads_per_call() {
+    // Same guard as `pool_is_reused_across_matches`, but over the
+    // scan-engine paths (oversubscribed K-way final-state scan, the
+    // three-pass find-first and count): all work must land on the
+    // shared pool; no path may fall back to per-call spawning.
+    let (dfa, sfa) = build("RG");
+    let opts = sfa_core::scan::ScanOptions {
+        interleave: 4,
+        oversubscribe: 4,
+        min_chunk_symbols: 64,
+    };
+    let matcher = ParallelMatcher::with_options(&sfa, &dfa, opts).unwrap();
+    let text = protein_text(100_000, 5);
+    let governor = Governor::unlimited();
+    let pool = TaskPool::shared();
+    // Warm up every path once (the shared pool lazily spawns its
+    // workers on first use).
+    matcher.final_state_on(pool, &governor, &text, 4).unwrap();
+    matcher
+        .find_first_match_on(pool, &governor, &text, 4)
+        .unwrap();
+    matcher.count_matches_on(pool, &governor, &text, 4).unwrap();
+    let before = TaskPool::threads_spawned_total();
+    for _ in 0..20 {
+        matcher.final_state_on(pool, &governor, &text, 4).unwrap();
+        matcher
+            .find_first_match_on(pool, &governor, &text, 4)
+            .unwrap();
+        matcher.count_matches_on(pool, &governor, &text, 4).unwrap();
+    }
+    assert_eq!(
+        TaskPool::threads_spawned_total(),
+        before,
+        "scan-engine paths must never spawn threads per call"
+    );
+}
+
+#[test]
 fn mismatched_pair_is_a_typed_error() {
     // The release-mode silent-wrong-verdict bug: pairing an SFA with a
     // DFA it was not built from must fail with `Mismatch` in every
