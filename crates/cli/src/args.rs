@@ -3,7 +3,14 @@
 use std::collections::BTreeMap;
 
 /// Options that never take a value.
-const FLAGS: &[&str] = &["exact", "json", "validate", "probabilistic", "lazy"];
+const FLAGS: &[&str] = &[
+    "exact",
+    "json",
+    "validate",
+    "probabilistic",
+    "lazy",
+    "resume",
+];
 
 /// Parsed command-line options.
 #[derive(Debug, Default)]

@@ -146,18 +146,36 @@ fn budget_error_json(err: &SfaError) -> sfa_json::Value {
 pub fn build(parsed: &Parsed) -> Result<(), String> {
     let dfa = dfa_from_args(parsed)?;
     let budget = crate::budget_from_args(parsed)?;
-    let built = if let Some(variant) = parsed.opt("seq") {
-        let variant = match variant {
+    let checkpoint = parsed.opt("checkpoint");
+    if parsed.flag("resume") && checkpoint.is_none() {
+        return Err("--resume requires --checkpoint <path>".into());
+    }
+    // Checkpointing needs deterministic state ids, so `--checkpoint`
+    // selects the sequential engine even without `--seq`.
+    let built = if parsed.opt("seq").is_some() || checkpoint.is_some() {
+        let variant = match parsed.opt("seq").unwrap_or("transposed") {
             "baseline" => SequentialVariant::Baseline,
             "pointer-tree" => SequentialVariant::BaselinePointerTree,
             "hashing" => SequentialVariant::Hashing,
             "transposed" => SequentialVariant::Transposed,
             other => return Err(format!("unknown sequential variant {other:?}")),
         };
-        Sfa::builder(&dfa)
-            .sequential(variant)
-            .budget(budget)
-            .build()
+        let mut builder = Sfa::builder(&dfa).sequential(variant).budget(budget);
+        if let Some(path) = checkpoint {
+            builder = builder.checkpoint(path, parsed.num("checkpoint-every", 1024u64)?.max(1));
+            if parsed.flag("resume") {
+                if std::path::Path::new(path).exists() {
+                    eprintln!("# resuming from checkpoint {path}");
+                    builder = builder.resume_from(path);
+                } else {
+                    // Keeps `build … --resume` usable as a retry loop: a
+                    // run that died before its first snapshot (or that
+                    // finished and was cleaned up) just starts over.
+                    eprintln!("# no checkpoint at {path}; starting fresh");
+                }
+            }
+        }
+        builder.build()
     } else {
         let opts = parallel_options(parsed)?;
         Sfa::builder(&dfa).options(&opts).budget(budget).build()
@@ -179,6 +197,11 @@ pub fn build(parsed: &Parsed) -> Result<(), String> {
         result.sfa.validate(&dfa)?;
         eprintln!("validation: ok");
     }
+    if let Some(out) = parsed.opt("out") {
+        sfa_core::artifact::write_sfa(std::path::Path::new(out), &result.sfa)
+            .map_err(|e| format!("{out}: {e}"))?;
+        eprintln!("# wrote SFA artifact to {out}");
+    }
     let report = BuildReport::new(dfa.num_states(), result.sfa.num_states(), &result.stats);
     if parsed.flag("json") {
         println!("{}", sfa_json::to_string_pretty(&report));
@@ -186,6 +209,54 @@ pub fn build(parsed: &Parsed) -> Result<(), String> {
         report.print_human();
     }
     Ok(())
+}
+
+/// `sfa artifact <verb>` — inspect persisted artifacts. The only verb
+/// so far is `verify`: parse the container, check every checksum, and
+/// fully decode the payload, failing with a typed error otherwise.
+pub fn artifact(argv: &[String]) -> Result<(), String> {
+    const USAGE: &str = "usage: sfa artifact verify --file <path>";
+    let Some(verb) = argv.first() else {
+        return Err(USAGE.into());
+    };
+    let parsed = Parsed::parse(&argv[1..])?;
+    match verb.as_str() {
+        "verify" => {
+            let path = parsed.opt("file").ok_or(USAGE)?;
+            let info = sfa_core::artifact::verify(std::path::Path::new(path))
+                .map_err(|e| format!("{path}: {e}"))?;
+            let kind = match info.kind {
+                ArtifactKind::Sfa => "sfa",
+                ArtifactKind::Checkpoint => "checkpoint",
+            };
+            if parsed.flag("json") {
+                use sfa_json::ToJson;
+                let fields: Vec<(String, sfa_json::Value)> = vec![
+                    ("kind".to_string(), kind.to_json()),
+                    ("version".to_string(), (info.version as u64).to_json()),
+                    ("total_bytes".to_string(), info.total_bytes.to_json()),
+                    (
+                        "sections".to_string(),
+                        (info.sections.len() as u64).to_json(),
+                    ),
+                ];
+                println!(
+                    "{}",
+                    sfa_json::to_string_pretty(&sfa_json::Value::Object(fields))
+                );
+            } else {
+                println!("kind                 {kind}");
+                println!("format version       {}", info.version);
+                println!("total bytes          {}", info.total_bytes);
+                for s in &info.sections {
+                    println!("  section tag {:>3}    {} bytes", s.tag, s.len);
+                }
+                println!("checksums            ok");
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown artifact verb {other:?}; {USAGE}")),
+    }
 }
 
 /// `--interleave` / `--oversubscribe` — explicit scan-engine knobs.

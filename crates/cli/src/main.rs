@@ -40,6 +40,11 @@ fn run(argv: &[String]) -> Result<(), String> {
         print_help();
         return Ok(());
     };
+    if command == "artifact" {
+        // `sfa artifact <verb> …` carries a positional verb the generic
+        // parser rejects; route it before parsing.
+        return commands::artifact(&argv[1..]);
+    }
     let parsed = Parsed::parse(&argv[1..])?;
     match command.as_str() {
         "compile" => commands::compile(&parsed),
@@ -72,6 +77,7 @@ COMMANDS:
     verify      cross-check parallel vs sequential construction
     workloads   list the embedded PROSITE pattern sample
     dot         render the pattern's DFA as a Graphviz digraph
+    artifact    inspect persisted artifacts: `sfa artifact verify --file <p>`
     help        show this message
 
 PATTERN SOURCES (exactly one):
@@ -96,6 +102,12 @@ COMMON OPTIONS:
                          error; `match` degrades to lazy/sequential instead)
     --max-bytes <b>      cap stored mapping-payload bytes (suffixes K/M/G)
     --max-states <n>     cap constructed SFA state count
+    --out <path>         build: write the SFA as a checksummed artifact
+    --checkpoint <path>  build: snapshot construction state to this artifact
+                         (implies a sequential engine; default transposed)
+    --checkpoint-every <n>  build: states between snapshots (default 1024)
+    --resume             build: continue from the --checkpoint artifact if it
+                         exists (byte-identical result; fresh build otherwise)
     --json               machine-readable output
     --lazy               match: construct SFA states on demand (lazy SFA)
     --random <len>       match: generate protein-like text of this length

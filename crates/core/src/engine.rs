@@ -381,15 +381,8 @@ impl<'d> MatchEngine<'d> {
         let mut offset = 0u64;
         loop {
             governor.check(0, 0)?;
-            let mut filled = 0usize;
-            while filled < buf.len() {
-                match reader.read(&mut buf[filled..]) {
-                    Ok(0) => break,
-                    Ok(n) => filled += n,
-                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                    Err(e) => return Err(SfaError::Io(e.to_string())),
-                }
-            }
+            // Same bounded-retry read as the parallel streaming path.
+            let filled = self.runtime.read_block(&mut reader, &mut buf, &mut stats)?;
             if filled == 0 {
                 break;
             }

@@ -17,15 +17,27 @@
 use crate::sfa::{CodecChoice, MappingStore, Sfa};
 use sfa_compress::varint;
 
-/// Errors produced while decoding a serialized SFA.
+/// Errors produced while decoding a serialized SFA or artifact.
+///
+/// `#[non_exhaustive]`: future artifact versions may add failure shapes.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum IoError {
     /// Missing/incorrect magic bytes.
     BadMagic,
     /// Input ended prematurely.
     Truncated,
-    /// Structurally invalid content.
+    /// Structurally invalid content (includes checksum mismatches).
     Corrupt(&'static str),
+    /// The artifact was written by an incompatible format version.
+    VersionMismatch {
+        /// Version found in the file.
+        found: u16,
+        /// Version this build reads and writes.
+        expected: u16,
+    },
+    /// The underlying file I/O failed (open/read/write/fsync/rename).
+    Io(String),
 }
 
 impl std::fmt::Display for IoError {
@@ -34,11 +46,22 @@ impl std::fmt::Display for IoError {
             IoError::BadMagic => write!(f, "not an SFA file (bad magic)"),
             IoError::Truncated => write!(f, "SFA file is truncated"),
             IoError::Corrupt(m) => write!(f, "SFA file is corrupt: {m}"),
+            IoError::VersionMismatch { found, expected } => write!(
+                f,
+                "artifact format version {found} is not supported (expected {expected})"
+            ),
+            IoError::Io(m) => write!(f, "artifact I/O failed: {m}"),
         }
     }
 }
 
 impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> IoError {
+        IoError::Io(e.to_string())
+    }
+}
 
 const MAGIC: &[u8; 4] = b"SFA\x01";
 
@@ -113,7 +136,27 @@ pub fn to_bytes(sfa: &Sfa) -> Vec<u8> {
     out
 }
 
+/// Bounds-checked sub-slice: `bytes[pos .. pos + len]`, with the offset
+/// addition itself checked so adversarial lengths can neither panic in
+/// debug builds nor wrap in release builds.
+fn take(bytes: &[u8], pos: usize, len: usize) -> Result<&[u8], IoError> {
+    let end = pos.checked_add(len).ok_or(IoError::Truncated)?;
+    bytes.get(pos..end).ok_or(IoError::Truncated)
+}
+
+/// `u64` (from a varint) → `usize`, erroring instead of truncating on
+/// 32-bit targets.
+fn to_usize(v: u64) -> Result<usize, IoError> {
+    usize::try_from(v).map_err(|_| IoError::Corrupt("dimension overflow"))
+}
+
 /// Deserialize an SFA from bytes produced by [`to_bytes`].
+///
+/// Every length and offset read from the input is bounds-checked before
+/// use, and no allocation larger than the input itself is made before
+/// the bytes backing it have been verified to exist — malformed or
+/// adversarial input yields a typed [`IoError`], never a panic or an
+/// unbounded allocation.
 pub fn from_bytes(bytes: &[u8]) -> Result<Sfa, IoError> {
     if bytes.len() < 5 || &bytes[..4] != MAGIC {
         return Err(IoError::BadMagic);
@@ -123,29 +166,27 @@ pub fn from_bytes(bytes: &[u8]) -> Result<Sfa, IoError> {
     let rd = |pos: &mut usize| -> Result<u64, IoError> {
         varint::read_u64(bytes, pos).map_err(|_| IoError::Truncated)
     };
-    let n = rd(&mut pos)? as usize;
-    let k = rd(&mut pos)? as usize;
-    let num_states = rd(&mut pos)? as usize;
-    let start = rd(&mut pos)? as u32;
+    let n = to_usize(rd(&mut pos)?)?;
+    let k = to_usize(rd(&mut pos)?)?;
+    let num_states = to_usize(rd(&mut pos)?)?;
+    let start = rd(&mut pos)?;
     if n == 0 || k == 0 || num_states == 0 {
         return Err(IoError::Corrupt("zero dimension"));
     }
-    if start as usize >= num_states {
+    if start >= num_states as u64 {
         return Err(IoError::Corrupt("start state out of range"));
     }
+    let start = start as u32;
     let delta_bytes = num_states
         .checked_mul(k)
         .and_then(|x| x.checked_mul(4))
         .ok_or(IoError::Corrupt("dimension overflow"))?;
-    let delta_raw = bytes
-        .get(pos..pos + delta_bytes)
-        .ok_or(IoError::Truncated)?;
+    let delta_raw = take(bytes, pos, delta_bytes)?;
     let delta: Vec<u32> = delta_raw
         .chunks_exact(4)
         .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
         .collect();
-    if let Some(&bad) = delta.iter().find(|&&s| s as usize >= num_states) {
-        let _ = bad;
+    if delta.iter().any(|&s| s as usize >= num_states) {
         return Err(IoError::Corrupt("transition out of range"));
     }
     pos += delta_bytes;
@@ -159,7 +200,8 @@ pub fn from_bytes(bytes: &[u8]) -> Result<Sfa, IoError> {
     let mappings = match kind {
         KIND_U16 => {
             let want = payload_len(2)?;
-            let raw = bytes.get(pos..pos + want).ok_or(IoError::Truncated)?;
+            let raw = take(bytes, pos, want)?;
+            pos += want;
             MappingStore::U16(
                 raw.chunks_exact(2)
                     .map(|c| u16::from_le_bytes(c.try_into().unwrap()))
@@ -168,7 +210,8 @@ pub fn from_bytes(bytes: &[u8]) -> Result<Sfa, IoError> {
         }
         KIND_U32 => {
             let want = payload_len(4)?;
-            let raw = bytes.get(pos..pos + want).ok_or(IoError::Truncated)?;
+            let raw = take(bytes, pos, want)?;
+            pos += want;
             MappingStore::U32(
                 raw.chunks_exact(4)
                     .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
@@ -179,10 +222,16 @@ pub fn from_bytes(bytes: &[u8]) -> Result<Sfa, IoError> {
             let rel = t - KIND_COMPRESSED_BASE;
             let codec = codec_from_tag(rel / 2)?;
             let elem_bytes = if rel % 2 == 1 { 4 } else { 2 };
+            // Each blob needs at least its 1-byte length varint, so a
+            // claimed state count beyond the remaining input is provably
+            // truncated — reject it *before* sizing any allocation by it.
+            if num_states > bytes.len() - pos {
+                return Err(IoError::Truncated);
+            }
             let mut blobs = Vec::with_capacity(num_states);
             for _ in 0..num_states {
-                let len = rd(&mut pos)? as usize;
-                let blob = bytes.get(pos..pos + len).ok_or(IoError::Truncated)?;
+                let len = to_usize(rd(&mut pos)?)?;
+                let blob = take(bytes, pos, len)?;
                 blobs.push(blob.to_vec().into_boxed_slice());
                 pos += len;
             }
@@ -194,16 +243,70 @@ pub fn from_bytes(bytes: &[u8]) -> Result<Sfa, IoError> {
         }
         _ => return Err(IoError::Corrupt("unknown store kind")),
     };
+    if pos != bytes.len() {
+        return Err(IoError::Corrupt("trailing bytes after payload"));
+    }
     Ok(Sfa::from_parts(n, k, start, delta, mappings))
 }
 
-/// Write `sfa` to a file.
+/// Durably write `bytes` to `path`: write a sibling `<name>.tmp`, fsync
+/// it, atomically rename it over `path`, then best-effort fsync the
+/// containing directory. A crash at any point leaves either the old
+/// file or the complete new one on disk — never a torn mix.
+///
+/// Fault sites: `io/write` (before the temp file is created),
+/// `io/fsync` (before `sync_all`), `io/rename` (between the durable
+/// temp write and the rename — a `Panic`-kind fault here simulates the
+/// process dying with only the temp file on disk).
+pub fn atomic_write(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write;
+    sfa_sync::fault_point!("io/write")?;
+    let tmp = tmp_sibling(path);
+    let written = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        sfa_sync::fault_point!("io/fsync")?;
+        f.sync_all()
+    })();
+    if let Err(e) = written {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    if let Err(e) = sfa_sync::fault_point!("io/rename") {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e.into());
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    // Renames become durable once the directory entry is synced; failure
+    // here only widens the crash window, it cannot tear the file.
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+fn tmp_sibling(path: &std::path::Path) -> std::path::PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| std::ffi::OsString::from("artifact"));
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Write `sfa` to a file (atomically — see [`atomic_write`]).
 pub fn write_file(sfa: &Sfa, path: &std::path::Path) -> std::io::Result<()> {
-    std::fs::write(path, to_bytes(sfa))
+    atomic_write(path, &to_bytes(sfa))
 }
 
 /// Read an SFA from a file.
 pub fn read_file(path: &std::path::Path) -> std::io::Result<Sfa> {
+    sfa_sync::fault_point!("io/read")?;
     let bytes = std::fs::read(path)?;
     from_bytes(&bytes).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
 }
@@ -284,6 +387,104 @@ mod tests {
         // (all small here, 1 byte each) = 9.
         bad[9..13].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(from_bytes(&bad), Err(IoError::Corrupt(_))));
+    }
+
+    /// A corpus of crafted malformed inputs: each used to panic, abort
+    /// on allocation, or mis-round in an earlier `from_bytes`. All must
+    /// return a typed error quickly, without unbounded allocation.
+    #[test]
+    fn adversarial_bytes_return_typed_errors() {
+        let mut huge_dims = MAGIC.to_vec();
+        huge_dims.push(KIND_U16);
+        // n, k, num_states all u64::MAX: dimension math must not wrap.
+        for _ in 0..3 {
+            varint::write_u64(&mut huge_dims, u64::MAX);
+        }
+        varint::write_u64(&mut huge_dims, 0);
+
+        let mut start_truncation = MAGIC.to_vec();
+        start_truncation.push(KIND_U16);
+        varint::write_u64(&mut start_truncation, 2); // n
+        varint::write_u64(&mut start_truncation, 2); // k
+        varint::write_u64(&mut start_truncation, 3); // num_states
+                                                     // start = 2^32 + 1: `as u32` truncation would make this a valid 1.
+        varint::write_u64(&mut start_truncation, (1u64 << 32) + 1);
+
+        let mut blob_count_bomb = MAGIC.to_vec();
+        blob_count_bomb.push(KIND_COMPRESSED_BASE); // deflate, u16 elems
+        varint::write_u64(&mut blob_count_bomb, 4); // n
+        varint::write_u64(&mut blob_count_bomb, 2); // k
+        varint::write_u64(&mut blob_count_bomb, 1 << 40); // num_states
+        varint::write_u64(&mut blob_count_bomb, 0);
+
+        let mut bad_codec = MAGIC.to_vec();
+        bad_codec.push(KIND_COMPRESSED_BASE + 5 * 2); // codec tag 5: unknown
+        varint::write_u64(&mut bad_codec, 1);
+        varint::write_u64(&mut bad_codec, 1);
+        varint::write_u64(&mut bad_codec, 1);
+        varint::write_u64(&mut bad_codec, 0);
+        bad_codec.extend_from_slice(&0u32.to_le_bytes());
+
+        let mut blob_len_overflow = MAGIC.to_vec();
+        blob_len_overflow.push(KIND_COMPRESSED_BASE);
+        varint::write_u64(&mut blob_len_overflow, 1);
+        varint::write_u64(&mut blob_len_overflow, 1);
+        varint::write_u64(&mut blob_len_overflow, 1);
+        varint::write_u64(&mut blob_len_overflow, 0);
+        blob_len_overflow.extend_from_slice(&0u32.to_le_bytes()); // delta row
+        varint::write_u64(&mut blob_len_overflow, u64::MAX); // blob length
+
+        let (_, sfa) = rg_sfa();
+        let mut trailing = to_bytes(&sfa);
+        trailing.extend_from_slice(b"junk");
+
+        let corpus: Vec<(&str, Vec<u8>)> = vec![
+            ("huge dimensions", huge_dims),
+            ("start > u32::MAX", start_truncation),
+            ("blob count beyond input", blob_count_bomb),
+            ("unknown codec tag", bad_codec),
+            ("blob length overflow", blob_len_overflow),
+            ("trailing bytes", trailing),
+            ("empty", Vec::new()),
+            ("magic only", MAGIC.to_vec()),
+        ];
+        for (name, bytes) in corpus {
+            let err = from_bytes(&bytes).expect_err(name);
+            // Any typed error is fine; reaching here proves no panic and
+            // no attempt to allocate by the claimed (bogus) sizes.
+            let _ = err.to_string();
+        }
+    }
+
+    /// Flipping any single byte of the legacy header region must never
+    /// produce an out-of-bounds access (detection is the artifact
+    /// store's job; the legacy format only has to stay memory-safe).
+    #[test]
+    fn single_byte_mutations_never_panic() {
+        let (_, sfa) = rg_sfa();
+        let bytes = to_bytes(&sfa);
+        for i in 0..bytes.len().min(64) {
+            for bit in [0x01u8, 0x80] {
+                let mut m = bytes.clone();
+                m[i] ^= bit;
+                let _ = from_bytes(&m); // must return, Ok or Err — not panic
+            }
+        }
+    }
+
+    #[test]
+    fn atomic_write_leaves_no_tmp_behind() {
+        let (_, sfa) = rg_sfa();
+        let dir = std::env::temp_dir().join("sfa_io_atomic_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.sfa");
+        write_file(&sfa, &path).unwrap();
+        assert!(path.exists());
+        assert!(!dir.join("out.sfa.tmp").exists());
+        // Overwrite in place: the old file is replaced whole.
+        write_file(&sfa, &path).unwrap();
+        read_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -61,6 +61,7 @@
 //! assert!(match_with_sfa(&sfa, &dfa, &text, 4));
 //! ```
 
+pub mod artifact;
 pub mod budget;
 pub mod builder;
 pub mod elem;
@@ -78,6 +79,7 @@ pub mod state;
 pub mod stats;
 pub mod treemap;
 
+pub use artifact::{ArtifactInfo, ArtifactKind, CheckpointConfig};
 pub use budget::{Budget, BudgetProgress, BudgetResource};
 pub use builder::SfaBuilder;
 pub use engine::{EngineStats, MatchEngine, MatchTier};
@@ -86,12 +88,17 @@ pub use matcher::{match_sequential, match_with_sfa, try_match_with_sfa, Parallel
 #[allow(deprecated)]
 pub use parallel::construct_parallel;
 pub use parallel::{CompressionPolicy, ParallelOptions, Scheduler};
-pub use runtime::{ByteClassifier, Classified, MatchRuntime, MatchStats};
+pub use runtime::{ByteClassifier, Classified, MatchRuntime, MatchStats, RetryPolicy};
 pub use scan::{prefix_compose_on, ScanEngine, ScanOptions, ScanTable};
 #[allow(deprecated)]
 pub use sequential::construct_sequential;
 pub use sequential::SequentialVariant;
 pub use sfa::Sfa;
+pub use sfa_sync::fault_point;
+/// Deterministic fault-injection layer (lives in `sfa_sync`; re-exported
+/// so `sfa_core::faults::arm(..)` works for engine-level tests). No-ops
+/// unless built with the `fault-injection` feature.
+pub use sfa_sync::faults;
 pub use sfa_sync::CancelToken;
 pub use stats::{ConstructionResult, ConstructionStats};
 
@@ -156,6 +163,10 @@ pub enum SfaError {
     },
     /// An I/O error while reading a streamed input.
     Io(String),
+    /// A persisted artifact (serialized SFA or construction checkpoint)
+    /// could not be written or loaded: corrupt, truncated, wrong
+    /// version, or the underlying file I/O failed.
+    Artifact(io::IoError),
 }
 
 impl SfaError {
@@ -215,14 +226,22 @@ impl std::fmt::Display for SfaError {
                 "input byte 0x{byte:02x} at offset {offset} is outside the alphabet"
             ),
             SfaError::Io(msg) => write!(f, "I/O error while streaming input: {msg}"),
+            SfaError::Artifact(e) => write!(f, "artifact error: {e}"),
         }
     }
 }
 
 impl std::error::Error for SfaError {}
 
+impl From<io::IoError> for SfaError {
+    fn from(e: io::IoError) -> SfaError {
+        SfaError::Artifact(e)
+    }
+}
+
 /// Convenient glob-import surface.
 pub mod prelude {
+    pub use crate::artifact::{ArtifactInfo, ArtifactKind, CheckpointConfig};
     pub use crate::budget::{Budget, BudgetProgress, BudgetResource};
     pub use crate::builder::SfaBuilder;
     pub use crate::engine::{EngineStats, MatchEngine, MatchTier};
@@ -233,7 +252,7 @@ pub mod prelude {
     #[allow(deprecated)]
     pub use crate::parallel::construct_parallel;
     pub use crate::parallel::{CompressionPolicy, ParallelOptions, Scheduler};
-    pub use crate::runtime::{ByteClassifier, Classified, MatchRuntime, MatchStats};
+    pub use crate::runtime::{ByteClassifier, Classified, MatchRuntime, MatchStats, RetryPolicy};
     pub use crate::scan::{prefix_compose_on, ScanEngine, ScanOptions, ScanTable};
     #[allow(deprecated)]
     pub use crate::sequential::construct_sequential;

@@ -522,6 +522,7 @@ impl<E: Elem> Engine<E> {
 
         let mut merged_local = Vec::new();
         let mut deque_contention = ContentionSnapshot::default();
+        let mut panics: Vec<String> = Vec::new();
         std::thread::scope(|scope| {
             let shared_ref = &shared;
             let mut handles = Vec::with_capacity(threads);
@@ -545,12 +546,24 @@ impl<E: Elem> Engine<E> {
                 }));
             }
             for h in handles {
-                let (stats, snap) = h.join().expect("worker panicked");
-                merged_local.push(stats);
-                deque_contention = merge_snap(deque_contention, snap);
+                // A panicking worker already marked the run failed and
+                // left the barrier quorum (ExitGuard), so peers have
+                // stopped; contain the payload instead of re-panicking.
+                match h.join() {
+                    Ok((stats, snap)) => {
+                        merged_local.push(stats);
+                        deque_contention = merge_snap(deque_contention, snap);
+                    }
+                    Err(payload) => panics.push(sfa_sync::pool::panic_message(payload)),
+                }
             }
         });
 
+        if !panics.is_empty() {
+            return Err(SfaError::WorkerPanic {
+                message: panics.join("; "),
+            });
+        }
         if let Some(err) = shared.error.lock().take() {
             return Err(err);
         }
@@ -781,6 +794,13 @@ impl<'s, E: Elem, F: Fingerprinter> WorkerCtx<'s, E, F> {
                 continue;
             }
             if shared.has_error.load(Ordering::SeqCst) {
+                break;
+            }
+            // Injectable fault at the same cadence the governor polls:
+            // error kinds stop this worker (peers drain via has_error),
+            // panic kinds unwind into ExitGuard + the join containment.
+            if let Err(fault) = sfa_sync::fault_point!("construct/worker") {
+                self.record_error(SfaError::Io(fault.to_string()));
                 break;
             }
             if governed {

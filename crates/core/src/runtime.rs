@@ -20,6 +20,14 @@
 //! cancellation), contains worker panics as
 //! [`SfaError::WorkerPanic`], and fills a [`MatchStats`] with what
 //! happened — chunks scanned, bytes consumed, throughput, pool backlog.
+//!
+//! Streamed reads are wrapped in a bounded-backoff [`RetryPolicy`]:
+//! transient errors (`Interrupted`, `WouldBlock`, `TimedOut`) are
+//! retried up to [`RetryPolicy::max_attempts`] times with exponential
+//! backoff before surfacing as [`SfaError::Io`], so a flaky pipe neither
+//! kills a long match on the first hiccup nor hangs it forever. The
+//! backoff sleep is injectable ([`MatchRuntime::with_sleeper`]) so tests
+//! can assert the schedule without real delays.
 
 use crate::budget::Governor;
 use crate::engine::MatchTier;
@@ -50,6 +58,63 @@ pub enum Classified {
 
 const CLASS_INVALID: u16 = u16::MAX;
 const CLASS_SKIP: u16 = u16::MAX - 1;
+
+/// Bounded retry of transient streamed-read errors — see the module
+/// docs. Attempt `i` (1-based) sleeps `base_backoff · 2^(i-1)`, capped
+/// at `max_backoff`, before re-reading.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per read position (first try + retries). `1`
+    /// means a single transient error already fails the match.
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: Duration,
+    /// Backoff ceiling (the exponential doubling saturates here).
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// 4 attempts, 5 ms base, 250 ms cap — rides out scheduler-induced
+    /// `Interrupted`/`WouldBlock` blips while keeping the worst-case
+    /// added latency per read under a second.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(250),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: the first transient error fails the read.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        }
+    }
+
+    /// Backoff before retry number `retry` (1-based).
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let factor = 1u32 << retry.saturating_sub(1).min(20);
+        self.base_backoff
+            .saturating_mul(factor)
+            .min(self.max_backoff)
+    }
+}
+
+/// `true` for [`std::io::ErrorKind`]s worth retrying: the OS or remote
+/// end may succeed on the next call. Everything else is permanent.
+fn is_transient(kind: std::io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        std::io::ErrorKind::Interrupted
+            | std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::TimedOut
+    )
+}
 
 /// A byte→symbol classifier fused into streaming scans: one 256-entry
 /// table lookup per input byte, no intermediate symbol buffer.
@@ -114,6 +179,9 @@ pub struct MatchStats {
     /// Pool backlog (queued + running tasks) sampled when the match
     /// finished — a load signal for servers sharing one pool.
     pub queue_depth: usize,
+    /// Transient stream-read errors that were retried (see
+    /// [`RetryPolicy`]); 0 on non-streaming paths.
+    pub retries: u64,
 }
 
 impl Default for MatchStats {
@@ -125,6 +193,7 @@ impl Default for MatchStats {
             bytes: 0,
             elapsed: Duration::ZERO,
             queue_depth: 0,
+            retries: 0,
         }
     }
 }
@@ -141,38 +210,43 @@ impl MatchStats {
     }
 }
 
+/// Backoff sleep implementation — swappable for tests.
+type Sleeper = Arc<dyn Fn(Duration) + Send + Sync>;
+
 /// The pooled, streaming match runtime — see the module docs.
 #[derive(Clone)]
 pub struct MatchRuntime {
     pool: Arc<TaskPool>,
     block_bytes: usize,
+    retry: RetryPolicy,
+    sleeper: Sleeper,
 }
 
 impl MatchRuntime {
+    fn with_defaults(pool: Arc<TaskPool>) -> Self {
+        MatchRuntime {
+            pool,
+            block_bytes: DEFAULT_BLOCK_BYTES,
+            retry: RetryPolicy::default(),
+            sleeper: Arc::new(std::thread::sleep),
+        }
+    }
+
     /// A runtime on the process-shared pool (one worker per CPU,
     /// constructed once for the whole process). This is the default
     /// everywhere; prefer it unless you need an isolated pool.
     pub fn shared() -> Self {
-        MatchRuntime {
-            pool: TaskPool::shared().clone(),
-            block_bytes: DEFAULT_BLOCK_BYTES,
-        }
+        Self::with_defaults(TaskPool::shared().clone())
     }
 
     /// A runtime with its own private pool of `threads` workers.
     pub fn new(threads: usize) -> Self {
-        MatchRuntime {
-            pool: Arc::new(TaskPool::new(threads)),
-            block_bytes: DEFAULT_BLOCK_BYTES,
-        }
+        Self::with_defaults(Arc::new(TaskPool::new(threads)))
     }
 
     /// A runtime over an existing pool.
     pub fn with_pool(pool: Arc<TaskPool>) -> Self {
-        MatchRuntime {
-            pool,
-            block_bytes: DEFAULT_BLOCK_BYTES,
-        }
+        Self::with_defaults(pool)
     }
 
     /// Set the streaming block size (min 1; see [`DEFAULT_BLOCK_BYTES`]
@@ -181,6 +255,25 @@ impl MatchRuntime {
     pub fn with_block_bytes(mut self, block_bytes: usize) -> Self {
         self.block_bytes = block_bytes.max(1);
         self
+    }
+
+    /// Set the transient-read [`RetryPolicy`] for streaming paths.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Replace the backoff sleep (an injectable clock): tests pass a
+    /// recording closure to assert the retry schedule without real
+    /// delays. Production code never needs this.
+    pub fn with_sleeper(mut self, sleeper: impl Fn(Duration) + Send + Sync + 'static) -> Self {
+        self.sleeper = Arc::new(sleeper);
+        self
+    }
+
+    /// The configured transient-read retry policy.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
     }
 
     /// The streaming block size.
@@ -216,6 +309,7 @@ impl MatchRuntime {
             bytes: input.len() as u64,
             elapsed: start.elapsed(),
             queue_depth: self.pool.queue_depth(),
+            ..MatchStats::default()
         };
         Ok((verdict, stats))
     }
@@ -284,7 +378,7 @@ impl MatchRuntime {
         let mut q = matcher.dfa.start();
         let mut offset = 0u64;
         loop {
-            let filled = read_block(&mut reader, &mut buf)?;
+            let filled = self.read_block(&mut reader, &mut buf, &mut stats)?;
             if filled == 0 {
                 break;
             }
@@ -387,19 +481,47 @@ impl Default for MatchRuntime {
     }
 }
 
-/// Fill `buf` as far as the reader allows; returns bytes read (0 at
-/// EOF). Retries `Interrupted`; other errors become [`SfaError::Io`].
-fn read_block<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<usize, SfaError> {
-    let mut filled = 0;
-    while filled < buf.len() {
-        match reader.read(&mut buf[filled..]) {
-            Ok(0) => break,
-            Ok(n) => filled += n,
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(SfaError::Io(e.to_string())),
+impl MatchRuntime {
+    /// Fill `buf` as far as the reader allows; returns bytes read (0 at
+    /// EOF). Transient errors are retried per the [`RetryPolicy`]
+    /// (counted in `stats.retries`); permanent errors and exhausted
+    /// retries become [`SfaError::Io`].
+    pub(crate) fn read_block<R: Read>(
+        &self,
+        reader: &mut R,
+        buf: &mut [u8],
+        stats: &mut MatchStats,
+    ) -> Result<usize, SfaError> {
+        let mut filled = 0;
+        // Consecutive transient failures at the current read position;
+        // resets on any successful read.
+        let mut transient = 0u32;
+        while filled < buf.len() {
+            let read = match sfa_sync::fault_point!("runtime/read_block") {
+                Ok(()) => reader.read(&mut buf[filled..]),
+                Err(fault) => Err(std::io::Error::from(fault)),
+            };
+            match read {
+                Ok(0) => break,
+                Ok(n) => {
+                    filled += n;
+                    transient = 0;
+                }
+                Err(e) if is_transient(e.kind()) => {
+                    transient += 1;
+                    if transient >= self.retry.max_attempts {
+                        return Err(SfaError::Io(format!(
+                            "stream read failed after {transient} transient errors: {e}"
+                        )));
+                    }
+                    stats.retries += 1;
+                    (self.sleeper)(self.retry.backoff(transient));
+                }
+                Err(e) => return Err(SfaError::Io(e.to_string())),
+            }
         }
+        Ok(filled)
     }
-    Ok(filled)
 }
 
 #[cfg(test)]
@@ -506,6 +628,126 @@ mod tests {
         for (input, verdict) in inputs.iter().zip(&verdicts) {
             assert_eq!(*verdict, match_sequential(&dfa, input));
         }
+    }
+
+    /// A reader that fails with `kind` a fixed number of times before
+    /// each successful read of the underlying data.
+    struct FlakyReader<'a> {
+        inner: Cursor<&'a [u8]>,
+        kind: std::io::ErrorKind,
+        failures_left: usize,
+    }
+
+    impl Read for FlakyReader<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.failures_left > 0 {
+                self.failures_left -= 1;
+                return Err(std::io::Error::from(self.kind));
+            }
+            self.inner.read(buf)
+        }
+    }
+
+    #[test]
+    fn transient_read_errors_are_retried_with_backoff() {
+        let (dfa, sfa) = setup("RG");
+        let matcher = ParallelMatcher::new(&sfa, &dfa).unwrap();
+        let alpha = Alphabet::amino_acids();
+        let classifier = ByteClassifier::strict(&alpha);
+        let slept: Arc<std::sync::Mutex<Vec<Duration>>> = Arc::default();
+        let log = Arc::clone(&slept);
+        let rt = MatchRuntime::new(2)
+            .with_retry_policy(RetryPolicy {
+                max_attempts: 4,
+                base_backoff: Duration::from_millis(10),
+                max_backoff: Duration::from_millis(15),
+            })
+            .with_sleeper(move |d| log.lock().unwrap().push(d));
+        let reader = FlakyReader {
+            inner: Cursor::new(&b"MKVARGAA"[..]),
+            kind: std::io::ErrorKind::WouldBlock,
+            failures_left: 3,
+        };
+        let (verdict, stats) = rt
+            .matches_stream(&matcher, &classifier, reader, &Governor::unlimited())
+            .unwrap();
+        assert!(verdict);
+        assert_eq!(stats.retries, 3);
+        // Exponential schedule, capped: 10ms, 20ms→15ms, 40ms→15ms.
+        assert_eq!(
+            *slept.lock().unwrap(),
+            vec![
+                Duration::from_millis(10),
+                Duration::from_millis(15),
+                Duration::from_millis(15)
+            ]
+        );
+    }
+
+    #[test]
+    fn exhausted_retries_surface_a_typed_io_error() {
+        let (dfa, sfa) = setup("RG");
+        let matcher = ParallelMatcher::new(&sfa, &dfa).unwrap();
+        let alpha = Alphabet::amino_acids();
+        let classifier = ByteClassifier::strict(&alpha);
+        let rt = MatchRuntime::new(2)
+            .with_retry_policy(RetryPolicy {
+                max_attempts: 2,
+                base_backoff: Duration::ZERO,
+                max_backoff: Duration::ZERO,
+            })
+            .with_sleeper(|_| {});
+        let reader = FlakyReader {
+            inner: Cursor::new(&b"MKVARGAA"[..]),
+            kind: std::io::ErrorKind::TimedOut,
+            failures_left: usize::MAX,
+        };
+        let err = rt
+            .matches_stream(&matcher, &classifier, reader, &Governor::unlimited())
+            .unwrap_err();
+        assert!(
+            matches!(&err, SfaError::Io(msg) if msg.contains("after 2 transient errors")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn permanent_read_errors_are_not_retried() {
+        let (dfa, sfa) = setup("RG");
+        let matcher = ParallelMatcher::new(&sfa, &dfa).unwrap();
+        let alpha = Alphabet::amino_acids();
+        let classifier = ByteClassifier::strict(&alpha);
+        let slept: Arc<std::sync::Mutex<Vec<Duration>>> = Arc::default();
+        let log = Arc::clone(&slept);
+        let rt = MatchRuntime::new(2).with_sleeper(move |d| log.lock().unwrap().push(d));
+        let reader = FlakyReader {
+            inner: Cursor::new(&b"MKVARGAA"[..]),
+            kind: std::io::ErrorKind::PermissionDenied,
+            failures_left: 1,
+        };
+        let err = rt
+            .matches_stream(&matcher, &classifier, reader, &Governor::unlimited())
+            .unwrap_err();
+        assert!(matches!(err, SfaError::Io(_)), "{err:?}");
+        assert!(
+            slept.lock().unwrap().is_empty(),
+            "no backoff for permanent errors"
+        );
+    }
+
+    #[test]
+    fn retry_policy_backoff_schedule() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(32),
+        };
+        assert_eq!(p.backoff(1), Duration::from_millis(5));
+        assert_eq!(p.backoff(2), Duration::from_millis(10));
+        assert_eq!(p.backoff(3), Duration::from_millis(20));
+        assert_eq!(p.backoff(4), Duration::from_millis(32));
+        assert_eq!(p.backoff(63), Duration::from_millis(32), "shift saturates");
+        assert_eq!(RetryPolicy::none().max_attempts, 1);
     }
 
     #[test]

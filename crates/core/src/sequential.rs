@@ -14,15 +14,30 @@
 //!   successors of a state at once via the parameterized-transposition
 //!   SIMD kernels (§III-A, Fig. 3). This is the paper's fastest
 //!   single-threaded method and the baseline for parallel speedups.
+//!
+//! ## Checkpointed construction
+//!
+//! The sequential worklist is a FIFO whose ids are assigned
+//! monotonically, so the pop order is exactly the id order — the
+//! worklist *is* a cursor over the arena. [`SeqEngine`] exploits this:
+//! its resumable state is just `{mappings, δₛ, processed-cursor}`, which
+//! is what a [`crate::artifact::Checkpoint`] persists (the state-set is
+//! rebuilt by re-interning the persisted rows, in id order, so hash
+//! chains come back identical). Construction resumed from a checkpoint
+//! therefore produces a **byte-identical** SFA to an uninterrupted run.
+//! The parallel engine renumbers arena ids nondeterministically, which
+//! is why checkpointing is a sequential-engine feature.
 
+use crate::artifact::{self, Checkpoint, CheckpointConfig};
 use crate::budget::Governor;
 use crate::elem::{fits_u16, Elem};
+use crate::io::IoError;
 use crate::sfa::Sfa;
 use crate::stats::{ConstructionResult, ConstructionStats};
 use crate::SfaError;
 use sfa_automata::dfa::Dfa;
 use sfa_hash::{CityFingerprinter, Fingerprinter};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap};
 use std::time::Instant;
 
 /// Which sequential algorithm to run.
@@ -83,13 +98,27 @@ pub fn construct_sequential_governed(
     state_budget: usize,
     governor: &Governor,
 ) -> Result<ConstructionResult, SfaError> {
+    construct_sequential_resumable(dfa, variant, state_budget, governor, None, None)
+}
+
+/// Governed sequential construction with optional checkpointing and
+/// resume (see the module docs; `SfaBuilder::{checkpoint, resume_from}`
+/// are the public entry points).
+pub fn construct_sequential_resumable(
+    dfa: &Dfa,
+    variant: SequentialVariant,
+    state_budget: usize,
+    governor: &Governor,
+    checkpoint: Option<&CheckpointConfig>,
+    resume: Option<&Checkpoint>,
+) -> Result<ConstructionResult, SfaError> {
     if dfa.num_states() == 0 {
         return Err(SfaError::EmptyDfa);
     }
     if fits_u16(dfa.num_states()) {
-        construct_impl::<u16>(dfa, variant, state_budget, governor)
+        construct_impl::<u16>(dfa, variant, state_budget, governor, checkpoint, resume)
     } else {
-        construct_impl::<u32>(dfa, variant, state_budget, governor)
+        construct_impl::<u32>(dfa, variant, state_budget, governor, checkpoint, resume)
     }
 }
 
@@ -100,81 +129,182 @@ enum StateSet {
     Hash(HashMap<u64, Vec<u32>>),
 }
 
-fn construct_impl<E: Elem>(
-    dfa: &Dfa,
+/// The resumable sequential construction engine (see the module docs).
+///
+/// The worklist of Algorithm 1 is represented as the `processed` cursor:
+/// ids are assigned monotonically and popped FIFO, so the next state to
+/// process is always id `processed`. Everything the engine needs to
+/// continue — `mappings`, `delta`, `processed` — is exactly what a
+/// [`Checkpoint`] persists; the membership set is derived state and is
+/// rebuilt on resume.
+struct SeqEngine<E: Elem> {
     variant: SequentialVariant,
     state_budget: usize,
-    governor: &Governor,
-) -> Result<ConstructionResult, SfaError> {
-    let t0 = Instant::now();
-    let n = dfa.num_states() as usize;
-    let k = dfa.num_symbols();
-    let fingerprinter = CityFingerprinter;
+    n: usize,
+    k: usize,
+    /// Typed copy of the DFA transition table for the kernels.
+    table: Vec<E>,
+    /// Flat mapping arena: state id → row of `n` elements.
+    mappings: Vec<E>,
+    /// δₛ rows (`u32::MAX` = not yet filled).
+    delta: Vec<u32>,
+    /// States with complete δₛ rows; also the worklist cursor.
+    processed: usize,
+    set: StateSet,
+    stats: ConstructionStats,
+    fingerprinter: CityFingerprinter,
+    dfa_crc: u64,
+}
 
-    // Typed copy of the transition table for the kernels.
-    let table: Vec<E> = dfa.table().iter().map(|&q| E::from_u32(q)).collect();
-
-    // Flat mapping storage: state id -> row of n elements.
-    let mut mappings: Vec<E> = Vec::with_capacity(n * 64);
-    let mut delta: Vec<u32> = Vec::new();
-    let mut worklist: VecDeque<u32> = VecDeque::new();
-    let mut stats = ConstructionStats::with_threads(1);
-
-    let mut set = match variant {
-        SequentialVariant::Baseline => StateSet::Tree(BTreeMap::new()),
-        SequentialVariant::BaselinePointerTree => {
-            StateSet::PointerTree(crate::treemap::PointerTreeMap::new())
+impl<E: Elem> SeqEngine<E> {
+    fn empty_set(variant: SequentialVariant) -> StateSet {
+        match variant {
+            SequentialVariant::Baseline => StateSet::Tree(BTreeMap::new()),
+            SequentialVariant::BaselinePointerTree => {
+                StateSet::PointerTree(crate::treemap::PointerTreeMap::new())
+            }
+            _ => StateSet::Hash(HashMap::new()),
         }
-        _ => StateSet::Hash(HashMap::new()),
-    };
+    }
 
-    // Find-or-insert a candidate mapping; returns (id, inserted).
-    let mut intern = |cand: &[E],
-                      mappings: &mut Vec<E>,
-                      delta: &mut Vec<u32>,
-                      worklist: &mut VecDeque<u32>,
-                      stats: &mut ConstructionStats|
-     -> Result<(u32, bool), SfaError> {
+    /// Fresh build: intern the identity start mapping ⟨q₀, …, qₙ₋₁⟩.
+    fn new(
+        dfa: &Dfa,
+        variant: SequentialVariant,
+        state_budget: usize,
+    ) -> Result<SeqEngine<E>, SfaError> {
+        let n = dfa.num_states() as usize;
+        let k = dfa.num_symbols();
+        let mut engine = SeqEngine {
+            variant,
+            state_budget,
+            n,
+            k,
+            table: dfa.table().iter().map(|&q| E::from_u32(q)).collect(),
+            mappings: Vec::with_capacity(n * 64),
+            delta: Vec::new(),
+            processed: 0,
+            set: Self::empty_set(variant),
+            stats: ConstructionStats::with_threads(1),
+            fingerprinter: CityFingerprinter,
+            dfa_crc: artifact::dfa_fingerprint(dfa),
+        };
+        let identity: Vec<E> = (0..n as u32).map(E::from_u32).collect();
+        engine.intern(&identity)?;
+        Ok(engine)
+    }
+
+    /// Continue an interrupted build from a validated [`Checkpoint`].
+    /// The membership set is rebuilt by re-interning the persisted rows
+    /// in id order, so (for the hashing variants) fingerprint chains
+    /// come back in the same order a fresh build created them.
+    fn resume(
+        dfa: &Dfa,
+        variant: SequentialVariant,
+        state_budget: usize,
+        ckpt: &Checkpoint,
+    ) -> Result<SeqEngine<E>, SfaError> {
+        let n = dfa.num_states() as usize;
+        let k = dfa.num_symbols();
+        if ckpt.dfa_crc != artifact::dfa_fingerprint(dfa) {
+            return Err(SfaError::Artifact(IoError::Corrupt(
+                "checkpoint was built from a different DFA",
+            )));
+        }
+        if ckpt.dfa_states as usize != n || ckpt.symbols as usize != k {
+            return Err(SfaError::Artifact(IoError::Corrupt(
+                "checkpoint dimensions disagree with the DFA",
+            )));
+        }
+        let Some(mappings) = ckpt.mappings::<E>() else {
+            return Err(SfaError::Artifact(IoError::Corrupt(
+                "checkpoint element width disagrees with the DFA",
+            )));
+        };
+        let num_states = mappings.len() / n;
+        if num_states as u64 != ckpt.num_states {
+            return Err(SfaError::Artifact(IoError::Corrupt(
+                "checkpoint arena size mismatch",
+            )));
+        }
+        let fingerprinter = CityFingerprinter;
+        let mut set = Self::empty_set(variant);
+        for id in 0..num_states as u32 {
+            let bytes = E::as_bytes(&mappings[id as usize * n..(id as usize + 1) * n]);
+            match &mut set {
+                StateSet::Tree(map) => {
+                    map.insert(bytes.to_vec().into_boxed_slice(), id);
+                }
+                StateSet::PointerTree(map) => {
+                    map.insert(bytes, id);
+                }
+                StateSet::Hash(map) => {
+                    let fp = fingerprinter.fingerprint(bytes);
+                    map.entry(fp).or_default().push(id);
+                }
+            }
+        }
+        Ok(SeqEngine {
+            variant,
+            state_budget,
+            n,
+            k,
+            table: dfa.table().iter().map(|&q| E::from_u32(q)).collect(),
+            mappings,
+            delta: ckpt.delta.clone(),
+            processed: ckpt.processed as usize,
+            set,
+            stats: ConstructionStats::with_threads(1),
+            fingerprinter,
+            dfa_crc: ckpt.dfa_crc,
+        })
+    }
+
+    fn num_states(&self) -> usize {
+        self.mappings.len() / self.n
+    }
+
+    /// Find-or-insert a candidate mapping; returns its id.
+    fn intern(&mut self, cand: &[E]) -> Result<u32, SfaError> {
         let bytes = E::as_bytes(cand);
         // Fingerprint computed once; reused on the insert path below.
         let mut fp_memo: Option<u64> = None;
-        let found = match &mut set {
+        let found = match &mut self.set {
             StateSet::Tree(map) => map.get(bytes).copied(),
             StateSet::PointerTree(map) => map.get(bytes),
             StateSet::Hash(map) => {
-                let fp = fingerprinter.fingerprint(bytes);
+                let fp = self.fingerprinter.fingerprint(bytes);
                 fp_memo = Some(fp);
                 let mut hit = None;
                 if let Some(chain) = map.get(&fp) {
                     for &id in chain {
                         // Fingerprints matched: exhaustive compare (§III-A).
-                        stats.exhaustive_compares += 1;
-                        let row =
-                            &mappings[id as usize * cand.len()..(id as usize + 1) * cand.len()];
+                        self.stats.exhaustive_compares += 1;
+                        let row = &self.mappings
+                            [id as usize * cand.len()..(id as usize + 1) * cand.len()];
                         if sfa_simd::bytes_equal(E::as_bytes(row), bytes) {
                             hit = Some(id);
                             break;
                         }
-                        stats.fingerprint_collisions += 1;
+                        self.stats.fingerprint_collisions += 1;
                     }
                 }
                 hit
             }
         };
         if let Some(id) = found {
-            stats.duplicates += 1;
-            return Ok((id, false));
+            self.stats.duplicates += 1;
+            return Ok(id);
         }
-        let id = (mappings.len() / cand.len()) as u32;
-        if id as usize >= state_budget {
+        let id = (self.mappings.len() / cand.len()) as u32;
+        if id as usize >= self.state_budget {
             return Err(SfaError::StateBudgetExceeded {
-                budget: state_budget,
+                budget: self.state_budget,
             });
         }
-        mappings.extend_from_slice(cand);
-        delta.extend(std::iter::repeat_n(u32::MAX, k));
-        worklist.push_back(id);
-        match &mut set {
+        self.mappings.extend_from_slice(cand);
+        self.delta.extend(std::iter::repeat_n(u32::MAX, self.k));
+        match &mut self.set {
             StateSet::Tree(map) => {
                 map.insert(bytes.to_vec().into_boxed_slice(), id);
             }
@@ -186,80 +316,131 @@ fn construct_impl<E: Elem>(
                 map.entry(fp).or_default().push(id);
             }
         }
-        Ok((id, true))
-    };
-
-    // Start state: the identity mapping ⟨q₀, …, qₙ₋₁⟩.
-    let identity: Vec<E> = (0..n as u32).map(E::from_u32).collect();
-    let (start, _) = intern(
-        &identity,
-        &mut mappings,
-        &mut delta,
-        &mut worklist,
-        &mut stats,
-    )?;
-
-    // Scratch buffers.
-    let mut rows_u32: Vec<u32> = vec![0; n];
-    let mut transposed: Vec<E> = vec![E::from_u32(0); k * n];
-    let mut candidate: Vec<E> = vec![E::from_u32(0); n];
-
-    let governed = !governor.is_unlimited();
-    while let Some(id) = worklist.pop_front() {
-        if governed {
-            // One checkpoint per processed SFA state: cheap relative to
-            // the |Σ| candidate generations the state is about to do.
-            governor.check(
-                (mappings.len() / n) as u64,
-                (mappings.len() * E::BYTES) as u64,
-            )?;
-        }
-        match variant {
-            SequentialVariant::Transposed => {
-                // Parameterized transposition: all k successors at once.
-                let src = &mappings[id as usize * n..(id as usize + 1) * n];
-                for (r, &e) in rows_u32.iter_mut().zip(src.iter()) {
-                    *r = e.to_u32();
-                }
-                E::transpose_gather(&table, k, &rows_u32, &mut transposed);
-                for sym in 0..k {
-                    stats.candidates += 1;
-                    let cand = &transposed[sym * n..(sym + 1) * n];
-                    let (succ, _) =
-                        intern(cand, &mut mappings, &mut delta, &mut worklist, &mut stats)?;
-                    delta[id as usize * k + sym] = succ;
-                }
-            }
-            _ => {
-                // Line 6 of Algorithm 1: one symbol at a time.
-                for sym in 0..k {
-                    stats.candidates += 1;
-                    for q in 0..n {
-                        let cur = mappings[id as usize * n + q].to_u32();
-                        candidate[q] = table[cur as usize * k + sym];
-                    }
-                    let (succ, _) = intern(
-                        &candidate,
-                        &mut mappings,
-                        &mut delta,
-                        &mut worklist,
-                        &mut stats,
-                    )?;
-                    delta[id as usize * k + sym] = succ;
-                }
-            }
-        }
+        Ok(id)
     }
 
-    stats.states = (mappings.len() / n) as u64;
-    stats.uncompressed_bytes = (mappings.len() * E::BYTES) as u64;
-    stats.stored_bytes = stats.uncompressed_bytes;
-    stats.peak_bytes = stats.uncompressed_bytes;
-    stats.total_secs = t0.elapsed().as_secs_f64();
-    stats.phase1_secs = stats.total_secs;
+    /// Snapshot the engine to the checkpoint artifact (atomic write).
+    /// Called only between states, so every row below the cursor is
+    /// complete and everything above it is untouched frontier.
+    fn write_checkpoint(&self, cfg: &CheckpointConfig) -> Result<(), SfaError> {
+        sfa_sync::fault_point!("checkpoint/write")
+            .map_err(|e| SfaError::Artifact(IoError::Io(e.to_string())))?;
+        let ckpt = Checkpoint {
+            dfa_states: self.n as u32,
+            symbols: self.k as u32,
+            elem_bytes: E::BYTES as u8,
+            processed: self.processed as u64,
+            num_states: self.num_states() as u64,
+            dfa_crc: self.dfa_crc,
+            delta: self.delta.clone(),
+            mappings_le: artifact::mappings_to_le(&self.mappings),
+        };
+        artifact::write_checkpoint(&cfg.path, &ckpt).map_err(SfaError::Artifact)
+    }
 
-    let sfa = Sfa::from_parts(n, k, start, delta, E::into_store(mappings));
-    Ok(ConstructionResult { sfa, stats })
+    /// Drive the cursor to the end of the arena (Algorithm 1's main
+    /// loop), optionally writing checkpoints every
+    /// [`CheckpointConfig::every_states`] processed states — the same
+    /// per-state cadence the governor is polled at.
+    fn run(
+        &mut self,
+        governor: &Governor,
+        checkpoint: Option<&CheckpointConfig>,
+    ) -> Result<(), SfaError> {
+        // Scratch buffers.
+        let mut rows_u32: Vec<u32> = vec![0; self.n];
+        let mut transposed: Vec<E> = vec![E::from_u32(0); self.k * self.n];
+        let mut candidate: Vec<E> = vec![E::from_u32(0); self.n];
+
+        let governed = !governor.is_unlimited();
+        let mut since_checkpoint = 0u64;
+        while self.processed < self.num_states() {
+            let id = self.processed as u32;
+            // Snapshot BEFORE the governor poll: a budget/cancel abort
+            // at this iteration then still leaves the freshest
+            // checkpoint behind for `resume_from` to continue.
+            if let Some(cfg) = checkpoint {
+                if since_checkpoint >= cfg.every_states {
+                    self.write_checkpoint(cfg)?;
+                    since_checkpoint = 0;
+                }
+            }
+            if governed {
+                // One check per processed SFA state: cheap relative to
+                // the |Σ| candidate generations the state is about to do.
+                governor.check(
+                    self.num_states() as u64,
+                    (self.mappings.len() * E::BYTES) as u64,
+                )?;
+            }
+            sfa_sync::fault_point!("construct/state").map_err(|e| SfaError::Io(e.to_string()))?;
+            match self.variant {
+                SequentialVariant::Transposed => {
+                    // Parameterized transposition: all k successors at once.
+                    let src = &self.mappings[id as usize * self.n..(id as usize + 1) * self.n];
+                    for (r, &e) in rows_u32.iter_mut().zip(src.iter()) {
+                        *r = e.to_u32();
+                    }
+                    E::transpose_gather(&self.table, self.k, &rows_u32, &mut transposed);
+                    for sym in 0..self.k {
+                        self.stats.candidates += 1;
+                        let cand = &transposed[sym * self.n..(sym + 1) * self.n];
+                        let succ = self.intern(cand)?;
+                        self.delta[id as usize * self.k + sym] = succ;
+                    }
+                }
+                _ => {
+                    // Line 6 of Algorithm 1: one symbol at a time.
+                    for sym in 0..self.k {
+                        self.stats.candidates += 1;
+                        for (q, slot) in candidate.iter_mut().enumerate() {
+                            let cur = self.mappings[id as usize * self.n + q].to_u32();
+                            *slot = self.table[cur as usize * self.k + sym];
+                        }
+                        let succ = self.intern(&candidate)?;
+                        self.delta[id as usize * self.k + sym] = succ;
+                    }
+                }
+            }
+            self.processed += 1;
+            since_checkpoint += 1;
+        }
+        Ok(())
+    }
+
+    fn finish(mut self, t0: Instant) -> ConstructionResult {
+        self.stats.states = self.num_states() as u64;
+        self.stats.uncompressed_bytes = (self.mappings.len() * E::BYTES) as u64;
+        self.stats.stored_bytes = self.stats.uncompressed_bytes;
+        self.stats.peak_bytes = self.stats.uncompressed_bytes;
+        self.stats.total_secs = t0.elapsed().as_secs_f64();
+        self.stats.phase1_secs = self.stats.total_secs;
+        // The start state is always id 0: the identity mapping is the
+        // first row interned, in fresh builds and (by induction over the
+        // persisted arena) in resumed ones.
+        let sfa = Sfa::from_parts(self.n, self.k, 0, self.delta, E::into_store(self.mappings));
+        ConstructionResult {
+            sfa,
+            stats: self.stats,
+        }
+    }
+}
+
+fn construct_impl<E: Elem>(
+    dfa: &Dfa,
+    variant: SequentialVariant,
+    state_budget: usize,
+    governor: &Governor,
+    checkpoint: Option<&CheckpointConfig>,
+    resume: Option<&Checkpoint>,
+) -> Result<ConstructionResult, SfaError> {
+    let t0 = Instant::now();
+    let mut engine = match resume {
+        None => SeqEngine::<E>::new(dfa, variant, state_budget)?,
+        Some(ckpt) => SeqEngine::<E>::resume(dfa, variant, state_budget, ckpt)?,
+    };
+    engine.run(governor, checkpoint)?;
+    Ok(engine.finish(t0))
 }
 
 #[cfg(test)]

@@ -16,9 +16,13 @@
 //!   collision behaviour.
 //!
 //! [`fx`] provides the small multiplicative hash used for hash-*table*
-//! bucket mixing, and [`stats`] measures collision behaviour.
+//! bucket mixing, and [`stats`] measures collision behaviour. [`crc64`]
+//! is not a fingerprint at all but the storage checksum (CRC-64/XZ,
+//! guaranteed single-bit/burst detection) for the on-disk artifact
+//! format.
 
 pub mod city;
+pub mod crc64;
 pub mod fx;
 pub mod rabin;
 pub mod stats;

@@ -28,12 +28,16 @@
 //!   processes never spawn threads per query.
 //! * [`backoff::Backoff`], [`padded::CachePadded`] — spin-wait and
 //!   false-sharing helpers.
+//! * [`faults`] — deterministic fault-injection layer (`fault_point!`
+//!   named sites, seeded [`faults::FaultPlan`]s); compiles to no-ops
+//!   unless the `fault-injection` feature is enabled.
 
 pub mod arena;
 pub mod backoff;
 pub mod cancel;
 pub mod counters;
 pub mod deque;
+pub mod faults;
 pub mod global_queue;
 pub mod mpmc;
 pub mod mutex;
@@ -45,6 +49,7 @@ pub use arena::Arena;
 pub use cancel::CancelToken;
 pub use counters::ContentionCounters;
 pub use deque::work_stealing_deque;
+pub use faults::{FaultError, FaultKind, FaultPlan, FaultRule};
 pub use global_queue::GlobalQueue;
 pub use mpmc::MsQueue;
 pub use mutex::Mutex;

@@ -29,7 +29,16 @@ use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Lock ignoring poisoning. A panic anywhere near these mutexes (a task
+/// unwinding, an injected fault, a caller thread dying while queueing)
+/// must never wedge later submitters: the protected state — a job queue
+/// and a counter+list — stays structurally valid across an unwind, so
+/// the poison flag carries no information we act on.
+fn lock_robust<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A type-erased unit of work. Lifetime-erased to `'static` by
 /// [`Scope::execute`]; soundness is provided by [`TaskPool::scoped`]
@@ -72,7 +81,7 @@ impl Batch {
     }
 
     fn task_finished(&self, panic: Option<String>) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_robust(&self.state);
         st.remaining -= 1;
         if let Some(msg) = panic {
             st.panics.push(msg);
@@ -197,7 +206,7 @@ impl TaskPool {
             };
             f(&scope)
         };
-        let mut st = batch.state.lock().unwrap();
+        let mut st = lock_robust(&batch.state);
         if st.panics.is_empty() {
             Ok(result)
         } else {
@@ -212,16 +221,16 @@ impl TaskPool {
     fn wait_helping(&self, batch: &Batch) {
         loop {
             {
-                let st = batch.state.lock().unwrap();
+                let st = lock_robust(&batch.state);
                 if st.remaining == 0 {
                     return;
                 }
             }
-            let job = self.shared.queue.lock().unwrap().pop_front();
+            let job = lock_robust(&self.shared.queue).pop_front();
             match job {
                 Some(job) => run_job(&self.shared, job),
                 None => {
-                    let st = batch.state.lock().unwrap();
+                    let st = lock_robust(&batch.state);
                     if st.remaining == 0 {
                         return;
                     }
@@ -230,7 +239,7 @@ impl TaskPool {
                     let (_st, _timeout) = batch
                         .done
                         .wait_timeout(st, std::time::Duration::from_millis(1))
-                        .unwrap();
+                        .unwrap_or_else(PoisonError::into_inner);
                 }
             }
         }
@@ -274,12 +283,31 @@ impl<'scope> Scope<'_, 'scope> {
             std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send>>(task)
         };
         let job: Job = Box::new(move || {
-            let outcome = catch_unwind(AssertUnwindSafe(task));
-            batch.task_finished(outcome.err().map(panic_message));
+            let outcome = catch_unwind(AssertUnwindSafe(move || {
+                // Injected worker faults surface as contained panics: a
+                // pooled task returns no value, so an injected error has
+                // nowhere to go but the batch's panic list (which callers
+                // see as a typed JobPanic).
+                if let Err(e) = crate::faults::trigger("pool/worker") {
+                    panic!("{e}");
+                }
+                task()
+            }));
+            let mut failure = outcome.err().map(panic_message);
+            // The bookkeeping site injects failure *around* completion
+            // accounting. Both error and panic kinds are converted to a
+            // recorded message — the `task_finished` decrement below must
+            // run unconditionally or `scoped` would wait forever.
+            match catch_unwind(|| crate::faults::trigger("pool/bookkeeping")) {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => merge_failure(&mut failure, e.to_string()),
+                Err(payload) => merge_failure(&mut failure, panic_message(payload)),
+            }
+            batch.task_finished(failure);
         });
         let shared = &self.pool.shared;
         shared.pending.fetch_add(1, Ordering::Relaxed);
-        shared.queue.lock().unwrap().push_back(job);
+        lock_robust(&shared.queue).push_back(job);
         shared.work.notify_one();
     }
 }
@@ -287,7 +315,7 @@ impl<'scope> Scope<'_, 'scope> {
 fn worker_loop(shared: &Shared) {
     loop {
         let job = {
-            let mut queue = shared.queue.lock().unwrap();
+            let mut queue = lock_robust(&shared.queue);
             loop {
                 if let Some(job) = queue.pop_front() {
                     break job;
@@ -295,7 +323,10 @@ fn worker_loop(shared: &Shared) {
                 if shared.shutdown.load(std::sync::atomic::Ordering::SeqCst) {
                     return;
                 }
-                queue = shared.work.wait(queue).unwrap();
+                queue = shared
+                    .work
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         run_job(shared, job);
@@ -309,7 +340,19 @@ fn run_job(shared: &Shared, job: Job) {
     shared.pending.fetch_sub(1, Ordering::Relaxed);
 }
 
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+fn merge_failure(slot: &mut Option<String>, msg: String) {
+    match slot {
+        Some(existing) => {
+            existing.push_str("; ");
+            existing.push_str(&msg);
+        }
+        None => *slot = Some(msg),
+    }
+}
+
+/// Render a panic payload as a human-readable message (`&str` / `String`
+/// payloads pass through; anything else gets a placeholder).
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -407,6 +450,44 @@ mod tests {
         let r: Result<u8, _> = pool.scoped(|_| 9);
         assert_eq!(r.unwrap(), 9);
         assert_eq!(pool.queue_depth(), 0);
+    }
+
+    #[test]
+    fn survives_poisoned_injector_mutex() {
+        let pool = TaskPool::new(2);
+        // Poison the injector mutex the way a thread dying while holding
+        // it would — the pool must unpoison and keep serving instead of
+        // wedging every later submitter.
+        let shared = pool.shared.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = shared.queue.lock().unwrap();
+            panic!("die holding the injector lock");
+        })
+        .join();
+        assert!(pool.shared.queue.is_poisoned());
+        let v = AtomicU32::new(0);
+        pool.scoped(|scope| {
+            let v = &v;
+            for _ in 0..8 {
+                scope.execute(move || {
+                    v.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(v.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn panicking_batch_leaves_no_poison_behind() {
+        let pool = TaskPool::new(2);
+        let _ = pool.scoped(|scope| {
+            scope.execute(|| panic!("worker down"));
+        });
+        assert!(!pool.shared.queue.is_poisoned());
+        // Subsequent batches — including from other threads — proceed.
+        let r = pool.scoped(|_| 5u8);
+        assert_eq!(r.unwrap(), 5);
     }
 
     #[test]
