@@ -10,6 +10,7 @@
 //! reproduce codecs            §III-C    Squash-style codec survey on SFA states
 //! reproduce matching          §IV-D     matching break-even analysis
 //! reproduce scan-throughput   PR-3      sequential vs pooled vs interleaved vs compact scan
+//! reproduce obs-overhead      DESIGN §12 metrics-recording overhead A/B (budget: ≤2%)
 //! reproduce hashes            §III-A    fingerprint throughput comparison
 //! reproduce ablations         DESIGN    fingerprint / scheduler / compression ablations
 //! reproduce all               everything above with default sizes
@@ -23,8 +24,8 @@
 
 use sfa_automata::dfa::Dfa;
 use sfa_bench::records::{
-    self, CompressionRow, HashRow, MatchRow, QueueRow, ScaleRow, ScanThroughputRow, SeqRow,
-    ThroughputRow,
+    self, CompressionRow, HashRow, MatchRow, ObsOverheadRow, QueueRow, ScaleRow, ScanThroughputRow,
+    SeqRow, ThroughputRow,
 };
 use sfa_bench::workloads::{cap_dfa_size, evaluation_suite};
 use sfa_bench::{median, time_once, PlatformInfo};
@@ -125,6 +126,7 @@ fn main() -> ExitCode {
         "matching" => matching(&cfg),
         "match-throughput" => match_throughput(&cfg),
         "scan-throughput" => scan_throughput(&cfg),
+        "obs-overhead" => obs_overhead(&cfg),
         "hashes" => hashes(&cfg),
         "ablations" => ablations(&cfg),
         "all" => all(&cfg),
@@ -151,6 +153,7 @@ fn all(cfg: &Config) -> Result<(), String> {
         ("matching", matching),
         ("match-throughput", match_throughput),
         ("scan-throughput", scan_throughput),
+        ("obs-overhead", obs_overhead),
         ("hashes", hashes),
         ("ablations", ablations),
     ] {
@@ -938,6 +941,116 @@ fn interleaved_scan(sfa: &Sfa, dfa: &Dfa, text: &[u8], k: usize) -> bool {
         q = sfa.apply(s, q);
     }
     dfa.is_accepting(q)
+}
+
+// ------------------------------------------------- observability overhead
+
+/// A/B the metrics-recording overhead on the hottest instrumented path
+/// (the compact scan engine): time the same match with
+/// `set_recording(false)` vs `(true)`, alternating arms within each
+/// round so clock drift and cache warmth hit both equally. Fails when
+/// the enabled arm regresses past the 2% budget (DESIGN.md §12). In an
+/// obs-compiled-out build both arms are identical no-ops and the
+/// overhead is structurally 0 — reported via the `compiled` column.
+fn obs_overhead(cfg: &Config) -> Result<(), String> {
+    use sfa_core::budget::Governor;
+    use sfa_core::obs;
+    use sfa_sync::pool::TaskPool;
+
+    let alpha = sfa_automata::Alphabet::amino_acids();
+    let dfa = sfa_automata::pipeline::Pipeline::search(alpha)
+        .compile_str("RGD")
+        .map_err(|e| e.to_string())?;
+    let sfa = Sfa::builder(&dfa)
+        .sequential(SequentialVariant::Transposed)
+        .build()
+        .map_err(|e| e.to_string())?
+        .sfa;
+    let threads = *cfg.threads.last().unwrap();
+    let matcher = ParallelMatcher::new(&sfa, &dfa).map_err(|e| e.to_string())?;
+    let pool = TaskPool::shared();
+    let governor = Governor::unlimited();
+
+    let len: usize = if cfg.quick { 4 << 20 } else { 32 << 20 };
+    let runs = cfg.runs.max(if cfg.quick { 5 } else { 9 });
+    // Each timed sample is a batch of matches, so pool-dispatch jitter
+    // (hundreds of µs per wakeup) amortizes instead of swamping the
+    // per-match cost under test.
+    let batch = if cfg.quick { 8 } else { 4 };
+    let text = protein_text(len, 0xACE5);
+    let expected = match_sequential(&dfa, &text);
+
+    let pass = || {
+        let (s, ()) = time_once(|| {
+            for _ in 0..batch {
+                let hit = matcher
+                    .matches_on(pool, &governor, &text, threads)
+                    .expect("scan-engine match failed");
+                assert_eq!(hit, expected, "obs A/B arms must agree on the verdict");
+            }
+        });
+        s / batch as f64
+    };
+    // Warm the pool, tables, and page cache before either arm is timed.
+    pass();
+
+    let mut disabled = Vec::with_capacity(runs);
+    let mut enabled = Vec::with_capacity(runs);
+    for round in 0..runs {
+        // Alternate which arm goes first so any second-call penalty
+        // (frequency ramp, pool worker sleep/wake) hits both equally.
+        let order: [bool; 2] = if round % 2 == 0 {
+            [false, true]
+        } else {
+            [true, false]
+        };
+        for on in order {
+            obs::set_recording(on);
+            let s = pass();
+            if on { &mut enabled } else { &mut disabled }.push(s);
+        }
+    }
+    obs::set_recording(true);
+
+    // Min, not median: the best observed pass is the least-noise estimate
+    // of each arm's true cost on a shared machine.
+    let disabled_secs = disabled.iter().cloned().fold(f64::INFINITY, f64::min);
+    let enabled_secs = enabled.iter().cloned().fold(f64::INFINITY, f64::min);
+    let row = ObsOverheadRow {
+        input_len: len,
+        threads,
+        runs,
+        disabled_secs,
+        enabled_secs,
+        overhead_pct: ObsOverheadRow::compute_overhead_pct(disabled_secs, enabled_secs),
+        compiled: obs::compiled(),
+    };
+    println!(
+        "obs overhead (\"RGD\" compact scan, {} MB, {threads} threads, best of {runs}x{batch}):",
+        len >> 20
+    );
+    println!(
+        "  recording off   {:.4} s  ({:.1} MB/s)",
+        row.disabled_secs,
+        len as f64 / row.disabled_secs / 1e6
+    );
+    println!(
+        "  recording on    {:.4} s  ({:.1} MB/s)",
+        row.enabled_secs,
+        len as f64 / row.enabled_secs / 1e6
+    );
+    println!(
+        "  overhead        {:.2}%  (budget ≤2%; obs compiled: {})",
+        row.overhead_pct, row.compiled
+    );
+    records::write_record("obs_overhead", &row).map_err(|e| e.to_string())?;
+    if row.compiled && row.overhead_pct > 2.0 {
+        return Err(format!(
+            "observability overhead {:.2}% exceeds the 2% budget",
+            row.overhead_pct
+        ));
+    }
+    Ok(())
 }
 
 // ------------------------------------------------------------ §III-A hashes

@@ -259,6 +259,50 @@ impl ScanThroughputRow {
     }
 }
 
+/// One row of the observability-overhead A/B experiment: the compact
+/// scan workload timed with metrics recording off vs on.
+#[derive(Debug, Clone)]
+pub struct ObsOverheadRow {
+    /// Input length in symbols.
+    pub input_len: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Timed passes per arm (medians reported).
+    pub runs: usize,
+    /// Median seconds with recording disabled (`set_recording(false)`).
+    pub disabled_secs: f64,
+    /// Median seconds with recording enabled.
+    pub enabled_secs: f64,
+    /// Relative overhead in percent, clamped at 0 (noise can make the
+    /// enabled arm *faster*; a negative overhead is not a finding).
+    pub overhead_pct: f64,
+    /// Whether the obs machinery was compiled in at all
+    /// (`sfa_obs::compiled()`); a compiled-out build measures two
+    /// identical no-op arms.
+    pub compiled: bool,
+}
+
+sfa_json::impl_to_json!(ObsOverheadRow {
+    input_len,
+    threads,
+    runs,
+    disabled_secs,
+    enabled_secs,
+    overhead_pct,
+    compiled,
+});
+
+impl ObsOverheadRow {
+    /// Relative overhead of enabled over disabled recording, in percent,
+    /// clamped at 0.
+    pub fn compute_overhead_pct(disabled_secs: f64, enabled_secs: f64) -> f64 {
+        if disabled_secs <= 0.0 {
+            return 0.0;
+        }
+        ((enabled_secs - disabled_secs) / disabled_secs * 100.0).max(0.0)
+    }
+}
+
 /// One row of the hash-throughput experiment (E8 / §III-A).
 #[derive(Debug, Clone)]
 pub struct HashRow {
@@ -311,6 +355,10 @@ mod tests {
             threads: 4,
         };
         assert_eq!(m.sfa_total_secs(), 0.75);
+
+        assert!((ObsOverheadRow::compute_overhead_pct(1.0, 1.015) - 1.5).abs() < 1e-9);
+        assert_eq!(ObsOverheadRow::compute_overhead_pct(1.0, 0.9), 0.0);
+        assert_eq!(ObsOverheadRow::compute_overhead_pct(0.0, 1.0), 0.0);
     }
 
     #[test]

@@ -4,8 +4,93 @@ use crate::args::Parsed;
 use crate::{dfa_from_args, parallel_options};
 use sfa_automata::grail;
 use sfa_automata::Alphabet;
+use sfa_core::obs;
 use sfa_core::prelude::*;
 use sfa_core::stats::ConstructionStats;
+
+/// `--metrics-out <path>` — scrape the process-global metrics registry
+/// into a Prometheus text snapshot after the command's work is done.
+/// Construction engines and the match runtime feed the global registry
+/// automatically, so this needs no per-command wiring beyond the pool
+/// gauges sampled here. A no-op (empty file) when the `obs` feature is
+/// compiled out.
+fn write_metrics_snapshot(parsed: &Parsed) -> Result<(), String> {
+    let Some(path) = parsed.opt("metrics-out") else {
+        return Ok(());
+    };
+    obs::record_shared_pool(obs::global());
+    let text = obs::export::prometheus_text(&obs::global().snapshot());
+    std::fs::write(path, &text).map_err(|e| format!("{path}: {e}"))?;
+    eprintln!("# wrote metrics snapshot to {path}");
+    Ok(())
+}
+
+/// Feed one CLI match into the process-global registry for the paths
+/// (lazy, plain `ParallelMatcher`) that bypass [`MatchEngine`] and so
+/// never hit its delivery hook.
+fn record_cli_match(tier: MatchTier, bytes: usize, secs: f64) {
+    let mut stats = MatchStats::default();
+    stats.tier = tier;
+    stats.blocks = 1;
+    stats.bytes = bytes as u64;
+    stats.elapsed = std::time::Duration::from_secs_f64(secs);
+    obs::record_match(obs::global(), &stats);
+}
+
+/// `sfa metrics --file <path>` — re-parse and display a Prometheus
+/// snapshot written by `--metrics-out` (validating it in the process);
+/// `--json` renders the parsed samples as JSON instead.
+pub fn metrics(parsed: &Parsed) -> Result<(), String> {
+    let path = parsed
+        .opt("file")
+        .ok_or("usage: sfa metrics --file <path> [--json]")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let samples = obs::export::parse_prometheus(&text).map_err(|e| format!("{path}: {e}"))?;
+    if parsed.flag("json") {
+        use sfa_json::{ToJson, Value};
+        let rows: Vec<Value> = samples
+            .iter()
+            .map(|s| {
+                let labels = s
+                    .labels
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.to_json()))
+                    .collect();
+                Value::Object(vec![
+                    ("name".to_string(), s.name.to_json()),
+                    ("labels".to_string(), Value::Object(labels)),
+                    ("value".to_string(), s.value.to_json()),
+                ])
+            })
+            .collect();
+        println!(
+            "{}",
+            sfa_json::to_string_pretty(&Value::Object(vec![(
+                "samples".to_string(),
+                Value::Array(rows)
+            )]))
+        );
+        return Ok(());
+    }
+    if samples.is_empty() {
+        println!("(no samples — snapshot from an obs-disabled build?)");
+        return Ok(());
+    }
+    for s in &samples {
+        let labels = if s.labels.is_empty() {
+            String::new()
+        } else {
+            let body: Vec<String> = s
+                .labels
+                .iter()
+                .map(|(k, v)| format!("{k}=\"{v}\""))
+                .collect();
+            format!("{{{}}}", body.join(","))
+        };
+        println!("{:<56} {}", format!("{}{labels}", s.name), s.value);
+    }
+    Ok(())
+}
 
 /// `sfa compile` — pattern → minimal DFA in Grail+ text.
 pub fn compile(parsed: &Parsed) -> Result<(), String> {
@@ -208,7 +293,7 @@ pub fn build(parsed: &Parsed) -> Result<(), String> {
     } else {
         report.print_human();
     }
-    Ok(())
+    write_metrics_snapshot(parsed)
 }
 
 /// `sfa artifact <verb>` — inspect persisted artifacts. The only verb
@@ -316,6 +401,9 @@ pub fn do_match(parsed: &Parsed) -> Result<(), String> {
         if let Some(scan) = scan_options_from_args(parsed)? {
             engine.set_scan_options(scan).map_err(|e| e.to_string())?;
         }
+        // Feed per-query stats into the process-global registry so a
+        // `--metrics-out` snapshot carries `sfa_match_*`.
+        let mut engine = engine.metrics(obs::global());
         let t0 = std::time::Instant::now();
         let hit = engine.matches(&text);
         let secs = t0.elapsed().as_secs_f64();
@@ -335,7 +423,7 @@ pub fn do_match(parsed: &Parsed) -> Result<(), String> {
             }
         }
         println!("engine match         {secs:.4} s");
-        return Ok(());
+        return write_metrics_snapshot(parsed);
     }
     if parsed.flag("lazy") {
         let lazy = sfa_core::lazy::LazySfa::new(&dfa, parsed.num("budget", 1 << 22)?)
@@ -344,13 +432,14 @@ pub fn do_match(parsed: &Parsed) -> Result<(), String> {
         let hit = lazy.matches(&text, threads).map_err(|e| e.to_string())?;
         let secs = t0.elapsed().as_secs_f64();
         assert_eq!(hit, match_sequential_oracle(&dfa, &text));
+        record_cli_match(MatchTier::LazySfa, text.len(), secs);
         println!("text length          {} residues", text.len());
         println!("match                {hit}");
         println!(
             "lazy SFA match       {secs:.4} s ({} states discovered)",
             lazy.states_built()
         );
-        return Ok(());
+        return write_metrics_snapshot(parsed);
     }
     let opts = parallel_options(parsed)?;
     let t0 = std::time::Instant::now();
@@ -369,6 +458,7 @@ pub fn do_match(parsed: &Parsed) -> Result<(), String> {
     let t1 = std::time::Instant::now();
     let sfa_match = matcher.matches(&text, threads);
     let sfa_secs = t1.elapsed().as_secs_f64();
+    record_cli_match(MatchTier::FullSfa, text.len(), sfa_secs);
 
     let t2 = std::time::Instant::now();
     let seq_match = match_sequential(&dfa, &text);
@@ -385,7 +475,7 @@ pub fn do_match(parsed: &Parsed) -> Result<(), String> {
     );
     println!("SFA match ({threads} thr)   {sfa_secs:.4} s");
     println!("sequential match     {seq_secs:.4} s");
-    Ok(())
+    write_metrics_snapshot(parsed)
 }
 
 fn match_sequential_oracle(dfa: &sfa_automata::Dfa, text: &[u8]) -> bool {
@@ -411,6 +501,7 @@ fn do_match_stream(parsed: &Parsed, path: &str) -> Result<(), String> {
     if let Some(scan) = scan_options_from_args(parsed)? {
         engine.set_scan_options(scan).map_err(|e| e.to_string())?;
     }
+    let mut engine = engine.metrics(obs::global());
     // An explicit --threads gets its own pool of that size; otherwise the
     // process-shared pool (one worker per CPU).
     let runtime = match parsed.opt("threads") {
@@ -431,12 +522,15 @@ fn do_match_stream(parsed: &Parsed, path: &str) -> Result<(), String> {
     );
     println!("match                {hit}");
     println!("engine tier          {}", stats.tier);
+    // Sub-resolution matches get a clamped-but-plausible rate from
+    // `bytes_per_sec()`; flag them rather than printing it as measured.
+    let untimed = if stats.untimed() { " [untimed]" } else { "" };
     println!(
-        "throughput           {:.1} MiB/s ({secs:.4} s, pool depth {})",
+        "throughput           {:.1} MiB/s{untimed} ({secs:.4} s, pool depth {})",
         stats.bytes_per_sec() / (1024.0 * 1024.0),
         stats.queue_depth
     );
-    Ok(())
+    write_metrics_snapshot(parsed)
 }
 
 /// `sfa survey` — codec survey over sampled SFA states (E6 methodology).

@@ -53,6 +53,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "survey" => commands::survey(&parsed),
         "verify" => commands::verify(&parsed),
         "workloads" => commands::workloads(&parsed),
+        "metrics" => commands::metrics(&parsed),
         "dot" => commands::dot(&parsed),
         "help" | "--help" | "-h" => {
             print_help();
@@ -76,6 +77,7 @@ COMMANDS:
     survey      run the codec survey over sampled SFA states
     verify      cross-check parallel vs sequential construction
     workloads   list the embedded PROSITE pattern sample
+    metrics     display a Prometheus snapshot written by --metrics-out
     dot         render the pattern's DFA as a Graphviz digraph
     artifact    inspect persisted artifacts: `sfa artifact verify --file <p>`
     help        show this message
@@ -122,7 +124,11 @@ COMMON OPTIONS:
     --interleave <k>     match: chunk chains scanned per worker loop
                          (1 | 2 | 4 | 8; default 4)
     --oversubscribe <n>  match: chunk tasks per worker thread, so
-                         stragglers rebalance on the pool (default 4)"
+                         stragglers rebalance on the pool (default 4)
+    --metrics-out <path> build/match: scrape the process-global metrics
+                         registry to a Prometheus text snapshot on exit
+                         (display it with `sfa metrics --file <path>`)
+    --file <path>        metrics: the snapshot to display"
     );
 }
 

@@ -347,7 +347,14 @@ pub fn read_sfa(path: &Path) -> Result<Sfa, IoError> {
 
 /// Atomically write a construction checkpoint at `path`.
 pub fn write_checkpoint(path: &Path, ckpt: &Checkpoint) -> Result<(), IoError> {
-    io::atomic_write(path, &ckpt.to_artifact_bytes()).map_err(IoError::from)
+    static OBS_CHECKPOINT_BYTES: crate::obs::LazyCounter =
+        crate::obs::LazyCounter::new("sfa_artifact_checkpoint_bytes_total");
+    static OBS_CHECKPOINTS: crate::obs::LazyCounter =
+        crate::obs::LazyCounter::new("sfa_artifact_checkpoints_total");
+    let bytes = ckpt.to_artifact_bytes();
+    OBS_CHECKPOINT_BYTES.add(bytes.len() as u64);
+    OBS_CHECKPOINTS.inc();
+    io::atomic_write(path, &bytes).map_err(IoError::from)
 }
 
 /// Load and validate a construction checkpoint.

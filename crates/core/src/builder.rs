@@ -34,6 +34,7 @@
 
 use crate::artifact::{self, CheckpointConfig};
 use crate::budget::{Budget, Governor};
+use crate::obs::{MetricsRegistry, Subscriber};
 use crate::parallel::{
     construct_parallel_governed, CompressionPolicy, FingerprintAlgo, ParallelOptions, Scheduler,
 };
@@ -44,6 +45,7 @@ use crate::SfaError;
 use sfa_automata::dfa::Dfa;
 use sfa_sync::CancelToken;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 impl Sfa {
     /// Start configuring a construction run for `dfa`. Defaults to the
@@ -58,12 +60,14 @@ impl Sfa {
             cancel: None,
             checkpoint: None,
             resume_from: None,
+            subscriber: None,
+            metrics: None,
         }
     }
 }
 
 /// Builder for one SFA construction run — see [`Sfa::builder`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct SfaBuilder<'d> {
     dfa: &'d Dfa,
     opts: ParallelOptions,
@@ -73,6 +77,24 @@ pub struct SfaBuilder<'d> {
     cancel: Option<CancelToken>,
     checkpoint: Option<CheckpointConfig>,
     resume_from: Option<PathBuf>,
+    subscriber: Option<Arc<dyn Subscriber>>,
+    metrics: Option<MetricsRegistry>,
+}
+
+impl std::fmt::Debug for SfaBuilder<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SfaBuilder")
+            .field("dfa", &self.dfa)
+            .field("opts", &self.opts)
+            .field("variant", &self.variant)
+            .field("budget", &self.budget)
+            .field("cancel", &self.cancel)
+            .field("checkpoint", &self.checkpoint)
+            .field("resume_from", &self.resume_from)
+            .field("subscriber", &self.subscriber.as_ref().map(|_| ".."))
+            .field("metrics", &self.metrics.is_some())
+            .finish()
+    }
 }
 
 impl<'d> SfaBuilder<'d> {
@@ -153,6 +175,26 @@ impl<'d> SfaBuilder<'d> {
         &self.opts
     }
 
+    /// Deliver per-phase construction spans to `sub` when the build
+    /// finishes (see the span taxonomy in DESIGN.md §12). Only this run's
+    /// spans go to `sub`; the process-global subscriber installed via
+    /// [`crate::obs::subscribe`] is unaffected. No-op when the `obs`
+    /// feature is compiled out.
+    pub fn with_subscriber(mut self, sub: Arc<dyn Subscriber>) -> Self {
+        self.subscriber = Some(sub);
+        self
+    }
+
+    /// Record this run's [`crate::stats::ConstructionStats`] into `reg`
+    /// (counters, gauges, and phase histograms under `sfa_construct_*`)
+    /// when the build finishes. The process-global registry is always fed
+    /// regardless; this hook gives library callers a private registry.
+    /// No-op when the `obs` feature is compiled out.
+    pub fn metrics(mut self, reg: &MetricsRegistry) -> Self {
+        self.metrics = Some(reg.clone());
+        self
+    }
+
     /// Periodically snapshot construction state to `path` (atomic write,
     /// CRC-checked artifact) every `every_states` processed SFA states,
     /// so an interrupted build can be continued with [`resume_from`]
@@ -177,7 +219,7 @@ impl<'d> SfaBuilder<'d> {
     /// Run the configured construction. The budget clock starts here.
     pub fn build(self) -> Result<ConstructionResult, SfaError> {
         let governor = Governor::new(&self.budget, self.cancel);
-        match self.variant {
+        let result = match self.variant {
             Some(variant) => {
                 let resume = match &self.resume_from {
                     Some(path) => Some(artifact::read_checkpoint(path)?),
@@ -190,7 +232,7 @@ impl<'d> SfaBuilder<'d> {
                     &governor,
                     self.checkpoint.as_ref(),
                     resume.as_ref(),
-                )
+                )?
             }
             None => {
                 if self.checkpoint.is_some() || self.resume_from.is_some() {
@@ -199,9 +241,16 @@ impl<'d> SfaBuilder<'d> {
                          (the parallel engine assigns state ids nondeterministically)",
                     ));
                 }
-                construct_parallel_governed(self.dfa, &self.opts, &governor)
+                construct_parallel_governed(self.dfa, &self.opts, &governor)?
             }
+        };
+        if let Some(reg) = &self.metrics {
+            crate::obs::record_construction(reg, &result.stats);
         }
+        if let Some(sub) = &self.subscriber {
+            crate::obs::emit_phase_spans_to(sub.as_ref(), &result.stats);
+        }
+        Ok(result)
     }
 }
 
@@ -323,6 +372,36 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(matches!(err, SfaError::Artifact(_)));
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn builder_observability_hooks_deliver() {
+        use crate::obs::{MetricsRegistry, RingSubscriber};
+        let dfa = rg_dfa();
+        let reg = MetricsRegistry::new();
+        let sub = Arc::new(RingSubscriber::new(64));
+        let result = Sfa::builder(&dfa)
+            .threads(2)
+            .metrics(&reg)
+            .with_subscriber(sub.clone())
+            .build()
+            .unwrap();
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter("sfa_construct_runs_total"),
+            Some(1),
+            "metrics hook must feed the private registry"
+        );
+        assert_eq!(
+            snap.counter("sfa_construct_states_total"),
+            Some(result.stats.states),
+        );
+        let spans = sub.spans();
+        assert!(
+            spans.iter().any(|s| s.name == "construct/total"),
+            "subscriber hook must receive the per-phase spans, got {spans:?}"
+        );
     }
 
     #[test]

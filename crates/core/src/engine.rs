@@ -23,6 +23,7 @@
 use crate::budget::{Budget, Governor};
 use crate::lazy::LazySfa;
 use crate::matcher::{match_sequential, ParallelMatcher};
+use crate::obs::{MetricsRegistry, SpanRecord, Subscriber};
 use crate::parallel::{construct_parallel_governed, ParallelOptions};
 use crate::runtime::{ByteClassifier, Classified, MatchRuntime, MatchStats};
 use crate::scan::{ScanEngine, ScanOptions};
@@ -100,6 +101,13 @@ pub struct MatchEngine<'d> {
     /// Matching polls the same token construction did, so a server can
     /// abort an in-flight query with the handle it already holds.
     cancel: Option<CancelToken>,
+    /// Per-engine span sink: every answered query emits a `match/query`
+    /// span here (in addition to any process-global subscriber).
+    subscriber: Option<Arc<dyn Subscriber>>,
+    /// Per-engine metrics sink: every answered query is recorded here
+    /// under `sfa_match_*` (the global registry is fed independently by
+    /// the runtime).
+    metrics: Option<MetricsRegistry>,
 }
 
 impl<'d> MatchEngine<'d> {
@@ -153,6 +161,8 @@ impl<'d> MatchEngine<'d> {
             stats,
             runtime: MatchRuntime::shared(),
             cancel,
+            subscriber: None,
+            metrics: None,
         }
     }
 
@@ -160,6 +170,41 @@ impl<'d> MatchEngine<'d> {
     /// default is the process-shared pool with the default block size.
     pub fn set_runtime(&mut self, runtime: MatchRuntime) {
         self.runtime = runtime;
+    }
+
+    /// Deliver a `match/query` span to `sub` for every answered query,
+    /// whatever tier served it. No-op when the `obs` feature is compiled
+    /// out.
+    pub fn with_subscriber(mut self, sub: Arc<dyn Subscriber>) -> Self {
+        self.subscriber = Some(sub);
+        self
+    }
+
+    /// Record every answered query's [`MatchStats`] into `reg`
+    /// (`sfa_match_*` counters, gauges, and latency histogram). No-op
+    /// when the `obs` feature is compiled out.
+    pub fn metrics(mut self, reg: &MetricsRegistry) -> Self {
+        self.metrics = Some(reg.clone());
+        self
+    }
+
+    /// Per-engine observability delivery for one answered query. An
+    /// associated fn over the two sinks (not `&self`) so call sites can
+    /// run it while `self.backend` is still borrowed.
+    fn deliver_match(
+        metrics: &Option<MetricsRegistry>,
+        subscriber: &Option<Arc<dyn Subscriber>>,
+        stats: &MatchStats,
+    ) {
+        if let Some(reg) = metrics {
+            crate::obs::record_match(reg, stats);
+        }
+        if let Some(sub) = subscriber {
+            sub.on_span(&SpanRecord {
+                name: "match/query",
+                nanos: stats.elapsed.as_nanos().min(u64::MAX as u128) as u64,
+            });
+        }
     }
 
     /// Reconfigure the full tier's scan knobs (interleave width,
@@ -235,6 +280,7 @@ impl<'d> MatchEngine<'d> {
                 match self.runtime.matches_symbols(&matcher, input, &governor) {
                     Ok((verdict, stats)) => {
                         self.stats.full_matches += 1;
+                        Self::deliver_match(&self.metrics, &self.subscriber, &stats);
                         self.stats.last_match = Some(stats.clone());
                         return Ok((verdict, stats));
                     }
@@ -256,6 +302,7 @@ impl<'d> MatchEngine<'d> {
                         bytes: input.len() as u64,
                         ..MatchStats::default()
                     };
+                    Self::deliver_match(&self.metrics, &self.subscriber, &stats);
                     self.stats.last_match = Some(stats.clone());
                     return Ok((verdict, stats));
                 }
@@ -292,6 +339,7 @@ impl<'d> MatchEngine<'d> {
                 {
                     Ok((verdict, stats)) => {
                         self.stats.full_matches += 1;
+                        Self::deliver_match(&self.metrics, &self.subscriber, &stats);
                         self.stats.last_match = Some(stats.clone());
                         Ok((verdict, stats))
                     }
@@ -358,6 +406,7 @@ impl<'d> MatchEngine<'d> {
             elapsed: start.elapsed(),
             ..MatchStats::default()
         };
+        Self::deliver_match(&self.metrics, &self.subscriber, &stats);
         self.stats.last_match = Some(stats.clone());
         (verdict, stats)
     }
@@ -407,6 +456,7 @@ impl<'d> MatchEngine<'d> {
         self.stats.sequential_matches += 1;
         stats.bytes = offset;
         stats.elapsed = start.elapsed();
+        Self::deliver_match(&self.metrics, &self.subscriber, &stats);
         self.stats.last_match = Some(stats.clone());
         Ok((self.dfa.is_accepting(q), stats))
     }
@@ -481,6 +531,36 @@ mod tests {
         let text2 = protein_text(1_000, 4);
         assert_eq!(engine.matches(&text2), match_sequential(&dfa, &text2));
         assert_eq!(engine.stats().sequential_matches, 2);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn engine_observability_hooks_deliver_on_every_tier() {
+        use crate::obs::RingSubscriber;
+        let dfa = rg_dfa();
+        let reg = MetricsRegistry::new();
+        let sub = Arc::new(RingSubscriber::new(64));
+        let mut engine = MatchEngine::new(&dfa, 2)
+            .metrics(&reg)
+            .with_subscriber(sub.clone());
+        let text = protein_text(5_000, 7);
+        engine.matches(&text); // full tier
+                               // Force the sequential path too.
+        let (_, seq_stats) = engine.match_sequentially(&text);
+        assert_eq!(seq_stats.tier, MatchTier::Sequential);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("sfa_match_queries_total"), Some(2));
+        assert_eq!(
+            snap.counter("sfa_match_bytes_total"),
+            Some(2 * text.len() as u64)
+        );
+        assert_eq!(snap.histogram("sfa_match_elapsed_nanos").unwrap().count, 2);
+        let spans = sub.spans();
+        assert_eq!(
+            spans.iter().filter(|s| s.name == "match/query").count(),
+            2,
+            "one span per answered query, got {spans:?}"
+        );
     }
 
     #[test]

@@ -17,6 +17,13 @@
 use crate::sfa::{CodecChoice, MappingStore, Sfa};
 use sfa_compress::varint;
 
+// Global-registry artifact-path metrics (DESIGN.md §12); zero-sized
+// no-ops unless the `obs` feature is enabled.
+static OBS_WRITE_BYTES: crate::obs::LazyCounter =
+    crate::obs::LazyCounter::new("sfa_artifact_write_bytes_total");
+static OBS_FSYNC_NANOS: crate::obs::LazyHistogram =
+    crate::obs::LazyHistogram::new("sfa_artifact_fsync_nanos");
+
 /// Errors produced while decoding a serialized SFA or artifact.
 ///
 /// `#[non_exhaustive]`: future artifact versions may add failure shapes.
@@ -261,12 +268,16 @@ pub fn from_bytes(bytes: &[u8]) -> Result<Sfa, IoError> {
 pub fn atomic_write(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
     use std::io::Write;
     sfa_sync::fault_point!("io/write")?;
+    OBS_WRITE_BYTES.add(bytes.len() as u64);
     let tmp = tmp_sibling(path);
     let written = (|| {
         let mut f = std::fs::File::create(&tmp)?;
         f.write_all(bytes)?;
         sfa_sync::fault_point!("io/fsync")?;
-        f.sync_all()
+        let watch = crate::obs::Stopwatch::start();
+        let synced = f.sync_all();
+        watch.record(&OBS_FSYNC_NANOS);
+        synced
     })();
     if let Err(e) = written {
         let _ = std::fs::remove_file(&tmp);

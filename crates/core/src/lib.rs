@@ -70,6 +70,7 @@ pub mod io;
 pub mod lazy;
 pub mod matcher;
 pub mod memory;
+pub mod obs;
 pub mod parallel;
 pub mod runtime;
 pub mod scan;

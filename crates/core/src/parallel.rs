@@ -686,6 +686,9 @@ impl<E: Elem> Engine<E> {
         let start_new = remap[start as usize];
         debug_assert_ne!(start_new, NIL);
         let sfa = Sfa::from_parts(n, k, start_new, delta, mappings);
+        // Phase spans + global metrics come from the very stats fields
+        // assembled above, so spans always sum to `total_secs`.
+        crate::obs::observe_construction(&stats);
         Ok(ConstructionResult { sfa, stats })
     }
 }

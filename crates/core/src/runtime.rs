@@ -32,12 +32,21 @@
 use crate::budget::Governor;
 use crate::engine::MatchTier;
 use crate::matcher::{AbortControl, ParallelMatcher};
+use crate::obs::{LazyCounter, LazyGauge, LazyHistogram, Stopwatch};
 use crate::SfaError;
 use sfa_automata::alphabet::{Alphabet, SymbolId};
 use sfa_sync::pool::TaskPool;
 use std::io::Read;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+// Global-registry runtime metrics (see DESIGN.md §12). `Lazy*` handles
+// are zero-sized no-ops unless the `obs` feature is enabled.
+static OBS_BLOCK_NANOS: LazyHistogram = LazyHistogram::new("sfa_runtime_block_nanos");
+static OBS_BLOCKS_TOTAL: LazyCounter = LazyCounter::new("sfa_runtime_blocks_total");
+static OBS_BYTES_TOTAL: LazyCounter = LazyCounter::new("sfa_runtime_bytes_total");
+static OBS_RETRIES_TOTAL: LazyCounter = LazyCounter::new("sfa_runtime_retries_total");
+static OBS_QUEUE_DEPTH: LazyGauge = LazyGauge::new("sfa_runtime_queue_depth");
 
 /// Default streaming block: 8 MiB. Large enough that each of ~10 worker
 /// chunks still covers several hundred KiB (chunk scans stay scan-bound,
@@ -198,15 +207,32 @@ impl Default for MatchStats {
     }
 }
 
+/// Smallest elapsed time a match is credited with when computing
+/// throughput. `Instant` on common platforms bottoms out around
+/// microsecond-scale effective resolution; a match that finishes inside
+/// one tick reports `elapsed == 0`, which used to turn into a fake
+/// `0.0 bytes/sec` row in CLI output and bench records. Sub-tick matches
+/// are clamped to this floor and flagged by [`MatchStats::untimed`].
+pub const MIN_TIMED_ELAPSED: Duration = Duration::from_micros(1);
+
 impl MatchStats {
-    /// Input throughput; 0.0 when the match was too fast to time.
+    /// Input throughput. Never a fake zero: empty input reports `0.0`
+    /// honestly, and sub-timer-resolution matches are clamped to
+    /// [`MIN_TIMED_ELAPSED`] (check [`Self::untimed`] before trusting the
+    /// figure).
     pub fn bytes_per_sec(&self) -> f64 {
-        let secs = self.elapsed.as_secs_f64();
-        if secs > 0.0 {
-            self.bytes as f64 / secs
-        } else {
-            0.0
+        if self.bytes == 0 {
+            return 0.0;
         }
+        self.bytes as f64 / self.elapsed.max(MIN_TIMED_ELAPSED).as_secs_f64()
+    }
+
+    /// True when the match finished inside one timer tick, i.e.
+    /// [`Self::bytes_per_sec`] used the clamped floor rather than a real
+    /// measurement. Reports/exports should mark the value instead of
+    /// recording it as a genuine observation.
+    pub fn untimed(&self) -> bool {
+        self.bytes > 0 && self.elapsed < MIN_TIMED_ELAPSED
     }
 }
 
@@ -311,6 +337,7 @@ impl MatchRuntime {
             queue_depth: self.pool.queue_depth(),
             ..MatchStats::default()
         };
+        note_match(&stats);
         Ok((verdict, stats))
     }
 
@@ -342,6 +369,7 @@ impl MatchRuntime {
         stats.bytes = input.len() as u64;
         stats.elapsed = start.elapsed();
         stats.queue_depth = self.pool.queue_depth();
+        note_match(&stats);
         Ok((matcher.dfa.is_accepting(q), stats))
     }
 
@@ -400,6 +428,7 @@ impl MatchRuntime {
         stats.bytes = offset;
         stats.elapsed = start.elapsed();
         stats.queue_depth = self.pool.queue_depth();
+        note_match(&stats);
         Ok((q, stats))
     }
 
@@ -455,6 +484,7 @@ impl MatchRuntime {
         if block.is_empty() {
             return Ok(q);
         }
+        let watch = Stopwatch::start();
         // Pass 1 with fused classification, K-way interleaved on the
         // compact table; pass 2 reduces the chunk mappings with the
         // composition tree and folds the running state through.
@@ -471,8 +501,18 @@ impl MatchRuntime {
         let (_, folded) = matcher
             .scan
             .entry_states(&self.pool, matcher.sfa, &plan.states, q)?;
+        watch.record(&OBS_BLOCK_NANOS);
         Ok(folded)
     }
+}
+
+/// Push one finished match's telemetry into the global metrics registry
+/// (no-ops unless the `obs` feature is on and recording is enabled).
+fn note_match(stats: &MatchStats) {
+    OBS_BLOCKS_TOTAL.add(stats.blocks);
+    OBS_BYTES_TOTAL.add(stats.bytes);
+    OBS_RETRIES_TOTAL.add(stats.retries);
+    OBS_QUEUE_DEPTH.set(stats.queue_depth as i64);
 }
 
 impl Default for MatchRuntime {
@@ -765,5 +805,48 @@ mod tests {
             .matches_stream(&matcher, &classifier, Cursor::new(&bytes), &governor)
             .unwrap_err();
         assert!(matches!(err, SfaError::Cancelled { .. }), "{err:?}");
+    }
+
+    /// Regression: a match that finished inside one timer tick
+    /// (`elapsed == 0`) used to report `bytes_per_sec() == 0.0`, which
+    /// the CLI printed as a fake "0.00 MiB/s" and bench records stored
+    /// as genuine zero-throughput rows.
+    #[test]
+    fn sub_tick_matches_never_report_zero_throughput() {
+        let stats = MatchStats {
+            bytes: 4096,
+            elapsed: Duration::ZERO,
+            ..MatchStats::default()
+        };
+        assert!(stats.untimed());
+        let tp = stats.bytes_per_sec();
+        assert!(tp > 0.0, "clamped throughput must be positive, got {tp}");
+        assert!(tp.is_finite());
+        // Clamp floor: 4096 bytes over MIN_TIMED_ELAPSED exactly.
+        let floor = 4096.0 / MIN_TIMED_ELAPSED.as_secs_f64();
+        assert!((tp - floor).abs() < 1e-3);
+
+        // Below-resolution but non-zero elapsed is also clamped.
+        let nanos = MatchStats {
+            bytes: 100,
+            elapsed: Duration::from_nanos(3),
+            ..MatchStats::default()
+        };
+        assert!(nanos.untimed());
+        assert!(nanos.bytes_per_sec() > 0.0);
+
+        // Empty input is an honest zero, not an untimed artifact.
+        let empty = MatchStats::default();
+        assert!(!empty.untimed());
+        assert_eq!(empty.bytes_per_sec(), 0.0);
+
+        // A properly timed match is untouched by the clamp.
+        let timed = MatchStats {
+            bytes: 1_000_000,
+            elapsed: Duration::from_millis(10),
+            ..MatchStats::default()
+        };
+        assert!(!timed.untimed());
+        assert!((timed.bytes_per_sec() - 1e8).abs() < 1.0);
     }
 }

@@ -51,6 +51,14 @@ use sfa_simd::gather_u32;
 use sfa_sync::pool::TaskPool;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+// Global-registry scan metrics (DESIGN.md §12); zero-sized no-ops unless
+// the `obs` feature is enabled.
+static OBS_CHUNKS: crate::obs::LazyCounter = crate::obs::LazyCounter::new("sfa_scan_chunks_total");
+static OBS_SYMBOLS: crate::obs::LazyCounter =
+    crate::obs::LazyCounter::new("sfa_scan_symbols_total");
+static OBS_GATHER_CALLS: crate::obs::LazyCounter =
+    crate::obs::LazyCounter::new("sfa_scan_gather_calls_total");
+
 /// Knobs of the interleaved scan (see the module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ScanOptions {
@@ -899,6 +907,7 @@ pub fn prefix_compose_on(pool: &TaskPool, maps: Vec<Vec<u32>>) -> Result<Vec<Vec
 
 /// `out[q] = g[f[q]]` — f applied first, then g.
 fn compose_vec(f: &[u32], g: &[u32]) -> Vec<u32> {
+    OBS_GATHER_CALLS.inc();
     let mut out = vec![0u32; f.len()];
     gather_u32(g, f, &mut out);
     out
@@ -1027,9 +1036,12 @@ impl ScanEngine {
     ) -> Result<ChunkPlan, SfaError> {
         governor.check(0, 0)?;
         debug_assert!(!input.is_empty());
+        let _span = crate::obs::span!("scan/chunk_pass");
         let tbl = self.sfa_table()?;
         let chunk = self.chunk_len(input.len(), threads);
         let chunks: Vec<&[SymbolId]> = input.chunks(chunk).collect();
+        OBS_CHUNKS.add(chunks.len() as u64);
+        OBS_SYMBOLS.add(input.len() as u64);
         let k_way = self.opts.interleave;
         let mut scaled: Vec<u32> = vec![0; chunks.len()];
         let ctl = AbortControl::new(governor);
@@ -1084,9 +1096,12 @@ impl ScanEngine {
     ) -> Result<ChunkPlan, SfaError> {
         governor.check(0, 0)?;
         debug_assert!(!block.is_empty());
+        let _span = crate::obs::span!("scan/chunk_pass");
         let tbl = self.sfa_table()?;
         let chunk = self.chunk_len(block.len(), threads);
         let chunks: Vec<&[u8]> = block.chunks(chunk).collect();
+        OBS_CHUNKS.add(chunks.len() as u64);
+        OBS_SYMBOLS.add(block.len() as u64);
         let offsets: Vec<u64> = (0..chunks.len())
             .map(|i| block_offset + (i * chunk) as u64)
             .collect();

@@ -440,7 +440,12 @@ fn construct_impl<E: Elem>(
         Some(ckpt) => SeqEngine::<E>::resume(dfa, variant, state_budget, ckpt)?,
     };
     engine.run(governor, checkpoint)?;
-    Ok(engine.finish(t0))
+    let result = engine.finish(t0);
+    // Phase spans + global metrics are derived from the stats the
+    // stopwatch above already filled, so the span durations and the
+    // reported `total_secs` can never disagree.
+    crate::obs::observe_construction(&result.stats);
+    Ok(result)
 }
 
 #[cfg(test)]

@@ -66,12 +66,20 @@ impl ConstructionStats {
         }
     }
 
-    /// Compression ratio achieved by the retained store (1.0 when raw).
+    /// Compression ratio achieved by the retained store.
+    ///
+    /// `1.0` when nothing was measured (both byte counts zero — e.g. a
+    /// fresh/default stats value). When the retained store is empty but
+    /// the uncompressed size is not (every mapping compressed away), the
+    /// ratio is genuinely unbounded and this returns [`f64::INFINITY`]
+    /// rather than silently claiming "no compression". Callers that
+    /// serialize the value should treat non-finite ratios as "degenerate"
+    /// (the JSON layer renders them as `null`).
     pub fn compression_ratio(&self) -> f64 {
-        if self.stored_bytes == 0 {
-            1.0
-        } else {
-            self.uncompressed_bytes as f64 / self.stored_bytes as f64
+        match (self.uncompressed_bytes, self.stored_bytes) {
+            (0, 0) => 1.0,
+            (_, 0) => f64::INFINITY,
+            (u, s) => u as f64 / s as f64,
         }
     }
 
@@ -134,5 +142,34 @@ mod tests {
         assert_eq!(stats.compression_ratio(), 1.0);
         assert_eq!(stats.duplicate_rate(), 0.0);
         assert_eq!(stats.wasted_compare_rate(), 0.0);
+    }
+
+    /// Regression: an empty retained store with a non-zero uncompressed
+    /// size used to report `1.0` ("no compression") — the degenerate
+    /// all-compressed-away case must be distinguishable from the
+    /// nothing-measured case.
+    #[test]
+    fn compression_ratio_zero_field_combinations() {
+        // Nothing measured at all: neutral 1.0.
+        let nothing = ConstructionStats::default();
+        assert_eq!(nothing.compression_ratio(), 1.0);
+
+        // Empty retained store, non-empty uncompressed size: unbounded.
+        let all_compressed = ConstructionStats {
+            uncompressed_bytes: 4096,
+            stored_bytes: 0,
+            ..Default::default()
+        };
+        assert!(all_compressed.compression_ratio().is_infinite());
+        assert!(all_compressed.compression_ratio() > 0.0);
+
+        // Stored but nothing uncompressed (inflation-only corner): 0.0,
+        // not a division panic.
+        let inflated = ConstructionStats {
+            uncompressed_bytes: 0,
+            stored_bytes: 128,
+            ..Default::default()
+        };
+        assert_eq!(inflated.compression_ratio(), 0.0);
     }
 }

@@ -440,6 +440,13 @@ fn escape_into(s: &str, out: &mut String) {
 }
 
 fn number_to_string(n: f64) -> String {
+    // JSON has no representation for NaN or ±infinity; `format!("{n}")`
+    // would emit the literal `inf`/`NaN` and corrupt the document (e.g.
+    // a degenerate `compression_ratio()` of +∞). Render non-finite
+    // numbers as `null`, matching serde_json's behaviour.
+    if !n.is_finite() {
+        return "null".to_string();
+    }
     // Integers print without a trailing ".0" so records look like the
     // serde_json output they replace.
     if n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 {
@@ -594,6 +601,28 @@ mod tests {
         assert_eq!(v[0]["name"], "a");
         assert_eq!(v[1]["count"], 2u64);
         assert_eq!(v[2], Value::Null);
+    }
+
+    /// Regression: non-finite f64s used to print as the literal
+    /// `inf`/`NaN`, which is not valid JSON and broke re-parsing of any
+    /// report containing a degenerate ratio.
+    #[test]
+    fn non_finite_numbers_render_as_null() {
+        for bad in [f64::INFINITY, f64::NEG_INFINITY, f64::NAN] {
+            let row = Row {
+                name: "degenerate".into(),
+                count: 0,
+                ratio: bad,
+                maybe: Some(bad),
+            };
+            let text = to_string_pretty(&row);
+            let v = from_str(&text).unwrap_or_else(|e| panic!("invalid JSON for {bad}: {e:?}"));
+            assert_eq!(v["ratio"], Value::Null);
+            assert_eq!(v["maybe"], Value::Null);
+            let compact = to_string(&row);
+            assert!(from_str(&compact).is_ok());
+            assert!(!compact.contains("inf") && !compact.contains("NaN"));
+        }
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! Immutable scrape results — the data plane shared by both builds.
+//!
+//! Snapshots are plain data produced by
+//! [`MetricsRegistry::snapshot`](crate::MetricsRegistry::snapshot) (or a
+//! parser) and consumed by the exporters in [`crate::export`]. They are
+//! always compiled, independent of the `enabled` feature: a disabled
+//! build simply never produces a non-empty one.
+
+/// Point-in-time value of every metric in a registry, sorted by name
+/// (registries are name-keyed maps, so each metric appears exactly once).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters: `(name, merged value)`.
+    pub counters: Vec<(String, u64)>,
+    /// Last-write-wins gauges: `(name, value)`.
+    pub gauges: Vec<(String, i64)>,
+    /// Log₂-bucket histograms: `(name, snapshot)`.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// No metrics at all (the invariant state of a disabled build).
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Every metric name in the snapshot, sorted. Histograms contribute
+    /// their base name once (exporters expand `_bucket`/`_sum`/`_count`).
+    pub fn metric_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .counters
+            .iter()
+            .map(|(n, _)| n.clone())
+            .chain(self.gauges.iter().map(|(n, _)| n.clone()))
+            .chain(self.histograms.iter().map(|(n, _)| n.clone()))
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Value of a counter by name, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Value of a gauge by name, if present.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Histogram snapshot by name, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+}
+
+/// One histogram's merged state: total count, total sum, and the
+/// non-empty log₂ buckets.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observed values (saturating).
+    pub sum: u64,
+    /// `(inclusive upper bound, observations in bucket)` for every
+    /// non-empty bucket, ascending. Bucket `i` covers
+    /// `[2^i, 2^(i+1) - 1]` (bucket 0 covers `{0, 1}`), so the bound is
+    /// `2^(i+1) - 1`. Counts are per-bucket, **not** cumulative; the
+    /// Prometheus exporter accumulates them into `le` form.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_and_names() {
+        let snap = MetricsSnapshot {
+            counters: vec![("sfa_a_total".into(), 3)],
+            gauges: vec![("sfa_b_depth".into(), -2)],
+            histograms: vec![(
+                "sfa_c_nanos".into(),
+                HistogramSnapshot {
+                    count: 2,
+                    sum: 10,
+                    buckets: vec![(1, 1), (7, 1)],
+                },
+            )],
+        };
+        assert!(!snap.is_empty());
+        assert_eq!(snap.counter("sfa_a_total"), Some(3));
+        assert_eq!(snap.gauge("sfa_b_depth"), Some(-2));
+        assert_eq!(snap.histogram("sfa_c_nanos").unwrap().count, 2);
+        assert_eq!(snap.counter("missing"), None);
+        assert_eq!(
+            snap.metric_names(),
+            vec!["sfa_a_total", "sfa_b_depth", "sfa_c_nanos"]
+        );
+        assert!((snap.histogram("sfa_c_nanos").unwrap().mean() - 5.0).abs() < 1e-12);
+    }
+}

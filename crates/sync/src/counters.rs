@@ -13,9 +13,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One set of contention counters (typically one per data structure).
 /// All increments are `Relaxed`: counters are diagnostics, not
-/// synchronization.
+/// synchronization. `snapshot`/`reset` coherence is provided by a seqlock
+/// epoch: `reset` holds the epoch odd while it zeroes the fields, and
+/// `snapshot` retries until it reads a stable even epoch on both sides.
 #[derive(Debug, Default)]
 pub struct ContentionCounters {
+    /// Seqlock word: odd while a reset is zeroing the fields. Writers
+    /// (resets) claim it with CAS so concurrent resets serialize.
+    epoch: CachePadded<AtomicU64>,
     cas_failures: CachePadded<AtomicU64>,
     cas_successes: CachePadded<AtomicU64>,
     steal_attempts: CachePadded<AtomicU64>,
@@ -77,26 +82,72 @@ impl ContentionCounters {
         self.dequeues.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Read all counters.
+    /// Read all counters coherently with respect to [`reset`](Self::reset).
+    ///
+    /// Retries while a reset is in flight (odd epoch, or epoch changed
+    /// mid-read), so a snapshot never mixes pre-reset and post-reset
+    /// values from the reset itself. Concurrent *increments* are still
+    /// racy by design (they are `Relaxed` diagnostics), so the
+    /// consumer-side counter of each producer/consumer pair is loaded
+    /// first — an increment landing mid-snapshot can then only make the
+    /// pair look conservative — and the pairs are clamped as a final
+    /// backstop. The published invariants are therefore unconditional:
+    /// `enqueues >= dequeues` and `steal_attempts >= steal_successes` in
+    /// every snapshot.
     pub fn snapshot(&self) -> ContentionSnapshot {
-        ContentionSnapshot {
-            cas_failures: self.cas_failures.load(Ordering::Relaxed),
-            cas_successes: self.cas_successes.load(Ordering::Relaxed),
-            steal_attempts: self.steal_attempts.load(Ordering::Relaxed),
-            steal_successes: self.steal_successes.load(Ordering::Relaxed),
-            enqueues: self.enqueues.load(Ordering::Relaxed),
-            dequeues: self.dequeues.load(Ordering::Relaxed),
+        loop {
+            let before = self.epoch.load(Ordering::Acquire);
+            if before & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            // Consumer side of each pair first (see doc comment above).
+            let dequeues = self.dequeues.load(Ordering::Acquire);
+            let steal_successes = self.steal_successes.load(Ordering::Acquire);
+            let cas_failures = self.cas_failures.load(Ordering::Acquire);
+            let cas_successes = self.cas_successes.load(Ordering::Acquire);
+            let steal_attempts = self.steal_attempts.load(Ordering::Acquire);
+            let enqueues = self.enqueues.load(Ordering::Acquire);
+            if self.epoch.load(Ordering::Acquire) != before {
+                std::hint::spin_loop();
+                continue;
+            }
+            return ContentionSnapshot {
+                cas_failures,
+                cas_successes,
+                steal_attempts,
+                steal_successes: steal_successes.min(steal_attempts),
+                enqueues,
+                dequeues: dequeues.min(enqueues),
+            };
         }
     }
 
-    /// Zero everything.
+    /// Zero everything, coherently with respect to concurrent snapshots.
     pub fn reset(&self) {
+        // Claim the seqlock: flip the epoch odd. CAS (rather than a blind
+        // increment) serializes concurrent resets, otherwise two resets
+        // could leave the epoch even while fields are still being zeroed.
+        let mut epoch;
+        loop {
+            epoch = self.epoch.load(Ordering::Relaxed);
+            if epoch & 1 == 0
+                && self
+                    .epoch
+                    .compare_exchange_weak(epoch, epoch + 1, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+            {
+                break;
+            }
+            std::hint::spin_loop();
+        }
         self.cas_failures.store(0, Ordering::Relaxed);
         self.cas_successes.store(0, Ordering::Relaxed);
         self.steal_attempts.store(0, Ordering::Relaxed);
         self.steal_successes.store(0, Ordering::Relaxed);
         self.enqueues.store(0, Ordering::Relaxed);
         self.dequeues.store(0, Ordering::Relaxed);
+        self.epoch.store(epoch + 2, Ordering::Release);
     }
 }
 
@@ -131,5 +182,85 @@ mod tests {
         assert_eq!(s.conflict_events(), 2);
         c.reset();
         assert_eq!(c.snapshot(), ContentionSnapshot::default());
+    }
+
+    /// Regression test for snapshot/reset incoherence: before the seqlock
+    /// epoch, a snapshot racing `reset` could observe `dequeues >
+    /// enqueues` (enqueue counted before the reset zeroed it, matching
+    /// dequeue counted after) or `steal_successes > steal_attempts`.
+    /// Hammer increments, resets, and snapshots concurrently and assert
+    /// the pair invariants hold in every snapshot ever taken.
+    #[test]
+    fn snapshot_invariants_hold_under_concurrent_reset() {
+        use std::sync::atomic::AtomicBool;
+
+        let c = ContentionCounters::new();
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        c.enqueue();
+                        c.dequeue();
+                        c.steal_attempt();
+                        if i.is_multiple_of(3) {
+                            c.steal_success();
+                        }
+                        i += 1;
+                    }
+                });
+            }
+            scope.spawn(|| {
+                while !stop.load(Ordering::Relaxed) {
+                    c.reset();
+                    std::thread::yield_now();
+                }
+            });
+            for _ in 0..2 {
+                scope.spawn(|| {
+                    let mut taken = 0u32;
+                    while !stop.load(Ordering::Relaxed) || taken == 0 {
+                        let s = c.snapshot();
+                        assert!(
+                            s.enqueues >= s.dequeues,
+                            "dequeues {} outran enqueues {}",
+                            s.dequeues,
+                            s.enqueues
+                        );
+                        assert!(
+                            s.steal_attempts >= s.steal_successes,
+                            "steal_successes {} outran steal_attempts {}",
+                            s.steal_successes,
+                            s.steal_attempts
+                        );
+                        // conflict_events must never wrap either.
+                        assert!(s.conflict_events() < u64::MAX / 2);
+                        taken += 1;
+                    }
+                });
+            }
+            std::thread::sleep(std::time::Duration::from_millis(200));
+            stop.store(true, Ordering::Relaxed);
+        });
+    }
+
+    #[test]
+    fn reset_is_serialized_and_leaves_epoch_even() {
+        let c = ContentionCounters::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        c.enqueue();
+                        c.reset();
+                    }
+                });
+            }
+        });
+        // After all resets retire, a snapshot must not spin forever and the
+        // counters must be readable (epoch even).
+        let s = c.snapshot();
+        assert!(s.enqueues >= s.dequeues);
     }
 }
