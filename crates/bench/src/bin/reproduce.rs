@@ -11,13 +11,15 @@
 //! reproduce matching          §IV-D     matching break-even analysis
 //! reproduce scan-throughput   PR-3      sequential vs pooled vs interleaved vs compact scan
 //! reproduce obs-overhead      DESIGN §12 metrics-recording overhead A/B (budget: ≤2%)
+//! reproduce serve-load        DESIGN §13 closed-loop load against the `sfa serve` daemon
 //! reproduce hashes            §III-A    fingerprint throughput comparison
 //! reproduce ablations         DESIGN    fingerprint / scheduler / compression ablations
 //! reproduce all               everything above with default sizes
 //! ```
 //!
 //! Options: `--quick` (smaller sweeps), `--threads 1,2,4,8`, `--n 500`
-//! (rN size), `--patterns N` (synthetic pattern count), `--runs 3`.
+//! (rN size), `--patterns N` (synthetic pattern count), `--runs 3`,
+//! `--connections N` (serve-load client connections, default 8).
 //! Every experiment prints a table and writes `results/<name>.json`.
 //!
 //! Run in release mode: `cargo run --release -p sfa-bench --bin reproduce -- all`.
@@ -40,6 +42,7 @@ struct Config {
     rn_size: usize,
     patterns: usize,
     runs: usize,
+    connections: usize,
 }
 
 impl Config {
@@ -50,6 +53,7 @@ impl Config {
             rn_size: 500,
             patterns: 30,
             runs: 3,
+            connections: 8,
         };
         let mut i = 0;
         while i < argv.len() {
@@ -90,6 +94,14 @@ impl Config {
                         .map_err(|_| "--runs expects a number")?;
                     i += 2;
                 }
+                "--connections" => {
+                    cfg.connections = argv
+                        .get(i + 1)
+                        .ok_or("--connections expects a number")?
+                        .parse()
+                        .map_err(|_| "--connections expects a number")?;
+                    i += 2;
+                }
                 other => return Err(format!("unknown option {other:?}")),
             }
         }
@@ -127,6 +139,7 @@ fn main() -> ExitCode {
         "match-throughput" => match_throughput(&cfg),
         "scan-throughput" => scan_throughput(&cfg),
         "obs-overhead" => obs_overhead(&cfg),
+        "serve-load" => serve_load(&cfg),
         "hashes" => hashes(&cfg),
         "ablations" => ablations(&cfg),
         "all" => all(&cfg),
@@ -154,6 +167,7 @@ fn all(cfg: &Config) -> Result<(), String> {
         ("match-throughput", match_throughput),
         ("scan-throughput", scan_throughput),
         ("obs-overhead", obs_overhead),
+        ("serve-load", serve_load),
         ("hashes", hashes),
         ("ablations", ablations),
     ] {
@@ -806,7 +820,6 @@ fn match_throughput(cfg: &Config) -> Result<(), String> {
 /// between the last two columns isolates the table format, the delta
 /// between pooled and interleaved isolates load-latency hiding.
 fn scan_throughput(cfg: &Config) -> Result<(), String> {
-    use sfa_core::budget::Governor;
     use sfa_sync::pool::TaskPool;
 
     let alpha = sfa_automata::Alphabet::amino_acids();
@@ -823,7 +836,10 @@ fn scan_throughput(cfg: &Config) -> Result<(), String> {
     let matcher = ParallelMatcher::new(&sfa, &dfa).map_err(|e| e.to_string())?;
     let tbl = matcher.scan().dfa_table().map_err(|e| e.to_string())?;
     let pool = TaskPool::shared();
-    let governor = Governor::unlimited();
+    // The compact arm goes through the request API on a private pool of
+    // exactly `threads` workers, mirroring the chunking of the old
+    // pool+governor call.
+    let runtime = MatchRuntime::new(threads);
 
     let sizes: &[usize] = if cfg.quick {
         &[1 << 20]
@@ -858,10 +874,14 @@ fn scan_throughput(cfg: &Config) -> Result<(), String> {
         let sequential_secs = time(&|| match_sequential(&dfa, &text));
         let pooled_secs = time(&|| pooled_scan(pool, &sfa, &dfa, &text, threads));
         let interleaved_secs = time(&|| interleaved_scan(&sfa, &dfa, &text, interleave));
+        // Built once outside the timed closure: the request owns its
+        // input, so the clone happens per input size, not per run.
+        let request = MatchRequest::symbols(text.clone());
         let compact_secs = time(&|| {
-            matcher
-                .matches_on(pool, &governor, &text, threads)
+            runtime
+                .run(&matcher, &request)
                 .expect("scan-engine match failed")
+                .verdict
         });
 
         let row = ScanThroughputRow {
@@ -953,9 +973,7 @@ fn interleaved_scan(sfa: &Sfa, dfa: &Dfa, text: &[u8], k: usize) -> bool {
 /// obs-compiled-out build both arms are identical no-ops and the
 /// overhead is structurally 0 — reported via the `compiled` column.
 fn obs_overhead(cfg: &Config) -> Result<(), String> {
-    use sfa_core::budget::Governor;
     use sfa_core::obs;
-    use sfa_sync::pool::TaskPool;
 
     let alpha = sfa_automata::Alphabet::amino_acids();
     let dfa = sfa_automata::pipeline::Pipeline::search(alpha)
@@ -968,8 +986,7 @@ fn obs_overhead(cfg: &Config) -> Result<(), String> {
         .sfa;
     let threads = *cfg.threads.last().unwrap();
     let matcher = ParallelMatcher::new(&sfa, &dfa).map_err(|e| e.to_string())?;
-    let pool = TaskPool::shared();
-    let governor = Governor::unlimited();
+    let runtime = MatchRuntime::new(threads);
 
     let len: usize = if cfg.quick { 4 << 20 } else { 32 << 20 };
     let runs = cfg.runs.max(if cfg.quick { 5 } else { 9 });
@@ -979,13 +996,15 @@ fn obs_overhead(cfg: &Config) -> Result<(), String> {
     let batch = if cfg.quick { 8 } else { 4 };
     let text = protein_text(len, 0xACE5);
     let expected = match_sequential(&dfa, &text);
+    let request = MatchRequest::symbols(text.clone());
 
     let pass = || {
         let (s, ()) = time_once(|| {
             for _ in 0..batch {
-                let hit = matcher
-                    .matches_on(pool, &governor, &text, threads)
-                    .expect("scan-engine match failed");
+                let hit = runtime
+                    .run(&matcher, &request)
+                    .expect("scan-engine match failed")
+                    .verdict;
                 assert_eq!(hit, expected, "obs A/B arms must agree on the verdict");
             }
         });
@@ -1050,6 +1069,255 @@ fn obs_overhead(cfg: &Config) -> Result<(), String> {
             row.overhead_pct
         ));
     }
+    Ok(())
+}
+
+// ------------------------------------------------------------- serve-load
+
+/// The serve-load pattern mix (regexes over the amino-acid alphabet).
+const SERVE_PATTERNS: &[(&str, &str)] = &[("rg", "RG"), ("rgd", "RGD"), ("motif", "R[GA]N")];
+
+#[derive(Debug, Default, Clone)]
+struct ServeTally {
+    sent: u64,
+    served: u64,
+    rejected: u64,
+    mismatches: u64,
+}
+
+/// Closed-loop load against a real `sfa serve` daemon on an ephemeral
+/// port: two tenants × `--connections` client connections × a
+/// three-pattern mix. Every verdict is cross-checked against the
+/// sequential DFA oracle; latency quantiles come from obs histograms.
+/// The `bravo` tenant's byte quota is sized to exhaust mid-run, so the
+/// run also demonstrates that typed `TENANT_OVER_QUOTA` rejections do
+/// not disturb the unlimited tenant.
+fn serve_load(cfg: &Config) -> Result<(), String> {
+    use sfa_bench::records::ServeLoadRow;
+    use sfa_core::obs::MetricsRegistry;
+    use sfa_serve::client::{ServeClient, ServeReply};
+    use sfa_serve::tenant::TenantSpec;
+    use sfa_serve::ServeConfig;
+    use std::sync::Arc;
+
+    let connections = cfg.connections.max(2);
+    let per_conn: u64 = if cfg.quick { 60 } else { 200 };
+
+    let dir = std::env::temp_dir().join(format!("sfa-serve-load-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    for (id, regex) in SERVE_PATTERNS {
+        std::fs::write(dir.join(format!("{id}.pat")), format!("{regex}\n"))
+            .map_err(|e| e.to_string())?;
+    }
+
+    let inputs: Arc<Vec<Vec<u8>>> = Arc::new(
+        [4096usize, 16384, 65536]
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| protein_text(len, 0xBEEF + i as u64))
+            .collect(),
+    );
+    // Size bravo's quota so it admits roughly a quarter of its requests
+    // and then collects typed rejections for the rest of the run.
+    let avg_len: u64 = inputs.iter().map(|t| t.len() as u64).sum::<u64>() / inputs.len() as u64;
+    let bravo_quota = avg_len * per_conn / 4;
+
+    let config = ServeConfig::new("127.0.0.1:0", &dir)
+        .with_tenants(vec![
+            TenantSpec::unlimited("alpha"),
+            TenantSpec::limited("bravo", bravo_quota),
+        ])
+        .with_workers(4);
+    let handle = sfa_serve::server::start(&config)?;
+    let addr = handle.addr();
+    let state = handle.state().clone();
+
+    // The sequential oracle, per (pattern, input), straight off the
+    // registry's compiled DFAs.
+    let oracle: Arc<Vec<Vec<bool>>> = Arc::new(
+        SERVE_PATTERNS
+            .iter()
+            .map(|(id, _)| {
+                let entry = state
+                    .registry
+                    .resolve(id)
+                    .ok_or_else(|| format!("pattern {id:?} missing from the registry"))?;
+                Ok(inputs
+                    .iter()
+                    .map(|t| match_sequential(entry.dfa, t))
+                    .collect())
+            })
+            .collect::<Result<_, String>>()?,
+    );
+
+    // Client-side latency histograms: one per tenant plus an aggregate.
+    let metrics = Arc::new(MetricsRegistry::new());
+
+    println!(
+        "serve-load: {connections} connections x {per_conn} requests, \
+         2 tenants (bravo quota {bravo_quota} bytes), {} patterns, addr {addr}",
+        SERVE_PATTERNS.len()
+    );
+
+    let t0 = std::time::Instant::now();
+    let mut joins = Vec::new();
+    for conn in 0..connections {
+        // The last connection carries the quota-limited tenant.
+        let tenant = if conn == connections - 1 {
+            "bravo"
+        } else {
+            "alpha"
+        };
+        let inputs = Arc::clone(&inputs);
+        let oracle = Arc::clone(&oracle);
+        let metrics = Arc::clone(&metrics);
+        joins.push(std::thread::spawn(move || -> Result<ServeTally, String> {
+            let mut client = ServeClient::connect(addr).map_err(|e| e.to_string())?;
+            client
+                .set_timeout(std::time::Duration::from_secs(30))
+                .map_err(|e| e.to_string())?;
+            let hist = metrics.histogram(&format!("sfa_serve_load_{tenant}_nanos"));
+            let all = metrics.histogram("sfa_serve_load_all_nanos");
+            let mut tally = ServeTally::default();
+            for i in 0..per_conn {
+                let p = (conn + i as usize) % SERVE_PATTERNS.len();
+                let x = (conn * 7 + i as usize * 3) % inputs.len();
+                let request =
+                    MatchRequest::symbols(inputs[x].clone()).with_pattern(SERVE_PATTERNS[p].0);
+                let t = std::time::Instant::now();
+                let reply = client.request(tenant, &request)?;
+                let nanos = t.elapsed().as_nanos() as u64;
+                tally.sent += 1;
+                match reply {
+                    ServeReply::Ok { outcome, .. } => {
+                        hist.observe(nanos);
+                        all.observe(nanos);
+                        tally.served += 1;
+                        if outcome.verdict != oracle[p][x] {
+                            tally.mismatches += 1;
+                        }
+                    }
+                    ServeReply::Rejected { code, .. } if code == "TENANT_OVER_QUOTA" => {
+                        tally.rejected += 1;
+                    }
+                    ServeReply::Rejected { code, message, .. } => {
+                        return Err(format!("unexpected rejection {code}: {message}"));
+                    }
+                }
+            }
+            Ok(tally)
+        }));
+    }
+
+    let mut per_tenant: std::collections::BTreeMap<&str, (usize, ServeTally)> =
+        std::collections::BTreeMap::new();
+    for (conn, join) in joins.into_iter().enumerate() {
+        let tenant = if conn == connections - 1 {
+            "bravo"
+        } else {
+            "alpha"
+        };
+        let tally = join
+            .join()
+            .map_err(|_| "load connection panicked".to_string())??;
+        let slot = per_tenant.entry(tenant).or_default();
+        slot.0 += 1;
+        slot.1.sent += tally.sent;
+        slot.1.served += tally.served;
+        slot.1.rejected += tally.rejected;
+        slot.1.mismatches += tally.mismatches;
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    handle.shutdown_and_join();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mismatches: u64 = per_tenant.values().map(|(_, t)| t.mismatches).sum();
+    if mismatches > 0 {
+        return Err(format!(
+            "{mismatches} verdicts disagree with the sequential oracle"
+        ));
+    }
+    let alpha = &per_tenant["alpha"].1;
+    let bravo = &per_tenant["bravo"].1;
+    if bravo.rejected == 0 {
+        return Err("bravo never hit its quota — the run exercised no admission path".into());
+    }
+    if alpha.rejected > 0 {
+        return Err(format!(
+            "unlimited tenant alpha was rejected {} times",
+            alpha.rejected
+        ));
+    }
+    if alpha.served == 0 || bravo.served == 0 {
+        return Err("a tenant was never served".into());
+    }
+
+    let snapshot = metrics.snapshot();
+    let quantiles = |name: &str| -> (f64, f64, f64) {
+        match snapshot.histogram(name) {
+            Some(h) => (
+                h.quantile(0.5) / 1e3,
+                h.quantile(0.99) / 1e3,
+                h.quantile(0.999) / 1e3,
+            ),
+            None => (0.0, 0.0, 0.0),
+        }
+    };
+    let mut rows = Vec::new();
+    for (tenant, (conns, tally)) in &per_tenant {
+        let (p50, p99, p999) = quantiles(&format!("sfa_serve_load_{tenant}_nanos"));
+        rows.push(ServeLoadRow {
+            tenant: tenant.to_string(),
+            connections: *conns,
+            requests: tally.sent,
+            served: tally.served,
+            rejected: tally.rejected,
+            qps: tally.served as f64 / elapsed,
+            p50_us: p50,
+            p99_us: p99,
+            p999_us: p999,
+        });
+    }
+    let total_served: u64 = per_tenant.values().map(|(_, t)| t.served).sum();
+    let total_sent: u64 = per_tenant.values().map(|(_, t)| t.sent).sum();
+    let total_rejected: u64 = per_tenant.values().map(|(_, t)| t.rejected).sum();
+    let (p50, p99, p999) = quantiles("sfa_serve_load_all_nanos");
+    rows.push(ServeLoadRow {
+        tenant: "(all)".into(),
+        connections,
+        requests: total_sent,
+        served: total_served,
+        rejected: total_rejected,
+        qps: total_served as f64 / elapsed,
+        p50_us: p50,
+        p99_us: p99,
+        p999_us: p999,
+    });
+
+    println!(
+        "{:<8} {:>5} {:>8} {:>8} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "tenant", "conns", "sent", "served", "429s", "qps", "p50 us", "p99 us", "p999 us"
+    );
+    for r in &rows {
+        println!(
+            "{:<8} {:>5} {:>8} {:>8} {:>8} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+            r.tenant,
+            r.connections,
+            r.requests,
+            r.served,
+            r.rejected,
+            r.qps,
+            r.p50_us,
+            r.p99_us,
+            r.p999_us
+        );
+    }
+    println!("verdicts: {total_served} served, all agree with the sequential oracle");
+
+    records::write_record("serve_load", &rows).map_err(|e| e.to_string())?;
+    std::fs::copy("results/serve_load.json", "BENCH_serve.json").map_err(|e| e.to_string())?;
+    println!("wrote results/serve_load.json and BENCH_serve.json");
     Ok(())
 }
 

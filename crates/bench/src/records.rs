@@ -303,6 +303,44 @@ impl ObsOverheadRow {
     }
 }
 
+/// One row of the serve-load experiment: one tenant's closed-loop view
+/// of the `sfa serve` daemon (a `(all)` row aggregates every tenant).
+/// Latency quantiles come from obs histograms (log₂ buckets, linearly
+/// interpolated), in microseconds; only served requests are timed.
+#[derive(Debug, Clone)]
+pub struct ServeLoadRow {
+    /// Tenant name, or `(all)` for the aggregate.
+    pub tenant: String,
+    /// Concurrent connections that carried this tenant's traffic.
+    pub connections: usize,
+    /// Requests sent.
+    pub requests: u64,
+    /// Requests answered with a match outcome.
+    pub served: u64,
+    /// Requests rejected over quota (typed `TENANT_OVER_QUOTA`).
+    pub rejected: u64,
+    /// Served requests per second of load-loop wall time.
+    pub qps: f64,
+    /// Median service latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile service latency, microseconds.
+    pub p99_us: f64,
+    /// 99.9th-percentile service latency, microseconds.
+    pub p999_us: f64,
+}
+
+sfa_json::impl_to_json!(ServeLoadRow {
+    tenant,
+    connections,
+    requests,
+    served,
+    rejected,
+    qps,
+    p50_us,
+    p99_us,
+    p999_us,
+});
+
 /// One row of the hash-throughput experiment (E8 / §III-A).
 #[derive(Debug, Clone)]
 pub struct HashRow {

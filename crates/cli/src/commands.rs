@@ -404,23 +404,29 @@ pub fn do_match(parsed: &Parsed) -> Result<(), String> {
         // Feed per-query stats into the process-global registry so a
         // `--metrics-out` snapshot carries `sfa_match_*`.
         let mut engine = engine.metrics(obs::global());
+        let request = MatchRequest::symbols(text.clone()).with_budget(budget.clone());
         let t0 = std::time::Instant::now();
-        let hit = engine.matches(&text);
+        let outcome = match engine.run(&request) {
+            Ok(outcome) => outcome,
+            Err(err) => {
+                // Governance stopped the governed tiers mid-query; the
+                // caller still asked for a verdict, so answer on the
+                // ungoverned oracle.
+                eprintln!("# governed match aborted ({err}); answering sequentially");
+                engine
+                    .run(&MatchRequest::symbols(text.clone()).with_tier(TierPolicy::Sequential))
+                    .map_err(|e| e.to_string())?
+            }
+        };
         let secs = t0.elapsed().as_secs_f64();
-        if hit != match_sequential(&dfa, &text) {
+        if outcome.verdict != match_sequential(&dfa, &text) {
             return Err("engine and sequential matchers disagree (bug)".into());
         }
         println!("text length          {} residues", text.len());
-        println!("match                {hit}");
-        println!("engine tier          {}", engine.tier());
-        let stats = engine.stats();
-        if stats.degradations > 0 {
-            if let Some(err) = &stats.last_error {
-                println!(
-                    "degraded             {}x (last cause: {err})",
-                    stats.degradations
-                );
-            }
+        println!("match                {}", outcome.verdict);
+        println!("engine tier          {}", outcome.tier);
+        if let Some(reason) = &outcome.degraded {
+            println!("degraded             {reason}");
         }
         println!("engine match         {secs:.4} s");
         return write_metrics_snapshot(parsed);
@@ -455,8 +461,11 @@ pub fn do_match(parsed: &Parsed) -> Result<(), String> {
         }
         None => ParallelMatcher::new(&result.sfa, &dfa).map_err(|e| e.to_string())?,
     };
+    let runtime = MatchRuntime::new(threads);
+    let request = MatchRequest::symbols(text.clone());
     let t1 = std::time::Instant::now();
-    let sfa_match = matcher.matches(&text, threads);
+    let outcome = runtime.run(&matcher, &request).map_err(|e| e.to_string())?;
+    let sfa_match = outcome.verdict;
     let sfa_secs = t1.elapsed().as_secs_f64();
     record_cli_match(MatchTier::FullSfa, text.len(), sfa_secs);
 
@@ -489,8 +498,6 @@ fn match_sequential_oracle(dfa: &sfa_automata::Dfa, text: &[u8]) -> bool {
 /// streams as-is); any other non-alphabet byte is a typed error.
 fn do_match_stream(parsed: &Parsed, path: &str) -> Result<(), String> {
     let dfa = dfa_from_args(parsed)?;
-    let alpha = Alphabet::amino_acids();
-    let classifier = ByteClassifier::skipping_ascii_whitespace(&alpha);
     let block_bytes = match parsed.opt("block-bytes") {
         Some(s) => crate::args::parse_bytes(s)?,
         None => sfa_core::runtime::DEFAULT_BLOCK_BYTES,
@@ -509,19 +516,23 @@ fn do_match_stream(parsed: &Parsed, path: &str) -> Result<(), String> {
         None => MatchRuntime::shared(),
     };
     engine.set_runtime(runtime.with_block_bytes(block_bytes));
-    let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let request = MatchRequest::file(path)
+        .with_classifier(ClassifierMode::SkipWhitespace)
+        .with_budget(budget.clone());
     let t0 = std::time::Instant::now();
-    let (hit, stats) = engine
-        .match_stream(&classifier, file)
-        .map_err(|e| e.to_string())?;
+    let outcome = engine.run(&request).map_err(|e| e.to_string())?;
     let secs = t0.elapsed().as_secs_f64();
+    let stats = &outcome.stats;
     println!("stream               {path}");
     println!(
         "streamed             {} bytes in {} blocks of {} ({} chunk scans)",
         stats.bytes, stats.blocks, block_bytes, stats.chunks
     );
-    println!("match                {hit}");
-    println!("engine tier          {}", stats.tier);
+    println!("match                {}", outcome.verdict);
+    println!("engine tier          {}", outcome.tier);
+    if let Some(reason) = &outcome.degraded {
+        println!("degraded             {reason}");
+    }
     // Sub-resolution matches get a clamped-but-plausible rate from
     // `bytes_per_sec()`; flag them rather than printing it as measured.
     let untimed = if stats.untimed() { " [untimed]" } else { "" };
@@ -531,6 +542,87 @@ fn do_match_stream(parsed: &Parsed, path: &str) -> Result<(), String> {
         stats.queue_depth
     );
     write_metrics_snapshot(parsed)
+}
+
+/// `sfa serve` — run the multi-tenant match daemon until SIGTERM or
+/// SIGINT, then drain gracefully (in-flight requests complete).
+pub fn serve(parsed: &Parsed) -> Result<(), String> {
+    let patterns_dir = parsed.opt("patterns-dir").ok_or(
+        "usage: sfa serve --patterns-dir <dir> [--listen <host:port>] \
+         [--tenants name=<bytes|unlimited>,...] [--workers <n>] \
+         [--state-budget <n>] [--match-threads <n>]",
+    )?;
+    let listen = parsed.opt("listen").unwrap_or("127.0.0.1:7878");
+    let mut tenants = Vec::new();
+    if let Some(list) = parsed.opt("tenants") {
+        for item in list.split(',').filter(|s| !s.trim().is_empty()) {
+            tenants.push(sfa_serve::tenant::TenantSpec::parse(item.trim())?);
+        }
+    }
+    let config = sfa_serve::ServeConfig::new(listen, patterns_dir)
+        .with_tenants(tenants)
+        .with_workers(parsed.num("workers", 0)?)
+        .with_state_budget(parsed.num("state-budget", 1u64 << 20)?)
+        .with_match_threads(parsed.num("match-threads", 0)?);
+    let handle = sfa_serve::server::start(&config)?;
+
+    let state = handle.state().clone();
+    eprintln!(
+        "# sfa serve listening on {} ({} patterns: {} reloaded from artifacts, {} constructed)",
+        handle.addr(),
+        state.registry.entries().len(),
+        state.registry.reloaded(),
+        state.registry.constructed(),
+    );
+    for entry in state.registry.entries() {
+        match entry.degraded_reason() {
+            Some(reason) => eprintln!(
+                "#   pattern {:<12} {}  tier {} ({reason})",
+                entry.id,
+                entry.hash,
+                entry.tier()
+            ),
+            None => eprintln!(
+                "#   pattern {:<12} {}  tier {}",
+                entry.id,
+                entry.hash,
+                entry.tier()
+            ),
+        }
+    }
+    for tenant in state.tenants.iter() {
+        match tenant.spec.max_bytes {
+            Some(max) => eprintln!("#   tenant  {:<12} quota {max} bytes", tenant.spec.name),
+            None => eprintln!("#   tenant  {:<12} unlimited", tenant.spec.name),
+        }
+    }
+
+    wait_for_shutdown();
+    eprintln!("# signal received; draining");
+    handle.shutdown_and_join();
+    eprintln!("# drained cleanly");
+    write_metrics_snapshot(parsed)
+}
+
+/// Block until SIGTERM or SIGINT arrives.
+#[cfg(unix)]
+fn wait_for_shutdown() {
+    sfa_serve::sys::install_shutdown_handler();
+    while !sfa_serve::sys::shutdown_signalled() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+}
+
+/// Off unix there are no signal hooks: park until stdin closes
+/// (Ctrl-C still kills the process, skipping the graceful drain).
+#[cfg(not(unix))]
+fn wait_for_shutdown() {
+    use std::io::BufRead;
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    while stdin.lock().read_line(&mut line).map_or(false, |n| n > 0) {
+        line.clear();
+    }
 }
 
 /// `sfa survey` — codec survey over sampled SFA states (E6 methodology).

@@ -50,6 +50,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "compile" => commands::compile(&parsed),
         "build" => commands::build(&parsed),
         "match" => commands::do_match(&parsed),
+        "serve" => commands::serve(&parsed),
         "survey" => commands::survey(&parsed),
         "verify" => commands::verify(&parsed),
         "workloads" => commands::workloads(&parsed),
@@ -74,6 +75,7 @@ COMMANDS:
     compile     compile a pattern to a minimal DFA (Grail+ text on stdout)
     build       construct the SFA of a pattern; print statistics
     match       match text against a pattern via parallel SFA matching
+    serve       run the multi-tenant match daemon (binary + HTTP faces)
     survey      run the codec survey over sampled SFA states
     verify      cross-check parallel vs sequential construction
     workloads   list the embedded PROSITE pattern sample
@@ -128,7 +130,20 @@ COMMON OPTIONS:
     --metrics-out <path> build/match: scrape the process-global metrics
                          registry to a Prometheus text snapshot on exit
                          (display it with `sfa metrics --file <path>`)
-    --file <path>        metrics: the snapshot to display"
+    --file <path>        metrics: the snapshot to display
+
+SERVE OPTIONS:
+    --patterns-dir <d>   directory of <id>.pat pattern files (required);
+                         compiled SFAs are cached in <d>/artifacts/
+    --listen <addr>      bind address (default 127.0.0.1:7878; port 0
+                         picks an ephemeral port)
+    --tenants <list>     comma-separated name=<bytes|unlimited> quotas
+                         (K/M/G suffixes; default: one unlimited tenant
+                         named `default`)
+    --workers <n>        event-loop workers (default: one per core)
+    --state-budget <n>   SFA state cap per pattern; larger patterns
+                         serve on the sequential tier (default 1048576)
+    --match-threads <n>  match-pool threads (default: one per core)"
     );
 }
 

@@ -25,6 +25,7 @@ use crate::lazy::LazySfa;
 use crate::matcher::{match_sequential, ParallelMatcher};
 use crate::obs::{MetricsRegistry, SpanRecord, Subscriber};
 use crate::parallel::{construct_parallel_governed, ParallelOptions};
+use crate::request::{ClassifierMode, InputSource, MatchOutcome, MatchRequest, TierPolicy};
 use crate::runtime::{ByteClassifier, Classified, MatchRuntime, MatchStats};
 use crate::scan::{ScanEngine, ScanOptions};
 use crate::sfa::Sfa;
@@ -255,10 +256,11 @@ impl<'d> MatchEngine<'d> {
     /// exhausts its space budget mid-query — or a full tier whose worker
     /// panics — degrades to sequential and still answers. A query
     /// cancelled mid-match is also answered sequentially (the caller
-    /// asked for a verdict); use [`Self::try_matches`] to receive
-    /// cancellation as a typed error instead.
+    /// asked for a verdict); use [`Self::run`] to receive cancellation
+    /// as a typed error instead.
     pub fn matches(&mut self, input: &[SymbolId]) -> bool {
-        match self.try_matches(input) {
+        let governor = self.match_governor();
+        match self.run_symbols(input, &governor) {
             Ok((verdict, _)) => verdict,
             Err(_) => {
                 self.stats.sequential_matches += 1;
@@ -267,17 +269,86 @@ impl<'d> MatchEngine<'d> {
         }
     }
 
+    /// Serve one [`MatchRequest`] — the unified entry point the CLI and
+    /// the `sfa serve` daemon share. The request's budget is enforced by
+    /// a fresh [`Governor`] carrying the engine's cancel token, so a
+    /// server can still abort in-flight queries.
+    ///
+    /// Tier policy:
+    /// * [`TierPolicy::Auto`] — the ordinary degradation ladder: the
+    ///   current tier answers, and governance failures step the engine
+    ///   down rather than propagate (see [`Self::matches`]).
+    /// * [`TierPolicy::Sequential`] — the plain-DFA oracle, whatever
+    ///   tier the engine is on. Used for verdict cross-checks.
+    /// * [`TierPolicy::RequireFull`] — answer on the full tier or fail
+    ///   with [`SfaError::InvalidOptions`]; never degrade silently.
+    ///
+    /// The outcome carries the verdict, the tier that served it, the
+    /// query's [`MatchStats`], and — when the engine has degraded — the
+    /// governance error that caused the most recent step-down.
+    pub fn run(&mut self, request: &MatchRequest) -> Result<MatchOutcome, SfaError> {
+        if request.tier == TierPolicy::RequireFull && !matches!(self.backend, Backend::Full { .. })
+        {
+            return Err(SfaError::InvalidOptions(
+                "tier policy requires the full SFA tier, but the engine has degraded",
+            ));
+        }
+        let governor = Governor::new(&request.budget, self.cancel.clone());
+        let outcome = if request.tier == TierPolicy::Sequential {
+            self.serve_sequential(request, &governor)?
+        } else {
+            match &request.input {
+                InputSource::Symbols(symbols) => {
+                    let (verdict, stats) = self.run_symbols(symbols, &governor)?;
+                    MatchOutcome::new(verdict, stats)
+                }
+                _ => self.run_unencoded(request, &governor)?,
+            }
+        };
+        if request.trace {
+            crate::obs::report_span(
+                "match/request",
+                outcome.stats.elapsed.as_nanos().min(u64::MAX as u128) as u64,
+            );
+        }
+        if request.tier == TierPolicy::RequireFull && outcome.tier != MatchTier::FullSfa {
+            return Err(SfaError::InvalidOptions(
+                "tier policy requires the full SFA tier, but the engine degraded mid-query",
+            ));
+        }
+        if outcome.tier != MatchTier::FullSfa {
+            if let Some(err) = &self.stats.last_error {
+                return Ok(outcome.with_degraded(err.to_string()));
+            }
+        }
+        Ok(outcome)
+    }
+
     /// Fallible, telemetry-carrying match. The engine's cancel token is
     /// polled during the match; mid-match cancellation returns
     /// [`SfaError::Cancelled`]. A worker panic on the full tier degrades
     /// the engine to sequential (permanently, recorded in
     /// [`EngineStats`]) and still answers.
+    #[deprecated(
+        since = "0.1.0",
+        note = "construct a MatchRequest and use MatchEngine::run"
+    )]
     pub fn try_matches(&mut self, input: &[SymbolId]) -> Result<(bool, MatchStats), SfaError> {
         let governor = self.match_governor();
+        self.run_symbols(input, &governor)
+    }
+
+    /// The symbol-slice ladder shared by [`Self::matches`],
+    /// [`Self::run`], and the deprecated [`Self::try_matches`] shim.
+    fn run_symbols(
+        &mut self,
+        input: &[SymbolId],
+        governor: &Governor,
+    ) -> Result<(bool, MatchStats), SfaError> {
         let degrade_err = match &self.backend {
             Backend::Full { sfa, scan } => {
                 let matcher = ParallelMatcher::with_scan(sfa, self.dfa, Arc::clone(scan));
-                match self.runtime.matches_symbols(&matcher, input, &governor) {
+                match self.runtime.matches_symbols(&matcher, input, governor) {
                     Ok((verdict, stats)) => {
                         self.stats.full_matches += 1;
                         Self::deliver_match(&self.metrics, &self.subscriber, &stats);
@@ -392,6 +463,123 @@ impl<'d> MatchEngine<'d> {
     /// server can abort in-flight queries.
     fn match_governor(&self) -> Governor {
         Governor::new(&Budget::unlimited(), self.cancel.clone())
+    }
+
+    /// The byte classifier a request asked for, over this engine's
+    /// alphabet.
+    fn classifier_for(&self, request: &MatchRequest) -> ByteClassifier {
+        match request.classifier {
+            ClassifierMode::Strict => ByteClassifier::strict(self.dfa.alphabet()),
+            ClassifierMode::SkipWhitespace => {
+                ByteClassifier::skipping_ascii_whitespace(self.dfa.alphabet())
+            }
+        }
+    }
+
+    /// One request through the plain-DFA oracle, with the engine's
+    /// bookkeeping (tier counter, telemetry sinks) applied.
+    fn serve_sequential(
+        &mut self,
+        request: &MatchRequest,
+        governor: &Governor,
+    ) -> Result<MatchOutcome, SfaError> {
+        let classifier = self.classifier_for(request);
+        let outcome = self
+            .runtime
+            .run_sequential(self.dfa, request, governor, &classifier)?;
+        self.stats.sequential_matches += 1;
+        Self::deliver_match(&self.metrics, &self.subscriber, &outcome.stats);
+        self.stats.last_match = Some(outcome.stats.clone());
+        Ok(outcome)
+    }
+
+    /// Byte and file requests under [`TierPolicy::Auto`]: the full tier
+    /// fuses classification into its chunk scans; the lazy tier encodes
+    /// up front and takes the symbol ladder; the sequential tier runs
+    /// the oracle. Both byte buffers and paths are replayable, so a
+    /// worker panic degrades the engine and still answers this query.
+    fn run_unencoded(
+        &mut self,
+        request: &MatchRequest,
+        governor: &Governor,
+    ) -> Result<MatchOutcome, SfaError> {
+        let classifier = self.classifier_for(request);
+        let degrade_err = match &self.backend {
+            Backend::Full { sfa, scan } => {
+                let matcher = ParallelMatcher::with_scan(sfa, self.dfa, Arc::clone(scan));
+                let served = match &request.input {
+                    InputSource::Bytes(bytes) => {
+                        self.runtime
+                            .matches_bytes(&matcher, &classifier, bytes, governor)
+                    }
+                    InputSource::File(path) => match std::fs::File::open(path) {
+                        Ok(file) => {
+                            self.runtime
+                                .matches_stream(&matcher, &classifier, file, governor)
+                        }
+                        Err(e) => Err(SfaError::Io(format!("open {}: {e}", path.display()))),
+                    },
+                    InputSource::Symbols(_) => {
+                        unreachable!("symbol inputs take the run_symbols path")
+                    }
+                };
+                match served {
+                    Ok((verdict, stats)) => {
+                        self.stats.full_matches += 1;
+                        Self::deliver_match(&self.metrics, &self.subscriber, &stats);
+                        self.stats.last_match = Some(stats.clone());
+                        return Ok(MatchOutcome::new(verdict, stats));
+                    }
+                    Err(err @ SfaError::WorkerPanic { .. }) => err,
+                    Err(other) => return Err(other),
+                }
+            }
+            Backend::Lazy(_) => {
+                // Lazy matching needs encoded symbols; classify up front
+                // (the whole input is in memory either way).
+                let symbols = self.encode_input(&request.input, &classifier)?;
+                let (verdict, stats) = self.run_symbols(&symbols, governor)?;
+                return Ok(MatchOutcome::new(verdict, stats));
+            }
+            Backend::Sequential => return self.serve_sequential(request, governor),
+        };
+        self.stats.degradations += 1;
+        self.stats.last_error = Some(degrade_err);
+        self.backend = Backend::Sequential;
+        self.serve_sequential(request, governor)
+    }
+
+    /// Classify an unencoded input source into a symbol vector.
+    fn encode_input(
+        &self,
+        input: &InputSource,
+        classifier: &ByteClassifier,
+    ) -> Result<Vec<SymbolId>, SfaError> {
+        let classify_all = |bytes: &[u8]| -> Result<Vec<SymbolId>, SfaError> {
+            let mut out = Vec::with_capacity(bytes.len());
+            for (offset, &b) in bytes.iter().enumerate() {
+                match classifier.classify(b) {
+                    Classified::Symbol(sym) => out.push(sym),
+                    Classified::Skip => {}
+                    Classified::Invalid => {
+                        return Err(SfaError::InvalidByte {
+                            byte: b,
+                            offset: offset as u64,
+                        })
+                    }
+                }
+            }
+            Ok(out)
+        };
+        match input {
+            InputSource::Symbols(symbols) => Ok(symbols.clone()),
+            InputSource::Bytes(bytes) => classify_all(bytes),
+            InputSource::File(path) => {
+                let bytes = std::fs::read(path)
+                    .map_err(|e| SfaError::Io(format!("read {}: {e}", path.display())))?;
+                classify_all(&bytes)
+            }
+        }
     }
 
     fn match_sequentially(&mut self, input: &[SymbolId]) -> (bool, MatchStats) {

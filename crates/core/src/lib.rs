@@ -72,6 +72,7 @@ pub mod matcher;
 pub mod memory;
 pub mod obs;
 pub mod parallel;
+pub mod request;
 pub mod runtime;
 pub mod scan;
 pub mod sequential;
@@ -85,10 +86,13 @@ pub use budget::{Budget, BudgetProgress, BudgetResource};
 pub use builder::SfaBuilder;
 pub use engine::{EngineStats, MatchEngine, MatchTier};
 pub use lazy::LazySfa;
-pub use matcher::{match_sequential, match_with_sfa, try_match_with_sfa, ParallelMatcher};
+#[allow(deprecated)]
+pub use matcher::try_match_with_sfa;
+pub use matcher::{match_sequential, match_with_sfa, ParallelMatcher};
 #[allow(deprecated)]
 pub use parallel::construct_parallel;
 pub use parallel::{CompressionPolicy, ParallelOptions, Scheduler};
+pub use request::{ClassifierMode, InputSource, MatchOutcome, MatchRequest, TierPolicy};
 pub use runtime::{ByteClassifier, Classified, MatchRuntime, MatchStats, RetryPolicy};
 pub use scan::{prefix_compose_on, ScanEngine, ScanOptions, ScanTable};
 #[allow(deprecated)]
@@ -247,12 +251,13 @@ pub mod prelude {
     pub use crate::builder::SfaBuilder;
     pub use crate::engine::{EngineStats, MatchEngine, MatchTier};
     pub use crate::lazy::LazySfa;
-    pub use crate::matcher::{
-        match_sequential, match_with_sfa, try_match_with_sfa, ParallelMatcher,
-    };
+    #[allow(deprecated)]
+    pub use crate::matcher::try_match_with_sfa;
+    pub use crate::matcher::{match_sequential, match_with_sfa, ParallelMatcher};
     #[allow(deprecated)]
     pub use crate::parallel::construct_parallel;
     pub use crate::parallel::{CompressionPolicy, ParallelOptions, Scheduler};
+    pub use crate::request::{ClassifierMode, InputSource, MatchOutcome, MatchRequest, TierPolicy};
     pub use crate::runtime::{ByteClassifier, Classified, MatchRuntime, MatchStats, RetryPolicy};
     pub use crate::scan::{prefix_compose_on, ScanEngine, ScanOptions, ScanTable};
     #[allow(deprecated)]

@@ -15,12 +15,21 @@
 //! Chunk scans run on a persistent [`TaskPool`] (the process-shared pool
 //! by default) rather than on per-call `std::thread::scope` threads: a
 //! serving process answers many queries, and spawning OS threads per
-//! query would bury the break-even argument under `clone(2)` noise. The
-//! fallible `try_*` entry points additionally poll a [`Governor`] every
+//! query would bury the break-even argument under `clone(2)` noise.
+//! Every governed path polls a [`Governor`] every
 //! [`GOVERNOR_POLL_SYMBOLS`] symbols, so deadlines and cancellation
 //! apply to *matching* just as PR 1 applied them to construction, and
-//! they surface worker panics as [`SfaError::WorkerPanic`] instead of
+//! worker panics surface as [`SfaError::WorkerPanic`] instead of
 //! aborting the process.
+//!
+//! The fallible entry points of this module (`try_*`, `*_on(pool,
+//! governor, …)`) are deprecated in favour of the unified
+//! request/response API: construct a
+//! [`MatchRequest`](crate::MatchRequest) and call
+//! [`MatchRuntime::run`](crate::MatchRuntime::run) (one automaton, an
+//! explicit pool) or [`MatchEngine::run`](crate::MatchEngine::run) (the
+//! degradation ladder). The panicking conveniences on
+//! [`ParallelMatcher`] remain for tests and examples.
 
 use crate::budget::Governor;
 use crate::scan::{ScanEngine, ScanOptions};
@@ -48,22 +57,37 @@ pub fn match_sequential(dfa: &Dfa, input: &[SymbolId]) -> bool {
 ///
 /// # Panics
 ///
-/// On an SFA/DFA mismatch or a worker panic. Use [`try_match_with_sfa`]
-/// to receive those conditions as typed errors instead.
+/// On an SFA/DFA mismatch or a worker panic. For typed errors — and for
+/// budgets, tier policies and telemetry — construct a
+/// [`MatchRequest`](crate::MatchRequest) and use
+/// [`MatchRuntime::run`](crate::MatchRuntime::run) or
+/// [`MatchEngine::run`](crate::MatchEngine::run) instead.
 pub fn match_with_sfa(sfa: &Sfa, dfa: &Dfa, input: &[SymbolId], threads: usize) -> bool {
-    try_match_with_sfa(sfa, dfa, input, threads).expect("match_with_sfa failed")
+    let matcher = ParallelMatcher::new(sfa, dfa).expect("match_with_sfa failed");
+    matcher
+        .matches_governed(TaskPool::shared(), &Governor::unlimited(), input, threads)
+        .expect("match_with_sfa failed")
 }
 
 /// Fallible variant of [`match_with_sfa`]: a mismatched SFA/DFA pair
 /// returns [`SfaError::Mismatch`], a worker panic returns
 /// [`SfaError::WorkerPanic`].
+#[deprecated(
+    since = "0.1.0",
+    note = "construct a MatchRequest and use MatchRuntime::run or MatchEngine::run"
+)]
 pub fn try_match_with_sfa(
     sfa: &Sfa,
     dfa: &Dfa,
     input: &[SymbolId],
     threads: usize,
 ) -> Result<bool, SfaError> {
-    ParallelMatcher::new(sfa, dfa)?.try_matches(input, threads)
+    ParallelMatcher::new(sfa, dfa)?.matches_governed(
+        TaskPool::shared(),
+        &Governor::unlimited(),
+        input,
+        threads,
+    )
 }
 
 /// Reusable parallel matcher (construct once, match many inputs).
@@ -143,9 +167,11 @@ impl<'a> ParallelMatcher<'a> {
     ///
     /// # Panics
     ///
-    /// If a worker panics; see [`Self::try_final_state`].
+    /// If a worker panics; for typed errors use
+    /// [`MatchRuntime::run`](crate::MatchRuntime::run) with a
+    /// [`MatchRequest`](crate::MatchRequest).
     pub fn final_state(&self, input: &[SymbolId], threads: usize) -> u32 {
-        self.try_final_state(input, threads)
+        self.final_state_governed(TaskPool::shared(), &Governor::unlimited(), input, threads)
             .expect("parallel final_state failed")
     }
 
@@ -153,9 +179,11 @@ impl<'a> ParallelMatcher<'a> {
     ///
     /// # Panics
     ///
-    /// If a worker panics; see [`Self::try_matches`].
+    /// If a worker panics; for typed errors use
+    /// [`MatchRuntime::run`](crate::MatchRuntime::run) with a
+    /// [`MatchRequest`](crate::MatchRequest).
     pub fn matches(&self, input: &[SymbolId], threads: usize) -> bool {
-        self.try_matches(input, threads)
+        self.matches_governed(TaskPool::shared(), &Governor::unlimited(), input, threads)
             .expect("parallel matches failed")
     }
 
@@ -165,9 +193,9 @@ impl<'a> ParallelMatcher<'a> {
     ///
     /// # Panics
     ///
-    /// If a worker panics; see [`Self::try_find_first_match`].
+    /// If a worker panics.
     pub fn find_first_match(&self, input: &[SymbolId], threads: usize) -> Option<usize> {
-        self.try_find_first_match(input, threads)
+        self.find_first_governed(TaskPool::shared(), &Governor::unlimited(), input, threads)
             .expect("parallel find_first_match failed")
     }
 
@@ -178,41 +206,119 @@ impl<'a> ParallelMatcher<'a> {
     ///
     /// # Panics
     ///
-    /// If a worker panics; see [`Self::try_count_matches`].
+    /// If a worker panics.
     pub fn count_matches(&self, input: &[SymbolId], threads: usize) -> u64 {
-        self.try_count_matches(input, threads)
+        self.count_governed(TaskPool::shared(), &Governor::unlimited(), input, threads)
             .expect("parallel count_matches failed")
     }
 
     /// Fallible [`Self::final_state`] on the shared pool, ungoverned.
+    #[deprecated(
+        since = "0.1.0",
+        note = "construct a MatchRequest and use MatchRuntime::run or MatchEngine::run"
+    )]
     pub fn try_final_state(&self, input: &[SymbolId], threads: usize) -> Result<u32, SfaError> {
-        self.final_state_on(TaskPool::shared(), &Governor::unlimited(), input, threads)
+        self.final_state_governed(TaskPool::shared(), &Governor::unlimited(), input, threads)
     }
 
     /// Fallible [`Self::matches`] on the shared pool, ungoverned.
+    #[deprecated(
+        since = "0.1.0",
+        note = "construct a MatchRequest and use MatchRuntime::run or MatchEngine::run"
+    )]
     pub fn try_matches(&self, input: &[SymbolId], threads: usize) -> Result<bool, SfaError> {
-        Ok(self.dfa.is_accepting(self.try_final_state(input, threads)?))
+        self.matches_governed(TaskPool::shared(), &Governor::unlimited(), input, threads)
     }
 
     /// Fallible [`Self::find_first_match`] on the shared pool, ungoverned.
+    #[deprecated(
+        since = "0.1.0",
+        note = "construct a MatchRequest and use MatchRuntime::run or MatchEngine::run"
+    )]
     pub fn try_find_first_match(
         &self,
         input: &[SymbolId],
         threads: usize,
     ) -> Result<Option<usize>, SfaError> {
-        self.find_first_match_on(TaskPool::shared(), &Governor::unlimited(), input, threads)
+        self.find_first_governed(TaskPool::shared(), &Governor::unlimited(), input, threads)
     }
 
     /// Fallible [`Self::count_matches`] on the shared pool, ungoverned.
+    #[deprecated(
+        since = "0.1.0",
+        note = "construct a MatchRequest and use MatchRuntime::run or MatchEngine::run"
+    )]
     pub fn try_count_matches(&self, input: &[SymbolId], threads: usize) -> Result<u64, SfaError> {
-        self.count_matches_on(TaskPool::shared(), &Governor::unlimited(), input, threads)
+        self.count_governed(TaskPool::shared(), &Governor::unlimited(), input, threads)
     }
 
     /// [`Self::final_state`] on an explicit pool under a [`Governor`].
-    /// Workers poll the governor every [`GOVERNOR_POLL_SYMBOLS`] symbols;
-    /// the first failure (cancellation, deadline, worker panic) aborts
-    /// the remaining scans and is returned.
+    #[deprecated(
+        since = "0.1.0",
+        note = "construct a MatchRequest and use MatchRuntime::run or MatchEngine::run"
+    )]
     pub fn final_state_on(
+        &self,
+        pool: &TaskPool,
+        governor: &Governor,
+        input: &[SymbolId],
+        threads: usize,
+    ) -> Result<u32, SfaError> {
+        self.final_state_governed(pool, governor, input, threads)
+    }
+
+    /// [`Self::matches`] on an explicit pool under a [`Governor`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "construct a MatchRequest and use MatchRuntime::run or MatchEngine::run"
+    )]
+    pub fn matches_on(
+        &self,
+        pool: &TaskPool,
+        governor: &Governor,
+        input: &[SymbolId],
+        threads: usize,
+    ) -> Result<bool, SfaError> {
+        self.matches_governed(pool, governor, input, threads)
+    }
+
+    /// [`Self::find_first_match`] on an explicit pool under a
+    /// [`Governor`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "construct a MatchRequest and use MatchRuntime::run or MatchEngine::run"
+    )]
+    pub fn find_first_match_on(
+        &self,
+        pool: &TaskPool,
+        governor: &Governor,
+        input: &[SymbolId],
+        threads: usize,
+    ) -> Result<Option<usize>, SfaError> {
+        self.find_first_governed(pool, governor, input, threads)
+    }
+
+    /// [`Self::count_matches`] on an explicit pool under a [`Governor`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "construct a MatchRequest and use MatchRuntime::run or MatchEngine::run"
+    )]
+    pub fn count_matches_on(
+        &self,
+        pool: &TaskPool,
+        governor: &Governor,
+        input: &[SymbolId],
+        threads: usize,
+    ) -> Result<u64, SfaError> {
+        self.count_governed(pool, governor, input, threads)
+    }
+
+    /// Governed final-state scan — the single implementation behind
+    /// every public entry point. Workers poll the governor every
+    /// [`GOVERNOR_POLL_SYMBOLS`] symbols; the first failure
+    /// (cancellation, deadline, worker panic) aborts the remaining scans
+    /// and is returned.
+    pub(crate) fn final_state_governed(
         &self,
         pool: &TaskPool,
         governor: &Governor,
@@ -230,8 +336,8 @@ impl<'a> ParallelMatcher<'a> {
             .final_state(pool, governor, self.sfa, input, self.dfa.start(), threads)
     }
 
-    /// [`Self::matches`] on an explicit pool under a [`Governor`].
-    pub fn matches_on(
+    /// Governed accept decision.
+    pub(crate) fn matches_governed(
         &self,
         pool: &TaskPool,
         governor: &Governor,
@@ -240,11 +346,10 @@ impl<'a> ParallelMatcher<'a> {
     ) -> Result<bool, SfaError> {
         Ok(self
             .dfa
-            .is_accepting(self.final_state_on(pool, governor, input, threads)?))
+            .is_accepting(self.final_state_governed(pool, governor, input, threads)?))
     }
 
-    /// [`Self::find_first_match`] on an explicit pool under a
-    /// [`Governor`].
+    /// Governed first-match search.
     ///
     /// Two-pass parallel algorithm: (1) compute each chunk's SFA mapping
     /// in parallel; (2) prefix-compose the mappings (cheap, `O(threads·n)`)
@@ -253,7 +358,7 @@ impl<'a> ParallelMatcher<'a> {
     /// earliest accepting position. Unlike the speculative approaches the
     /// paper surveys (§V), no re-matching is ever needed — entry states
     /// are exact.
-    pub fn find_first_match_on(
+    pub(crate) fn find_first_governed(
         &self,
         pool: &TaskPool,
         governor: &Governor,
@@ -278,8 +383,8 @@ impl<'a> ParallelMatcher<'a> {
             .find_first(pool, governor, self.sfa, input, dfa.start(), threads)
     }
 
-    /// [`Self::count_matches`] on an explicit pool under a [`Governor`].
-    pub fn count_matches_on(
+    /// Governed occurrence counting.
+    pub(crate) fn count_governed(
         &self,
         pool: &TaskPool,
         governor: &Governor,
@@ -511,7 +616,11 @@ mod tests {
             }
             other => panic!("expected Mismatch, got {other:?}"),
         }
-        assert!(try_match_with_sfa(&sfa_rg, &dfa_other, &[0, 1], 2).is_err());
+        // The deprecated shim still answers with the same typed error.
+        #[allow(deprecated)]
+        {
+            assert!(try_match_with_sfa(&sfa_rg, &dfa_other, &[0, 1], 2).is_err());
+        }
     }
 
     #[test]

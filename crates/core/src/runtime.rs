@@ -317,6 +317,142 @@ impl MatchRuntime {
         self.pool.threads()
     }
 
+    /// Serve one [`MatchRequest`] on this runtime (always the full SFA
+    /// tier — the degradation ladder lives in
+    /// [`MatchEngine::run`](crate::MatchEngine::run)). The request's
+    /// budget is enforced by a fresh [`Governor`]; use
+    /// [`Self::run_cancelable`] to attach a cancel token as well.
+    ///
+    /// Dispatches on the input source: symbol slices chunk-match
+    /// directly, byte inputs fuse classification into the chunk scans,
+    /// and file inputs stream in [`Self::block_bytes`]-sized blocks.
+    /// A [`TierPolicy::Sequential`](crate::TierPolicy::Sequential)
+    /// request runs the plain DFA instead (the oracle mode).
+    pub fn run(
+        &self,
+        matcher: &ParallelMatcher<'_>,
+        request: &crate::MatchRequest,
+    ) -> Result<crate::MatchOutcome, SfaError> {
+        self.run_cancelable(matcher, request, None)
+    }
+
+    /// [`Self::run`] with a cancel token attached to the request budget
+    /// — a server aborts in-flight queries with the handle it holds.
+    pub fn run_cancelable(
+        &self,
+        matcher: &ParallelMatcher<'_>,
+        request: &crate::MatchRequest,
+        cancel: Option<sfa_sync::CancelToken>,
+    ) -> Result<crate::MatchOutcome, SfaError> {
+        use crate::request::{ClassifierMode, InputSource, TierPolicy};
+        let governor = Governor::new(&request.budget, cancel);
+        let classifier = || match request.classifier {
+            ClassifierMode::Strict => ByteClassifier::strict(matcher.dfa.alphabet()),
+            ClassifierMode::SkipWhitespace => {
+                ByteClassifier::skipping_ascii_whitespace(matcher.dfa.alphabet())
+            }
+        };
+        if request.tier == TierPolicy::Sequential {
+            return self.run_sequential(matcher.dfa, request, &governor, &classifier());
+        }
+        let (verdict, stats) = match &request.input {
+            InputSource::Symbols(symbols) => self.matches_symbols(matcher, symbols, &governor)?,
+            InputSource::Bytes(bytes) => {
+                self.matches_bytes(matcher, &classifier(), bytes, &governor)?
+            }
+            InputSource::File(path) => {
+                let file = std::fs::File::open(path)
+                    .map_err(|e| SfaError::Io(format!("open {}: {e}", path.display())))?;
+                self.matches_stream(matcher, &classifier(), file, &governor)?
+            }
+        };
+        if request.trace {
+            crate::obs::report_span(
+                "match/request",
+                stats.elapsed.as_nanos().min(u64::MAX as u128) as u64,
+            );
+        }
+        Ok(crate::MatchOutcome::new(verdict, stats))
+    }
+
+    /// Serve a request with the plain sequential DFA — the public
+    /// oracle entry for callers that hold no SFA at all (e.g. a server
+    /// pattern whose construction exceeded its budget). Same verdict as
+    /// every other path by construction.
+    pub fn run_dfa(
+        &self,
+        dfa: &sfa_automata::dfa::Dfa,
+        request: &crate::MatchRequest,
+        cancel: Option<sfa_sync::CancelToken>,
+    ) -> Result<crate::MatchOutcome, SfaError> {
+        use crate::request::ClassifierMode;
+        let governor = Governor::new(&request.budget, cancel);
+        let classifier = match request.classifier {
+            ClassifierMode::Strict => ByteClassifier::strict(dfa.alphabet()),
+            ClassifierMode::SkipWhitespace => {
+                ByteClassifier::skipping_ascii_whitespace(dfa.alphabet())
+            }
+        };
+        self.run_sequential(dfa, request, &governor, &classifier)
+    }
+
+    /// The sequential oracle behind
+    /// [`TierPolicy::Sequential`](crate::TierPolicy::Sequential) requests
+    /// (and the engine's degraded tier): one DFA pass, no pool, same
+    /// verdict by construction.
+    pub(crate) fn run_sequential(
+        &self,
+        dfa: &sfa_automata::dfa::Dfa,
+        request: &crate::MatchRequest,
+        governor: &Governor,
+        classifier: &ByteClassifier,
+    ) -> Result<crate::MatchOutcome, SfaError> {
+        use crate::request::InputSource;
+        let start = Instant::now();
+        governor.check(0, 0)?;
+        let mut stats = MatchStats {
+            tier: MatchTier::Sequential,
+            blocks: 1,
+            chunks: 1,
+            ..MatchStats::default()
+        };
+        let step_bytes = |bytes: &[u8], stats: &mut MatchStats| -> Result<u32, SfaError> {
+            let mut q = dfa.start();
+            for (offset, &b) in bytes.iter().enumerate() {
+                match classifier.classify(b) {
+                    Classified::Symbol(sym) => q = dfa.next(q, sym),
+                    Classified::Skip => {}
+                    Classified::Invalid => {
+                        return Err(SfaError::InvalidByte {
+                            byte: b,
+                            offset: offset as u64,
+                        })
+                    }
+                }
+                if (offset + 1) % crate::matcher::GOVERNOR_POLL_SYMBOLS == 0 {
+                    governor.check(0, 0)?;
+                }
+            }
+            stats.bytes = bytes.len() as u64;
+            Ok(q)
+        };
+        let q = match &request.input {
+            InputSource::Symbols(symbols) => {
+                stats.bytes = symbols.len() as u64;
+                dfa.run(symbols)
+            }
+            InputSource::Bytes(bytes) => step_bytes(bytes, &mut stats)?,
+            InputSource::File(path) => {
+                let bytes = std::fs::read(path)
+                    .map_err(|e| SfaError::Io(format!("read {}: {e}", path.display())))?;
+                step_bytes(&bytes, &mut stats)?
+            }
+        };
+        stats.elapsed = start.elapsed();
+        note_match(&stats);
+        Ok(crate::MatchOutcome::new(dfa.is_accepting(q), stats))
+    }
+
     /// Accept decision for a pre-encoded symbol slice, matched in
     /// parallel chunks on the pool.
     pub fn matches_symbols(
@@ -327,7 +463,7 @@ impl MatchRuntime {
     ) -> Result<(bool, MatchStats), SfaError> {
         let start = Instant::now();
         let threads = self.pool.threads();
-        let verdict = matcher.matches_on(&self.pool, governor, input, threads)?;
+        let verdict = matcher.matches_governed(&self.pool, governor, input, threads)?;
         let stats = MatchStats {
             tier: MatchTier::FullSfa,
             blocks: 1,

@@ -85,6 +85,46 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Estimate the `q`-quantile (`0.0 ≤ q ≤ 1.0`) of the observed
+    /// distribution — e.g. `quantile(0.99)` for p99.
+    ///
+    /// The rank `ceil(q · count)` is located in the cumulative bucket
+    /// counts, then linearly interpolated inside the bucket between its
+    /// lower bound (`2^i`, or 0 for the first bucket) and its inclusive
+    /// upper bound. Log₂ buckets bound the relative error of the estimate
+    /// at 2× — the expected precision for latency reporting, not an exact
+    /// order statistic. Returns 0.0 when the histogram is empty; `q`
+    /// outside `[0, 1]` is clamped.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 || self.buckets.is_empty() {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(bound, in_bucket) in &self.buckets {
+            if in_bucket == 0 {
+                continue;
+            }
+            if seen + in_bucket >= rank {
+                // Lower edge: bound is 2^(i+1)-1, so the bucket starts at
+                // (bound+1)/2, except the first bucket which covers {0,1}.
+                let lo = if bound <= 1 {
+                    0.0
+                } else {
+                    bound.div_ceil(2) as f64
+                };
+                let hi = bound as f64;
+                let into = (rank - seen) as f64 / in_bucket as f64;
+                return lo + (hi - lo) * into;
+            }
+            seen += in_bucket;
+        }
+        // rank beyond the recorded buckets (can't happen when count and
+        // buckets agree): the largest recorded bound.
+        self.buckets.last().map(|&(b, _)| b as f64).unwrap_or(0.0)
+    }
 }
 
 #[cfg(test)]
@@ -115,5 +155,27 @@ mod tests {
             vec!["sfa_a_total", "sfa_b_depth", "sfa_c_nanos"]
         );
         assert!((snap.histogram("sfa_c_nanos").unwrap().mean() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_estimates_within_bucket_bounds() {
+        // 100 observations: 50 in bucket [2,3], 49 in [4,7], 1 in [64,127].
+        let h = HistogramSnapshot {
+            count: 100,
+            sum: 0,
+            buckets: vec![(3, 50), (7, 49), (127, 1)],
+        };
+        let p50 = h.quantile(0.5);
+        assert!((2.0..=3.0).contains(&p50), "p50={p50}");
+        let p99 = h.quantile(0.99);
+        assert!((4.0..=7.0).contains(&p99), "p99={p99}");
+        let p999 = h.quantile(0.999);
+        assert!((64.0..=127.0).contains(&p999), "p999={p999}");
+        // Monotone in q, max lands on the top bucket's upper bound.
+        assert!(h.quantile(1.0) >= p999);
+        assert_eq!(h.quantile(1.0), 127.0);
+        // Degenerate inputs.
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0.0);
+        assert!(h.quantile(-3.0) <= h.quantile(2.0));
     }
 }

@@ -1,0 +1,153 @@
+//! A small blocking client for the binary protocol.
+//!
+//! Used by the `reproduce serve-load` generator, the CI smoke test,
+//! and the integration tests; handy for scripting too. One instance is
+//! one connection; requests are answered in order.
+
+use crate::proto::{FRAME_HEADER, FRAME_MAGIC, MAX_FRAME_LEN};
+use sfa_core::{MatchOutcome, MatchRequest};
+use sfa_json::Value;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// The server's answer to one request.
+#[derive(Debug, Clone)]
+pub enum ServeReply {
+    /// The match ran; here is its outcome.
+    Ok {
+        /// Pattern id the request resolved to.
+        pattern: String,
+        /// Artifact hash of the pattern.
+        hash: String,
+        /// The match outcome.
+        outcome: MatchOutcome,
+    },
+    /// A typed rejection.
+    Rejected {
+        /// Wire error code, e.g. `TENANT_OVER_QUOTA`.
+        code: String,
+        /// The HTTP status the code maps to (429, 404, …).
+        http_status: u16,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl ServeReply {
+    /// The outcome, when the request was served.
+    pub fn outcome(&self) -> Option<&MatchOutcome> {
+        match self {
+            ServeReply::Ok { outcome, .. } => Some(outcome),
+            ServeReply::Rejected { .. } => None,
+        }
+    }
+
+    /// The rejection code, when the request was rejected.
+    pub fn rejection_code(&self) -> Option<&str> {
+        match self {
+            ServeReply::Ok { .. } => None,
+            ServeReply::Rejected { code, .. } => Some(code),
+        }
+    }
+}
+
+/// One binary-protocol connection.
+pub struct ServeClient {
+    stream: TcpStream,
+}
+
+impl ServeClient {
+    /// Connect to a daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<ServeClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(ServeClient { stream })
+    }
+
+    /// Bound every read so a wedged server cannot hang the caller.
+    pub fn set_timeout(&self, timeout: Duration) -> std::io::Result<()> {
+        self.stream.set_read_timeout(Some(timeout))
+    }
+
+    /// Send one request under `tenant` and wait for its reply.
+    pub fn request(&mut self, tenant: &str, request: &MatchRequest) -> Result<ServeReply, String> {
+        let envelope = Value::Object(vec![
+            ("tenant".into(), Value::String(tenant.into())),
+            ("request".into(), request.to_json()),
+        ]);
+        self.send_raw(&envelope)?;
+        self.read_reply()
+    }
+
+    /// Send an arbitrary envelope (malformed-input tests).
+    pub fn send_raw(&mut self, envelope: &Value) -> Result<(), String> {
+        let frame = crate::proto::encode_frame(envelope);
+        self.stream
+            .write_all(&frame)
+            .map_err(|e| format!("send: {e}"))
+    }
+
+    /// Read one reply frame.
+    pub fn read_reply(&mut self) -> Result<ServeReply, String> {
+        let mut header = [0u8; FRAME_HEADER];
+        self.stream
+            .read_exact(&mut header)
+            .map_err(|e| format!("read header: {e}"))?;
+        if header[..4] != FRAME_MAGIC {
+            return Err("bad reply magic".into());
+        }
+        let len = u32::from_le_bytes([header[4], header[5], header[6], header[7]]) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(format!("oversized reply of {len} bytes"));
+        }
+        let mut payload = vec![0u8; len];
+        self.stream
+            .read_exact(&mut payload)
+            .map_err(|e| format!("read payload: {e}"))?;
+        let text = std::str::from_utf8(&payload).map_err(|_| "reply is not UTF-8".to_string())?;
+        let v = sfa_json::from_str(text).map_err(|e| format!("reply JSON: {e}"))?;
+        Self::parse_reply(&v)
+    }
+
+    fn parse_reply(v: &Value) -> Result<ServeReply, String> {
+        match v.get("ok").and_then(Value::as_bool) {
+            Some(true) => {
+                let outcome_v = v.get("outcome").ok_or("reply is missing \"outcome\"")?;
+                Ok(ServeReply::Ok {
+                    pattern: v
+                        .get("pattern")
+                        .and_then(Value::as_str)
+                        .unwrap_or_default()
+                        .to_string(),
+                    hash: v
+                        .get("hash")
+                        .and_then(Value::as_str)
+                        .unwrap_or_default()
+                        .to_string(),
+                    outcome: MatchOutcome::from_json(outcome_v)?,
+                })
+            }
+            Some(false) => {
+                let err = v.get("error").ok_or("reply is missing \"error\"")?;
+                Ok(ServeReply::Rejected {
+                    code: err
+                        .get("code")
+                        .and_then(Value::as_str)
+                        .unwrap_or("INTERNAL")
+                        .to_string(),
+                    http_status: err
+                        .get("http_status")
+                        .and_then(Value::as_f64)
+                        .unwrap_or(500.0) as u16,
+                    message: err
+                        .get("message")
+                        .and_then(Value::as_str)
+                        .unwrap_or_default()
+                        .to_string(),
+                })
+            }
+            None => Err("reply is missing \"ok\"".into()),
+        }
+    }
+}

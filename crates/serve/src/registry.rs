@@ -1,0 +1,294 @@
+//! The pattern registry: compiled automata keyed by id and by
+//! artifact hash.
+//!
+//! Patterns live as plain files: `<dir>/<id>.pat` holds the regex
+//! source (over the amino-acid alphabet, the paper's domain). At
+//! startup every pattern is compiled to a DFA and its SFA is either
+//! **reloaded** from `<dir>/artifacts/<hash>.sfar` (hash = hex of
+//! [`dfa_fingerprint`]) or **constructed** and written there — so a
+//! restarted daemon pays deserialization, not reconstruction. A
+//! pattern whose SFA construction blows the state budget is still
+//! served, degraded to the sequential tier with the reason recorded.
+//!
+//! Registry entries leak their automata (`Box::leak`): the daemon
+//! serves them for its whole lifetime from many worker threads, and a
+//! `&'static` borrow is what lets [`ParallelMatcher`] instances be
+//! built per-request without an `Arc` in every transition-table access.
+
+use sfa_automata::alphabet::Alphabet;
+use sfa_automata::dfa::Dfa;
+use sfa_automata::pipeline::Pipeline;
+use sfa_core::artifact::{self, dfa_fingerprint};
+use sfa_core::budget::Budget;
+use sfa_core::scan::ScanEngine;
+use sfa_core::sfa::Sfa;
+use sfa_core::SfaError;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// How a pattern's queries are served.
+pub enum PatternBackend {
+    /// Full chunk-parallel tier: the constructed SFA plus its shared
+    /// pre-scaled scan tables.
+    Full {
+        /// The constructed simultaneous automaton.
+        sfa: &'static Sfa,
+        /// Shared compact scan tables (built once per pattern).
+        scan: Arc<ScanEngine>,
+    },
+    /// Sequential-only: construction exceeded the state budget.
+    Sequential {
+        /// Why the full tier is unavailable.
+        reason: String,
+    },
+}
+
+/// One compiled pattern.
+pub struct PatternEntry {
+    /// Registry id (the `.pat` file stem).
+    pub id: String,
+    /// The pattern source text.
+    pub pattern: String,
+    /// Hex of [`dfa_fingerprint`] — the artifact key, also accepted as
+    /// a request's `pattern` reference.
+    pub hash: String,
+    /// The compiled DFA.
+    pub dfa: &'static Dfa,
+    /// The serving backend.
+    pub backend: PatternBackend,
+}
+
+impl PatternEntry {
+    /// The tier this entry serves on, as a wire string.
+    pub fn tier(&self) -> &'static str {
+        match self.backend {
+            PatternBackend::Full { .. } => "full",
+            PatternBackend::Sequential { .. } => "sequential",
+        }
+    }
+
+    /// The degradation reason, when sequential-only.
+    pub fn degraded_reason(&self) -> Option<&str> {
+        match &self.backend {
+            PatternBackend::Full { .. } => None,
+            PatternBackend::Sequential { reason } => Some(reason),
+        }
+    }
+}
+
+/// The immutable registry built at startup.
+pub struct PatternRegistry {
+    entries: Vec<PatternEntry>,
+    by_key: BTreeMap<String, usize>,
+    artifacts_dir: PathBuf,
+    reloaded: usize,
+    constructed: usize,
+}
+
+impl PatternRegistry {
+    /// Load `<dir>/*.pat`, compiling each pattern and reusing cached
+    /// `.sfar` artifacts where a valid one exists. `state_budget` caps
+    /// each construction; `threads` is the construction parallelism.
+    pub fn load(patterns_dir: &Path, state_budget: u64, threads: usize) -> Result<Self, String> {
+        let artifacts_dir = patterns_dir.join("artifacts");
+        std::fs::create_dir_all(&artifacts_dir)
+            .map_err(|e| format!("create {}: {e}", artifacts_dir.display()))?;
+
+        let mut pattern_files: Vec<(String, PathBuf)> = Vec::new();
+        let dir = std::fs::read_dir(patterns_dir)
+            .map_err(|e| format!("read {}: {e}", patterns_dir.display()))?;
+        for entry in dir {
+            let entry = entry.map_err(|e| e.to_string())?;
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("pat") {
+                continue;
+            }
+            let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            pattern_files.push((stem.to_string(), path));
+        }
+        // Deterministic registry order regardless of readdir order.
+        pattern_files.sort();
+        if pattern_files.is_empty() {
+            return Err(format!(
+                "no *.pat pattern files in {}",
+                patterns_dir.display()
+            ));
+        }
+
+        let mut registry = PatternRegistry {
+            entries: Vec::new(),
+            by_key: BTreeMap::new(),
+            artifacts_dir,
+            reloaded: 0,
+            constructed: 0,
+        };
+        for (id, path) in pattern_files {
+            let source = std::fs::read_to_string(&path)
+                .map_err(|e| format!("read {}: {e}", path.display()))?;
+            let pattern = source.trim().to_string();
+            registry.insert(id, pattern, state_budget, threads)?;
+        }
+        Ok(registry)
+    }
+
+    fn insert(
+        &mut self,
+        id: String,
+        pattern: String,
+        state_budget: u64,
+        threads: usize,
+    ) -> Result<(), String> {
+        let dfa = Pipeline::search(Alphabet::amino_acids())
+            .compile_str(&pattern)
+            .map_err(|e| format!("pattern {id:?} ({pattern:?}): {e}"))?;
+        let dfa: &'static Dfa = Box::leak(Box::new(dfa));
+        let hash = format!("{:016x}", dfa_fingerprint(dfa));
+        let backend = self.obtain_sfa(dfa, &hash, state_budget, threads);
+        let ix = self.entries.len();
+        if self.by_key.insert(id.clone(), ix).is_some() {
+            return Err(format!("duplicate pattern id {id:?}"));
+        }
+        // First pattern wins a hash collision (identical DFAs share an
+        // artifact anyway; resolving by either id still works).
+        self.by_key.entry(hash.clone()).or_insert(ix);
+        self.entries.push(PatternEntry {
+            id,
+            pattern,
+            hash,
+            dfa,
+            backend,
+        });
+        Ok(())
+    }
+
+    /// Reload the SFA from its cached artifact, or construct and cache
+    /// it. Any artifact problem (missing, corrupt, stale) silently
+    /// falls through to construction; any construction failure degrades
+    /// the entry to the sequential tier.
+    fn obtain_sfa(
+        &mut self,
+        dfa: &'static Dfa,
+        hash: &str,
+        state_budget: u64,
+        threads: usize,
+    ) -> PatternBackend {
+        let artifact_path = self.artifacts_dir.join(format!("{hash}.sfar"));
+        if let Ok(sfa) = artifact::read_sfa(&artifact_path) {
+            if sfa.validate(dfa).is_ok() {
+                self.reloaded += 1;
+                return Self::full_backend(dfa, sfa);
+            }
+        }
+        let built = Sfa::builder(dfa)
+            .threads(threads.max(1))
+            .budget(Budget::unlimited().with_max_states(state_budget))
+            .build();
+        match built {
+            Ok(result) => {
+                self.constructed += 1;
+                // Cache for the next daemon start; serving works either way.
+                let _ = artifact::write_sfa(&artifact_path, &result.sfa);
+                Self::full_backend(dfa, result.sfa)
+            }
+            Err(err @ SfaError::StateBudgetExceeded { .. }) => PatternBackend::Sequential {
+                reason: err.to_string(),
+            },
+            Err(other) => PatternBackend::Sequential {
+                reason: format!("SFA construction failed: {other}"),
+            },
+        }
+    }
+
+    fn full_backend(dfa: &'static Dfa, sfa: Sfa) -> PatternBackend {
+        let sfa: &'static Sfa = Box::leak(Box::new(sfa));
+        PatternBackend::Full {
+            sfa,
+            scan: Arc::new(ScanEngine::new(sfa, dfa)),
+        }
+    }
+
+    /// Resolve a request's `pattern` reference — an id or an artifact
+    /// hash.
+    pub fn resolve(&self, key: &str) -> Option<&PatternEntry> {
+        self.by_key.get(key).map(|&ix| &self.entries[ix])
+    }
+
+    /// All entries, in id order.
+    pub fn entries(&self) -> &[PatternEntry] {
+        &self.entries
+    }
+
+    /// How many SFAs were reloaded from cached artifacts this start.
+    pub fn reloaded(&self) -> usize {
+        self.reloaded
+    }
+
+    /// How many SFAs were constructed (and cached) this start.
+    pub fn constructed(&self) -> usize {
+        self.constructed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("sfa-serve-registry-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn loads_caches_and_reloads() {
+        let dir = temp_dir("reload");
+        std::fs::write(dir.join("rg.pat"), "RG\n").unwrap();
+        std::fs::write(dir.join("motif.pat"), "RGD").unwrap();
+        std::fs::write(dir.join("ignored.txt"), "not a pattern").unwrap();
+
+        let first = PatternRegistry::load(&dir, 1 << 20, 2).unwrap();
+        assert_eq!(first.entries().len(), 2);
+        assert_eq!(first.constructed(), 2);
+        assert_eq!(first.reloaded(), 0);
+
+        let rg = first.resolve("rg").unwrap();
+        assert_eq!(rg.pattern, "RG");
+        assert_eq!(rg.tier(), "full");
+        assert_eq!(rg.hash.len(), 16);
+        // Resolvable by artifact hash too.
+        let by_hash = first.resolve(&rg.hash.clone()).unwrap();
+        assert_eq!(by_hash.id, "rg");
+
+        // A second start reloads both SFAs from the artifact cache.
+        let second = PatternRegistry::load(&dir, 1 << 20, 2).unwrap();
+        assert_eq!(second.reloaded(), 2);
+        assert_eq!(second.constructed(), 0);
+        assert_eq!(second.resolve("motif").unwrap().tier(), "full");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn state_budget_degrades_to_sequential() {
+        let dir = temp_dir("degrade");
+        // Bounded repetition explodes the SFA state count well past 2.
+        std::fs::write(dir.join("hard.pat"), "RG").unwrap();
+        let registry = PatternRegistry::load(&dir, 2, 2).unwrap();
+        let hard = registry.resolve("hard").unwrap();
+        assert_eq!(hard.tier(), "sequential");
+        assert!(hard.degraded_reason().is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_dir_is_an_error() {
+        let dir = temp_dir("empty");
+        assert!(PatternRegistry::load(&dir, 1 << 20, 1).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,244 @@
+//! Thin raw-syscall layer: epoll, eventfd, and signal hooks.
+//!
+//! The build environment has no `libc` crate, but `std` already links
+//! the platform C library, so the handful of symbols the event loop
+//! needs are declared here directly. Everything is wrapped in RAII
+//! types that translate errors through `std::io::Error::last_os_error`.
+//!
+//! Only the signal half is portable POSIX; the epoll half is gated to
+//! Linux (the server falls back to thread-per-connection elsewhere).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Process-wide "a termination signal arrived" latch. Signal handlers
+/// may only touch async-signal-safe state; a relaxed store into a
+/// static atomic qualifies.
+static SHUTDOWN_SIGNAL: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_terminate(_sig: i32) {
+    SHUTDOWN_SIGNAL.store(true, Ordering::Relaxed);
+}
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+/// Install SIGTERM/SIGINT handlers that set the shutdown latch, and
+/// return the latch. Idempotent; the CLI polls the returned flag and
+/// starts a graceful drain when it flips.
+pub fn install_shutdown_handler() -> &'static AtomicBool {
+    unsafe {
+        signal(SIGTERM, on_terminate);
+        signal(SIGINT, on_terminate);
+    }
+    &SHUTDOWN_SIGNAL
+}
+
+/// Has a termination signal arrived? (Readable without installing the
+/// handler — stays `false` forever in that case.)
+pub fn shutdown_signalled() -> bool {
+    SHUTDOWN_SIGNAL.load(Ordering::Relaxed)
+}
+
+#[cfg(target_os = "linux")]
+pub use linux::*;
+
+#[cfg(target_os = "linux")]
+mod linux {
+    use std::io;
+    use std::os::unix::io::RawFd;
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EFD_NONBLOCK: i32 = 0o4000;
+
+    /// Kernel epoll event record. x86-64 is the one ABI where the
+    /// kernel struct is packed (no padding between `events` and `data`);
+    /// elsewhere natural `repr(C)` layout matches.
+    #[derive(Clone, Copy)]
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    pub struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    impl EpollEvent {
+        /// Zeroed slot for the wait buffer.
+        pub fn empty() -> EpollEvent {
+            EpollEvent { events: 0, data: 0 }
+        }
+
+        /// Ready-event mask (copied out — the struct may be packed).
+        pub fn events(&self) -> u32 {
+            self.events
+        }
+
+        /// The token registered with [`Epoll::add`].
+        pub fn token(&self) -> u64 {
+            self.data
+        }
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn eventfd(initval: u32, flags: i32) -> i32;
+        fn close(fd: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    }
+
+    fn cvt(ret: i32) -> io::Result<i32> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    /// An owned epoll instance.
+    #[derive(Debug)]
+    pub struct Epoll {
+        fd: RawFd,
+    }
+
+    impl Epoll {
+        /// `epoll_create1(EPOLL_CLOEXEC)`.
+        pub fn new() -> io::Result<Epoll> {
+            let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            Ok(Epoll { fd })
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events,
+                data: token,
+            };
+            cvt(unsafe { epoll_ctl(self.fd, op, fd, &mut ev) }).map(|_| ())
+        }
+
+        /// Register `fd` under `token` for `events`.
+        pub fn add(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, events, token)
+        }
+
+        /// Re-arm `fd` with a new event mask.
+        pub fn modify(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, events, token)
+        }
+
+        /// Deregister `fd`.
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            // The event pointer is ignored for DEL on every kernel this
+            // targets (>= 2.6.9), but must be non-null for portability.
+            self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+        }
+
+        /// Wait up to `timeout_ms` for ready events; returns how many
+        /// slots of `events` were filled. `EINTR` is reported as zero
+        /// events rather than an error (the caller re-loops anyway).
+        pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+            let n = unsafe {
+                epoll_wait(
+                    self.fd,
+                    events.as_mut_ptr(),
+                    events.len() as i32,
+                    timeout_ms,
+                )
+            };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(0);
+                }
+                return Err(err);
+            }
+            Ok(n as usize)
+        }
+    }
+
+    impl Drop for Epoll {
+        fn drop(&mut self) {
+            unsafe { close(self.fd) };
+        }
+    }
+
+    /// A nonblocking eventfd used to kick a worker out of `epoll_wait`
+    /// when another thread queues work for it.
+    #[derive(Debug)]
+    pub struct EventFd {
+        fd: RawFd,
+    }
+
+    impl EventFd {
+        /// `eventfd(0, EFD_NONBLOCK)`.
+        pub fn new() -> io::Result<EventFd> {
+            let fd = cvt(unsafe { eventfd(0, EFD_NONBLOCK) })?;
+            Ok(EventFd { fd })
+        }
+
+        /// The fd to register with epoll.
+        pub fn fd(&self) -> RawFd {
+            self.fd
+        }
+
+        /// Add 1 to the counter, waking a waiter. Best-effort: a full
+        /// counter (pending wakes) already guarantees a wake-up.
+        pub fn wake(&self) {
+            let one: u64 = 1;
+            unsafe { write(self.fd, one.to_ne_bytes().as_ptr(), 8) };
+        }
+
+        /// Reset the counter so the next `wake` edge-triggers again.
+        pub fn drain(&self) {
+            let mut buf = [0u8; 8];
+            unsafe { read(self.fd, buf.as_mut_ptr(), 8) };
+        }
+    }
+
+    impl Drop for EventFd {
+        fn drop(&mut self) {
+            unsafe { close(self.fd) };
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn eventfd_wakes_epoll() {
+            let ep = Epoll::new().unwrap();
+            let ev = EventFd::new().unwrap();
+            ep.add(ev.fd(), EPOLLIN, 7).unwrap();
+
+            let mut buf = [EpollEvent::empty(); 4];
+            // Nothing pending: times out empty.
+            assert_eq!(ep.wait(&mut buf, 0).unwrap(), 0);
+
+            ev.wake();
+            let n = ep.wait(&mut buf, 1000).unwrap();
+            assert_eq!(n, 1);
+            assert_eq!(buf[0].token(), 7);
+            assert_ne!(buf[0].events() & EPOLLIN, 0);
+
+            // Drained, the level-triggered readiness clears.
+            ev.drain();
+            assert_eq!(ep.wait(&mut buf, 0).unwrap(), 0);
+
+            ep.delete(ev.fd()).unwrap();
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Multi-tenant admission control.
+//!
+//! A tenant is a named byte quota: the cumulative input bytes it may
+//! submit over the daemon's lifetime. Admission reuses the core
+//! [`Governor`] — it is stateless over caller-tracked progress, so each
+//! tenant pairs one immutable governor with one atomic accumulator and
+//! admission is a `fetch_add` followed by a check, with no lock and no
+//! rollback (once a tenant crosses its quota it stays over quota, which
+//! is exactly the semantics a cumulative cap wants).
+
+use crate::{ErrorCode, ServeError};
+use sfa_core::budget::{Budget, Governor};
+use sfa_core::SfaError;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A parsed `--tenants` entry: `name=<bytes>` or `name=unlimited`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantSpec {
+    /// Tenant name, sent in the request envelope.
+    pub name: String,
+    /// Lifetime byte quota; `None` is unlimited.
+    pub max_bytes: Option<u64>,
+}
+
+impl TenantSpec {
+    /// An unlimited tenant.
+    pub fn unlimited(name: impl Into<String>) -> TenantSpec {
+        TenantSpec {
+            name: name.into(),
+            max_bytes: None,
+        }
+    }
+
+    /// A tenant capped at `max_bytes` cumulative input bytes.
+    pub fn limited(name: impl Into<String>, max_bytes: u64) -> TenantSpec {
+        TenantSpec {
+            name: name.into(),
+            max_bytes: Some(max_bytes),
+        }
+    }
+
+    /// Parse one `name=<bytes|unlimited>` spec (the `--tenants` list
+    /// item format; bytes accept K/M/G suffixes).
+    pub fn parse(s: &str) -> Result<TenantSpec, String> {
+        let (name, quota) = s
+            .split_once('=')
+            .ok_or_else(|| format!("tenant spec {s:?} must be name=<bytes|unlimited>"))?;
+        let name = name.trim();
+        if name.is_empty() {
+            return Err(format!("tenant spec {s:?} has an empty name"));
+        }
+        let quota = quota.trim();
+        if quota.eq_ignore_ascii_case("unlimited") {
+            return Ok(TenantSpec::unlimited(name));
+        }
+        let bytes = parse_bytes(quota)?;
+        Ok(TenantSpec::limited(name, bytes))
+    }
+}
+
+/// Parse a byte size with optional K/M/G suffix.
+fn parse_bytes(s: &str) -> Result<u64, String> {
+    let (digits, mult) = match s.as_bytes().last() {
+        Some(b'K') | Some(b'k') => (&s[..s.len() - 1], 1u64 << 10),
+        Some(b'M') | Some(b'm') => (&s[..s.len() - 1], 1 << 20),
+        Some(b'G') | Some(b'g') => (&s[..s.len() - 1], 1 << 30),
+        _ => (s, 1),
+    };
+    digits
+        .parse::<u64>()
+        .map(|v| v.saturating_mul(mult))
+        .map_err(|_| format!("bad byte quota {s:?}"))
+}
+
+/// One tenant's live admission state.
+#[derive(Debug)]
+pub struct TenantState {
+    /// The spec this state was built from.
+    pub spec: TenantSpec,
+    governor: Governor,
+    scanned: AtomicU64,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl TenantState {
+    fn new(spec: TenantSpec) -> TenantState {
+        let governor = match spec.max_bytes {
+            Some(max) => Governor::new(&Budget::unlimited().with_max_payload_bytes(max), None),
+            None => Governor::unlimited(),
+        };
+        TenantState {
+            spec,
+            governor,
+            scanned: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// Admit a request of `len` input bytes, charging them to the
+    /// quota. Over-quota is a typed [`ErrorCode::TenantOverQuota`]
+    /// rejection; the charge is not rolled back (the quota is a
+    /// lifetime cumulative cap, and keeping the accumulator monotonic
+    /// is what makes concurrent admission race-free).
+    pub fn admit(&self, len: u64) -> Result<(), ServeError> {
+        let total = self
+            .scanned
+            .fetch_add(len, Ordering::Relaxed)
+            .wrapping_add(len);
+        match self.governor.check(0, total) {
+            Ok(()) => {
+                self.admitted.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(SfaError::BudgetExceeded { .. }) => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::new(
+                    ErrorCode::TenantOverQuota,
+                    format!(
+                        "tenant {:?} exhausted its quota of {} bytes ({} scanned)",
+                        self.spec.name,
+                        self.spec.max_bytes.unwrap_or(u64::MAX),
+                        total,
+                    ),
+                ))
+            }
+            Err(other) => Err(ServeError::new(ErrorCode::Internal, other.to_string())),
+        }
+    }
+
+    /// Cumulative bytes charged so far.
+    pub fn scanned(&self) -> u64 {
+        self.scanned.load(Ordering::Relaxed)
+    }
+
+    /// Requests admitted.
+    pub fn admitted(&self) -> u64 {
+        self.admitted.load(Ordering::Relaxed)
+    }
+
+    /// Requests rejected over quota.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+}
+
+/// The immutable tenant table built at startup.
+#[derive(Debug)]
+pub struct TenantTable {
+    tenants: BTreeMap<String, TenantState>,
+}
+
+impl TenantTable {
+    /// Build from specs; an empty list yields one unlimited `default`
+    /// tenant so single-tenant deployments need no flags.
+    pub fn new(specs: Vec<TenantSpec>) -> Result<TenantTable, String> {
+        let specs = if specs.is_empty() {
+            vec![TenantSpec::unlimited("default")]
+        } else {
+            specs
+        };
+        let mut tenants = BTreeMap::new();
+        for spec in specs {
+            let name = spec.name.clone();
+            if tenants
+                .insert(name.clone(), TenantState::new(spec))
+                .is_some()
+            {
+                return Err(format!("duplicate tenant {name:?}"));
+            }
+        }
+        Ok(TenantTable { tenants })
+    }
+
+    /// Look up a tenant by name.
+    pub fn get(&self, name: &str) -> Option<&TenantState> {
+        self.tenants.get(name)
+    }
+
+    /// All tenants, in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &TenantState> {
+        self.tenants.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_parsing() {
+        assert_eq!(
+            TenantSpec::parse("alpha=unlimited").unwrap(),
+            TenantSpec::unlimited("alpha")
+        );
+        assert_eq!(
+            TenantSpec::parse("bravo=4K").unwrap(),
+            TenantSpec::limited("bravo", 4096)
+        );
+        assert_eq!(
+            TenantSpec::parse("c=123").unwrap(),
+            TenantSpec::limited("c", 123)
+        );
+        assert!(TenantSpec::parse("no-equals").is_err());
+        assert!(TenantSpec::parse("=5").is_err());
+        assert!(TenantSpec::parse("x=notbytes").is_err());
+    }
+
+    #[test]
+    fn quota_is_cumulative_and_sticky() {
+        let table = TenantTable::new(vec![
+            TenantSpec::limited("small", 100),
+            TenantSpec::unlimited("big"),
+        ])
+        .unwrap();
+        let small = table.get("small").unwrap();
+        // Governor fires strictly above the cap: two 50-byte requests
+        // land exactly on it and pass, the third crosses it.
+        small.admit(50).unwrap();
+        small.admit(50).unwrap();
+        let err = small.admit(1).unwrap_err();
+        assert_eq!(err.code, ErrorCode::TenantOverQuota);
+        // Sticky: even a zero-length request stays rejected.
+        assert!(small.admit(0).is_err());
+        assert_eq!(small.admitted(), 2);
+        assert!(small.rejected() >= 2);
+
+        // The other tenant is unaffected.
+        let big = table.get("big").unwrap();
+        big.admit(u64::from(u32::MAX)).unwrap();
+        assert!(table.get("missing").is_none());
+    }
+
+    #[test]
+    fn empty_table_gets_default_tenant() {
+        let table = TenantTable::new(Vec::new()).unwrap();
+        assert!(table.get("default").unwrap().admit(1 << 30).is_ok());
+        assert!(TenantTable::new(vec![
+            TenantSpec::unlimited("dup"),
+            TenantSpec::limited("dup", 1),
+        ])
+        .is_err());
+    }
+}

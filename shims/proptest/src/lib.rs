@@ -152,6 +152,34 @@ pub mod collection {
     }
 }
 
+pub mod option {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+
+    /// Strategy for `Option<T>` values.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `proptest::option::of(strategy)`: `None` in roughly a quarter of
+    /// samples, `Some(inner sample)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.next_u64() & 3 == 0 {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+}
+
 /// Stable 64-bit seed from the test path so each test gets its own
 /// deterministic stream.
 pub fn seed_from_name(name: &str) -> u64 {

@@ -375,29 +375,166 @@ proptest! {
             token.cancel();
         }
         let budget = Budget::unlimited().with_deadline(Duration::from_micros(deadline_us));
-        let governor = Governor::new(&budget, Some(token));
+        let governor = Governor::new(&budget, Some(token.clone()));
         let pool = TaskPool::shared();
 
-        match matcher.matches_on(pool, &governor, &input, threads) {
-            Ok(v) => prop_assert_eq!(v, match_sequential(&dfa, &input)),
+        // The verdict path goes through the request API.
+        let rt = MatchRuntime::new(threads);
+        let request = MatchRequest::symbols(input.clone()).with_budget(budget.clone());
+        match rt.run_cancelable(&matcher, &request, Some(token)) {
+            Ok(o) => prop_assert_eq!(o.verdict, match_sequential(&dfa, &input)),
             Err(SfaError::Cancelled { .. }) | Err(SfaError::BudgetExceeded { .. }) => {}
             Err(other) => prop_assert!(false, "unexpected error: {other}"),
         }
-        match matcher.count_matches_on(pool, &governor, &input, threads) {
-            Ok(c) => prop_assert_eq!(
-                c,
-                sfa_core::matcher::count_matches_sequential(&dfa, &input)
-            ),
-            Err(SfaError::Cancelled { .. }) | Err(SfaError::BudgetExceeded { .. }) => {}
-            Err(other) => prop_assert!(false, "unexpected error: {other}"),
+        // Governed counting and find-first have no request-API
+        // equivalent; the deprecated shims stay covered here until the
+        // family is removed.
+        #[allow(deprecated)]
+        {
+            match matcher.count_matches_on(pool, &governor, &input, threads) {
+                Ok(c) => prop_assert_eq!(
+                    c,
+                    sfa_core::matcher::count_matches_sequential(&dfa, &input)
+                ),
+                Err(SfaError::Cancelled { .. }) | Err(SfaError::BudgetExceeded { .. }) => {}
+                Err(other) => prop_assert!(false, "unexpected error: {other}"),
+            }
+            match matcher.find_first_match_on(pool, &governor, &input, threads) {
+                Ok(p) => prop_assert_eq!(
+                    p,
+                    sfa_core::matcher::find_first_match_sequential(&dfa, &input)
+                ),
+                Err(SfaError::Cancelled { .. }) | Err(SfaError::BudgetExceeded { .. }) => {}
+                Err(other) => prop_assert!(false, "unexpected error: {other}"),
+            }
         }
-        match matcher.find_first_match_on(pool, &governor, &input, threads) {
-            Ok(p) => prop_assert_eq!(
-                p,
-                sfa_core::matcher::find_first_match_sequential(&dfa, &input)
-            ),
-            Err(SfaError::Cancelled { .. }) | Err(SfaError::BudgetExceeded { .. }) => {}
-            Err(other) => prop_assert!(false, "unexpected error: {other}"),
+    }
+}
+
+/// Build a [`MatchStats`] from the outside (the struct is
+/// `#[non_exhaustive]`, so external code mutates a default).
+#[allow(clippy::field_reassign_with_default)]
+fn stats_for_wire_test(
+    tier: MatchTier,
+    blocks: u64,
+    chunks: u64,
+    bytes: u64,
+    elapsed: Duration,
+    queue_depth: usize,
+    retries: u64,
+) -> MatchStats {
+    let mut stats = MatchStats::default();
+    stats.tier = tier;
+    stats.blocks = blocks;
+    stats.chunks = chunks;
+    stats.bytes = bytes;
+    stats.elapsed = elapsed;
+    stats.queue_depth = queue_depth;
+    stats.retries = retries;
+    stats
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The wire types round-trip through `sfa-json` exactly, and the
+    /// request decoder tolerates unknown fields (an old server must
+    /// accept a newer client's request).
+    #[test]
+    fn prop_match_request_round_trips_through_json(
+        kind in 0u8..3,
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        pattern_nibbles in proptest::option::of(proptest::collection::vec(0u8..16, 1..17)),
+        deadline_ms in proptest::option::of(0u64..10_000),
+        max_payload in proptest::option::of(any::<u32>()),
+        max_states in proptest::option::of(any::<u32>()),
+        tier_ix in 0usize..3,
+        skip_ws in any::<bool>(),
+        trace in any::<bool>(),
+    ) {
+        let mut req = match kind {
+            0 => MatchRequest::symbols(payload.clone()),
+            1 => MatchRequest::bytes(payload.clone()),
+            _ => MatchRequest::file("inputs/genome.txt"),
+        };
+        let pattern = pattern_nibbles.map(|nibbles| {
+            nibbles
+                .iter()
+                .map(|&n| char::from_digit(n as u32, 16).unwrap())
+                .collect::<String>()
+        });
+        if let Some(p) = &pattern {
+            req = req.with_pattern(p.clone());
         }
+        let mut budget = Budget::unlimited();
+        if let Some(ms) = deadline_ms {
+            budget = budget.with_deadline(Duration::from_millis(ms));
+        }
+        if let Some(n) = max_payload {
+            budget = budget.with_max_payload_bytes(n as u64);
+        }
+        if let Some(n) = max_states {
+            budget = budget.with_max_states(n as u64);
+        }
+        req = req
+            .with_budget(budget)
+            .with_tier([TierPolicy::Auto, TierPolicy::Sequential, TierPolicy::RequireFull][tier_ix])
+            .with_classifier(if skip_ws {
+                ClassifierMode::SkipWhitespace
+            } else {
+                ClassifierMode::Strict
+            })
+            .with_trace(trace);
+
+        let text = sfa_json::to_string(&req.to_json());
+        let mut v = sfa_json::from_str(&text).unwrap();
+        // Inject a field from a hypothetical future client.
+        if let sfa_json::Value::Object(fields) = &mut v {
+            fields.push(("zz_future_axis".into(), sfa_json::Value::Number(1.5)));
+        }
+        let back = MatchRequest::from_json(&v).unwrap();
+        prop_assert_eq!(back, req);
+    }
+
+    /// Outcome round-trip: every counter survives the wire; derived
+    /// float fields may render as `null` (non-finite) and still decode.
+    #[test]
+    fn prop_match_outcome_round_trips_through_json(
+        verdict in any::<bool>(),
+        tier_ix in 0usize..3,
+        blocks in any::<u32>(),
+        chunks in any::<u32>(),
+        bytes in any::<u32>(),
+        queue_depth in 0usize..1_000,
+        retries in any::<u8>(),
+        elapsed_us in 0u64..10_000_000,
+        degraded_ascii in proptest::option::of(proptest::collection::vec(32u8..127, 0..40)),
+    ) {
+        let degraded = degraded_ascii.map(|b| String::from_utf8(b).unwrap());
+        let tier = [MatchTier::FullSfa, MatchTier::LazySfa, MatchTier::Sequential][tier_ix];
+        let stats = stats_for_wire_test(
+            tier,
+            blocks as u64,
+            chunks as u64,
+            bytes as u64,
+            Duration::from_micros(elapsed_us),
+            queue_depth,
+            retries as u64,
+        );
+        let mut out = MatchOutcome::new(verdict, stats);
+        if let Some(d) = &degraded {
+            out = out.with_degraded(d.clone());
+        }
+        let text = sfa_json::to_string(&out.to_json());
+        let back = MatchOutcome::from_json(&sfa_json::from_str(&text).unwrap()).unwrap();
+        prop_assert_eq!(back.verdict, out.verdict);
+        prop_assert_eq!(back.tier, out.tier);
+        prop_assert_eq!(back.stats.blocks, out.stats.blocks);
+        prop_assert_eq!(back.stats.chunks, out.stats.chunks);
+        prop_assert_eq!(back.stats.bytes, out.stats.bytes);
+        prop_assert_eq!(back.stats.queue_depth, out.stats.queue_depth);
+        prop_assert_eq!(back.stats.retries, out.stats.retries);
+        prop_assert_eq!(back.stats.elapsed, out.stats.elapsed);
+        prop_assert_eq!(back.degraded.clone(), out.degraded.clone());
     }
 }
