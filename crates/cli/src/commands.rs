@@ -235,9 +235,10 @@ pub fn build(parsed: &Parsed) -> Result<(), String> {
     if parsed.flag("resume") && checkpoint.is_none() {
         return Err("--resume requires --checkpoint <path>".into());
     }
-    // Checkpointing needs deterministic state ids, so `--checkpoint`
-    // selects the sequential engine even without `--seq`.
-    let built = if parsed.opt("seq").is_some() || checkpoint.is_some() {
+    // Both engines produce canonically numbered (byte-identical)
+    // automata, so `--checkpoint`/`--resume` compose with either; a
+    // checkpoint written by one engine can be resumed by the other.
+    let mut builder = if parsed.opt("seq").is_some() {
         let variant = match parsed.opt("seq").unwrap_or("transposed") {
             "baseline" => SequentialVariant::Baseline,
             "pointer-tree" => SequentialVariant::BaselinePointerTree,
@@ -245,26 +246,26 @@ pub fn build(parsed: &Parsed) -> Result<(), String> {
             "transposed" => SequentialVariant::Transposed,
             other => return Err(format!("unknown sequential variant {other:?}")),
         };
-        let mut builder = Sfa::builder(&dfa).sequential(variant).budget(budget);
-        if let Some(path) = checkpoint {
-            builder = builder.checkpoint(path, parsed.num("checkpoint-every", 1024u64)?.max(1));
-            if parsed.flag("resume") {
-                if std::path::Path::new(path).exists() {
-                    eprintln!("# resuming from checkpoint {path}");
-                    builder = builder.resume_from(path);
-                } else {
-                    // Keeps `build … --resume` usable as a retry loop: a
-                    // run that died before its first snapshot (or that
-                    // finished and was cleaned up) just starts over.
-                    eprintln!("# no checkpoint at {path}; starting fresh");
-                }
-            }
-        }
-        builder.build()
+        Sfa::builder(&dfa).sequential(variant).budget(budget)
     } else {
         let opts = parallel_options(parsed)?;
-        Sfa::builder(&dfa).options(&opts).budget(budget).build()
+        Sfa::builder(&dfa).options(&opts).budget(budget)
     };
+    if let Some(path) = checkpoint {
+        builder = builder.checkpoint(path, parsed.num("checkpoint-every", 1024u64)?.max(1));
+        if parsed.flag("resume") {
+            if std::path::Path::new(path).exists() {
+                eprintln!("# resuming from checkpoint {path}");
+                builder = builder.resume_from(path);
+            } else {
+                // Keeps `build … --resume` usable as a retry loop: a
+                // run that died before its first snapshot (or that
+                // finished and was cleaned up) just starts over.
+                eprintln!("# no checkpoint at {path}; starting fresh");
+            }
+        }
+    }
+    let built = builder.build();
     let result = match built {
         Ok(r) => r,
         Err(err) if err.is_degradable() => {
@@ -568,12 +569,21 @@ pub fn serve(parsed: &Parsed) -> Result<(), String> {
 
     let state = handle.state().clone();
     eprintln!(
-        "# sfa serve listening on {} ({} patterns: {} reloaded from artifacts, {} constructed)",
+        "# sfa serve listening on {} ({} patterns: {} reloaded from artifacts, {} constructed, \
+         {} deduped)",
         handle.addr(),
         state.registry.entries().len(),
         state.registry.reloaded(),
         state.registry.constructed(),
+        state.registry.deduped(),
     );
+    if !state.registry.orphans().is_empty() {
+        eprintln!(
+            "# artifact cache holds {} unreferenced .sfar file(s) (safe to delete): {}",
+            state.registry.orphans().len(),
+            state.registry.orphans().join(", "),
+        );
+    }
     for entry in state.registry.entries() {
         match entry.degraded_reason() {
             Some(reason) => eprintln!(

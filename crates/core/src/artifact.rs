@@ -177,6 +177,34 @@ impl Checkpoint {
         Some(out)
     }
 
+    /// Validate this checkpoint against `dfa` at element width `E` and
+    /// decode its mapping arena. Shared by the sequential and parallel
+    /// engines' resume paths so both reject the same mismatches with the
+    /// same diagnostics.
+    pub fn validate_for<E: Elem>(&self, dfa: &Dfa) -> Result<Vec<E>, IoError> {
+        let n = dfa.num_states() as usize;
+        let k = dfa.num_symbols();
+        if self.dfa_crc != dfa_fingerprint(dfa) {
+            return Err(IoError::Corrupt(
+                "checkpoint was built from a different DFA",
+            ));
+        }
+        if self.dfa_states as usize != n || self.symbols as usize != k {
+            return Err(IoError::Corrupt(
+                "checkpoint dimensions disagree with the DFA",
+            ));
+        }
+        let Some(mappings) = self.mappings::<E>() else {
+            return Err(IoError::Corrupt(
+                "checkpoint element width disagrees with the DFA",
+            ));
+        };
+        if (mappings.len() / n) as u64 != self.num_states {
+            return Err(IoError::Corrupt("checkpoint arena size mismatch"));
+        }
+        Ok(mappings)
+    }
+
     /// Serialize into an artifact byte vector (checksummed container).
     pub fn to_artifact_bytes(&self) -> Vec<u8> {
         let mut meta = Vec::with_capacity(48);
@@ -299,6 +327,15 @@ impl Checkpoint {
 
 fn to_len(v: u64) -> Result<usize, IoError> {
     usize::try_from(v).map_err(|_| IoError::Corrupt("dimension overflow"))
+}
+
+/// Content hash of artifact bytes (CRC-64/XZ). The serve registry
+/// stores `.sfar` files under this hash: deterministic construction
+/// makes equal automata byte-equal regardless of thread count or
+/// scheduler, so identical patterns — across restarts and tenants —
+/// share one artifact file.
+pub fn content_hash(bytes: &[u8]) -> u64 {
+    crc64(bytes)
 }
 
 /// Fingerprint of a DFA (CRC-64/XZ over dimensions, start state,

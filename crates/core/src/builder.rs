@@ -36,7 +36,7 @@ use crate::artifact::{self, CheckpointConfig};
 use crate::budget::{Budget, Governor};
 use crate::obs::{MetricsRegistry, Subscriber};
 use crate::parallel::{
-    construct_parallel_governed, CompressionPolicy, FingerprintAlgo, ParallelOptions, Scheduler,
+    construct_parallel_resumable, CompressionPolicy, FingerprintAlgo, ParallelOptions, Scheduler,
 };
 use crate::sequential::{construct_sequential_resumable, SequentialVariant};
 use crate::sfa::{CodecChoice, Sfa};
@@ -196,10 +196,16 @@ impl<'d> SfaBuilder<'d> {
     }
 
     /// Periodically snapshot construction state to `path` (atomic write,
-    /// CRC-checked artifact) every `every_states` processed SFA states,
-    /// so an interrupted build can be continued with [`resume_from`]
-    /// (producing a byte-identical SFA). Requires a sequential engine —
-    /// the parallel engine assigns state ids nondeterministically.
+    /// CRC-checked artifact), so an interrupted build can be continued
+    /// with [`resume_from`] (producing a byte-identical SFA). Works with
+    /// both engines: the sequential engine snapshots every
+    /// `every_states` processed states, the parallel engine every
+    /// `every_states` discovered states (all workers quiesce at a
+    /// barrier and one of them snapshots the canonical-order prefix —
+    /// the state numbering both engines share, so either engine can
+    /// resume the other's checkpoint). The parallel engine only rejects
+    /// the combination with schedule-dependent options (probabilistic
+    /// mode, `CompressionPolicy::WhenMemoryExceeds`).
     ///
     /// [`resume_from`]: SfaBuilder::resume_from
     pub fn checkpoint(mut self, path: impl Into<PathBuf>, every_states: u64) -> Self {
@@ -210,7 +216,8 @@ impl<'d> SfaBuilder<'d> {
     /// Continue an interrupted build from the checkpoint artifact at
     /// `path`. The checkpoint must have been written for the same DFA
     /// (a fingerprint binds them); the finished SFA is byte-identical to
-    /// an uninterrupted run. Requires a sequential engine.
+    /// an uninterrupted run, whichever engine wrote the checkpoint and
+    /// whichever engine resumes it.
     pub fn resume_from(mut self, path: impl AsRef<Path>) -> Self {
         self.resume_from = Some(path.as_ref().to_path_buf());
         self
@@ -219,30 +226,26 @@ impl<'d> SfaBuilder<'d> {
     /// Run the configured construction. The budget clock starts here.
     pub fn build(self) -> Result<ConstructionResult, SfaError> {
         let governor = Governor::new(&self.budget, self.cancel);
+        let resume = match &self.resume_from {
+            Some(path) => Some(artifact::read_checkpoint(path)?),
+            None => None,
+        };
         let result = match self.variant {
-            Some(variant) => {
-                let resume = match &self.resume_from {
-                    Some(path) => Some(artifact::read_checkpoint(path)?),
-                    None => None,
-                };
-                construct_sequential_resumable(
-                    self.dfa,
-                    variant,
-                    self.opts.state_budget,
-                    &governor,
-                    self.checkpoint.as_ref(),
-                    resume.as_ref(),
-                )?
-            }
-            None => {
-                if self.checkpoint.is_some() || self.resume_from.is_some() {
-                    return Err(SfaError::InvalidOptions(
-                        "checkpointed construction requires a sequential engine variant \
-                         (the parallel engine assigns state ids nondeterministically)",
-                    ));
-                }
-                construct_parallel_governed(self.dfa, &self.opts, &governor)?
-            }
+            Some(variant) => construct_sequential_resumable(
+                self.dfa,
+                variant,
+                self.opts.state_budget,
+                &governor,
+                self.checkpoint.as_ref(),
+                resume.as_ref(),
+            )?,
+            None => construct_parallel_resumable(
+                self.dfa,
+                &self.opts,
+                &governor,
+                self.checkpoint.as_ref(),
+                resume.as_ref(),
+            )?,
         };
         if let Some(reg) = &self.metrics {
             crate::obs::record_construction(reg, &result.stats);
@@ -312,19 +315,100 @@ mod tests {
     }
 
     #[test]
-    fn checkpointing_requires_a_sequential_engine() {
+    fn parallel_checkpointing_rejects_schedule_dependent_options() {
+        // Parallel + checkpoint is supported now; only options whose
+        // outcome depends on worker scheduling stay rejected (their
+        // resumed artifacts could not be byte-identical).
         let dfa = rg_dfa();
         let dir = std::env::temp_dir().join("sfa_builder_test");
         std::fs::create_dir_all(&dir).unwrap();
-        for b in [
-            Sfa::builder(&dfa).checkpoint(dir.join("c.ckpt"), 8),
-            Sfa::builder(&dfa).resume_from(dir.join("c.ckpt")),
-        ] {
+        let mut probabilistic = ParallelOptions::with_threads(2);
+        probabilistic.probabilistic = true;
+        let mut watermark = ParallelOptions::with_threads(2);
+        watermark.compression = CompressionPolicy::WhenMemoryExceeds(1);
+        for opts in [probabilistic, watermark] {
+            let b = Sfa::builder(&dfa)
+                .options(&opts)
+                .checkpoint(dir.join("reject.ckpt"), 8);
             assert!(matches!(
                 b.build().unwrap_err(),
                 SfaError::InvalidOptions(_)
             ));
         }
+    }
+
+    #[test]
+    fn parallel_checkpoint_then_resume_is_byte_identical() {
+        let dfa = rg_dfa();
+        let dir = std::env::temp_dir().join("sfa_builder_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("resume_par_unit.ckpt");
+        let _ = std::fs::remove_file(&path);
+
+        // Interrupt via a tight state budget, snapshotting at every
+        // discovered state. Medium granularity (one symbol per work
+        // item) makes discovery gradual enough that checkpoints land
+        // before the arena overflows — with one state per item the
+        // whole budget can blow inside the first item.
+        let mut opts = ParallelOptions::with_threads(2);
+        opts.symbol_blocks = dfa.num_symbols();
+        opts.state_budget = 5;
+        let err = Sfa::builder(&dfa)
+            .options(&opts)
+            .checkpoint(&path, 1)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SfaError::StateBudgetExceeded { budget: 5 });
+
+        // Resume with *different* parallel options (default coarse
+        // granularity): canonical numbering makes the result identical
+        // to both an uninterrupted parallel build and a sequential one.
+        let resumed = Sfa::builder(&dfa).resume_from(&path).build().unwrap();
+        let fresh_par = Sfa::builder(&dfa).threads(2).build().unwrap();
+        let fresh_seq = Sfa::builder(&dfa)
+            .sequential(SequentialVariant::Transposed)
+            .build()
+            .unwrap();
+        let bytes = crate::io::to_bytes(&resumed.sfa);
+        assert_eq!(bytes, crate::io::to_bytes(&fresh_par.sfa));
+        assert_eq!(bytes, crate::io::to_bytes(&fresh_seq.sfa));
+        resumed.sfa.validate(&dfa).unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn checkpoints_are_interchangeable_between_engines() {
+        // A sequential snapshot resumed by the parallel engine (and vice
+        // versa) finishes to the same bytes as any uninterrupted build —
+        // both engines number states in canonical (BFS) order.
+        let dfa = rg_dfa();
+        let dir = std::env::temp_dir().join("sfa_builder_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("resume_cross_unit.ckpt");
+        let _ = std::fs::remove_file(&path);
+
+        let err = Sfa::builder(&dfa)
+            .sequential(SequentialVariant::Transposed)
+            .checkpoint(&path, 1)
+            .state_budget(5)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SfaError::StateBudgetExceeded { budget: 5 });
+
+        let par_resumed = Sfa::builder(&dfa)
+            .threads(4)
+            .resume_from(&path)
+            .build()
+            .unwrap();
+        let fresh_seq = Sfa::builder(&dfa)
+            .sequential(SequentialVariant::Transposed)
+            .build()
+            .unwrap();
+        assert_eq!(
+            crate::io::to_bytes(&par_resumed.sfa),
+            crate::io::to_bytes(&fresh_seq.sfa)
+        );
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

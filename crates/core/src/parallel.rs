@@ -20,9 +20,24 @@
 //! * **Schedulers** ([`Scheduler`]) swap the work-distribution structure
 //!   to reproduce the paper's TBB-queue comparison (§IV-B) and the
 //!   global-queue-only ablation.
+//! * **Canonical renumbering**: arena ids are assigned in whatever order
+//!   workers win their CAS races, so the harvest renumbers every state
+//!   by BFS from the start state in symbol order — exactly the discovery
+//!   order of the sequential FIFO worklist. A parallel build is therefore
+//!   **byte-identical** to the sequential one for any thread count,
+//!   scheduler, and work granularity (with a schedule-independent
+//!   compression policy), and race-loser arena garbage can never leave
+//!   gaps or aliases in the final id space.
+//! * **Checkpointing**: on top of that determinism, a parallel build can
+//!   snapshot the canonical prefix of the automaton at a stop-the-world
+//!   rendezvous (same barrier machinery as the compression phase) into
+//!   the same artifact container sequential builds use — either engine
+//!   resumes it to a byte-identical SFA (DESIGN.md §14).
 
+use crate::artifact::{self, Checkpoint, CheckpointConfig};
 use crate::budget::Governor;
 use crate::elem::{fits_u16, Elem};
+use crate::io::IoError;
 use crate::memory::MemoryManager;
 use crate::sfa::{CodecChoice, MappingStore, Sfa};
 use crate::state::{MappingBuf, StateStore};
@@ -231,6 +246,26 @@ pub fn construct_parallel_governed(
     opts: &ParallelOptions,
     governor: &Governor,
 ) -> Result<ConstructionResult, SfaError> {
+    construct_parallel_resumable(dfa, opts, governor, None, None)
+}
+
+/// Governed parallel construction with optional checkpointing and resume
+/// (`SfaBuilder::{checkpoint, resume_from}` are the public entry points).
+///
+/// Checkpoints written here use the same container as sequential builds:
+/// the snapshot is the canonical prefix of the automaton (see
+/// [`canonical_order`]), so a parallel checkpoint can be resumed by
+/// either engine and the finished SFA is byte-identical to an
+/// uninterrupted run. Requires a schedule-independent compression policy
+/// ([`CompressionPolicy::Never`] or [`CompressionPolicy::FromStart`]) and
+/// the exact (non-probabilistic) mode.
+pub fn construct_parallel_resumable(
+    dfa: &Dfa,
+    opts: &ParallelOptions,
+    governor: &Governor,
+    checkpoint: Option<&CheckpointConfig>,
+    resume: Option<&Checkpoint>,
+) -> Result<ConstructionResult, SfaError> {
     if dfa.num_states() == 0 {
         return Err(SfaError::EmptyDfa);
     }
@@ -256,14 +291,29 @@ pub fn construct_parallel_governed(
             "probabilistic mode stores no payloads to compress",
         ));
     }
+    if opts.probabilistic && (checkpoint.is_some() || resume.is_some()) {
+        return Err(SfaError::InvalidOptions(
+            "probabilistic construction drops mapping payloads, so it can \
+             neither write nor resume checkpoints",
+        ));
+    }
+    if matches!(opts.compression, CompressionPolicy::WhenMemoryExceeds(_))
+        && (checkpoint.is_some() || resume.is_some())
+    {
+        return Err(SfaError::InvalidOptions(
+            "checkpointed parallel construction requires a schedule-independent \
+             compression policy (Never or FromStart); the memory watermark's trip \
+             point is not, so resumed artifacts could not be byte-identical",
+        ));
+    }
     // Fail fast (before allocating the arena or spawning workers) when
     // the budget is already exhausted — e.g. a zero deadline or a token
     // cancelled ahead of the call.
     governor.check(0, 0)?;
     if fits_u16(dfa.num_states()) {
-        Engine::<u16>::run(dfa, opts, governor)
+        Engine::<u16>::run(dfa, opts, governor, checkpoint, resume)
     } else {
-        Engine::<u32>::run(dfa, opts, governor)
+        Engine::<u32>::run(dfa, opts, governor, checkpoint, resume)
     }
 }
 
@@ -364,6 +414,20 @@ struct Shared<E: Elem> {
     has_error: AtomicBool,
     clock: Mutex<PhaseClock>,
     governor: Governor,
+    /// CRC-64 fingerprint of the source DFA (bound into checkpoints so a
+    /// snapshot can never be resumed against the wrong automaton).
+    dfa_crc: u64,
+    /// Checkpoint cadence, when parallel checkpointing is enabled.
+    ckpt: Option<CheckpointConfig>,
+    /// Set when a worker crosses [`Shared::ckpt_next`]: all workers then
+    /// converge on the rendezvous barrier and one of them snapshots the
+    /// canonical prefix.
+    ckpt_requested: AtomicBool,
+    /// Discovered-state count at which the next snapshot is due.
+    ckpt_next: AtomicU64,
+    /// One-shot leader latch for the compression protocol (CAS-elected —
+    /// worker 0 may have exited on an error path before compressing).
+    compress_leader: AtomicBool,
 }
 
 #[derive(Default)]
@@ -402,13 +466,29 @@ impl<E: Elem> Engine<E> {
         dfa: &Dfa,
         opts: &ParallelOptions,
         governor: &Governor,
+        checkpoint: Option<&CheckpointConfig>,
+        resume: Option<&Checkpoint>,
     ) -> Result<ConstructionResult, SfaError> {
         match opts.fingerprint {
-            FingerprintAlgo::City => Self::run_with(dfa, opts, governor, CityFingerprinter),
-            FingerprintAlgo::Rabin => {
-                Self::run_with(dfa, opts, governor, sfa_hash::RabinFingerprinter::default())
+            FingerprintAlgo::City => {
+                Self::run_with(dfa, opts, governor, checkpoint, resume, CityFingerprinter)
             }
-            FingerprintAlgo::Fx => Self::run_with(dfa, opts, governor, sfa_hash::FxFingerprinter),
+            FingerprintAlgo::Rabin => Self::run_with(
+                dfa,
+                opts,
+                governor,
+                checkpoint,
+                resume,
+                sfa_hash::RabinFingerprinter::default(),
+            ),
+            FingerprintAlgo::Fx => Self::run_with(
+                dfa,
+                opts,
+                governor,
+                checkpoint,
+                resume,
+                sfa_hash::FxFingerprinter,
+            ),
         }
     }
 
@@ -416,6 +496,8 @@ impl<E: Elem> Engine<E> {
         dfa: &Dfa,
         opts: &ParallelOptions,
         governor: &Governor,
+        checkpoint: Option<&CheckpointConfig>,
+        resume: Option<&Checkpoint>,
         fingerprinter: F,
     ) -> Result<ConstructionResult, SfaError> {
         let t0 = Instant::now();
@@ -435,6 +517,14 @@ impl<E: Elem> Engine<E> {
             _ => None,
         };
 
+        // The seed phase must be able to enqueue one item per symbol
+        // block — and, on resume, one per persisted frontier state per
+        // block — before any worker-local deque exists.
+        let seed_items = match resume {
+            Some(ckpt) => ((ckpt.num_states - ckpt.processed).max(1) as usize)
+                .saturating_mul(opts.symbol_blocks),
+            None => opts.symbol_blocks,
+        };
         let shared = Shared::<E> {
             table_typed: dfa.table().iter().map(|&q| E::from_u32(q)).collect(),
             n,
@@ -442,14 +532,12 @@ impl<E: Elem> Engine<E> {
             opts: opts.clone(),
             store: StateStore::new(opts.state_budget, n, E::BYTES, k),
             table: ChainedTable::new(buckets),
-            // The seed phase must be able to enqueue one item per symbol
-            // block before any worker-local deque exists.
             global_q: GlobalQueue::new(
                 match opts.scheduler {
                     Scheduler::GlobalOnly => opts.state_budget,
                     _ => opts.global_queue_capacity,
                 }
-                .max(opts.symbol_blocks),
+                .max(seed_items),
             ),
             mpmc: MsQueue::new(),
             pending: AtomicU64::new(0),
@@ -465,41 +553,91 @@ impl<E: Elem> Engine<E> {
             has_error: AtomicBool::new(false),
             clock: Mutex::new(PhaseClock::default()),
             governor: governor.clone(),
+            dfa_crc: artifact::dfa_fingerprint(dfa),
+            ckpt: checkpoint.cloned(),
+            ckpt_requested: AtomicBool::new(false),
+            ckpt_next: AtomicU64::new(u64::MAX),
+            compress_leader: AtomicBool::new(false),
         };
 
-        // Seed the start state (identity mapping).
-        let identity: Vec<E> = (0..n as u32).map(E::from_u32).collect();
-        let id_bytes = E::as_bytes(&identity);
-        let fp = fingerprinter.fingerprint(id_bytes);
         let codec = opts.codec.codec();
-        let payload: Box<[u8]> = if start_compressed {
-            codec.compress_to_vec(id_bytes).into_boxed_slice()
-        } else {
-            id_bytes.to_vec().into_boxed_slice()
-        };
-        if shared.mem.charge(payload.len()) {
-            // A watermark below the very first state still has to trigger
-            // the (one-shot) compression phase once workers start.
-            shared
-                .phase
-                .store(PHASE_COMPRESS_REQUESTED, Ordering::SeqCst);
-        }
-        let start = shared.store.alloc(fp, payload, start_compressed).ok_or(
-            SfaError::StateBudgetExceeded {
-                budget: opts.state_budget,
-            },
-        )?;
-        shared.table.insert_unchecked(fp, start, &shared.store);
         let blocks = opts.symbol_blocks as u32;
-        shared.pending.store(blocks as u64, Ordering::SeqCst);
-        for blk in 0..blocks {
-            let item = start * blocks + blk;
-            match opts.scheduler {
-                Scheduler::SharedMpmc => shared.mpmc.enqueue(item),
-                _ => {
-                    let _ = shared.global_q.enqueue(item);
+        let enqueue = |item: u32| match opts.scheduler {
+            Scheduler::SharedMpmc => shared.mpmc.enqueue(item),
+            _ => {
+                let _ = shared.global_q.enqueue(item);
+            }
+        };
+        let seed_row = |row: &[E]| -> Result<u32, SfaError> {
+            let bytes = E::as_bytes(row);
+            let fp = fingerprinter.fingerprint(bytes);
+            let payload: Box<[u8]> = if start_compressed {
+                codec.compress_to_vec(bytes).into_boxed_slice()
+            } else {
+                bytes.to_vec().into_boxed_slice()
+            };
+            if shared.mem.charge(payload.len()) {
+                // A watermark below the seeded states still has to trigger
+                // the (one-shot) compression phase once workers start.
+                shared
+                    .phase
+                    .store(PHASE_COMPRESS_REQUESTED, Ordering::SeqCst);
+            }
+            let id = shared.store.alloc(fp, payload, start_compressed).ok_or(
+                SfaError::StateBudgetExceeded {
+                    budget: opts.state_budget,
+                },
+            )?;
+            shared.table.insert_unchecked(fp, id, &shared.store);
+            Ok(id)
+        };
+        match resume {
+            None => {
+                // Seed the start state (identity mapping).
+                let identity: Vec<E> = (0..n as u32).map(E::from_u32).collect();
+                let start = seed_row(&identity)?;
+                debug_assert_eq!(start, 0);
+                shared.pending.store(blocks as u64, Ordering::SeqCst);
+                for blk in 0..blocks {
+                    enqueue(start * blocks + blk);
                 }
             }
+            Some(ckpt) => {
+                // Re-intern the persisted arena in id order: parallel
+                // snapshots are written in canonical (= sequential) order,
+                // so arena ids here equal checkpoint row indices and hash
+                // chains come back in discovery order.
+                let mappings = ckpt.validate_for::<E>(dfa).map_err(SfaError::Artifact)?;
+                let num_states = ckpt.num_states as usize;
+                for idx in 0..num_states {
+                    let id = seed_row(&mappings[idx * n..(idx + 1) * n])?;
+                    debug_assert_eq!(id as usize, idx);
+                }
+                // Processed rows keep their completed δₛ entries; frontier
+                // rows stay NIL and are recomputed by the workers.
+                for row in 0..ckpt.processed as usize {
+                    for sym in 0..k {
+                        shared
+                            .store
+                            .set_succ(row as u32, sym, ckpt.delta[row * k + sym]);
+                    }
+                }
+                let frontier = ckpt.num_states - ckpt.processed;
+                shared
+                    .pending
+                    .store(frontier * blocks as u64, Ordering::SeqCst);
+                for id in ckpt.processed as u32..ckpt.num_states as u32 {
+                    for blk in 0..blocks {
+                        enqueue(id * blocks + blk);
+                    }
+                }
+            }
+        }
+        if let Some(cfg) = checkpoint {
+            shared.ckpt_next.store(
+                shared.store.len() as u64 + cfg.every_states,
+                Ordering::SeqCst,
+            );
         }
 
         // Thread-local deques + stealer matrix (victim order per worker).
@@ -593,23 +731,21 @@ impl<E: Elem> Engine<E> {
         }
         drop(clock);
 
-        // Harvest the SFA. All states in the table are complete;
-        // wasted duplicate allocations are *not* in the table and are
-        // filtered out by walking table ids.
-        let mut in_table = vec![false; shared.store.len()];
-        for id in shared.table.iter_ids(&shared.store) {
-            in_table[id as usize] = true;
-        }
-        // Dense renumbering (arena ids may have gaps from lost races).
-        let mut remap = vec![NIL; shared.store.len()];
-        let mut next = 0u32;
-        for (id, &live) in in_table.iter().enumerate() {
-            if live {
-                remap[id] = next;
-                next += 1;
-            }
-        }
-        let num_states = next as usize;
+        // Harvest the SFA in **canonical order**: BFS from the identity
+        // state (arena id 0) with a FIFO worklist expanding successors
+        // in symbol order — exactly the id order the sequential engine
+        // assigns — so the harvested automaton is byte-identical to a
+        // sequential build regardless of thread count, scheduler, or
+        // CAS race outcomes. Arena ids wasted on lost races are never
+        // BFS-reachable (only insert winners are recorded as
+        // successors), so the canonical id space is dense by
+        // construction: no gap handling, no aliasing.
+        let (order, canon_of, bfs_processed) = canonical_order(&shared.store, k);
+        let num_states = order.len();
+        debug_assert_eq!(
+            bfs_processed, num_states,
+            "unprocessed state escaped the frontier drain"
+        );
         stats.states = num_states as u64;
         stats.uncompressed_bytes = (num_states * n * E::BYTES) as u64;
 
@@ -624,24 +760,17 @@ impl<E: Elem> Engine<E> {
             flat = vec![E::from_u32(0); num_states * n];
         }
         let mut scratch = Vec::new();
-        let mut start_new_guess = NIL;
-        for (id, &live) in in_table.iter().enumerate() {
-            if !live {
-                continue;
-            }
-            let new_id = remap[id] as usize;
-            if id as u32 == start {
-                start_new_guess = new_id as u32;
-            }
+        for (new_id, &id) in order.iter().enumerate() {
             for sym in 0..k {
-                let succ = shared.store.succ(id as u32, sym);
+                let succ = shared.store.succ(id, sym);
                 debug_assert_ne!(succ, NIL, "unprocessed state escaped");
-                delta[new_id * k + sym] = remap[succ as usize];
+                debug_assert_ne!(canon_of[succ as usize], NIL, "successor outside BFS order");
+                delta[new_id * k + sym] = canon_of[succ as usize];
             }
             if probabilistic {
                 continue; // payloads were dropped; reconstructed below
             }
-            let buf = shared.store.mapping(id as u32);
+            let buf = shared.store.mapping(id);
             if compressed_mode {
                 debug_assert!(buf.compressed);
                 blobs[new_id] = buf.data.clone();
@@ -653,14 +782,7 @@ impl<E: Elem> Engine<E> {
         if probabilistic {
             // Reconstruct every mapping from δₛ and δ: the start state is
             // the identity, and mapping(δₛ(s,σ))[q] = δ(mapping(s)[q], σ).
-            flat = reconstruct_mappings::<E>(
-                &shared.table_typed,
-                n,
-                k,
-                &delta,
-                num_states,
-                start_new_guess,
-            );
+            flat = reconstruct_mappings::<E>(&shared.table_typed, n, k, &delta, num_states, 0);
         }
         let mappings = if compressed_mode {
             MappingStore::Compressed {
@@ -683,14 +805,62 @@ impl<E: Elem> Engine<E> {
             ),
         );
 
-        let start_new = remap[start as usize];
-        debug_assert_ne!(start_new, NIL);
-        let sfa = Sfa::from_parts(n, k, start_new, delta, mappings);
+        // The identity state is arena id 0 (first allocation, fresh and
+        // resumed alike) and BFS starts there, so canonical start is 0 —
+        // the same start id the sequential engine produces.
+        let sfa = Sfa::from_parts(n, k, 0, delta, mappings);
         // Phase spans + global metrics come from the very stats fields
         // assembled above, so spans always sum to `total_secs`.
         crate::obs::observe_construction(&stats);
         Ok(ConstructionResult { sfa, stats })
     }
+}
+
+/// Canonical (= sequential) numbering of the arena: BFS from arena id 0
+/// (the identity state) with a FIFO worklist, expanding successors in
+/// symbol order, stopping at the first state whose δₛ row is incomplete.
+///
+/// Returns `(order, canon_of, processed)` where `order[c]` is the arena
+/// id holding canonical id `c`, `canon_of` is the inverse permutation
+/// (`NIL` for unreached arena slots — race-loser allocations and, mid
+/// build, states only discoverable through unprocessed rows), and
+/// `processed` is the length of the complete-row prefix of `order`.
+///
+/// The sequential worklist is a FIFO over monotonically assigned ids
+/// that generates successors in symbol order, so after the frontier
+/// drains this reproduces the sequential id assignment exactly; mid
+/// build, `order[..processed]` + the discovered tail is exactly the
+/// arena a sequential build would hold at cursor `processed`, which is
+/// what makes parallel checkpoints interchangeable with sequential ones.
+fn canonical_order(store: &StateStore, k: usize) -> (Vec<u32>, Vec<u32>, usize) {
+    let len = store.len();
+    let mut canon_of = vec![NIL; len];
+    let mut order: Vec<u32> = Vec::with_capacity(len);
+    if len == 0 {
+        return (order, canon_of, 0);
+    }
+    canon_of[0] = 0;
+    order.push(0);
+    let mut cursor = 0usize;
+    while cursor < order.len() {
+        let id = order[cursor];
+        // An incomplete row means the sequential engine would not have
+        // processed this state yet — and, FIFO, none after it either.
+        // Stop discovering: everything already in `order` is exactly the
+        // sequential arena at this cursor.
+        if (0..k).any(|sym| store.succ(id, sym) == NIL) {
+            break;
+        }
+        for sym in 0..k {
+            let succ = store.succ(id, sym) as usize;
+            if canon_of[succ] == NIL {
+                canon_of[succ] = order.len() as u32;
+                order.push(succ as u32);
+            }
+        }
+        cursor += 1;
+    }
+    (order, canon_of, cursor)
 }
 
 /// Rebuild all mapping vectors from the SFA transition table and the DFA
@@ -789,10 +959,15 @@ impl<'s, E: Elem, F: Fingerprinter> WorkerCtx<'s, E, F> {
 
         let mut backoff = sfa_sync::backoff::Backoff::new();
         loop {
-            // Compression protocol first: everyone must converge on the
-            // barrier, including idle and error-state workers.
-            if shared.phase.load(Ordering::SeqCst) == PHASE_COMPRESS_REQUESTED {
-                self.participate_compression();
+            // Stop-the-world protocols first: everyone must converge on
+            // the rendezvous barrier, including idle and error-state
+            // workers. Compression and checkpoint requests share ONE
+            // entry barrier so workers can never split across two
+            // different barrier sequences (see `rendezvous`).
+            if shared.phase.load(Ordering::SeqCst) == PHASE_COMPRESS_REQUESTED
+                || shared.ckpt_requested.load(Ordering::SeqCst)
+            {
+                self.rendezvous();
                 backoff.reset();
                 continue;
             }
@@ -818,6 +993,28 @@ impl<'s, E: Elem, F: Fingerprinter> WorkerCtx<'s, E, F> {
                     break;
                 }
             }
+            // Checkpoint trigger, at the same per-item cadence: the
+            // worker that advances the discovered-state watermark raises
+            // the request; everyone (including the raiser) converges on
+            // the rendezvous at their next loop turn.
+            if let Some(cfg) = &shared.ckpt {
+                let due = shared.ckpt_next.load(Ordering::SeqCst);
+                let len = shared.store.len() as u64;
+                if len >= due
+                    && shared
+                        .ckpt_next
+                        .compare_exchange(
+                            due,
+                            len + cfg.every_states,
+                            Ordering::SeqCst,
+                            Ordering::SeqCst,
+                        )
+                        .is_ok()
+                {
+                    shared.ckpt_requested.store(true, Ordering::SeqCst);
+                    continue;
+                }
+            }
             match self.obtain_work() {
                 Some(item) => {
                     backoff.reset();
@@ -836,10 +1033,13 @@ impl<'s, E: Elem, F: Fingerprinter> WorkerCtx<'s, E, F> {
                 }
                 None => {
                     if shared.pending.load(Ordering::SeqCst) == 0 {
-                        // Re-check the phase: a compression request is
-                        // ordered before the pending decrement that made
-                        // us see 0 (both SeqCst), so this cannot miss one.
-                        if shared.phase.load(Ordering::SeqCst) == PHASE_COMPRESS_REQUESTED {
+                        // Re-check the flags: a compression or checkpoint
+                        // request is ordered before the pending decrement
+                        // that made us see 0 (all SeqCst), so this cannot
+                        // miss one.
+                        if shared.phase.load(Ordering::SeqCst) == PHASE_COMPRESS_REQUESTED
+                            || shared.ckpt_requested.load(Ordering::SeqCst)
+                        {
                             continue;
                         }
                         break;
@@ -996,11 +1196,19 @@ impl<'s, E: Elem, F: Fingerprinter> WorkerCtx<'s, E, F> {
             };
 
             // Cheap pre-check avoids allocating a record for duplicates
-            // (the overwhelmingly common case).
-            if let Some(found) = shared.table.find(fp, &shared.store, eq) {
-                LocalStats::bump(&stats.duplicates);
-                shared.store.set_succ(id, sym, found);
-                continue;
+            // (the overwhelmingly common case). The fault site lets the
+            // regression suite force the race-loser path deterministically:
+            // with it armed the pre-check is skipped, so this worker
+            // allocates an arena record and then loses the insert race
+            // whenever the candidate already exists — exactly the arena
+            // gap pattern real CAS races produce.
+            let force_race = sfa_sync::fault_point!("construct/race").is_err();
+            if !force_race {
+                if let Some(found) = shared.table.find(fp, &shared.store, eq) {
+                    LocalStats::bump(&stats.duplicates);
+                    shared.store.set_succ(id, sym, found);
+                    continue;
+                }
             }
 
             let payload: Box<[u8]> = repr.to_vec().into_boxed_slice();
@@ -1066,15 +1274,61 @@ impl<'s, E: Elem, F: Fingerprinter> WorkerCtx<'s, E, F> {
         shared.has_error.store(true, Ordering::SeqCst);
     }
 
-    /// The stop-the-world compression phase (§III-C). All workers arrive
-    /// here; between the barriers nobody processes states, so mapping
-    /// buffers can be swapped and freed safely.
+    /// Converge the workers for the stop-the-world sub-protocols. Both
+    /// the compression request and a checkpoint request funnel through
+    /// this single entry barrier: if each protocol had its own quiesce
+    /// barrier, workers racing toward different protocols would merge
+    /// into one barrier generation and corrupt both (e.g. a checkpoint
+    /// reader scanning mappings while a compression peer swaps them).
+    ///
+    /// After R1 no worker is processing a state, so `phase` and
+    /// `ckpt_requested` are frozen: every worker latches identical
+    /// booleans and therefore executes an identical barrier sequence —
+    /// compression first (it changes the stored representation), then
+    /// the checkpoint snapshot (which must read a settled arena).
+    fn rendezvous(&self) {
+        let shared = self.shared;
+        // R1: quiesce.
+        shared.barrier.wait();
+        let compress = shared.phase.load(Ordering::SeqCst) == PHASE_COMPRESS_REQUESTED;
+        let ckpt = shared.ckpt_requested.load(Ordering::SeqCst);
+        // R1b: everyone has latched the flags before anyone may mutate
+        // them. Without this, the checkpoint writer's CAS (which clears
+        // `ckpt_requested` inside `participate_checkpoint`) can race a
+        // slow worker that hasn't latched yet — that worker would read
+        // `ckpt = false`, skip R2, and re-enter the main loop while the
+        // snapshot is still being written, merging barrier generations
+        // (and, transitively, allowing two concurrent writers on the
+        // same checkpoint path). Between R1 and R1b both flags are
+        // stable: every registered worker is inside this protocol, and
+        // the only mutators (the writer CAS, the compression leader's
+        // phase switch) run strictly after R1b.
+        shared.barrier.wait();
+        if compress {
+            self.participate_compression();
+        }
+        if ckpt {
+            self.participate_checkpoint();
+        }
+    }
+
+    /// The stop-the-world compression phase (§III-C). Entered from
+    /// [`WorkerCtx::rendezvous`] with all workers quiesced (R1); between
+    /// the barriers nobody processes states, so mapping buffers can be
+    /// swapped and freed safely.
     fn participate_compression(&self) {
         let shared = self.shared;
         let threads = shared.opts.threads;
-        // B1: quiesce.
-        shared.barrier.wait();
-        if self.index == 0 {
+        // Leader election by CAS, not worker index: worker 0 may already
+        // have exited (error path), and an absent leader would leave the
+        // phase flag stuck at COMPRESS_REQUESTED — the survivors would
+        // re-enter this protocol forever. Compression is one-shot per
+        // run, so a plain latch suffices.
+        let leader = shared
+            .compress_leader
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok();
+        if leader {
             shared.clock.lock().compression_start = Some(Instant::now());
         }
         let total = shared.store.len();
@@ -1118,7 +1372,7 @@ impl<'s, E: Elem, F: Fingerprinter> WorkerCtx<'s, E, F> {
         }
         // B2: all states compressed.
         shared.barrier.wait();
-        if self.index == 0 {
+        if leader {
             // "the hash-table is emptied" — then rebuilt without
             // duplicate checks.
             shared.table.clear();
@@ -1154,12 +1408,97 @@ impl<'s, E: Elem, F: Fingerprinter> WorkerCtx<'s, E, F> {
         }
         // B4: table rebuilt.
         shared.barrier.wait();
-        if self.index == 0 {
+        if leader {
             shared.clock.lock().compression_end = Some(Instant::now());
             shared.phase.store(PHASE_COMPRESSED, Ordering::SeqCst);
         }
         // B5: phase switch visible to everyone.
         shared.barrier.wait();
+    }
+
+    /// The stop-the-world checkpoint snapshot. Entered from
+    /// [`WorkerCtx::rendezvous`] with all workers quiesced (R1, plus the
+    /// compression sub-protocol when both were requested), so the arena
+    /// is settled and the canonical prefix is stable. One worker —
+    /// whichever wins the CAS that clears the request flag, NOT worker 0
+    /// (which may already have exited on an error path) — snapshots and
+    /// writes the artifact; the closing barrier releases everyone.
+    fn participate_checkpoint(&self) {
+        let shared = self.shared;
+        if shared
+            .ckpt_requested
+            .compare_exchange(true, false, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            // Never snapshot a failing run: the error path discards the
+            // build, and a checkpoint of it could shadow a good one.
+            if !shared.has_error.load(Ordering::SeqCst) {
+                let cfg = shared
+                    .ckpt
+                    .as_ref()
+                    .expect("checkpoint requested without a cadence config");
+                if let Err(e) = self.write_checkpoint(cfg) {
+                    self.record_error(e);
+                }
+            }
+        }
+        // R2: snapshot complete; peers resume.
+        shared.barrier.wait();
+    }
+
+    /// Snapshot the canonical prefix to the checkpoint artifact (atomic
+    /// write). The persisted shape is exactly the sequential engine's:
+    /// `{mappings, δₛ, cursor}` in canonical order, plaintext rows —
+    /// which is what makes the two engines' checkpoints interchangeable.
+    fn write_checkpoint(&self, cfg: &CheckpointConfig) -> Result<(), SfaError> {
+        sfa_sync::fault_point!("checkpoint/write")
+            .map_err(|e| SfaError::Artifact(IoError::Io(e.to_string())))?;
+        let shared = self.shared;
+        let n = shared.n;
+        let k = shared.k;
+        let (order, canon_of, processed) = canonical_order(&shared.store, k);
+        let num_states = order.len();
+        // δₛ in canonical ids: complete rows below the cursor, MAX above
+        // (frontier rows are recomputed from scratch on resume).
+        let mut delta = vec![u32::MAX; num_states * k];
+        for (c, &id) in order.iter().take(processed).enumerate() {
+            for sym in 0..k {
+                let succ = shared.store.succ(id, sym);
+                debug_assert_ne!(succ, NIL);
+                delta[c * k + sym] = canon_of[succ as usize];
+            }
+        }
+        // Mapping arena in canonical order, decompressed: checkpoints
+        // persist plaintext rows (the resuming engine re-compresses
+        // under its own policy), matching the sequential engine.
+        let mut flat: Vec<E> = vec![E::from_u32(0); num_states * n];
+        let mut raw_scratch: Vec<u8> = Vec::new();
+        let mut elems: Vec<E> = Vec::new();
+        for (c, &id) in order.iter().enumerate() {
+            let buf = shared.store.mapping(id);
+            let raw: &[u8] = if buf.compressed {
+                raw_scratch.clear();
+                self.codec
+                    .decompress(&buf.data, &mut raw_scratch)
+                    .expect("stored state failed to decompress");
+                &raw_scratch
+            } else {
+                &buf.data
+            };
+            E::read_bytes(raw, &mut elems);
+            flat[c * n..(c + 1) * n].copy_from_slice(&elems);
+        }
+        let ckpt = Checkpoint {
+            dfa_states: n as u32,
+            symbols: k as u32,
+            elem_bytes: E::BYTES as u8,
+            processed: processed as u64,
+            num_states: num_states as u64,
+            dfa_crc: shared.dfa_crc,
+            delta,
+            mappings_le: artifact::mappings_to_le(&flat),
+        };
+        artifact::write_checkpoint(&cfg.path, &ckpt).map_err(SfaError::Artifact)
     }
 }
 

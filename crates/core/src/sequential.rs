@@ -25,8 +25,10 @@
 //! rebuilt by re-interning the persisted rows, in id order, so hash
 //! chains come back identical). Construction resumed from a checkpoint
 //! therefore produces a **byte-identical** SFA to an uninterrupted run.
-//! The parallel engine renumbers arena ids nondeterministically, which
-//! is why checkpointing is a sequential-engine feature.
+//! The parallel engine snapshots the same `{mappings, δₛ, cursor}` shape
+//! at its canonical-order barriers (see `parallel`), so checkpoints are
+//! interchangeable between the two engines: a parallel build can resume a
+//! sequential snapshot and vice versa, to the same bytes.
 
 use crate::artifact::{self, Checkpoint, CheckpointConfig};
 use crate::budget::Governor;
@@ -206,27 +208,8 @@ impl<E: Elem> SeqEngine<E> {
     ) -> Result<SeqEngine<E>, SfaError> {
         let n = dfa.num_states() as usize;
         let k = dfa.num_symbols();
-        if ckpt.dfa_crc != artifact::dfa_fingerprint(dfa) {
-            return Err(SfaError::Artifact(IoError::Corrupt(
-                "checkpoint was built from a different DFA",
-            )));
-        }
-        if ckpt.dfa_states as usize != n || ckpt.symbols as usize != k {
-            return Err(SfaError::Artifact(IoError::Corrupt(
-                "checkpoint dimensions disagree with the DFA",
-            )));
-        }
-        let Some(mappings) = ckpt.mappings::<E>() else {
-            return Err(SfaError::Artifact(IoError::Corrupt(
-                "checkpoint element width disagrees with the DFA",
-            )));
-        };
+        let mappings = ckpt.validate_for::<E>(dfa).map_err(SfaError::Artifact)?;
         let num_states = mappings.len() / n;
-        if num_states as u64 != ckpt.num_states {
-            return Err(SfaError::Artifact(IoError::Corrupt(
-                "checkpoint arena size mismatch",
-            )));
-        }
         let fingerprinter = CityFingerprinter;
         let mut set = Self::empty_set(variant);
         for id in 0..num_states as u32 {

@@ -1,14 +1,25 @@
 //! The pattern registry: compiled automata keyed by id and by
-//! artifact hash.
+//! artifact hash, backed by a content-addressed artifact store.
 //!
 //! Patterns live as plain files: `<dir>/<id>.pat` holds the regex
 //! source (over the amino-acid alphabet, the paper's domain). At
 //! startup every pattern is compiled to a DFA and its SFA is either
-//! **reloaded** from `<dir>/artifacts/<hash>.sfar` (hash = hex of
-//! [`dfa_fingerprint`]) or **constructed** and written there — so a
-//! restarted daemon pays deserialization, not reconstruction. A
+//! **reloaded** from the artifact cache or **constructed** and cached —
+//! so a restarted daemon pays deserialization, not reconstruction. A
 //! pattern whose SFA construction blows the state budget is still
 //! served, degraded to the sequential tier with the reason recorded.
+//!
+//! The cache under `<dir>/artifacts/` is **content-addressed**:
+//! `<content>.sfar` is named by the CRC-64 of its own bytes
+//! ([`artifact::content_hash`]), and the per-pattern sidecar
+//! `<dfa_fp>.ref` (dfa_fp = hex of [`dfa_fingerprint`]) points at it.
+//! Construction is deterministic — parallel builds are byte-identical
+//! to sequential ones — so identical patterns hash identically and
+//! restarts, rebuilds, and concurrent tenants **share one artifact**
+//! instead of accumulating duplicates. `.sfar` files no ref points at
+//! (including pre-content-addressing `<dfa_fp>.sfar` files, which are
+//! re-homed on first load) are garbage-noted in the reload log, never
+//! silently deleted.
 //!
 //! Registry entries leak their automata (`Box::leak`): the daemon
 //! serves them for its whole lifetime from many worker threads, and a
@@ -84,6 +95,8 @@ pub struct PatternRegistry {
     artifacts_dir: PathBuf,
     reloaded: usize,
     constructed: usize,
+    deduped: usize,
+    orphans: Vec<String>,
 }
 
 impl PatternRegistry {
@@ -124,6 +137,8 @@ impl PatternRegistry {
             artifacts_dir,
             reloaded: 0,
             constructed: 0,
+            deduped: 0,
+            orphans: Vec::new(),
         };
         for (id, path) in pattern_files {
             let source = std::fs::read_to_string(&path)
@@ -131,7 +146,41 @@ impl PatternRegistry {
             let pattern = source.trim().to_string();
             registry.insert(id, pattern, state_budget, threads)?;
         }
+        registry.note_orphans();
         Ok(registry)
+    }
+
+    /// Garbage-note every `.sfar` file no loaded pattern's `.ref` points
+    /// at — stale duplicates from before content addressing, or
+    /// artifacts of deleted patterns. Noted in the reload log for the
+    /// operator; never silently deleted.
+    fn note_orphans(&mut self) {
+        let referenced: std::collections::BTreeSet<String> = self
+            .entries
+            .iter()
+            .filter_map(|e| {
+                let ref_path = self.artifacts_dir.join(format!("{}.ref", e.hash));
+                std::fs::read_to_string(ref_path)
+                    .ok()
+                    .map(|c| format!("{}.sfar", c.trim()))
+            })
+            .collect();
+        let Ok(dir) = std::fs::read_dir(&self.artifacts_dir) else {
+            return;
+        };
+        for entry in dir.flatten() {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("sfar") {
+                continue;
+            }
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            if !referenced.contains(name) {
+                self.orphans.push(name.to_string());
+            }
+        }
+        self.orphans.sort();
     }
 
     fn insert(
@@ -164,10 +213,10 @@ impl PatternRegistry {
         Ok(())
     }
 
-    /// Reload the SFA from its cached artifact, or construct and cache
-    /// it. Any artifact problem (missing, corrupt, stale) silently
-    /// falls through to construction; any construction failure degrades
-    /// the entry to the sequential tier.
+    /// Reload the SFA from the content-addressed cache, or construct
+    /// and cache it. Any artifact problem (missing, corrupt, stale)
+    /// silently falls through to construction; any construction failure
+    /// degrades the entry to the sequential tier.
     fn obtain_sfa(
         &mut self,
         dfa: &'static Dfa,
@@ -175,12 +224,9 @@ impl PatternRegistry {
         state_budget: u64,
         threads: usize,
     ) -> PatternBackend {
-        let artifact_path = self.artifacts_dir.join(format!("{hash}.sfar"));
-        if let Ok(sfa) = artifact::read_sfa(&artifact_path) {
-            if sfa.validate(dfa).is_ok() {
-                self.reloaded += 1;
-                return Self::full_backend(dfa, sfa);
-            }
+        if let Some(sfa) = self.reload(dfa, hash) {
+            self.reloaded += 1;
+            return Self::full_backend(dfa, sfa);
         }
         let built = Sfa::builder(dfa)
             .threads(threads.max(1))
@@ -190,7 +236,7 @@ impl PatternRegistry {
             Ok(result) => {
                 self.constructed += 1;
                 // Cache for the next daemon start; serving works either way.
-                let _ = artifact::write_sfa(&artifact_path, &result.sfa);
+                self.store(hash, &artifact::sfa_to_bytes(&result.sfa));
                 Self::full_backend(dfa, result.sfa)
             }
             Err(err @ SfaError::StateBudgetExceeded { .. }) => PatternBackend::Sequential {
@@ -200,6 +246,57 @@ impl PatternRegistry {
                 reason: format!("SFA construction failed: {other}"),
             },
         }
+    }
+
+    /// Follow this pattern's `.ref` sidecar into the content-addressed
+    /// store, verifying the artifact's name against its own bytes. Falls
+    /// back to the pre-content-addressing `<dfa_fp>.sfar` layout, whose
+    /// artifacts are re-homed under their content hash so the next start
+    /// takes the fast path (the legacy file itself gets orphan-noted).
+    fn reload(&mut self, dfa: &'static Dfa, hash: &str) -> Option<Sfa> {
+        let ref_path = self.artifacts_dir.join(format!("{hash}.ref"));
+        if let Ok(content) = std::fs::read_to_string(&ref_path) {
+            let content = content.trim();
+            if content.len() == 16 && content.bytes().all(|b| b.is_ascii_hexdigit()) {
+                let path = self.artifacts_dir.join(format!("{content}.sfar"));
+                if let Ok(bytes) = std::fs::read(&path) {
+                    // The name IS the checksum claim: a mismatch means a
+                    // torn or mislabeled file, never to be trusted.
+                    if format!("{:016x}", artifact::content_hash(&bytes)) == content {
+                        if let Ok(sfa) = artifact::sfa_from_bytes(&bytes) {
+                            if sfa.validate(dfa).is_ok() {
+                                return Some(sfa);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let legacy = self.artifacts_dir.join(format!("{hash}.sfar"));
+        let bytes = std::fs::read(&legacy).ok()?;
+        let sfa = artifact::sfa_from_bytes(&bytes).ok()?;
+        if sfa.validate(dfa).is_err() {
+            return None;
+        }
+        self.store(hash, &bytes);
+        Some(sfa)
+    }
+
+    /// Write artifact bytes under their content hash and point this
+    /// pattern's `.ref` sidecar at them. A file that already exists
+    /// under that hash holds the same bytes (the name is their CRC-64),
+    /// so it is shared, not rewritten — that's the dedup: two builds of
+    /// the same pattern, on any thread counts, land on one artifact.
+    fn store(&mut self, hash: &str, bytes: &[u8]) {
+        let content = format!("{:016x}", artifact::content_hash(bytes));
+        let path = self.artifacts_dir.join(format!("{content}.sfar"));
+        if path.exists() {
+            self.deduped += 1;
+        } else {
+            let _ = sfa_core::io::atomic_write(&path, bytes);
+        }
+        let ref_path = self.artifacts_dir.join(format!("{hash}.ref"));
+        let _ = sfa_core::io::atomic_write(&ref_path, content.as_bytes());
     }
 
     fn full_backend(dfa: &'static Dfa, sfa: Sfa) -> PatternBackend {
@@ -229,6 +326,18 @@ impl PatternRegistry {
     /// How many SFAs were constructed (and cached) this start.
     pub fn constructed(&self) -> usize {
         self.constructed
+    }
+
+    /// How many store operations landed on an artifact that already
+    /// existed under the same content hash (shared, not rewritten).
+    pub fn deduped(&self) -> usize {
+        self.deduped
+    }
+
+    /// `.sfar` files in the artifact directory that no loaded pattern
+    /// references — garbage-noted for the operator, never deleted.
+    pub fn orphans(&self) -> &[String] {
+        &self.orphans
     }
 }
 
@@ -270,6 +379,113 @@ mod tests {
         assert_eq!(second.constructed(), 0);
         assert_eq!(second.resolve("motif").unwrap().tier(), "full");
 
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn sfar_files(dir: &Path) -> Vec<String> {
+        let mut names: Vec<String> = std::fs::read_dir(dir.join("artifacts"))
+            .unwrap()
+            .flatten()
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| n.ends_with(".sfar"))
+            .collect();
+        names.sort();
+        names
+    }
+
+    #[test]
+    fn restart_keeps_one_artifact_per_pattern() {
+        let dir = temp_dir("dedup-restart");
+        std::fs::write(dir.join("a.pat"), "RGD").unwrap();
+
+        let first = PatternRegistry::load(&dir, 1 << 20, 2).unwrap();
+        assert_eq!(first.constructed(), 1);
+        assert_eq!(sfar_files(&dir).len(), 1, "one artifact per pattern");
+        // The artifact's name is the CRC of its own bytes.
+        let name = sfar_files(&dir).remove(0);
+        let bytes = std::fs::read(dir.join("artifacts").join(&name)).unwrap();
+        assert_eq!(
+            format!("{:016x}.sfar", artifact::content_hash(&bytes)),
+            name
+        );
+
+        // Restarts reload and never accumulate duplicates — the old
+        // failure mode was a second `.sfar` per rebuild.
+        for _ in 0..3 {
+            let again = PatternRegistry::load(&dir, 1 << 20, 4).unwrap();
+            assert_eq!(again.reloaded(), 1);
+            assert_eq!(again.constructed(), 0);
+            assert_eq!(sfar_files(&dir).len(), 1);
+            assert!(again.orphans().is_empty());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn identical_patterns_share_one_artifact() {
+        let dir = temp_dir("dedup-tenants");
+        // Two tenants registering the same pattern under different ids
+        // compile to the same DFA, so the second follows the first's
+        // ref sidecar: one construction, one artifact.
+        std::fs::write(dir.join("tenant-a.pat"), "RGD").unwrap();
+        std::fs::write(dir.join("tenant-b.pat"), "RGD\n").unwrap();
+
+        let registry = PatternRegistry::load(&dir, 1 << 20, 2).unwrap();
+        assert_eq!(registry.constructed(), 1);
+        assert_eq!(registry.reloaded(), 1);
+        assert_eq!(sfar_files(&dir).len(), 1, "identical patterns share");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rebuild_dedups_onto_existing_artifact() {
+        let dir = temp_dir("dedup-rebuild");
+        std::fs::write(dir.join("rg.pat"), "RG").unwrap();
+
+        let first = PatternRegistry::load(&dir, 1 << 20, 1).unwrap();
+        assert_eq!(first.constructed(), 1);
+        let fp = first.resolve("rg").unwrap().hash.clone();
+
+        // Lose the ref sidecar (crash between artifact and ref writes,
+        // say): the next start must reconstruct — and, construction
+        // being deterministic, land on byte-identical content and share
+        // the existing artifact instead of writing a second one.
+        std::fs::remove_file(dir.join("artifacts").join(format!("{fp}.ref"))).unwrap();
+        let second = PatternRegistry::load(&dir, 1 << 20, 4).unwrap();
+        assert_eq!(second.constructed(), 1);
+        assert_eq!(second.deduped(), 1);
+        assert_eq!(sfar_files(&dir).len(), 1, "rebuild must not duplicate");
+        assert!(second.orphans().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_artifacts_are_rehomed_and_orphan_noted() {
+        let dir = temp_dir("legacy");
+        std::fs::write(dir.join("rg.pat"), "RG").unwrap();
+        let artifacts = dir.join("artifacts");
+        std::fs::create_dir_all(&artifacts).unwrap();
+
+        // Simulate a pre-content-addressing cache: `<dfa_fp>.sfar`.
+        let dfa = Pipeline::search(Alphabet::amino_acids())
+            .compile_str("RG")
+            .unwrap();
+        let fp = format!("{:016x}", dfa_fingerprint(&dfa));
+        let built = Sfa::builder(&dfa).build().unwrap();
+        sfa_core::artifact::write_sfa(&artifacts.join(format!("{fp}.sfar")), &built.sfa).unwrap();
+
+        let registry = PatternRegistry::load(&dir, 1 << 20, 2).unwrap();
+        // Reloaded (not reconstructed) from the legacy file, which is
+        // re-homed under its content hash and garbage-noted.
+        assert_eq!(registry.reloaded(), 1);
+        assert_eq!(registry.constructed(), 0);
+        assert_eq!(registry.orphans(), &[format!("{fp}.sfar")]);
+        assert_eq!(sfar_files(&dir).len(), 2, "legacy + re-homed copy");
+
+        // The next start follows the ref and sees the same orphan.
+        let second = PatternRegistry::load(&dir, 1 << 20, 2).unwrap();
+        assert_eq!(second.reloaded(), 1);
+        assert_eq!(second.orphans(), &[format!("{fp}.sfar")]);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

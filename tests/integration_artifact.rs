@@ -131,6 +131,78 @@ fn every_sequential_variant_resumes_byte_identical() {
 }
 
 #[test]
+fn interrupted_parallel_build_resumes_byte_identical() {
+    let dfa = rgd_dfa();
+    let ckpt = temp_path("parallel_resume.ckpt");
+    let _ = std::fs::remove_file(&ckpt);
+
+    // One symbol per work item so discovery is gradual enough for the
+    // state budget to interrupt *between* checkpoints, not inside the
+    // first work item.
+    let interrupt = ParallelOptions::with_threads(4)
+        .symbol_blocks(dfa.num_symbols())
+        .state_budget(5);
+    let err = Sfa::builder(&dfa)
+        .options(&interrupt)
+        .checkpoint(&ckpt, 1)
+        .build()
+        .unwrap_err();
+    assert!(
+        matches!(err, SfaError::StateBudgetExceeded { .. }),
+        "interruption must be the typed budget error, got {err:?}"
+    );
+    artifact::verify(&ckpt).expect("interrupted parallel build left a valid checkpoint");
+
+    // Resume under *different* parallel options: canonical renumbering
+    // makes the result byte-identical to an uninterrupted sequential
+    // build anyway.
+    let resumed = Sfa::builder(&dfa)
+        .options(&ParallelOptions::with_threads(8))
+        .resume_from(&ckpt)
+        .build()
+        .unwrap()
+        .sfa;
+    assert_eq!(
+        io::to_bytes(&resumed),
+        io::to_bytes(&build_seq(&dfa)),
+        "parallel resume must be byte-identical to an uninterrupted build"
+    );
+    std::fs::remove_file(&ckpt).unwrap();
+}
+
+#[test]
+fn parallel_checkpoint_resumes_in_sequential_engine() {
+    // Checkpoints are engine-interchangeable: a snapshot taken at a
+    // parallel rendezvous is exactly the sequential arena at the same
+    // cursor, so the sequential engine can finish the build.
+    let dfa = rgd_dfa();
+    let ckpt = temp_path("cross_engine.ckpt");
+    let _ = std::fs::remove_file(&ckpt);
+
+    let interrupt = ParallelOptions::with_threads(4)
+        .symbol_blocks(dfa.num_symbols())
+        .state_budget(5);
+    Sfa::builder(&dfa)
+        .options(&interrupt)
+        .checkpoint(&ckpt, 1)
+        .build()
+        .unwrap_err();
+
+    let resumed = Sfa::builder(&dfa)
+        .sequential(SequentialVariant::Transposed)
+        .resume_from(&ckpt)
+        .build()
+        .unwrap()
+        .sfa;
+    assert_eq!(
+        io::to_bytes(&resumed),
+        io::to_bytes(&build_seq(&dfa)),
+        "a parallel checkpoint must resume byte-identically in the sequential engine"
+    );
+    std::fs::remove_file(&ckpt).unwrap();
+}
+
+#[test]
 fn checkpoint_for_a_different_dfa_is_rejected() {
     let dfa = rgd_dfa();
     let other = Pipeline::search(Alphabet::amino_acids())

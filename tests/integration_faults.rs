@@ -39,6 +39,7 @@ const ALL_SITES: &[&str] = &[
     "pool/bookkeeping",
     "construct/state",
     "construct/worker",
+    "construct/race",
     "checkpoint/write",
     "runtime/read_block",
 ];
@@ -203,6 +204,92 @@ fn parallel_construction_matrix() {
                 }
                 Outcome::Panicked => panic!("{context}: worker panic escaped containment"),
             }
+        }
+    }
+}
+
+#[test]
+fn forced_race_losers_still_yield_canonical_bytes() {
+    // Regression for the dense-renumbering gap: `construct/race` makes
+    // every worker skip the duplicate pre-check, so the insert CAS race
+    // is lost as often as possible and the arena fills with tombstoned
+    // loser records between live states. Canonical BFS renumbering must
+    // skip every loser — the id space stays dense and the artifact
+    // byte-identical to the sequential oracle.
+    let dfa = rgd_dfa();
+    let oracle = io::to_bytes(
+        &Sfa::builder(&dfa)
+            .sequential(SequentialVariant::Transposed)
+            .build()
+            .unwrap()
+            .sfa,
+    );
+    let guard = faults::arm(
+        FaultPlan::new().rule(FaultRule::always("construct/race", FaultKind::Transient)),
+    );
+    for threads in [1usize, 2, 4, 8] {
+        let r = Sfa::builder(&dfa)
+            .options(&ParallelOptions::with_threads(threads))
+            .build()
+            .unwrap();
+        r.sfa.validate(&dfa).unwrap();
+        assert_eq!(
+            io::to_bytes(&r.sfa),
+            oracle,
+            "{threads} threads with every race lost"
+        );
+    }
+    drop(guard);
+}
+
+#[test]
+fn parallel_checkpoint_write_faults_are_typed_and_resumable() {
+    let dfa = rgd_dfa();
+    let oracle = io::to_bytes(
+        &Sfa::builder(&dfa)
+            .sequential(SequentialVariant::Transposed)
+            .build()
+            .unwrap()
+            .sfa,
+    );
+    for kind in KINDS {
+        for nth in [1, 2] {
+            let context = format!("parallel ckpt build, checkpoint/write {kind:?} nth={nth}");
+            let ckpt = temp_path("par_ckpt_fault.ckpt");
+            let _ = std::fs::remove_file(&ckpt);
+            let guard =
+                faults::arm(FaultPlan::new().rule(FaultRule::nth("checkpoint/write", nth, kind)));
+            let (dfa_t, ckpt_t) = (dfa.clone(), ckpt.clone());
+            let outcome = bounded(&context, move || {
+                let opts = ParallelOptions::with_threads(3).symbol_blocks(dfa_t.num_symbols());
+                Sfa::builder(&dfa_t)
+                    .options(&opts)
+                    .checkpoint(&ckpt_t, 1)
+                    .build()
+                    .map(|r| io::to_bytes(&r.sfa))
+            });
+            drop(guard);
+            match outcome {
+                Outcome::Done(Ok(bytes)) => {
+                    assert_eq!(bytes, oracle, "{context}: wrong SFA");
+                }
+                Outcome::Done(Err(e)) => {
+                    assert!(
+                        matches!(
+                            e,
+                            SfaError::Io(_) | SfaError::Artifact(_) | SfaError::WorkerPanic { .. }
+                        ),
+                        "{context}: untyped error {e:?}"
+                    );
+                }
+                // The writer runs on a worker thread; its panic must be
+                // contained by the engine like any other worker panic.
+                Outcome::Panicked => panic!("{context}: writer panic escaped containment"),
+            }
+            // Whatever the fault did, an existing snapshot still
+            // verifies and resumes to the byte-identical oracle.
+            assert_resumable(&dfa, &ckpt, &oracle, &context);
+            let _ = std::fs::remove_file(&ckpt);
         }
     }
 }

@@ -2,8 +2,10 @@
 //! compression policy must build exactly the automaton the sequential
 //! reference builds, on pattern DFAs and on adversarial random DFAs.
 
+use proptest::prelude::*;
 use sfa_automata::random::random_dfa;
 use sfa_automata::Alphabet;
+use sfa_core::artifact;
 use sfa_core::prelude::*;
 use sfa_core::sfa::CodecChoice;
 
@@ -14,6 +16,19 @@ fn reference_states(dfa: &sfa_automata::Dfa) -> u32 {
         .unwrap()
         .sfa
         .num_states()
+}
+
+/// The determinism oracle: the serialized artifact of the sequential
+/// build. Canonical renumbering must make every parallel schedule
+/// reproduce these exact bytes.
+fn reference_bytes(dfa: &sfa_automata::Dfa) -> Vec<u8> {
+    artifact::sfa_to_bytes(
+        &Sfa::builder(dfa)
+            .sequential(SequentialVariant::Transposed)
+            .build()
+            .unwrap()
+            .sfa,
+    )
 }
 
 #[test]
@@ -138,6 +153,87 @@ fn budget_error_is_clean_under_parallelism() {
                 other.map(|r| r.stats)
             ),
         }
+    }
+}
+
+#[test]
+fn parallel_artifacts_are_byte_identical_to_sequential() {
+    // The tentpole guarantee: not just the same state count, the same
+    // *bytes* — canonical BFS renumbering erases the construction
+    // schedule entirely.
+    let dfa = sfa_workloads::rn(40);
+    let expected = reference_bytes(&dfa);
+    let k = dfa.num_symbols();
+    for threads in [1usize, 2, 4, 8] {
+        for blocks in [1usize, 4, k] {
+            let opts = ParallelOptions::with_threads(threads).symbol_blocks(blocks);
+            let r = Sfa::builder(&dfa).options(&opts).build().unwrap();
+            assert_eq!(
+                artifact::sfa_to_bytes(&r.sfa),
+                expected,
+                "{threads} threads × {blocks} symbol blocks must be byte-identical"
+            );
+        }
+    }
+}
+
+#[test]
+fn scheduler_and_compression_artifacts_are_byte_identical() {
+    let dfa = sfa_workloads::rn(40);
+    let expected = reference_bytes(&dfa);
+    for scheduler in [
+        Scheduler::WorkStealing,
+        Scheduler::GlobalOnly,
+        Scheduler::SharedMpmc,
+    ] {
+        let opts = ParallelOptions::with_threads(4).scheduler(scheduler);
+        let r = Sfa::builder(&dfa).options(&opts).build().unwrap();
+        assert_eq!(artifact::sfa_to_bytes(&r.sfa), expected, "{scheduler:?}");
+    }
+    // Compression changes the artifact *representation* (mappings stay
+    // codec-compressed in the harvested SFA), so it can't match the
+    // uncompressed sequential bytes — but it must not depend on the
+    // schedule: every thread count yields the same bytes.
+    for policy in [
+        CompressionPolicy::FromStart,
+        CompressionPolicy::WhenMemoryExceeds(1 << 14),
+    ] {
+        let build = |threads: usize| {
+            let opts = ParallelOptions::with_threads(threads)
+                .compression(policy)
+                .codec(CodecChoice::Deflate);
+            artifact::sfa_to_bytes(&Sfa::builder(&dfa).options(&opts).build().unwrap().sfa)
+        };
+        let single = build(1);
+        for threads in [2usize, 8] {
+            assert_eq!(build(threads), single, "{policy:?} × {threads} threads");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Satellite: threads ∈ {1,2,4,8} × symbol-block variants on random
+    /// adversarial DFAs are byte-identical to the sequential artifact.
+    #[test]
+    fn prop_parallel_byte_identical_on_random_dfas(
+        seed in 0u64..64,
+        thread_idx in 0usize..4,
+        blocks in 1usize..=4,
+    ) {
+        let threads = [1usize, 2, 4, 8][thread_idx];
+        let alpha = Alphabet::lowercase();
+        let dfa = random_dfa(&alpha, 6, 0.3, seed);
+        let expected = reference_bytes(&dfa);
+        let opts = ParallelOptions::with_threads(threads).symbol_blocks(blocks);
+        let r = Sfa::builder(&dfa).options(&opts).build().unwrap();
+        prop_assert_eq!(
+            artifact::sfa_to_bytes(&r.sfa),
+            expected,
+            "seed {} × {} threads × {} blocks",
+            seed, threads, blocks
+        );
     }
 }
 
