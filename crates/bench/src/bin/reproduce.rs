@@ -12,6 +12,7 @@
 //! reproduce scan-throughput   PR-3      sequential vs pooled vs interleaved vs compact scan
 //! reproduce obs-overhead      DESIGN §12 metrics-recording overhead A/B (budget: ≤2%)
 //! reproduce serve-load        DESIGN §13 closed-loop load against the `sfa serve` daemon
+//! reproduce memory-cap        DESIGN §15 spill-tier builds under a resident-byte cap ladder
 //! reproduce hashes            §III-A    fingerprint throughput comparison
 //! reproduce ablations         DESIGN    fingerprint / scheduler / compression ablations
 //! reproduce all               everything above with default sizes
@@ -140,6 +141,7 @@ fn main() -> ExitCode {
         "scan-throughput" => scan_throughput(&cfg),
         "obs-overhead" => obs_overhead(&cfg),
         "serve-load" => serve_load(&cfg),
+        "memory-cap" => memory_cap(&cfg),
         "hashes" => hashes(&cfg),
         "ablations" => ablations(&cfg),
         "all" => all(&cfg),
@@ -168,6 +170,7 @@ fn all(cfg: &Config) -> Result<(), String> {
         ("scan-throughput", scan_throughput),
         ("obs-overhead", obs_overhead),
         ("serve-load", serve_load),
+        ("memory-cap", memory_cap),
         ("hashes", hashes),
         ("ablations", ablations),
     ] {
@@ -1318,6 +1321,193 @@ fn serve_load(cfg: &Config) -> Result<(), String> {
     records::write_record("serve_load", &rows).map_err(|e| e.to_string())?;
     std::fs::copy("results/serve_load.json", "BENCH_serve.json").map_err(|e| e.to_string())?;
     println!("wrote results/serve_load.json and BENCH_serve.json");
+    Ok(())
+}
+
+// --------------------------------------------------------------- memory-cap
+
+/// Current process peak RSS (`VmHWM`) in bytes; 0 where unreadable.
+/// Monotone over the process lifetime, so per-level values only bound the
+/// level from above — the honest per-level number is `peak_payload_bytes`
+/// from the engine's own memory manager.
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb << 10;
+        }
+    }
+    0
+}
+
+/// Beyond-RAM construction through the tiered state store: an r500-class
+/// build under a ladder of resident payload caps that each previously
+/// returned `BudgetExceeded`, now completing by spilling — with the
+/// artifact checked byte-identical to the uncapped oracle at every level.
+fn memory_cap(cfg: &Config) -> Result<(), String> {
+    struct MemoryCapRow {
+        cap_bytes: Option<u64>,
+        fails_without_spill: bool,
+        sfa_states: u32,
+        peak_payload_bytes: u64,
+        resident_bytes: u64,
+        spilled_bytes: u64,
+        demotions: u64,
+        promotions: u64,
+        wall_secs: f64,
+        peak_rss_bytes: u64,
+        identical: bool,
+    }
+    sfa_json::impl_to_json!(MemoryCapRow {
+        cap_bytes,
+        fails_without_spill,
+        sfa_states,
+        peak_payload_bytes,
+        resident_bytes,
+        spilled_bytes,
+        demotions,
+        promotions,
+        wall_secs,
+        peak_rss_bytes,
+        identical,
+    });
+
+    let n = cfg.rn_size.min(if cfg.quick { 150 } else { 500 });
+    let threads = *cfg.threads.last().unwrap();
+    let dfa = rn(n);
+    let spill_dir = std::env::temp_dir().join(format!("sfa_memcap_{}", std::process::id()));
+
+    // Uncapped oracle first (also the largest run, so the process-level
+    // RSS high-water mark is set here and the column stays comparable).
+    let (oracle_secs, oracle) = time_once(|| {
+        Sfa::builder(&dfa)
+            .options(&ParallelOptions::with_threads(threads).state_budget(1 << 22))
+            .build()
+    });
+    let oracle = oracle.map_err(|e| e.to_string())?;
+    let oracle_bytes = sfa_core::io::to_bytes(&oracle.sfa);
+    let stored = oracle.stats.stored_bytes;
+
+    println!(
+        "memory-cap reproduction (r{n}, {threads} threads, uncapped store {} KB):",
+        stored >> 10
+    );
+    println!(
+        "{:<12} {:>8} {:>10} {:>10} {:>10} {:>9} {:>10} {:>8} {:>9}",
+        "cap",
+        "states",
+        "peak KB",
+        "resid KB",
+        "spill KB",
+        "demote",
+        "promote",
+        "wall s",
+        "identical"
+    );
+    let mut rows = vec![MemoryCapRow {
+        cap_bytes: None,
+        fails_without_spill: false,
+        sfa_states: oracle.stats.states as u32,
+        peak_payload_bytes: oracle.stats.peak_bytes,
+        resident_bytes: oracle.stats.resident_bytes,
+        spilled_bytes: 0,
+        demotions: 0,
+        promotions: 0,
+        wall_secs: oracle_secs,
+        peak_rss_bytes: peak_rss_bytes(),
+        identical: true,
+    }];
+    println!(
+        "{:<12} {:>8} {:>10} {:>10} {:>10} {:>9} {:>10} {:>8.3} {:>9}",
+        "uncapped",
+        oracle.stats.states,
+        oracle.stats.peak_bytes >> 10,
+        oracle.stats.resident_bytes >> 10,
+        0,
+        0,
+        0,
+        oracle_secs,
+        "yes"
+    );
+
+    // Deep enough that the bottom level sits below what in-memory
+    // compression alone can reach (~20x on rN states), forcing the
+    // disk tier, not just the compressed tier.
+    let dividers: &[u64] = if cfg.quick { &[8, 64] } else { &[2, 16, 128] };
+    for &div in dividers {
+        let cap = (stored / div).max(4096);
+        // The cap was a hard failure before the spill tier existed:
+        // demonstrate it still is when only the budget governor has it.
+        let budget = Budget::unlimited().with_max_payload_bytes(cap);
+        let fails_without_spill = matches!(
+            Sfa::builder(&dfa)
+                .options(&ParallelOptions::with_threads(threads).state_budget(1 << 22))
+                .budget(budget.clone())
+                .build(),
+            Err(SfaError::BudgetExceeded { .. })
+        );
+        // Same budget plus a spill directory: graceful degradation.
+        let (secs, capped) = time_once(|| {
+            Sfa::builder(&dfa)
+                .options(&ParallelOptions::with_threads(threads).state_budget(1 << 22))
+                .budget(budget)
+                .spill(&spill_dir, u64::MAX)
+                .build()
+        });
+        let capped = capped.map_err(|e| e.to_string())?;
+        let identical = sfa_core::io::to_bytes(&capped.sfa) == oracle_bytes;
+        let row = MemoryCapRow {
+            cap_bytes: Some(cap),
+            fails_without_spill,
+            sfa_states: capped.stats.states as u32,
+            peak_payload_bytes: capped.stats.peak_bytes,
+            resident_bytes: capped.stats.resident_bytes,
+            spilled_bytes: capped.stats.spilled_bytes,
+            demotions: capped.stats.demotions,
+            promotions: capped.stats.promotions,
+            wall_secs: secs,
+            peak_rss_bytes: peak_rss_bytes(),
+            identical,
+        };
+        println!(
+            "{:<12} {:>8} {:>10} {:>10} {:>10} {:>9} {:>10} {:>8.3} {:>9}",
+            format!("1/{div}"),
+            row.sfa_states,
+            row.peak_payload_bytes >> 10,
+            row.resident_bytes >> 10,
+            row.spilled_bytes >> 10,
+            row.demotions,
+            row.promotions,
+            row.wall_secs,
+            if identical { "yes" } else { "NO" }
+        );
+        if !identical {
+            return Err(format!(
+                "cap {cap} produced an artifact different from the uncapped oracle"
+            ));
+        }
+        if !fails_without_spill {
+            return Err(format!(
+                "cap {cap} did not fail without a spill tier — the level proves nothing"
+            ));
+        }
+        rows.push(row);
+    }
+    let _ = std::fs::remove_dir_all(&spill_dir);
+    println!(
+        "(every capped level fails typed without the spill tier and is byte-identical with it)"
+    );
+    records::write_record("memory_cap", &rows).map_err(|e| e.to_string())?;
+    std::fs::copy("results/memory_cap.json", "BENCH_memory.json").map_err(|e| e.to_string())?;
+    println!("wrote results/memory_cap.json and BENCH_memory.json");
     Ok(())
 }
 

@@ -117,6 +117,10 @@ struct BuildReport {
     uncompressed_bytes: u64,
     stored_bytes: u64,
     compression_ratio: f64,
+    resident_bytes: u64,
+    spilled_bytes: u64,
+    demotions: u64,
+    promotions: u64,
     candidates: u64,
     duplicates: u64,
     exhaustive_compares: u64,
@@ -138,6 +142,10 @@ sfa_json::impl_to_json!(BuildReport {
     uncompressed_bytes,
     stored_bytes,
     compression_ratio,
+    resident_bytes,
+    spilled_bytes,
+    demotions,
+    promotions,
     candidates,
     duplicates,
     exhaustive_compares,
@@ -161,6 +169,10 @@ impl BuildReport {
             uncompressed_bytes: s.uncompressed_bytes,
             stored_bytes: s.stored_bytes,
             compression_ratio: s.compression_ratio(),
+            resident_bytes: s.resident_bytes,
+            spilled_bytes: s.spilled_bytes,
+            demotions: s.demotions,
+            promotions: s.promotions,
             candidates: s.candidates,
             duplicates: s.duplicates,
             exhaustive_compares: s.exhaustive_compares,
@@ -186,6 +198,19 @@ impl BuildReport {
             "state memory         {} -> {} bytes",
             self.uncompressed_bytes, self.stored_bytes
         );
+        if self.demotions > 0 || self.spilled_bytes > 0 {
+            // Degraded mode: the build ran under memory pressure and
+            // engaged the spill tier. Say how much left RAM and how
+            // often states came back.
+            println!(
+                "spill tier           {} bytes on disk, {} resident",
+                self.spilled_bytes, self.resident_bytes
+            );
+            println!(
+                "  demotions          {} ({} promotions back)",
+                self.demotions, self.promotions
+            );
+        }
         println!(
             "candidates           {} ({} duplicates)",
             self.candidates, self.duplicates
@@ -251,6 +276,18 @@ pub fn build(parsed: &Parsed) -> Result<(), String> {
         let opts = parallel_options(parsed)?;
         Sfa::builder(&dfa).options(&opts).budget(budget)
     };
+    // `--spill-dir` enables the tiered state store: builds that would
+    // abort on `--memory-cap` (or `--max-bytes`) instead demote cold
+    // states — compressed, then to disk — and finish byte-identical.
+    let memory_cap = match parsed.opt("memory-cap") {
+        Some(v) => Some(crate::args::parse_bytes(v)? as u64),
+        None => None,
+    };
+    match (parsed.opt("spill-dir"), memory_cap) {
+        (Some(dir), cap) => builder = builder.spill(dir, cap.unwrap_or(u64::MAX)),
+        (None, Some(_)) => return Err("--memory-cap requires --spill-dir <dir>".into()),
+        (None, None) => {}
+    }
     if let Some(path) = checkpoint {
         builder = builder.checkpoint(path, parsed.num("checkpoint-every", 1024u64)?.max(1));
         if parsed.flag("resume") {

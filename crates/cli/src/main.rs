@@ -106,6 +106,12 @@ COMMON OPTIONS:
                          error; `match` degrades to lazy/sequential instead)
     --max-bytes <b>      cap stored mapping-payload bytes (suffixes K/M/G)
     --max-states <n>     cap constructed SFA state count
+    --spill-dir <dir>    build: spill cold states to segment files in this
+                         directory instead of failing on memory pressure;
+                         the result is byte-identical to an uncapped build
+    --memory-cap <b>     build: resident payload-byte watermark that drives
+                         demotion (suffixes K/M/G; requires --spill-dir;
+                         --max-bytes also folds into the cap when given)
     --out <path>         build: write the SFA as a checksummed artifact
     --checkpoint <path>  build: snapshot construction state to this artifact
                          (implies a sequential engine; default transposed)

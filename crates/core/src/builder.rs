@@ -38,9 +38,10 @@ use crate::obs::{MetricsRegistry, Subscriber};
 use crate::parallel::{
     construct_parallel_resumable, CompressionPolicy, FingerprintAlgo, ParallelOptions, Scheduler,
 };
-use crate::sequential::{construct_sequential_resumable, SequentialVariant};
+use crate::sequential::{construct_sequential_spillable, SequentialVariant};
 use crate::sfa::{CodecChoice, Sfa};
 use crate::stats::ConstructionResult;
+use crate::store::SpillConfig;
 use crate::SfaError;
 use sfa_automata::dfa::Dfa;
 use sfa_sync::CancelToken;
@@ -157,6 +158,29 @@ impl<'d> SfaBuilder<'d> {
         self
     }
 
+    /// Enable the spill tier (`crate::store`) for both engines: once
+    /// resident state payloads exceed `cap_bytes`, cold payloads are
+    /// demoted — compressed in memory first, then to mmap'd segments
+    /// under `dir` — instead of the build failing on memory pressure,
+    /// and promoted back on access. The finished artifact is
+    /// byte-identical to an uncapped build. When the [`budget`] also
+    /// carries a `max_payload_bytes` axis, the smaller of the two values
+    /// becomes the cap and the axis stops being a hard error — graceful
+    /// degradation replaces [`SfaError::BudgetExceeded`] for bytes.
+    ///
+    /// [`budget`]: SfaBuilder::budget
+    pub fn spill(mut self, dir: impl Into<PathBuf>, cap_bytes: u64) -> Self {
+        self.opts.spill = Some(SpillConfig::new(dir, cap_bytes));
+        self
+    }
+
+    /// Enable the spill tier from a full [`SpillConfig`] (custom codec or
+    /// retry policy); see [`spill`](SfaBuilder::spill).
+    pub fn spill_config(mut self, cfg: SpillConfig) -> Self {
+        self.opts.spill = Some(cfg);
+        self
+    }
+
     /// Resource limits enforced during the build.
     pub fn budget(mut self, budget: Budget) -> Self {
         self.budget = budget;
@@ -225,23 +249,35 @@ impl<'d> SfaBuilder<'d> {
 
     /// Run the configured construction. The budget clock starts here.
     pub fn build(self) -> Result<ConstructionResult, SfaError> {
-        let governor = Governor::new(&self.budget, self.cancel);
+        let mut opts = self.opts;
+        let mut budget = self.budget;
+        if let Some(cfg) = &mut opts.spill {
+            // With a spill tier, the payload-byte axis stops being a hard
+            // error: fold it into the demotion cap (tighter value wins)
+            // and strip it from the governor — crossing it now demotes
+            // instead of failing the build.
+            if let Some(max) = budget.max_payload_bytes.take() {
+                cfg.cap_bytes = cfg.cap_bytes.min(max);
+            }
+        }
+        let governor = Governor::new(&budget, self.cancel);
         let resume = match &self.resume_from {
             Some(path) => Some(artifact::read_checkpoint(path)?),
             None => None,
         };
         let result = match self.variant {
-            Some(variant) => construct_sequential_resumable(
+            Some(variant) => construct_sequential_spillable(
                 self.dfa,
                 variant,
-                self.opts.state_budget,
+                opts.state_budget,
                 &governor,
                 self.checkpoint.as_ref(),
                 resume.as_ref(),
+                opts.spill.as_ref(),
             )?,
             None => construct_parallel_resumable(
                 self.dfa,
-                &self.opts,
+                &opts,
                 &governor,
                 self.checkpoint.as_ref(),
                 resume.as_ref(),
@@ -445,6 +481,73 @@ mod tests {
         );
         resumed.sfa.validate(&dfa).unwrap();
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn spill_turns_payload_budget_errors_into_demotion() {
+        use crate::budget::{Budget, BudgetResource};
+        let dfa = sfa_automata::random::rn(80);
+        let budget = Budget::unlimited().with_max_payload_bytes(4096);
+
+        // Without a spill tier the byte axis is a hard error.
+        let err = Sfa::builder(&dfa)
+            .threads(2)
+            .budget(budget.clone())
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SfaError::BudgetExceeded {
+                    resource: BudgetResource::PayloadBytes,
+                    ..
+                }
+            ),
+            "expected a payload-bytes budget failure, got {err:?}"
+        );
+
+        // With one, the same budget becomes the demotion cap and the
+        // build completes byte-identical to an unrestricted run.
+        let dir = std::env::temp_dir().join(format!("sfa-builder-spill-{}", std::process::id()));
+        let capped = Sfa::builder(&dfa)
+            .threads(2)
+            .budget(budget)
+            .spill(&dir, u64::MAX)
+            .build()
+            .unwrap();
+        let free = Sfa::builder(&dfa).threads(2).build().unwrap();
+        assert_eq!(
+            crate::io::to_bytes(&capped.sfa),
+            crate::io::to_bytes(&free.sfa),
+            "spilled build must be byte-identical to the unrestricted one"
+        );
+        assert!(
+            capped.stats.demotions > 0,
+            "a 4 KiB cap on an rn(80) build must engage the spill tier"
+        );
+        capped.sfa.validate(&dfa).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sequential_builder_spill_is_byte_identical() {
+        let dfa = sfa_automata::random::rn(60);
+        let dir = std::env::temp_dir().join(format!("sfa-builder-sspill-{}", std::process::id()));
+        let capped = Sfa::builder(&dfa)
+            .sequential(SequentialVariant::Transposed)
+            .spill(&dir, 2048)
+            .build()
+            .unwrap();
+        let free = Sfa::builder(&dfa)
+            .sequential(SequentialVariant::Transposed)
+            .build()
+            .unwrap();
+        assert_eq!(
+            crate::io::to_bytes(&capped.sfa),
+            crate::io::to_bytes(&free.sfa)
+        );
+        assert!(capped.stats.spilled_bytes > 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -301,6 +301,141 @@ pub fn atomic_write(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()>
     Ok(())
 }
 
+/// Read-only memory map of a file — the spill tier's read path
+/// (`crate::store`). On unix targets this is a real `mmap(2)` so spilled
+/// state payloads are demand-paged rather than resident; elsewhere it
+/// degrades to reading the file into an anonymous buffer (same API,
+/// no paging benefit).
+///
+/// Fault site: `io/mmap` (before the file is opened).
+#[derive(Debug)]
+pub struct Mmap {
+    repr: MmapRepr,
+}
+
+#[derive(Debug)]
+enum MmapRepr {
+    /// Zero-length files: mapping zero bytes is EINVAL, so hold nothing.
+    Empty,
+    #[cfg(unix)]
+    Mapped {
+        ptr: *mut std::ffi::c_void,
+        len: usize,
+    },
+    #[allow(dead_code)]
+    Buffered(Box<[u8]>),
+}
+
+// SAFETY: the mapping is immutable (PROT_READ, MAP_PRIVATE) for its whole
+// lifetime; sharing the base pointer across threads is plain shared-read.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+}
+
+impl Mmap {
+    /// Map `path` read-only.
+    pub fn open(path: &std::path::Path) -> std::io::Result<Mmap> {
+        sfa_sync::fault_point!("io/mmap")?;
+        let file = std::fs::File::open(path)?;
+        let len = file.metadata()?.len();
+        if len == 0 {
+            return Ok(Mmap {
+                repr: MmapRepr::Empty,
+            });
+        }
+        let len = usize::try_from(len).map_err(|_| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "spill file exceeds usize")
+        })?;
+        #[cfg(unix)]
+        {
+            use std::os::unix::io::AsRawFd;
+            // SAFETY: fd is valid for the duration of the call; length is
+            // the file's current size; we never write through the mapping.
+            let ptr = unsafe {
+                sys::mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    sys::PROT_READ,
+                    sys::MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 {
+                return Err(std::io::Error::last_os_error());
+            }
+            Ok(Mmap {
+                repr: MmapRepr::Mapped { ptr, len },
+            })
+        }
+        #[cfg(not(unix))]
+        {
+            let bytes = std::fs::read(path)?;
+            Ok(Mmap {
+                repr: MmapRepr::Buffered(bytes.into_boxed_slice()),
+            })
+        }
+    }
+
+    /// The mapped bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.repr {
+            MmapRepr::Empty => &[],
+            #[cfg(unix)]
+            MmapRepr::Mapped { ptr, len } => {
+                // SAFETY: the mapping stays valid until Drop; PROT_READ
+                // private mappings of an unmodified file are plain bytes.
+                unsafe { std::slice::from_raw_parts(*ptr as *const u8, *len) }
+            }
+            MmapRepr::Buffered(b) => b,
+        }
+    }
+
+    /// Mapped length in bytes.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// True when zero bytes are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let MmapRepr::Mapped { ptr, len } = self.repr {
+            // SAFETY: exactly the region mmap returned, unmapped once.
+            unsafe { sys::munmap(ptr, len) };
+        }
+    }
+}
+
+impl std::ops::Deref for Mmap {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
 fn tmp_sibling(path: &std::path::Path) -> std::path::PathBuf {
     let mut name = path
         .file_name()

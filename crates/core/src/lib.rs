@@ -79,6 +79,7 @@ pub mod sequential;
 pub mod sfa;
 pub mod state;
 pub mod stats;
+pub mod store;
 pub mod treemap;
 
 pub use artifact::{ArtifactInfo, ArtifactKind, CheckpointConfig};
@@ -106,6 +107,7 @@ pub use sfa_sync::fault_point;
 pub use sfa_sync::faults;
 pub use sfa_sync::CancelToken;
 pub use stats::{ConstructionResult, ConstructionStats};
+pub use store::{SpillConfig, SpillStore};
 
 /// Errors produced by SFA construction.
 ///
@@ -172,6 +174,16 @@ pub enum SfaError {
     /// could not be written or loaded: corrupt, truncated, wrong
     /// version, or the underlying file I/O failed.
     Artifact(io::IoError),
+    /// The configured spill directory cannot be used (missing and not
+    /// creatable, or not writable — e.g. a read-only filesystem).
+    /// Raised up front, before construction starts, so a build never
+    /// dies mid-spill on a predictable misconfiguration.
+    SpillDirUnavailable {
+        /// The rejected directory.
+        path: std::path::PathBuf,
+        /// What the writability probe reported.
+        reason: String,
+    },
 }
 
 impl SfaError {
@@ -232,6 +244,11 @@ impl std::fmt::Display for SfaError {
             ),
             SfaError::Io(msg) => write!(f, "I/O error while streaming input: {msg}"),
             SfaError::Artifact(e) => write!(f, "artifact error: {e}"),
+            SfaError::SpillDirUnavailable { path, reason } => write!(
+                f,
+                "spill directory {} is unusable: {reason}",
+                path.display()
+            ),
         }
     }
 }
@@ -265,6 +282,7 @@ pub mod prelude {
     pub use crate::sequential::SequentialVariant;
     pub use crate::sfa::Sfa;
     pub use crate::stats::{ConstructionResult, ConstructionStats};
+    pub use crate::store::{SpillConfig, SpillStore};
     pub use crate::SfaError;
     pub use sfa_sync::CancelToken;
 }

@@ -58,6 +58,23 @@ impl MemoryManager {
     pub fn is_tripped(&self) -> bool {
         self.tripped.load(Ordering::Acquire)
     }
+
+    /// The configured watermark, if any.
+    pub fn limit(&self) -> Option<u64> {
+        self.limit
+    }
+
+    /// Level-triggered companion to the one-shot [`charge`](Self::charge)
+    /// edge: is current usage above the watermark *right now*? The tier
+    /// ladder (`crate::store`) polls this to decide whether another round
+    /// of demotion is needed — unlike `is_tripped`, it goes back to
+    /// `false` once demotion has credited enough bytes.
+    pub fn over_limit(&self) -> bool {
+        match self.limit {
+            Some(limit) => self.used() > limit,
+            None => false,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -90,6 +107,20 @@ mod tests {
         assert_eq!(m.used(), 10);
         assert_eq!(m.peak(), 150, "peak must survive credits");
         assert!(m.is_tripped(), "trip flag is one-shot by design");
+    }
+
+    #[test]
+    fn over_limit_is_level_triggered() {
+        let m = MemoryManager::new(Some(100));
+        assert!(!m.over_limit());
+        m.charge(150);
+        assert!(m.over_limit());
+        m.credit(100);
+        assert!(!m.over_limit(), "dropping below the watermark clears it");
+        assert!(m.is_tripped(), "...but the one-shot edge stays latched");
+        assert_eq!(m.limit(), Some(100));
+        assert_eq!(MemoryManager::new(None).limit(), None);
+        assert!(!MemoryManager::new(None).over_limit());
     }
 
     #[test]

@@ -42,6 +42,7 @@ use crate::memory::MemoryManager;
 use crate::sfa::{CodecChoice, MappingStore, Sfa};
 use crate::state::{MappingBuf, StateStore};
 use crate::stats::{ConstructionResult, ConstructionStats};
+use crate::store::{SpillConfig, SpillRef, SpillStore};
 use crate::SfaError;
 use sfa_automata::dfa::Dfa;
 use sfa_compress::Codec;
@@ -156,6 +157,16 @@ pub struct ParallelOptions {
     /// tight bound). Mapping vectors of the final SFA are reconstructed
     /// from δₛ and the DFA. Incompatible with compression.
     pub probabilistic: bool,
+    /// Spill tier (`crate::store`): when set, the config's byte cap
+    /// becomes the memory watermark — the first crossing trips the
+    /// compression phase (tier 2), and while compressed payloads still
+    /// exceed the cap the engine demotes the oldest of them to mmap'd
+    /// segments under `dir` at stop-the-world rendezvous points (tier 3),
+    /// promoting them back on access. The harvested store is materialized
+    /// to plaintext, so a capped build stays byte-identical to an
+    /// uncapped one. Incompatible with the probabilistic mode (which
+    /// stores no payloads to spill).
+    pub spill: Option<SpillConfig>,
 }
 
 impl Default for ParallelOptions {
@@ -172,6 +183,7 @@ impl Default for ParallelOptions {
             fingerprint: FingerprintAlgo::City,
             symbol_blocks: 1,
             probabilistic: false,
+            spill: None,
         }
     }
 }
@@ -221,6 +233,12 @@ impl ParallelOptions {
     pub fn probabilistic(mut self, algo: FingerprintAlgo) -> Self {
         self.probabilistic = true;
         self.fingerprint = algo;
+        self
+    }
+
+    /// Enable the spill tier (see [`ParallelOptions::spill`]).
+    pub fn spill(mut self, cfg: SpillConfig) -> Self {
+        self.spill = Some(cfg);
         self
     }
 }
@@ -297,9 +315,19 @@ pub fn construct_parallel_resumable(
              neither write nor resume checkpoints",
         ));
     }
+    if opts.probabilistic && opts.spill.is_some() {
+        return Err(SfaError::InvalidOptions(
+            "probabilistic construction drops mapping payloads, so there is \
+             nothing to spill",
+        ));
+    }
     if matches!(opts.compression, CompressionPolicy::WhenMemoryExceeds(_))
         && (checkpoint.is_some() || resume.is_some())
+        && opts.spill.is_none()
     {
+        // With a spill tier the final store is materialized to plaintext,
+        // so the watermark's schedule-dependent trip point cannot leak
+        // into the artifact — the rejection only applies without one.
         return Err(SfaError::InvalidOptions(
             "checkpointed parallel construction requires a schedule-independent \
              compression policy (Never or FromStart); the memory watermark's trip \
@@ -428,6 +456,19 @@ struct Shared<E: Elem> {
     /// One-shot leader latch for the compression protocol (CAS-elected —
     /// worker 0 may have exited on an error path before compressing).
     compress_leader: AtomicBool,
+    /// The disk tier, when [`ParallelOptions::spill`] is configured.
+    spill: Option<SpillStore>,
+    /// Raised when a worker observes resident bytes above the cap in
+    /// compressed mode; everyone converges on the rendezvous and one
+    /// leader runs a [`WorkerCtx::spill_pass`].
+    spill_requested: AtomicBool,
+    /// Arena length at the end of the last spill pass. A new pass is only
+    /// requested once the arena has grown (or payloads were promoted)
+    /// since — a pass over an unchanged arena would find nothing new to
+    /// demote, and re-requesting it forever would livelock the build.
+    spill_last_len: AtomicU64,
+    /// Promotion count at the end of the last spill pass (same guard).
+    spill_last_promotions: AtomicU64,
 }
 
 #[derive(Default)]
@@ -512,9 +553,21 @@ impl<E: Elem> Engine<E> {
             .hash_buckets
             .unwrap_or_else(|| (opts.state_budget / 64).clamp(1 << 12, 1 << 22));
         let start_compressed = matches!(opts.compression, CompressionPolicy::FromStart);
-        let mem_limit = match opts.compression {
-            CompressionPolicy::WhenMemoryExceeds(bytes) => Some(bytes),
-            _ => None,
+        // With a spill tier, its cap IS the watermark: the first crossing
+        // trips the compression phase (tier 2), and `over_limit` polls
+        // against the same value to drive spill passes (tier 3). An
+        // explicit compression watermark composes by `min`.
+        let mem_limit = match (&opts.spill, opts.compression) {
+            (Some(cfg), CompressionPolicy::WhenMemoryExceeds(w)) => {
+                Some(w.min(cfg.cap_bytes as usize))
+            }
+            (Some(cfg), _) => Some(cfg.cap_bytes as usize),
+            (None, CompressionPolicy::WhenMemoryExceeds(w)) => Some(w),
+            (None, _) => None,
+        };
+        let spill = match &opts.spill {
+            Some(cfg) => Some(SpillStore::create(&cfg.dir, cfg.retry.clone())?),
+            None => None,
         };
 
         // The seed phase must be able to enqueue one item per symbol
@@ -558,6 +611,10 @@ impl<E: Elem> Engine<E> {
             ckpt_requested: AtomicBool::new(false),
             ckpt_next: AtomicU64::new(u64::MAX),
             compress_leader: AtomicBool::new(false),
+            spill,
+            spill_requested: AtomicBool::new(false),
+            spill_last_len: AtomicU64::new(0),
+            spill_last_promotions: AtomicU64::new(0),
         };
 
         let codec = opts.codec.codec();
@@ -578,10 +635,15 @@ impl<E: Elem> Engine<E> {
             };
             if shared.mem.charge(payload.len()) {
                 // A watermark below the seeded states still has to trigger
-                // the (one-shot) compression phase once workers start.
-                shared
-                    .phase
-                    .store(PHASE_COMPRESS_REQUESTED, Ordering::SeqCst);
+                // the (one-shot) compression phase once workers start —
+                // unless the build already starts compressed (FromStart
+                // with a spill cap), where the trip is meaningless.
+                let _ = shared.phase.compare_exchange(
+                    PHASE_RAW,
+                    PHASE_COMPRESS_REQUESTED,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                );
             }
             let id = shared.store.alloc(fp, payload, start_compressed).ok_or(
                 SfaError::StateBudgetExceeded {
@@ -752,14 +814,21 @@ impl<E: Elem> Engine<E> {
         let mut delta = vec![0u32; num_states * k];
         let compressed_mode = shared.phase.load(Ordering::SeqCst) == PHASE_COMPRESSED;
         let probabilistic = opts.probabilistic;
+        // A spill-capped build materializes the store back to plaintext:
+        // where (or whether) the compression watermark tripped depends on
+        // the schedule, and materializing erases that difference — the
+        // capped artifact stays byte-identical to an uncapped build.
+        let materialize = shared.spill.is_some();
         let mut blobs: Vec<Box<[u8]>> = Vec::new();
         let mut flat: Vec<E> = Vec::new();
-        if compressed_mode {
+        if compressed_mode && !materialize {
             blobs = vec![Box::default(); num_states];
         } else if !probabilistic {
             flat = vec![E::from_u32(0); num_states * n];
         }
         let mut scratch = Vec::new();
+        let mut raw_scratch: Vec<u8> = Vec::new();
+        let mut fetch_scratch: Vec<u8> = Vec::new();
         for (new_id, &id) in order.iter().enumerate() {
             for sym in 0..k {
                 let succ = shared.store.succ(id, sym);
@@ -771,11 +840,32 @@ impl<E: Elem> Engine<E> {
                 continue; // payloads were dropped; reconstructed below
             }
             let buf = shared.store.mapping(id);
-            if compressed_mode {
+            if compressed_mode && !materialize {
                 debug_assert!(buf.compressed);
                 blobs[new_id] = buf.data.clone();
             } else {
-                E::read_bytes(&buf.data, &mut scratch);
+                let bytes: &[u8] = if let Some(r) = buf.spill {
+                    shared
+                        .spill
+                        .as_ref()
+                        .expect("spill marker without a spill store")
+                        .fetch(r, &mut fetch_scratch)?;
+                    &fetch_scratch
+                } else {
+                    &buf.data
+                };
+                let raw: &[u8] = if buf.compressed {
+                    raw_scratch.clear();
+                    codec.decompress(bytes, &mut raw_scratch).map_err(|_| {
+                        SfaError::Artifact(IoError::Corrupt(
+                            "stored state failed to decompress at harvest",
+                        ))
+                    })?;
+                    &raw_scratch
+                } else {
+                    bytes
+                };
+                E::read_bytes(raw, &mut scratch);
                 flat[new_id * n..(new_id + 1) * n].copy_from_slice(&scratch);
             }
         }
@@ -784,7 +874,7 @@ impl<E: Elem> Engine<E> {
             // the identity, and mapping(δₛ(s,σ))[q] = δ(mapping(s)[q], σ).
             flat = reconstruct_mappings::<E>(&shared.table_typed, n, k, &delta, num_states, 0);
         }
-        let mappings = if compressed_mode {
+        let mappings = if compressed_mode && !materialize {
             MappingStore::Compressed {
                 elem_bytes: E::BYTES,
                 blobs,
@@ -795,6 +885,12 @@ impl<E: Elem> Engine<E> {
         };
         stats.stored_bytes = mappings.payload_bytes() as u64;
         stats.peak_bytes = shared.mem.peak();
+        stats.resident_bytes = shared.mem.used();
+        if let Some(store) = &shared.spill {
+            stats.spilled_bytes = store.spilled_bytes();
+            stats.demotions = store.demotions();
+            stats.promotions = store.promotions();
+        }
 
         // Merge contention counters.
         stats.contention = merge_snap(
@@ -956,6 +1052,7 @@ impl<'s, E: Elem, F: Fingerprinter> WorkerCtx<'s, E, F> {
         let mut transposed: Vec<E> = vec![E::from_u32(0); k * n];
         let mut raw_scratch: Vec<u8> = Vec::new();
         let mut elems_scratch: Vec<E> = Vec::new();
+        let mut spill_scratch: Vec<u8> = Vec::new();
 
         let mut backoff = sfa_sync::backoff::Backoff::new();
         loop {
@@ -966,6 +1063,7 @@ impl<'s, E: Elem, F: Fingerprinter> WorkerCtx<'s, E, F> {
             // different barrier sequences (see `rendezvous`).
             if shared.phase.load(Ordering::SeqCst) == PHASE_COMPRESS_REQUESTED
                 || shared.ckpt_requested.load(Ordering::SeqCst)
+                || shared.spill_requested.load(Ordering::SeqCst)
             {
                 self.rendezvous();
                 backoff.reset();
@@ -991,6 +1089,22 @@ impl<'s, E: Elem, F: Fingerprinter> WorkerCtx<'s, E, F> {
                 {
                     self.record_error(e);
                     break;
+                }
+            }
+            // Spill trigger (tier 3), at the same per-item cadence: once
+            // the arena is compressed and resident bytes still exceed the
+            // cap, raise a stop-the-world spill pass — but only when the
+            // arena grew (or payloads were promoted back) since the last
+            // pass, else a pass over unchanged residents could recur
+            // without ever freeing another byte.
+            if let Some(store) = &shared.spill {
+                if shared.phase.load(Ordering::SeqCst) == PHASE_COMPRESSED
+                    && shared.mem.over_limit()
+                    && (shared.store.len() as u64 > shared.spill_last_len.load(Ordering::SeqCst)
+                        || store.promotions() > shared.spill_last_promotions.load(Ordering::SeqCst))
+                {
+                    shared.spill_requested.store(true, Ordering::SeqCst);
+                    continue;
                 }
             }
             // Checkpoint trigger, at the same per-item cadence: the
@@ -1028,6 +1142,7 @@ impl<'s, E: Elem, F: Fingerprinter> WorkerCtx<'s, E, F> {
                         &mut transposed,
                         &mut raw_scratch,
                         &mut elems_scratch,
+                        &mut spill_scratch,
                     );
                     shared.pending.fetch_sub(1, Ordering::SeqCst);
                 }
@@ -1039,6 +1154,7 @@ impl<'s, E: Elem, F: Fingerprinter> WorkerCtx<'s, E, F> {
                         // miss one.
                         if shared.phase.load(Ordering::SeqCst) == PHASE_COMPRESS_REQUESTED
                             || shared.ckpt_requested.load(Ordering::SeqCst)
+                            || shared.spill_requested.load(Ordering::SeqCst)
                         {
                             continue;
                         }
@@ -1116,6 +1232,7 @@ impl<'s, E: Elem, F: Fingerprinter> WorkerCtx<'s, E, F> {
         transposed: &mut [E],
         raw_scratch: &mut Vec<u8>,
         elems_scratch: &mut Vec<E>,
+        spill_scratch: &mut Vec<u8>,
     ) {
         let shared = self.shared;
         let n = shared.n;
@@ -1123,10 +1240,33 @@ impl<'s, E: Elem, F: Fingerprinter> WorkerCtx<'s, E, F> {
         let blocks = shared.opts.symbol_blocks;
         let compressed_mode = shared.phase.load(Ordering::SeqCst) == PHASE_COMPRESSED;
 
-        // Source mapping → u32 rows (decompress first when needed).
+        // Source mapping → u32 rows (fetch from the spill tier and
+        // decompress first when needed).
         {
             let buf = shared.store.mapping(id);
-            let raw: &[u8] = if buf.compressed {
+            let raw: &[u8] = if let Some(r) = buf.spill {
+                let store = shared
+                    .spill
+                    .as_ref()
+                    .expect("spill marker without a spill store");
+                if let Err(e) = store.fetch(r, spill_scratch) {
+                    self.record_error(e);
+                    return;
+                }
+                // On-access promotion: re-install the fetched blob so the
+                // next reader finds it resident. Losing the CAS (a racing
+                // promoter won) just drops our copy — the segment bytes
+                // are immutable either way, so both copies are identical.
+                let promoted = MappingBuf::resident(true, spill_scratch.clone().into_boxed_slice());
+                if shared.store.try_promote(id, promoted) {
+                    let _ = shared.mem.charge(spill_scratch.len());
+                }
+                raw_scratch.clear();
+                self.codec
+                    .decompress(spill_scratch, raw_scratch)
+                    .expect("spilled state failed to decompress");
+                raw_scratch
+            } else if buf.compressed {
                 raw_scratch.clear();
                 self.codec
                     .decompress(&buf.data, raw_scratch)
@@ -1188,7 +1328,28 @@ impl<'s, E: Elem, F: Fingerprinter> WorkerCtx<'s, E, F> {
                     return false;
                 }
                 LocalStats::bump(&stats.exhaustive);
-                let equal = shared.store.mapping_equals(other, repr);
+                let obuf = shared.store.mapping(other);
+                let equal = if let Some(r) = obuf.spill {
+                    // The resident marker is empty: compare against the
+                    // spilled bytes (same compressed representation). A
+                    // fetch failure marks the run failed — the returned
+                    // `false` can at worst insert a duplicate into an
+                    // already-discarded build.
+                    let store = shared
+                        .spill
+                        .as_ref()
+                        .expect("spill marker without a spill store");
+                    let mut spilled = Vec::new();
+                    match store.fetch(r, &mut spilled) {
+                        Ok(()) => spilled.as_slice() == repr,
+                        Err(e) => {
+                            self.record_error(e);
+                            false
+                        }
+                    }
+                } else {
+                    shared.store.mapping_equals(other, repr)
+                };
                 if !equal && shared.store.fingerprint(other) == fp {
                     LocalStats::bump(&stats.collisions);
                 }
@@ -1230,9 +1391,14 @@ impl<'s, E: Elem, F: Fingerprinter> WorkerCtx<'s, E, F> {
                     // Lost an insert race: `new_id` becomes arena garbage.
                     // Tombstone it so the compression-phase table rebuild
                     // never resurrects it (harvest also filters on table
-                    // membership).
+                    // membership), and uncharge its payload — the bytes
+                    // stay allocated until the arena drops, but they are
+                    // dead weight, and leaving them charged would drift
+                    // `used` away from live bytes (inflating `over_limit`
+                    // pressure on the spill tier for the whole build).
                     LocalStats::bump(&stats.duplicates);
                     shared.store.link(new_id).store(TOMBSTONE, Ordering::SeqCst);
+                    shared.mem.credit(payload_len);
                     shared.store.set_succ(id, sym, existing);
                 }
                 FindOrInsert::Inserted => {
@@ -1255,13 +1421,9 @@ impl<'s, E: Elem, F: Fingerprinter> WorkerCtx<'s, E, F> {
             // intended configuration.)
             let len = shared.store.mapping(id).data.len();
             shared.mem.credit(len);
-            shared.store.replace_mapping(
-                id,
-                crate::state::MappingBuf {
-                    compressed: false,
-                    data: Box::default(),
-                },
-            );
+            shared
+                .store
+                .replace_mapping(id, MappingBuf::resident(false, Box::default()));
         }
     }
 
@@ -1292,6 +1454,7 @@ impl<'s, E: Elem, F: Fingerprinter> WorkerCtx<'s, E, F> {
         shared.barrier.wait();
         let compress = shared.phase.load(Ordering::SeqCst) == PHASE_COMPRESS_REQUESTED;
         let ckpt = shared.ckpt_requested.load(Ordering::SeqCst);
+        let spill = shared.spill_requested.load(Ordering::SeqCst);
         // R1b: everyone has latched the flags before anyone may mutate
         // them. Without this, the checkpoint writer's CAS (which clears
         // `ckpt_requested` inside `participate_checkpoint`) can race a
@@ -1306,6 +1469,12 @@ impl<'s, E: Elem, F: Fingerprinter> WorkerCtx<'s, E, F> {
         shared.barrier.wait();
         if compress {
             self.participate_compression();
+        }
+        if spill {
+            // After compression (the pass demotes compressed payloads)
+            // and before a checkpoint snapshot (which reads through the
+            // markers the pass installs).
+            self.participate_spill();
         }
         if ckpt {
             self.participate_checkpoint();
@@ -1355,18 +1524,21 @@ impl<'s, E: Elem, F: Fingerprinter> WorkerCtx<'s, E, F> {
                 }
             }
             processed += 1;
-            let buf = shared.store.mapping(id as u32);
-            if !buf.compressed {
-                let compressed = self.codec.compress_to_vec(&buf.data);
-                shared.mem.credit(buf.data.len());
-                shared.mem.charge(compressed.len());
-                shared.store.replace_mapping(
-                    id as u32,
-                    MappingBuf {
-                        compressed: true,
-                        data: compressed.into_boxed_slice(),
-                    },
-                );
+            // Tombstoned race losers are dead weight: they are never read
+            // again and their payload was already uncharged when they
+            // lost, so re-encoding them here would waste work and drift
+            // the credit/charge balance.
+            if shared.store.link(id as u32).load(Ordering::SeqCst) != TOMBSTONE {
+                let buf = shared.store.mapping(id as u32);
+                if !buf.compressed {
+                    let compressed = self.codec.compress_to_vec(&buf.data);
+                    shared.mem.credit(buf.data.len());
+                    let _ = shared.mem.charge(compressed.len());
+                    shared.store.replace_mapping(
+                        id as u32,
+                        MappingBuf::resident(true, compressed.into_boxed_slice()),
+                    );
+                }
             }
             id += threads;
         }
@@ -1414,6 +1586,102 @@ impl<'s, E: Elem, F: Fingerprinter> WorkerCtx<'s, E, F> {
         }
         // B5: phase switch visible to everyone.
         shared.barrier.wait();
+    }
+
+    /// The stop-the-world spill pass (tier 3 of `crate::store`). Entered
+    /// from [`WorkerCtx::rendezvous`] with all workers quiesced, so
+    /// mapping buffers can be swapped for spill markers safely. One
+    /// leader — the CAS winner that clears the request flag — demotes;
+    /// the closing barrier releases everyone.
+    fn participate_spill(&self) {
+        let shared = self.shared;
+        if shared
+            .spill_requested
+            .compare_exchange(true, false, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            if !shared.has_error.load(Ordering::SeqCst) {
+                if let Err(e) = self.spill_pass() {
+                    self.record_error(e);
+                }
+            }
+            // Advance the progress markers even when the pass failed or
+            // demoted nothing, so workers cannot immediately re-request
+            // an identical pass (see `Shared::spill_last_len`).
+            let store = shared
+                .spill
+                .as_ref()
+                .expect("spill requested without a store");
+            shared
+                .spill_last_len
+                .store(shared.store.len() as u64, Ordering::SeqCst);
+            shared
+                .spill_last_promotions
+                .store(store.promotions(), Ordering::SeqCst);
+        }
+        // Release the quiesced peers.
+        shared.barrier.wait();
+    }
+
+    /// Demote the oldest resident compressed payloads to one spill
+    /// segment until resident bytes drop to half the cap (a refill
+    /// watermark — stopping exactly at the cap would re-arm the next
+    /// stop-the-world pass on the very next allocation). Runs quiesced:
+    /// `replace_mapping` is safe, and ids are scanned in allocation order
+    /// so the *oldest* (least likely to be re-read — BFS frontiers move
+    /// forward) go first. Tombstoned race losers were already uncharged
+    /// when they lost, so demoting them would double-credit; skip them.
+    fn spill_pass(&self) -> Result<(), SfaError> {
+        let shared = self.shared;
+        let store = shared
+            .spill
+            .as_ref()
+            .expect("spill pass without a spill store");
+        let floor = shared.mem.limit().unwrap_or(u64::MAX) / 2;
+        let total = shared.store.len() as u32;
+        let mut batch: Vec<u8> = Vec::new();
+        let mut refs: Vec<(u32, SpillRef)> = Vec::new();
+        let mut would_free = 0u64;
+        for id in 0..total {
+            if shared.mem.used().saturating_sub(would_free) <= floor {
+                break;
+            }
+            if shared.store.link(id).load(Ordering::SeqCst) == TOMBSTONE {
+                continue;
+            }
+            let buf = shared.store.mapping(id);
+            if !buf.compressed || buf.spill.is_some() || buf.data.is_empty() {
+                continue;
+            }
+            let off = batch.len() as u32;
+            batch.extend_from_slice(&buf.data);
+            refs.push((
+                id,
+                SpillRef {
+                    seg: 0,
+                    off,
+                    len: buf.data.len() as u32,
+                },
+            ));
+            would_free += buf.data.len() as u64;
+            if batch.len() >= (u32::MAX / 2) as usize {
+                break; // keep the u32 segment offsets comfortably in range
+            }
+        }
+        if refs.is_empty() {
+            return Ok(());
+        }
+        let seg = store.write_segment(&batch, refs.len() as u64)?;
+        for (id, mut r) in refs {
+            r.seg = seg;
+            let len = r.len as usize;
+            shared.store.replace_mapping(id, MappingBuf::spilled(r));
+            shared.mem.credit(len);
+        }
+        // All resident payloads are compressed in this phase, so the hot
+        // tier is empty by definition.
+        crate::store::publish_tier_gauges(0, shared.mem.used(), store.spilled_bytes());
+        Ok(())
     }
 
     /// The stop-the-world checkpoint snapshot. Entered from
@@ -1473,17 +1741,28 @@ impl<'s, E: Elem, F: Fingerprinter> WorkerCtx<'s, E, F> {
         // under its own policy), matching the sequential engine.
         let mut flat: Vec<E> = vec![E::from_u32(0); num_states * n];
         let mut raw_scratch: Vec<u8> = Vec::new();
+        let mut fetch_scratch: Vec<u8> = Vec::new();
         let mut elems: Vec<E> = Vec::new();
         for (c, &id) in order.iter().enumerate() {
             let buf = shared.store.mapping(id);
+            let bytes: &[u8] = if let Some(r) = buf.spill {
+                shared
+                    .spill
+                    .as_ref()
+                    .expect("spill marker without a spill store")
+                    .fetch(r, &mut fetch_scratch)?;
+                &fetch_scratch
+            } else {
+                &buf.data
+            };
             let raw: &[u8] = if buf.compressed {
                 raw_scratch.clear();
                 self.codec
-                    .decompress(&buf.data, &mut raw_scratch)
+                    .decompress(bytes, &mut raw_scratch)
                     .expect("stored state failed to decompress");
                 &raw_scratch
             } else {
-                &buf.data
+                bytes
             };
             E::read_bytes(raw, &mut elems);
             flat[c * n..(c + 1) * n].copy_from_slice(&elems);
@@ -1840,6 +2119,27 @@ mod error_robustness_tests {
     }
 
     #[test]
+    fn memory_accounting_balances_over_racy_builds() {
+        // Regression (tiered-store PR): race-loser records must uncharge
+        // their payload when they lose the insert CAS. Before the fix,
+        // `used` drifted up by one payload per lost race, inflating
+        // spill-tier pressure for the rest of the build. With balanced
+        // accounting, resident bytes at harvest equal the retained
+        // store's bytes exactly — for any racy schedule.
+        let dfa = sfa_automata::random::rn(60);
+        for _ in 0..3 {
+            let r = Sfa::builder(&dfa)
+                .options(&ParallelOptions::with_threads(8))
+                .build()
+                .unwrap();
+            assert_eq!(
+                r.stats.resident_bytes, r.stats.stored_bytes,
+                "charge/uncharge must balance over a racy parallel build"
+            );
+        }
+    }
+
+    #[test]
     fn memory_accounting_credits_race_losers() {
         // After a run with no compression, `used` accounting should equal
         // live payload bytes (losers credited back), so peak ≥ used and
@@ -1852,5 +2152,105 @@ mod error_robustness_tests {
         assert!(r.stats.peak_bytes >= r.stats.uncompressed_bytes);
         // Peak can exceed live bytes by at most the transient losers.
         assert!(r.stats.peak_bytes < r.stats.uncompressed_bytes * 2);
+    }
+}
+
+#[cfg(test)]
+mod spill_tests {
+    use super::*;
+    use crate::io;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("sfa_par_spill_{}_{}", tag, std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn capped_build_is_byte_identical_to_uncapped() {
+        let dfa = sfa_automata::random::rn(120);
+        let uncapped = Sfa::builder(&dfa)
+            .options(&ParallelOptions::with_threads(4))
+            .build()
+            .unwrap();
+        // A cap at 1/20th of the retained plaintext bytes sits well below
+        // what even the compressed tier needs resident, forcing passes
+        // all the way down to disk.
+        let cap = (uncapped.stats.stored_bytes / 20).max(1);
+        let dir = tmp_dir("ident");
+        let opts =
+            ParallelOptions::with_threads(4).spill(crate::store::SpillConfig::new(&dir, cap));
+        let capped = Sfa::builder(&dfa).options(&opts).build().unwrap();
+        assert!(capped.stats.compressed, "cap must trip the compressed tier");
+        assert!(
+            capped.stats.demotions > 0 && capped.stats.spilled_bytes > 0,
+            "cap must reach the disk tier (demotions {}, spilled {})",
+            capped.stats.demotions,
+            capped.stats.spilled_bytes
+        );
+        assert!(
+            capped.stats.resident_bytes < uncapped.stats.stored_bytes,
+            "spilling must shed resident bytes"
+        );
+        // The headline guarantee: the serialized artifact is unchanged by
+        // the whole demotion/promotion schedule.
+        assert_eq!(
+            io::to_bytes(&capped.sfa),
+            io::to_bytes(&uncapped.sfa),
+            "capped artifact must be byte-identical to the uncapped one"
+        );
+        capped.sfa.validate(&dfa).unwrap();
+        drop(capped);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spilled_frontier_states_promote_on_access() {
+        // A tiny cap spills unprocessed frontier states, so workers must
+        // fetch (and re-install) them to continue — promotions happen.
+        let dfa = sfa_automata::random::rn(100);
+        let dir = tmp_dir("promote");
+        let opts =
+            ParallelOptions::with_threads(2).spill(crate::store::SpillConfig::new(&dir, 2048));
+        let r = Sfa::builder(&dfa).options(&opts).build().unwrap();
+        assert!(r.stats.demotions > 0);
+        assert!(
+            r.stats.promotions > 0,
+            "spilled frontier must have been promoted back on access"
+        );
+        r.sfa.validate(&dfa).unwrap();
+        drop(r);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spill_rejects_probabilistic() {
+        let dfa = sfa_automata::random::rn(20);
+        let dir = tmp_dir("prob");
+        let opts = ParallelOptions::with_threads(2)
+            .probabilistic(FingerprintAlgo::City)
+            .spill(crate::store::SpillConfig::new(&dir, 1024));
+        assert!(matches!(
+            Sfa::builder(&dfa).options(&opts).build(),
+            Err(SfaError::InvalidOptions(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spill_dir_unavailable_is_typed() {
+        // A path under a *file* can never become a directory.
+        let blocker =
+            std::env::temp_dir().join(format!("sfa_spill_blocker_{}", std::process::id()));
+        std::fs::write(&blocker, b"not a dir").unwrap();
+        let dfa = sfa_automata::random::rn(20);
+        let opts = ParallelOptions::with_threads(2)
+            .spill(crate::store::SpillConfig::new(blocker.join("sub"), 1024));
+        match Sfa::builder(&dfa).options(&opts).build() {
+            Err(SfaError::SpillDirUnavailable { .. }) => {}
+            other => panic!("expected SpillDirUnavailable, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&blocker);
     }
 }

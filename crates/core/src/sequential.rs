@@ -36,6 +36,7 @@ use crate::elem::{fits_u16, Elem};
 use crate::io::IoError;
 use crate::sfa::Sfa;
 use crate::stats::{ConstructionResult, ConstructionStats};
+use crate::store::{SpillConfig, TieredRows};
 use crate::SfaError;
 use sfa_automata::dfa::Dfa;
 use sfa_hash::{CityFingerprinter, Fingerprinter};
@@ -114,13 +115,57 @@ pub fn construct_sequential_resumable(
     checkpoint: Option<&CheckpointConfig>,
     resume: Option<&Checkpoint>,
 ) -> Result<ConstructionResult, SfaError> {
+    construct_sequential_spillable(
+        dfa,
+        variant,
+        state_budget,
+        governor,
+        checkpoint,
+        resume,
+        None,
+    )
+}
+
+/// The full sequential entry point: resumable construction with the
+/// tier ladder (`crate::store`) attached when `spill` is configured.
+/// With a spill config, crossing the resident-byte cap demotes cold
+/// mapping batches (compress, then disk) instead of growing without
+/// bound — and the result is byte-identical to an uncapped build,
+/// because every tier transition is a lossless byte round trip and the
+/// interning order never depends on where a row resides.
+#[allow(clippy::too_many_arguments)]
+pub fn construct_sequential_spillable(
+    dfa: &Dfa,
+    variant: SequentialVariant,
+    state_budget: usize,
+    governor: &Governor,
+    checkpoint: Option<&CheckpointConfig>,
+    resume: Option<&Checkpoint>,
+    spill: Option<&SpillConfig>,
+) -> Result<ConstructionResult, SfaError> {
     if dfa.num_states() == 0 {
         return Err(SfaError::EmptyDfa);
     }
     if fits_u16(dfa.num_states()) {
-        construct_impl::<u16>(dfa, variant, state_budget, governor, checkpoint, resume)
+        construct_impl::<u16>(
+            dfa,
+            variant,
+            state_budget,
+            governor,
+            checkpoint,
+            resume,
+            spill,
+        )
     } else {
-        construct_impl::<u32>(dfa, variant, state_budget, governor, checkpoint, resume)
+        construct_impl::<u32>(
+            dfa,
+            variant,
+            state_budget,
+            governor,
+            checkpoint,
+            resume,
+            spill,
+        )
     }
 }
 
@@ -146,8 +191,10 @@ struct SeqEngine<E: Elem> {
     k: usize,
     /// Typed copy of the DFA transition table for the kernels.
     table: Vec<E>,
-    /// Flat mapping arena: state id → row of `n` elements.
-    mappings: Vec<E>,
+    /// Tiered mapping arena: state id → row of `n` elements. In plain
+    /// mode (no spill config) this is exactly the old flat `Vec<E>`;
+    /// with a spill config, cold batches demote down the ladder.
+    rows: TieredRows<E>,
     /// δₛ rows (`u32::MAX` = not yet filled).
     delta: Vec<u32>,
     /// States with complete δₛ rows; also the worklist cursor.
@@ -169,11 +216,19 @@ impl<E: Elem> SeqEngine<E> {
         }
     }
 
+    fn make_rows(n: usize, spill: Option<&SpillConfig>) -> Result<TieredRows<E>, SfaError> {
+        match spill {
+            None => Ok(TieredRows::plain(n)),
+            Some(cfg) => TieredRows::spilling(n, cfg),
+        }
+    }
+
     /// Fresh build: intern the identity start mapping ⟨q₀, …, qₙ₋₁⟩.
     fn new(
         dfa: &Dfa,
         variant: SequentialVariant,
         state_budget: usize,
+        spill: Option<&SpillConfig>,
     ) -> Result<SeqEngine<E>, SfaError> {
         let n = dfa.num_states() as usize;
         let k = dfa.num_symbols();
@@ -183,7 +238,7 @@ impl<E: Elem> SeqEngine<E> {
             n,
             k,
             table: dfa.table().iter().map(|&q| E::from_u32(q)).collect(),
-            mappings: Vec::with_capacity(n * 64),
+            rows: Self::make_rows(n, spill)?,
             delta: Vec::new(),
             processed: 0,
             set: Self::empty_set(variant),
@@ -205,6 +260,7 @@ impl<E: Elem> SeqEngine<E> {
         variant: SequentialVariant,
         state_budget: usize,
         ckpt: &Checkpoint,
+        spill: Option<&SpillConfig>,
     ) -> Result<SeqEngine<E>, SfaError> {
         let n = dfa.num_states() as usize;
         let k = dfa.num_symbols();
@@ -227,13 +283,20 @@ impl<E: Elem> SeqEngine<E> {
                 }
             }
         }
+        // Checkpoints persist plaintext rows regardless of what tier a
+        // row transited before the snapshot; refill the (possibly
+        // spilling) arena from them, demotion restarting from scratch.
+        let mut rows = Self::make_rows(n, spill)?;
+        for id in 0..num_states {
+            rows.push_row(&mappings[id * n..(id + 1) * n]);
+        }
         Ok(SeqEngine {
             variant,
             state_budget,
             n,
             k,
             table: dfa.table().iter().map(|&q| E::from_u32(q)).collect(),
-            mappings,
+            rows,
             delta: ckpt.delta.clone(),
             processed: ckpt.processed as usize,
             set,
@@ -244,7 +307,7 @@ impl<E: Elem> SeqEngine<E> {
     }
 
     fn num_states(&self) -> usize {
-        self.mappings.len() / self.n
+        self.rows.num_rows()
     }
 
     /// Find-or-insert a candidate mapping; returns its id.
@@ -263,8 +326,7 @@ impl<E: Elem> SeqEngine<E> {
                     for &id in chain {
                         // Fingerprints matched: exhaustive compare (§III-A).
                         self.stats.exhaustive_compares += 1;
-                        let row = &self.mappings
-                            [id as usize * cand.len()..(id as usize + 1) * cand.len()];
+                        let row = self.rows.row(id as usize)?;
                         if sfa_simd::bytes_equal(E::as_bytes(row), bytes) {
                             hit = Some(id);
                             break;
@@ -279,13 +341,13 @@ impl<E: Elem> SeqEngine<E> {
             self.stats.duplicates += 1;
             return Ok(id);
         }
-        let id = (self.mappings.len() / cand.len()) as u32;
+        let id = self.rows.num_rows() as u32;
         if id as usize >= self.state_budget {
             return Err(SfaError::StateBudgetExceeded {
                 budget: self.state_budget,
             });
         }
-        self.mappings.extend_from_slice(cand);
+        self.rows.push_row(cand);
         self.delta.extend(std::iter::repeat_n(u32::MAX, self.k));
         match &mut self.set {
             StateSet::Tree(map) => {
@@ -304,10 +366,14 @@ impl<E: Elem> SeqEngine<E> {
 
     /// Snapshot the engine to the checkpoint artifact (atomic write).
     /// Called only between states, so every row below the cursor is
-    /// complete and everything above it is untouched frontier.
-    fn write_checkpoint(&self, cfg: &CheckpointConfig) -> Result<(), SfaError> {
+    /// complete and everything above it is untouched frontier. Rows are
+    /// materialized back to plaintext first, so a checkpoint taken
+    /// mid-spill is byte-identical to one from an unspilled run — and
+    /// resumes to identical bytes on either path.
+    fn write_checkpoint(&mut self, cfg: &CheckpointConfig) -> Result<(), SfaError> {
         sfa_sync::fault_point!("checkpoint/write")
             .map_err(|e| SfaError::Artifact(IoError::Io(e.to_string())))?;
+        let flat = self.rows.materialize()?;
         let ckpt = Checkpoint {
             dfa_states: self.n as u32,
             symbols: self.k as u32,
@@ -316,7 +382,7 @@ impl<E: Elem> SeqEngine<E> {
             num_states: self.num_states() as u64,
             dfa_crc: self.dfa_crc,
             delta: self.delta.clone(),
-            mappings_le: artifact::mappings_to_le(&self.mappings),
+            mappings_le: artifact::mappings_to_le(&flat),
         };
         artifact::write_checkpoint(&cfg.path, &ckpt).map_err(SfaError::Artifact)
     }
@@ -353,17 +419,19 @@ impl<E: Elem> SeqEngine<E> {
                 // the |Σ| candidate generations the state is about to do.
                 governor.check(
                     self.num_states() as u64,
-                    (self.mappings.len() * E::BYTES) as u64,
+                    (self.rows.total_elems() * E::BYTES) as u64,
                 )?;
             }
             sfa_sync::fault_point!("construct/state").map_err(|e| SfaError::Io(e.to_string()))?;
+            // Read the source row once (possibly promoting it up the
+            // tier ladder) — both variants generate from this copy.
+            let src = self.rows.row(id as usize)?;
+            for (r, &e) in rows_u32.iter_mut().zip(src.iter()) {
+                *r = e.to_u32();
+            }
             match self.variant {
                 SequentialVariant::Transposed => {
                     // Parameterized transposition: all k successors at once.
-                    let src = &self.mappings[id as usize * self.n..(id as usize + 1) * self.n];
-                    for (r, &e) in rows_u32.iter_mut().zip(src.iter()) {
-                        *r = e.to_u32();
-                    }
                     E::transpose_gather(&self.table, self.k, &rows_u32, &mut transposed);
                     for sym in 0..self.k {
                         self.stats.candidates += 1;
@@ -377,7 +445,7 @@ impl<E: Elem> SeqEngine<E> {
                     for sym in 0..self.k {
                         self.stats.candidates += 1;
                         for (q, slot) in candidate.iter_mut().enumerate() {
-                            let cur = self.mappings[id as usize * self.n + q].to_u32();
+                            let cur = rows_u32[q];
                             *slot = self.table[cur as usize * self.k + sym];
                         }
                         let succ = self.intern(&candidate)?;
@@ -387,28 +455,39 @@ impl<E: Elem> SeqEngine<E> {
             }
             self.processed += 1;
             since_checkpoint += 1;
+            // Cursor moved: rows below it are eligible for demotion if
+            // the resident cap is exceeded (no-op in plain mode).
+            self.rows.maybe_demote(self.processed)?;
         }
         Ok(())
     }
 
-    fn finish(mut self, t0: Instant) -> ConstructionResult {
+    fn finish(mut self, t0: Instant) -> Result<ConstructionResult, SfaError> {
         self.stats.states = self.num_states() as u64;
-        self.stats.uncompressed_bytes = (self.mappings.len() * E::BYTES) as u64;
+        self.stats.uncompressed_bytes = (self.rows.total_elems() * E::BYTES) as u64;
         self.stats.stored_bytes = self.stats.uncompressed_bytes;
-        self.stats.peak_bytes = self.stats.uncompressed_bytes;
+        self.stats.peak_bytes = self.rows.peak_bytes();
+        self.stats.resident_bytes = self.rows.resident_bytes();
+        self.stats.spilled_bytes = self.rows.spilled_bytes();
+        self.stats.demotions = self.rows.demotions;
+        self.stats.promotions = self.rows.promotions;
         self.stats.total_secs = t0.elapsed().as_secs_f64();
         self.stats.phase1_secs = self.stats.total_secs;
+        // Materialize every tier back to the flat plaintext store: the
+        // artifact is byte-identical no matter what was demoted when.
+        let flat = self.rows.materialize()?;
         // The start state is always id 0: the identity mapping is the
         // first row interned, in fresh builds and (by induction over the
         // persisted arena) in resumed ones.
-        let sfa = Sfa::from_parts(self.n, self.k, 0, self.delta, E::into_store(self.mappings));
-        ConstructionResult {
+        let sfa = Sfa::from_parts(self.n, self.k, 0, self.delta, E::into_store(flat));
+        Ok(ConstructionResult {
             sfa,
             stats: self.stats,
-        }
+        })
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn construct_impl<E: Elem>(
     dfa: &Dfa,
     variant: SequentialVariant,
@@ -416,14 +495,15 @@ fn construct_impl<E: Elem>(
     governor: &Governor,
     checkpoint: Option<&CheckpointConfig>,
     resume: Option<&Checkpoint>,
+    spill: Option<&SpillConfig>,
 ) -> Result<ConstructionResult, SfaError> {
     let t0 = Instant::now();
     let mut engine = match resume {
-        None => SeqEngine::<E>::new(dfa, variant, state_budget)?,
-        Some(ckpt) => SeqEngine::<E>::resume(dfa, variant, state_budget, ckpt)?,
+        None => SeqEngine::<E>::new(dfa, variant, state_budget, spill)?,
+        Some(ckpt) => SeqEngine::<E>::resume(dfa, variant, state_budget, ckpt, spill)?,
     };
     engine.run(governor, checkpoint)?;
-    let result = engine.finish(t0);
+    let result = engine.finish(t0)?;
     // Phase spans + global metrics are derived from the stats the
     // stopwatch above already filled, so the span durations and the
     // reported `total_secs` can never disagree.

@@ -7,16 +7,43 @@
 //! Records live in a lock-free [`Arena`] and are addressed by dense `u32`
 //! ids; one id is one work item in the construction queues.
 
+use crate::store::SpillRef;
 use sfa_sync::{Arena, Links, NIL};
 use std::sync::atomic::{AtomicPtr, AtomicU32, Ordering};
+use std::sync::Mutex;
 
 /// Mapping payload of one SFA state.
 #[derive(Debug)]
 pub struct MappingBuf {
     /// True once the data holds codec output instead of raw id bytes.
     pub compressed: bool,
-    /// Raw little-endian id bytes, or codec output.
+    /// Raw little-endian id bytes, or codec output. Empty when the
+    /// payload lives in the spill tier (`spill` is `Some`).
     pub data: Box<[u8]>,
+    /// Where the payload went when it was demoted to disk
+    /// (`crate::store::SpillStore`); `None` for resident payloads.
+    pub spill: Option<SpillRef>,
+}
+
+impl MappingBuf {
+    /// A resident payload.
+    pub fn resident(compressed: bool, data: Box<[u8]>) -> MappingBuf {
+        MappingBuf {
+            compressed,
+            data,
+            spill: None,
+        }
+    }
+
+    /// A spill marker: the payload's bytes live at `r` in the spill
+    /// store (always compressed — only the compressed tier demotes).
+    pub fn spilled(r: SpillRef) -> MappingBuf {
+        MappingBuf {
+            compressed: true,
+            data: Box::new([]),
+            spill: Some(r),
+        }
+    }
 }
 
 /// One SFA state record; see module docs.
@@ -26,6 +53,14 @@ pub struct StateRecord {
     mapping: AtomicPtr<MappingBuf>,
     succ: Box<[AtomicU32]>,
 }
+
+/// A retired `MappingBuf` pointer: swapped out by a lock-free promotion
+/// while concurrent readers may still hold the old `&MappingBuf`, so it
+/// is freed only when the whole store drops.
+struct RetiredBuf(*mut MappingBuf);
+// SAFETY: the pointee is never accessed through this handle until Drop,
+// at which point the store owns it exclusively.
+unsafe impl Send for RetiredBuf {}
 
 impl StateRecord {
     fn new(fingerprint: u64, mapping: MappingBuf, k: usize) -> Self {
@@ -54,6 +89,9 @@ pub struct StateStore {
     arena: Arena<StateRecord>,
     k: usize,
     raw_bytes_per_state: usize,
+    /// Buffers replaced by [`try_promote`](Self::try_promote) outside a
+    /// quiescence window; freed when the store drops (see [`RetiredBuf`]).
+    retired: Mutex<Vec<RetiredBuf>>,
 }
 
 impl StateStore {
@@ -64,6 +102,7 @@ impl StateStore {
             arena: Arena::new(capacity, 4096),
             k,
             raw_bytes_per_state: n * elem_bytes,
+            retired: Mutex::new(Vec::new()),
         }
     }
 
@@ -89,7 +128,7 @@ impl StateStore {
 
     /// Allocate a record; `None` when the capacity is exhausted.
     pub fn alloc(&self, fingerprint: u64, data: Box<[u8]>, compressed: bool) -> Option<u32> {
-        let record = StateRecord::new(fingerprint, MappingBuf { compressed, data }, self.k);
+        let record = StateRecord::new(fingerprint, MappingBuf::resident(compressed, data), self.k);
         self.arena.push(record).ok()
     }
 
@@ -136,6 +175,39 @@ impl StateStore {
         }
     }
 
+    /// Lock-free promotion: install `buf` over the *spill marker* of
+    /// `id`, outside any quiescence window. Returns `false` (dropping
+    /// `buf`) when the current mapping is not a marker — either the
+    /// payload is already resident or a racing promoter won. The
+    /// replaced marker is retired, not freed, because concurrent readers
+    /// may still hold a `&MappingBuf` to it (see [`RetiredBuf`]).
+    pub fn try_promote(&self, id: u32, buf: MappingBuf) -> bool {
+        let record = self.record(id);
+        let current = record.mapping.load(Ordering::Acquire);
+        debug_assert!(!current.is_null());
+        // SAFETY: mapping pointers are non-null and only retired (never
+        // freed) while the store is alive — see `mapping`.
+        if unsafe { &*current }.spill.is_none() {
+            return false;
+        }
+        let new_ptr = Box::into_raw(Box::new(buf));
+        match record
+            .mapping
+            .compare_exchange(current, new_ptr, Ordering::AcqRel, Ordering::Acquire)
+        {
+            Ok(old) => {
+                self.retired.lock().unwrap().push(RetiredBuf(old));
+                true
+            }
+            Err(_) => {
+                // A racing promoter won; our buffer was never published.
+                // SAFETY: new_ptr came from Box::into_raw above.
+                unsafe { drop(Box::from_raw(new_ptr)) };
+                false
+            }
+        }
+    }
+
     /// Successor of state `id` on `sym`, or [`NIL`] if not yet computed.
     #[inline]
     pub fn succ(&self, id: u32, sym: usize) -> u32 {
@@ -154,6 +226,17 @@ impl StateStore {
     #[inline]
     pub fn mapping_equals(&self, id: u32, data: &[u8]) -> bool {
         sfa_simd::bytes_equal(&self.mapping(id).data, data)
+    }
+}
+
+impl Drop for StateStore {
+    fn drop(&mut self) {
+        for RetiredBuf(ptr) in self.retired.get_mut().unwrap().drain(..) {
+            // SAFETY: retired pointers were Box::into_raw'd exactly once
+            // and removed from their records by the promotion CAS; no
+            // reader outlives the store.
+            unsafe { drop(Box::from_raw(ptr)) };
+        }
     }
 }
 
@@ -218,13 +301,44 @@ mod tests {
         let id = s.alloc(7, vec![1; 8].into_boxed_slice(), false).unwrap();
         s.replace_mapping(
             id,
-            MappingBuf {
-                compressed: true,
-                data: vec![0xFE, 0xED].into_boxed_slice(),
-            },
+            MappingBuf::resident(true, vec![0xFE, 0xED].into_boxed_slice()),
         );
         assert!(s.mapping(id).compressed);
         assert_eq!(&*s.mapping(id).data, &[0xFE, 0xED]);
+    }
+
+    #[test]
+    fn promotion_only_replaces_spill_markers() {
+        let s = store();
+        let id = s.alloc(7, vec![1; 8].into_boxed_slice(), false).unwrap();
+        // Resident payload: promotion must refuse.
+        assert!(!s.try_promote(
+            id,
+            MappingBuf::resident(true, vec![2; 2].into_boxed_slice())
+        ));
+        assert_eq!(&*s.mapping(id).data, &[1; 8]);
+        // Demote to a marker (quiescent replace), then promote back.
+        let r = crate::store::SpillRef {
+            seg: 0,
+            off: 0,
+            len: 8,
+        };
+        s.replace_mapping(id, MappingBuf::spilled(r));
+        assert_eq!(s.mapping(id).spill, Some(r));
+        // A reader holding the marker across the promotion stays valid.
+        let marker = s.mapping(id);
+        assert!(s.try_promote(
+            id,
+            MappingBuf::resident(true, vec![3; 4].into_boxed_slice())
+        ));
+        assert_eq!(marker.spill, Some(r), "retired marker still readable");
+        assert_eq!(&*s.mapping(id).data, &[3; 4]);
+        assert!(s.mapping(id).spill.is_none());
+        // Second promotion attempt loses (no longer a marker).
+        assert!(!s.try_promote(
+            id,
+            MappingBuf::resident(true, vec![4; 4].into_boxed_slice())
+        ));
     }
 
     #[test]

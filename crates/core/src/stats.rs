@@ -50,6 +50,20 @@ pub struct ConstructionStats {
     /// Peak bytes of state payloads held at any moment during
     /// construction (the probabilistic mode's headline saving).
     pub peak_bytes: u64,
+    /// Payload bytes still charged to the memory manager when the build
+    /// finished — for a build without compression or spill this equals
+    /// [`stored_bytes`](Self::stored_bytes); a gap means accounting
+    /// drifted (e.g. uncredited race losers).
+    pub resident_bytes: u64,
+    /// Total payload bytes written to the spill tier (`crate::store`)
+    /// over the whole build (0 when no spill directory was configured or
+    /// the cap was never exceeded).
+    pub spilled_bytes: u64,
+    /// State payloads demoted down the tier ladder (hot → compressed →
+    /// disk; each batch/record demotion counts once).
+    pub demotions: u64,
+    /// Spilled payloads promoted back on access.
+    pub promotions: u64,
     /// Merged queue/table contention counters.
     pub contention: ContentionSnapshot,
 }

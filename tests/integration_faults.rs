@@ -42,6 +42,9 @@ const ALL_SITES: &[&str] = &[
     "construct/race",
     "checkpoint/write",
     "runtime/read_block",
+    "store/demote",
+    "store/promote",
+    "io/mmap",
 ];
 
 const KINDS: [FaultKind; 3] = [FaultKind::Transient, FaultKind::Io, FaultKind::Panic];
@@ -292,6 +295,171 @@ fn parallel_checkpoint_write_faults_are_typed_and_resumable() {
             let _ = std::fs::remove_file(&ckpt);
         }
     }
+}
+
+#[test]
+fn spill_tier_matrix() {
+    // The tiered state store under fire: every tier-transition fault
+    // site (`store/demote` before a segment write, `store/promote`
+    // before a spilled fetch, `io/mmap` inside the segment map) armed
+    // with every kind, on both engines, under a cap small enough that
+    // every run demotes to disk and promotes back. A single transient
+    // must be absorbed by the bounded-backoff retry (byte-identical
+    // success); a hard I/O error must surface typed; a simulated crash
+    // must leave any checkpoint valid and resumable to the oracle.
+    let dfa = sfa_automata::random::rn(48);
+    let oracle = io::to_bytes(
+        &Sfa::builder(&dfa)
+            .sequential(SequentialVariant::Transposed)
+            .build()
+            .unwrap()
+            .sfa,
+    );
+    const CAP: u64 = 2048;
+    for site in ["store/demote", "store/promote", "io/mmap"] {
+        for kind in KINDS {
+            for nth in [1, 2] {
+                let tag = format!("{}_{kind:?}_{nth}", site.replace('/', "_"));
+
+                // Sequential, checkpointed mid-spill: crash safety and
+                // byte-identical resume.
+                let context = format!("seq spill build, {site} {kind:?} nth={nth}");
+                let ckpt = temp_path("spill_matrix.ckpt");
+                let _ = std::fs::remove_file(&ckpt);
+                let dir = temp_path(&format!("spill_seq_{tag}"));
+                let guard = faults::arm(FaultPlan::new().rule(FaultRule::nth(site, nth, kind)));
+                let (dfa_t, ckpt_t, dir_t) = (dfa.clone(), ckpt.clone(), dir.clone());
+                let outcome = bounded(&context, move || {
+                    Sfa::builder(&dfa_t)
+                        .sequential(SequentialVariant::Transposed)
+                        .spill(&dir_t, CAP)
+                        .checkpoint(&ckpt_t, 64)
+                        .build()
+                        .map(|r| (io::to_bytes(&r.sfa), r.stats.demotions))
+                });
+                drop(guard);
+                match outcome {
+                    Outcome::Done(Ok((bytes, demotions))) => {
+                        assert_eq!(bytes, oracle, "{context}: wrong SFA");
+                        assert!(demotions > 0, "{context}: cap never engaged the tier");
+                    }
+                    Outcome::Done(Err(e)) => {
+                        assert!(
+                            kind != FaultKind::Transient,
+                            "{context}: one transient must be absorbed by retry, got {e:?}"
+                        );
+                        assert!(
+                            matches!(e, SfaError::Io(_) | SfaError::Artifact(_)),
+                            "{context}: untyped error {e:?}"
+                        );
+                    }
+                    Outcome::Panicked => {
+                        assert!(kind == FaultKind::Panic, "{context}: unexpected panic")
+                    }
+                }
+                assert_resumable(&dfa, &ckpt, &oracle, &context);
+                let _ = std::fs::remove_file(&ckpt);
+                let _ = std::fs::remove_dir_all(&dir);
+
+                // Parallel: the spill leader runs at quiescence inside
+                // the rendezvous, so its panic must be contained by the
+                // engine like any worker panic — never escape the build.
+                let context = format!("par spill build, {site} {kind:?} nth={nth}");
+                let dir = temp_path(&format!("spill_par_{tag}"));
+                let guard = faults::arm(FaultPlan::new().rule(FaultRule::nth(site, nth, kind)));
+                let (dfa_t, dir_t) = (dfa.clone(), dir.clone());
+                let outcome = bounded(&context, move || {
+                    Sfa::builder(&dfa_t)
+                        .threads(3)
+                        .spill(&dir_t, CAP)
+                        .build()
+                        .map(|r| io::to_bytes(&r.sfa))
+                });
+                drop(guard);
+                match outcome {
+                    Outcome::Done(Ok(bytes)) => {
+                        assert_eq!(bytes, oracle, "{context}: wrong SFA");
+                    }
+                    Outcome::Done(Err(e)) => {
+                        assert!(
+                            kind != FaultKind::Transient,
+                            "{context}: one transient must be absorbed by retry, got {e:?}"
+                        );
+                        assert!(
+                            matches!(
+                                e,
+                                SfaError::Io(_)
+                                    | SfaError::Artifact(_)
+                                    | SfaError::WorkerPanic { .. }
+                                    | SfaError::InvalidOptions(_)
+                            ),
+                            "{context}: untyped error {e:?}"
+                        );
+                    }
+                    Outcome::Panicked => panic!("{context}: spill panic escaped containment"),
+                }
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+        }
+    }
+}
+
+#[test]
+fn spill_checkpoint_resumes_mid_spill_byte_identically() {
+    // Kill the build (simulated crash) while the spill tier is engaged,
+    // then resume from the snapshot WITHOUT a spill tier: checkpoints
+    // store plaintext rows, so the artifact must come out byte-identical
+    // regardless of which tier each state was in at snapshot time.
+    let dfa = sfa_automata::random::rn(48);
+    let oracle = io::to_bytes(
+        &Sfa::builder(&dfa)
+            .sequential(SequentialVariant::Transposed)
+            .build()
+            .unwrap()
+            .sfa,
+    );
+    let ckpt = temp_path("spill_resume.ckpt");
+    let _ = std::fs::remove_file(&ckpt);
+    let dir = temp_path("spill_resume_dir");
+    // Crash on a late demotion so several snapshots exist by then.
+    let guard =
+        faults::arm(FaultPlan::new().rule(FaultRule::nth("store/demote", 4, FaultKind::Panic)));
+    let (dfa_t, ckpt_t, dir_t) = (dfa.clone(), ckpt.clone(), dir.clone());
+    let outcome = bounded("mid-spill crash", move || {
+        Sfa::builder(&dfa_t)
+            .sequential(SequentialVariant::Transposed)
+            .spill(&dir_t, 2048)
+            .checkpoint(&ckpt_t, 16)
+            .build()
+            .map(|r| io::to_bytes(&r.sfa))
+    });
+    drop(guard);
+    if let Outcome::Done(Ok(bytes)) = &outcome {
+        // The fourth demotion never happened — fine, but the build must
+        // then have been correct.
+        assert_eq!(bytes, &oracle);
+    }
+    assert!(
+        ckpt.exists(),
+        "a 16-state snapshot cadence must have checkpointed before the crash"
+    );
+    assert_resumable(&dfa, &ckpt, &oracle, "mid-spill crash");
+    // Resuming WITH a spill tier converges identically too.
+    artifact::verify(&ckpt).unwrap();
+    let resumed = Sfa::builder(&dfa)
+        .sequential(SequentialVariant::Transposed)
+        .spill(&dir, 2048)
+        .resume_from(&ckpt)
+        .build()
+        .unwrap();
+    assert_eq!(
+        io::to_bytes(&resumed.sfa),
+        oracle,
+        "resume with the spill tier re-enabled must converge to the oracle"
+    );
+    assert!(resumed.stats.demotions > 0);
+    let _ = std::fs::remove_file(&ckpt);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
