@@ -13,6 +13,7 @@
 //! reproduce obs-overhead      DESIGN §12 metrics-recording overhead A/B (budget: ≤2%)
 //! reproduce serve-load        DESIGN §13 closed-loop load against the `sfa serve` daemon
 //! reproduce memory-cap        DESIGN §15 spill-tier builds under a resident-byte cap ladder
+//! reproduce speculative       DESIGN §16 speculative raw-DFA matching vs the sequential oracle
 //! reproduce hashes            §III-A    fingerprint throughput comparison
 //! reproduce ablations         DESIGN    fingerprint / scheduler / compression ablations
 //! reproduce all               everything above with default sizes
@@ -142,6 +143,7 @@ fn main() -> ExitCode {
         "obs-overhead" => obs_overhead(&cfg),
         "serve-load" => serve_load(&cfg),
         "memory-cap" => memory_cap(&cfg),
+        "speculative" => speculative(&cfg),
         "hashes" => hashes(&cfg),
         "ablations" => ablations(&cfg),
         "all" => all(&cfg),
@@ -171,6 +173,7 @@ fn all(cfg: &Config) -> Result<(), String> {
         ("obs-overhead", obs_overhead),
         ("serve-load", serve_load),
         ("memory-cap", memory_cap),
+        ("speculative", speculative),
         ("hashes", hashes),
         ("ablations", ablations),
     ] {
@@ -1508,6 +1511,190 @@ fn memory_cap(cfg: &Config) -> Result<(), String> {
     records::write_record("memory_cap", &rows).map_err(|e| e.to_string())?;
     std::fs::copy("results/memory_cap.json", "BENCH_memory.json").map_err(|e| e.to_string())?;
     println!("wrote results/memory_cap.json and BENCH_memory.json");
+    Ok(())
+}
+
+// ------------------------------------------------------- DESIGN §16 speculative
+
+/// Generators of a large transformation monoid over `m` states: symbol
+/// 0 is the cyclic shift, symbol 1 the saturating decrement, everything
+/// else the identity. Compositions blow far past any reasonable SFA
+/// state budget, and the identity tail keeps every chunk boundary's
+/// feasible set full-width — exactly the regime the speculative
+/// (predict/verify) mode exists for.
+fn wide_monoid_dfa(m: u32) -> Dfa {
+    use sfa_automata::dfa::DfaBuilder;
+    let mut b = DfaBuilder::new(sfa_automata::Alphabet::amino_acids());
+    for q in 0..m {
+        b.add_state(q == 0);
+    }
+    for q in 0..m {
+        b.add_transition(q, 0, (q + 1) % m);
+        b.add_transition(q, 1, q.saturating_sub(1));
+        b.default_transition(q, q);
+    }
+    b.set_start(0);
+    b.build_strict().unwrap()
+}
+
+/// Speculative raw-DFA matching against the sequential oracle, on
+/// automata whose SFA is infeasible under the construction budget.
+/// Two workloads, one per mode: the rN exact-string pattern funnels to
+/// the exact pruned mode (narrow feasible entry sets), and the wide
+/// transformation monoid forces the predict/verify mode, where a
+/// training pass warms the per-automaton state predictor first.
+fn speculative(cfg: &Config) -> Result<(), String> {
+    use sfa_core::budget::Governor;
+    use sfa_core::speculative::{SpeculativeMatcher, StatePredictor};
+    use sfa_sync::pool::TaskPool;
+    use std::sync::Arc;
+
+    struct SpeculativeRow {
+        workload: String,
+        sfa_infeasible: bool,
+        text_symbols: u64,
+        threads: u64,
+        seq_secs: f64,
+        spec_secs: f64,
+        speedup: f64,
+        chunks: u64,
+        mispredicts: u64,
+        reruns: u64,
+        pruned: bool,
+        verdict_agrees: bool,
+    }
+    sfa_json::impl_to_json!(SpeculativeRow {
+        workload,
+        sfa_infeasible,
+        text_symbols,
+        threads,
+        seq_secs,
+        spec_secs,
+        speedup,
+        chunks,
+        mispredicts,
+        reruns,
+        pruned,
+        verdict_agrees,
+    });
+
+    let text_len: usize = if cfg.quick { 8 << 20 } else { 64 << 20 };
+    let budget_states: usize = if cfg.quick { 1 << 10 } else { 1 << 12 };
+    let max_threads = *cfg.threads.last().unwrap();
+
+    let rn_dfa = rn(cfg.rn_size);
+    let monoid_dfa = wide_monoid_dfa(24);
+
+    // Random protein text for the exact-string pattern; for the monoid,
+    // a burst of counter activity up front and a pure identity tail, so
+    // every later seam shares one entry state the predictor can learn.
+    let rn_text = protein_text(text_len, 42);
+    let monoid_text: Vec<u8> = (0..text_len)
+        .map(|i| {
+            let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 33;
+            if i < 1024 {
+                (h % 2) as u8
+            } else {
+                2 + (h % 18) as u8
+            }
+        })
+        .collect();
+
+    println!(
+        "speculative-matching reproduction ({} MB text, SFA budget {budget_states} states):",
+        text_len >> 20
+    );
+    println!(
+        "{:<20} {:>4} {:>9} {:>9} {:>8} {:>8} {:>11} {:>7} {:>12}",
+        "workload", "thr", "seq s", "spec s", "speedup", "chunks", "mispredicts", "reruns", "mode"
+    );
+
+    let mut rows = Vec::new();
+    let mut headline = 0.0f64;
+    for (name, dfa, text) in [
+        ("rn-pruned", &rn_dfa, &rn_text),
+        ("monoid-speculative", &monoid_dfa, &monoid_text),
+    ] {
+        // The tier's premise: the SFA of this automaton cannot be
+        // constructed under the budget, so chunk-parallel matching has
+        // to run on the raw DFA.
+        let sfa_infeasible = Sfa::builder(dfa)
+            .options(&ParallelOptions::with_threads(max_threads).state_budget(budget_states))
+            .build()
+            .is_err();
+        let expected = match_sequential(dfa, text);
+        let mut seq_samples: Vec<f64> = (0..cfg.runs.max(1))
+            .map(|_| time_once(|| std::hint::black_box(match_sequential(dfa, text))).0)
+            .collect();
+        let seq_secs = median(&mut seq_samples);
+
+        for &threads in &cfg.threads {
+            let pool = TaskPool::new(threads);
+            let governor = Governor::unlimited();
+            let matcher = SpeculativeMatcher::new(dfa)
+                .map_err(|e| e.to_string())?
+                .with_predictor(Arc::new(StatePredictor::new(dfa.num_states())));
+            // Training pass: warms the predictor (and the page cache).
+            let (verdict, _) = matcher
+                .matches(&pool, &governor, text, threads)
+                .map_err(|e| e.to_string())?;
+            if verdict != expected {
+                return Err(format!(
+                    "{name}: speculative verdict diverged from the oracle"
+                ));
+            }
+            let mut samples = Vec::new();
+            let mut last_stats = None;
+            for _ in 0..cfg.runs.max(1) {
+                let (secs, result) = time_once(|| matcher.matches(&pool, &governor, text, threads));
+                let (verdict, stats) = result.map_err(|e| e.to_string())?;
+                if verdict != expected {
+                    return Err(format!(
+                        "{name}: speculative verdict diverged from the oracle"
+                    ));
+                }
+                samples.push(secs);
+                last_stats = Some(stats);
+            }
+            let stats = last_stats.unwrap();
+            let spec_secs = median(&mut samples);
+            let speedup = seq_secs / spec_secs;
+            if threads == max_threads {
+                headline = headline.max(speedup);
+            }
+            println!(
+                "{name:<20} {threads:>4} {seq_secs:>9.3} {spec_secs:>9.3} {speedup:>7.2}x \
+                 {:>8} {:>11} {:>7} {:>12}",
+                stats.chunks,
+                stats.mispredicts,
+                stats.reruns,
+                if stats.pruned {
+                    "pruned"
+                } else {
+                    "speculative"
+                }
+            );
+            rows.push(SpeculativeRow {
+                workload: name.to_string(),
+                sfa_infeasible,
+                text_symbols: text.len() as u64,
+                threads: threads as u64,
+                seq_secs,
+                spec_secs,
+                speedup,
+                chunks: stats.chunks,
+                mispredicts: stats.mispredicts,
+                reruns: stats.reruns,
+                pruned: stats.pruned,
+                verdict_agrees: true,
+            });
+        }
+    }
+    println!("(best speedup over the sequential oracle at {max_threads} threads: {headline:.2}x)");
+    records::write_record("speculative", &rows).map_err(|e| e.to_string())?;
+    std::fs::copy("results/speculative.json", "BENCH_speculative.json")
+        .map_err(|e| e.to_string())?;
+    println!("wrote results/speculative.json and BENCH_speculative.json");
     Ok(())
 }
 

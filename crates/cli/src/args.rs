@@ -65,6 +65,11 @@ impl Parsed {
 }
 
 /// Parse a byte size with optional K/M/G suffix ("64M" → 67108864).
+///
+/// Every malformed input is a typed usage error, never a panic or a
+/// silent wrap: `20000000G` used to overflow-wrap in release builds and
+/// hand a tiny cap to the budget; `0` and bare suffixes (`M`) were
+/// accepted or reported confusingly.
 pub fn parse_bytes(s: &str) -> Result<usize, String> {
     let (digits, mult) = match s.as_bytes().last() {
         Some(b'K') | Some(b'k') => (&s[..s.len() - 1], 1usize << 10),
@@ -72,10 +77,19 @@ pub fn parse_bytes(s: &str) -> Result<usize, String> {
         Some(b'G') | Some(b'g') => (&s[..s.len() - 1], 1 << 30),
         _ => (s, 1),
     };
-    digits
+    if digits.is_empty() {
+        return Err(format!(
+            "bad byte size {s:?}: a suffix needs digits (e.g. \"64M\")"
+        ));
+    }
+    let v = digits
         .parse::<usize>()
-        .map(|v| v * mult)
-        .map_err(|_| format!("bad byte size {s:?}"))
+        .map_err(|_| format!("bad byte size {s:?}"))?;
+    if v == 0 {
+        return Err(format!("bad byte size {s:?}: must be positive"));
+    }
+    v.checked_mul(mult)
+        .ok_or_else(|| format!("byte size {s:?} overflows the addressable range"))
 }
 
 #[cfg(test)]
@@ -108,5 +122,24 @@ mod tests {
         assert_eq!(parse_bytes("2M").unwrap(), 2 << 20);
         assert_eq!(parse_bytes("1G").unwrap(), 1 << 30);
         assert!(parse_bytes("abc").is_err());
+    }
+
+    #[test]
+    fn byte_size_rejects_overflow_zero_and_bare_suffix() {
+        // Would wrap to a tiny cap via unchecked `v * mult` in release.
+        let err = parse_bytes("20000000000000000G").unwrap_err();
+        assert!(err.contains("overflow"), "got: {err}");
+        // usize::MAX parses but cannot take any suffix.
+        assert!(parse_bytes(&format!("{}K", usize::MAX)).is_err());
+        // Zero is not a usable cap.
+        let err = parse_bytes("0").unwrap_err();
+        assert!(err.contains("positive"), "got: {err}");
+        assert!(parse_bytes("0M").is_err());
+        // A suffix with no digits is not a quantity.
+        let err = parse_bytes("G").unwrap_err();
+        assert!(err.contains("digits"), "got: {err}");
+        assert!(parse_bytes("").is_err());
+        // The boundary itself still parses.
+        assert_eq!(parse_bytes(&usize::MAX.to_string()).unwrap(), usize::MAX);
     }
 }

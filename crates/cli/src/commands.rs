@@ -382,6 +382,17 @@ pub fn artifact(argv: &[String]) -> Result<(), String> {
     }
 }
 
+/// `--tier <auto|sequential|speculative|require_full>` — explicit tier
+/// policy for `sfa match`. `None` when absent (auto behavior).
+fn tier_from_args(parsed: &Parsed) -> Result<Option<TierPolicy>, String> {
+    match parsed.opt("tier") {
+        None => Ok(None),
+        Some(s) => TierPolicy::parse(s).map(Some).ok_or_else(|| {
+            format!("--tier expects auto|sequential|speculative|require_full, got {s:?}")
+        }),
+    }
+}
+
 /// `--interleave` / `--oversubscribe` — explicit scan-engine knobs.
 /// `None` when neither was given, so the engine defaults apply.
 fn scan_options_from_args(parsed: &Parsed) -> Result<Option<ScanOptions>, String> {
@@ -430,10 +441,45 @@ pub fn do_match(parsed: &Parsed) -> Result<(), String> {
 
     let threads = parsed.num("threads", 4)?;
     let budget = crate::budget_from_args(parsed)?;
-    if !budget.is_unlimited() {
+    let tier = tier_from_args(parsed)?;
+    if matches!(
+        tier,
+        Some(TierPolicy::Sequential) | Some(TierPolicy::Speculative)
+    ) {
+        // These tiers run on the raw DFA — no SFA construction at all.
+        // `--tier speculative` is the escape hatch for automata whose
+        // SFA is infeasible: chunk-parallel matching from predicted (or
+        // feasible-set-pruned) entry states with seam verification.
+        let policy = tier.unwrap();
+        let runtime = MatchRuntime::new(threads);
+        let request = MatchRequest::symbols(text.clone())
+            .with_budget(budget.clone())
+            .with_tier(policy);
+        let t0 = std::time::Instant::now();
+        let outcome = runtime
+            .run_dfa(&dfa, &request, None)
+            .map_err(|e| e.to_string())?;
+        let secs = t0.elapsed().as_secs_f64();
+        if outcome.verdict != match_sequential(&dfa, &text) {
+            return Err("tiered and sequential matchers disagree (bug)".into());
+        }
+        obs::record_match(obs::global(), &outcome.stats);
+        println!("text length          {} residues", text.len());
+        println!("match                {}", outcome.verdict);
+        println!("engine tier          {}", outcome.tier);
+        if outcome.stats.chunks > 1 {
+            println!(
+                "speculation          {} chunks, {} mispredicts, {} re-runs",
+                outcome.stats.chunks, outcome.stats.mispredicts, outcome.stats.reruns
+            );
+        }
+        println!("tier match ({threads} thr)  {secs:.4} s");
+        return write_metrics_snapshot(parsed);
+    }
+    if !budget.is_unlimited() || tier.is_some() {
         // Budgeted matching goes through the self-degrading engine:
-        // if full construction is not possible under the budget, the
-        // lazy or sequential tier serves the query instead of failing.
+        // if full construction is not possible under the budget, a
+        // lower tier serves the query instead of failing.
         let opts = parallel_options(parsed)?;
         let mut engine = MatchEngine::with_budget(&dfa, &opts, &budget, None);
         if let Some(scan) = scan_options_from_args(parsed)? {
@@ -442,7 +488,9 @@ pub fn do_match(parsed: &Parsed) -> Result<(), String> {
         // Feed per-query stats into the process-global registry so a
         // `--metrics-out` snapshot carries `sfa_match_*`.
         let mut engine = engine.metrics(obs::global());
-        let request = MatchRequest::symbols(text.clone()).with_budget(budget.clone());
+        let request = MatchRequest::symbols(text.clone())
+            .with_budget(budget.clone())
+            .with_tier(tier.unwrap_or_default());
         let t0 = std::time::Instant::now();
         let outcome = match engine.run(&request) {
             Ok(outcome) => outcome,
@@ -556,7 +604,8 @@ fn do_match_stream(parsed: &Parsed, path: &str) -> Result<(), String> {
     engine.set_runtime(runtime.with_block_bytes(block_bytes));
     let request = MatchRequest::file(path)
         .with_classifier(ClassifierMode::SkipWhitespace)
-        .with_budget(budget.clone());
+        .with_budget(budget.clone())
+        .with_tier(tier_from_args(parsed)?.unwrap_or_default());
     let t0 = std::time::Instant::now();
     let outcome = engine.run(&request).map_err(|e| e.to_string())?;
     let secs = t0.elapsed().as_secs_f64();

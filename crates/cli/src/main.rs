@@ -103,7 +103,8 @@ COMMON OPTIONS:
     --probabilistic      fingerprint-only state identity (Rabin, dense
                          random modulus); big peak-memory saving
     --deadline-ms <n>    abort construction after n milliseconds (typed
-                         error; `match` degrades to lazy/sequential instead)
+                         error; `match` degrades down the tier ladder
+                         lazy/speculative/sequential instead)
     --max-bytes <b>      cap stored mapping-payload bytes (suffixes K/M/G)
     --max-states <n>     cap constructed SFA state count
     --spill-dir <dir>    build: spill cold states to segment files in this
@@ -120,6 +121,11 @@ COMMON OPTIONS:
                          exists (byte-identical result; fresh build otherwise)
     --json               machine-readable output
     --lazy               match: construct SFA states on demand (lazy SFA)
+    --tier <policy>      match: tier policy — auto | sequential |
+                         speculative | require_full. `speculative` skips
+                         SFA construction entirely: chunks run on the
+                         raw DFA from predicted entry states with seam
+                         verification (mispredicted suffixes re-run)
     --random <len>       match: generate protein-like text of this length
     --text <string>      match: literal text
     --text-file <path>   match: read text from a file

@@ -1,7 +1,7 @@
 //! The self-degrading match engine.
 //!
 //! [`MatchEngine`] answers "does this input match?" under a resource
-//! budget by climbing down a three-tier ladder instead of failing:
+//! budget by climbing down a four-rung ladder instead of failing:
 //!
 //! 1. **Full SFA** — batch-construct the complete SFA under the budget;
 //!    matching then runs in parallel chunks with no construction cost
@@ -11,12 +11,20 @@
 //!    while matching, bounded by the budget's *space* axes (the deadline
 //!    was spent on the failed batch attempt, so it is dropped —
 //!    [`Budget::without_deadline`]).
-//! 3. **Sequential** — if even lazy discovery exhausts the space budget,
-//!    fall back to plain sequential DFA matching, which needs no
-//!    construction at all and always answers.
+//! 3. **Speculative** — if even lazy discovery exhausts the space
+//!    budget, keep data-parallelism *without* any SFA: chunks run over
+//!    the raw DFA from predicted (or feasible-set-pruned) entry states
+//!    with seam verification — see [`crate::speculative`]. Narrow
+//!    feasible sets answer on the exact pruned-enumerative mode
+//!    ([`MatchTier::PrunedSfa`]); wide ones speculate
+//!    ([`MatchTier::Speculative`]).
+//! 4. **Sequential** — if a speculative worker panics, fall back to
+//!    plain sequential DFA matching, which needs no construction and
+//!    always answers.
 //!
 //! Every tier returns the *same verdict* — the SFA simulates the DFA
-//! from every start state, so degradation trades throughput, never
+//! from every start state, and the speculative tier re-runs every
+//! mispredicted seam, so degradation trades throughput, never
 //! correctness. The engine records which tier served each query in
 //! [`EngineStats`].
 
@@ -29,6 +37,7 @@ use crate::request::{ClassifierMode, InputSource, MatchOutcome, MatchRequest, Ti
 use crate::runtime::{ByteClassifier, Classified, MatchRuntime, MatchStats};
 use crate::scan::{ScanEngine, ScanOptions};
 use crate::sfa::Sfa;
+use crate::speculative::SpeculativeMatcher;
 use crate::stats::ConstructionStats;
 use crate::SfaError;
 use sfa_automata::alphabet::SymbolId;
@@ -45,6 +54,15 @@ pub enum MatchTier {
     FullSfa,
     /// On-demand SFA construction during matching.
     LazySfa,
+    /// Exact enumerative chunk matching over the raw DFA: every chunk
+    /// runs from each of its PaREM feasible entry states — a pruned
+    /// partial mapping instead of a full SFA row (see
+    /// [`crate::speculative`]).
+    PrunedSfa,
+    /// Speculative chunk matching over the raw DFA: predicted entry
+    /// states, seam verification, mispredicted suffixes re-run (see
+    /// [`crate::speculative`]).
+    Speculative,
     /// Plain sequential DFA simulation (no construction).
     Sequential,
 }
@@ -54,6 +72,8 @@ impl std::fmt::Display for MatchTier {
         f.write_str(match self {
             MatchTier::FullSfa => "full",
             MatchTier::LazySfa => "lazy",
+            MatchTier::PrunedSfa => "pruned",
+            MatchTier::Speculative => "speculative",
             MatchTier::Sequential => "sequential",
         })
     }
@@ -63,12 +83,17 @@ impl std::fmt::Display for MatchTier {
 #[derive(Debug, Clone, Default)]
 #[non_exhaustive]
 pub struct EngineStats {
-    /// Times the engine stepped down a tier (0–2).
+    /// Times the engine stepped down a tier (0–3).
     pub degradations: u64,
     /// Queries served by the full-SFA tier.
     pub full_matches: u64,
     /// Queries served by the lazy tier.
     pub lazy_matches: u64,
+    /// Queries served by the speculative backend's exact
+    /// pruned-enumerative mode.
+    pub pruned_matches: u64,
+    /// Queries served by the speculative backend's predict/verify mode.
+    pub speculative_matches: u64,
     /// Queries served by the sequential tier.
     pub sequential_matches: u64,
     /// Statistics of the successful batch construction (full tier only).
@@ -88,6 +113,10 @@ enum Backend<'d> {
         scan: Arc<ScanEngine>,
     },
     Lazy(Box<LazySfa<'d>>),
+    /// Chunk-parallel matching over the raw DFA (pruned or speculative
+    /// per query — see [`crate::speculative`]); reported as
+    /// [`MatchTier::PrunedSfa`] or [`MatchTier::Speculative`].
+    Speculative(SpeculativeMatcher<'d>),
     Sequential,
 }
 
@@ -150,7 +179,15 @@ impl<'d> MatchEngine<'d> {
                     Err(err) => {
                         stats.degradations += 1;
                         stats.last_error = Some(err);
-                        Backend::Sequential
+                        // No SFA at all fits the budget: keep the pool
+                        // busy anyway with the speculative tier (raw-DFA
+                        // chunks, predicted entries). Construction never
+                        // lands on Sequential — only a speculative
+                        // worker panic degrades that far.
+                        match SpeculativeMatcher::new(dfa) {
+                            Ok(spec) => Backend::Speculative(spec),
+                            Err(_) => Backend::Sequential,
+                        }
                     }
                 }
             }
@@ -213,8 +250,15 @@ impl<'d> MatchEngine<'d> {
     /// the other tiers. Fails only on invalid options.
     pub fn set_scan_options(&mut self, opts: ScanOptions) -> Result<(), SfaError> {
         opts.validate()?;
-        if let Backend::Full { sfa, scan } = &mut self.backend {
-            *scan = Arc::new(ScanEngine::with_options(sfa, self.dfa, opts)?);
+        match &mut self.backend {
+            Backend::Full { sfa, scan } => {
+                *scan = Arc::new(ScanEngine::with_options(sfa, self.dfa, opts)?);
+            }
+            Backend::Speculative(spec) => {
+                // Same chunk-geometry knobs; the predictor carries over.
+                *spec = SpeculativeMatcher::with_options(self.dfa, opts)?;
+            }
+            _ => {}
         }
         Ok(())
     }
@@ -237,11 +281,15 @@ impl<'d> MatchEngine<'d> {
         self.dfa
     }
 
-    /// The tier currently serving queries.
+    /// The tier currently serving queries. A speculative backend
+    /// reports [`MatchTier::Speculative`]; whether a given query lands
+    /// on the exact pruned mode instead is per-input (check the
+    /// outcome's `tier`).
     pub fn tier(&self) -> MatchTier {
         match self.backend {
             Backend::Full { .. } => MatchTier::FullSfa,
             Backend::Lazy(_) => MatchTier::LazySfa,
+            Backend::Speculative(_) => MatchTier::Speculative,
             Backend::Sequential => MatchTier::Sequential,
         }
     }
@@ -254,7 +302,7 @@ impl<'d> MatchEngine<'d> {
 
     /// Does `input` match? Same verdict on every tier; a lazy tier that
     /// exhausts its space budget mid-query — or a full tier whose worker
-    /// panics — degrades to sequential and still answers. A query
+    /// panics — steps down the ladder and still answers. A query
     /// cancelled mid-match is also answered sequentially (the caller
     /// asked for a verdict); use [`Self::run`] to receive cancellation
     /// as a typed error instead.
@@ -262,10 +310,11 @@ impl<'d> MatchEngine<'d> {
         let governor = self.match_governor();
         match self.run_symbols(input, &governor) {
             Ok((verdict, _)) => verdict,
-            Err(_) => {
-                self.stats.sequential_matches += 1;
-                match_sequential(self.dfa, input)
-            }
+            // Answer sequentially with the full bookkeeping — this
+            // fallback used to bump the tier counter but skip the
+            // telemetry sinks and `last_match`, so observability
+            // silently lost exactly the queries that hit trouble.
+            Err(_) => self.match_sequentially(input).0,
         }
     }
 
@@ -280,12 +329,20 @@ impl<'d> MatchEngine<'d> {
     ///   down rather than propagate (see [`Self::matches`]).
     /// * [`TierPolicy::Sequential`] — the plain-DFA oracle, whatever
     ///   tier the engine is on. Used for verdict cross-checks.
+    /// * [`TierPolicy::Speculative`] — the speculative raw-DFA tier
+    ///   ([`crate::speculative`]), whatever tier the engine is on; the
+    ///   outcome reports [`MatchTier::PrunedSfa`] when the exact pruned
+    ///   mode answered.
     /// * [`TierPolicy::RequireFull`] — answer on the full tier or fail
     ///   with [`SfaError::InvalidOptions`]; never degrade silently.
     ///
-    /// The outcome carries the verdict, the tier that served it, the
-    /// query's [`MatchStats`], and — when the engine has degraded — the
-    /// governance error that caused the most recent step-down.
+    /// The outcome carries the verdict, the tier that *actually
+    /// answered* (never the requested one), the query's [`MatchStats`],
+    /// and — when an [`TierPolicy::Auto`] request was answered below
+    /// the full tier by a degraded engine — the governance error that
+    /// caused the most recent step-down. Explicitly requested
+    /// sequential/speculative service is not a degradation and carries
+    /// no `degraded` marker.
     pub fn run(&mut self, request: &MatchRequest) -> Result<MatchOutcome, SfaError> {
         if request.tier == TierPolicy::RequireFull && !matches!(self.backend, Backend::Full { .. })
         {
@@ -296,6 +353,8 @@ impl<'d> MatchEngine<'d> {
         let governor = Governor::new(&request.budget, self.cancel.clone());
         let outcome = if request.tier == TierPolicy::Sequential {
             self.serve_sequential(request, &governor)?
+        } else if request.tier == TierPolicy::Speculative {
+            self.serve_speculative(request, &governor)?
         } else {
             match &request.input {
                 InputSource::Symbols(symbols) => {
@@ -316,7 +375,12 @@ impl<'d> MatchEngine<'d> {
                 "tier policy requires the full SFA tier, but the engine degraded mid-query",
             ));
         }
-        if outcome.tier != MatchTier::FullSfa {
+        // `degraded` means "this Auto request was answered below the
+        // full tier because of <error>". An explicitly requested
+        // sequential or speculative answer is service as ordered, not a
+        // degradation — attaching the marker there mislabelled every
+        // oracle cross-check run against a degraded engine.
+        if request.tier == TierPolicy::Auto && outcome.tier != MatchTier::FullSfa {
             if let Some(err) = &self.stats.last_error {
                 return Ok(outcome.with_degraded(err.to_string()));
             }
@@ -377,17 +441,51 @@ impl<'d> MatchEngine<'d> {
                     self.stats.last_match = Some(stats.clone());
                     return Ok((verdict, stats));
                 }
-                // The lazy tier ran out of budget mid-query: degrade for
-                // good and serve this (and every later) query
-                // sequentially.
+                // The lazy tier ran out of budget mid-query: degrade
+                // for good and serve this (and every later) query on
+                // the next rung down.
                 Err(err) => err,
             },
+            Backend::Speculative(spec) => {
+                match self.runtime.speculative_symbols(spec, input, governor) {
+                    Ok((verdict, stats)) => {
+                        if stats.tier == MatchTier::PrunedSfa {
+                            self.stats.pruned_matches += 1;
+                        } else {
+                            self.stats.speculative_matches += 1;
+                        }
+                        Self::deliver_match(&self.metrics, &self.subscriber, &stats);
+                        self.stats.last_match = Some(stats.clone());
+                        return Ok((verdict, stats));
+                    }
+                    // A speculative worker panicked: the last parallel
+                    // rung is gone, serve sequentially from now on.
+                    Err(err @ SfaError::WorkerPanic { .. }) => err,
+                    Err(other) => return Err(other),
+                }
+            }
             Backend::Sequential => return Ok(self.match_sequentially(input)),
         };
         self.stats.degradations += 1;
         self.stats.last_error = Some(degrade_err);
-        self.backend = Backend::Sequential;
-        Ok(self.match_sequentially(input))
+        self.backend = self.next_backend();
+        // Re-enter the ladder one rung down; terminates because the
+        // ladder is finite and Sequential always answers.
+        self.run_symbols(input, governor)
+    }
+
+    /// The rung below the current backend: full-SFA and lazy failures
+    /// fall to the speculative tier (chunk-parallel over the raw DFA —
+    /// a full-tier worker panic poisons the SFA tables, not the DFA);
+    /// a speculative failure falls to sequential, which always answers.
+    fn next_backend(&self) -> Backend<'d> {
+        match &self.backend {
+            Backend::Full { .. } | Backend::Lazy(_) => match SpeculativeMatcher::new(self.dfa) {
+                Ok(spec) => Backend::Speculative(spec),
+                Err(_) => Backend::Sequential,
+            },
+            _ => Backend::Sequential,
+        }
     }
 
     /// Stream an input through the engine in fixed-size blocks (see
@@ -420,7 +518,7 @@ impl<'d> MatchEngine<'d> {
                         // trusting the full tier for later queries.
                         self.stats.degradations += 1;
                         self.stats.last_error = Some(err.clone());
-                        self.backend = Backend::Sequential;
+                        self.backend = self.next_backend();
                         Err(err)
                     }
                     Err(other) => Err(other),
@@ -454,7 +552,7 @@ impl<'d> MatchEngine<'d> {
         };
         self.stats.degradations += 1;
         self.stats.last_error = Some(err);
-        self.backend = Backend::Sequential;
+        self.backend = self.next_backend();
         Ok(inputs.iter().map(|input| self.matches(input)).collect())
     }
 
@@ -493,11 +591,34 @@ impl<'d> MatchEngine<'d> {
         Ok(outcome)
     }
 
+    /// One request through the speculative raw-DFA tier (pruned or
+    /// predict/verify per input — see [`crate::speculative`]), with the
+    /// engine's bookkeeping applied.
+    fn serve_speculative(
+        &mut self,
+        request: &MatchRequest,
+        governor: &Governor,
+    ) -> Result<MatchOutcome, SfaError> {
+        let classifier = self.classifier_for(request);
+        let outcome = self
+            .runtime
+            .run_speculative(self.dfa, request, governor, &classifier)?;
+        if outcome.tier == MatchTier::PrunedSfa {
+            self.stats.pruned_matches += 1;
+        } else {
+            self.stats.speculative_matches += 1;
+        }
+        Self::deliver_match(&self.metrics, &self.subscriber, &outcome.stats);
+        self.stats.last_match = Some(outcome.stats.clone());
+        Ok(outcome)
+    }
+
     /// Byte and file requests under [`TierPolicy::Auto`]: the full tier
-    /// fuses classification into its chunk scans; the lazy tier encodes
-    /// up front and takes the symbol ladder; the sequential tier runs
-    /// the oracle. Both byte buffers and paths are replayable, so a
-    /// worker panic degrades the engine and still answers this query.
+    /// fuses classification into its chunk scans; the lazy and
+    /// speculative tiers encode up front and take the symbol ladder;
+    /// the sequential tier runs the oracle. Both byte buffers and paths
+    /// are replayable, so a worker panic degrades the engine and still
+    /// answers this query.
     fn run_unencoded(
         &mut self,
         request: &MatchRequest,
@@ -534,9 +655,11 @@ impl<'d> MatchEngine<'d> {
                     Err(other) => return Err(other),
                 }
             }
-            Backend::Lazy(_) => {
-                // Lazy matching needs encoded symbols; classify up front
-                // (the whole input is in memory either way).
+            Backend::Lazy(_) | Backend::Speculative(_) => {
+                // These tiers need encoded symbols; classify up front
+                // (the whole input is in memory either way) and take
+                // the symbol ladder, which already handles their
+                // degradation.
                 let symbols = self.encode_input(&request.input, &classifier)?;
                 let (verdict, stats) = self.run_symbols(&symbols, governor)?;
                 return Ok(MatchOutcome::new(verdict, stats));
@@ -545,8 +668,8 @@ impl<'d> MatchEngine<'d> {
         };
         self.stats.degradations += 1;
         self.stats.last_error = Some(degrade_err);
-        self.backend = Backend::Sequential;
-        self.serve_sequential(request, governor)
+        self.backend = self.next_backend();
+        self.run_unencoded(request, governor)
     }
 
     /// Classify an unencoded input source into a symbol vector.
@@ -699,10 +822,11 @@ mod tests {
     }
 
     #[test]
-    fn lazy_space_exhaustion_degrades_to_sequential_mid_query() {
+    fn lazy_space_exhaustion_degrades_to_speculative_mid_query() {
         // max_states=1 admits the identity state only; the first lazy
-        // discovery trips the budget and the query is served
-        // sequentially — with the right verdict.
+        // discovery trips the budget and the query falls through to the
+        // speculative backend — with the right verdict. The search DFA
+        // is narrow, so the query itself lands on the exact pruned mode.
         let dfa = rg_dfa();
         let budget = Budget::unlimited()
             .with_deadline(Duration::ZERO)
@@ -712,13 +836,22 @@ mod tests {
         assert_eq!(engine.tier(), MatchTier::LazySfa);
         let text = protein_text(5_000, 3);
         assert_eq!(engine.matches(&text), match_sequential(&dfa, &text));
-        assert_eq!(engine.tier(), MatchTier::Sequential);
+        assert_eq!(engine.tier(), MatchTier::Speculative);
         assert_eq!(engine.stats().degradations, 2);
-        assert_eq!(engine.stats().sequential_matches, 1);
-        // Further queries stay sequential.
+        assert_eq!(engine.stats().pruned_matches, 1);
+        assert_eq!(engine.stats().sequential_matches, 0);
+        // Further queries stay on the speculative backend.
         let text2 = protein_text(1_000, 4);
         assert_eq!(engine.matches(&text2), match_sequential(&dfa, &text2));
-        assert_eq!(engine.stats().sequential_matches, 2);
+        assert_eq!(
+            engine.stats().pruned_matches + engine.stats().speculative_matches,
+            2
+        );
+        let last = engine.stats().last_match.clone().unwrap();
+        assert!(matches!(
+            last.tier,
+            MatchTier::PrunedSfa | MatchTier::Speculative
+        ));
     }
 
     #[cfg(feature = "obs")]

@@ -235,10 +235,23 @@ pub fn from_bytes(bytes: &[u8]) -> Result<Sfa, IoError> {
             if num_states > bytes.len() - pos {
                 return Err(IoError::Truncated);
             }
+            // Each mapping row must decompress to exactly n elements.
+            // Matching trusts this (`Sfa::mapping_of` expects success),
+            // so a blob that fails here must be rejected at load time —
+            // it used to be accepted and abort the process on first use.
+            let want_raw = n
+                .checked_mul(elem_bytes)
+                .ok_or(IoError::Corrupt("dimension overflow"))?;
+            let decoder = codec.codec();
             let mut blobs = Vec::with_capacity(num_states);
             for _ in 0..num_states {
                 let len = to_usize(rd(&mut pos)?)?;
                 let blob = take(bytes, pos, len)?;
+                match decoder.decompress_to_vec(blob) {
+                    Ok(raw) if raw.len() == want_raw => {}
+                    Ok(_) => return Err(IoError::Corrupt("mapping row has wrong length")),
+                    Err(_) => return Err(IoError::Corrupt("mapping row failed to decompress")),
+                }
                 blobs.push(blob.to_vec().into_boxed_slice());
                 pos += len;
             }
@@ -616,6 +629,36 @@ mod tests {
                 let _ = from_bytes(&m); // must return, Ok or Err — not panic
             }
         }
+    }
+
+    /// A compressed mapping blob that is undecodable — or decodes to the
+    /// wrong row length — must be a load-time [`IoError::Corrupt`], not
+    /// a deferred `expect` abort on first use (`Sfa::mapping_of` trusts
+    /// stored rows).
+    #[test]
+    fn corrupt_compressed_blob_is_rejected_at_load() {
+        let dfa = sfa_workloads::rn(50);
+        let sfa = Sfa::builder(&dfa)
+            .options(&ParallelOptions::with_threads(2).compression(CompressionPolicy::FromStart))
+            .build()
+            .unwrap()
+            .sfa;
+        assert!(sfa.is_compressed());
+        let good = to_bytes(&sfa);
+        // Scribble over the tail of the compressed payload: the last
+        // mapping blob becomes undecodable or wrong-length.
+        let mut bad = good.clone();
+        let n = bad.len();
+        for byte in &mut bad[n - 8..] {
+            *byte ^= 0xA5;
+        }
+        match from_bytes(&bad) {
+            Err(IoError::Corrupt(_)) | Err(IoError::Truncated) => {}
+            Ok(_) => panic!("corrupted compressed payload decoded as Ok"),
+            Err(other) => panic!("expected Corrupt/Truncated, got {other:?}"),
+        }
+        // The pristine bytes still load and validate.
+        from_bytes(&good).unwrap().validate(&dfa).unwrap();
     }
 
     #[test]

@@ -77,6 +77,7 @@ pub mod runtime;
 pub mod scan;
 pub mod sequential;
 pub mod sfa;
+pub mod speculative;
 pub mod state;
 pub mod stats;
 pub mod store;
@@ -106,6 +107,7 @@ pub use sfa_sync::fault_point;
 /// unless built with the `fault-injection` feature.
 pub use sfa_sync::faults;
 pub use sfa_sync::CancelToken;
+pub use speculative::{shared_predictor, SpecStats, SpeculativeMatcher, StatePredictor};
 pub use stats::{ConstructionResult, ConstructionStats};
 pub use store::{SpillConfig, SpillStore};
 
@@ -281,6 +283,7 @@ pub mod prelude {
     pub use crate::sequential::construct_sequential;
     pub use crate::sequential::SequentialVariant;
     pub use crate::sfa::Sfa;
+    pub use crate::speculative::{shared_predictor, SpecStats, SpeculativeMatcher, StatePredictor};
     pub use crate::stats::{ConstructionResult, ConstructionStats};
     pub use crate::store::{SpillConfig, SpillStore};
     pub use crate::SfaError;

@@ -105,6 +105,11 @@ pub fn record_match(reg: &MetricsRegistry, stats: &MatchStats) {
     reg.counter("sfa_match_chunks_total").add(stats.chunks);
     reg.counter("sfa_match_bytes_total").add(stats.bytes);
     reg.counter("sfa_match_retries_total").add(stats.retries);
+    reg.counter("sfa_match_mispredicts_total")
+        .add(stats.mispredicts);
+    reg.counter("sfa_match_reruns_total").add(stats.reruns);
+    reg.counter("sfa_match_state_visits_total")
+        .add(stats.state_visits);
     reg.gauge("sfa_match_queue_depth")
         .set(stats.queue_depth as i64);
     reg.gauge("sfa_match_last_untimed")
@@ -183,12 +188,18 @@ mod tests {
             bytes: 4096,
             elapsed: std::time::Duration::from_millis(1),
             queue_depth: 1,
+            mispredicts: 3,
+            reruns: 2,
+            state_visits: 7,
             ..MatchStats::default()
         };
         record_match(&reg, &stats);
         let snap = reg.snapshot();
         assert_eq!(snap.counter("sfa_match_queries_total"), Some(1));
         assert_eq!(snap.counter("sfa_match_bytes_total"), Some(4096));
+        assert_eq!(snap.counter("sfa_match_mispredicts_total"), Some(3));
+        assert_eq!(snap.counter("sfa_match_reruns_total"), Some(2));
+        assert_eq!(snap.counter("sfa_match_state_visits_total"), Some(7));
         assert_eq!(snap.gauge("sfa_match_last_untimed"), Some(0));
         assert_eq!(snap.histogram("sfa_match_elapsed_nanos").unwrap().count, 1);
     }

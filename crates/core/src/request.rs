@@ -96,6 +96,12 @@ pub enum TierPolicy {
     /// Force the sequential DFA scan, whatever tier the engine holds —
     /// the oracle mode load generators cross-check against.
     Sequential,
+    /// Force the speculative raw-DFA tier ([`crate::speculative`]):
+    /// chunk-parallel matching from predicted or feasible-set-pruned
+    /// entry states, no SFA needed. The outcome reports
+    /// [`MatchTier::PrunedSfa`] when the exact pruned mode answered and
+    /// [`MatchTier::Speculative`] otherwise.
+    Speculative,
     /// Fail with [`crate::SfaError::InvalidOptions`] unless the full
     /// SFA tier serves the request — for callers that would rather
     /// error than eat a sequential-scan latency cliff.
@@ -103,18 +109,23 @@ pub enum TierPolicy {
 }
 
 impl TierPolicy {
-    fn as_str(&self) -> &'static str {
+    /// The wire name (`"auto"`, `"sequential"`, `"speculative"`,
+    /// `"require_full"`).
+    pub fn as_str(&self) -> &'static str {
         match self {
             TierPolicy::Auto => "auto",
             TierPolicy::Sequential => "sequential",
+            TierPolicy::Speculative => "speculative",
             TierPolicy::RequireFull => "require_full",
         }
     }
 
-    fn parse(s: &str) -> Option<Self> {
+    /// Parse a wire name — the inverse of [`Self::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
         match s {
             "auto" => Some(TierPolicy::Auto),
             "sequential" => Some(TierPolicy::Sequential),
+            "speculative" => Some(TierPolicy::Speculative),
             "require_full" => Some(TierPolicy::RequireFull),
             _ => None,
         }
@@ -342,6 +353,15 @@ impl MatchOutcome {
                     ),
                     ("retries".into(), Value::Number(self.stats.retries as f64)),
                     (
+                        "mispredicts".into(),
+                        Value::Number(self.stats.mispredicts as f64),
+                    ),
+                    ("reruns".into(), Value::Number(self.stats.reruns as f64)),
+                    (
+                        "state_visits".into(),
+                        Value::Number(self.stats.state_visits as f64),
+                    ),
+                    (
                         "throughput_bps".into(),
                         Value::Number(self.stats.bytes_per_sec()),
                     ),
@@ -369,6 +389,8 @@ impl MatchOutcome {
         let tier = match v.get("tier").and_then(Value::as_str) {
             Some("full") => MatchTier::FullSfa,
             Some("lazy") => MatchTier::LazySfa,
+            Some("pruned") => MatchTier::PrunedSfa,
+            Some("speculative") => MatchTier::Speculative,
             Some("sequential") | None => MatchTier::Sequential,
             Some(_) => return Err("unknown tier".into()),
         };
@@ -382,6 +404,9 @@ impl MatchOutcome {
             stats.bytes = u64_field(s, "bytes");
             stats.queue_depth = u64_field(s, "queue_depth") as usize;
             stats.retries = u64_field(s, "retries");
+            stats.mispredicts = u64_field(s, "mispredicts");
+            stats.reruns = u64_field(s, "reruns");
+            stats.state_visits = u64_field(s, "state_visits");
             let secs = s
                 .get("elapsed_secs")
                 .and_then(Value::as_f64)
@@ -526,6 +551,9 @@ mod tests {
             elapsed: Duration::from_micros(750),
             queue_depth: 2,
             retries: 1,
+            mispredicts: 5,
+            reruns: 4,
+            state_visits: 11,
             ..MatchStats::default()
         };
         let out = MatchOutcome::new(true, stats).with_degraded("test reason");
@@ -535,6 +563,9 @@ mod tests {
         assert_eq!(back.tier, MatchTier::FullSfa);
         assert_eq!(back.stats.bytes, out.stats.bytes);
         assert_eq!(back.stats.elapsed, out.stats.elapsed);
+        assert_eq!(back.stats.mispredicts, 5);
+        assert_eq!(back.stats.reruns, 4);
+        assert_eq!(back.stats.state_visits, 11);
         assert_eq!(back.degraded.as_deref(), Some("test reason"));
 
         // Non-finite floats render as null on the wire; decoding
@@ -549,5 +580,31 @@ mod tests {
         assert_eq!(lenient.tier, MatchTier::LazySfa);
         assert_eq!(lenient.stats.bytes, 7);
         assert_eq!(lenient.stats.elapsed, Duration::ZERO);
+    }
+
+    #[test]
+    fn speculative_tier_round_trips_on_the_wire() {
+        let req = MatchRequest::text("RGD").with_tier(TierPolicy::Speculative);
+        let text = sfa_json::to_string(&req.to_json());
+        let back = MatchRequest::from_json(&sfa_json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(back.tier, TierPolicy::Speculative);
+
+        for (name, tier) in [
+            ("pruned", MatchTier::PrunedSfa),
+            ("speculative", MatchTier::Speculative),
+        ] {
+            let stats = MatchStats {
+                tier,
+                mispredicts: 2,
+                reruns: 2,
+                ..MatchStats::default()
+            };
+            let out = MatchOutcome::new(false, stats);
+            let wire = sfa_json::to_string(&out.to_json());
+            assert!(wire.contains(name), "tier {name} missing from {wire}");
+            let back = MatchOutcome::from_json(&sfa_json::from_str(&wire).unwrap()).unwrap();
+            assert_eq!(back.tier, tier);
+            assert_eq!(back.stats.mispredicts, 2);
+        }
     }
 }

@@ -191,6 +191,16 @@ pub struct MatchStats {
     /// Transient stream-read errors that were retried (see
     /// [`RetryPolicy`]); 0 on non-streaming paths.
     pub retries: u64,
+    /// Speculative-tier seams where the predicted entry state was wrong
+    /// (see [`crate::speculative`]); 0 on every other tier.
+    pub mispredicts: u64,
+    /// Speculative-tier chunk re-scans triggered by mispredicts (a
+    /// convergence checkpoint may cut a re-scan short, but it still
+    /// counts); 0 on every other tier.
+    pub reruns: u64,
+    /// True chunk-entry states recorded into the speculation predictor
+    /// during this match; 0 on every other tier.
+    pub state_visits: u64,
 }
 
 impl Default for MatchStats {
@@ -203,6 +213,9 @@ impl Default for MatchStats {
             elapsed: Duration::ZERO,
             queue_depth: 0,
             retries: 0,
+            mispredicts: 0,
+            reruns: 0,
+            state_visits: 0,
         }
     }
 }
@@ -355,6 +368,9 @@ impl MatchRuntime {
         if request.tier == TierPolicy::Sequential {
             return self.run_sequential(matcher.dfa, request, &governor, &classifier());
         }
+        if request.tier == TierPolicy::Speculative {
+            return self.run_speculative(matcher.dfa, request, &governor, &classifier());
+        }
         let (verdict, stats) = match &request.input {
             InputSource::Symbols(symbols) => self.matches_symbols(matcher, symbols, &governor)?,
             InputSource::Bytes(bytes) => {
@@ -375,17 +391,20 @@ impl MatchRuntime {
         Ok(crate::MatchOutcome::new(verdict, stats))
     }
 
-    /// Serve a request with the plain sequential DFA — the public
-    /// oracle entry for callers that hold no SFA at all (e.g. a server
-    /// pattern whose construction exceeded its budget). Same verdict as
-    /// every other path by construction.
+    /// Serve a request with the raw DFA only — the public entry for
+    /// callers that hold no SFA at all (e.g. a server pattern whose
+    /// construction exceeded its budget). A
+    /// [`TierPolicy::Speculative`](crate::TierPolicy::Speculative)
+    /// request runs the chunk-parallel speculative tier
+    /// ([`crate::speculative`]); everything else runs the sequential
+    /// oracle. Same verdict as every other path by construction.
     pub fn run_dfa(
         &self,
         dfa: &sfa_automata::dfa::Dfa,
         request: &crate::MatchRequest,
         cancel: Option<sfa_sync::CancelToken>,
     ) -> Result<crate::MatchOutcome, SfaError> {
-        use crate::request::ClassifierMode;
+        use crate::request::{ClassifierMode, TierPolicy};
         let governor = Governor::new(&request.budget, cancel);
         let classifier = match request.classifier {
             ClassifierMode::Strict => ByteClassifier::strict(dfa.alphabet()),
@@ -393,7 +412,91 @@ impl MatchRuntime {
                 ByteClassifier::skipping_ascii_whitespace(dfa.alphabet())
             }
         };
+        if request.tier == TierPolicy::Speculative {
+            return self.run_speculative(dfa, request, &governor, &classifier);
+        }
         self.run_sequential(dfa, request, &governor, &classifier)
+    }
+
+    /// Serve a request on the speculative tier: chunk-parallel over the
+    /// raw DFA with predicted entry states and seam verification (or the
+    /// exact pruned-enumerative mode when the feasible entry sets are
+    /// narrow — see [`crate::speculative`]). Byte and file inputs are
+    /// classified up front into a symbol buffer; fused classification is
+    /// a full-SFA-tier luxury the speculative scan does not have.
+    pub(crate) fn run_speculative(
+        &self,
+        dfa: &sfa_automata::dfa::Dfa,
+        request: &crate::MatchRequest,
+        governor: &Governor,
+        classifier: &ByteClassifier,
+    ) -> Result<crate::MatchOutcome, SfaError> {
+        use crate::request::InputSource;
+        let start = Instant::now();
+        governor.check(0, 0)?;
+        let matcher = crate::speculative::SpeculativeMatcher::new(dfa)?;
+        let (verdict, mut stats) = match &request.input {
+            InputSource::Symbols(symbols) => self.speculative_symbols(&matcher, symbols, governor),
+            InputSource::Bytes(bytes) => {
+                let symbols = encode_classified(classifier, bytes, governor)?;
+                self.speculative_symbols(&matcher, &symbols, governor)
+                    .map(|(v, mut s)| {
+                        s.bytes = bytes.len() as u64;
+                        (v, s)
+                    })
+            }
+            InputSource::File(path) => {
+                let bytes = std::fs::read(path)
+                    .map_err(|e| SfaError::Io(format!("read {}: {e}", path.display())))?;
+                let symbols = encode_classified(classifier, &bytes, governor)?;
+                self.speculative_symbols(&matcher, &symbols, governor)
+                    .map(|(v, mut s)| {
+                        s.bytes = bytes.len() as u64;
+                        (v, s)
+                    })
+            }
+        }?;
+        stats.elapsed = start.elapsed();
+        if request.trace {
+            crate::obs::report_span(
+                "match/request",
+                stats.elapsed.as_nanos().min(u64::MAX as u128) as u64,
+            );
+        }
+        Ok(crate::MatchOutcome::new(verdict, stats))
+    }
+
+    /// One speculative pass over pre-encoded symbols, with the
+    /// [`SpecStats`](crate::speculative::SpecStats) folded into a
+    /// [`MatchStats`]. The caller stamps `elapsed` (and `bytes`, when
+    /// the input started as raw bytes).
+    pub(crate) fn speculative_symbols(
+        &self,
+        matcher: &crate::speculative::SpeculativeMatcher<'_>,
+        input: &[SymbolId],
+        governor: &Governor,
+    ) -> Result<(bool, MatchStats), SfaError> {
+        let start = Instant::now();
+        let threads = self.pool.threads();
+        let (verdict, spec) = matcher.matches(&self.pool, governor, input, threads)?;
+        let stats = MatchStats {
+            tier: if spec.pruned {
+                MatchTier::PrunedSfa
+            } else {
+                MatchTier::Speculative
+            },
+            blocks: 1,
+            chunks: spec.chunks,
+            bytes: input.len() as u64,
+            elapsed: start.elapsed(),
+            queue_depth: self.pool.queue_depth(),
+            mispredicts: spec.mispredicts,
+            reruns: spec.reruns,
+            state_visits: spec.state_visits,
+            ..MatchStats::default()
+        };
+        note_match(&stats);
+        Ok((verdict, stats))
     }
 
     /// The sequential oracle behind
@@ -640,6 +743,34 @@ impl MatchRuntime {
         watch.record(&OBS_BLOCK_NANOS);
         Ok(folded)
     }
+}
+
+/// Classify raw bytes into a dense symbol buffer up front (the
+/// speculative tier's input shape), polling the governor at the usual
+/// granularity. Invalid bytes fail with their offset, exactly like the
+/// fused paths.
+fn encode_classified(
+    classifier: &ByteClassifier,
+    bytes: &[u8],
+    governor: &Governor,
+) -> Result<Vec<SymbolId>, SfaError> {
+    let mut symbols = Vec::with_capacity(bytes.len());
+    for (offset, &b) in bytes.iter().enumerate() {
+        match classifier.classify(b) {
+            Classified::Symbol(sym) => symbols.push(sym),
+            Classified::Skip => {}
+            Classified::Invalid => {
+                return Err(SfaError::InvalidByte {
+                    byte: b,
+                    offset: offset as u64,
+                })
+            }
+        }
+        if (offset + 1) % crate::matcher::GOVERNOR_POLL_SYMBOLS == 0 {
+            governor.check(0, 0)?;
+        }
+    }
+    Ok(symbols)
 }
 
 /// Push one finished match's telemetry into the global metrics registry

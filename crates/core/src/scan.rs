@@ -1179,6 +1179,22 @@ impl ScanEngine {
     /// entry states, with a best-so-far chunk index published in an
     /// `AtomicUsize` so chunks that can no longer win abort at block
     /// granularity instead of finishing their scan.
+    ///
+    /// Why `Relaxed` is enough for `best` (audited; pinned by the
+    /// `prop_find_first_two_winner_abort` seam proptest):
+    ///
+    /// * `best` is a pure *hint*. The answer is reduced after the join
+    ///   from `firsts`, never from `best`, and chunk index order equals
+    ///   position order, so the earliest `Some` slot wins regardless of
+    ///   which sibling published first.
+    /// * A chunk aborts only when `best < i` — a *strictly earlier*
+    ///   chunk has already found a match, so chunk `i`'s own result
+    ///   cannot improve the answer. `fetch_min` only ever stores indices
+    ///   of chunks that really matched, so a stale/relaxed read can at
+    ///   worst delay an abort (wasted work), never discard a winner.
+    /// * Each `slot` write is ordered before the post-join read by the
+    ///   pool's scope join (happens-before via the scope barrier), so no
+    ///   chunk's match is lost even when two chunks match concurrently.
     pub(crate) fn find_first(
         &self,
         pool: &TaskPool,

@@ -335,7 +335,15 @@ impl ServeState {
                 }
                 self.runtime
                     .run_dfa(entry.dfa, request, None)
-                    .map(|outcome| outcome.with_degraded(reason.clone()))
+                    .map(|outcome| match request.tier {
+                        // The pattern could not be served on the full
+                        // tier — that's a degradation only for callers
+                        // who asked for the ladder. An explicit
+                        // sequential/speculative request is service as
+                        // ordered (same rule as `MatchEngine::run`).
+                        TierPolicy::Auto => outcome.with_degraded(reason.clone()),
+                        _ => outcome,
+                    })
                     .map_err(map_match_error)
             }
         }

@@ -448,7 +448,7 @@ proptest! {
         deadline_ms in proptest::option::of(0u64..10_000),
         max_payload in proptest::option::of(any::<u32>()),
         max_states in proptest::option::of(any::<u32>()),
-        tier_ix in 0usize..3,
+        tier_ix in 0usize..4,
         skip_ws in any::<bool>(),
         trace in any::<bool>(),
     ) {
@@ -478,7 +478,14 @@ proptest! {
         }
         req = req
             .with_budget(budget)
-            .with_tier([TierPolicy::Auto, TierPolicy::Sequential, TierPolicy::RequireFull][tier_ix])
+            .with_tier(
+                [
+                    TierPolicy::Auto,
+                    TierPolicy::Sequential,
+                    TierPolicy::Speculative,
+                    TierPolicy::RequireFull,
+                ][tier_ix],
+            )
             .with_classifier(if skip_ws {
                 ClassifierMode::SkipWhitespace
             } else {
@@ -501,7 +508,7 @@ proptest! {
     #[test]
     fn prop_match_outcome_round_trips_through_json(
         verdict in any::<bool>(),
-        tier_ix in 0usize..3,
+        tier_ix in 0usize..5,
         blocks in any::<u32>(),
         chunks in any::<u32>(),
         bytes in any::<u32>(),
@@ -511,7 +518,13 @@ proptest! {
         degraded_ascii in proptest::option::of(proptest::collection::vec(32u8..127, 0..40)),
     ) {
         let degraded = degraded_ascii.map(|b| String::from_utf8(b).unwrap());
-        let tier = [MatchTier::FullSfa, MatchTier::LazySfa, MatchTier::Sequential][tier_ix];
+        let tier = [
+            MatchTier::FullSfa,
+            MatchTier::LazySfa,
+            MatchTier::PrunedSfa,
+            MatchTier::Speculative,
+            MatchTier::Sequential,
+        ][tier_ix];
         let stats = stats_for_wire_test(
             tier,
             blocks as u64,
@@ -536,5 +549,190 @@ proptest! {
         prop_assert_eq!(back.stats.retries, out.stats.retries);
         prop_assert_eq!(back.stats.elapsed, out.stats.elapsed);
         prop_assert_eq!(back.degraded.clone(), out.degraded.clone());
+    }
+}
+
+// Speculative-tier properties: chunk-parallel matching on the raw DFA
+// (predicted entries + seam verification, or the exact pruned mode for
+// narrow feasible sets) must be verdict- and state-identical to the
+// sequential oracle — including under an adversary that defeats every
+// prediction, and under racing governance.
+
+/// Mod-`m` counter: symbol 0 advances the counter, everything else
+/// self-loops. A permutation under symbol 0 keeps every boundary's
+/// feasible set full-width, which forces the predict/verify mode
+/// (never the pruned one).
+fn counter_dfa(m: u32) -> sfa_automata::Dfa {
+    use sfa_automata::dfa::DfaBuilder;
+    let mut b = DfaBuilder::new(Alphabet::amino_acids());
+    for q in 0..m {
+        b.add_state(q == 0);
+    }
+    for q in 0..m {
+        b.add_transition(q, 0, (q + 1) % m);
+        b.default_transition(q, q);
+    }
+    b.set_start(0);
+    b.build_strict().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Two matches planted in different chunks race to publish through
+    /// the Relaxed `fetch_min` first-match protocol; the earlier
+    /// position must win for every geometry and thread count. This is
+    /// the seam test pinned by the ordering-invariant comment on
+    /// `find_first_*` in `scan.rs`.
+    #[test]
+    fn prop_find_first_two_winner_abort(
+        text_len in 60usize..200,
+        frac_a in 0.0f64..1.0,
+        frac_b in 0.0f64..1.0,
+        k_pick in 0usize..4,
+        threads in 2usize..6,
+    ) {
+        let alpha = Alphabet::amino_acids();
+        let dfa = Pipeline::search(alpha.clone()).compile_str("RG").unwrap();
+        let sfa = Sfa::builder(&dfa).sequential(SequentialVariant::Transposed).build()
+            .unwrap()
+            .sfa;
+        let mut text = vec![b'A'; text_len];
+        let pos_a = ((text_len - 2) as f64 * frac_a) as usize;
+        let pos_b = ((text_len - 2) as f64 * frac_b) as usize;
+        for pos in [pos_a, pos_b] {
+            text[pos] = b'R';
+            text[pos + 1] = b'G';
+        }
+        let syms = alpha.encode_bytes(&text).unwrap();
+        let opts = ScanOptions {
+            interleave: [1, 2, 4, 8][k_pick],
+            oversubscribe: 2,
+            min_chunk_symbols: 1,
+        };
+        let matcher = ParallelMatcher::with_options(&sfa, &dfa, opts).unwrap();
+        // Overlapping plants can splice the two matches into one — the
+        // sequential oracle over the *actual* text is the reference
+        // (the later-written plant is always intact, so it is Some).
+        let oracle = sfa_core::matcher::find_first_match_sequential(&dfa, &syms);
+        prop_assert!(oracle.is_some());
+        for _ in 0..4 {
+            prop_assert_eq!(matcher.find_first_match(&syms, threads), oracle);
+        }
+    }
+
+    /// Speculative matching over random DFAs answers exactly the
+    /// oracle's verdict and final state for every chunk geometry —
+    /// cold predictor and trained predictor alike.
+    #[test]
+    fn prop_speculative_agrees_with_oracle(
+        seed in any::<u64>(),
+        input in proptest::collection::vec(0u8..2, 0..300),
+        threads in 1usize..6,
+        k_pick in 0usize..4,
+    ) {
+        let alpha = Alphabet::binary();
+        let dfa = random_dfa(&alpha, 6, 0.4, seed);
+        let opts = ScanOptions {
+            interleave: [1, 2, 4, 8][k_pick],
+            oversubscribe: 2,
+            min_chunk_symbols: 1,
+        };
+        // A private predictor keeps proptest cases independent of the
+        // process-global warm cache.
+        let matcher = SpeculativeMatcher::with_options(&dfa, opts)
+            .unwrap()
+            .with_predictor(std::sync::Arc::new(StatePredictor::new(dfa.num_states())));
+        let pool = TaskPool::shared();
+        let governor = Governor::unlimited();
+        for pass in 0..2 {
+            let (verdict, stats) = matcher.matches(pool, &governor, &input, threads).unwrap();
+            prop_assert_eq!(verdict, match_sequential(&dfa, &input), "pass {}", pass);
+            prop_assert!(stats.chunks >= 1);
+            let (q, _) = matcher.final_state(pool, &governor, &input, threads).unwrap();
+            prop_assert_eq!(q, dfa.run(&input));
+        }
+    }
+
+    /// The forced-100%-mispredict adversary: one counter tick at the
+    /// very start offsets the true entry of every later chunk from the
+    /// cold predictor's deterministic pick, so every seam mispredicts
+    /// and no re-run converges early. The run must still terminate and
+    /// answer exactly (satellite: worst-case ≈ one sequential pass).
+    #[test]
+    fn prop_speculative_total_mispredict_terminates(
+        len in 2_000usize..6_000,
+        m in 5u32..12,
+        threads in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        let dfa = counter_dfa(m);
+        // Symbols 1..20 self-loop; the single 0 up front shifts every
+        // trail by one counter tick.
+        let mut state = seed | 1;
+        let mut input: Vec<u8> = (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                1 + (state % 19) as u8
+            })
+            .collect();
+        input[0] = 0;
+        let opts = ScanOptions {
+            interleave: 4,
+            oversubscribe: 2,
+            min_chunk_symbols: 64,
+        };
+        let matcher = SpeculativeMatcher::with_options(&dfa, opts)
+            .unwrap()
+            .with_predictor(std::sync::Arc::new(StatePredictor::new(dfa.num_states())));
+        let pool = TaskPool::shared();
+        let governor = Governor::unlimited();
+        let (verdict, stats) = matcher.matches(pool, &governor, &input, threads).unwrap();
+        prop_assert_eq!(verdict, match_sequential(&dfa, &input));
+        prop_assert!(!stats.pruned, "full-width feasible sets must not prune");
+        prop_assert!(stats.chunks > 1);
+        prop_assert_eq!(stats.mispredicts, stats.chunks - 1);
+        prop_assert_eq!(stats.reruns, stats.mispredicts);
+        // A second, trained pass still answers exactly — and the
+        // predictor has learned the shifted trail.
+        let (warm_verdict, warm) = matcher.matches(pool, &governor, &input, threads).unwrap();
+        prop_assert_eq!(warm_verdict, verdict);
+        prop_assert!(warm.mispredicts < stats.mispredicts);
+    }
+
+    /// Under a racing deadline or cancellation the speculative tier
+    /// either answers exactly the oracle or fails with the governance
+    /// error — never a wrong verdict.
+    #[test]
+    fn prop_speculative_governed_is_exact_or_stopped(
+        seed in any::<u64>(),
+        input in proptest::collection::vec(0u8..2, 0..400),
+        threads in 1usize..5,
+        cancel_now in any::<bool>(),
+        deadline_us in 0u64..200,
+    ) {
+        let alpha = Alphabet::binary();
+        let dfa = random_dfa(&alpha, 6, 0.4, seed);
+        let opts = ScanOptions {
+            interleave: 4,
+            oversubscribe: 2,
+            min_chunk_symbols: 1,
+        };
+        let matcher = SpeculativeMatcher::with_options(&dfa, opts)
+            .unwrap()
+            .with_predictor(std::sync::Arc::new(StatePredictor::new(dfa.num_states())));
+        let token = CancelToken::new();
+        if cancel_now {
+            token.cancel();
+        }
+        let budget = Budget::unlimited().with_deadline(Duration::from_micros(deadline_us));
+        let governor = Governor::new(&budget, Some(token));
+        match matcher.matches(TaskPool::shared(), &governor, &input, threads) {
+            Ok((v, _)) => prop_assert_eq!(v, match_sequential(&dfa, &input)),
+            Err(SfaError::Cancelled { .. }) | Err(SfaError::BudgetExceeded { .. }) => {}
+            Err(other) => prop_assert!(false, "unexpected error: {other}"),
+        }
     }
 }

@@ -383,3 +383,147 @@ fn engine_stream_on_sequential_tier_agrees() {
     assert_eq!(verdict, match_sequential(&dfa, &text));
     assert_eq!(stats.tier, MatchTier::Sequential);
 }
+
+/// Satellite regression: tier/degraded coherence on every degradation
+/// path. The outcome must always report the tier that *actually
+/// answered* (never the requested one), and the `degraded` marker must
+/// be present exactly when an `Auto` request was answered below the
+/// full tier — explicitly requested sequential/speculative service is
+/// not a degradation.
+#[test]
+fn outcome_tier_and_degraded_marker_are_coherent() {
+    let dfa = Pipeline::search(Alphabet::amino_acids())
+        .compile_str("RGD")
+        .unwrap();
+    let text = protein_text(20_000, 5);
+
+    // Path 1: the budget kills full construction and then trips the lazy
+    // backend on its first discovery, so the Auto query falls through to
+    // the speculative backend mid-flight. The outcome must carry the
+    // degradation reason and the actual per-query mode.
+    let budget = Budget::unlimited()
+        .with_deadline(Duration::ZERO)
+        .with_max_states(1);
+    let mut degraded_engine =
+        MatchEngine::with_budget(&dfa, &ParallelOptions::with_threads(2), &budget, None);
+    assert_eq!(degraded_engine.tier(), MatchTier::LazySfa);
+    let auto = degraded_engine
+        .run(&MatchRequest::symbols(text.clone()))
+        .unwrap();
+    assert_eq!(degraded_engine.tier(), MatchTier::Speculative);
+    assert_eq!(auto.verdict, match_sequential(&dfa, &text));
+    assert!(
+        matches!(auto.tier, MatchTier::PrunedSfa | MatchTier::Speculative),
+        "expected a speculative-backend tier, got {}",
+        auto.tier
+    );
+    assert_eq!(
+        auto.tier, auto.stats.tier,
+        "outcome and stats tiers disagree"
+    );
+    assert!(
+        auto.degraded.is_some(),
+        "Auto answered below the full tier must carry the degradation reason"
+    );
+
+    // Path 2: explicit sequential on the same degraded engine — service
+    // as ordered, so the oracle run is NOT labelled degraded.
+    let seq = degraded_engine
+        .run(&MatchRequest::symbols(text.clone()).with_tier(TierPolicy::Sequential))
+        .unwrap();
+    assert_eq!(seq.tier, MatchTier::Sequential);
+    assert_eq!(seq.stats.tier, MatchTier::Sequential);
+    assert!(
+        seq.degraded.is_none(),
+        "explicitly requested sequential service is not a degradation"
+    );
+
+    // Path 3: explicit speculative on a healthy full-tier engine — the
+    // outcome reports the mode that actually answered (pruned or
+    // speculative, never the engine's resident FullSfa), carries the
+    // speculation counters, and leaves the engine undegraded.
+    let mut full_engine = MatchEngine::new(&dfa, 2);
+    assert_eq!(full_engine.tier(), MatchTier::FullSfa);
+    let spec = full_engine
+        .run(&MatchRequest::symbols(text.clone()).with_tier(TierPolicy::Speculative))
+        .unwrap();
+    assert_eq!(spec.verdict, match_sequential(&dfa, &text));
+    assert!(
+        matches!(spec.tier, MatchTier::PrunedSfa | MatchTier::Speculative),
+        "requested speculative, outcome reported {}",
+        spec.tier
+    );
+    assert_eq!(spec.tier, spec.stats.tier);
+    assert!(spec.degraded.is_none());
+    assert_eq!(full_engine.tier(), MatchTier::FullSfa);
+
+    // Path 4: a fallible-path failure inside `matches()` answers with
+    // full bookkeeping — last_match reflects the sequential answer
+    // instead of silently skipping telemetry.
+    let token = CancelToken::new();
+    token.cancel();
+    let mut cancelled_engine = MatchEngine::with_budget(
+        &dfa,
+        &ParallelOptions::with_threads(2),
+        &Budget::unlimited(),
+        Some(token),
+    );
+    assert_eq!(
+        cancelled_engine.matches(&text),
+        match_sequential(&dfa, &text)
+    );
+    let last = cancelled_engine.stats().last_match.clone().unwrap();
+    assert_eq!(last.tier, MatchTier::Sequential);
+    assert_eq!(cancelled_engine.stats().sequential_matches, 1);
+}
+
+/// The raw-DFA runtime entry honors `TierPolicy::Speculative` on all
+/// three input sources, agrees with the oracle, and reports the
+/// speculation counters.
+#[test]
+fn run_dfa_speculative_tier_agrees_with_oracle() {
+    let dfa = Pipeline::search(Alphabet::amino_acids())
+        .compile_str("R[GA]D")
+        .unwrap();
+    let alpha = Alphabet::amino_acids();
+    let text = sfa_workloads::protein_text_with_motif(200_000, 17, b"RAD", &[150_000]);
+    let rt = MatchRuntime::new(4);
+
+    let sym_outcome = rt
+        .run_dfa(
+            &dfa,
+            &MatchRequest::symbols(text.clone()).with_tier(TierPolicy::Speculative),
+            None,
+        )
+        .unwrap();
+    assert_eq!(sym_outcome.verdict, match_sequential(&dfa, &text));
+    assert!(matches!(
+        sym_outcome.tier,
+        MatchTier::PrunedSfa | MatchTier::Speculative
+    ));
+    assert!(sym_outcome.stats.chunks >= 1);
+    assert!(sym_outcome.stats.state_visits >= sym_outcome.stats.chunks.saturating_sub(1));
+
+    let bytes = alpha.decode_symbols(&text);
+    let byte_outcome = rt
+        .run_dfa(
+            &dfa,
+            &MatchRequest::bytes(bytes).with_tier(TierPolicy::Speculative),
+            None,
+        )
+        .unwrap();
+    assert_eq!(byte_outcome.verdict, sym_outcome.verdict);
+    assert_eq!(byte_outcome.stats.bytes, text.len() as u64);
+
+    // Cancellation under speculation is a typed error, not a hang.
+    let token = CancelToken::new();
+    token.cancel();
+    match rt.run_dfa(
+        &dfa,
+        &MatchRequest::symbols(text).with_tier(TierPolicy::Speculative),
+        Some(token),
+    ) {
+        Err(SfaError::Cancelled { .. }) => {}
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+}

@@ -379,3 +379,79 @@ fn restart_reloads_compiled_artifacts() {
     second.shutdown_and_join();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn speculative_tier_is_served_over_the_wire() {
+    let dir = patterns_dir("spec");
+    let handle = start_server(&dir, vec![TenantSpec::unlimited("alpha")]);
+    let mut client = connect(&handle);
+
+    let alphabet = Alphabet::amino_acids();
+    let dfa = Pipeline::search(alphabet.clone())
+        .compile_str("RG")
+        .unwrap();
+    let input = b"MKVAAAAAAAAAAAAAAAAAAAAAAAAAAARGAAAAAAAA";
+    let expected = match_sequential(&dfa, &alphabet.encode_bytes(input).unwrap());
+
+    // An explicit speculative request is serviced on the raw-DFA tier
+    // (the narrow search pattern lands on the exact pruned mode) and —
+    // being service as ordered — must NOT carry a degradation marker.
+    let request = MatchRequest::bytes(input.to_vec())
+        .with_pattern("rg")
+        .with_tier(TierPolicy::Speculative);
+    let reply = client.request("alpha", &request).unwrap();
+    let outcome = reply.outcome().expect("served");
+    assert_eq!(outcome.verdict, expected);
+    assert!(
+        matches!(outcome.tier, MatchTier::PrunedSfa | MatchTier::Speculative),
+        "requested speculative, served {}",
+        outcome.tier
+    );
+    assert_eq!(outcome.tier, outcome.stats.tier);
+    assert!(outcome.degraded.is_none());
+    handle.shutdown_and_join();
+
+    // A state budget of 1 forces every pattern below the full tier.
+    // Auto requests carry the degradation marker; explicitly ordered
+    // sequential service does not (same rule as `MatchEngine::run`).
+    // Drop the artifact cache first, or the capped daemon would just
+    // reload the full-tier SFAs the first daemon built.
+    let _ = std::fs::remove_dir_all(dir.join("artifacts"));
+    let config = ServeConfig::new("127.0.0.1:0", &dir)
+        .with_tenants(vec![TenantSpec::unlimited("alpha")])
+        .with_workers(2)
+        .with_match_threads(2)
+        .with_state_budget(1);
+    let handle = server::start(&config).expect("server start");
+    let mut client = connect(&handle);
+    let reply = client
+        .request(
+            "alpha",
+            &MatchRequest::bytes(input.to_vec()).with_pattern("rg"),
+        )
+        .unwrap();
+    let auto = reply.outcome().expect("served");
+    assert_eq!(auto.verdict, expected);
+    assert!(
+        auto.degraded.is_some(),
+        "Auto served below full must say why"
+    );
+    let reply = client
+        .request(
+            "alpha",
+            &MatchRequest::bytes(input.to_vec())
+                .with_pattern("rg")
+                .with_tier(TierPolicy::Sequential),
+        )
+        .unwrap();
+    let ordered = reply.outcome().expect("served");
+    assert_eq!(ordered.verdict, expected);
+    assert_eq!(ordered.tier, MatchTier::Sequential);
+    assert!(
+        ordered.degraded.is_none(),
+        "explicitly ordered sequential service is not a degradation"
+    );
+
+    handle.shutdown_and_join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
